@@ -1,0 +1,78 @@
+"""Ablation benchmark: the contribution of each optimization.
+
+Table 1's columns already form an ablation; this benchmark isolates each
+optimization's marginal contribution on the same workload (including
+combinations the paper does not print, e.g. pairwise removal without
+shrink-back) and verifies that every combination preserves connectivity.
+"""
+
+import math
+
+import pytest
+
+from repro.core.analysis import preserves_connectivity
+from repro.core.cbtc import run_cbtc
+from repro.core.pipeline import OptimizationConfig, build_topology
+from repro.graphs.metrics import graph_metrics
+from repro.net.placement import PlacementConfig, random_uniform_placement
+
+ALPHA = 2 * math.pi / 3
+
+COMBINATIONS = [
+    ("basic", OptimizationConfig()),
+    ("op1 only", OptimizationConfig(shrink_back=True)),
+    ("op2 only", OptimizationConfig(asymmetric_removal=True)),
+    ("op3 only", OptimizationConfig(pairwise_removal=True)),
+    ("op1+op2", OptimizationConfig(shrink_back=True, asymmetric_removal=True)),
+    ("op1+op3", OptimizationConfig(shrink_back=True, pairwise_removal=True)),
+    ("op2+op3", OptimizationConfig(asymmetric_removal=True, pairwise_removal=True)),
+    ("op1+op2+op3", OptimizationConfig.all()),
+    ("op1+op2+op3 (remove all redundant)", OptimizationConfig(
+        shrink_back=True, asymmetric_removal=True, pairwise_removal=True, pairwise_remove_all=True
+    )),
+]
+
+
+def _run_ablation():
+    config = PlacementConfig(node_count=80)
+    networks = [random_uniform_placement(config, seed=seed) for seed in range(3)]
+    outcomes = {id(network): run_cbtc(network, ALPHA) for network in networks}
+    rows = []
+    for name, optimization in COMBINATIONS:
+        degrees, radii, preserved = [], [], True
+        for network in networks:
+            result = build_topology(network, ALPHA, config=optimization, outcome=outcomes[id(network)])
+            metrics = graph_metrics(result.graph, network)
+            degrees.append(metrics.average_degree)
+            radii.append(metrics.average_radius)
+            preserved = preserved and preserves_connectivity(network.max_power_graph(), result.graph)
+        rows.append((name, sum(degrees) / len(degrees), sum(radii) / len(radii), preserved))
+    return rows
+
+
+def test_bench_optimization_ablation(benchmark, print_section):
+    rows = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    header = f"{'combination':<38}{'avg degree':>12}{'avg radius':>12}{'connected':>11}"
+    lines = [header, "-" * len(header)]
+    for name, degree, radius, preserved in rows:
+        lines.append(f"{name:<38}{degree:>12.2f}{radius:>12.1f}{str(preserved):>11}")
+    print_section(f"Optimization ablation (alpha = 2*pi/3, 80-node networks)", "\n".join(lines))
+
+    by_name = {name: (degree, radius, preserved) for name, degree, radius, preserved in rows}
+    # Every combination must preserve connectivity (Theorems 3.1, 3.2, 3.6).
+    assert all(preserved for _, _, preserved in by_name.values())
+    # Each optimization individually improves on the basic algorithm.
+    basic_degree, basic_radius, _ = by_name["basic"]
+    for name in ("op1 only", "op2 only", "op3 only"):
+        degree, radius, _ = by_name[name]
+        assert degree <= basic_degree + 1e-9
+        assert radius <= basic_radius + 1e-9
+    # The full stack is essentially at least as good as any single
+    # optimization (tiny slack because the restricted pairwise removal keeps
+    # slightly different edges depending on which graph it runs over).
+    full_degree, full_radius, _ = by_name["op1+op2+op3"]
+    for name in ("op1 only", "op2 only", "op3 only"):
+        assert full_degree <= by_name[name][0] + 0.5
+        assert full_radius <= by_name[name][1] + 10.0
+    # Removing all redundant edges minimizes degree further still.
+    assert by_name["op1+op2+op3 (remove all redundant)"][0] <= full_degree + 1e-9

@@ -1,0 +1,52 @@
+"""Extended benchmark: CBTC against the related graph families.
+
+Not a table in the paper, but the comparison its related-work section
+implies: CBTC (directional information only) against the position-based
+families — RNG, Gabriel, MST, Yao, Delaunay — and against no topology
+control, on the paper's workload geometry.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.baseline_comparison import run_baseline_comparison
+from repro.net.placement import PlacementConfig
+
+
+def test_bench_baseline_comparison(benchmark, print_section):
+    results = benchmark.pedantic(
+        run_baseline_comparison,
+        kwargs={
+            "alpha": 5 * math.pi / 6,
+            "network_count": 3,
+            "config": PlacementConfig(node_count=60),
+            "base_seed": 0,
+            "compute_stretch": True,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    header = f"{'family':<26}{'avg degree':>12}{'avg radius':>12}{'connected':>11}{'power stretch':>15}"
+    lines = [header, "-" * len(header)]
+    for entry in results:
+        stretch = f"{entry.average_power_stretch:.2f}" if entry.average_power_stretch == entry.average_power_stretch else "-"
+        lines.append(
+            f"{entry.name:<26}{entry.average_degree:>12.2f}{entry.average_radius:>12.1f}"
+            f"{entry.connectivity_preserved_fraction:>11.2f}{stretch:>15}"
+        )
+    print_section("CBTC vs. baseline graph families (60-node networks)", "\n".join(lines))
+
+    by_name = {entry.name: entry for entry in results}
+    cbtc_all = next(entry for entry in results if entry.name.startswith("cbtc-all"))
+    cbtc_basic = next(entry for entry in results if entry.name.startswith("cbtc-basic"))
+    # Everything that claims connectivity preservation delivers it.
+    for name in ("max-power", "rng", "gabriel", "mst"):
+        assert by_name[name].connectivity_preserved_fraction == 1.0
+    assert cbtc_all.connectivity_preserved_fraction == 1.0
+    # CBTC with all optimizations is dramatically sparser than max power and
+    # in the same regime as the proximity graphs.
+    assert cbtc_all.average_degree < by_name["max-power"].average_degree / 2
+    assert cbtc_all.average_degree < cbtc_basic.average_degree
+    # The MST is the sparsest possible connected structure; nothing beats it.
+    assert by_name["mst"].average_degree <= cbtc_all.average_degree + 1e-9

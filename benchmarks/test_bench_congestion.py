@@ -1,0 +1,62 @@
+"""Ablation benchmark: the sparseness vs. congestion trade-off (Section 6).
+
+The paper's discussion section warns that removing edges can hurt throughput:
+routes get longer and concentrate on fewer links.  This benchmark quantifies
+the trade-off across the optimization levels of Table 1 — the flip side of
+the degree/radius savings — using minimum-power routing over each topology.
+"""
+
+import math
+
+import pytest
+
+from repro.core.cbtc import run_cbtc
+from repro.core.pipeline import OptimizationConfig, build_topology
+from repro.graphs.routing import congestion_report
+from repro.net.placement import PlacementConfig, random_uniform_placement
+
+ALPHA = 5 * math.pi / 6
+
+LEVELS = [
+    ("max power", None),
+    ("basic", OptimizationConfig.none()),
+    ("shrink-back", OptimizationConfig.shrink_only()),
+    ("all optimizations", OptimizationConfig.all()),
+]
+
+
+def _run():
+    network = random_uniform_placement(PlacementConfig(node_count=60), seed=4)
+    outcome = run_cbtc(network, ALPHA)
+    rows = []
+    for name, config in LEVELS:
+        if config is None:
+            graph = network.max_power_graph()
+        else:
+            graph = build_topology(network, ALPHA, config=config, outcome=outcome).graph
+        report = congestion_report(graph, network)
+        rows.append((name, graph.number_of_edges(), report))
+    return rows
+
+
+def test_bench_congestion_tradeoff(benchmark, print_section):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    header = (
+        f"{'topology':<20}{'edges':>7}{'avg hops':>10}{'max edge load':>15}{'max fwd load':>14}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, edges, report in rows:
+        lines.append(
+            f"{name:<20}{edges:>7}{report.average_hop_count:>10.2f}"
+            f"{report.max_edge_congestion:>15.3f}{report.max_forwarding_load:>14.3f}"
+        )
+    print_section("Sparseness vs. congestion (min-power routing, 60 nodes)", "\n".join(lines))
+
+    by_name = {name: (edges, report) for name, edges, report in rows}
+    # Every topology routes the same set of pairs (connectivity is preserved).
+    pair_counts = {report.routed_pairs for _, report in by_name.values()}
+    assert len(pair_counts) == 1
+    # Sparser topologies pay with longer routes and higher worst-link load.
+    assert by_name["all optimizations"][1].average_hop_count > by_name["max power"][1].average_hop_count
+    assert by_name["all optimizations"][1].max_edge_congestion >= by_name["basic"][1].max_edge_congestion
+    assert by_name["all optimizations"][0] < by_name["basic"][0] < by_name["max power"][0]

@@ -1,0 +1,40 @@
+"""Benchmark: the energy / network-lifetime payoff of topology control.
+
+Energy saving is the paper's motivation; this benchmark reports the total
+transmit power, worst-node power, interference proxy, lifetime estimate and
+route-power stretch of the controlled topologies against maximum power on
+the paper's workload.
+"""
+
+import pytest
+
+from repro.experiments.energy import run_energy_experiment
+from repro.net.placement import PlacementConfig
+
+
+def test_bench_energy_profile(benchmark, print_section):
+    profiles = benchmark.pedantic(
+        run_energy_experiment,
+        kwargs={"config": PlacementConfig(node_count=80), "seed": 2},
+        rounds=1,
+        iterations=1,
+    )
+    header = (
+        f"{'topology':<26}{'total power':>14}{'max node power':>16}{'interference':>14}"
+        f"{'lifetime':>10}{'stretch':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for profile in profiles:
+        lines.append(
+            f"{profile.name:<26}{profile.total_transmit_power:>14.3e}{profile.max_node_power:>16.3e}"
+            f"{profile.interference:>14.1f}{profile.lifetime_rounds:>10}{profile.power_stretch:>9.2f}"
+        )
+    print_section("Energy and lifetime (80 nodes, battery 1e9)", "\n".join(lines))
+
+    by_name = {profile.name: profile for profile in profiles}
+    best = by_name["cbtc all optimizations"]
+    worst = by_name["max power"]
+    assert best.total_transmit_power < worst.total_transmit_power / 2
+    assert best.lifetime_rounds >= worst.lifetime_rounds
+    assert best.interference < worst.interference
+    assert best.power_stretch >= 1.0

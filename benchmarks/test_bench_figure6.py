@@ -1,0 +1,55 @@
+"""Benchmark: regenerate the eight panels of Figure 6.
+
+The paper's figure plots one random network under eight configurations; the
+regenerated artefact is the per-panel edge count / average degree / average
+radius table (and, via ``python -m repro.cli figure6 --ascii``, an ASCII
+rendering of each panel).  The assertions encode the figure's visual story:
+every optimization level strictly thins the topology.
+"""
+
+import pytest
+
+from repro.experiments.figure6 import run_figure6
+
+
+def test_bench_figure6(benchmark, print_section):
+    result = benchmark.pedantic(run_figure6, kwargs={"seed": 42}, rounds=1, iterations=1)
+    print_section("Figure 6 panels (seed 42, 100 nodes)", result.summary_table())
+
+    panels = result.panels
+    # (a) no control is the densest; every controlled panel is a subgraph.
+    reference_edges = set(map(frozenset, panels["a"].graph.edges))
+    for name in "bcdefgh":
+        assert set(map(frozenset, panels[name].graph.edges)) <= reference_edges
+
+    # Optimization chains thin the graph monotonically, per alpha.
+    assert panels["b"].metrics.edge_count > panels["d"].metrics.edge_count
+    assert panels["d"].metrics.edge_count >= panels["f"].metrics.edge_count
+    assert panels["f"].metrics.edge_count >= panels["h"].metrics.edge_count
+    assert panels["c"].metrics.edge_count > panels["e"].metrics.edge_count
+    assert panels["e"].metrics.edge_count >= panels["g"].metrics.edge_count
+
+    # Basic 2*pi/3 is denser than basic 5*pi/6 (panels b vs c), as in the paper.
+    assert panels["b"].metrics.edge_count > panels["c"].metrics.edge_count
+
+    # Fully optimized panels for the two alphas end up nearly identical.
+    assert abs(panels["g"].metrics.average_degree - panels["h"].metrics.average_degree) < 0.6
+
+
+def test_bench_figure6_ascii_rendering(benchmark, print_section):
+    """Rendering cost of the ASCII substitute for the paper's plots."""
+    from repro.viz import ascii_topology
+
+    result = run_figure6(seed=42)
+
+    def render_all():
+        return {
+            name: ascii_topology(panel.graph, result.network, width=72, height=24)
+            for name, panel in result.panels.items()
+        }
+
+    art = benchmark.pedantic(render_all, rounds=1, iterations=1)
+    print_section(
+        "Figure 6 panel (h): alpha = 2*pi/3 with all optimizations (ASCII)", art["h"]
+    )
+    assert len(art) == 8

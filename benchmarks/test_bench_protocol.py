@@ -1,0 +1,71 @@
+"""Benchmark: the distributed protocol's message and convergence cost.
+
+Complements the paper's simulation section with the distributed-execution
+costs it discusses qualitatively: how many Hello/Ack messages a full run of
+CBTC(alpha) takes, and how the power schedule trades growth rounds against
+over-shoot (the "within a factor of 2" remark of Section 2).
+"""
+
+import math
+
+import pytest
+
+from repro.core.protocol import run_distributed_cbtc
+from repro.net.placement import PlacementConfig, random_uniform_placement
+from repro.radio.power import GeometricSchedule, LinearSchedule
+
+ALPHA = 5 * math.pi / 6
+
+
+def test_bench_distributed_protocol_message_cost(benchmark, print_section):
+    network = random_uniform_placement(PlacementConfig(node_count=50), seed=2)
+
+    result = benchmark.pedantic(
+        run_distributed_cbtc, args=(network, ALPHA), kwargs={"schedule": GeometricSchedule()},
+        rounds=1, iterations=1,
+    )
+    counts = result.trace.count_by_kind()
+    rounds = result.hello_rounds()
+    body = (
+        f"nodes: {len(network)}\n"
+        f"hello broadcasts: {counts.get('hello', 0)}\n"
+        f"ack unicasts:     {counts.get('ack', 0)}\n"
+        f"remove notices:   {counts.get('remove', 0)}\n"
+        f"growth rounds per node: min {min(rounds.values())}, "
+        f"mean {sum(rounds.values()) / len(rounds):.1f}, max {max(rounds.values())}\n"
+        f"total transmit energy: {result.trace.total_transmit_energy():.3e}"
+    )
+    print_section("Distributed CBTC(5*pi/6) message cost (50 nodes, doubling schedule)", body)
+
+    assert counts.get("hello", 0) >= len(network)
+    assert counts.get("ack", 0) > 0
+    assert result.engine.pending_events() == 0
+
+
+def test_bench_schedule_granularity_vs_messages(benchmark, print_section):
+    network = random_uniform_placement(PlacementConfig(node_count=40), seed=3)
+    schedules = [
+        ("linear-4", LinearSchedule(steps=4)),
+        ("linear-16", LinearSchedule(steps=16)),
+        ("doubling", GeometricSchedule()),
+    ]
+
+    def run():
+        rows = []
+        for name, schedule in schedules:
+            result = run_distributed_cbtc(network, ALPHA, schedule=schedule)
+            average_power = sum(s.final_power for s in result.outcome) / len(result.outcome)
+            rows.append((name, result.total_messages(), average_power))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    header = f"{'schedule':<12}{'messages':>10}{'avg final power':>18}"
+    lines = [header, "-" * len(header)]
+    for name, messages, power in rows:
+        lines.append(f"{name:<12}{messages:>10}{power:>18.0f}")
+    print_section("Schedule granularity vs. protocol message cost", "\n".join(lines))
+
+    by_name = {name: (messages, power) for name, messages, power in rows}
+    assert by_name["linear-4"][0] < by_name["linear-16"][0]
+    # Finer schedules settle on lower power.
+    assert by_name["linear-16"][1] <= by_name["linear-4"][1] + 1e-6

@@ -1,0 +1,81 @@
+"""Benchmark: regenerate the paper's Table 1 (average degree and radius).
+
+Paper reference values (100 networks, 100 nodes, 1500x1500, R = 500):
+
+    configuration            degree   radius
+    Basic, alpha=5pi/6         12.3    436.8
+    Basic, alpha=2pi/3         15.4    457.4
+    with op1, alpha=5pi/6      10.3    373.7
+    with op1, alpha=2pi/3      12.8    398.1
+    with op1+op2, alpha=2pi/3   7.0    276.8
+    with all op, alpha=5pi/6    3.6    155.9
+    with all op, alpha=2pi/3    3.6    160.6
+    Max Power                  25.6    500.0
+
+The benchmark runs a 10-network version (stable to a few percent) and checks
+that every qualitative relationship of the table holds; the printed output
+shows measured vs. paper numbers side by side.
+"""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+
+NETWORKS = 10
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return run_table1(network_count=NETWORKS, base_seed=0)
+
+
+def test_bench_table1(benchmark, table1_result, print_section):
+    result = benchmark.pedantic(
+        run_table1, kwargs={"network_count": NETWORKS, "base_seed": 0}, rounds=1, iterations=1
+    )
+    print_section(f"Table 1 ({NETWORKS} random networks of 100 nodes)", result.as_table())
+
+    # Shape checks against the paper.
+    assert result.row("maxpower").average_radius == pytest.approx(500.0)
+    for alpha_label in ("5pi6", "2pi3"):
+        basic = result.row(f"basic/{alpha_label}")
+        op1 = result.row(f"op1/{alpha_label}")
+        all_ops = result.row(f"all/{alpha_label}")
+        assert basic.average_degree > op1.average_degree > all_ops.average_degree
+        assert basic.average_radius > op1.average_radius > all_ops.average_radius
+    assert result.row("basic/2pi3").average_degree > result.row("basic/5pi6").average_degree
+    assert result.row("op1+op2/2pi3").average_radius < result.row("op1/2pi3").average_radius
+    # Headline factors: degree cut by more than 4x, radius by more than 2x.
+    assert result.row("maxpower").average_degree / result.row("all/5pi6").average_degree > 4.0
+    assert result.row("maxpower").average_radius / result.row("all/5pi6").average_radius > 2.0
+    # Quantitative envelope around the published numbers.
+    for row in result.rows:
+        if row.paper_degree:
+            assert row.average_degree == pytest.approx(row.paper_degree, rel=0.30), row.key
+        if row.paper_radius:
+            assert row.average_radius == pytest.approx(row.paper_radius, rel=0.25), row.key
+
+
+def test_bench_table1_asymmetric_removal_radius_quote(benchmark, print_section):
+    """The running-text quote: op2 at 2*pi/3 brings the radius to ~301 (vs 457 basic)."""
+    from repro.core.pipeline import OptimizationConfig, build_topology
+    from repro.experiments.table1 import ALPHA_TWO_THIRDS
+    from repro.graphs.metrics import graph_metrics
+    from repro.net.placement import paper_workload
+
+    def run():
+        radii = []
+        for seed in range(5):
+            network = paper_workload(seed)
+            result = build_topology(
+                network, ALPHA_TWO_THIRDS, config=OptimizationConfig(asymmetric_removal=True)
+            )
+            radii.append(graph_metrics(result.graph, network).average_radius)
+        return sum(radii) / len(radii)
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_section(
+        "Section 3.2 quote: radius after asymmetric edge removal (alpha = 2*pi/3)",
+        f"measured {measured:.1f}   paper 301.2",
+    )
+    assert measured == pytest.approx(301.2, rel=0.2)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Scenario: watch the distributed CBTC protocol run message by message.
+
+The other examples use the centralized computation; this one runs the actual
+message-passing protocol of Figure 1 on the discrete-event simulator — Hello
+broadcasts at growing power, Acks carrying reception-power estimates, and
+remove-notifications for asymmetric edges — and reports what it cost:
+messages per kind, growth rounds per node, transmission energy, and how the
+result compares with the idealized centralized computation.
+
+It also re-runs the protocol over a duplicating channel to illustrate the
+asynchronous-operation claim of Section 4.
+
+Run with::
+
+    python examples/distributed_protocol_trace.py
+"""
+
+import math
+
+from repro.core.cbtc import run_cbtc
+from repro.core.protocol import run_distributed_cbtc
+from repro.core.topology import symmetric_closure_graph
+from repro.core.analysis import preserves_connectivity
+from repro.net.placement import PlacementConfig, random_uniform_placement
+from repro.radio.power import GeometricSchedule
+from repro.sim.channel import DuplicatingChannel
+
+ALPHA = 2 * math.pi / 3
+
+
+def describe_run(title, network, result) -> None:
+    counts = result.trace.count_by_kind()
+    rounds = result.hello_rounds()
+    graph = symmetric_closure_graph(result.outcome, network)
+    print(title)
+    print(f"  hello broadcasts : {counts.get('hello', 0)}")
+    print(f"  ack unicasts     : {counts.get('ack', 0)}")
+    print(f"  remove notices   : {counts.get('remove', 0)}")
+    print(f"  growth rounds    : mean {sum(rounds.values()) / len(rounds):.1f}, "
+          f"max {max(rounds.values())}")
+    print(f"  transmit energy  : {result.trace.total_transmit_energy():.3e}")
+    print(f"  edges in G_alpha : {graph.number_of_edges()}")
+    print(f"  connectivity preserved: "
+          f"{preserves_connectivity(network.max_power_graph(), graph)}")
+    print()
+
+
+def main() -> None:
+    network = random_uniform_placement(PlacementConfig(node_count=60), seed=5)
+    schedule = GeometricSchedule()
+
+    print("Distributed CBTC(2*pi/3) -- 60 nodes, doubling power schedule")
+    print()
+
+    reliable = run_distributed_cbtc(network, ALPHA, schedule=schedule)
+    describe_run("Reliable synchronous-style channel:", network, reliable)
+
+    noisy = run_distributed_cbtc(
+        network,
+        ALPHA,
+        schedule=schedule,
+        channel=DuplicatingChannel(duplicate_probability=0.4, seed=5),
+    )
+    describe_run("Duplicating channel (duplicates suppressed at the receiver):", network, noisy)
+
+    centralized = run_cbtc(network, ALPHA, schedule=schedule)
+    mismatches = sum(
+        1
+        for node_id in centralized.node_ids()
+        if set(centralized.state(node_id).neighbor_ids)
+        != set(reliable.outcome.state(node_id).neighbor_ids)
+    )
+    print(f"nodes whose distributed neighbour set differs from the centralized "
+          f"computation: {mismatches} (expected 0)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Scenario: a mobile ad-hoc network reconfiguring as nodes move and fail.
+
+Section 4 of the paper extends CBTC with a beacon-driven reconfiguration
+protocol (join / leave / angle-change events).  This example drives a mobile
+ad-hoc network through several epochs of random-waypoint movement and crash
+failures and shows the reconfiguration manager keeping the controlled
+topology connected with only local, incremental work — most nodes never
+re-run their growing phase.
+
+Run with::
+
+    python examples/mobile_adhoc_reconfiguration.py
+"""
+
+import math
+
+from repro.core.analysis import preserves_connectivity
+from repro.core.pipeline import OptimizationConfig
+from repro.core.reconfiguration import ReconfigurationManager
+from repro.graphs.connectivity import component_count
+from repro.net.failures import CrashFailureModel
+from repro.net.mobility import RandomWaypointModel
+from repro.net.placement import PlacementConfig, random_uniform_placement
+
+ALPHA = 5 * math.pi / 6
+EPOCHS = 8
+STEPS_PER_EPOCH = 4
+
+
+def main() -> None:
+    config = PlacementConfig(node_count=80, width=1500, height=1500, max_range=500)
+    network = random_uniform_placement(config, seed=3)
+    mobility = RandomWaypointModel(min_speed=20, max_speed=80, seed=3)
+    failures = CrashFailureModel(crash_probability=0.015, recovery_probability=0.3, seed=3)
+
+    manager = ReconfigurationManager(network, ALPHA)
+    initial = manager.topology(config=OptimizationConfig.shrink_only())
+    print("Mobile ad-hoc network -- 80 nodes, random-waypoint mobility, crash failures")
+    print()
+    print(f"initial controlled topology: {initial.edge_count} edges, "
+          f"average degree {initial.average_degree():.2f}")
+    print()
+    header = (f"{'epoch':>6}{'alive':>7}{'events':>8}{'reruns':>8}"
+              f"{'components':>12}{'connected?':>12}{'avg degree':>12}")
+    print(header)
+    print("-" * len(header))
+
+    for epoch in range(1, EPOCHS + 1):
+        for _ in range(STEPS_PER_EPOCH):
+            mobility.step(network)
+        failures.step(network)
+
+        events_before = manager.events_applied
+        reruns_before = manager.reruns
+        manager.synchronize()
+
+        topology = manager.topology(config=OptimizationConfig.shrink_only())
+        reference = network.max_power_graph()
+        preserved = preserves_connectivity(reference, topology.graph)
+        print(
+            f"{epoch:>6}{len(network.alive_nodes()):>7}"
+            f"{manager.events_applied - events_before:>8}"
+            f"{manager.reruns - reruns_before:>8}"
+            f"{component_count(topology.graph):>12}"
+            f"{str(preserved):>12}"
+            f"{topology.average_degree():>12.2f}"
+        )
+
+    print()
+    print("Every epoch ends with the controlled graph connecting exactly the same")
+    print("node pairs as the maximum-power graph over the *current* positions —")
+    print("the guarantee the paper's reconfiguration argument provides once the")
+    print("topology stabilizes — while only a handful of nodes re-run their")
+    print("growing phase each epoch.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Scenario: a dense sensor deployment saving energy with topology control.
+
+The paper motivates CBTC with battery-powered sensor networks: transmission
+power grows super-linearly with distance, so relaying through close
+neighbours both saves energy and reduces interference.  This example models a
+clustered (hot-spot) sensor deployment and quantifies three things:
+
+* per-node transmission power with and without topology control;
+* an interference proxy (how many nodes each transmission disturbs);
+* a simple network-lifetime estimate: how many periodic reporting rounds the
+  network can sustain before the first node exhausts its battery, when every
+  node forwards one message per round to each graph neighbour.
+
+Run with::
+
+    python examples/sensor_network_lifetime.py
+"""
+
+import math
+
+from repro import OptimizationConfig, build_topology
+from repro.core.analysis import power_stretch_factor, preserves_connectivity
+from repro.graphs.metrics import graph_metrics, interference_proxy
+from repro.net.energy import EnergyLedger
+from repro.net.placement import PlacementConfig, clustered_placement
+
+ALPHA = 5 * math.pi / 6
+BATTERY_CAPACITY = 5e8          # energy units per node
+ROUNDS_TO_SIMULATE = 2000       # reporting rounds for the lifetime estimate
+
+
+def estimate_lifetime(network, graph, node_power) -> int:
+    """Rounds until the first node exhausts its battery under periodic reporting."""
+    ledger = EnergyLedger(network.node_ids, capacity=BATTERY_CAPACITY)
+    for round_index in range(1, ROUNDS_TO_SIMULATE + 1):
+        for node_id in network.node_ids:
+            # One broadcast per round at the node's operating power.
+            ledger.charge_transmission(node_id, node_power.get(node_id, 0.0))
+        if list(ledger.exhausted_nodes()):
+            return round_index
+    return ROUNDS_TO_SIMULATE
+
+
+def main() -> None:
+    config = PlacementConfig(node_count=120, width=1500, height=1500, max_range=500)
+    network = clustered_placement(config, cluster_count=4, cluster_radius=250, seed=11)
+    reference = network.max_power_graph()
+    max_power = network.power_model.max_power
+
+    controlled = build_topology(network, ALPHA, config=OptimizationConfig.all())
+    reference_metrics = graph_metrics(reference, network, fixed_radius=config.max_range)
+    controlled_metrics = graph_metrics(controlled.graph, network)
+
+    uncontrolled_power = {node_id: max_power for node_id in network.node_ids}
+    lifetime_uncontrolled = estimate_lifetime(network, reference, uncontrolled_power)
+    lifetime_controlled = estimate_lifetime(network, controlled.graph, controlled.node_power)
+
+    print("Clustered sensor deployment -- 120 nodes in 4 hot spots")
+    print()
+    print(f"{'':<32}{'max power':>12}{'CBTC(5pi/6)':>14}")
+    print(f"{'average degree':<32}{reference_metrics.average_degree:>12.2f}"
+          f"{controlled_metrics.average_degree:>14.2f}")
+    print(f"{'average radius':<32}{reference_metrics.average_radius:>12.1f}"
+          f"{controlled_metrics.average_radius:>14.1f}")
+    print(f"{'interference proxy':<32}{interference_proxy(reference, network):>12.1f}"
+          f"{interference_proxy(controlled.graph, network):>14.1f}")
+    print(f"{'total transmit power':<32}{sum(uncontrolled_power.values()):>12.2e}"
+          f"{sum(controlled.node_power.values()):>14.2e}")
+    print(f"{'lifetime (reporting rounds)':<32}{lifetime_uncontrolled:>12}"
+          f"{lifetime_controlled:>14}")
+
+    print()
+    print(f"connectivity preserved: {preserves_connectivity(reference, controlled.graph)}")
+    stretch = power_stretch_factor(network, controlled.graph)
+    print(f"worst-case route power stretch vs. max-power graph: {stretch:.2f}x")
+    print()
+    print("Interpretation: the hot-spot nodes shrink their radius the most, so the")
+    print("controlled network both interferes less and lasts longer on the same")
+    print("batteries, while every sensor can still reach every other sensor.")
+
+
+if __name__ == "__main__":
+    main()

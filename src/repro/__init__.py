@@ -1,0 +1,63 @@
+"""repro: a reproduction of the cone-based topology control algorithm (CBTC).
+
+This library reimplements, from scratch, the system described in
+
+    Li Li, Joseph Y. Halpern, Paramvir Bahl, Yi-Min Wang, Roger Wattenhofer.
+    "Analysis of a Cone-Based Distributed Topology Control Algorithm for
+    Wireless Multi-hop Networks", PODC 2001.
+
+Quick start::
+
+    from repro import build_topology, OptimizationConfig, paper_workload
+    import math
+
+    network = paper_workload(seed=0)                  # 100 nodes, R = 500
+    result = build_topology(network, 5 * math.pi / 6,
+                            config=OptimizationConfig.all())
+    print(result.average_degree(), result.average_radius())
+
+Package map
+-----------
+
+``repro.core``
+    The CBTC algorithm, its optimizations, reconfiguration, counterexamples
+    and theorem checkers.
+``repro.geometry``, ``repro.radio``, ``repro.net``, ``repro.sim``
+    The substrates: planar geometry, propagation/power models, the network
+    model, and the discrete-event / synchronous simulator.
+``repro.graphs``, ``repro.baselines``
+    Metrics and the comparison graph families (RNG, Gabriel, MST, Yao,
+    Delaunay, max power).
+``repro.experiments``
+    Harnesses regenerating the paper's Table 1 and Figure 6 plus extended
+    sweeps and ablations.
+``repro.viz``, ``repro.io``, ``repro.cli``
+    ASCII rendering, serialization and the command-line interface.
+"""
+
+from repro.core import (
+    ALPHA_ASYMMETRIC_REMOVAL_THRESHOLD,
+    ALPHA_CONNECTIVITY_THRESHOLD,
+    OptimizationConfig,
+    build_topology,
+    run_cbtc,
+    run_distributed_cbtc,
+)
+from repro.net import Network, paper_workload
+from repro.net.placement import PlacementConfig, random_uniform_placement
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALPHA_CONNECTIVITY_THRESHOLD",
+    "ALPHA_ASYMMETRIC_REMOVAL_THRESHOLD",
+    "OptimizationConfig",
+    "build_topology",
+    "run_cbtc",
+    "run_distributed_cbtc",
+    "Network",
+    "paper_workload",
+    "PlacementConfig",
+    "random_uniform_placement",
+    "__version__",
+]

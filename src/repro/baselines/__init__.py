@@ -1,0 +1,30 @@
+"""Baseline topology families CBTC is compared against.
+
+The paper's evaluation compares against "no topology control" (every node at
+maximum power); its related-work section situates CBTC next to several
+position-based graph families — relative neighborhood graphs, Gabriel
+graphs, Delaunay-based heuristics, minimum spanning trees and theta/Yao
+graphs.  All of them are implemented here over the same
+:class:`~repro.net.network.Network` abstraction so the extended benchmarks
+can put CBTC side by side with the whole family.
+
+Every builder returns a :class:`networkx.Graph` over the alive nodes with a
+``length`` attribute on each edge.
+"""
+
+from repro.baselines.max_power import max_power_graph
+from repro.baselines.rng import relative_neighborhood_graph
+from repro.baselines.gabriel import gabriel_graph
+from repro.baselines.mst import euclidean_mst
+from repro.baselines.theta import theta_graph, yao_graph
+from repro.baselines.delaunay import delaunay_graph
+
+__all__ = [
+    "max_power_graph",
+    "relative_neighborhood_graph",
+    "gabriel_graph",
+    "euclidean_mst",
+    "theta_graph",
+    "yao_graph",
+    "delaunay_graph",
+]

@@ -1,0 +1,38 @@
+"""Gabriel graph.
+
+An edge ``(u, v)`` belongs to the Gabriel graph iff the closed disk having
+``uv`` as diameter contains no other node — equivalently, no node ``w`` has
+``d(u, w)**2 + d(v, w)**2 < d(u, v)**2``.  The Gabriel graph contains the RNG
+and the Euclidean MST and preserves minimum-energy paths for quadratic power
+models, which makes it a natural energy-oriented baseline.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.net.network import Network
+
+
+def gabriel_graph(network: Network, *, respect_max_range: bool = True) -> nx.Graph:
+    """Build the Gabriel graph of the network (restricted to ``G_R`` edges by default)."""
+    nodes = network.alive_nodes()
+    graph = nx.Graph()
+    for node in nodes:
+        graph.add_node(node.node_id, pos=node.position.as_tuple())
+    max_range = network.power_model.max_range
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1 :]:
+            d_uv_sq = u.distance_to(v) ** 2
+            if respect_max_range and d_uv_sq > (max_range + 1e-12) ** 2:
+                continue
+            blocked = False
+            for w in nodes:
+                if w.node_id in (u.node_id, v.node_id):
+                    continue
+                if u.distance_to(w) ** 2 + v.distance_to(w) ** 2 < d_uv_sq - 1e-9:
+                    blocked = True
+                    break
+            if not blocked:
+                graph.add_edge(u.node_id, v.node_id, length=u.distance_to(v))
+    return graph

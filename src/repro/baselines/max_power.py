@@ -1,0 +1,15 @@
+"""The no-topology-control baseline: every node transmits at maximum power."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.net.network import Network
+
+
+def max_power_graph(network: Network) -> nx.Graph:
+    """The paper's ``G_R``: all links of length at most the maximum range.
+
+    This is the "Max Power" column of Table 1 and panel (a) of Figure 6.
+    """
+    return network.max_power_graph()

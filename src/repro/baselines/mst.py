@@ -1,0 +1,43 @@
+"""Euclidean minimum spanning tree baseline.
+
+The MST minimizes the total edge length (and, per component, the maximum
+power needed for connectivity is attained on an MST edge), which makes it
+the extreme point of the sparseness/power trade-off: minimum possible degree
+and radius, but the worst hop and power stretch.  Ramanathan and
+Rosales-Hain's centralized algorithm (cited in the related work) is
+essentially a bottleneck-optimal spanning structure, which the MST also
+realizes: the largest MST edge equals the minimax per-node radius required
+for connectivity.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.net.network import Network
+
+
+def euclidean_mst(network: Network, *, respect_max_range: bool = False) -> nx.Graph:
+    """Minimum spanning forest over the complete (or max-range) Euclidean graph.
+
+    With ``respect_max_range`` the MST is computed inside ``G_R`` (yielding a
+    spanning forest of each ``G_R`` component); otherwise over the complete
+    graph, which is the classical Euclidean MST.
+    """
+    nodes = network.alive_nodes()
+    complete = nx.Graph()
+    for node in nodes:
+        complete.add_node(node.node_id, pos=node.position.as_tuple())
+    max_range = network.power_model.max_range
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1 :]:
+            d = u.distance_to(v)
+            if respect_max_range and d > max_range + 1e-12:
+                continue
+            complete.add_edge(u.node_id, v.node_id, length=d)
+    forest = nx.minimum_spanning_tree(complete, weight="length")
+    # Keep isolated nodes that the spanning tree construction may drop.
+    for node in nodes:
+        if node.node_id not in forest:
+            forest.add_node(node.node_id, pos=node.position.as_tuple())
+    return forest

@@ -1,0 +1,39 @@
+"""Relative neighborhood graph (Toussaint 1980).
+
+An edge ``(u, v)`` belongs to the RNG iff no third node ``w`` is strictly
+closer to both endpoints than they are to each other (``max(d(u, w), d(v, w))
+< d(u, v)``).  Restricted to pairs within the maximum range, the RNG is a
+connected, planar, low-degree subgraph of ``G_R`` (when ``G_R`` is
+connected), which is why the paper lists it among the "similar in spirit"
+structures.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.net.network import Network
+
+
+def relative_neighborhood_graph(network: Network, *, respect_max_range: bool = True) -> nx.Graph:
+    """Build the RNG of the network (restricted to ``G_R`` edges by default)."""
+    nodes = network.alive_nodes()
+    graph = nx.Graph()
+    for node in nodes:
+        graph.add_node(node.node_id, pos=node.position.as_tuple())
+    max_range = network.power_model.max_range
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1 :]:
+            d_uv = u.distance_to(v)
+            if respect_max_range and d_uv > max_range + 1e-12:
+                continue
+            blocked = False
+            for w in nodes:
+                if w.node_id in (u.node_id, v.node_id):
+                    continue
+                if max(u.distance_to(w), v.distance_to(w)) < d_uv - 1e-12:
+                    blocked = True
+                    break
+            if not blocked:
+                graph.add_edge(u.node_id, v.node_id, length=d_uv)
+    return graph

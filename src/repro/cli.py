@@ -1,0 +1,156 @@
+"""Command-line interface.
+
+``python -m repro.cli <command>`` (or the installed ``cbtc`` script) exposes
+the experiment harnesses:
+
+* ``table1`` — regenerate the paper's Table 1 (use ``--networks`` to trade
+  accuracy for speed);
+* ``figure6`` — regenerate the eight Figure 6 panels as summary rows and,
+  with ``--ascii``, ASCII renderings;
+* ``alpha-sweep`` — degree/radius/connectivity as a function of alpha;
+* ``counterexample`` — verify the Figure 2 and Figure 5 constructions;
+* ``reconfig`` — the Section 4 mobility/failure experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro.core import (
+    asymmetry_example,
+    disconnection_example,
+    preserves_connectivity,
+    run_cbtc,
+    symmetric_closure_graph,
+)
+from repro.experiments import (
+    run_alpha_sweep,
+    run_figure6,
+    run_reconfiguration_experiment,
+    run_table1,
+)
+from repro.net.placement import PAPER_CONFIG, PlacementConfig
+from repro.viz import ascii_topology
+
+
+def _table1(args: argparse.Namespace) -> int:
+    result = run_table1(network_count=args.networks, base_seed=args.seed)
+    print(f"Table 1 ({result.network_count} random networks, {result.node_count} nodes each)")
+    print(result.as_table())
+    return 0
+
+
+def _figure6(args: argparse.Namespace) -> int:
+    result = run_figure6(seed=args.seed)
+    print(f"Figure 6 (seed {result.seed})")
+    print(result.summary_table())
+    if args.ascii:
+        for name in sorted(result.panels):
+            panel = result.panels[name]
+            print()
+            print(f"--- panel ({name}): {panel.description} ---")
+            print(ascii_topology(panel.graph, result.network, width=args.width, height=args.height))
+    return 0
+
+
+def _alpha_sweep(args: argparse.Namespace) -> int:
+    points = run_alpha_sweep(network_count=args.networks, base_seed=args.seed)
+    header = f"{'alpha/pi':>9}{'avg degree':>12}{'avg radius':>12}{'connected':>11}{'boundary %':>12}"
+    print(header)
+    print("-" * len(header))
+    for point in points:
+        print(
+            f"{point.alpha / math.pi:>9.3f}{point.average_degree:>12.2f}{point.average_radius:>12.1f}"
+            f"{point.connectivity_preserved_fraction:>11.2f}{100 * point.boundary_node_fraction:>11.1f}%"
+        )
+    return 0
+
+
+def _counterexample(args: argparse.Namespace) -> int:
+    example = asymmetry_example()
+    outcome = run_cbtc(example.network, example.alpha)
+    asymmetric = (
+        example.u0 in outcome.state(example.v).neighbors
+        and example.v not in outcome.state(example.u0).neighbors
+    )
+    print(f"Figure 2 (asymmetry, alpha = {example.alpha / math.pi:.3f}*pi): "
+          f"N_alpha asymmetric = {asymmetric}")
+
+    broken = disconnection_example()
+    outcome = run_cbtc(broken.network, broken.alpha)
+    reference = broken.network.max_power_graph()
+    controlled = symmetric_closure_graph(outcome, broken.network)
+    print(
+        f"Figure 5 (alpha = 5*pi/6 + {broken.epsilon / math.pi:.4f}*pi): "
+        f"G_R connected = {reference.number_of_edges() > 0 and preserves_connectivity(reference, reference)}, "
+        f"G_alpha preserves connectivity = {preserves_connectivity(reference, controlled)}"
+    )
+    return 0
+
+
+def _reconfig(args: argparse.Namespace) -> int:
+    config = PlacementConfig(
+        width=PAPER_CONFIG.width,
+        height=PAPER_CONFIG.height,
+        node_count=args.nodes,
+        max_range=PAPER_CONFIG.max_range,
+    )
+    result = run_reconfiguration_experiment(epochs=args.epochs, seed=args.seed, config=config)
+    print(f"Reconfiguration experiment (alpha = {result.alpha / math.pi:.3f}*pi)")
+    header = f"{'epoch':>6}{'crashed':>9}{'events':>8}{'reruns':>8}{'connected':>11}{'avg degree':>12}"
+    print(header)
+    print("-" * len(header))
+    for epoch in result.epochs:
+        print(
+            f"{epoch.epoch:>6}{epoch.crashed_nodes:>9}{epoch.events_applied:>8}{epoch.reruns:>8}"
+            f"{str(epoch.connectivity_preserved):>11}{epoch.average_degree:>12.2f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(prog="cbtc", description="CBTC topology-control reproduction")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1 = subparsers.add_parser("table1", help="regenerate the paper's Table 1")
+    table1.add_argument("--networks", type=int, default=20, help="number of random networks to average over")
+    table1.add_argument("--seed", type=int, default=0)
+    table1.set_defaults(func=_table1)
+
+    figure6 = subparsers.add_parser("figure6", help="regenerate the Figure 6 panels")
+    figure6.add_argument("--seed", type=int, default=42)
+    figure6.add_argument("--ascii", action="store_true", help="print ASCII renderings of each panel")
+    figure6.add_argument("--width", type=int, default=72)
+    figure6.add_argument("--height", type=int, default=28)
+    figure6.set_defaults(func=_figure6)
+
+    sweep = subparsers.add_parser("alpha-sweep", help="sweep the cone angle alpha")
+    sweep.add_argument("--networks", type=int, default=3)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.set_defaults(func=_alpha_sweep)
+
+    counter = subparsers.add_parser("counterexample", help="verify the Figure 2 and Figure 5 constructions")
+    counter.set_defaults(func=_counterexample)
+
+    reconfig = subparsers.add_parser("reconfig", help="run the mobility/failure reconfiguration experiment")
+    reconfig.add_argument("--epochs", type=int, default=5)
+    reconfig.add_argument("--nodes", type=int, default=60)
+    reconfig.add_argument("--seed", type=int, default=0)
+    reconfig.set_defaults(func=_reconfig)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

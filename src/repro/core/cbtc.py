@@ -1,0 +1,158 @@
+"""The basic cone-based topology control algorithm, CBTC(alpha).
+
+This module implements the growing phase of Figure 1 of the paper as a
+centralized, per-node computation.  "Centralized" here refers only to how the
+computation is *executed* (a loop over nodes with access to ground-truth
+distances), not to the information each node uses: the computation at node
+``u`` consumes exactly what the distributed protocol would learn — which
+nodes acknowledge a broadcast at each power level, the direction each
+acknowledgement arrives from, and the power required to reach each
+discovered node.  The message-passing version that actually exchanges Hello
+and Ack messages over the simulator lives in :mod:`repro.core.protocol`; the
+two produce identical neighbour sets for the same power schedule (this is
+covered by an integration test).
+
+Algorithm (per node ``u``)::
+
+    N_u <- {};  D_u <- {};  p_u <- p0
+    while p_u < P and gap_alpha(D_u):
+        p_u <- Increase(p_u)
+        bcast(u, p_u, "Hello") and gather Acks
+        N_u <- N_u + {v : v discovered};  D_u <- D_u + {dir_u(v)}
+
+The power schedule provides the sequence ``p0 < Increase(p0) < ... <= P``.
+By default the *exhaustive* schedule is used: it visits exactly the power
+levels at which new neighbours appear, so the resulting per-node power equals
+the idealized ``p(rad^-_{u,alpha})`` used in the paper's analysis and Table 1
+(a doubling schedule over-shoots by up to the growth factor).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.net.network import Network
+from repro.net.node import Node, NodeId
+from repro.radio.power import ExhaustiveSchedule, PowerSchedule
+from repro.core.state import CBTCOutcome, NeighborRecord, NodeState
+
+
+def _candidate_neighbors(network: Network, node: Node) -> List[Node]:
+    """Nodes that could ever be discovered by ``node`` (within maximum range)."""
+    max_range = network.power_model.max_range
+    return [
+        other
+        for other in network.nodes
+        if other.node_id != node.node_id and other.alive and node.distance_to(other) <= max_range + 1e-12
+    ]
+
+
+def _schedule_for_node(network: Network, node: Node, schedule: Optional[PowerSchedule]) -> List[float]:
+    """Concrete power levels for one node's growing phase."""
+    power_model = network.power_model
+    if schedule is not None:
+        return schedule(power_model)
+    distances = [node.distance_to(other) for other in _candidate_neighbors(network, node)]
+    exhaustive = ExhaustiveSchedule(raw_levels=tuple(power_model.required_power(d) for d in distances))
+    return exhaustive(power_model)
+
+
+def run_cbtc_for_node(
+    network: Network,
+    node_id: NodeId,
+    alpha: float,
+    *,
+    schedule: Optional[PowerSchedule] = None,
+    initial_power: float = 0.0,
+) -> NodeState:
+    """Run the growing phase of CBTC(alpha) at a single node.
+
+    Parameters
+    ----------
+    network:
+        The physical network (positions + power model).
+    node_id:
+        The node at which to run the algorithm.
+    alpha:
+        The cone angle parameter.
+    schedule:
+        Power-level schedule (the ``Increase`` function).  ``None`` selects
+        the exhaustive schedule of the node's candidate-neighbour power
+        levels, which yields the idealized minimum growth power.
+    initial_power:
+        Lower bound on the starting power; levels below it are skipped.  The
+        reconfiguration rules use this to restart the growing phase from
+        ``p(rad^-_{u,alpha})`` instead of from ``p0``.
+
+    Returns
+    -------
+    NodeState
+        Discovered neighbours (with discovery-power tags), the final power,
+        and whether the node ended as a boundary node.
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    node = network.node(node_id)
+    state = NodeState(node_id=node_id, alpha=alpha)
+    power_model = network.power_model
+    candidates = _candidate_neighbors(network, node)
+    levels = [level for level in _schedule_for_node(network, node, schedule) if level >= initial_power]
+    if not levels:
+        levels = [power_model.max_power]
+
+    discovered: Dict[NodeId, NeighborRecord] = {}
+    final_power = initial_power
+    used_max = False
+
+    for level in levels:
+        state.rounds += 1
+        final_power = level
+        for other in candidates:
+            if other.node_id in discovered:
+                continue
+            distance = node.distance_to(other)
+            required = power_model.required_power(distance)
+            if required <= level * (1 + 1e-12):
+                record = NeighborRecord(
+                    neighbor=other.node_id,
+                    direction=node.direction_to(other),
+                    required_power=required,
+                    discovery_power=level,
+                    distance=distance,
+                )
+                discovered[other.node_id] = record
+                state.add_neighbor(record)
+        if not state.has_gap():
+            break
+    else:
+        used_max = abs(final_power - power_model.max_power) <= 1e-9 * max(1.0, power_model.max_power)
+
+    # If the loop exhausted every level, the node transmitted at maximum power.
+    if abs(final_power - power_model.max_power) <= 1e-9 * max(1.0, power_model.max_power):
+        used_max = True
+
+    state.final_power = final_power
+    state.used_max_power = used_max
+    return state
+
+
+def run_cbtc(
+    network: Network,
+    alpha: float,
+    *,
+    schedule: Optional[PowerSchedule] = None,
+) -> CBTCOutcome:
+    """Run CBTC(alpha) at every alive node of the network.
+
+    Returns a :class:`CBTCOutcome` containing one :class:`NodeState` per
+    alive node.  The neighbour relation it induces is the paper's
+    ``N_alpha``; use :mod:`repro.core.topology` to build the graphs
+    ``G_alpha`` (symmetric closure) and ``G^-_alpha`` (symmetric subset), and
+    :mod:`repro.core.optimizations` to apply the optimizations.
+    """
+    outcome = CBTCOutcome(alpha=alpha)
+    for node in network.nodes:
+        if not node.alive:
+            continue
+        outcome.states[node.node_id] = run_cbtc_for_node(network, node.node_id, alpha, schedule=schedule)
+    return outcome

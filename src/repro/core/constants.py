@@ -1,0 +1,23 @@
+"""Named constants from the paper's analysis.
+
+* ``ALPHA_CONNECTIVITY_THRESHOLD`` — 5*pi/6, the tight bound of Theorems 2.1
+  and 2.4: CBTC(alpha) preserves connectivity iff ``alpha <= 5*pi/6``.
+* ``ALPHA_ASYMMETRIC_REMOVAL_THRESHOLD`` — 2*pi/3, the bound of Theorem 3.2
+  below which the asymmetric-edge-removal optimization is sound.
+* ``PAIRWISE_ANGLE_THRESHOLD`` — pi/3, the angular threshold in the
+  definition of a redundant edge (Definition 3.5): if two neighbours of
+  ``u`` subtend an angle smaller than pi/3 at ``u``, the farther of the two
+  edges is redundant.
+"""
+
+import math
+
+ALPHA_CONNECTIVITY_THRESHOLD = 5.0 * math.pi / 6.0
+ALPHA_ASYMMETRIC_REMOVAL_THRESHOLD = 2.0 * math.pi / 3.0
+PAIRWISE_ANGLE_THRESHOLD = math.pi / 3.0
+
+__all__ = [
+    "ALPHA_CONNECTIVITY_THRESHOLD",
+    "ALPHA_ASYMMETRIC_REMOVAL_THRESHOLD",
+    "PAIRWISE_ANGLE_THRESHOLD",
+]

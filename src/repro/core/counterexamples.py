@@ -1,0 +1,184 @@
+"""Constructions from the paper's proofs (Figures 2 and 5).
+
+Two analytic node placements are reproduced exactly:
+
+* :func:`asymmetry_example` — Example 2.1 / Figure 2: for
+  ``2*pi/3 < alpha <= 5*pi/6`` the relation ``N_alpha`` is not symmetric
+  (``(v, u0)`` is in ``N_alpha`` but ``(u0, v)`` is not), which is why
+  ``G_alpha`` must take the symmetric *closure*.
+* :func:`disconnection_example` — Theorem 2.4 / Figure 5: for
+  ``alpha = 5*pi/6 + epsilon`` there is a connected ``G_R`` whose ``G_alpha``
+  is disconnected, proving the 5*pi/6 bound is tight.
+
+Both return small dataclasses exposing the constructed network, the angle
+used and the node IDs with the paper's names, so tests and benchmarks can
+assert the claimed properties directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.geometry import Point, translate_polar
+from repro.net.network import Network
+from repro.net.node import NodeId
+from repro.radio import PathLossModel, PowerModel
+from repro.core.constants import (
+    ALPHA_ASYMMETRIC_REMOVAL_THRESHOLD,
+    ALPHA_CONNECTIVITY_THRESHOLD,
+)
+
+
+@dataclass(frozen=True)
+class AsymmetryExample:
+    """The Figure 2 construction showing ``N_alpha`` is not symmetric."""
+
+    network: Network
+    alpha: float
+    epsilon: float
+    max_range: float
+    names: Dict[str, NodeId]
+
+    @property
+    def u0(self) -> NodeId:
+        """The node whose edge towards ``v`` is one-directional."""
+        return self.names["u0"]
+
+    @property
+    def v(self) -> NodeId:
+        """The far node that still discovers ``u0``."""
+        return self.names["v"]
+
+
+def asymmetry_example(*, epsilon: float = math.pi / 24.0, max_range: float = 1.0) -> AsymmetryExample:
+    """Build Example 2.1 (Figure 2).
+
+    Five nodes ``u0, u1, u2, u3, v`` with ``d(u0, v) = R``:
+
+    * ``u1`` and ``u2`` sit at angle ``pi/3 + epsilon`` on either side of the
+      ray ``u0 -> v`` with the triangle angles of the paper (the angle at
+      ``v`` is ``pi/3 - epsilon``), which makes them closer to ``u0`` than
+      ``R`` but farther than ``R`` from ``v``;
+    * ``u3`` sits diametrically opposite ``v`` at distance ``R/2``.
+
+    For any ``alpha`` with ``2*pi/3 < alpha <= 5*pi/6`` (i.e.
+    ``alpha = 2*pi/3 + 2*epsilon`` with ``0 < epsilon < pi/12``), node ``u0``
+    terminates CBTC(alpha) without discovering ``v`` while ``v`` (a boundary
+    node) discovers ``u0``; hence ``(v, u0)`` is in ``N_alpha`` but
+    ``(u0, v)`` is not.
+    """
+    if not 0.0 < epsilon < math.pi / 12.0:
+        raise ValueError("epsilon must lie strictly between 0 and pi/12")
+    radius = max_range
+    alpha = ALPHA_ASYMMETRIC_REMOVAL_THRESHOLD + 2.0 * epsilon
+
+    u0 = Point(0.0, 0.0)
+    v = Point(radius, 0.0)
+    # In triangle (u0, v, u_i): angle at u0 is pi/3 + epsilon, angle at v is
+    # pi/3 - epsilon, so the angle at u_i is pi/3 and the law of sines gives
+    # d(u0, u_i) = R * sin(pi/3 - epsilon) / sin(pi/3).
+    arm = radius * math.sin(math.pi / 3.0 - epsilon) / math.sin(math.pi / 3.0)
+    u1 = translate_polar(u0, math.pi / 3.0 + epsilon, arm)
+    u2 = translate_polar(u0, -(math.pi / 3.0 + epsilon), arm)
+    u3 = translate_polar(u0, math.pi, radius / 2.0)
+
+    power_model = PowerModel(propagation=PathLossModel(), max_range=radius)
+    network = Network.from_points([u0, u1, u2, u3, v], power_model=power_model)
+    names = {"u0": 0, "u1": 1, "u2": 2, "u3": 3, "v": 4}
+    return AsymmetryExample(
+        network=network,
+        alpha=alpha,
+        epsilon=epsilon,
+        max_range=radius,
+        names=names,
+    )
+
+
+@dataclass(frozen=True)
+class DisconnectionExample:
+    """The Figure 5 construction: ``G_R`` connected but ``G_alpha`` disconnected."""
+
+    network: Network
+    alpha: float
+    epsilon: float
+    max_range: float
+    names: Dict[str, NodeId]
+
+    @property
+    def u_cluster(self) -> list:
+        """Node IDs of the u-cluster."""
+        return [self.names[name] for name in ("u0", "u1", "u2", "u3")]
+
+    @property
+    def v_cluster(self) -> list:
+        """Node IDs of the v-cluster."""
+        return [self.names[name] for name in ("v0", "v1", "v2", "v3")]
+
+    @property
+    def bridge(self) -> tuple:
+        """The unique ``G_R`` edge between the clusters, ``(u0, v0)``."""
+        return (self.names["u0"], self.names["v0"])
+
+
+def disconnection_example(*, epsilon: float = math.pi / 36.0, max_range: float = 1.0) -> DisconnectionExample:
+    """Build the Theorem 2.4 / Figure 5 construction for ``alpha = 5*pi/6 + epsilon``.
+
+    Eight nodes form two clusters whose only ``G_R`` edge is ``(u0, v0)`` at
+    distance exactly ``R``.  Each cluster gives its hub (``u0`` resp. ``v0``)
+    three closer neighbours whose directions leave no gap larger than
+    ``alpha``, so the hubs stop growing before reaching each other and the
+    bridge edge is absent from ``G_alpha``: the controlled graph is
+    disconnected even though ``G_R`` is connected.
+
+    The v-cluster is the point reflection of the u-cluster through the
+    midpoint of ``u0 v0``, exactly as in the paper's figure.
+    """
+    if not 0.0 < epsilon <= math.pi / 12.0:
+        raise ValueError("epsilon must lie in (0, pi/12]")
+    radius = max_range
+    alpha = ALPHA_CONNECTIVITY_THRESHOLD + epsilon
+
+    u0 = Point(0.0, 0.0)
+    v0 = Point(radius, 0.0)
+
+    # u1: perpendicular to the bridge, very close to u0 (its exact distance is
+    # irrelevant to the angles; it must be small enough that the mirrored node
+    # v3 stays out of range of u1).
+    close = radius / 100.0
+    u1 = translate_polar(u0, math.pi / 2.0, close)
+
+    # u2: swept counterclockwise from u0->u1 by exactly min(alpha, pi) = alpha,
+    # at distance R/2.  Its angle from the bridge direction exceeds pi/2, so it
+    # is out of range of v0 no matter its distance from u0.
+    u2 = translate_polar(u0, math.pi / 2.0 + alpha, radius / 2.0)
+
+    # u3: on the horizontal line through s' (the lower intersection of the two
+    # radius-R circles, at angle -pi/3 from u0), slightly to the left of s', so
+    # that the angle u3-u0-u1 is strictly between 5*pi/6 and alpha.  Moving
+    # left shrinks d(u0, u3) below R and pushes d(v0, u3) above R.
+    gamma = epsilon / 2.0
+    u3_direction = -(math.pi / 3.0 + gamma)
+    # Intersect the ray at angle u3_direction with the line y = -sqrt(3)/2 * R.
+    u3_distance = (math.sqrt(3.0) / 2.0) * radius / math.sin(math.pi / 3.0 + gamma)
+    u3 = translate_polar(u0, u3_direction, u3_distance)
+
+    def mirror(point: Point) -> Point:
+        """Point reflection through the midpoint of u0 v0."""
+        return Point(radius - point.x, -point.y)
+
+    v1 = mirror(u1)
+    v2 = mirror(u2)
+    v3 = mirror(u3)
+
+    power_model = PowerModel(propagation=PathLossModel(), max_range=radius)
+    network = Network.from_points([u0, u1, u2, u3, v0, v1, v2, v3], power_model=power_model)
+    names = {"u0": 0, "u1": 1, "u2": 2, "u3": 3, "v0": 4, "v1": 5, "v2": 6, "v3": 7}
+    return DisconnectionExample(
+        network=network,
+        alpha=alpha,
+        epsilon=epsilon,
+        max_range=radius,
+        names=names,
+    )

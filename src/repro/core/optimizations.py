@@ -1,0 +1,200 @@
+"""The three optimizations of Section 3.
+
+* **Shrink-back** (Section 3.1, Theorem 3.1): boundary nodes — those that
+  reached maximum power and still have an alpha-gap — walk their discovered
+  neighbours back from the highest discovery-power tag, dropping whole power
+  levels as long as the cone coverage ``cover_alpha`` is unchanged.  Nodes
+  that terminated without a gap are untouched (removing anything would
+  shrink their coverage).
+* **Asymmetric edge removal** (Section 3.2, Theorem 3.2): for
+  ``alpha <= 2*pi/3`` connectivity survives keeping only the edges present
+  in *both* directions of ``N_alpha`` (the graph ``G^-_alpha``).
+* **Pairwise edge removal** (Section 3.3, Theorem 3.6): an edge ``(u, v)``
+  is *redundant* if ``u`` has another neighbour ``w`` with
+  ``angle(v, u, w) < pi/3`` and ``eid(u, w) < eid(u, v)``, where edge IDs
+  order edges lexicographically by (length, larger endpoint ID, smaller
+  endpoint ID).  All redundant edges can be removed while preserving
+  connectivity; following the paper, only redundant edges longer than the
+  longest non-redundant edge incident to one of their endpoints are actually
+  dropped, since shorter ones do not reduce anybody's transmission radius.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.geometry.angles import angle_difference, coverage_equal
+from repro.net.network import Network
+from repro.net.node import NodeId
+from repro.core.constants import (
+    ALPHA_ASYMMETRIC_REMOVAL_THRESHOLD,
+    PAIRWISE_ANGLE_THRESHOLD,
+)
+from repro.core.state import CBTCOutcome, NodeState
+
+
+# --------------------------------------------------------------------------- #
+# Shrink-back (op1)
+# --------------------------------------------------------------------------- #
+def shrink_back_node(state: NodeState) -> NodeState:
+    """Apply the shrink-back operation to a single node's state.
+
+    Neighbours are grouped by their discovery-power tag; starting from the
+    highest tag, whole groups are removed as long as the alpha-coverage of
+    the remaining directions equals the original coverage.  The node's final
+    power is reduced to the highest surviving tag (or the power needed to
+    reach the farthest surviving neighbour, whichever is larger).
+    """
+    if not state.neighbors:
+        return state
+    original_directions = state.directions
+    levels = sorted({record.discovery_power for record in state.neighbors.values()})
+    # Try to keep only the neighbours discovered at the first i levels, for the
+    # smallest i that preserves coverage.
+    for keep_count in range(1, len(levels) + 1):
+        kept_levels = set(levels[:keep_count])
+        kept_records = [
+            record for record in state.neighbors.values() if record.discovery_power in kept_levels
+        ]
+        kept_directions = [record.direction for record in kept_records]
+        if coverage_equal(kept_directions, original_directions, state.alpha):
+            shrunk = NodeState(
+                node_id=state.node_id,
+                alpha=state.alpha,
+                final_power=max(
+                    max(record.required_power for record in kept_records),
+                    0.0,
+                ),
+                used_max_power=state.used_max_power,
+                rounds=state.rounds,
+            )
+            for record in kept_records:
+                shrunk.add_neighbor(record)
+            return shrunk
+    return state
+
+
+def shrink_back(outcome: CBTCOutcome) -> CBTCOutcome:
+    """Apply shrink-back to every node of an outcome (returns a new outcome).
+
+    Non-boundary nodes are left untouched automatically: dropping their
+    highest power level would reopen an alpha-gap and change the coverage.
+    """
+    shrunk = CBTCOutcome(alpha=outcome.alpha)
+    for state in outcome:
+        shrunk.states[state.node_id] = shrink_back_node(state.copy())
+    return shrunk
+
+
+# --------------------------------------------------------------------------- #
+# Asymmetric edge removal (op2)
+# --------------------------------------------------------------------------- #
+def asymmetric_edge_removal(outcome: CBTCOutcome, *, enforce_threshold: bool = True) -> List[Tuple[NodeId, NodeId]]:
+    """The edge set ``E^-_alpha`` (both directions present in ``N_alpha``).
+
+    Raises ``ValueError`` when ``alpha > 2*pi/3`` and ``enforce_threshold``
+    is left on, because Theorem 3.2 only guarantees connectivity below that
+    threshold (and Example 2.1 shows it genuinely fails above it).
+    """
+    if enforce_threshold and outcome.alpha > ALPHA_ASYMMETRIC_REMOVAL_THRESHOLD + 1e-12:
+        raise ValueError(
+            "asymmetric edge removal requires alpha <= 2*pi/3 "
+            f"(got alpha = {outcome.alpha:.6f})"
+        )
+    edges: List[Tuple[NodeId, NodeId]] = []
+    for state in outcome:
+        for neighbor in state.neighbor_ids:
+            if neighbor <= state.node_id:
+                continue
+            other = outcome.states.get(neighbor)
+            if other is not None and state.node_id in other.neighbors:
+                edges.append((state.node_id, neighbor))
+    return edges
+
+
+# --------------------------------------------------------------------------- #
+# Pairwise edge removal (op3)
+# --------------------------------------------------------------------------- #
+def edge_id(network: Network, u: NodeId, v: NodeId) -> Tuple[float, NodeId, NodeId]:
+    """The paper's edge ID ``eid(u, v) = (d(u, v), max(ID), min(ID))``.
+
+    Edge IDs compare lexicographically and are unique because node IDs are
+    unique, giving a strict total order on edges even when distances tie.
+    """
+    return (network.distance(u, v), max(u, v), min(u, v))
+
+
+def redundant_edges(
+    graph: nx.Graph,
+    network: Network,
+    *,
+    angle_threshold: float = PAIRWISE_ANGLE_THRESHOLD,
+) -> Set[Tuple[NodeId, NodeId]]:
+    """All redundant edges of ``graph`` per Definition 3.5.
+
+    An edge ``(u, v)`` is redundant if some other neighbour ``w`` of ``u``
+    satisfies ``angle(v, u, w) < pi/3`` and ``eid(u, w) < eid(u, v)``.
+    Returned edges are normalized as ``(min, max)`` pairs.
+    """
+    redundant: Set[Tuple[NodeId, NodeId]] = set()
+    for u in graph.nodes:
+        neighbors = list(graph.neighbors(u))
+        if len(neighbors) < 2:
+            continue
+        directions = {v: network.direction(u, v) for v in neighbors}
+        ids = {v: edge_id(network, u, v) for v in neighbors}
+        for v in neighbors:
+            for w in neighbors:
+                if v == w:
+                    continue
+                if angle_difference(directions[v], directions[w]) < angle_threshold and ids[w] < ids[v]:
+                    redundant.add((min(u, v), max(u, v)))
+                    break
+    return redundant
+
+
+def pairwise_edge_removal(
+    graph: nx.Graph,
+    network: Network,
+    *,
+    remove_all: bool = False,
+    angle_threshold: float = PAIRWISE_ANGLE_THRESHOLD,
+) -> nx.Graph:
+    """Apply pairwise edge removal to ``graph`` (returns a new graph).
+
+    With ``remove_all=False`` (the paper's choice) a redundant edge is only
+    dropped when it is longer than the longest non-redundant edge incident to
+    at least one of its endpoints, because only then does the removal lower a
+    node's transmission radius.  With ``remove_all=True`` every redundant
+    edge is dropped (Theorem 3.6 guarantees this still preserves
+    connectivity; it minimizes degree rather than power).
+    """
+    redundant = redundant_edges(graph, network, angle_threshold=angle_threshold)
+    result = graph.copy()
+    if not redundant:
+        return result
+
+    if remove_all:
+        result.remove_edges_from(redundant)
+        return result
+
+    # Longest non-redundant edge length per node.
+    longest_non_redundant: Dict[NodeId, float] = {node: 0.0 for node in graph.nodes}
+    for u, v in graph.edges:
+        key = (min(u, v), max(u, v))
+        if key in redundant:
+            continue
+        length = network.distance(u, v)
+        longest_non_redundant[u] = max(longest_non_redundant[u], length)
+        longest_non_redundant[v] = max(longest_non_redundant[v], length)
+
+    to_remove = []
+    for u, v in redundant:
+        length = network.distance(u, v)
+        if length > longest_non_redundant[u] or length > longest_non_redundant[v]:
+            to_remove.append((u, v))
+    result.remove_edges_from(to_remove)
+    return result

@@ -1,0 +1,219 @@
+"""The distributed CBTC protocol, running on the discrete-event simulator.
+
+This is the message-passing realization of Figure 1 of the paper.  Each node
+runs a :class:`CBTCProtocol` process:
+
+1. broadcast a ``Hello`` message at the current power level (the message
+   carries the transmission power, as the paper requires);
+2. every receiver answers with an ``Ack`` sent with just enough power to
+   reach back (receivers can estimate that power from the transmission and
+   reception powers) and echoing the Hello's power level;
+3. after a per-level timeout the node checks the ``gap_alpha`` test over the
+   directions of the acknowledgements received so far; if a gap remains and
+   the maximum power has not been reached, it advances to the next power
+   level and repeats;
+4. when the node terminates, if asymmetric-edge-removal support is enabled
+   it notifies every node it acknowledged but did not itself discover, so
+   that the other side can exclude the asymmetric edge when constructing
+   ``E^-_alpha`` (Section 3.2).
+
+:func:`run_distributed_cbtc` wires one protocol per node into a
+:class:`~repro.sim.engine.SimulationEngine`, runs it to quiescence, and
+repackages the per-node results as a :class:`~repro.core.state.CBTCOutcome`
+so that all the graph-construction and optimization machinery written for
+the centralized computation applies unchanged.  With a reliable channel and
+the same power schedule the distributed protocol discovers exactly the same
+neighbour sets as :func:`repro.core.cbtc.run_cbtc` (verified by an
+integration test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.net.network import Network
+from repro.net.node import NodeId
+from repro.radio.power import GeometricSchedule, PowerSchedule
+from repro.sim.channel import Channel
+from repro.sim.engine import SimulationEngine
+from repro.sim.messages import Message
+from repro.sim.process import DeliveryInfo, NodeProcess, ProtocolContext
+from repro.sim.trace import MessageTrace
+from repro.core.state import CBTCOutcome, NeighborRecord, NodeState
+
+HELLO = "hello"
+ACK = "ack"
+REMOVE = "remove"
+
+_ROUND_TIMER = "cbtc-round"
+
+
+class CBTCProtocol(NodeProcess):
+    """Per-node distributed CBTC(alpha) process."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        alpha: float,
+        power_levels: List[float],
+        *,
+        round_timeout: float = 2.5,
+        notify_asymmetric: bool = True,
+    ) -> None:
+        super().__init__(node_id)
+        if not power_levels:
+            raise ValueError("the protocol needs at least one power level")
+        self.alpha = alpha
+        self.power_levels = list(power_levels)
+        self.round_timeout = round_timeout
+        self.notify_asymmetric = notify_asymmetric
+        self.level_index = 0
+        self.state = NodeState(node_id=node_id, alpha=alpha)
+        self.acked: Set[NodeId] = set()
+        self.asymmetric_removed: Set[NodeId] = set()
+        self.hello_broadcasts = 0
+
+    # ------------------------------------------------------------------ #
+    # Protocol steps
+    # ------------------------------------------------------------------ #
+    def on_start(self, ctx: ProtocolContext) -> None:
+        self._broadcast_hello(ctx)
+
+    def _current_power(self) -> float:
+        return self.power_levels[self.level_index]
+
+    def _broadcast_hello(self, ctx: ProtocolContext) -> None:
+        power = self._current_power()
+        self.state.rounds += 1
+        self.hello_broadcasts += 1
+        ctx.bcast(power, Message(HELLO, {"power": power}))
+        ctx.set_timer(self.round_timeout, (_ROUND_TIMER, self.level_index))
+
+    def on_message(self, ctx: ProtocolContext, message: Message, info: DeliveryInfo) -> None:
+        if message.kind == HELLO:
+            self._handle_hello(ctx, message, info)
+        elif message.kind == ACK:
+            self._handle_ack(ctx, message, info)
+        elif message.kind == REMOVE:
+            self.asymmetric_removed.add(info.sender)
+
+    def _handle_hello(self, ctx: ProtocolContext, message: Message, info: DeliveryInfo) -> None:
+        self.acked.add(info.sender)
+        reply = Message(ACK, {"hello_power": message.get("power", info.transmit_power)})
+        ctx.send(info.required_power, reply, info.sender)
+
+    def _handle_ack(self, ctx: ProtocolContext, message: Message, info: DeliveryInfo) -> None:
+        discovery_power = message.get("hello_power", self._current_power())
+        record = NeighborRecord(
+            neighbor=info.sender,
+            direction=info.direction,
+            required_power=info.required_power,
+            discovery_power=discovery_power,
+            distance=ctx.power_model.propagation.range_for_power(info.required_power),
+        )
+        self.state.add_neighbor(record)
+
+    def on_timer(self, ctx: ProtocolContext, tag: Any) -> None:
+        if not isinstance(tag, tuple) or tag[0] != _ROUND_TIMER:
+            return
+        if self.finished or tag[1] != self.level_index:
+            return
+        at_last_level = self.level_index >= len(self.power_levels) - 1
+        if not self.state.has_gap() or at_last_level:
+            self._finish(ctx)
+            return
+        self.level_index += 1
+        self._broadcast_hello(ctx)
+
+    def _finish(self, ctx: ProtocolContext) -> None:
+        self.finish()
+        self.state.final_power = self._current_power()
+        self.state.used_max_power = self.level_index >= len(self.power_levels) - 1
+        if self.notify_asymmetric:
+            for node in sorted(self.acked - set(self.state.neighbors)):
+                # Tell nodes we answered but never discovered that, from our
+                # side, the edge is asymmetric (Section 3.2).  The notification
+                # must reach them, so it is sent with the power estimated when
+                # their Hello arrived; we re-estimate conservatively with our
+                # final power if no estimate is available.
+                ctx.send(self.state.final_power, Message(REMOVE, {}), node)
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    def neighbors_excluding_asymmetric(self) -> Dict[NodeId, NeighborRecord]:
+        """Discovered neighbours minus those that asked to be removed."""
+        return {
+            node: record
+            for node, record in self.state.neighbors.items()
+            if node not in self.asymmetric_removed
+        }
+
+
+@dataclass
+class DistributedRunResult:
+    """Everything a distributed CBTC run produces."""
+
+    outcome: CBTCOutcome
+    engine: SimulationEngine
+    protocols: Dict[NodeId, CBTCProtocol] = field(default_factory=dict)
+
+    @property
+    def trace(self) -> MessageTrace:
+        """The message trace of the run."""
+        return self.engine.trace
+
+    def total_messages(self) -> int:
+        """Total number of transmissions during the run."""
+        return len(self.engine.trace)
+
+    def hello_rounds(self) -> Dict[NodeId, int]:
+        """Number of Hello broadcasts each node made (its growth rounds)."""
+        return {node_id: protocol.hello_broadcasts for node_id, protocol in self.protocols.items()}
+
+    def asymmetric_exclusions(self) -> Dict[NodeId, Set[NodeId]]:
+        """Per node, the neighbours excluded via remove notifications."""
+        return {node_id: set(protocol.asymmetric_removed) for node_id, protocol in self.protocols.items()}
+
+
+def run_distributed_cbtc(
+    network: Network,
+    alpha: float,
+    *,
+    schedule: Optional[PowerSchedule] = None,
+    channel: Optional[Channel] = None,
+    round_timeout: float = 2.5,
+    notify_asymmetric: bool = True,
+    max_events: int = 2_000_000,
+) -> DistributedRunResult:
+    """Run the distributed CBTC protocol on every alive node of ``network``.
+
+    Parameters mirror :func:`repro.core.cbtc.run_cbtc`; in addition a
+    ``channel`` may inject loss or duplication (defaults to the reliable
+    unit-delay channel) and ``round_timeout`` controls how long a node waits
+    for acknowledgements at each power level (it must exceed one
+    request/response round trip of the channel).
+    """
+    schedule = schedule if schedule is not None else GeometricSchedule()
+    levels = schedule(network.power_model)
+    engine = SimulationEngine(network, channel=channel)
+    protocols: Dict[NodeId, CBTCProtocol] = {}
+    for node in network.nodes:
+        if not node.alive:
+            continue
+        protocol = CBTCProtocol(
+            node.node_id,
+            alpha,
+            levels,
+            round_timeout=round_timeout,
+            notify_asymmetric=notify_asymmetric,
+        )
+        protocols[node.node_id] = protocol
+        engine.register(node.node_id, protocol)
+    engine.run_to_completion(max_events=max_events)
+
+    outcome = CBTCOutcome(alpha=alpha)
+    for node_id, protocol in protocols.items():
+        outcome.states[node_id] = protocol.state
+    return DistributedRunResult(outcome=outcome, engine=engine, protocols=protocols)

@@ -1,0 +1,320 @@
+"""Reconfiguration under mobility, failures and joins (Section 4).
+
+The paper's reconfiguration algorithm reacts to the three events produced by
+the Neighbor Discovery Protocol:
+
+* ``leave_u(v)`` — drop ``v`` from ``N_u``; if dropping ``dir_u(v)`` opens an
+  alpha-gap, re-run CBTC(alpha) at ``u`` starting from power
+  ``p(rad^-_{u,alpha})`` (not from ``p0``);
+* ``join_u(v)`` — record ``v``'s direction and required power, then shrink
+  back (drop the farthest neighbours as long as coverage is unchanged);
+* ``angle_change_u(v)`` — update the direction; re-run CBTC if a gap
+  appeared, otherwise try to shrink back.
+
+``ReconfigurationManager`` maintains the per-node CBTC states across such
+events and can *synchronize* against the network's current ground truth: it
+derives the events a beaconing NDP would deliver (using the paper's beacon
+power policy) and applies them until no further events are generated.  After
+synchronization the invariant behind Theorem 2.1 holds again for the new
+node positions — every node either has no alpha-gap or transmits at maximum
+power — so the reconstructed ``G_alpha`` preserves the connectivity of the
+new ``G_R``.
+
+``beacon_power_policy`` implements the power rules of Section 4: beacons use
+``p(rad_{u,alpha})`` (the power needed to reach every neighbour in
+``E_alpha``), and nodes that shrank back as boundary nodes must keep
+beaconing with the power the *basic* algorithm computed (maximum power), or
+two re-approaching partitions could never hear each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.geometry.angles import angle_difference
+from repro.net.network import Network
+from repro.net.node import NodeId
+from repro.core.cbtc import run_cbtc, run_cbtc_for_node
+from repro.core.optimizations import shrink_back_node
+from repro.core.pipeline import OptimizationConfig, build_topology
+from repro.core.state import CBTCOutcome, NeighborRecord, NodeState
+from repro.core.topology import TopologyResult, symmetric_closure_graph
+
+
+@dataclass(frozen=True)
+class JoinEvent:
+    """``join_u(v)``: node ``observer`` hears node ``subject`` for the first time."""
+
+    observer: NodeId
+    subject: NodeId
+    direction: float
+    required_power: float
+    distance: float
+
+
+@dataclass(frozen=True)
+class LeaveEvent:
+    """``leave_u(v)``: node ``observer`` stops hearing node ``subject``."""
+
+    observer: NodeId
+    subject: NodeId
+
+
+@dataclass(frozen=True)
+class AngleChangeEvent:
+    """``angle_change_u(v)``: the direction of ``subject`` seen by ``observer`` moved."""
+
+    observer: NodeId
+    subject: NodeId
+    new_direction: float
+    required_power: float
+    distance: float
+
+
+ReconfigurationEvent = object  # union of the three event dataclasses
+
+
+def beacon_power_policy(outcome: CBTCOutcome, network: Network) -> Dict[NodeId, float]:
+    """Beacon power per node, following Section 4 of the paper.
+
+    Every node beacons with the power needed to reach all of its ``E_alpha``
+    neighbours; nodes that are boundary nodes of the *basic* algorithm beacon
+    with maximum power regardless of any shrink-back, so that temporarily
+    partitioned components can rediscover each other.
+    """
+    closure = symmetric_closure_graph(outcome, network)
+    powers: Dict[NodeId, float] = {}
+    max_power = network.power_model.max_power
+    for state in outcome:
+        node_id = state.node_id
+        neighbors = list(closure.neighbors(node_id)) if node_id in closure else []
+        if neighbors:
+            radius = max(network.distance(node_id, other) for other in neighbors)
+            power = network.power_model.required_power(radius)
+        else:
+            power = 0.0
+        if state.is_boundary or state.used_max_power and state.has_gap():
+            power = max_power
+        powers[node_id] = power
+    return powers
+
+
+class ReconfigurationManager:
+    """Maintains per-node CBTC state across joins, leaves and movement."""
+
+    def __init__(
+        self,
+        network: Network,
+        alpha: float,
+        *,
+        outcome: Optional[CBTCOutcome] = None,
+        angle_threshold: float = 0.05,
+    ) -> None:
+        self.network = network
+        self.alpha = alpha
+        self.angle_threshold = angle_threshold
+        self.outcome = outcome.copy() if outcome is not None else run_cbtc(network, alpha)
+        self.events_applied = 0
+        self.reruns = 0
+        # Nodes each observer has heard from (the NDP's memory).  A join is
+        # only generated for nodes *not* in this set; without it, a newcomer
+        # that shrink-back immediately discards would be re-detected forever.
+        # After the initial CBTC run a node has heard from its discovered
+        # neighbours and from every node that discovered it (it answered
+        # their Hello messages), so both directions seed the memory.
+        self._known: Dict[NodeId, Set[NodeId]] = {
+            state.node_id: set(state.neighbor_ids) for state in self.outcome
+        }
+        for state in self.outcome:
+            for neighbor in state.neighbor_ids:
+                self._known.setdefault(neighbor, set()).add(state.node_id)
+
+    # ------------------------------------------------------------------ #
+    # Event application (the paper's three rules)
+    # ------------------------------------------------------------------ #
+    def _state(self, node_id: NodeId) -> NodeState:
+        if node_id not in self.outcome.states:
+            self.outcome.states[node_id] = NodeState(node_id=node_id, alpha=self.alpha)
+        if node_id not in self._known:
+            self._known[node_id] = set(self.outcome.states[node_id].neighbor_ids)
+        return self.outcome.states[node_id]
+
+    def _rerun(self, node_id: NodeId, *, from_power: float) -> None:
+        """Re-run the growing phase at ``node_id`` starting from ``from_power``."""
+        self.reruns += 1
+        self.outcome.states[node_id] = run_cbtc_for_node(
+            self.network,
+            node_id,
+            self.alpha,
+            initial_power=from_power,
+        )
+        self._known.setdefault(node_id, set()).update(self.outcome.states[node_id].neighbor_ids)
+
+    def apply_leave(self, event: LeaveEvent) -> None:
+        """Apply a leave event per the paper's rule."""
+        self.events_applied += 1
+        state = self._state(event.observer)
+        self._known[event.observer].discard(event.subject)
+        previous_power = state.power_to_reach_all()
+        state.remove_neighbor(event.subject)
+        if state.has_gap():
+            self._rerun(event.observer, from_power=previous_power)
+
+    def apply_join(self, event: JoinEvent) -> None:
+        """Apply a join event: record the newcomer, then shrink back."""
+        self.events_applied += 1
+        state = self._state(event.observer)
+        self._known[event.observer].add(event.subject)
+        state.add_neighbor(
+            NeighborRecord(
+                neighbor=event.subject,
+                direction=event.direction,
+                required_power=event.required_power,
+                discovery_power=event.required_power,
+                distance=event.distance,
+            )
+        )
+        self.outcome.states[event.observer] = shrink_back_node(state)
+
+    def apply_angle_change(self, event: AngleChangeEvent) -> None:
+        """Apply an angle-change event: update the direction, re-run or shrink."""
+        self.events_applied += 1
+        state = self._state(event.observer)
+        old = state.neighbors.get(event.subject)
+        previous_power = state.power_to_reach_all()
+        discovery = old.discovery_power if old is not None else event.required_power
+        state.neighbors[event.subject] = NeighborRecord(
+            neighbor=event.subject,
+            direction=event.new_direction,
+            required_power=event.required_power,
+            discovery_power=discovery,
+            distance=event.distance,
+        )
+        if state.has_gap() and not state.used_max_power:
+            self._rerun(event.observer, from_power=previous_power)
+        else:
+            self.outcome.states[event.observer] = shrink_back_node(state)
+
+    def apply(self, event: ReconfigurationEvent) -> None:
+        """Dispatch an event to the appropriate rule."""
+        if isinstance(event, LeaveEvent):
+            self.apply_leave(event)
+        elif isinstance(event, JoinEvent):
+            self.apply_join(event)
+        elif isinstance(event, AngleChangeEvent):
+            self.apply_angle_change(event)
+        else:
+            raise TypeError(f"unknown reconfiguration event {event!r}")
+
+    # ------------------------------------------------------------------ #
+    # Centralized synchronization against ground truth
+    # ------------------------------------------------------------------ #
+    def _detect_events(self) -> List[ReconfigurationEvent]:
+        """Derive the events a beaconing NDP would deliver in the current geometry."""
+        events: List[ReconfigurationEvent] = []
+        power_model = self.network.power_model
+        beacon_powers = beacon_power_policy(self.outcome, self.network)
+        alive: Set[NodeId] = {node.node_id for node in self.network.nodes if node.alive}
+
+        for state in list(self.outcome):
+            observer = state.node_id
+            if observer not in alive:
+                continue
+            known = self._known.setdefault(observer, set(state.neighbor_ids))
+            # Forget heard-from nodes that are gone or out of range, so that a
+            # node which moves away and later returns produces a fresh join.
+            for other_id in list(known):
+                if other_id in state.neighbors:
+                    continue
+                if other_id not in alive or not power_model.can_reach(self.network.distance(observer, other_id)):
+                    known.discard(other_id)
+            # Leaves: recorded neighbours that died or moved out of maximum range.
+            for neighbor_id in state.neighbor_ids:
+                if neighbor_id not in alive or not power_model.can_reach(
+                    self.network.distance(observer, neighbor_id)
+                ):
+                    events.append(LeaveEvent(observer=observer, subject=neighbor_id))
+                    continue
+                # The neighbour is still reachable: silently refresh its
+                # distance/power bookkeeping and emit an angle-change event
+                # when its direction moved beyond the detection threshold.
+                current_direction = self.network.direction(observer, neighbor_id)
+                distance = self.network.distance(observer, neighbor_id)
+                recorded = state.neighbors[neighbor_id]
+                if angle_difference(current_direction, recorded.direction) > self.angle_threshold:
+                    events.append(
+                        AngleChangeEvent(
+                            observer=observer,
+                            subject=neighbor_id,
+                            new_direction=current_direction,
+                            required_power=power_model.required_power(distance),
+                            distance=distance,
+                        )
+                    )
+                elif abs(distance - recorded.distance) > 1e-9:
+                    state.neighbors[neighbor_id] = NeighborRecord(
+                        neighbor=neighbor_id,
+                        direction=recorded.direction,
+                        required_power=power_model.required_power(distance),
+                        discovery_power=recorded.discovery_power,
+                        distance=distance,
+                    )
+            # Joins: nodes whose beacon reaches the observer but that the
+            # observer has not heard from.
+            for other_id, beacon_power in beacon_powers.items():
+                if other_id == observer or other_id not in alive:
+                    continue
+                if other_id in known:
+                    continue
+                distance = self.network.distance(observer, other_id)
+                if power_model.can_reach(distance) and power_model.reaches_with(beacon_power, distance):
+                    events.append(
+                        JoinEvent(
+                            observer=observer,
+                            subject=other_id,
+                            direction=self.network.direction(observer, other_id),
+                            required_power=power_model.required_power(distance),
+                            distance=distance,
+                        )
+                    )
+        return events
+
+    def synchronize(self, *, max_iterations: int = 20) -> int:
+        """Apply detected events until quiescence; return iterations used.
+
+        Dead nodes' states are dropped first (they no longer participate).
+        Raises ``RuntimeError`` if the loop does not stabilize within
+        ``max_iterations`` — with a finite node set and monotone power levels
+        this indicates a bug rather than a legitimate oscillation.
+        """
+        alive = {node.node_id for node in self.network.nodes if node.alive}
+        for node_id in list(self.outcome.states):
+            if node_id not in alive:
+                del self.outcome.states[node_id]
+                self._known.pop(node_id, None)
+        for node_id in sorted(alive):
+            if node_id not in self.outcome.states:
+                # A brand-new (or recovered) node runs the full growing phase,
+                # exactly as the paper prescribes for nodes joining the network.
+                self._rerun(node_id, from_power=0.0)
+
+        for iteration in range(1, max_iterations + 1):
+            events = self._detect_events()
+            if not events:
+                return iteration - 1
+            for event in events:
+                self.apply(event)
+        raise RuntimeError("reconfiguration did not stabilize within the iteration budget")
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    def topology(self, *, config: Optional[OptimizationConfig] = None) -> TopologyResult:
+        """Build the current controlled topology from the maintained states."""
+        return build_topology(
+            self.network,
+            self.alpha,
+            config=config if config is not None else OptimizationConfig.none(),
+            outcome=self.outcome,
+        )

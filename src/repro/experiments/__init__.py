@@ -1,0 +1,57 @@
+"""Experiment harnesses reproducing the paper's evaluation (Section 5).
+
+* :mod:`repro.experiments.table1` — Table 1: average degree and radius for
+  the basic algorithm and each optimization level, for alpha = 2*pi/3 and
+  5*pi/6, plus the max-power column, averaged over many random networks.
+* :mod:`repro.experiments.figure6` — Figure 6: the eight topology panels of
+  a single random network (no control, basic, shrink-back, asymmetric
+  removal, all optimizations).
+* :mod:`repro.experiments.sweeps` — extended parameter sweeps (alpha sweep,
+  node-count/density sweep, power-schedule ablation) used by the ablation
+  benchmarks.
+* :mod:`repro.experiments.baseline_comparison` — CBTC against the baseline
+  graph families (RNG, Gabriel, MST, Yao/theta, Delaunay).
+* :mod:`repro.experiments.reconfig` — the Section 4 mobility/failure
+  reconfiguration experiment.
+"""
+
+from repro.experiments.table1 import (
+    Table1Row,
+    Table1Result,
+    run_table1,
+    TABLE1_PAPER_VALUES,
+)
+from repro.experiments.figure6 import Figure6Panel, Figure6Result, run_figure6
+from repro.experiments.sweeps import (
+    AlphaSweepPoint,
+    run_alpha_sweep,
+    DensitySweepPoint,
+    run_density_sweep,
+    ScheduleAblationPoint,
+    run_schedule_ablation,
+)
+from repro.experiments.baseline_comparison import BaselineComparison, run_baseline_comparison
+from repro.experiments.reconfig import ReconfigurationExperimentResult, run_reconfiguration_experiment
+from repro.experiments.energy import EnergyProfile, run_energy_experiment
+
+__all__ = [
+    "Table1Row",
+    "Table1Result",
+    "run_table1",
+    "TABLE1_PAPER_VALUES",
+    "Figure6Panel",
+    "Figure6Result",
+    "run_figure6",
+    "AlphaSweepPoint",
+    "run_alpha_sweep",
+    "DensitySweepPoint",
+    "run_density_sweep",
+    "ScheduleAblationPoint",
+    "run_schedule_ablation",
+    "BaselineComparison",
+    "run_baseline_comparison",
+    "ReconfigurationExperimentResult",
+    "run_reconfiguration_experiment",
+    "EnergyProfile",
+    "run_energy_experiment",
+]

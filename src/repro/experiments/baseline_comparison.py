@@ -1,0 +1,101 @@
+"""CBTC against the baseline graph families.
+
+An extended experiment (not a table in the paper, but implied by its
+related-work discussion): compare the controlled topology produced by
+CBTC(alpha) with all optimizations against the position-based graph families
+— RNG, Gabriel, Euclidean MST, Yao graph and Delaunay — on the same random
+networks, reporting degree, radius, connectivity preservation and power
+stretch.  The headline qualitative result to expect: CBTC achieves
+RNG/Gabriel-like sparseness while requiring only directional (not
+positional) information.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from repro.baselines import (
+    delaunay_graph,
+    euclidean_mst,
+    gabriel_graph,
+    max_power_graph,
+    relative_neighborhood_graph,
+    yao_graph,
+)
+from repro.core.analysis import power_stretch_factor, preserves_connectivity
+from repro.core.pipeline import OptimizationConfig, build_topology
+from repro.graphs.metrics import graph_metrics
+from repro.net.network import Network
+from repro.net.placement import PAPER_CONFIG, PlacementConfig, random_uniform_placement
+
+
+@dataclass(frozen=True)
+class BaselineComparison:
+    """Metrics for one topology family on one set of networks."""
+
+    name: str
+    average_degree: float
+    average_radius: float
+    connectivity_preserved_fraction: float
+    average_power_stretch: float
+
+
+def _families(alpha: float) -> Dict[str, object]:
+    def cbtc_all(network: Network) -> nx.Graph:
+        return build_topology(network, alpha, config=OptimizationConfig.all()).graph
+
+    def cbtc_basic(network: Network) -> nx.Graph:
+        return build_topology(network, alpha, config=OptimizationConfig.none()).graph
+
+    return {
+        "max-power": max_power_graph,
+        f"cbtc-basic(alpha={alpha:.2f})": cbtc_basic,
+        f"cbtc-all(alpha={alpha:.2f})": cbtc_all,
+        "rng": relative_neighborhood_graph,
+        "gabriel": gabriel_graph,
+        "mst": euclidean_mst,
+        "yao-6": lambda network: yao_graph(network, k=6),
+        "delaunay": delaunay_graph,
+    }
+
+
+def run_baseline_comparison(
+    *,
+    alpha: float = 5.0 * math.pi / 6.0,
+    network_count: int = 3,
+    config: PlacementConfig = PAPER_CONFIG,
+    base_seed: int = 0,
+    compute_stretch: bool = True,
+) -> List[BaselineComparison]:
+    """Compare CBTC against the baseline families over random networks."""
+    families = _families(alpha)
+    results: List[BaselineComparison] = []
+    networks = [random_uniform_placement(config, seed=base_seed + index) for index in range(network_count)]
+    references = [network.max_power_graph() for network in networks]
+
+    for name, builder in families.items():
+        degrees, radii, preserved, stretches = [], [], [], []
+        for network, reference in zip(networks, references):
+            graph = builder(network)
+            metrics = graph_metrics(graph, network)
+            degrees.append(metrics.average_degree)
+            radii.append(metrics.average_radius)
+            preserved.append(1.0 if preserves_connectivity(reference, graph) else 0.0)
+            if compute_stretch:
+                stretch = power_stretch_factor(network, graph)
+                if math.isfinite(stretch):
+                    stretches.append(stretch)
+        results.append(
+            BaselineComparison(
+                name=name,
+                average_degree=sum(degrees) / len(degrees),
+                average_radius=sum(radii) / len(radii),
+                connectivity_preserved_fraction=sum(preserved) / len(preserved),
+                average_power_stretch=(sum(stretches) / len(stretches)) if stretches else float("nan"),
+            )
+        )
+    return results

@@ -1,0 +1,133 @@
+"""Reproduction of Figure 6.
+
+Figure 6 of the paper shows the topology of one of the random networks under
+eight configurations:
+
+=====  ======================================================================
+Panel  Configuration
+=====  ======================================================================
+(a)    no topology control (maximum power)
+(b)    basic CBTC, alpha = 2*pi/3
+(c)    basic CBTC, alpha = 5*pi/6
+(d)    alpha = 2*pi/3 with shrink-back
+(e)    alpha = 5*pi/6 with shrink-back
+(f)    alpha = 2*pi/3 with shrink-back and asymmetric edge removal
+(g)    alpha = 5*pi/6 with all applicable optimizations
+(h)    alpha = 2*pi/3 with all optimizations
+=====  ======================================================================
+
+matplotlib is not available in this offline environment, so the harness
+reproduces the figure as data: for every panel it returns the exact edge
+set, the summary metrics (edge count, average degree, average radius) and an
+ASCII rendering via :mod:`repro.viz`.  The qualitative claims of the figure
+— each successive optimization thins the graph further, and dense areas shed
+the most edges — are directly visible in the per-panel numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.cbtc import run_cbtc
+from repro.core.pipeline import OptimizationConfig, build_topology
+from repro.graphs.metrics import GraphMetrics, graph_metrics
+from repro.net.network import Network
+from repro.net.placement import PAPER_CONFIG, PlacementConfig, random_uniform_placement
+
+ALPHA_FIVE_SIXTHS = 5.0 * math.pi / 6.0
+ALPHA_TWO_THIRDS = 2.0 * math.pi / 3.0
+
+
+@dataclass(frozen=True)
+class Figure6Panel:
+    """One of the eight panels: its configuration, graph and metrics."""
+
+    panel: str
+    description: str
+    alpha: Optional[float]
+    graph: nx.Graph
+    metrics: GraphMetrics
+
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        """The panel's edge list (sorted for deterministic output)."""
+        return sorted(tuple(sorted(edge)) for edge in self.graph.edges)
+
+
+@dataclass
+class Figure6Result:
+    """All eight regenerated panels plus the underlying network."""
+
+    network: Network
+    seed: int
+    panels: Dict[str, Figure6Panel] = field(default_factory=dict)
+
+    def panel(self, name: str) -> Figure6Panel:
+        """Panel lookup by letter, e.g. ``"a"``."""
+        return self.panels[name]
+
+    def summary_table(self) -> str:
+        """A text table with one row per panel (edges, degree, radius)."""
+        header = f"{'panel':<7}{'description':<52}{'edges':>7}{'avg deg':>9}{'avg radius':>12}"
+        lines = [header, "-" * len(header)]
+        for name in sorted(self.panels):
+            panel = self.panels[name]
+            lines.append(
+                f"({name})   {panel.description:<52}{panel.metrics.edge_count:>7}"
+                f"{panel.metrics.average_degree:>9.2f}{panel.metrics.average_radius:>12.1f}"
+            )
+        return "\n".join(lines)
+
+
+_PANEL_SPECS = [
+    ("a", "no topology control", None, None),
+    ("b", "alpha = 2*pi/3, basic algorithm", ALPHA_TWO_THIRDS, OptimizationConfig.none()),
+    ("c", "alpha = 5*pi/6, basic algorithm", ALPHA_FIVE_SIXTHS, OptimizationConfig.none()),
+    ("d", "alpha = 2*pi/3 with shrink-back", ALPHA_TWO_THIRDS, OptimizationConfig.shrink_only()),
+    ("e", "alpha = 5*pi/6 with shrink-back", ALPHA_FIVE_SIXTHS, OptimizationConfig.shrink_only()),
+    (
+        "f",
+        "alpha = 2*pi/3 with shrink-back and asymmetric edge removal",
+        ALPHA_TWO_THIRDS,
+        OptimizationConfig.shrink_and_asymmetric(),
+    ),
+    ("g", "alpha = 5*pi/6 with all applicable optimizations", ALPHA_FIVE_SIXTHS, OptimizationConfig.all()),
+    ("h", "alpha = 2*pi/3 with all optimizations", ALPHA_TWO_THIRDS, OptimizationConfig.all()),
+]
+
+
+def run_figure6(
+    *,
+    seed: int = 42,
+    config: PlacementConfig = PAPER_CONFIG,
+    network: Optional[Network] = None,
+) -> Figure6Result:
+    """Regenerate the eight panels of Figure 6 for one random network."""
+    if network is None:
+        network = random_uniform_placement(config, seed=seed)
+    result = Figure6Result(network=network, seed=seed)
+
+    outcomes = {}
+    for alpha in (ALPHA_TWO_THIRDS, ALPHA_FIVE_SIXTHS):
+        outcomes[alpha] = run_cbtc(network, alpha)
+
+    for name, description, alpha, optimization in _PANEL_SPECS:
+        if alpha is None:
+            graph = network.max_power_graph()
+            metrics = graph_metrics(graph, network, fixed_radius=config.max_range)
+        else:
+            topology = build_topology(network, alpha, config=optimization, outcome=outcomes[alpha])
+            graph = topology.graph
+            metrics = graph_metrics(graph, network)
+        result.panels[name] = Figure6Panel(
+            panel=name,
+            description=description,
+            alpha=alpha,
+            graph=graph,
+            metrics=metrics,
+        )
+    return result

@@ -1,0 +1,96 @@
+"""The Section 4 reconfiguration experiment.
+
+A network runs CBTC once, then experiences a sequence of epochs in which
+nodes move (random-waypoint or random-walk mobility) and may crash.  After
+every epoch the :class:`~repro.core.reconfiguration.ReconfigurationManager`
+synchronizes its per-node state against the new geometry — standing in for
+the beacon-driven join/leave/angle-change events — and the experiment
+records whether the reconstructed ``G_alpha`` preserves the connectivity of
+the new ``G_R`` (the paper's claim: once the topology stabilizes, the
+reconfiguration algorithm converges to a connectivity-preserving graph) and
+how many nodes had to re-run their growing phase.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.analysis import preserves_connectivity
+from repro.core.reconfiguration import ReconfigurationManager
+from repro.net.failures import CrashFailureModel, FailureModel, NoFailures
+from repro.net.mobility import MobilityModel, RandomWaypointModel
+from repro.net.placement import PAPER_CONFIG, PlacementConfig, random_uniform_placement
+
+
+@dataclass(frozen=True)
+class ReconfigurationEpoch:
+    """What happened in one epoch of the experiment."""
+
+    epoch: int
+    crashed_nodes: int
+    events_applied: int
+    reruns: int
+    connectivity_preserved: bool
+    average_degree: float
+
+
+@dataclass
+class ReconfigurationExperimentResult:
+    """The full mobility/failure reconfiguration run."""
+
+    alpha: float
+    epochs: List[ReconfigurationEpoch] = field(default_factory=list)
+
+    @property
+    def all_epochs_preserved_connectivity(self) -> bool:
+        """Whether every epoch ended with connectivity preserved."""
+        return all(epoch.connectivity_preserved for epoch in self.epochs)
+
+    def total_reruns(self) -> int:
+        """Total number of per-node growing-phase reruns across epochs."""
+        return sum(epoch.reruns for epoch in self.epochs)
+
+
+def run_reconfiguration_experiment(
+    *,
+    alpha: float = 5.0 * math.pi / 6.0,
+    epochs: int = 5,
+    seed: int = 0,
+    config: PlacementConfig = PAPER_CONFIG,
+    mobility: Optional[MobilityModel] = None,
+    failures: Optional[FailureModel] = None,
+    steps_per_epoch: int = 5,
+) -> ReconfigurationExperimentResult:
+    """Run the mobility + failure reconfiguration experiment."""
+    network = random_uniform_placement(config, seed=seed)
+    mobility = mobility if mobility is not None else RandomWaypointModel(
+        width=config.width, height=config.height, seed=seed
+    )
+    failures = failures if failures is not None else CrashFailureModel(crash_probability=0.01, seed=seed)
+
+    manager = ReconfigurationManager(network, alpha)
+    result = ReconfigurationExperimentResult(alpha=alpha)
+
+    for epoch in range(1, epochs + 1):
+        for _ in range(steps_per_epoch):
+            mobility.step(network)
+        crashed = failures.step(network)
+
+        events_before = manager.events_applied
+        reruns_before = manager.reruns
+        manager.synchronize()
+        topology = manager.topology()
+        reference = network.max_power_graph()
+        result.epochs.append(
+            ReconfigurationEpoch(
+                epoch=epoch,
+                crashed_nodes=len(crashed),
+                events_applied=manager.events_applied - events_before,
+                reruns=manager.reruns - reruns_before,
+                connectivity_preserved=preserves_connectivity(reference, topology.graph),
+                average_degree=topology.average_degree(),
+            )
+        )
+    return result

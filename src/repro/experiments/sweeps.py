@@ -1,0 +1,173 @@
+"""Extended parameter sweeps and ablations.
+
+Beyond the paper's Table 1 and Figure 6, these harnesses explore the design
+space the paper discusses qualitatively:
+
+* :func:`run_alpha_sweep` — degree/radius/connectivity as a function of
+  alpha, demonstrating both the 5*pi/6 connectivity threshold (Theorem 2.4)
+  and the degree/radius trade-off between 2*pi/3 and 5*pi/6 (Section 3.2);
+* :func:`run_density_sweep` — behaviour as the node count (density) grows,
+  the "dense areas reduce their radius automatically" claim of Section 5;
+* :func:`run_schedule_ablation` — how the choice of the ``Increase``
+  function (idealized, doubling, linear) affects the discovered power and
+  the number of growth rounds, the trade-off mentioned in Section 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.cbtc import run_cbtc
+from repro.core.pipeline import OptimizationConfig, build_topology
+from repro.core.analysis import preserves_connectivity
+from repro.graphs.metrics import graph_metrics
+from repro.net.placement import PAPER_CONFIG, PlacementConfig, random_uniform_placement
+from repro.radio.power import GeometricSchedule, LinearSchedule, PowerSchedule
+
+
+@dataclass(frozen=True)
+class AlphaSweepPoint:
+    """Aggregate results for one alpha value."""
+
+    alpha: float
+    average_degree: float
+    average_radius: float
+    connectivity_preserved_fraction: float
+    boundary_node_fraction: float
+
+
+def run_alpha_sweep(
+    alphas: Optional[Sequence[float]] = None,
+    *,
+    network_count: int = 5,
+    config: PlacementConfig = PAPER_CONFIG,
+    optimization: Optional[OptimizationConfig] = None,
+    base_seed: int = 0,
+) -> List[AlphaSweepPoint]:
+    """Sweep alpha and report degree, radius and connectivity preservation."""
+    if alphas is None:
+        alphas = [math.pi / 3, math.pi / 2, 2 * math.pi / 3, 3 * math.pi / 4, 5 * math.pi / 6, 0.9 * math.pi, math.pi]
+    optimization = optimization if optimization is not None else OptimizationConfig.none()
+    points: List[AlphaSweepPoint] = []
+    for alpha in alphas:
+        degrees, radii, preserved, boundary = [], [], [], []
+        for index in range(network_count):
+            network = random_uniform_placement(config, seed=base_seed + index)
+            outcome = run_cbtc(network, alpha)
+            result = build_topology(network, alpha, config=optimization, outcome=outcome)
+            metrics = graph_metrics(result.graph, network)
+            degrees.append(metrics.average_degree)
+            radii.append(metrics.average_radius)
+            preserved.append(1.0 if preserves_connectivity(network.max_power_graph(), result.graph) else 0.0)
+            boundary.append(len(outcome.boundary_nodes()) / max(len(outcome), 1))
+        points.append(
+            AlphaSweepPoint(
+                alpha=alpha,
+                average_degree=sum(degrees) / len(degrees),
+                average_radius=sum(radii) / len(radii),
+                connectivity_preserved_fraction=sum(preserved) / len(preserved),
+                boundary_node_fraction=sum(boundary) / len(boundary),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class DensitySweepPoint:
+    """Aggregate results for one network size."""
+
+    node_count: int
+    average_degree: float
+    average_radius: float
+    max_power_degree: float
+    radius_reduction: float
+
+
+def run_density_sweep(
+    node_counts: Sequence[int] = (25, 50, 100, 200),
+    *,
+    alpha: float = 5.0 * math.pi / 6.0,
+    optimization: Optional[OptimizationConfig] = None,
+    networks_per_point: int = 3,
+    base_seed: int = 0,
+) -> List[DensitySweepPoint]:
+    """Sweep the node count at fixed region size (i.e. sweep density)."""
+    optimization = optimization if optimization is not None else OptimizationConfig.all()
+    points: List[DensitySweepPoint] = []
+    for node_count in node_counts:
+        config = PlacementConfig(
+            width=PAPER_CONFIG.width,
+            height=PAPER_CONFIG.height,
+            node_count=node_count,
+            max_range=PAPER_CONFIG.max_range,
+        )
+        degrees, radii, reference_degrees = [], [], []
+        for index in range(networks_per_point):
+            network = random_uniform_placement(config, seed=base_seed + index)
+            result = build_topology(network, alpha, config=optimization)
+            metrics = graph_metrics(result.graph, network)
+            reference_metrics = graph_metrics(network.max_power_graph(), network, fixed_radius=config.max_range)
+            degrees.append(metrics.average_degree)
+            radii.append(metrics.average_radius)
+            reference_degrees.append(reference_metrics.average_degree)
+        average_radius = sum(radii) / len(radii)
+        points.append(
+            DensitySweepPoint(
+                node_count=node_count,
+                average_degree=sum(degrees) / len(degrees),
+                average_radius=average_radius,
+                max_power_degree=sum(reference_degrees) / len(reference_degrees),
+                radius_reduction=1.0 - average_radius / config.max_range,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class ScheduleAblationPoint:
+    """Aggregate results for one power schedule."""
+
+    schedule_name: str
+    average_final_power: float
+    average_rounds: float
+    average_degree: float
+
+
+def run_schedule_ablation(
+    *,
+    alpha: float = 5.0 * math.pi / 6.0,
+    network_count: int = 3,
+    config: PlacementConfig = PAPER_CONFIG,
+    base_seed: int = 0,
+    schedules: Optional[Sequence] = None,
+) -> List[ScheduleAblationPoint]:
+    """Compare the idealized, doubling and linear ``Increase`` schedules."""
+    named_schedules = schedules if schedules is not None else [
+        ("exhaustive (idealized)", None),
+        ("doubling", GeometricSchedule()),
+        ("linear-16", LinearSchedule(steps=16)),
+        ("linear-64", LinearSchedule(steps=64)),
+    ]
+    points: List[ScheduleAblationPoint] = []
+    for name, schedule in named_schedules:
+        powers, rounds, degrees = [], [], []
+        for index in range(network_count):
+            network = random_uniform_placement(config, seed=base_seed + index)
+            outcome = run_cbtc(network, alpha, schedule=schedule)
+            result = build_topology(network, alpha, outcome=outcome)
+            metrics = graph_metrics(result.graph, network)
+            states = list(outcome)
+            powers.append(sum(state.final_power for state in states) / len(states))
+            rounds.append(sum(state.rounds for state in states) / len(states))
+            degrees.append(metrics.average_degree)
+        points.append(
+            ScheduleAblationPoint(
+                schedule_name=name,
+                average_final_power=sum(powers) / len(powers),
+                average_rounds=sum(rounds) / len(rounds),
+                average_degree=sum(degrees) / len(degrees),
+            )
+        )
+    return points

@@ -1,0 +1,178 @@
+"""Angle arithmetic and the angular-gap machinery at the heart of CBTC.
+
+The CBTC(alpha) algorithm terminates its power growth when the set of
+directions from which acknowledgements have arrived has no *gap* larger than
+``alpha``: equivalently, every cone of degree ``alpha`` centred at the node
+contains a discovered neighbour.  The paper observes (Section 2) that this is
+equivalent to checking consecutive angular differences after sorting the
+directions, which is what :func:`max_angular_gap` implements.
+
+The shrink-back optimization needs the ``cover`` operator of Section 3.1:
+``cover_alpha(dir)`` is the set of angles within ``alpha/2`` of some
+discovered direction.  Because the set of directions is finite, coverage can
+be compared exactly by comparing the sorted gap structure; we expose both a
+set-like :func:`cover` representation (a list of closed angular intervals)
+and the predicate :func:`covers_full_circle`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+TWO_PI = 2.0 * math.pi
+
+
+def normalize_angle(angle: float) -> float:
+    """Normalize ``angle`` into the half-open interval ``[0, 2*pi)``."""
+    result = math.fmod(angle, TWO_PI)
+    if result < 0.0:
+        result += TWO_PI
+    # fmod of a value extremely close to 2*pi can round back up to 2*pi.
+    if result >= TWO_PI:
+        result -= TWO_PI
+    return result
+
+
+def angle_difference(a: float, b: float) -> float:
+    """Smallest absolute angular difference between ``a`` and ``b`` (``<= pi``)."""
+    diff = abs(normalize_angle(a) - normalize_angle(b))
+    return min(diff, TWO_PI - diff)
+
+
+def signed_angle_difference(a: float, b: float) -> float:
+    """Signed angular difference ``a - b`` mapped into ``(-pi, pi]``."""
+    diff = normalize_angle(a) - normalize_angle(b)
+    if diff > math.pi:
+        diff -= TWO_PI
+    elif diff <= -math.pi:
+        diff += TWO_PI
+    return diff
+
+
+def angle_between(apex: Tuple[float, float], p: Tuple[float, float], q: Tuple[float, float]) -> float:
+    """Interior angle ``∠ p-apex-q`` in ``[0, pi]``.
+
+    Arguments are ``(x, y)`` tuples or objects supporting ``.x``/``.y`` via
+    iteration; the function only needs coordinates.
+    """
+    ax, ay = _coords(apex)
+    px, py = _coords(p)
+    qx, qy = _coords(q)
+    v1 = (px - ax, py - ay)
+    v2 = (qx - ax, qy - ay)
+    n1 = math.hypot(*v1)
+    n2 = math.hypot(*v2)
+    if n1 == 0.0 or n2 == 0.0:
+        raise ValueError("angle_between is undefined when a point coincides with the apex")
+    cos_theta = (v1[0] * v2[0] + v1[1] * v2[1]) / (n1 * n2)
+    cos_theta = max(-1.0, min(1.0, cos_theta))
+    return math.acos(cos_theta)
+
+
+def _coords(p) -> Tuple[float, float]:
+    if hasattr(p, "x") and hasattr(p, "y"):
+        return float(p.x), float(p.y)
+    x, y = p
+    return float(x), float(y)
+
+
+def sort_directions(directions: Iterable[float]) -> List[float]:
+    """Return the directions normalized into ``[0, 2*pi)`` and sorted."""
+    return sorted(normalize_angle(d) for d in directions)
+
+
+def angular_gaps(directions: Iterable[float]) -> List[float]:
+    """Gaps between consecutive directions, wrapping around the circle.
+
+    For an empty input the single gap is the whole circle (``2*pi``); for a
+    single direction the gap is also ``2*pi`` (the circle minus a point still
+    contains arbitrarily large gaps up to the full circle).
+    """
+    sorted_dirs = sort_directions(directions)
+    if not sorted_dirs:
+        return [TWO_PI]
+    if len(sorted_dirs) == 1:
+        return [TWO_PI]
+    gaps = [
+        sorted_dirs[i + 1] - sorted_dirs[i] for i in range(len(sorted_dirs) - 1)
+    ]
+    gaps.append(TWO_PI - sorted_dirs[-1] + sorted_dirs[0])
+    return gaps
+
+
+def max_angular_gap(directions: Iterable[float]) -> float:
+    """Largest angular gap left uncovered by ``directions``."""
+    return max(angular_gaps(directions))
+
+
+def has_gap_greater_than(directions: Iterable[float], alpha: float, *, tolerance: float = 1e-12) -> bool:
+    """The paper's ``gap_alpha`` test.
+
+    Returns ``True`` iff there is a cone of degree ``alpha`` centred at the
+    node containing none of the given directions — equivalently, iff the
+    maximum angular gap strictly exceeds ``alpha``.  A small tolerance guards
+    against floating-point noise in constructions that place neighbours at
+    exactly the critical angle.
+    """
+    return max_angular_gap(directions) > alpha + tolerance
+
+
+def cover(directions: Iterable[float], alpha: float) -> List[Tuple[float, float]]:
+    """The paper's ``cover_alpha(dir)`` as a list of merged angular intervals.
+
+    Each direction ``theta`` covers the closed arc
+    ``[theta - alpha/2, theta + alpha/2]``.  The return value is a list of
+    disjoint ``(start, end)`` arcs with ``start`` normalized to ``[0, 2*pi)``
+    and ``end`` possibly exceeding ``2*pi`` to represent wrap-around; arcs are
+    sorted by ``start``.  If the whole circle is covered a single arc
+    ``(0.0, 2*pi)`` is returned.
+    """
+    sorted_dirs = sort_directions(directions)
+    if not sorted_dirs:
+        return []
+    half = alpha / 2.0
+    if covers_full_circle(sorted_dirs, alpha):
+        return [(0.0, TWO_PI)]
+    arcs = [(d - half, d + half) for d in sorted_dirs]
+    # Merge overlapping arcs on the unrolled line, then stitch wrap-around.
+    merged: List[Tuple[float, float]] = []
+    for start, end in arcs:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    # Handle wrap-around between the last arc and the first arc.
+    if len(merged) > 1 and merged[-1][1] >= merged[0][0] + TWO_PI:
+        first = merged.pop(0)
+        last = merged.pop(-1)
+        merged.append((last[0], max(last[1], first[1] + TWO_PI)))
+    return [(normalize_angle(s), normalize_angle(s) + (e - s)) for s, e in merged]
+
+
+def covers_full_circle(directions: Iterable[float], alpha: float, *, tolerance: float = 1e-12) -> bool:
+    """``True`` iff ``cover_alpha(directions)`` is the whole circle.
+
+    A finite direction set covers the circle exactly when no angular gap
+    exceeds ``alpha`` — the same criterion as CBTC termination — because each
+    direction covers ``alpha/2`` on each side, so two consecutive directions
+    jointly cover their gap iff the gap is at most ``alpha``.
+    """
+    return not has_gap_greater_than(directions, alpha, tolerance=tolerance)
+
+
+def coverage_equal(dirs_a: Sequence[float], dirs_b: Sequence[float], alpha: float) -> bool:
+    """Whether two direction sets have identical ``cover_alpha`` coverage.
+
+    Used by the shrink-back optimization, which removes far neighbours as long
+    as coverage does not change.  Coverage equality is decided by comparing
+    the merged arc lists with a small tolerance.
+    """
+    arcs_a = cover(dirs_a, alpha)
+    arcs_b = cover(dirs_b, alpha)
+    if len(arcs_a) != len(arcs_b):
+        return False
+    for (s1, e1), (s2, e2) in zip(arcs_a, arcs_b):
+        if abs(s1 - s2) > 1e-9 or abs(e1 - e2) > 1e-9:
+            return False
+    return True

@@ -1,0 +1,67 @@
+"""Cones (angular sectors) anchored at a point.
+
+The paper's central geometric object is ``cone(u, alpha, v)``: the cone of
+degree ``alpha`` with apex ``u`` bisected by the ray from ``u`` through ``v``
+(Figure 3).  The connectivity proof repeatedly asks whether a node lies in
+such a cone; the algorithm itself only needs the gap test from
+:mod:`repro.geometry.angles`, but the property-based tests and the
+counterexample constructions exercise cones directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.angles import angle_difference, normalize_angle
+from repro.geometry.points import Point, direction
+
+
+@dataclass(frozen=True)
+class Cone:
+    """A cone (angular sector) of the plane.
+
+    Attributes
+    ----------
+    apex:
+        The apex point of the cone.
+    bisector:
+        Direction of the cone's bisecting ray, in radians, normalized to
+        ``[0, 2*pi)``.
+    angle:
+        Total opening angle of the cone (the paper's ``alpha``); a point is
+        inside the cone if its direction from the apex is within
+        ``angle / 2`` of the bisector.
+    """
+
+    apex: Point
+    bisector: float
+    angle: float
+
+    def __post_init__(self) -> None:
+        if self.angle < 0:
+            raise ValueError("cone angle must be non-negative")
+        object.__setattr__(self, "bisector", normalize_angle(self.bisector))
+
+    def contains_direction(self, theta: float, *, tolerance: float = 1e-12) -> bool:
+        """Whether the direction ``theta`` falls inside the cone."""
+        return angle_difference(theta, self.bisector) <= self.angle / 2.0 + tolerance
+
+    def contains(self, point: Point, *, tolerance: float = 1e-12) -> bool:
+        """Whether ``point`` lies inside the (infinite) cone.
+
+        The apex itself is considered contained, matching the convention in
+        the paper's proofs where only distinct nodes are ever compared.
+        """
+        if point == self.apex:
+            return True
+        return self.contains_direction(direction(self.apex, point), tolerance=tolerance)
+
+    def boundary_directions(self) -> tuple:
+        """The two boundary ray directions ``(low, high)`` of the cone."""
+        half = self.angle / 2.0
+        return (normalize_angle(self.bisector - half), normalize_angle(self.bisector + half))
+
+
+def cone_from_bisector(apex: Point, alpha: float, towards: Point) -> Cone:
+    """The paper's ``cone(u, alpha, v)``: apex ``u``, bisected by ray ``u -> v``."""
+    return Cone(apex=apex, bisector=direction(apex, towards), angle=alpha)

@@ -1,0 +1,58 @@
+"""Graph construction and metrics for controlled topologies.
+
+Provides the reference graph builders (the unit-disk graph ``G_R``), the
+degree/radius metrics reported in the paper's Table 1, connectivity
+utilities, and the power/hop stretch measures used to compare CBTC against
+the baseline graph families.
+"""
+
+from repro.graphs.builders import unit_disk_graph, graph_from_edges
+from repro.graphs.metrics import (
+    GraphMetrics,
+    average_degree,
+    degree_histogram,
+    per_node_radius_of_graph,
+    average_radius,
+    graph_metrics,
+    interference_proxy,
+)
+from repro.graphs.connectivity import (
+    is_connected,
+    component_count,
+    connected_pairs,
+    largest_component_fraction,
+)
+from repro.graphs.paths import (
+    minimum_power_path_cost,
+    power_spanner_bound,
+    all_pairs_power_costs,
+)
+from repro.graphs.routing import (
+    CongestionReport,
+    congestion_report,
+    edge_congestion,
+    node_forwarding_load,
+)
+
+__all__ = [
+    "unit_disk_graph",
+    "graph_from_edges",
+    "GraphMetrics",
+    "average_degree",
+    "degree_histogram",
+    "per_node_radius_of_graph",
+    "average_radius",
+    "graph_metrics",
+    "interference_proxy",
+    "is_connected",
+    "component_count",
+    "connected_pairs",
+    "largest_component_fraction",
+    "minimum_power_path_cost",
+    "power_spanner_bound",
+    "all_pairs_power_costs",
+    "CongestionReport",
+    "congestion_report",
+    "edge_congestion",
+    "node_forwarding_load",
+]

@@ -1,0 +1,40 @@
+"""Connectivity utilities."""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+import networkx as nx
+
+
+def is_connected(graph: nx.Graph) -> bool:
+    """Whether the graph is connected (empty and single-node graphs count as connected)."""
+    if graph.number_of_nodes() <= 1:
+        return True
+    return nx.is_connected(graph)
+
+
+def component_count(graph: nx.Graph) -> int:
+    """Number of connected components."""
+    if graph.number_of_nodes() == 0:
+        return 0
+    return nx.number_connected_components(graph)
+
+
+def connected_pairs(graph: nx.Graph) -> Set[Tuple[int, int]]:
+    """The set of unordered node pairs that are connected by some path."""
+    pairs: Set[Tuple[int, int]] = set()
+    for component in nx.connected_components(graph):
+        members = sorted(component)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                pairs.add((u, v))
+    return pairs
+
+
+def largest_component_fraction(graph: nx.Graph) -> float:
+    """Fraction of nodes inside the largest connected component."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return 0.0
+    return max(len(c) for c in nx.connected_components(graph)) / n

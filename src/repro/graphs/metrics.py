@@ -1,0 +1,132 @@
+"""Topology metrics.
+
+The paper's Table 1 reports two aggregates over 100 random networks: the
+**average node degree** and the **average radius**, where a node's radius is
+the transmission range it must sustain to reach all of its neighbours in the
+final graph (the no-topology-control column simply uses the maximum range
+``R``).  :func:`graph_metrics` computes those plus a few companions used by
+the extended experiments (degree histogram, interference proxy, total
+power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from repro.net.network import Network
+from repro.net.node import NodeId
+
+
+def average_degree(graph: nx.Graph) -> float:
+    """Average node degree (``2 * |E| / |V|``; 0 for an empty graph)."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return 0.0
+    return 2.0 * graph.number_of_edges() / n
+
+
+def degree_histogram(graph: nx.Graph) -> Dict[int, int]:
+    """Histogram mapping degree value to the number of nodes with that degree."""
+    histogram: Dict[int, int] = {}
+    for _, degree in graph.degree:
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def per_node_radius_of_graph(graph: nx.Graph, network: Network) -> Dict[NodeId, float]:
+    """Distance to the farthest neighbour, per node (0 for isolated nodes)."""
+    radius: Dict[NodeId, float] = {}
+    for node_id in graph.nodes:
+        neighbors = list(graph.neighbors(node_id))
+        radius[node_id] = (
+            max(network.distance(node_id, other) for other in neighbors) if neighbors else 0.0
+        )
+    return radius
+
+
+def average_radius(graph: nx.Graph, network: Network, *, fixed_radius: Optional[float] = None) -> float:
+    """Average per-node radius; ``fixed_radius`` overrides it (max-power column)."""
+    if graph.number_of_nodes() == 0:
+        return 0.0
+    if fixed_radius is not None:
+        return fixed_radius
+    radii = per_node_radius_of_graph(graph, network)
+    return sum(radii.values()) / len(radii)
+
+
+def interference_proxy(graph: nx.Graph, network: Network) -> float:
+    """Average number of nodes covered by each node's transmission disk.
+
+    A standard proxy for interference: a node transmitting with radius ``r``
+    interferes with every node within ``r``.  Lower is better; topology
+    control should reduce it roughly in proportion to the radius reduction.
+    """
+    radii = per_node_radius_of_graph(graph, network)
+    if not radii:
+        return 0.0
+    total = 0
+    for node_id, radius in radii.items():
+        if radius <= 0.0:
+            continue
+        total += len(network.neighbors_within(node_id, radius))
+    return total / len(radii)
+
+
+@dataclass(frozen=True)
+class GraphMetrics:
+    """A bundle of summary statistics for one controlled topology."""
+
+    node_count: int
+    edge_count: int
+    average_degree: float
+    max_degree: int
+    average_radius: float
+    max_radius: float
+    total_power: float
+    connected_components: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """The metrics as a plain dictionary (handy for result tables)."""
+        return {
+            "node_count": self.node_count,
+            "edge_count": self.edge_count,
+            "average_degree": self.average_degree,
+            "max_degree": self.max_degree,
+            "average_radius": self.average_radius,
+            "max_radius": self.max_radius,
+            "total_power": self.total_power,
+            "connected_components": self.connected_components,
+        }
+
+
+def graph_metrics(
+    graph: nx.Graph,
+    network: Network,
+    *,
+    fixed_radius: Optional[float] = None,
+) -> GraphMetrics:
+    """Compute the full metrics bundle for a graph over ``network``.
+
+    ``fixed_radius`` forces every node's radius to that value, which is how
+    the paper reports the "Max Power" column (radius exactly ``R`` even
+    though the farthest actual neighbour may be closer).
+    """
+    radii = per_node_radius_of_graph(graph, network)
+    if fixed_radius is not None:
+        radii = {node_id: fixed_radius for node_id in radii}
+    degrees: List[int] = [degree for _, degree in graph.degree]
+    power_model = network.power_model
+    total_power = sum(power_model.required_power(radius) for radius in radii.values())
+    return GraphMetrics(
+        node_count=graph.number_of_nodes(),
+        edge_count=graph.number_of_edges(),
+        average_degree=average_degree(graph),
+        max_degree=max(degrees) if degrees else 0,
+        average_radius=(sum(radii.values()) / len(radii)) if radii else 0.0,
+        max_radius=max(radii.values()) if radii else 0.0,
+        total_power=total_power,
+        connected_components=nx.number_connected_components(graph) if graph.number_of_nodes() else 0,
+    )

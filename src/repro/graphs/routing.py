@@ -1,0 +1,123 @@
+"""Routing-load and congestion analysis.
+
+Section 6 of the paper cautions that aggressive edge removal is not free:
+with fewer edges, paths get longer and traffic concentrates on fewer links
+and nodes, which can hurt throughput and create hot spots that drain
+batteries early.  This module quantifies that effect so the trade-off can be
+measured rather than argued:
+
+* :func:`edge_congestion` — for all-pairs shortest-path routing, how many
+  routes cross each edge (normalized by the number of routed pairs);
+* :func:`node_forwarding_load` — how many routes each node forwards
+  (betweenness-style load, the battery-drain hot-spot proxy);
+* :func:`CongestionReport` / :func:`congestion_report` — the summary used by
+  the throughput ablation benchmark: maximum and average link congestion,
+  maximum forwarding load, and average hop count.
+
+Routing follows minimum-power paths (hop cost ``d**exponent``), the natural
+routing policy over a power-controlled topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import networkx as nx
+
+from repro.net.network import Network
+from repro.net.node import NodeId
+
+
+def _power_weighted(graph: nx.Graph, network: Network, exponent: float) -> nx.Graph:
+    weighted = nx.Graph()
+    weighted.add_nodes_from(graph.nodes)
+    for u, v in graph.edges:
+        weighted.add_edge(u, v, power_cost=network.distance(u, v) ** exponent)
+    return weighted
+
+
+def _all_pairs_paths(graph: nx.Graph, network: Network, exponent: float):
+    weighted = _power_weighted(graph, network, exponent)
+    for source, paths in nx.all_pairs_dijkstra_path(weighted, weight="power_cost"):
+        for target, path in paths.items():
+            if source < target:
+                yield source, target, path
+
+
+def edge_congestion(graph: nx.Graph, network: Network, *, exponent: float = 2.0) -> Dict[Tuple[NodeId, NodeId], float]:
+    """Fraction of routed pairs whose minimum-power route crosses each edge."""
+    counts: Dict[Tuple[NodeId, NodeId], int] = {tuple(sorted(edge)): 0 for edge in graph.edges}
+    pairs = 0
+    for _, _, path in _all_pairs_paths(graph, network, exponent):
+        pairs += 1
+        for u, v in zip(path, path[1:]):
+            counts[tuple(sorted((u, v)))] += 1
+    if pairs == 0:
+        return {edge: 0.0 for edge in counts}
+    return {edge: count / pairs for edge, count in counts.items()}
+
+
+def node_forwarding_load(graph: nx.Graph, network: Network, *, exponent: float = 2.0) -> Dict[NodeId, float]:
+    """Fraction of routed pairs each node forwards for (excluding endpoints)."""
+    counts: Dict[NodeId, int] = {node: 0 for node in graph.nodes}
+    pairs = 0
+    for _, _, path in _all_pairs_paths(graph, network, exponent):
+        pairs += 1
+        for node in path[1:-1]:
+            counts[node] += 1
+    if pairs == 0:
+        return {node: 0.0 for node in counts}
+    return {node: count / pairs for node, count in counts.items()}
+
+
+@dataclass(frozen=True)
+class CongestionReport:
+    """Summary of routing load over a topology."""
+
+    routed_pairs: int
+    average_hop_count: float
+    max_edge_congestion: float
+    average_edge_congestion: float
+    max_forwarding_load: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """The report as a plain dictionary."""
+        return {
+            "routed_pairs": self.routed_pairs,
+            "average_hop_count": self.average_hop_count,
+            "max_edge_congestion": self.max_edge_congestion,
+            "average_edge_congestion": self.average_edge_congestion,
+            "max_forwarding_load": self.max_forwarding_load,
+        }
+
+
+def congestion_report(graph: nx.Graph, network: Network, *, exponent: float = 2.0) -> CongestionReport:
+    """Compute the congestion summary for ``graph`` under min-power routing.
+
+    Only pairs connected in ``graph`` are routed; a disconnected topology
+    simply routes fewer pairs (the connectivity metrics catch that
+    separately).
+    """
+    edge_counts: Dict[Tuple[NodeId, NodeId], int] = {tuple(sorted(edge)): 0 for edge in graph.edges}
+    node_counts: Dict[NodeId, int] = {node: 0 for node in graph.nodes}
+    pairs = 0
+    total_hops = 0
+    for _, _, path in _all_pairs_paths(graph, network, exponent):
+        pairs += 1
+        total_hops += len(path) - 1
+        for u, v in zip(path, path[1:]):
+            edge_counts[tuple(sorted((u, v)))] += 1
+        for node in path[1:-1]:
+            node_counts[node] += 1
+    if pairs == 0:
+        return CongestionReport(0, 0.0, 0.0, 0.0, 0.0)
+    edge_fractions = [count / pairs for count in edge_counts.values()] or [0.0]
+    node_fractions = [count / pairs for count in node_counts.values()] or [0.0]
+    return CongestionReport(
+        routed_pairs=pairs,
+        average_hop_count=total_hops / pairs,
+        max_edge_congestion=max(edge_fractions),
+        average_edge_congestion=sum(edge_fractions) / len(edge_fractions),
+        max_forwarding_load=max(node_fractions),
+    )

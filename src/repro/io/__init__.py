@@ -1,0 +1,19 @@
+"""Result and graph serialization.
+
+Plain-text and JSON helpers for persisting topologies and experiment results
+so that runs can be archived, diffed and re-loaded without re-simulation.
+"""
+
+from repro.io.graphs import write_edge_list, read_edge_list, graph_to_dict, graph_from_dict
+from repro.io.results import results_to_json, results_from_json, write_json, read_json
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "graph_to_dict",
+    "graph_from_dict",
+    "results_to_json",
+    "results_from_json",
+    "write_json",
+    "read_json",
+]

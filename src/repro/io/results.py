@@ -1,0 +1,55 @@
+"""Experiment-result serialization.
+
+Results produced by the experiment harnesses are simple dataclasses; these
+helpers convert them (or any nesting of dataclasses, dicts, lists and
+scalars) into JSON and back into plain dictionaries.  Deserialization is
+deliberately schema-free — the benchmarks only need to archive and reload
+numbers, not reconstruct typed objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+from typing import Any, Union
+
+
+def _to_jsonable(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: _to_jsonable(getattr(value, field.name)) for field in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(key): _to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_to_jsonable(item) for item in value]
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if isinstance(value, (int, str, bool)) or value is None:
+        return value
+    # Graphs and other heavyweight objects are summarized rather than dumped.
+    return repr(value)
+
+
+def results_to_json(result: Any, *, indent: int = 2) -> str:
+    """Serialize an experiment result (dataclass tree) to a JSON string."""
+    return json.dumps(_to_jsonable(result), indent=indent)
+
+
+def results_from_json(payload: str) -> Any:
+    """Parse a JSON string produced by :func:`results_to_json`."""
+    return json.loads(payload)
+
+
+def write_json(result: Any, path: Union[str, Path]) -> None:
+    """Write an experiment result as JSON to ``path``."""
+    Path(path).write_text(results_to_json(result), encoding="utf-8")
+
+
+def read_json(path: Union[str, Path]) -> Any:
+    """Read a JSON result file back into plain dictionaries/lists."""
+    return results_from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,95 @@
+"""The beaconing protocol, as a simulator process.
+
+Each node periodically broadcasts a beacon with its ID and the beacon's
+transmission power.  The beacon power policy follows Section 4 of the paper:
+a node must beacon with the power needed to reach all its neighbours in the
+*unoptimized* ``E_alpha`` (``p(rad_{u,alpha})``) — or in ``E^-_alpha`` when
+asymmetric edge removal is in use — and boundary nodes that shrank back must
+still beacon with the power the basic algorithm computed (maximum power),
+otherwise two approaching network partitions could fail to detect each
+other.  The protocol itself just takes the beacon power as a parameter; the
+policy lives with the caller (see
+:func:`repro.core.reconfiguration.beacon_power_policy`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.net.node import NodeId
+from repro.sim.messages import Message
+from repro.sim.process import DeliveryInfo, NodeProcess, ProtocolContext
+from repro.ndp.events import NeighborEvent
+from repro.ndp.table import NeighborTable
+
+BEACON = "beacon"
+_BEACON_TIMER = "ndp-beacon"
+_EXPIRE_TIMER = "ndp-expire"
+
+
+class BeaconProtocol(NodeProcess):
+    """Periodic beaconing plus neighbour-table maintenance."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        *,
+        beacon_power: float,
+        beacon_interval: float = 1.0,
+        miss_threshold: int = 3,
+        angle_threshold: float = 0.1,
+        horizon: Optional[float] = None,
+        on_event: Optional[Callable[[NeighborEvent], None]] = None,
+    ) -> None:
+        super().__init__(node_id)
+        if beacon_interval <= 0:
+            raise ValueError("beacon_interval must be positive")
+        self.beacon_power = beacon_power
+        self.beacon_interval = beacon_interval
+        self.horizon = horizon
+        self.on_event = on_event
+        self.table = NeighborTable(
+            owner=node_id,
+            beacon_interval=beacon_interval,
+            miss_threshold=miss_threshold,
+            angle_threshold=angle_threshold,
+        )
+        self.events: List[NeighborEvent] = []
+        self.beacons_sent = 0
+
+    def _emit(self, events: List[NeighborEvent]) -> None:
+        for event in events:
+            self.events.append(event)
+            if self.on_event is not None:
+                self.on_event(event)
+
+    def on_start(self, ctx: ProtocolContext) -> None:
+        self._send_beacon(ctx)
+        ctx.set_timer(self.beacon_interval, _EXPIRE_TIMER)
+
+    def _send_beacon(self, ctx: ProtocolContext) -> None:
+        if self.horizon is not None and ctx.now >= self.horizon:
+            return
+        ctx.bcast(self.beacon_power, Message(BEACON, {"power": self.beacon_power}))
+        self.beacons_sent += 1
+        ctx.set_timer(self.beacon_interval, _BEACON_TIMER)
+
+    def on_message(self, ctx: ProtocolContext, message: Message, info: DeliveryInfo) -> None:
+        if message.kind != BEACON:
+            return
+        self._emit(
+            self.table.observe_beacon(
+                sender=info.sender,
+                time=info.time,
+                direction=info.direction,
+                required_power=info.required_power,
+            )
+        )
+
+    def on_timer(self, ctx: ProtocolContext, tag: Any) -> None:
+        if tag == _BEACON_TIMER:
+            self._send_beacon(ctx)
+        elif tag == _EXPIRE_TIMER:
+            self._emit(self.table.expire(ctx.now))
+            if self.horizon is None or ctx.now < self.horizon:
+                ctx.set_timer(self.beacon_interval, _EXPIRE_TIMER)

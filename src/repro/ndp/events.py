@@ -1,0 +1,54 @@
+"""Neighbour-change events.
+
+The reconfiguration algorithm of Section 4 reacts to exactly three event
+types at a node ``u``:
+
+* ``join_u(v)`` — a beacon from ``v`` is detected for the first time (or
+  after ``v`` had been declared failed);
+* ``leave_u(v)`` — a predetermined number of ``v``'s beacons were missed;
+* ``angle_change_u(v)`` — ``v``'s direction with respect to ``u`` changed
+  (due to movement of either node).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.node import NodeId
+
+
+class NeighborEventType(enum.Enum):
+    """The three event kinds of the paper's reconfiguration algorithm."""
+
+    JOIN = "join"
+    LEAVE = "leave"
+    ANGLE_CHANGE = "angle_change"
+
+
+@dataclass(frozen=True)
+class NeighborEvent:
+    """One neighbourhood change observed at ``observer`` about ``subject``."""
+
+    observer: NodeId
+    subject: NodeId
+    event_type: NeighborEventType
+    time: float
+    direction: Optional[float] = None
+    required_power: Optional[float] = None
+
+    @property
+    def is_join(self) -> bool:
+        """Whether this is a join event."""
+        return self.event_type is NeighborEventType.JOIN
+
+    @property
+    def is_leave(self) -> bool:
+        """Whether this is a leave event."""
+        return self.event_type is NeighborEventType.LEAVE
+
+    @property
+    def is_angle_change(self) -> bool:
+        """Whether this is an angle-change event."""
+        return self.event_type is NeighborEventType.ANGLE_CHANGE

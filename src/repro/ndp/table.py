@@ -1,0 +1,131 @@
+"""Neighbour table: the bookkeeping behind join/leave/angle-change detection.
+
+A :class:`NeighborTable` records, per neighbour, when it was last heard, the
+direction its last beacon arrived from and the power required to reach it.
+The table derives the paper's three event types:
+
+* a beacon from an unknown (or previously failed) node is a **join**;
+* a known neighbour whose beacons have been silent for
+  ``miss_threshold * beacon_interval`` is declared failed — a **leave**;
+* a beacon whose direction differs from the recorded one by more than
+  ``angle_threshold`` is an **angle change**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.geometry.angles import angle_difference
+from repro.net.node import NodeId
+from repro.ndp.events import NeighborEvent, NeighborEventType
+
+
+@dataclass
+class NeighborEntry:
+    """Bookkeeping about one neighbour."""
+
+    neighbor: NodeId
+    direction: float
+    required_power: float
+    last_heard: float
+    failed: bool = False
+
+
+@dataclass
+class NeighborTable:
+    """Per-node neighbour bookkeeping with event derivation.
+
+    Parameters
+    ----------
+    owner:
+        The node this table belongs to.
+    beacon_interval:
+        Nominal time between two beacons of the same neighbour.
+    miss_threshold:
+        Number of consecutive missed beacons after which a neighbour is
+        declared failed (the paper's "pre-defined number of beacons").
+    angle_threshold:
+        Direction change (radians) that triggers an angle-change event.
+    """
+
+    owner: NodeId
+    beacon_interval: float = 1.0
+    miss_threshold: int = 3
+    angle_threshold: float = 0.1
+    entries: Dict[NodeId, NeighborEntry] = field(default_factory=dict)
+
+    def observe_beacon(
+        self,
+        sender: NodeId,
+        time: float,
+        direction: float,
+        required_power: float,
+    ) -> List[NeighborEvent]:
+        """Process one received beacon; return the events it implies."""
+        events: List[NeighborEvent] = []
+        entry = self.entries.get(sender)
+        if entry is None or entry.failed:
+            self.entries[sender] = NeighborEntry(
+                neighbor=sender,
+                direction=direction,
+                required_power=required_power,
+                last_heard=time,
+            )
+            events.append(
+                NeighborEvent(
+                    observer=self.owner,
+                    subject=sender,
+                    event_type=NeighborEventType.JOIN,
+                    time=time,
+                    direction=direction,
+                    required_power=required_power,
+                )
+            )
+            return events
+
+        if angle_difference(entry.direction, direction) > self.angle_threshold:
+            events.append(
+                NeighborEvent(
+                    observer=self.owner,
+                    subject=sender,
+                    event_type=NeighborEventType.ANGLE_CHANGE,
+                    time=time,
+                    direction=direction,
+                    required_power=required_power,
+                )
+            )
+        entry.direction = direction
+        entry.required_power = required_power
+        entry.last_heard = time
+        return events
+
+    def expire(self, time: float) -> List[NeighborEvent]:
+        """Declare neighbours failed whose beacons have been missing too long."""
+        events: List[NeighborEvent] = []
+        deadline = self.miss_threshold * self.beacon_interval
+        for entry in self.entries.values():
+            if entry.failed:
+                continue
+            if time - entry.last_heard > deadline:
+                entry.failed = True
+                events.append(
+                    NeighborEvent(
+                        observer=self.owner,
+                        subject=entry.neighbor,
+                        event_type=NeighborEventType.LEAVE,
+                        time=time,
+                    )
+                )
+        return events
+
+    def live_neighbors(self) -> List[NodeId]:
+        """Neighbours currently considered alive."""
+        return sorted(n for n, entry in self.entries.items() if not entry.failed)
+
+    def direction_of(self, neighbor: NodeId) -> Optional[float]:
+        """Last recorded direction of a neighbour, if known and alive."""
+        entry = self.entries.get(neighbor)
+        if entry is None or entry.failed:
+            return None
+        return entry.direction

@@ -1,0 +1,46 @@
+"""Network model: nodes, networks, placements, mobility, failures, energy.
+
+This subpackage models the *physical* network the topology-control algorithm
+runs over: a set of nodes with positions in the plane, generators producing
+the random workloads of the paper's evaluation (100 nodes uniformly placed in
+a 1500x1500 region with maximum radius 500), mobility models and failure /
+energy accounting used by the reconfiguration experiments.
+"""
+
+from repro.net.node import Node, NodeId
+from repro.net.network import Network
+from repro.net.placement import (
+    PlacementConfig,
+    random_uniform_placement,
+    grid_placement,
+    clustered_placement,
+    paper_workload,
+)
+from repro.net.mobility import (
+    MobilityModel,
+    StationaryModel,
+    RandomWalkModel,
+    RandomWaypointModel,
+)
+from repro.net.failures import FailureModel, CrashFailureModel, NoFailures
+from repro.net.energy import EnergyAccount, EnergyLedger
+
+__all__ = [
+    "Node",
+    "NodeId",
+    "Network",
+    "PlacementConfig",
+    "random_uniform_placement",
+    "grid_placement",
+    "clustered_placement",
+    "paper_workload",
+    "MobilityModel",
+    "StationaryModel",
+    "RandomWalkModel",
+    "RandomWaypointModel",
+    "FailureModel",
+    "CrashFailureModel",
+    "NoFailures",
+    "EnergyAccount",
+    "EnergyLedger",
+]

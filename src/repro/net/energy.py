@@ -1,0 +1,86 @@
+"""Energy accounting.
+
+Topology control exists to save energy (Section 1 and Section 6 of the
+paper).  ``EnergyLedger`` records per-node transmission energy so the
+experiments can compare the energy expended when running CBTC and its
+optimizations against transmitting at maximum power, and so network-lifetime
+style metrics (time until first node exhausts its budget) can be computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.net.node import NodeId
+
+
+@dataclass
+class EnergyAccount:
+    """Energy book-keeping for a single node."""
+
+    capacity: float = float("inf")
+    consumed: float = 0.0
+    transmissions: int = 0
+
+    @property
+    def remaining(self) -> float:
+        """Remaining energy budget (infinite if no capacity was set)."""
+        return self.capacity - self.consumed
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the node has spent its whole budget."""
+        return self.remaining <= 0.0
+
+    def charge(self, energy: float) -> None:
+        """Charge ``energy`` units for one transmission."""
+        if energy < 0:
+            raise ValueError("energy must be non-negative")
+        self.consumed += energy
+        self.transmissions += 1
+
+
+class EnergyLedger:
+    """Per-node energy accounts for a whole network."""
+
+    def __init__(self, node_ids: Iterable[NodeId], *, capacity: float = float("inf")) -> None:
+        self._accounts: Dict[NodeId, EnergyAccount] = {
+            node_id: EnergyAccount(capacity=capacity) for node_id in node_ids
+        }
+
+    def account(self, node_id: NodeId) -> EnergyAccount:
+        """The energy account for ``node_id`` (created on demand)."""
+        if node_id not in self._accounts:
+            self._accounts[node_id] = EnergyAccount()
+        return self._accounts[node_id]
+
+    def charge_transmission(self, node_id: NodeId, power: float, duration: float = 1.0) -> None:
+        """Charge a transmission of ``duration`` time units at ``power``."""
+        self.account(node_id).charge(power * duration)
+
+    def total_consumed(self) -> float:
+        """Total energy consumed across all nodes."""
+        return sum(account.consumed for account in self._accounts.values())
+
+    def total_transmissions(self) -> int:
+        """Total number of transmissions charged."""
+        return sum(account.transmissions for account in self._accounts.values())
+
+    def consumed_by(self, node_id: NodeId) -> float:
+        """Energy consumed by one node."""
+        return self.account(node_id).consumed
+
+    def exhausted_nodes(self) -> Iterable[NodeId]:
+        """IDs of nodes that have exhausted their budget."""
+        return [node_id for node_id, account in self._accounts.items() if account.exhausted]
+
+    def max_consumed(self) -> float:
+        """The largest per-node energy consumption (a lifetime proxy)."""
+        if not self._accounts:
+            return 0.0
+        return max(account.consumed for account in self._accounts.values())
+
+    def snapshot(self) -> Dict[NodeId, float]:
+        """Mapping of node ID to consumed energy."""
+        return {node_id: account.consumed for node_id, account in self._accounts.items()}

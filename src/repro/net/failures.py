@@ -1,0 +1,62 @@
+"""Failure models.
+
+The paper's asynchronous model (Section 4) allows crash failures: a node
+stops sending messages and never misbehaves otherwise.  ``CrashFailureModel``
+crashes each alive node independently with a per-step probability and can
+also revive crashed nodes (modelling a node rejoining, which the protocol
+treats as a join event).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.net.network import Network
+from repro.net.node import NodeId
+
+
+class FailureModel:
+    """Base class: applies failures to a network for one time step."""
+
+    def step(self, network: Network) -> List[NodeId]:
+        """Apply one step of failures; return the IDs whose liveness changed."""
+        raise NotImplementedError
+
+
+class NoFailures(FailureModel):
+    """The failure-free setting used by the static evaluation."""
+
+    def step(self, network: Network) -> List[NodeId]:
+        return []
+
+
+@dataclass
+class CrashFailureModel(FailureModel):
+    """Independent crash (and optional recovery) per node per step."""
+
+    crash_probability: float = 0.01
+    recovery_probability: float = 0.0
+    seed: Optional[int] = None
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.crash_probability <= 1.0:
+            raise ValueError("crash_probability must be a probability")
+        if not 0.0 <= self.recovery_probability <= 1.0:
+            raise ValueError("recovery_probability must be a probability")
+        self._rng = random.Random(self.seed)
+
+    def step(self, network: Network) -> List[NodeId]:
+        changed: List[NodeId] = []
+        for node in network.nodes:
+            if node.alive:
+                if self._rng.random() < self.crash_probability:
+                    node.crash()
+                    changed.append(node.node_id)
+            else:
+                if self.recovery_probability > 0 and self._rng.random() < self.recovery_probability:
+                    node.recover()
+                    changed.append(node.node_id)
+        return changed

@@ -1,0 +1,112 @@
+"""Mobility models.
+
+Section 4 of the paper handles reconfiguration when nodes move, fail or
+join.  These mobility models drive the reconfiguration experiments: each
+model advances node positions by a time step, keeping nodes inside the
+deployment region.  Models are deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.geometry import Point
+from repro.net.network import Network
+from repro.net.node import NodeId
+
+
+class MobilityModel:
+    """Base class: advances node positions in place by ``dt`` time units."""
+
+    def step(self, network: Network, dt: float = 1.0) -> None:
+        """Advance every alive node's position by ``dt``."""
+        raise NotImplementedError
+
+
+class StationaryModel(MobilityModel):
+    """No movement at all (the paper's static evaluation setting)."""
+
+    def step(self, network: Network, dt: float = 1.0) -> None:
+        return None
+
+
+@dataclass
+class RandomWalkModel(MobilityModel):
+    """Each node moves a random small step in a random direction each tick.
+
+    Movement is clamped to the rectangular region ``(0, 0)``–``(width, height)``.
+    """
+
+    width: float = 1500.0
+    height: float = 1500.0
+    max_step: float = 25.0
+    seed: Optional[int] = None
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_step < 0:
+            raise ValueError("max_step must be non-negative")
+        self._rng = random.Random(self.seed)
+
+    def step(self, network: Network, dt: float = 1.0) -> None:
+        for node in network.nodes:
+            if not node.alive:
+                continue
+            angle = self._rng.uniform(0.0, 2.0 * math.pi)
+            step = self._rng.uniform(0.0, self.max_step) * dt
+            x = min(max(node.position.x + step * math.cos(angle), 0.0), self.width)
+            y = min(max(node.position.y + step * math.sin(angle), 0.0), self.height)
+            node.move_to(Point(x, y))
+
+
+@dataclass
+class RandomWaypointModel(MobilityModel):
+    """The classic random-waypoint model.
+
+    Each node picks a uniformly random destination in the region and a speed
+    in ``[min_speed, max_speed]``, travels towards it in straight-line steps,
+    and upon arrival picks a new destination.
+    """
+
+    width: float = 1500.0
+    height: float = 1500.0
+    min_speed: float = 5.0
+    max_speed: float = 20.0
+    seed: Optional[int] = None
+    _rng: random.Random = field(init=False, repr=False)
+    _targets: Dict[NodeId, Tuple[Point, float]] = field(init=False, repr=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.min_speed < 0 or self.max_speed < self.min_speed:
+            raise ValueError("speeds must satisfy 0 <= min_speed <= max_speed")
+        self._rng = random.Random(self.seed)
+        self._targets = {}
+
+    def _new_target(self) -> Tuple[Point, float]:
+        destination = Point(self._rng.uniform(0.0, self.width), self._rng.uniform(0.0, self.height))
+        speed = self._rng.uniform(self.min_speed, self.max_speed)
+        return destination, speed
+
+    def step(self, network: Network, dt: float = 1.0) -> None:
+        for node in network.nodes:
+            if not node.alive:
+                continue
+            if node.node_id not in self._targets:
+                self._targets[node.node_id] = self._new_target()
+            destination, speed = self._targets[node.node_id]
+            remaining = node.position.distance_to(destination)
+            travel = speed * dt
+            if remaining <= travel or remaining == 0.0:
+                node.move_to(destination)
+                self._targets[node.node_id] = self._new_target()
+                continue
+            fraction = travel / remaining
+            node.move_to(
+                Point(
+                    node.position.x + (destination.x - node.position.x) * fraction,
+                    node.position.y + (destination.y - node.position.y) * fraction,
+                )
+            )

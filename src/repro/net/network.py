@@ -1,0 +1,179 @@
+"""The network container.
+
+``Network`` owns the set of nodes together with the shared power model.  It
+answers the physical-layer questions the simulator and the centralized
+analyses need: who receives a broadcast sent with a given power, what is the
+maximum-power reachability graph ``GR``, which nodes are within a distance.
+
+The container is intentionally simple — a dictionary of nodes plus a power
+model — so that both the centralized CBTC computation and the distributed
+simulation build on exactly the same physical assumptions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.geometry import Point, distance
+from repro.net.node import Node, NodeId
+from repro.radio import PowerModel, default_power_model
+
+
+class Network:
+    """A collection of wireless nodes sharing a power model."""
+
+    def __init__(self, nodes: Iterable[Node], power_model: Optional[PowerModel] = None) -> None:
+        self.power_model = power_model if power_model is not None else default_power_model()
+        self._nodes: Dict[NodeId, Node] = {}
+        for node in nodes:
+            if node.node_id in self._nodes:
+                raise ValueError(f"duplicate node id {node.node_id}")
+            self._nodes[node.node_id] = node
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_positions(
+        cls,
+        positions: Sequence[Tuple[float, float]],
+        power_model: Optional[PowerModel] = None,
+    ) -> "Network":
+        """Build a network from a sequence of ``(x, y)`` coordinates.
+
+        Node IDs are assigned by position in the sequence, matching the
+        labelling in the paper's Figure 6 plots.
+        """
+        nodes = [Node(node_id=i, position=Point(float(x), float(y))) for i, (x, y) in enumerate(positions)]
+        return cls(nodes, power_model=power_model)
+
+    @classmethod
+    def from_points(cls, points: Sequence[Point], power_model: Optional[PowerModel] = None) -> "Network":
+        """Build a network from a sequence of :class:`Point` objects."""
+        nodes = [Node(node_id=i, position=p) for i, p in enumerate(points)]
+        return cls(nodes, power_model=power_model)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._nodes
+
+    def node(self, node_id: NodeId) -> Node:
+        """Look up a node by ID."""
+        return self._nodes[node_id]
+
+    @property
+    def node_ids(self) -> List[NodeId]:
+        """All node IDs, sorted."""
+        return sorted(self._nodes)
+
+    @property
+    def nodes(self) -> List[Node]:
+        """All nodes, sorted by ID."""
+        return [self._nodes[i] for i in self.node_ids]
+
+    def alive_nodes(self) -> List[Node]:
+        """Nodes that have not crashed."""
+        return [n for n in self.nodes if n.alive]
+
+    def add_node(self, node: Node) -> None:
+        """Add a node (used by the reconfiguration experiments)."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id}")
+        self._nodes[node.node_id] = node
+
+    def remove_node(self, node_id: NodeId) -> Node:
+        """Remove and return a node."""
+        return self._nodes.pop(node_id)
+
+    # ------------------------------------------------------------------ #
+    # Physical-layer queries
+    # ------------------------------------------------------------------ #
+    def distance(self, u: NodeId, v: NodeId) -> float:
+        """Euclidean distance between two nodes."""
+        return self.node(u).distance_to(self.node(v))
+
+    def direction(self, u: NodeId, v: NodeId) -> float:
+        """Direction from node ``u`` towards node ``v``."""
+        return self.node(u).direction_to(self.node(v))
+
+    def required_power(self, u: NodeId, v: NodeId) -> float:
+        """Minimum power for ``u`` to reach ``v`` directly."""
+        return self.power_model.required_power(self.distance(u, v))
+
+    def receivers_of_broadcast(self, sender: NodeId, power: float, *, include_dead: bool = False) -> List[NodeId]:
+        """Node IDs that receive a broadcast from ``sender`` at ``power``.
+
+        Implements the paper's ``bcast(u, p, m)`` reception set
+        ``{v | p(d(u, v)) <= p}``, excluding the sender itself and, by
+        default, crashed nodes.
+        """
+        sender_node = self.node(sender)
+        receivers = []
+        for node in self.nodes:
+            if node.node_id == sender:
+                continue
+            if not include_dead and not node.alive:
+                continue
+            if self.power_model.reaches_with(power, sender_node.distance_to(node)):
+                receivers.append(node.node_id)
+        return receivers
+
+    def neighbors_within(self, node_id: NodeId, radius: float) -> List[NodeId]:
+        """Node IDs within ``radius`` of the given node (excluding itself)."""
+        center = self.node(node_id)
+        return [
+            n.node_id
+            for n in self.nodes
+            if n.node_id != node_id and n.alive and center.distance_to(n) <= radius + 1e-12
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Reference graphs
+    # ------------------------------------------------------------------ #
+    def max_power_graph(self, *, include_dead: bool = False) -> nx.Graph:
+        """The graph ``GR`` induced by every node transmitting at maximum power.
+
+        ``GR = (V, E)`` with ``E = {(u, v) | d(u, v) <= R}``.  Node positions
+        are attached as the ``pos`` node attribute; edge lengths as ``length``.
+        """
+        graph = nx.Graph()
+        candidates = self.nodes if include_dead else self.alive_nodes()
+        for node in candidates:
+            graph.add_node(node.node_id, pos=node.position.as_tuple())
+        max_range = self.power_model.max_range
+        for i, u in enumerate(candidates):
+            for v in candidates[i + 1 :]:
+                d = u.distance_to(v)
+                if d <= max_range + 1e-12:
+                    graph.add_edge(u.node_id, v.node_id, length=d)
+        return graph
+
+    def positions(self) -> Dict[NodeId, Tuple[float, float]]:
+        """Mapping of node ID to ``(x, y)`` position."""
+        return {n.node_id: n.position.as_tuple() for n in self.nodes}
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        """``(min_x, min_y, max_x, max_y)`` over all nodes."""
+        if not self._nodes:
+            raise ValueError("bounding box of an empty network is undefined")
+        xs = [n.position.x for n in self.nodes]
+        ys = [n.position.y for n in self.nodes]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def copy(self) -> "Network":
+        """Deep copy of the network (positions and liveness included)."""
+        nodes = [
+            Node(node_id=n.node_id, position=Point(n.position.x, n.position.y), alive=n.alive, label=n.label)
+            for n in self.nodes
+        ]
+        return Network(nodes, power_model=self.power_model)

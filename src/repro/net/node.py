@@ -1,0 +1,70 @@
+"""Network nodes.
+
+A node is identified by a unique integer ID (the paper's pairwise edge
+removal optimization assumes unique IDs carried in every message) and has a
+position in the plane.  Positions are mutable so the mobility models can
+update them; everything else about a node is immutable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.geometry import Point
+
+NodeId = int
+
+
+@dataclass
+class Node:
+    """A wireless node.
+
+    Attributes
+    ----------
+    node_id:
+        Unique integer identifier.
+    position:
+        Current position in the plane; updated in place by mobility models.
+    alive:
+        Whether the node is up.  Crashed nodes neither send nor receive.
+    label:
+        Optional human-readable label used by the visualization helpers.
+    """
+
+    node_id: NodeId
+    position: Point
+    alive: bool = True
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError("node IDs must be non-negative integers")
+
+    def distance_to(self, other: "Node") -> float:
+        """Euclidean distance to another node."""
+        return self.position.distance_to(other.position)
+
+    def direction_to(self, other: "Node") -> float:
+        """Direction (angle in ``[0, 2*pi)``) from this node towards ``other``."""
+        return self.position.angle_to(other.position)
+
+    def move_to(self, new_position: Point) -> None:
+        """Teleport the node to ``new_position`` (used by mobility models)."""
+        self.position = new_position
+
+    def crash(self) -> None:
+        """Mark the node as failed (crash failure: it stops participating)."""
+        self.alive = False
+
+    def recover(self) -> None:
+        """Bring a crashed node back up (modelled as a fresh join)."""
+        self.alive = True
+
+    def __hash__(self) -> int:
+        return hash(self.node_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return self.node_id == other.node_id

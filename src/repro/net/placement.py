@@ -1,0 +1,138 @@
+"""Node placement generators.
+
+The paper's evaluation (Section 5) places 100 nodes uniformly at random in a
+1500 x 1500 region with a maximum transmission radius of 500; that workload
+is packaged as :func:`paper_workload`.  Grid and clustered placements are
+provided for the additional density-sweep and hot-spot experiments.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry import Point
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.radio import PathLossModel, PowerModel
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """Parameters describing a rectangular deployment region."""
+
+    width: float = 1500.0
+    height: float = 1500.0
+    node_count: int = 100
+    max_range: float = 500.0
+    path_loss_exponent: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("region dimensions must be positive")
+        if self.node_count < 1:
+            raise ValueError("node count must be at least 1")
+        if self.max_range <= 0:
+            raise ValueError("maximum range must be positive")
+
+    def power_model(self) -> PowerModel:
+        """Power model implied by this configuration."""
+        return PowerModel(
+            propagation=PathLossModel(exponent=self.path_loss_exponent),
+            max_range=self.max_range,
+        )
+
+
+PAPER_CONFIG = PlacementConfig(width=1500.0, height=1500.0, node_count=100, max_range=500.0)
+
+
+def random_uniform_placement(
+    config: PlacementConfig = PAPER_CONFIG,
+    *,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Network:
+    """Nodes placed independently and uniformly at random in the region."""
+    generator = rng if rng is not None else random.Random(seed)
+    points = [
+        Point(generator.uniform(0.0, config.width), generator.uniform(0.0, config.height))
+        for _ in range(config.node_count)
+    ]
+    return Network.from_points(points, power_model=config.power_model())
+
+
+def grid_placement(
+    config: PlacementConfig = PAPER_CONFIG,
+    *,
+    jitter: float = 0.0,
+    seed: Optional[int] = None,
+) -> Network:
+    """Nodes on a near-square grid covering the region, with optional jitter.
+
+    The grid is the densest ``rows x cols`` arrangement with
+    ``rows * cols >= node_count``; surplus grid cells are left empty starting
+    from the end of the last row.
+    """
+    generator = random.Random(seed)
+    cols = int(math.ceil(math.sqrt(config.node_count)))
+    rows = int(math.ceil(config.node_count / cols))
+    x_step = config.width / max(cols, 1)
+    y_step = config.height / max(rows, 1)
+    points: List[Point] = []
+    for index in range(config.node_count):
+        row, col = divmod(index, cols)
+        x = (col + 0.5) * x_step
+        y = (row + 0.5) * y_step
+        if jitter > 0:
+            x += generator.uniform(-jitter, jitter)
+            y += generator.uniform(-jitter, jitter)
+        x = min(max(x, 0.0), config.width)
+        y = min(max(y, 0.0), config.height)
+        points.append(Point(x, y))
+    return Network.from_points(points, power_model=config.power_model())
+
+
+def clustered_placement(
+    config: PlacementConfig = PAPER_CONFIG,
+    *,
+    cluster_count: int = 5,
+    cluster_radius: float = 200.0,
+    seed: Optional[int] = None,
+) -> Network:
+    """Nodes grouped into random clusters (models dense deployments/hot spots).
+
+    Cluster centres are uniform in the region; each node picks a cluster
+    uniformly and a position at a Gaussian offset from its centre, clamped to
+    the region.
+    """
+    if cluster_count < 1:
+        raise ValueError("cluster_count must be at least 1")
+    generator = random.Random(seed)
+    centers = [
+        Point(generator.uniform(0.0, config.width), generator.uniform(0.0, config.height))
+        for _ in range(cluster_count)
+    ]
+    points: List[Point] = []
+    for _ in range(config.node_count):
+        center = generator.choice(centers)
+        x = min(max(center.x + generator.gauss(0.0, cluster_radius / 2.0), 0.0), config.width)
+        y = min(max(center.y + generator.gauss(0.0, cluster_radius / 2.0), 0.0), config.height)
+        points.append(Point(x, y))
+    return Network.from_points(points, power_model=config.power_model())
+
+
+def paper_workload(seed: int) -> Network:
+    """One of the paper's random networks: 100 nodes, 1500x1500 region, R = 500."""
+    return random_uniform_placement(PAPER_CONFIG, seed=seed)
+
+
+def paper_workload_suite(count: int = 100, *, base_seed: int = 0) -> List[Network]:
+    """The paper's full evaluation suite: ``count`` independent random networks."""
+    return [paper_workload(base_seed + i) for i in range(count)]
+
+
+def positions_from_network(network: Network) -> Sequence[Tuple[float, float]]:
+    """Extract positions as tuples (round-trips with ``Network.from_positions``)."""
+    return [node.position.as_tuple() for node in network.nodes]

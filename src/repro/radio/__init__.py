@@ -1,0 +1,46 @@
+"""Radio substrate: propagation, power models and power-level schedules.
+
+The paper assumes each node has a power function ``p(d)`` giving the minimum
+power needed to reach a node at distance ``d``, that the maximum power ``P``
+is common to all nodes and corresponds to a maximum range ``R`` (``p(R) = P``),
+and that a receiver can estimate ``p(d(u, v))`` from the transmission power
+(carried in the message) and the measured reception power.  This subpackage
+implements those assumptions:
+
+``PathLossModel``
+    The standard power-law propagation model ``p(d) = c * d**n`` (n >= 2),
+    invertible so that receivers can recover distance/required power.
+``PowerModel``
+    Bundles a propagation model with the network-wide maximum power ``P`` /
+    maximum range ``R`` and answers reachability queries.
+``PowerSchedule`` and concrete schedules
+    The paper's ``Increase`` function: a monotone sequence of power levels
+    ``p0 < Increase(p0) < ... <= P`` used by the growing phase of CBTC.
+``LinkEstimator``
+    The receiver-side estimate of the power required to reach back to a
+    transmitter given transmission and reception powers.
+"""
+
+from repro.radio.propagation import PathLossModel, FreeSpaceModel, ReceptionReport
+from repro.radio.power import (
+    PowerModel,
+    PowerSchedule,
+    GeometricSchedule,
+    LinearSchedule,
+    ExhaustiveSchedule,
+    default_power_model,
+)
+from repro.radio.link import LinkEstimator
+
+__all__ = [
+    "PathLossModel",
+    "FreeSpaceModel",
+    "ReceptionReport",
+    "PowerModel",
+    "PowerSchedule",
+    "GeometricSchedule",
+    "LinearSchedule",
+    "ExhaustiveSchedule",
+    "default_power_model",
+    "LinkEstimator",
+]

@@ -1,0 +1,44 @@
+"""Receiver-side link estimation.
+
+The CBTC protocol relies on two receiver capabilities (Sections 2 and 3.3 of
+the paper):
+
+* from a received message carrying its transmission power, estimate the
+  minimum power required to communicate with the sender (used to answer
+  "Hello" messages and to know the power needed to reach asymmetric
+  neighbours);
+* compare which of two senders is closer, using only transmission and
+  reception powers (used by the pairwise edge removal optimization, which
+  needs relative distances but never absolute positions).
+
+``LinkEstimator`` packages both against a :class:`~repro.radio.propagation.PathLossModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.radio.propagation import PathLossModel, ReceptionReport
+
+
+@dataclass(frozen=True)
+class LinkEstimator:
+    """Estimates link requirements from reception reports."""
+
+    propagation: PathLossModel
+
+    def required_power(self, report: ReceptionReport) -> float:
+        """Minimum power needed to reach the sender of the reported message."""
+        return self.propagation.estimate_required_power(report)
+
+    def distance(self, report: ReceptionReport) -> float:
+        """Estimated distance to the sender of the reported message."""
+        return self.propagation.estimate_distance(report)
+
+    def closer_of(self, first: ReceptionReport, second: ReceptionReport) -> int:
+        """Which of two senders is closer: ``0`` for the first, ``1`` for the second.
+
+        Ties (equal estimated distance) return ``0``; the pairwise edge
+        removal optimization breaks such ties with node IDs, not distances.
+        """
+        return 0 if self.distance(first) <= self.distance(second) else 1

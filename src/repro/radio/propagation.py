@@ -1,0 +1,124 @@
+"""Radio propagation models.
+
+The paper (Section 1) assumes transmission power grows as the ``n``-th power
+of distance for some ``n >= 2`` [Rappaport 1996].  We implement that family
+as :class:`PathLossModel` and provide the free-space special case ``n = 2``.
+The model is deliberately deterministic: CBTC's correctness argument is
+geometric, and the evaluation in the paper uses distances/radii directly.
+Stochastic fading can be layered on top via the lossy channels in
+:mod:`repro.sim.channel` without changing the power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReceptionReport:
+    """What a receiver learns about an incoming transmission.
+
+    The paper assumes that a receiver knows the power ``transmit_power`` the
+    message was sent with (it is carried in the message) and measures the
+    ``reception_power`` after attenuation, and from the two can estimate the
+    minimum power needed to communicate with the sender.
+    """
+
+    transmit_power: float
+    reception_power: float
+
+    @property
+    def attenuation(self) -> float:
+        """Ratio of transmitted to received power (>= 1 in any passive medium)."""
+        if self.reception_power <= 0:
+            raise ValueError("reception power must be positive")
+        return self.transmit_power / self.reception_power
+
+
+@dataclass(frozen=True)
+class PathLossModel:
+    """Power-law path loss: ``p(d) = reference_power * d ** exponent``.
+
+    Parameters
+    ----------
+    exponent:
+        The path-loss exponent ``n`` (>= 1; typically 2-4 for radio).
+    reference_power:
+        The power required to cover unit distance (the constant ``c``).
+    receiver_sensitivity:
+        The reception power threshold at which a message is decodable.  Used
+        to translate a transmission power into a reception power at distance
+        ``d`` and back.
+    """
+
+    exponent: float = 2.0
+    reference_power: float = 1.0
+    receiver_sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.exponent < 1.0:
+            raise ValueError("path-loss exponent must be >= 1")
+        if self.reference_power <= 0.0:
+            raise ValueError("reference power must be positive")
+        if self.receiver_sensitivity <= 0.0:
+            raise ValueError("receiver sensitivity must be positive")
+
+    def required_power(self, dist: float) -> float:
+        """Minimum transmission power ``p(d)`` needed to reach distance ``dist``."""
+        if dist < 0:
+            raise ValueError("distance must be non-negative")
+        if dist == 0.0:
+            return 0.0
+        return self.reference_power * dist**self.exponent
+
+    def range_for_power(self, power: float) -> float:
+        """Largest distance reachable with transmission ``power`` (inverse of ``p``)."""
+        if power < 0:
+            raise ValueError("power must be non-negative")
+        if power == 0.0:
+            return 0.0
+        return (power / self.reference_power) ** (1.0 / self.exponent)
+
+    def reception_power(self, transmit_power: float, dist: float) -> float:
+        """Power observed by a receiver at distance ``dist``.
+
+        Modelled so that a transmission with exactly ``required_power(dist)``
+        arrives at exactly the receiver sensitivity: the received power is
+        ``sensitivity * transmit_power / required_power(dist)``.
+        """
+        if dist <= 0.0:
+            return transmit_power
+        needed = self.required_power(dist)
+        return self.receiver_sensitivity * transmit_power / needed
+
+    def reaches(self, transmit_power: float, dist: float) -> bool:
+        """Whether a transmission at ``transmit_power`` is decodable at ``dist``."""
+        if dist == 0.0:
+            return True
+        return self.reception_power(transmit_power, dist) >= self.receiver_sensitivity * (1 - 1e-12)
+
+    def estimate_required_power(self, report: ReceptionReport) -> float:
+        """Receiver-side estimate of ``p(d(u, v))`` from a reception report.
+
+        Inverts :meth:`reception_power`: the receiver knows the transmit
+        power (in the message) and the measured reception power, and the
+        required power is ``sensitivity * transmit_power / reception_power``.
+        This is exact under the deterministic model, matching the paper's
+        assumption that the estimate "is reasonable in practice".
+        """
+        return self.receiver_sensitivity * report.attenuation
+
+    def estimate_distance(self, report: ReceptionReport) -> float:
+        """Receiver-side distance estimate from a reception report."""
+        return self.range_for_power(self.estimate_required_power(report))
+
+
+class FreeSpaceModel(PathLossModel):
+    """Free-space propagation, i.e. path-loss exponent fixed to 2."""
+
+    def __init__(self, reference_power: float = 1.0, receiver_sensitivity: float = 1.0) -> None:
+        super().__init__(
+            exponent=2.0,
+            reference_power=reference_power,
+            receiver_sensitivity=receiver_sensitivity,
+        )

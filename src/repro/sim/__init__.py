@@ -1,0 +1,52 @@
+"""Discrete-event simulation substrate.
+
+The CBTC paper first presents its algorithm in a synchronous round model
+(Section 2) and then argues it also works asynchronously with unreliable
+channels and crash failures (Section 4).  This subpackage provides both
+execution models over a single discrete-event core:
+
+``SimulationEngine``
+    A deterministic discrete-event scheduler with a virtual clock.
+``Channel`` hierarchy
+    Reliable, lossy and duplicating message channels with configurable
+    per-hop delay; losses and duplication model the asynchronous setting.
+``Process`` / ``NodeProcess``
+    The per-node protocol abstraction.  Node code sees only the paper's
+    communication primitives — ``bcast(u, p, m)``, ``send(u, p, m, v)`` and
+    message delivery callbacks carrying reception power — plus timers.
+``SynchronousRunner``
+    Lock-step rounds on top of the event engine: every message sent in round
+    ``t`` is delivered at the start of round ``t + 1``.
+``MessageTrace``
+    Records every transmission for debugging, energy accounting and the
+    message-cost statistics reported by the experiments.
+"""
+
+from repro.sim.events import Event, MessageDelivery, TimerFired
+from repro.sim.engine import SimulationEngine
+from repro.sim.channel import Channel, ReliableChannel, LossyChannel, DuplicatingChannel
+from repro.sim.process import Process, NodeProcess, ProtocolContext
+from repro.sim.synchronous import SynchronousRunner
+from repro.sim.messages import Message, Envelope
+from repro.sim.trace import MessageTrace, TraceRecord
+from repro.sim.randomness import SeededRandom
+
+__all__ = [
+    "Event",
+    "MessageDelivery",
+    "TimerFired",
+    "SimulationEngine",
+    "Channel",
+    "ReliableChannel",
+    "LossyChannel",
+    "DuplicatingChannel",
+    "Process",
+    "NodeProcess",
+    "ProtocolContext",
+    "SynchronousRunner",
+    "Message",
+    "Envelope",
+    "MessageTrace",
+    "TraceRecord",
+    "SeededRandom",
+]

@@ -1,0 +1,104 @@
+"""Communication channels.
+
+A channel decides what happens to each (transmitter, receiver) delivery: the
+delay it incurs, whether it is lost, and whether duplicates are created.  The
+synchronous model of Section 2 uses :class:`ReliableChannel` with unit delay;
+the asynchronous model of Section 4 is exercised with :class:`LossyChannel`
+and :class:`DuplicatingChannel`, which respectively drop and duplicate
+messages at configurable rates.  Channels never reorder the decision logic
+based on global state, so simulations stay deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.net.node import NodeId
+from repro.sim.messages import Envelope
+from repro.sim.randomness import SeededRandom
+
+
+class Channel:
+    """Base channel: maps a transmission to a list of ``(delay, deliver)`` outcomes.
+
+    ``plan_delivery`` returns a list of delivery delays for one receiver; an
+    empty list means the message is lost for that receiver, more than one
+    entry means duplication.
+    """
+
+    def plan_delivery(self, envelope: Envelope, receiver: NodeId, distance: float) -> List[float]:
+        """Delays (in simulation time units) at which ``receiver`` gets the envelope."""
+        raise NotImplementedError
+
+
+@dataclass
+class ReliableChannel(Channel):
+    """Delivers every message exactly once after a fixed delay."""
+
+    delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+
+    def plan_delivery(self, envelope: Envelope, receiver: NodeId, distance: float) -> List[float]:
+        return [self.delay]
+
+
+@dataclass
+class LossyChannel(Channel):
+    """Drops each delivery independently with probability ``loss_probability``.
+
+    Surviving deliveries experience a delay uniform in ``[min_delay, max_delay]``,
+    modelling asynchrony (no bound relation between different messages other
+    than the configured interval).
+    """
+
+    loss_probability: float = 0.1
+    min_delay: float = 0.5
+    max_delay: float = 2.0
+    seed: Optional[int] = None
+    _rng: SeededRandom = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        if self.min_delay < 0 or self.max_delay < self.min_delay:
+            raise ValueError("delays must satisfy 0 <= min_delay <= max_delay")
+        self._rng = SeededRandom(self.seed)
+
+    def plan_delivery(self, envelope: Envelope, receiver: NodeId, distance: float) -> List[float]:
+        if self._rng.random() < self.loss_probability:
+            return []
+        return [self._rng.uniform(self.min_delay, self.max_delay)]
+
+
+@dataclass
+class DuplicatingChannel(Channel):
+    """Occasionally delivers a message twice (the paper allows duplication).
+
+    Each delivery is duplicated with probability ``duplicate_probability``;
+    the duplicate arrives after an extra random delay.  Combined with the
+    duplicate-suppression in the node runtime this exercises the paper's
+    assumption that "mechanisms to discard duplicate messages are present".
+    """
+
+    duplicate_probability: float = 0.1
+    base_delay: float = 1.0
+    extra_delay: float = 1.0
+    seed: Optional[int] = None
+    _rng: SeededRandom = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.duplicate_probability <= 1.0:
+            raise ValueError("duplicate_probability must be a probability")
+        if self.base_delay < 0 or self.extra_delay < 0:
+            raise ValueError("delays must be non-negative")
+        self._rng = SeededRandom(self.seed)
+
+    def plan_delivery(self, envelope: Envelope, receiver: NodeId, distance: float) -> List[float]:
+        deliveries = [self.base_delay]
+        if self._rng.random() < self.duplicate_probability:
+            deliveries.append(self.base_delay + self._rng.uniform(0.0, self.extra_delay) + 1e-6)
+        return deliveries

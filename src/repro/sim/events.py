@@ -1,0 +1,65 @@
+"""Simulation events.
+
+Two event kinds drive everything in the engine: message deliveries
+(the physical layer handing an envelope to a receiving node, along with the
+reception power the paper assumes receivers can measure) and timer firings
+(used by the beaconing Neighbor Discovery Protocol and by node-local
+time-outs).  Events are ordered by ``(time, priority, sequence)`` so that the
+schedule is fully deterministic; the ordering is defined on the base class
+so that heterogeneous event types can share one priority queue.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.net.node import NodeId
+from repro.sim.messages import Envelope
+
+_EVENT_SEQUENCE = itertools.count()
+
+
+@dataclass
+class Event:
+    """Base event, ordered by time, then priority, then creation order."""
+
+    time: float
+    priority: int = 0
+    sequence: int = field(default_factory=lambda: next(_EVENT_SEQUENCE))
+    cancelled: bool = False
+
+    def _sort_key(self) -> tuple:
+        return (self.time, self.priority, self.sequence)
+
+    def __lt__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    def __le__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._sort_key() <= other._sort_key()
+
+    def cancel(self) -> None:
+        """Cancel the event; the engine drops cancelled events on pop."""
+        self.cancelled = True
+
+
+@dataclass
+class MessageDelivery(Event):
+    """Delivery of an envelope to a specific receiver with a reception power."""
+
+    receiver: NodeId = -1
+    envelope: Optional[Envelope] = None
+    reception_power: float = 0.0
+
+
+@dataclass
+class TimerFired(Event):
+    """A node-local timer firing, carrying an opaque tag back to the node."""
+
+    node: NodeId = -1
+    tag: Any = None

@@ -1,0 +1,59 @@
+"""Messages and envelopes.
+
+A :class:`Message` is what protocol code constructs and hands to ``bcast`` /
+``send``; an :class:`Envelope` is what the physical layer wraps around it:
+sender, (optional) unicast destination, transmission power, and a unique
+sequence number.  The paper's asynchronous model assumes messages carry
+unique identifiers so duplicates can be discarded — the envelope sequence
+number provides exactly that.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.net.node import NodeId
+
+_SEQUENCE = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """A protocol-level message.
+
+    Attributes
+    ----------
+    kind:
+        Message type tag, e.g. ``"hello"``, ``"ack"``, ``"beacon"``.
+    payload:
+        Arbitrary protocol data (kept as a dict for easy tracing).
+    """
+
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Convenience accessor into the payload."""
+        return self.payload.get(key, default)
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message together with its physical-layer transmission metadata."""
+
+    message: Message
+    sender: NodeId
+    transmit_power: float
+    destination: Optional[NodeId] = None
+    sequence: int = field(default_factory=lambda: next(_SEQUENCE))
+
+    @property
+    def is_broadcast(self) -> bool:
+        """Whether the envelope was broadcast rather than unicast."""
+        return self.destination is None
+
+    def unique_id(self) -> int:
+        """A network-wide unique identifier (for duplicate suppression)."""
+        return self.sequence

@@ -1,0 +1,111 @@
+"""Node processes and the protocol-facing context.
+
+Protocol code (the distributed CBTC node, the NDP beaconer) is written as a
+:class:`NodeProcess` subclass with three callbacks — ``on_start``,
+``on_message`` and ``on_timer`` — and interacts with the world exclusively
+through a :class:`ProtocolContext`.  The context exposes exactly the
+capabilities the paper assumes a node has:
+
+* ``bcast(power, message)`` and ``send(power, message, destination)``;
+* timers (for beacon intervals and round time-outs);
+* for each received message, the reception metadata (:class:`DeliveryInfo`):
+  the transmission power carried in the message, the measured reception
+  power, the estimated power required to reach the sender back, and the
+  estimated direction of arrival.
+
+Crucially, a node process never sees other nodes' coordinates: only
+directions and power estimates, exactly matching the paper's model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.net.node import NodeId
+from repro.sim.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.sim.engine import SimulationEngine
+
+
+@dataclass(frozen=True)
+class DeliveryInfo:
+    """Everything a receiver learns about an incoming message."""
+
+    sender: NodeId
+    time: float
+    transmit_power: float
+    reception_power: float
+    required_power: float
+    direction: float
+    duplicate: bool = False
+
+
+class ProtocolContext:
+    """The API a node process uses to act on the world."""
+
+    def __init__(self, engine: "SimulationEngine", node_id: NodeId) -> None:
+        self._engine = engine
+        self._node_id = node_id
+
+    @property
+    def node_id(self) -> NodeId:
+        """The ID of the node this context belongs to."""
+        return self._node_id
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._engine.now
+
+    @property
+    def max_power(self) -> float:
+        """The network-wide maximum transmission power ``P``."""
+        return self._engine.network.power_model.max_power
+
+    @property
+    def power_model(self):
+        """The shared radio power model (propagation constants, maximum power).
+
+        This is radio calibration data every node is assumed to know; it does
+        not leak any other node's position or state.
+        """
+        return self._engine.network.power_model
+
+    def bcast(self, power: float, message: Message) -> None:
+        """Broadcast ``message`` with transmission ``power`` (the paper's ``bcast``)."""
+        self._engine.transmit(self._node_id, power, message, destination=None)
+
+    def send(self, power: float, message: Message, destination: NodeId) -> None:
+        """Unicast ``message`` to ``destination`` with ``power`` (the paper's ``send``)."""
+        self._engine.transmit(self._node_id, power, message, destination=destination)
+
+    def set_timer(self, delay: float, tag: Any = None) -> None:
+        """Schedule ``on_timer`` to fire after ``delay`` time units."""
+        self._engine.schedule_timer(self._node_id, delay, tag)
+
+
+class Process:
+    """Minimal process interface used by the engine."""
+
+    def on_start(self, ctx: ProtocolContext) -> None:
+        """Called once when the simulation starts."""
+
+    def on_message(self, ctx: ProtocolContext, message: Message, info: DeliveryInfo) -> None:
+        """Called for every delivered message."""
+
+    def on_timer(self, ctx: ProtocolContext, tag: Any) -> None:
+        """Called when a timer set via ``ctx.set_timer`` fires."""
+
+
+class NodeProcess(Process):
+    """A process bound to a specific node, with convenience state."""
+
+    def __init__(self, node_id: NodeId) -> None:
+        self.node_id = node_id
+        self.finished = False
+
+    def finish(self) -> None:
+        """Mark the process as finished (informational; the engine keeps running)."""
+        self.finished = True

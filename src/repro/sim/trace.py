@@ -1,0 +1,76 @@
+"""Message tracing and transmission statistics.
+
+Every transmission made through the engine is recorded as a
+:class:`TraceRecord`.  Traces serve three purposes: debugging protocol runs,
+feeding the :class:`~repro.net.energy.EnergyLedger`, and producing the
+message-complexity statistics used by the experiments (how many broadcasts /
+unicasts a CBTC run costs, how that changes with the power schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.node import NodeId
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One transmission: who sent what, when, with which power."""
+
+    time: float
+    sender: NodeId
+    kind: str
+    transmit_power: float
+    destination: Optional[NodeId]
+    receivers: int
+
+
+class MessageTrace:
+    """Accumulates :class:`TraceRecord` instances during a simulation."""
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+
+    def record(self, record: TraceRecord) -> None:
+        """Append one transmission record."""
+        self._records.append(record)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """All records in transmission order."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def count_by_kind(self) -> Dict[str, int]:
+        """Number of transmissions per message kind."""
+        counts: Dict[str, int] = {}
+        for record in self._records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
+
+    def transmissions_by_node(self) -> Dict[NodeId, int]:
+        """Number of transmissions per sender."""
+        counts: Dict[NodeId, int] = {}
+        for record in self._records:
+            counts[record.sender] = counts.get(record.sender, 0) + 1
+        return counts
+
+    def total_transmit_energy(self, duration_per_message: float = 1.0) -> float:
+        """Total transmission energy assuming each message takes a fixed airtime."""
+        return sum(record.transmit_power * duration_per_message for record in self._records)
+
+    def broadcasts(self) -> List[TraceRecord]:
+        """Only the broadcast transmissions."""
+        return [record for record in self._records if record.destination is None]
+
+    def unicasts(self) -> List[TraceRecord]:
+        """Only the unicast transmissions."""
+        return [record for record in self._records if record.destination is not None]
+
+    def clear(self) -> None:
+        """Forget all records."""
+        self._records.clear()

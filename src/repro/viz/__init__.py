@@ -1,0 +1,13 @@
+"""Topology visualization without matplotlib.
+
+The paper's Figure 6 is a set of plotted graphs; this environment has no
+plotting backend, so :func:`ascii_topology` renders a topology as an ASCII
+raster (nodes as ``*``/IDs, edges as line-drawn segments) and
+:func:`edge_list_text` produces a deterministic textual edge list suitable
+for diffing two configurations.  Both are used by the Figure 6 harness, the
+CLI and the examples.
+"""
+
+from repro.viz.ascii_plot import ascii_topology, edge_list_text, degree_profile_text
+
+__all__ = ["ascii_topology", "edge_list_text", "degree_profile_text"]

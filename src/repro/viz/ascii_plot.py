@@ -1,0 +1,93 @@
+"""ASCII rendering of planar topologies."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.net.network import Network
+
+
+def _scale_positions(
+    network: Network,
+    width: int,
+    height: int,
+) -> Dict[int, Tuple[int, int]]:
+    min_x, min_y, max_x, max_y = network.bounding_box()
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+    scaled = {}
+    for node in network.nodes:
+        column = int(round((node.position.x - min_x) / span_x * (width - 1)))
+        row = int(round((node.position.y - min_y) / span_y * (height - 1)))
+        scaled[node.node_id] = (row, column)
+    return scaled
+
+
+def ascii_topology(
+    graph: nx.Graph,
+    network: Network,
+    *,
+    width: int = 72,
+    height: int = 28,
+    show_ids: bool = False,
+) -> str:
+    """Render ``graph`` over ``network`` positions as an ASCII raster.
+
+    Edges are drawn by sampling points along each segment (``.`` characters),
+    nodes as ``*`` or, with ``show_ids``, as their last ID digit.  The origin
+    is the bottom-left corner, matching the usual plot orientation.
+    """
+    if width < 2 or height < 2:
+        raise ValueError("the raster must be at least 2x2")
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    positions = _scale_positions(network, width, height)
+
+    for u, v in graph.edges:
+        (row_u, col_u) = positions[u]
+        (row_v, col_v) = positions[v]
+        steps = max(abs(row_u - row_v), abs(col_u - col_v), 1)
+        for step in range(steps + 1):
+            row = round(row_u + (row_v - row_u) * step / steps)
+            col = round(col_u + (col_v - col_u) * step / steps)
+            if grid[row][col] == " ":
+                grid[row][col] = "."
+
+    for node_id, (row, col) in positions.items():
+        if node_id not in graph:
+            continue
+        grid[row][col] = str(node_id % 10) if show_ids else "*"
+
+    # Row 0 corresponds to the smallest y; print top-down so larger y is on top.
+    lines = ["".join(row) for row in reversed(grid)]
+    return "\n".join(lines)
+
+
+def edge_list_text(graph: nx.Graph) -> str:
+    """A deterministic textual edge list (one ``u -- v [length]`` per line)."""
+    lines = []
+    for u, v in sorted(tuple(sorted(edge)) for edge in graph.edges):
+        length = graph.edges[u, v].get("length")
+        if length is not None:
+            lines.append(f"{u} -- {v}  [{length:.1f}]")
+        else:
+            lines.append(f"{u} -- {v}")
+    return "\n".join(lines)
+
+
+def degree_profile_text(graph: nx.Graph, *, bucket_width: int = 1) -> str:
+    """A small histogram of node degrees as text bars."""
+    if graph.number_of_nodes() == 0:
+        return "(empty graph)"
+    degrees = [degree for _, degree in graph.degree]
+    histogram: Dict[int, int] = {}
+    for degree in degrees:
+        bucket = (degree // bucket_width) * bucket_width
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+    lines = []
+    for bucket in sorted(histogram):
+        count = histogram[bucket]
+        label = f"{bucket}" if bucket_width == 1 else f"{bucket}-{bucket + bucket_width - 1}"
+        lines.append(f"degree {label:>5}: {'#' * count} ({count})")
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Tests for the baseline graph families (repro.baselines)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.baselines import (
+    delaunay_graph,
+    euclidean_mst,
+    gabriel_graph,
+    max_power_graph,
+    relative_neighborhood_graph,
+    theta_graph,
+    yao_graph,
+)
+from repro.geometry import Point
+from repro.net.network import Network
+from repro.radio import PathLossModel, PowerModel
+
+
+def _network(points, max_range=10.0):
+    power_model = PowerModel(propagation=PathLossModel(), max_range=max_range)
+    return Network.from_points(points, power_model=power_model)
+
+
+class TestMaxPower:
+    def test_equals_network_reference_graph(self, small_random_network):
+        assert set(max_power_graph(small_random_network).edges) == set(
+            small_random_network.max_power_graph().edges
+        )
+
+
+class TestRelativeNeighborhoodGraph:
+    def test_blocked_edge_removed(self):
+        # Node 2 sits between 0 and 1 and is closer to both than they are to
+        # each other, so the (0, 1) edge is not in the RNG.
+        network = _network([Point(0, 0), Point(2, 0), Point(1, 0.1)])
+        rng = relative_neighborhood_graph(network)
+        assert not rng.has_edge(0, 1)
+        assert rng.has_edge(0, 2)
+        assert rng.has_edge(1, 2)
+
+    def test_subgraph_of_gabriel_and_of_gr(self, small_random_network):
+        rng = relative_neighborhood_graph(small_random_network)
+        gabriel = gabriel_graph(small_random_network)
+        reference = small_random_network.max_power_graph()
+        assert set(rng.edges) <= set(gabriel.edges)
+        assert set(rng.edges) <= set(reference.edges)
+
+    def test_preserves_connectivity_of_gr(self, small_random_network):
+        from repro.core.analysis import preserves_connectivity
+
+        rng = relative_neighborhood_graph(small_random_network)
+        assert preserves_connectivity(small_random_network.max_power_graph(), rng)
+
+    def test_respect_max_range_flag(self):
+        network = _network([Point(0, 0), Point(5, 0)], max_range=1.0)
+        assert relative_neighborhood_graph(network).number_of_edges() == 0
+        assert relative_neighborhood_graph(network, respect_max_range=False).number_of_edges() == 1
+
+
+class TestGabrielGraph:
+    def test_blocked_edge_removed(self):
+        # Node 2 lies inside the disk with diameter (0, 1).
+        network = _network([Point(0, 0), Point(2, 0), Point(1, 0.5)])
+        gabriel = gabriel_graph(network)
+        assert not gabriel.has_edge(0, 1)
+
+    def test_unblocked_edge_kept(self):
+        network = _network([Point(0, 0), Point(2, 0), Point(1, 3.0)])
+        gabriel = gabriel_graph(network)
+        assert gabriel.has_edge(0, 1)
+
+    def test_contains_mst(self, small_random_network):
+        gabriel = gabriel_graph(small_random_network)
+        mst = euclidean_mst(small_random_network)
+        assert set(map(frozenset, mst.edges)) <= set(map(frozenset, gabriel.edges))
+
+
+class TestEuclideanMst:
+    def test_is_spanning_tree(self, small_random_network):
+        mst = euclidean_mst(small_random_network)
+        assert mst.number_of_nodes() == len(small_random_network)
+        assert mst.number_of_edges() == len(small_random_network) - 1
+        assert nx.is_connected(mst)
+
+    def test_minimum_total_length(self, small_random_network):
+        mst = euclidean_mst(small_random_network)
+        rng = relative_neighborhood_graph(small_random_network, respect_max_range=False)
+        mst_length = sum(data["length"] for _, _, data in mst.edges(data=True))
+        rng_length = sum(data["length"] for _, _, data in rng.edges(data=True))
+        assert mst_length <= rng_length + 1e-6
+
+    def test_respect_max_range_gives_forest_per_component(self):
+        network = _network([Point(0, 0), Point(1, 0), Point(50, 0), Point(51, 0)], max_range=2.0)
+        forest = euclidean_mst(network, respect_max_range=True)
+        assert forest.number_of_edges() == 2
+        assert nx.number_connected_components(forest) == 2
+
+
+class TestConeFamilies:
+    def test_yao_graph_degree_bounded_by_outgoing_cones(self):
+        network = _network([Point(0, 0)] + [Point(math.cos(a), math.sin(a)) for a in
+                                            [i * math.pi / 8 for i in range(16)]], max_range=5.0)
+        yao = yao_graph(network, k=6)
+        # Node 0 selects at most one neighbour per cone; its incident edges can
+        # exceed 6 only via other nodes' selections, which cannot happen here
+        # because node 0 is the nearest neighbour of every ring node.
+        assert yao.degree[0] <= 16
+        assert yao.number_of_edges() >= 6
+
+    def test_yao_keeps_nearest_per_cone(self):
+        network = _network([Point(0, 0), Point(1, 0), Point(2, 0.05)], max_range=5.0)
+        yao = yao_graph(network, k=4)
+        assert yao.has_edge(0, 1)
+
+    def test_theta_graph_connected_on_random_networks(self, small_random_network):
+        from repro.core.analysis import preserves_connectivity
+
+        theta = theta_graph(small_random_network, k=8)
+        assert preserves_connectivity(small_random_network.max_power_graph(), theta)
+
+    def test_invalid_cone_count_rejected(self, small_random_network):
+        with pytest.raises(ValueError):
+            yao_graph(small_random_network, k=0)
+        with pytest.raises(ValueError):
+            theta_graph(small_random_network, k=0)
+
+    def test_yao_sparser_than_max_power(self, small_random_network):
+        yao = yao_graph(small_random_network, k=6)
+        assert yao.number_of_edges() < small_random_network.max_power_graph().number_of_edges()
+
+
+class TestDelaunay:
+    def test_triangulation_edge_count_bound(self, small_random_network):
+        graph = delaunay_graph(small_random_network, respect_max_range=False)
+        n = graph.number_of_nodes()
+        # A planar triangulation has at most 3n - 6 edges.
+        assert graph.number_of_edges() <= 3 * n - 6
+
+    def test_range_restriction_drops_long_edges(self, small_random_network):
+        unrestricted = delaunay_graph(small_random_network, respect_max_range=False)
+        restricted = delaunay_graph(small_random_network, respect_max_range=True)
+        assert set(restricted.edges) <= set(unrestricted.edges)
+        for u, v, data in restricted.edges(data=True):
+            assert data["length"] <= small_random_network.power_model.max_range + 1e-9
+
+    def test_degenerate_inputs_fall_back(self):
+        two_nodes = _network([Point(0, 0), Point(1, 0)])
+        graph = delaunay_graph(two_nodes)
+        assert graph.number_of_edges() == 1
+        collinear = _network([Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0)])
+        assert delaunay_graph(collinear).number_of_nodes() == 4

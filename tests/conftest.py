@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+from repro.net.network import Network
+from repro.net.placement import PlacementConfig, random_uniform_placement
+from repro.radio import PathLossModel, PowerModel
+
+ALPHA_FIVE_SIXTHS = 5.0 * math.pi / 6.0
+ALPHA_TWO_THIRDS = 2.0 * math.pi / 3.0
+
+
+@pytest.fixture
+def unit_power_model() -> PowerModel:
+    """A power model with maximum range 1 and quadratic path loss."""
+    return PowerModel(propagation=PathLossModel(exponent=2.0), max_range=1.0)
+
+
+@pytest.fixture
+def square_network(unit_power_model: PowerModel) -> Network:
+    """Four nodes on a unit square with R = 1 (sides in range, diagonals out)."""
+    return Network.from_points(
+        [Point(0.0, 0.0), Point(1.0, 0.0), Point(1.0, 1.0), Point(0.0, 1.0)],
+        power_model=unit_power_model,
+    )
+
+
+@pytest.fixture
+def line_network(unit_power_model: PowerModel) -> Network:
+    """Five nodes on a line, each 0.8 apart, so only consecutive pairs are in range."""
+    return Network.from_points(
+        [Point(0.8 * i, 0.0) for i in range(5)],
+        power_model=unit_power_model,
+    )
+
+
+@pytest.fixture
+def small_random_network() -> Network:
+    """A 30-node random network on the paper's workload geometry (seeded)."""
+    return random_uniform_placement(PlacementConfig(node_count=30), seed=7)
+
+
+@pytest.fixture
+def medium_random_network() -> Network:
+    """A 60-node random network on the paper's workload geometry (seeded)."""
+    return random_uniform_placement(PlacementConfig(node_count=60), seed=11)

@@ -1,0 +1,117 @@
+"""Tests for repro.core.analysis (theorem checkers and stretch metrics)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.analysis import (
+    connectivity_report,
+    hop_stretch_factor,
+    power_stretch_factor,
+    preserves_connectivity,
+    same_connectivity,
+    verify_theorem_2_1,
+    verify_theorem_3_1,
+    verify_theorem_3_2,
+    verify_theorem_3_6,
+)
+from repro.core.pipeline import OptimizationConfig, build_topology
+from repro.graphs.paths import power_spanner_bound
+from repro.net.placement import PlacementConfig, random_uniform_placement
+
+ALPHA = 5 * math.pi / 6
+
+
+class TestConnectivityComparison:
+    def test_identical_graphs_preserve_connectivity(self):
+        graph = nx.path_graph(5)
+        assert preserves_connectivity(graph, graph)
+
+    def test_spanning_subgraph_preserves_connectivity(self):
+        reference = nx.complete_graph(5)
+        candidate = nx.path_graph(5)
+        assert preserves_connectivity(reference, candidate)
+
+    def test_disconnecting_subgraph_detected(self):
+        reference = nx.path_graph(4)
+        candidate = nx.Graph()
+        candidate.add_nodes_from(reference.nodes)
+        candidate.add_edge(0, 1)
+        assert not preserves_connectivity(reference, candidate)
+
+    def test_different_node_sets_not_equivalent(self):
+        a = nx.path_graph(3)
+        b = nx.path_graph(4)
+        assert not same_connectivity(a, b)
+
+    def test_component_structure_comparison(self):
+        reference = nx.Graph()
+        reference.add_edges_from([(0, 1), (2, 3)])
+        candidate = nx.Graph()
+        candidate.add_nodes_from([0, 1, 2, 3])
+        candidate.add_edges_from([(0, 1), (2, 3)])
+        assert same_connectivity(reference, candidate)
+        candidate.add_edge(1, 2)
+        # Candidate connects a pair the reference keeps apart.
+        assert not same_connectivity(reference, candidate)
+
+    def test_connectivity_report_fields(self):
+        reference = nx.cycle_graph(6)
+        candidate = nx.path_graph(6)
+        report = connectivity_report(reference, candidate)
+        assert report.preserved
+        assert report.reference_edges == 6
+        assert report.candidate_edges == 5
+        assert report.edge_reduction == pytest.approx(1 / 6)
+        assert report.reference_components == report.candidate_components == 1
+
+
+class TestTheoremCheckers:
+    def test_theorem_2_1_on_random_networks(self):
+        for seed in range(3):
+            network = random_uniform_placement(PlacementConfig(node_count=25), seed=seed)
+            assert verify_theorem_2_1(network, ALPHA)
+
+    def test_theorem_3_1_on_random_networks(self):
+        network = random_uniform_placement(PlacementConfig(node_count=25), seed=5)
+        assert verify_theorem_3_1(network, ALPHA)
+
+    def test_theorem_3_2_on_random_networks(self):
+        network = random_uniform_placement(PlacementConfig(node_count=25), seed=6)
+        assert verify_theorem_3_2(network, 2 * math.pi / 3)
+
+    def test_theorem_3_6_on_random_networks(self):
+        network = random_uniform_placement(PlacementConfig(node_count=25), seed=7)
+        assert verify_theorem_3_6(network, ALPHA)
+
+
+class TestStretchMetrics:
+    def test_power_stretch_of_reference_graph_is_one(self, small_random_network):
+        reference = small_random_network.max_power_graph()
+        assert power_stretch_factor(small_random_network, reference) == pytest.approx(1.0)
+
+    def test_power_stretch_of_controlled_graph_is_finite_and_bounded_below(self, small_random_network):
+        result = build_topology(small_random_network, ALPHA, config=OptimizationConfig.all())
+        stretch = power_stretch_factor(small_random_network, result.graph)
+        assert math.isfinite(stretch)
+        assert stretch >= 1.0
+
+    def test_power_stretch_infinite_when_disconnected(self, small_random_network):
+        broken = nx.Graph()
+        broken.add_nodes_from(small_random_network.node_ids)
+        assert power_stretch_factor(small_random_network, broken) == float("inf")
+
+    def test_hop_stretch_at_least_one(self, small_random_network):
+        result = build_topology(small_random_network, ALPHA)
+        assert hop_stretch_factor(small_random_network, result.graph) >= 1.0
+
+    def test_sampled_pairs_subset(self, small_random_network):
+        result = build_topology(small_random_network, ALPHA)
+        stretch = power_stretch_factor(small_random_network, result.graph, sample_pairs=[(0, 1), (2, 3)])
+        assert stretch >= 1.0
+
+    def test_power_spanner_bound_formula(self):
+        assert power_spanner_bound(math.pi / 2) == pytest.approx(3.0 / math.sin(math.pi / 4))
+        with pytest.raises(ValueError):
+            power_spanner_bound(0.0)

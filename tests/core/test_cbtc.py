@@ -1,0 +1,151 @@
+"""Tests for the basic CBTC(alpha) growing phase (repro.core.cbtc)."""
+
+import math
+
+import pytest
+
+from repro.core.cbtc import run_cbtc, run_cbtc_for_node
+from repro.geometry import Point, translate_polar
+from repro.net.network import Network
+from repro.radio import PathLossModel, PowerModel
+from repro.radio.power import GeometricSchedule, LinearSchedule
+
+ALPHA = 5 * math.pi / 6
+
+
+def _network(points, max_range=1.0):
+    power_model = PowerModel(propagation=PathLossModel(), max_range=max_range)
+    return Network.from_points(points, power_model=power_model)
+
+
+class TestSingleNode:
+    def test_isolated_node_becomes_boundary_node(self):
+        network = _network([Point(0, 0), Point(10, 10)])
+        state = run_cbtc_for_node(network, 0, ALPHA)
+        assert state.neighbors == {}
+        assert state.used_max_power
+        assert state.is_boundary
+        assert state.final_power == pytest.approx(network.power_model.max_power)
+
+    def test_invalid_alpha_rejected(self):
+        network = _network([Point(0, 0)])
+        with pytest.raises(ValueError):
+            run_cbtc_for_node(network, 0, 0.0)
+
+    def test_stops_at_minimal_power_with_surrounding_neighbors(self):
+        # A centre node surrounded by three close nodes 2*pi/3 apart and one
+        # far node: the far node must not be discovered because coverage is
+        # complete at the close nodes' power.
+        centre = Point(0, 0)
+        close = [translate_polar(centre, angle, 0.2) for angle in (0.0, 2 * math.pi / 3, 4 * math.pi / 3)]
+        far = translate_polar(centre, 1.0, 0.9)
+        network = _network([centre] + close + [far])
+        state = run_cbtc_for_node(network, 0, ALPHA)
+        assert set(state.neighbor_ids) == {1, 2, 3}
+        assert state.final_power == pytest.approx(network.power_model.required_power(0.2))
+        assert not state.is_boundary
+        assert not state.has_gap()
+
+    def test_grows_until_gap_closed(self):
+        # Three neighbours: two close ones covering only part of the circle
+        # and a far one that is needed to close the remaining alpha-gap
+        # (directions 0, pi/2 and 4.0 leave no gap larger than 5*pi/6).
+        centre = Point(0, 0)
+        near_a = translate_polar(centre, 0.0, 0.1)
+        near_b = translate_polar(centre, math.pi / 2, 0.1)
+        far = translate_polar(centre, 4.0, 0.8)
+        network = _network([centre, near_a, near_b, far])
+        state = run_cbtc_for_node(network, 0, ALPHA)
+        assert 3 in state.neighbors
+        assert state.final_power == pytest.approx(network.power_model.required_power(0.8))
+
+    def test_boundary_node_with_one_sided_neighbors(self):
+        # All other nodes lie in a narrow cone: the node can never close the
+        # gap and must end up at maximum power as a boundary node.
+        centre = Point(0, 0)
+        others = [translate_polar(centre, 0.05 * i, 0.3 + 0.1 * i) for i in range(4)]
+        network = _network([centre] + others)
+        state = run_cbtc_for_node(network, 0, ALPHA)
+        assert state.used_max_power
+        assert state.is_boundary
+        assert len(state.neighbors) == 4
+
+    def test_discovery_power_tags_are_monotone_in_distance(self):
+        centre = Point(0, 0)
+        ring = [translate_polar(centre, i * math.pi / 3, 0.2 + 0.1 * i) for i in range(6)]
+        network = _network([centre] + ring)
+        state = run_cbtc_for_node(network, 0, math.pi / 3)
+        records = sorted(state.neighbors.values(), key=lambda r: r.distance)
+        tags = [r.discovery_power for r in records]
+        assert tags == sorted(tags)
+        for record in records:
+            assert record.discovery_power >= record.required_power - 1e-9
+
+    def test_initial_power_skips_lower_levels(self):
+        centre = Point(0, 0)
+        near = translate_polar(centre, 0.0, 0.1)
+        far = translate_polar(centre, math.pi, 0.9)
+        network = _network([centre, near, far])
+        power_model = network.power_model
+        state = run_cbtc_for_node(network, 0, ALPHA, initial_power=power_model.required_power(0.5))
+        # Starting from a power that already covers 0.1, both nodes are found,
+        # and the reported rounds only count levels at or above the start.
+        assert set(state.neighbor_ids) == {1, 2}
+        assert all(r.discovery_power >= power_model.required_power(0.5) - 1e-9 for r in state.neighbors.values())
+
+    def test_directions_match_geometry(self):
+        centre = Point(0, 0)
+        east = Point(0.5, 0)
+        north = Point(0, 0.5)
+        network = _network([centre, east, north])
+        state = run_cbtc_for_node(network, 0, ALPHA)
+        assert state.neighbors[1].direction == pytest.approx(0.0)
+        assert state.neighbors[2].direction == pytest.approx(math.pi / 2)
+
+
+class TestSchedules:
+    def test_geometric_schedule_overestimates_but_finds_same_neighbors_or_more(self):
+        centre = Point(0, 0)
+        ring = [translate_polar(centre, i * 2 * math.pi / 5, 0.3 + 0.05 * i) for i in range(5)]
+        network = _network([centre] + ring)
+        exhaustive = run_cbtc_for_node(network, 0, ALPHA)
+        doubling = run_cbtc_for_node(network, 0, ALPHA, schedule=GeometricSchedule())
+        assert set(exhaustive.neighbor_ids) <= set(doubling.neighbor_ids)
+        assert doubling.final_power >= exhaustive.final_power - 1e-9
+
+    def test_linear_schedule_with_few_steps_still_terminates(self):
+        network = _network([Point(0, 0), Point(0.3, 0), Point(0, 0.4), Point(-0.5, -0.1)])
+        state = run_cbtc_for_node(network, 0, ALPHA, schedule=LinearSchedule(steps=2))
+        assert state.final_power <= network.power_model.max_power + 1e-9
+
+
+class TestWholeNetwork:
+    def test_run_cbtc_covers_every_alive_node(self, small_random_network):
+        outcome = run_cbtc(small_random_network, ALPHA)
+        assert sorted(outcome.node_ids()) == small_random_network.node_ids
+
+    def test_dead_nodes_excluded_and_not_discovered(self, small_random_network):
+        small_random_network.node(3).crash()
+        outcome = run_cbtc(small_random_network, ALPHA)
+        assert 3 not in outcome.states
+        for state in outcome:
+            assert 3 not in state.neighbors
+
+    def test_every_non_boundary_node_has_no_gap(self, small_random_network):
+        outcome = run_cbtc(small_random_network, ALPHA)
+        for state in outcome:
+            assert state.is_boundary or not state.has_gap()
+
+    def test_neighbors_are_within_final_power(self, small_random_network):
+        power_model = small_random_network.power_model
+        outcome = run_cbtc(small_random_network, ALPHA)
+        for state in outcome:
+            for record in state.neighbors.values():
+                assert record.required_power <= state.final_power + 1e-6
+                assert power_model.can_reach(record.distance)
+
+    def test_smaller_alpha_needs_no_less_power(self, small_random_network):
+        wide = run_cbtc(small_random_network, 5 * math.pi / 6)
+        narrow = run_cbtc(small_random_network, 2 * math.pi / 3)
+        for node_id in wide.node_ids():
+            assert narrow.state(node_id).final_power >= wide.state(node_id).final_power - 1e-9

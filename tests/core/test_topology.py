@@ -1,0 +1,127 @@
+"""Tests for repro.core.topology (N_alpha, E_alpha, E^-_alpha construction)."""
+
+import math
+
+import pytest
+
+from repro.core.cbtc import run_cbtc
+from repro.core.state import CBTCOutcome, NeighborRecord, NodeState
+from repro.core.topology import (
+    neighbor_digraph,
+    per_node_radius,
+    symmetric_closure_graph,
+    symmetric_subset_graph,
+    topology_from_outcome,
+)
+from repro.geometry import Point
+from repro.net.network import Network
+from repro.radio import PathLossModel, PowerModel
+
+ALPHA = 5 * math.pi / 6
+
+
+def _manual_outcome():
+    """A hand-built outcome with one symmetric and one asymmetric relation."""
+    outcome = CBTCOutcome(alpha=ALPHA)
+    for node_id in range(3):
+        outcome.states[node_id] = NodeState(node_id=node_id, alpha=ALPHA)
+
+    def record(neighbor, distance):
+        return NeighborRecord(
+            neighbor=neighbor,
+            direction=0.0,
+            required_power=distance**2,
+            discovery_power=distance**2,
+            distance=distance,
+        )
+
+    # 0 <-> 1 symmetric; 2 -> 0 asymmetric.
+    outcome.states[0].add_neighbor(record(1, 1.0))
+    outcome.states[1].add_neighbor(record(0, 1.0))
+    outcome.states[2].add_neighbor(record(0, 2.0))
+    return outcome
+
+
+def _matching_network():
+    power_model = PowerModel(propagation=PathLossModel(), max_range=3.0)
+    return Network.from_points([Point(0, 0), Point(1, 0), Point(-2, 0)], power_model=power_model)
+
+
+class TestGraphConstruction:
+    def test_neighbor_digraph_edges(self):
+        digraph = neighbor_digraph(_manual_outcome())
+        assert set(digraph.edges) == {(0, 1), (1, 0), (2, 0)}
+        assert digraph.edges[2, 0]["length"] == pytest.approx(2.0)
+
+    def test_symmetric_closure_includes_asymmetric_edge(self):
+        graph = symmetric_closure_graph(_manual_outcome())
+        assert set(map(tuple, map(sorted, graph.edges))) == {(0, 1), (0, 2)}
+
+    def test_symmetric_subset_drops_asymmetric_edge(self):
+        graph = symmetric_subset_graph(_manual_outcome())
+        assert set(map(tuple, map(sorted, graph.edges))) == {(0, 1)}
+
+    def test_all_nodes_present_even_if_isolated(self):
+        closure = symmetric_closure_graph(_manual_outcome())
+        subset = symmetric_subset_graph(_manual_outcome())
+        assert set(closure.nodes) == {0, 1, 2}
+        assert set(subset.nodes) == {0, 1, 2}
+
+    def test_positions_attached_when_network_given(self):
+        graph = symmetric_closure_graph(_manual_outcome(), _matching_network())
+        assert graph.nodes[2]["pos"] == (-2.0, 0.0)
+
+
+class TestTopologyResult:
+    def test_per_node_radius(self):
+        network = _matching_network()
+        graph = symmetric_closure_graph(_manual_outcome(), network)
+        radii = per_node_radius(graph, network)
+        assert radii[0] == pytest.approx(2.0)  # farthest neighbour of 0 is node 2
+        assert radii[1] == pytest.approx(1.0)
+        assert radii[2] == pytest.approx(2.0)
+
+    def test_topology_from_outcome_closure_metrics(self):
+        network = _matching_network()
+        result = topology_from_outcome(_manual_outcome(), network, symmetric="closure")
+        assert result.edge_count == 2
+        assert result.average_degree() == pytest.approx(4 / 3)
+        assert result.average_radius() == pytest.approx((2.0 + 1.0 + 2.0) / 3)
+        assert result.node_power[0] == pytest.approx(4.0)
+        assert result.max_radius() == pytest.approx(2.0)
+        assert result.total_power() == pytest.approx(4.0 + 1.0 + 4.0)
+        assert result.degree_of(0) == 2
+
+    def test_topology_from_outcome_subset(self):
+        network = _matching_network()
+        result = topology_from_outcome(_manual_outcome(), network, symmetric="subset")
+        assert result.edge_count == 1
+        assert result.node_radius[2] == 0.0
+
+    def test_invalid_symmetric_mode_rejected(self):
+        with pytest.raises(ValueError):
+            topology_from_outcome(_manual_outcome(), _matching_network(), symmetric="bogus")
+
+    def test_isolated_node_radius_zero(self):
+        network = _matching_network()
+        outcome = CBTCOutcome(alpha=ALPHA)
+        for node_id in range(3):
+            outcome.states[node_id] = NodeState(node_id=node_id, alpha=ALPHA)
+        result = topology_from_outcome(outcome, network)
+        assert result.average_radius() == 0.0
+        assert result.average_degree() == 0.0
+
+
+class TestAgainstRealRun:
+    def test_closure_is_supergraph_of_subset(self, small_random_network):
+        outcome = run_cbtc(small_random_network, 2 * math.pi / 3)
+        closure = symmetric_closure_graph(outcome, small_random_network)
+        subset = symmetric_subset_graph(outcome, small_random_network)
+        assert set(subset.edges) <= set(closure.edges)
+
+    def test_closure_is_subgraph_of_max_power_graph(self, small_random_network):
+        outcome = run_cbtc(small_random_network, ALPHA)
+        closure = symmetric_closure_graph(outcome, small_random_network)
+        reference = small_random_network.max_power_graph()
+        for u, v in closure.edges:
+            assert reference.has_edge(u, v)

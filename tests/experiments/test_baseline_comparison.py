@@ -1,0 +1,71 @@
+"""Tests for the baseline comparison experiment."""
+
+import math
+
+import pytest
+
+from repro.experiments.baseline_comparison import run_baseline_comparison
+from repro.net.placement import PlacementConfig
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_baseline_comparison(
+        network_count=2,
+        config=PlacementConfig(node_count=30),
+        base_seed=0,
+        compute_stretch=False,
+    )
+
+
+class TestBaselineComparison:
+    def test_all_families_present(self, comparison):
+        names = {entry.name for entry in comparison}
+        assert "max-power" in names
+        assert "rng" in names
+        assert "gabriel" in names
+        assert "mst" in names
+        assert any(name.startswith("cbtc-all") for name in names)
+        assert any(name.startswith("cbtc-basic") for name in names)
+
+    def test_max_power_is_densest(self, comparison):
+        by_name = {entry.name: entry for entry in comparison}
+        densest = max(comparison, key=lambda entry: entry.average_degree)
+        assert densest.name == "max-power"
+        assert by_name["max-power"].average_radius == pytest.approx(
+            max(entry.average_radius for entry in comparison)
+        )
+
+    def test_mst_is_sparsest(self, comparison):
+        by_name = {entry.name: entry for entry in comparison}
+        assert by_name["mst"].average_degree == pytest.approx(
+            min(entry.average_degree for entry in comparison), rel=1e-6
+        )
+
+    def test_cbtc_all_is_rng_like_in_degree(self, comparison):
+        # The qualitative claim: fully-optimized CBTC lands in the same sparse
+        # regime as the position-based proximity graphs (RNG/Gabriel), far
+        # below the uncontrolled max-power degree.
+        by_name = {entry.name: entry for entry in comparison}
+        cbtc = next(entry for entry in comparison if entry.name.startswith("cbtc-all"))
+        assert cbtc.average_degree < by_name["max-power"].average_degree / 2
+        assert cbtc.average_degree < 6.0
+        assert by_name["rng"].average_degree < 6.0
+
+    def test_connectivity_preserving_families(self, comparison):
+        by_name = {entry.name: entry for entry in comparison}
+        for name in ("max-power", "rng", "gabriel"):
+            assert by_name[name].connectivity_preserved_fraction == 1.0
+        for entry in comparison:
+            if entry.name.startswith("cbtc"):
+                assert entry.connectivity_preserved_fraction == 1.0
+
+    def test_power_stretch_computed_when_requested(self):
+        result = run_baseline_comparison(
+            network_count=1,
+            config=PlacementConfig(node_count=20),
+            base_seed=1,
+            compute_stretch=True,
+        )
+        cbtc = next(entry for entry in result if entry.name.startswith("cbtc-all"))
+        assert math.isnan(cbtc.average_power_stretch) or cbtc.average_power_stretch >= 1.0

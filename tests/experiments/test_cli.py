@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--networks", "2"])
+        assert args.command == "table1"
+        assert args.networks == 2
+        for command in ("figure6", "alpha-sweep", "counterexample", "reconfig"):
+            assert parser.parse_args([command]).command == command
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_table1_command(self, capsys):
+        assert main(["table1", "--networks", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "Basic, alpha=5pi6" in output
+        assert "Max Power" in output
+
+    def test_figure6_command_with_ascii(self, capsys):
+        assert main(["figure6", "--seed", "1", "--ascii", "--width", "40", "--height", "12"]) == 0
+        output = capsys.readouterr().out
+        assert "panel (a)" in output
+        assert "*" in output
+
+    def test_alpha_sweep_command(self, capsys):
+        assert main(["alpha-sweep", "--networks", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "alpha/pi" in output
+
+    def test_counterexample_command(self, capsys):
+        assert main(["counterexample"]) == 0
+        output = capsys.readouterr().out
+        assert "N_alpha asymmetric = True" in output
+        assert "G_alpha preserves connectivity = False" in output
+
+    def test_reconfig_command(self, capsys):
+        assert main(["reconfig", "--epochs", "1", "--nodes", "25"]) == 0
+        output = capsys.readouterr().out
+        assert "Reconfiguration experiment" in output

@@ -1,0 +1,50 @@
+"""Tests for the energy / lifetime experiment."""
+
+import math
+
+import pytest
+
+from repro.experiments.energy import estimate_lifetime, run_energy_experiment
+from repro.net.placement import PlacementConfig
+
+
+class TestEstimateLifetime:
+    def test_lifetime_is_battery_over_hottest_node(self):
+        assert estimate_lifetime({0: 10.0, 1: 2.0}, battery_capacity=100.0) == 10
+
+    def test_zero_power_network_lives_forever(self):
+        assert estimate_lifetime({0: 0.0}, battery_capacity=100.0, max_rounds=500) == 500
+
+    def test_lifetime_capped(self):
+        assert estimate_lifetime({0: 1e-12}, battery_capacity=1.0, max_rounds=1000) == 1000
+
+
+class TestEnergyExperiment:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return run_energy_experiment(config=PlacementConfig(node_count=40), seed=1)
+
+    def test_all_three_profiles_present(self, profiles):
+        assert [p.name for p in profiles] == ["max power", "cbtc basic", "cbtc all optimizations"]
+
+    def test_topology_control_reduces_total_power(self, profiles):
+        by_name = {p.name: p for p in profiles}
+        assert (
+            by_name["cbtc all optimizations"].total_transmit_power
+            < by_name["cbtc basic"].total_transmit_power
+            < by_name["max power"].total_transmit_power
+        )
+
+    def test_topology_control_extends_lifetime(self, profiles):
+        by_name = {p.name: p for p in profiles}
+        assert by_name["cbtc all optimizations"].lifetime_rounds >= by_name["max power"].lifetime_rounds
+
+    def test_topology_control_reduces_interference(self, profiles):
+        by_name = {p.name: p for p in profiles}
+        assert by_name["cbtc all optimizations"].interference < by_name["max power"].interference
+
+    def test_power_stretch_is_the_price_paid(self, profiles):
+        by_name = {p.name: p for p in profiles}
+        assert by_name["max power"].power_stretch == pytest.approx(1.0)
+        assert by_name["cbtc all optimizations"].power_stretch >= 1.0
+        assert math.isfinite(by_name["cbtc all optimizations"].power_stretch)

@@ -1,0 +1,78 @@
+"""Tests for the Figure 6 harness."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.analysis import preserves_connectivity
+from repro.experiments.figure6 import run_figure6
+from repro.net.placement import PlacementConfig
+
+
+@pytest.fixture(scope="module")
+def figure6():
+    # A smaller network keeps the test fast while preserving every qualitative
+    # relationship between the eight panels.
+    return run_figure6(seed=5, config=PlacementConfig(node_count=40))
+
+
+class TestPanels:
+    def test_all_eight_panels_present(self, figure6):
+        assert sorted(figure6.panels) == list("abcdefgh")
+
+    def test_panel_a_is_max_power(self, figure6):
+        panel = figure6.panel("a")
+        assert panel.alpha is None
+        assert panel.metrics.average_radius == pytest.approx(500.0)
+        assert set(panel.graph.edges) == set(figure6.network.max_power_graph().edges)
+
+    def test_every_controlled_panel_is_subgraph_of_panel_a(self, figure6):
+        reference_edges = set(map(frozenset, figure6.panel("a").graph.edges))
+        for name in "bcdefgh":
+            edges = set(map(frozenset, figure6.panel(name).graph.edges))
+            assert edges <= reference_edges, name
+
+    def test_every_panel_preserves_connectivity(self, figure6):
+        reference = figure6.network.max_power_graph()
+        for name, panel in figure6.panels.items():
+            assert preserves_connectivity(reference, panel.graph), name
+
+    def test_optimizations_strictly_thin_the_graph(self, figure6):
+        # basic -> shrink-back -> (asym) -> all optimizations, per alpha.
+        assert figure6.panel("b").metrics.edge_count >= figure6.panel("d").metrics.edge_count
+        assert figure6.panel("d").metrics.edge_count >= figure6.panel("f").metrics.edge_count
+        assert figure6.panel("f").metrics.edge_count >= figure6.panel("h").metrics.edge_count
+        assert figure6.panel("c").metrics.edge_count >= figure6.panel("e").metrics.edge_count
+        assert figure6.panel("e").metrics.edge_count >= figure6.panel("g").metrics.edge_count
+        assert figure6.panel("a").metrics.edge_count > figure6.panel("b").metrics.edge_count
+
+    def test_alpha_assignments_match_the_paper(self, figure6):
+        assert figure6.panel("b").alpha == pytest.approx(2 * math.pi / 3)
+        assert figure6.panel("c").alpha == pytest.approx(5 * math.pi / 6)
+        assert figure6.panel("g").alpha == pytest.approx(5 * math.pi / 6)
+        assert figure6.panel("h").alpha == pytest.approx(2 * math.pi / 3)
+
+    def test_edges_property_sorted_and_normalized(self, figure6):
+        edges = figure6.panel("g").edges
+        assert edges == sorted(edges)
+        assert all(u < v for u, v in edges)
+
+    def test_summary_table_lists_all_panels(self, figure6):
+        text = figure6.summary_table()
+        for name in "abcdefgh":
+            assert f"({name})" in text
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        config = PlacementConfig(node_count=25)
+        first = run_figure6(seed=9, config=config)
+        second = run_figure6(seed=9, config=config)
+        for name in first.panels:
+            assert first.panel(name).edges == second.panel(name).edges
+
+    def test_custom_network_is_used(self, small_random_network):
+        result = run_figure6(network=small_random_network)
+        assert result.network is small_random_network
+        assert result.panel("a").graph.number_of_nodes() == len(small_random_network)

@@ -1,0 +1,50 @@
+"""Tests for the Section 4 reconfiguration experiment harness."""
+
+import pytest
+
+from repro.experiments.reconfig import run_reconfiguration_experiment
+from repro.net.failures import NoFailures
+from repro.net.mobility import RandomWalkModel, StationaryModel
+from repro.net.placement import PlacementConfig
+
+SMALL = PlacementConfig(node_count=30)
+
+
+class TestReconfigurationExperiment:
+    def test_connectivity_preserved_across_epochs(self):
+        result = run_reconfiguration_experiment(
+            epochs=3,
+            seed=1,
+            config=SMALL,
+            mobility=RandomWalkModel(max_step=60, seed=1),
+        )
+        assert len(result.epochs) == 3
+        assert result.all_epochs_preserved_connectivity
+
+    def test_static_failure_free_run_needs_no_reruns(self):
+        result = run_reconfiguration_experiment(
+            epochs=2,
+            seed=2,
+            config=SMALL,
+            mobility=StationaryModel(),
+            failures=NoFailures(),
+        )
+        assert result.all_epochs_preserved_connectivity
+        assert result.total_reruns() == 0
+        assert all(epoch.crashed_nodes == 0 for epoch in result.epochs)
+
+    def test_mobility_generates_events_and_reruns(self):
+        result = run_reconfiguration_experiment(
+            epochs=2,
+            seed=3,
+            config=SMALL,
+            mobility=RandomWalkModel(max_step=150, seed=3),
+            failures=NoFailures(),
+        )
+        assert sum(epoch.events_applied for epoch in result.epochs) > 0
+
+    def test_epoch_metadata(self):
+        result = run_reconfiguration_experiment(epochs=2, seed=4, config=SMALL)
+        assert [epoch.epoch for epoch in result.epochs] == [1, 2]
+        for epoch in result.epochs:
+            assert epoch.average_degree >= 0.0

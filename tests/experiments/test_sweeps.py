@@ -1,0 +1,81 @@
+"""Tests for the extended sweeps (alpha, density, power schedule)."""
+
+import math
+
+import pytest
+
+from repro.experiments.sweeps import (
+    run_alpha_sweep,
+    run_density_sweep,
+    run_schedule_ablation,
+)
+from repro.net.placement import PlacementConfig
+
+SMALL = PlacementConfig(node_count=25)
+
+
+class TestAlphaSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        alphas = [math.pi / 2, 2 * math.pi / 3, 5 * math.pi / 6, math.pi]
+        return run_alpha_sweep(alphas, network_count=3, config=SMALL, base_seed=1)
+
+    def test_one_point_per_alpha(self, sweep):
+        assert [point.alpha for point in sweep] == pytest.approx(
+            [math.pi / 2, 2 * math.pi / 3, 5 * math.pi / 6, math.pi]
+        )
+
+    def test_degree_decreases_with_alpha(self, sweep):
+        degrees = [point.average_degree for point in sweep]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_connectivity_always_preserved_at_or_below_threshold(self, sweep):
+        for point in sweep:
+            if point.alpha <= 5 * math.pi / 6 + 1e-9:
+                assert point.connectivity_preserved_fraction == 1.0
+
+    def test_boundary_fraction_between_zero_and_one(self, sweep):
+        for point in sweep:
+            assert 0.0 <= point.boundary_node_fraction <= 1.0
+
+    def test_default_alpha_grid(self):
+        points = run_alpha_sweep(network_count=1, config=PlacementConfig(node_count=15), base_seed=0)
+        assert len(points) >= 5
+
+
+class TestDensitySweep:
+    def test_degree_grows_with_density_under_max_power_but_not_under_cbtc(self):
+        points = run_density_sweep(node_counts=(20, 60), networks_per_point=2, base_seed=2)
+        assert points[1].max_power_degree > points[0].max_power_degree
+        # CBTC keeps the controlled degree roughly flat: the increase must be
+        # far smaller than the max-power increase.
+        cbtc_growth = points[1].average_degree - points[0].average_degree
+        max_power_growth = points[1].max_power_degree - points[0].max_power_degree
+        assert cbtc_growth < max_power_growth / 2
+
+    def test_radius_reduction_improves_with_density(self):
+        points = run_density_sweep(node_counts=(20, 80), networks_per_point=2, base_seed=3)
+        assert points[1].radius_reduction > points[0].radius_reduction
+        assert points[1].average_radius < points[0].average_radius
+
+
+class TestScheduleAblation:
+    @pytest.fixture(scope="class")
+    def ablation(self):
+        return run_schedule_ablation(network_count=2, config=SMALL, base_seed=4)
+
+    def test_all_schedules_reported(self, ablation):
+        names = [point.schedule_name for point in ablation]
+        assert "exhaustive (idealized)" in names
+        assert "doubling" in names
+
+    def test_idealized_schedule_uses_least_power(self, ablation):
+        by_name = {point.schedule_name: point for point in ablation}
+        idealized = by_name["exhaustive (idealized)"]
+        for name, point in by_name.items():
+            if name != "exhaustive (idealized)":
+                assert point.average_final_power >= idealized.average_final_power - 1e-6
+
+    def test_doubling_uses_fewer_rounds_than_fine_linear(self, ablation):
+        by_name = {point.schedule_name: point for point in ablation}
+        assert by_name["doubling"].average_rounds < by_name["linear-64"].average_rounds

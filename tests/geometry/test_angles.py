@@ -1,0 +1,146 @@
+"""Tests for repro.geometry.angles, in particular the gap-alpha machinery."""
+
+import math
+
+import pytest
+
+from repro.geometry.angles import (
+    TWO_PI,
+    angle_between,
+    angle_difference,
+    angular_gaps,
+    cover,
+    coverage_equal,
+    covers_full_circle,
+    has_gap_greater_than,
+    max_angular_gap,
+    normalize_angle,
+    signed_angle_difference,
+    sort_directions,
+)
+from repro.geometry.points import Point
+
+
+class TestNormalization:
+    def test_normalize_within_range(self):
+        assert normalize_angle(1.0) == pytest.approx(1.0)
+
+    def test_normalize_negative(self):
+        assert normalize_angle(-math.pi / 2) == pytest.approx(3 * math.pi / 2)
+
+    def test_normalize_multiple_turns(self):
+        assert normalize_angle(5 * TWO_PI + 0.25) == pytest.approx(0.25)
+
+    def test_normalize_result_is_half_open(self):
+        assert normalize_angle(TWO_PI) == pytest.approx(0.0)
+        assert 0.0 <= normalize_angle(-1e-18) < TWO_PI
+
+    def test_angle_difference_symmetric(self):
+        assert angle_difference(0.1, TWO_PI - 0.1) == pytest.approx(0.2)
+        assert angle_difference(TWO_PI - 0.1, 0.1) == pytest.approx(0.2)
+
+    def test_angle_difference_is_at_most_pi(self):
+        assert angle_difference(0.0, math.pi + 0.5) == pytest.approx(math.pi - 0.5)
+
+    def test_signed_angle_difference(self):
+        assert signed_angle_difference(0.5, 0.2) == pytest.approx(0.3)
+        assert signed_angle_difference(0.2, 0.5) == pytest.approx(-0.3)
+        assert signed_angle_difference(0.1, TWO_PI - 0.1) == pytest.approx(0.2)
+
+
+class TestAngleBetween:
+    def test_right_angle(self):
+        assert angle_between(Point(0, 0), Point(1, 0), Point(0, 1)) == pytest.approx(math.pi / 2)
+
+    def test_collinear_opposite(self):
+        assert angle_between(Point(0, 0), Point(1, 0), Point(-2, 0)) == pytest.approx(math.pi)
+
+    def test_tuple_inputs_accepted(self):
+        assert angle_between((0, 0), (1, 0), (1, 1)) == pytest.approx(math.pi / 4)
+
+    def test_coincident_with_apex_raises(self):
+        with pytest.raises(ValueError):
+            angle_between(Point(0, 0), Point(0, 0), Point(1, 1))
+
+
+class TestGaps:
+    def test_empty_directions_have_full_circle_gap(self):
+        assert angular_gaps([]) == [TWO_PI]
+        assert max_angular_gap([]) == pytest.approx(TWO_PI)
+
+    def test_single_direction_gap_is_full_circle(self):
+        assert max_angular_gap([1.0]) == pytest.approx(TWO_PI)
+
+    def test_two_opposite_directions(self):
+        gaps = angular_gaps([0.0, math.pi])
+        assert sorted(gaps) == pytest.approx([math.pi, math.pi])
+
+    def test_evenly_spread_directions(self):
+        directions = [i * TWO_PI / 6 for i in range(6)]
+        assert max_angular_gap(directions) == pytest.approx(TWO_PI / 6)
+
+    def test_gap_wraps_around_zero(self):
+        # Directions clustered near pi leave a large gap through 0.
+        directions = [math.pi - 0.3, math.pi, math.pi + 0.3]
+        assert max_angular_gap(directions) == pytest.approx(TWO_PI - 0.6)
+
+    def test_has_gap_greater_than_strictness(self):
+        directions = [0.0, math.pi]
+        # Gap is exactly pi: not greater than pi.
+        assert not has_gap_greater_than(directions, math.pi)
+        assert has_gap_greater_than(directions, math.pi - 0.01)
+
+    def test_sort_directions_normalizes(self):
+        assert sort_directions([-0.1, 0.2]) == pytest.approx([0.2, TWO_PI - 0.1])
+
+    def test_gap_alpha_matches_cbtc_termination_semantics(self):
+        # Three directions 2*pi/3 apart: no gap > 2*pi/3, so CBTC(2*pi/3) stops.
+        directions = [0.0, 2 * math.pi / 3, 4 * math.pi / 3]
+        assert not has_gap_greater_than(directions, 2 * math.pi / 3)
+        # But CBTC with a smaller alpha would keep growing.
+        assert has_gap_greater_than(directions, math.pi / 2)
+
+
+class TestCover:
+    def test_empty_cover(self):
+        assert cover([], math.pi) == []
+
+    def test_full_circle_cover(self):
+        directions = [0.0, math.pi / 2, math.pi, 3 * math.pi / 2]
+        assert cover(directions, math.pi) == [(0.0, TWO_PI)]
+        assert covers_full_circle(directions, math.pi)
+
+    def test_partial_cover_arcs(self):
+        arcs = cover([0.0], math.pi / 2)
+        assert len(arcs) == 1
+        start, end = arcs[0]
+        assert end - start == pytest.approx(math.pi / 2)
+
+    def test_covers_full_circle_matches_gap_test(self):
+        directions = [0.0, 1.0, 2.5, 4.0, 5.5]
+        alpha = 2.0
+        assert covers_full_circle(directions, alpha) == (not has_gap_greater_than(directions, alpha))
+
+    def test_coverage_equal_for_identical_sets(self):
+        directions = [0.2, 1.3, 3.0, 4.4]
+        assert coverage_equal(directions, list(reversed(directions)), 1.5)
+
+    def test_coverage_not_equal_when_arc_removed(self):
+        full = [0.0, math.pi / 2, math.pi, 3 * math.pi / 2]
+        partial = [0.0, math.pi / 2, math.pi]
+        assert not coverage_equal(full, partial, math.pi / 2)
+
+    def test_coverage_equal_when_redundant_direction_removed(self):
+        # The arc around 0.25 lies entirely inside the union of the arcs
+        # around 0.0 and 0.5, so dropping it keeps coverage identical —
+        # exactly the situation shrink-back exploits.
+        base = [0.0, 0.5, math.pi]
+        with_redundant = base + [0.25]
+        assert coverage_equal(base, with_redundant, 1.2)
+
+    def test_coverage_differs_when_direction_extends_an_arc(self):
+        # A direction whose arc pokes out past the existing coverage changes
+        # cover_alpha, so shrink-back must keep it.
+        base = [0.0, math.pi]
+        extended = base + [0.05]
+        assert not coverage_equal(base, extended, 2.5)

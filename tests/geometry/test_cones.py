@@ -1,0 +1,67 @@
+"""Tests for repro.geometry.cones."""
+
+import math
+
+import pytest
+
+from repro.geometry.cones import Cone, cone_from_bisector
+from repro.geometry.points import Point
+
+
+class TestCone:
+    def test_contains_direction_inside(self):
+        cone = Cone(apex=Point(0, 0), bisector=0.0, angle=math.pi / 2)
+        assert cone.contains_direction(math.pi / 8)
+        assert cone.contains_direction(-math.pi / 8)
+
+    def test_contains_direction_boundary_inclusive(self):
+        cone = Cone(apex=Point(0, 0), bisector=0.0, angle=math.pi / 2)
+        assert cone.contains_direction(math.pi / 4)
+
+    def test_contains_direction_outside(self):
+        cone = Cone(apex=Point(0, 0), bisector=0.0, angle=math.pi / 2)
+        assert not cone.contains_direction(math.pi / 2)
+
+    def test_contains_point(self):
+        cone = Cone(apex=Point(0, 0), bisector=0.0, angle=math.pi / 2)
+        assert cone.contains(Point(1.0, 0.1))
+        assert not cone.contains(Point(-1.0, 0.0))
+
+    def test_apex_is_contained(self):
+        cone = Cone(apex=Point(2, 2), bisector=1.0, angle=0.1)
+        assert cone.contains(Point(2, 2))
+
+    def test_bisector_is_normalized(self):
+        cone = Cone(apex=Point(0, 0), bisector=2 * math.pi + 0.3, angle=1.0)
+        assert cone.bisector == pytest.approx(0.3)
+
+    def test_negative_angle_rejected(self):
+        with pytest.raises(ValueError):
+            Cone(apex=Point(0, 0), bisector=0.0, angle=-0.1)
+
+    def test_boundary_directions(self):
+        cone = Cone(apex=Point(0, 0), bisector=math.pi, angle=math.pi / 2)
+        low, high = cone.boundary_directions()
+        assert low == pytest.approx(3 * math.pi / 4)
+        assert high == pytest.approx(5 * math.pi / 4)
+
+    def test_cone_wrapping_through_zero(self):
+        cone = Cone(apex=Point(0, 0), bisector=0.0, angle=math.pi / 2)
+        assert cone.contains(Point(1.0, -0.2))
+        assert cone.contains(Point(1.0, 0.2))
+
+
+class TestConeFromBisector:
+    def test_matches_paper_definition(self):
+        # cone(u, alpha, v): apex u, bisected by the ray towards v.
+        u = Point(0, 0)
+        v = Point(1, 1)
+        cone = cone_from_bisector(u, math.pi / 3, v)
+        assert cone.apex == u
+        assert cone.bisector == pytest.approx(math.pi / 4)
+        assert cone.angle == pytest.approx(math.pi / 3)
+        assert cone.contains(v)
+
+    def test_point_opposite_bisector_not_contained(self):
+        cone = cone_from_bisector(Point(0, 0), math.pi / 2, Point(1, 0))
+        assert not cone.contains(Point(-1, 0))

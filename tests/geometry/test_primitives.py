@@ -1,0 +1,109 @@
+"""Tests for repro.geometry.primitives (circles and triangles)."""
+
+import math
+
+import pytest
+
+from repro.geometry.points import Point
+from repro.geometry.primitives import (
+    Circle,
+    circle_intersections,
+    collinear,
+    opposite_side_is_longest,
+    triangle_angles,
+)
+
+
+class TestCircle:
+    def test_contains_and_strictly_contains(self):
+        circle = Circle(center=Point(0, 0), radius=1.0)
+        assert circle.contains(Point(0.5, 0.5))
+        assert circle.contains(Point(1.0, 0.0))
+        assert not circle.strictly_contains(Point(1.0, 0.0))
+        assert not circle.contains(Point(1.1, 0.0))
+
+    def test_on_boundary(self):
+        circle = Circle(center=Point(1, 1), radius=2.0)
+        assert circle.on_boundary(Point(3, 1))
+        assert not circle.on_boundary(Point(1, 1))
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Circle(center=Point(0, 0), radius=-1.0)
+
+    def test_intersects(self):
+        a = Circle(Point(0, 0), 1.0)
+        b = Circle(Point(1.5, 0), 1.0)
+        c = Circle(Point(5, 0), 1.0)
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+
+class TestCircleIntersections:
+    def test_two_intersections(self):
+        a = Circle(Point(0, 0), 1.0)
+        b = Circle(Point(1, 0), 1.0)
+        points = circle_intersections(a, b)
+        assert len(points) == 2
+        for p in points:
+            assert a.on_boundary(p)
+            assert b.on_boundary(p)
+
+    def test_figure5_construction_points(self):
+        # The s and s' points of the paper's Figure 5: intersections of the two
+        # radius-R circles centred at u0 = (0,0) and v0 = (R,0).
+        radius = 1.0
+        a = Circle(Point(0, 0), radius)
+        b = Circle(Point(radius, 0), radius)
+        points = circle_intersections(a, b)
+        ys = sorted(p.y for p in points)
+        assert ys[0] == pytest.approx(-math.sqrt(3) / 2 * radius)
+        assert ys[1] == pytest.approx(math.sqrt(3) / 2 * radius)
+        assert all(p.x == pytest.approx(radius / 2) for p in points)
+
+    def test_tangent_circles_single_point(self):
+        a = Circle(Point(0, 0), 1.0)
+        b = Circle(Point(2, 0), 1.0)
+        points = circle_intersections(a, b)
+        assert len(points) == 1
+        assert points[0].x == pytest.approx(1.0)
+
+    def test_disjoint_circles_no_intersection(self):
+        assert circle_intersections(Circle(Point(0, 0), 1.0), Circle(Point(5, 0), 1.0)) == []
+
+    def test_concentric_circles_no_intersection(self):
+        assert circle_intersections(Circle(Point(0, 0), 1.0), Circle(Point(0, 0), 2.0)) == []
+
+
+class TestTriangles:
+    def test_angles_sum_to_pi(self):
+        a, b, c = Point(0, 0), Point(4, 0), Point(1, 3)
+        assert sum(triangle_angles(a, b, c)) == pytest.approx(math.pi)
+
+    def test_equilateral_triangle(self):
+        a = Point(0, 0)
+        b = Point(1, 0)
+        c = Point(0.5, math.sqrt(3) / 2)
+        angles = triangle_angles(a, b, c)
+        assert all(angle == pytest.approx(math.pi / 3) for angle in angles)
+
+    def test_right_triangle(self):
+        angles = triangle_angles(Point(0, 0), Point(1, 0), Point(0, 1))
+        assert max(angles) == pytest.approx(math.pi / 2)
+
+    def test_degenerate_triangle_rejected(self):
+        with pytest.raises(ValueError):
+            triangle_angles(Point(0, 0), Point(0, 0), Point(1, 1))
+
+    def test_larger_side_opposite_larger_angle(self):
+        # The elementary fact the paper's proofs repeatedly invoke.
+        assert opposite_side_is_longest(Point(0, 0), Point(5, 0), Point(1, 1))
+        assert opposite_side_is_longest(Point(0, 0), Point(2, 0), Point(1, 10))
+
+
+class TestCollinear:
+    def test_collinear_points(self):
+        assert collinear(Point(0, 0), Point(1, 1), Point(2, 2))
+
+    def test_non_collinear_points(self):
+        assert not collinear(Point(0, 0), Point(1, 1), Point(2, 2.5))

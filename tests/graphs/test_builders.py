@@ -1,0 +1,40 @@
+"""Tests for repro.graphs.builders."""
+
+import pytest
+
+from repro.graphs.builders import graph_from_edges, unit_disk_graph
+
+
+class TestUnitDiskGraph:
+    def test_default_radius_equals_max_power_graph(self, small_random_network):
+        assert set(unit_disk_graph(small_random_network).edges) == set(
+            small_random_network.max_power_graph().edges
+        )
+
+    def test_smaller_radius_gives_subgraph(self, small_random_network):
+        full = unit_disk_graph(small_random_network)
+        half = unit_disk_graph(small_random_network, radius=250.0)
+        assert set(half.edges) <= set(full.edges)
+        assert half.number_of_edges() < full.number_of_edges()
+
+    def test_edge_lengths_within_radius(self, small_random_network):
+        graph = unit_disk_graph(small_random_network, radius=300.0)
+        for u, v, data in graph.edges(data=True):
+            assert data["length"] <= 300.0 + 1e-9
+
+    def test_dead_nodes_excluded(self, small_random_network):
+        small_random_network.node(0).crash()
+        graph = unit_disk_graph(small_random_network, radius=400.0)
+        assert 0 not in graph
+
+
+class TestGraphFromEdges:
+    def test_builds_over_all_alive_nodes(self, square_network):
+        graph = graph_from_edges(square_network, [(0, 1)])
+        assert set(graph.nodes) == {0, 1, 2, 3}
+        assert graph.number_of_edges() == 1
+        assert graph.edges[0, 1]["length"] == pytest.approx(1.0)
+
+    def test_positions_attached(self, square_network):
+        graph = graph_from_edges(square_network, [])
+        assert graph.nodes[2]["pos"] == (1.0, 1.0)

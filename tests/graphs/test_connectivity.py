@@ -1,0 +1,43 @@
+"""Tests for repro.graphs.connectivity."""
+
+import networkx as nx
+
+from repro.graphs.connectivity import (
+    component_count,
+    connected_pairs,
+    is_connected,
+    largest_component_fraction,
+)
+
+
+class TestConnectivityHelpers:
+    def test_is_connected_trivial_cases(self):
+        assert is_connected(nx.Graph())
+        single = nx.Graph()
+        single.add_node(0)
+        assert is_connected(single)
+
+    def test_is_connected_path_and_disjoint(self):
+        assert is_connected(nx.path_graph(5))
+        disjoint = nx.Graph()
+        disjoint.add_edges_from([(0, 1), (2, 3)])
+        assert not is_connected(disjoint)
+
+    def test_component_count(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        graph.add_node(4)
+        assert component_count(graph) == 3
+        assert component_count(nx.Graph()) == 0
+
+    def test_connected_pairs(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (1, 2), (3, 4)])
+        pairs = connected_pairs(graph)
+        assert pairs == {(0, 1), (0, 2), (1, 2), (3, 4)}
+
+    def test_largest_component_fraction(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (1, 2), (3, 4)])
+        assert largest_component_fraction(graph) == 0.6
+        assert largest_component_fraction(nx.Graph()) == 0.0

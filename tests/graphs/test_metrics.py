@@ -1,0 +1,94 @@
+"""Tests for repro.graphs.metrics."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.pipeline import OptimizationConfig, build_topology
+from repro.graphs.metrics import (
+    average_degree,
+    average_radius,
+    degree_histogram,
+    graph_metrics,
+    interference_proxy,
+    per_node_radius_of_graph,
+)
+
+
+class TestBasicMetrics:
+    def test_average_degree(self, square_network):
+        graph = square_network.max_power_graph()
+        assert average_degree(graph) == pytest.approx(2.0)
+
+    def test_average_degree_empty_graph(self):
+        assert average_degree(nx.Graph()) == 0.0
+
+    def test_degree_histogram(self, line_network):
+        graph = line_network.max_power_graph()
+        assert degree_histogram(graph) == {1: 2, 2: 3}
+
+    def test_per_node_radius(self, line_network):
+        graph = line_network.max_power_graph()
+        radii = per_node_radius_of_graph(graph, line_network)
+        assert radii[0] == pytest.approx(0.8)
+        assert radii[2] == pytest.approx(0.8)
+
+    def test_per_node_radius_isolated_node(self, square_network):
+        graph = nx.Graph()
+        graph.add_nodes_from(square_network.node_ids)
+        radii = per_node_radius_of_graph(graph, square_network)
+        assert all(radius == 0.0 for radius in radii.values())
+
+    def test_average_radius_with_fixed_override(self, square_network):
+        graph = square_network.max_power_graph()
+        assert average_radius(graph, square_network) == pytest.approx(1.0)
+        assert average_radius(graph, square_network, fixed_radius=7.0) == 7.0
+
+
+class TestGraphMetricsBundle:
+    def test_fields_consistent(self, small_random_network):
+        graph = small_random_network.max_power_graph()
+        metrics = graph_metrics(graph, small_random_network)
+        assert metrics.node_count == len(small_random_network)
+        assert metrics.edge_count == graph.number_of_edges()
+        assert metrics.average_degree == pytest.approx(2 * metrics.edge_count / metrics.node_count)
+        assert metrics.max_radius >= metrics.average_radius
+        assert metrics.total_power > 0
+        assert metrics.connected_components >= 1
+
+    def test_fixed_radius_affects_radius_and_power_only(self, small_random_network):
+        graph = small_random_network.max_power_graph()
+        free = graph_metrics(graph, small_random_network)
+        fixed = graph_metrics(graph, small_random_network, fixed_radius=500.0)
+        assert fixed.average_radius == 500.0
+        assert fixed.average_degree == free.average_degree
+        assert fixed.total_power == pytest.approx(len(small_random_network) * 500.0**2)
+
+    def test_as_dict_roundtrip(self, small_random_network):
+        metrics = graph_metrics(small_random_network.max_power_graph(), small_random_network)
+        payload = metrics.as_dict()
+        assert payload["edge_count"] == metrics.edge_count
+        assert set(payload) >= {"average_degree", "average_radius", "connected_components"}
+
+    def test_empty_graph(self, square_network):
+        metrics = graph_metrics(nx.Graph(), square_network)
+        assert metrics.node_count == 0
+        assert metrics.average_degree == 0.0
+        assert metrics.connected_components == 0
+
+
+class TestInterferenceProxy:
+    def test_topology_control_reduces_interference(self, small_random_network):
+        reference = small_random_network.max_power_graph()
+        controlled = build_topology(
+            small_random_network, 5 * math.pi / 6, config=OptimizationConfig.all()
+        ).graph
+        assert interference_proxy(controlled, small_random_network) < interference_proxy(
+            reference, small_random_network
+        )
+
+    def test_graph_without_edges_has_zero_interference(self, square_network):
+        graph = nx.Graph()
+        graph.add_nodes_from(square_network.node_ids)
+        assert interference_proxy(graph, square_network) == 0.0

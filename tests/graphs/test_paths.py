@@ -1,0 +1,65 @@
+"""Tests for repro.graphs.paths."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+from repro.graphs.paths import (
+    all_pairs_power_costs,
+    minimum_power_path_cost,
+    power_spanner_bound,
+)
+from repro.net.network import Network
+from repro.radio import PathLossModel, PowerModel
+
+
+@pytest.fixture
+def relay_network():
+    """Three collinear nodes where relaying is cheaper than a direct hop."""
+    power_model = PowerModel(propagation=PathLossModel(exponent=2.0), max_range=3.0)
+    return Network.from_points([Point(0, 0), Point(1, 0), Point(2, 0)], power_model=power_model)
+
+
+class TestMinimumPowerPath:
+    def test_relaying_beats_direct_transmission(self, relay_network):
+        graph = relay_network.max_power_graph()
+        cost = minimum_power_path_cost(graph, relay_network, 0, 2)
+        # Two hops of length 1 cost 1 + 1 = 2 < 4 = one hop of length 2; this
+        # is the "power grows super-linearly with distance" motivation of the
+        # paper's introduction.
+        assert cost == pytest.approx(2.0)
+
+    def test_per_hop_overhead_can_flip_the_tradeoff(self, relay_network):
+        graph = relay_network.max_power_graph()
+        cost = minimum_power_path_cost(graph, relay_network, 0, 2, per_hop_overhead=5.0)
+        # With a large per-hop receiver overhead the direct hop (4 + 5 = 9) is
+        # cheaper than the two-hop relay (2 + 10 = 12).
+        assert cost == pytest.approx(9.0)
+
+    def test_disconnected_pair_returns_none(self, relay_network):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(relay_network.node_ids)
+        assert minimum_power_path_cost(graph, relay_network, 0, 2) is None
+
+    def test_custom_exponent(self, relay_network):
+        graph = relay_network.max_power_graph()
+        cost = minimum_power_path_cost(graph, relay_network, 0, 2, exponent=4.0)
+        assert cost == pytest.approx(2.0)
+
+    def test_all_pairs_costs_symmetric(self, relay_network):
+        graph = relay_network.max_power_graph()
+        costs = all_pairs_power_costs(graph, relay_network)
+        assert costs[0][2] == pytest.approx(costs[2][0])
+        assert costs[0][0] == 0.0
+
+
+class TestSpannerBound:
+    def test_monotone_decreasing_in_alpha(self):
+        assert power_spanner_bound(math.pi / 3) > power_spanner_bound(math.pi / 2)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            power_spanner_bound(-1.0)

@@ -1,0 +1,100 @@
+"""Tests for routing-load / congestion analysis (repro.graphs.routing)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.pipeline import OptimizationConfig, build_topology
+from repro.geometry import Point
+from repro.graphs.routing import (
+    congestion_report,
+    edge_congestion,
+    node_forwarding_load,
+)
+from repro.net.network import Network
+from repro.radio import PathLossModel, PowerModel
+
+
+@pytest.fixture
+def path_network():
+    """Four nodes on a line; every route between non-adjacent nodes uses the middle edges."""
+    power_model = PowerModel(propagation=PathLossModel(), max_range=1.5)
+    return Network.from_points([Point(float(i), 0.0) for i in range(4)], power_model=power_model)
+
+
+class TestEdgeCongestion:
+    def test_middle_edge_carries_the_most_routes(self, path_network):
+        graph = nx.Graph()
+        graph.add_nodes_from(path_network.node_ids)
+        graph.add_edges_from([(0, 1), (1, 2), (2, 3)])
+        congestion = edge_congestion(graph, path_network)
+        # 6 routed pairs; the middle edge (1,2) carries 0-2, 0-3, 1-2, 1-3 = 4 of them.
+        assert congestion[(1, 2)] == pytest.approx(4 / 6)
+        assert congestion[(0, 1)] == pytest.approx(3 / 6)
+
+    def test_empty_graph(self, path_network):
+        graph = nx.Graph()
+        graph.add_nodes_from(path_network.node_ids)
+        assert edge_congestion(graph, path_network) == {}
+
+
+class TestForwardingLoad:
+    def test_interior_nodes_forward(self, path_network):
+        graph = nx.Graph()
+        graph.add_nodes_from(path_network.node_ids)
+        graph.add_edges_from([(0, 1), (1, 2), (2, 3)])
+        load = node_forwarding_load(graph, path_network)
+        assert load[0] == 0.0 and load[3] == 0.0
+        assert load[1] > 0.0 and load[2] > 0.0
+        assert load[1] == pytest.approx(load[2])
+
+    def test_star_center_forwards_everything(self):
+        power_model = PowerModel(propagation=PathLossModel(), max_range=2.0)
+        network = Network.from_points(
+            [Point(0, 0), Point(1, 0), Point(0, 1), Point(-1, 0), Point(0, -1)], power_model=power_model
+        )
+        star = nx.star_graph(4)
+        load = node_forwarding_load(star, network)
+        # 6 of the 10 routed pairs are leaf-to-leaf and all go through the hub.
+        assert load[0] == pytest.approx(6 / 10)
+
+
+class TestCongestionReport:
+    def test_report_fields_on_path(self, path_network):
+        graph = nx.Graph()
+        graph.add_nodes_from(path_network.node_ids)
+        graph.add_edges_from([(0, 1), (1, 2), (2, 3)])
+        report = congestion_report(graph, path_network)
+        assert report.routed_pairs == 6
+        assert report.average_hop_count == pytest.approx((1 + 2 + 3 + 1 + 2 + 1) / 6)
+        assert report.max_edge_congestion == pytest.approx(4 / 6)
+        assert report.max_forwarding_load > 0
+        assert set(report.as_dict()) == {
+            "routed_pairs",
+            "average_hop_count",
+            "max_edge_congestion",
+            "average_edge_congestion",
+            "max_forwarding_load",
+        }
+
+    def test_empty_graph_report(self, path_network):
+        graph = nx.Graph()
+        graph.add_nodes_from(path_network.node_ids)
+        report = congestion_report(graph, path_network)
+        assert report.routed_pairs == 0
+        assert report.max_edge_congestion == 0.0
+
+    def test_topology_control_increases_hops_and_congestion(self, small_random_network):
+        # The Section 6 discussion: removing edges lengthens routes and
+        # concentrates load.  Quantified: the fully optimized topology has
+        # more hops per route and a higher worst-edge congestion than G_R.
+        reference = small_random_network.max_power_graph()
+        controlled = build_topology(
+            small_random_network, 5 * math.pi / 6, config=OptimizationConfig.all()
+        ).graph
+        dense = congestion_report(reference, small_random_network)
+        sparse = congestion_report(controlled, small_random_network)
+        assert sparse.average_hop_count > dense.average_hop_count
+        assert sparse.max_edge_congestion >= dense.max_edge_congestion
+        assert sparse.routed_pairs == dense.routed_pairs

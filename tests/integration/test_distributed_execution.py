@@ -1,0 +1,126 @@
+"""Integration tests for the distributed protocol under different channels.
+
+The paper argues (Section 4) that CBTC works in an asynchronous setting with
+unreliable channels and crash failures.  These tests run the full distributed
+protocol over the discrete-event simulator with duplication, loss and crashed
+nodes and check that the reconstructed topology still preserves connectivity
+(or degrades exactly as expected when information is lost).
+"""
+
+import math
+
+import pytest
+
+from repro.core.analysis import preserves_connectivity
+from repro.core.cbtc import run_cbtc
+from repro.core.pipeline import OptimizationConfig, build_topology
+from repro.core.protocol import run_distributed_cbtc
+from repro.core.topology import symmetric_closure_graph, symmetric_subset_graph
+from repro.net.placement import PlacementConfig, random_uniform_placement
+from repro.radio.power import GeometricSchedule, LinearSchedule
+from repro.sim.channel import DuplicatingChannel, LossyChannel
+
+ALPHA = 5 * math.pi / 6
+SMALL = PlacementConfig(node_count=25)
+
+
+class TestDistributedMatchesCentralized:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_neighbor_sets_identical_with_reliable_channel(self, seed):
+        network = random_uniform_placement(SMALL, seed=seed)
+        schedule = GeometricSchedule()
+        distributed = run_distributed_cbtc(network, ALPHA, schedule=schedule)
+        centralized = run_cbtc(network, ALPHA, schedule=schedule)
+        for node_id in centralized.node_ids():
+            assert set(distributed.outcome.state(node_id).neighbor_ids) == set(
+                centralized.state(node_id).neighbor_ids
+            )
+
+    def test_final_powers_match_schedule_levels(self):
+        network = random_uniform_placement(SMALL, seed=3)
+        schedule = LinearSchedule(steps=8)
+        levels = schedule(network.power_model)
+        result = run_distributed_cbtc(network, ALPHA, schedule=schedule)
+        for state in result.outcome:
+            assert any(abs(state.final_power - level) < 1e-6 for level in levels)
+
+    def test_asymmetric_notifications_reconstruct_e_minus(self):
+        # The distributed remove-notifications must produce the same E^- graph
+        # as the centralized symmetric-subset computation.
+        network = random_uniform_placement(SMALL, seed=4)
+        schedule = GeometricSchedule()
+        alpha = 2 * math.pi / 3
+        distributed = run_distributed_cbtc(network, alpha, schedule=schedule)
+        centralized = run_cbtc(network, alpha, schedule=schedule)
+        subset = symmetric_subset_graph(centralized, network)
+
+        # Build the distributed E^- from each protocol's surviving neighbours.
+        import networkx as nx
+
+        distributed_subset = nx.Graph()
+        distributed_subset.add_nodes_from(network.node_ids)
+        for node_id, protocol in distributed.protocols.items():
+            for neighbor in protocol.neighbors_excluding_asymmetric():
+                other = distributed.protocols[neighbor]
+                if node_id in other.neighbors_excluding_asymmetric():
+                    distributed_subset.add_edge(node_id, neighbor)
+        assert set(map(frozenset, distributed_subset.edges)) == set(map(frozenset, subset.edges))
+
+
+class TestUnreliableChannels:
+    def test_duplicating_channel_gives_identical_topology(self):
+        network = random_uniform_placement(SMALL, seed=5)
+        clean = run_distributed_cbtc(network, ALPHA)
+        noisy = run_distributed_cbtc(
+            network, ALPHA, channel=DuplicatingChannel(duplicate_probability=0.7, seed=9)
+        )
+        clean_graph = symmetric_closure_graph(clean.outcome, network)
+        noisy_graph = symmetric_closure_graph(noisy.outcome, network)
+        assert set(map(frozenset, clean_graph.edges)) == set(map(frozenset, noisy_graph.edges))
+
+    def test_mild_loss_still_terminates_and_usually_preserves_connectivity(self):
+        network = random_uniform_placement(SMALL, seed=6)
+        lossy = run_distributed_cbtc(
+            network,
+            ALPHA,
+            channel=LossyChannel(loss_probability=0.05, min_delay=0.5, max_delay=1.0, seed=11),
+            round_timeout=3.0,
+        )
+        assert lossy.engine.pending_events() == 0
+        graph = symmetric_closure_graph(lossy.outcome, network)
+        # Losses can only remove knowledge, never invent edges.
+        reference = network.max_power_graph()
+        for u, v in graph.edges:
+            assert reference.has_edge(u, v)
+
+    def test_crashed_nodes_are_routed_around(self):
+        network = random_uniform_placement(PlacementConfig(node_count=35), seed=7)
+        network.node(4).crash()
+        network.node(9).crash()
+        result = run_distributed_cbtc(network, ALPHA)
+        graph = symmetric_closure_graph(result.outcome, network)
+        assert preserves_connectivity(network.max_power_graph(), graph)
+
+
+class TestMessageComplexity:
+    def test_coarser_schedules_send_fewer_messages(self):
+        network = random_uniform_placement(SMALL, seed=8)
+        fine = run_distributed_cbtc(network, ALPHA, schedule=LinearSchedule(steps=32))
+        coarse = run_distributed_cbtc(network, ALPHA, schedule=LinearSchedule(steps=4))
+        assert coarse.total_messages() < fine.total_messages()
+
+    def test_energy_accounting_matches_trace(self):
+        network = random_uniform_placement(SMALL, seed=9)
+        result = run_distributed_cbtc(network, ALPHA)
+        assert result.engine.energy.total_consumed() == pytest.approx(
+            result.trace.total_transmit_energy()
+        )
+
+    def test_distributed_topology_feeds_optimization_pipeline(self):
+        network = random_uniform_placement(SMALL, seed=10)
+        result = run_distributed_cbtc(network, ALPHA)
+        topology = build_topology(
+            network, ALPHA, config=OptimizationConfig(shrink_back=True, pairwise_removal=True),
+            outcome=result.outcome,
+        )
+        assert preserves_connectivity(network.max_power_graph(), topology.graph)

@@ -1,0 +1,104 @@
+"""End-to-end integration tests exercising the whole public API surface."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro import (
+    ALPHA_CONNECTIVITY_THRESHOLD,
+    Network,
+    OptimizationConfig,
+    build_topology,
+    paper_workload,
+    run_cbtc,
+)
+from repro.core.analysis import power_stretch_factor, preserves_connectivity
+from repro.graphs.metrics import graph_metrics
+from repro.net.placement import PlacementConfig, random_uniform_placement
+
+ALPHA = 5 * math.pi / 6
+
+
+class TestPublicApi:
+    def test_readme_quickstart_flow(self):
+        network = paper_workload(seed=0)
+        result = build_topology(network, ALPHA_CONNECTIVITY_THRESHOLD, config=OptimizationConfig.all())
+        assert result.node_count == 100
+        assert 2.0 < result.average_degree() < 6.0
+        assert 80.0 < result.average_radius() < 300.0
+        assert preserves_connectivity(network.max_power_graph(), result.graph)
+
+    def test_full_paper_workload_all_configurations(self):
+        network = paper_workload(seed=1)
+        reference = network.max_power_graph()
+        previous_edges = None
+        for config in (
+            OptimizationConfig.none(),
+            OptimizationConfig.shrink_only(),
+            OptimizationConfig.all(),
+        ):
+            result = build_topology(network, ALPHA, config=config)
+            assert preserves_connectivity(reference, result.graph)
+            if previous_edges is not None:
+                assert result.edge_count <= previous_edges
+            previous_edges = result.edge_count
+
+    def test_outcome_reuse_across_configurations(self):
+        network = random_uniform_placement(PlacementConfig(node_count=40), seed=2)
+        outcome = run_cbtc(network, ALPHA)
+        results = {
+            name: build_topology(network, ALPHA, config=config, outcome=outcome)
+            for name, config in {
+                "basic": OptimizationConfig.none(),
+                "all": OptimizationConfig.all(),
+            }.items()
+        }
+        assert results["all"].edge_count <= results["basic"].edge_count
+        # The shared outcome must not be mutated by downstream optimizations.
+        assert outcome.neighbor_pairs()
+
+    def test_metrics_and_stretch_pipeline(self):
+        network = random_uniform_placement(PlacementConfig(node_count=30), seed=3)
+        result = build_topology(network, ALPHA, config=OptimizationConfig.all())
+        metrics = graph_metrics(result.graph, network)
+        stretch = power_stretch_factor(network, result.graph)
+        assert metrics.average_degree == pytest.approx(result.average_degree())
+        assert stretch >= 1.0
+
+    def test_sparse_network_with_isolated_components(self):
+        # Very sparse workload: G_R itself is disconnected; CBTC must preserve
+        # exactly that component structure, never merge or split components.
+        network = random_uniform_placement(
+            PlacementConfig(node_count=15, width=5000, height=5000, max_range=400), seed=4
+        )
+        reference = network.max_power_graph()
+        assert nx.number_connected_components(reference) > 1
+        result = build_topology(network, ALPHA, config=OptimizationConfig.all())
+        assert preserves_connectivity(reference, result.graph)
+
+    def test_tiny_networks(self):
+        for count in (1, 2, 3):
+            network = random_uniform_placement(PlacementConfig(node_count=count, width=300, height=300), seed=5)
+            result = build_topology(network, ALPHA, config=OptimizationConfig.all())
+            assert result.node_count == count
+            assert preserves_connectivity(network.max_power_graph(), result.graph)
+
+    def test_collinear_and_coincident_degeneracies(self):
+        # Collinear nodes plus two nodes at (nearly) the same position.
+        points = [(float(i * 100), 0.0) for i in range(6)] + [(0.0, 0.0001)]
+        network = Network.from_positions(points)
+        result = build_topology(network, ALPHA, config=OptimizationConfig.all())
+        assert preserves_connectivity(network.max_power_graph(), result.graph)
+
+    def test_dense_clique_reduces_to_near_minimal_degree(self):
+        # All nodes inside one small disk: G_R is a clique, and the optimized
+        # topology should be dramatically sparser while staying connected.
+        network = random_uniform_placement(
+            PlacementConfig(node_count=40, width=300, height=300, max_range=500), seed=6
+        )
+        reference = network.max_power_graph()
+        assert nx.graph_clique_number(reference) if hasattr(nx, "graph_clique_number") else True
+        result = build_topology(network, ALPHA, config=OptimizationConfig.all())
+        assert preserves_connectivity(reference, result.graph)
+        assert result.average_degree() < graph_metrics(reference, network).average_degree / 3

@@ -1,0 +1,89 @@
+"""Integration tests for reconfiguration under realistic change scenarios."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.analysis import preserves_connectivity
+from repro.core.pipeline import OptimizationConfig
+from repro.core.reconfiguration import ReconfigurationManager
+from repro.geometry import Point
+from repro.net.mobility import RandomWaypointModel
+from repro.net.node import Node
+from repro.net.placement import PlacementConfig, random_uniform_placement
+
+ALPHA = 5 * math.pi / 6
+SMALL = PlacementConfig(node_count=30)
+
+
+class TestMobilityScenarios:
+    def test_sustained_waypoint_mobility(self):
+        network = random_uniform_placement(SMALL, seed=20)
+        manager = ReconfigurationManager(network, ALPHA)
+        mobility = RandomWaypointModel(min_speed=20, max_speed=60, seed=20)
+        for _ in range(5):
+            for _ in range(3):
+                mobility.step(network)
+            manager.synchronize()
+            assert preserves_connectivity(network.max_power_graph(), manager.topology().graph)
+
+    def test_partition_and_heal(self):
+        # Two groups far apart; a bridge node then moves between them and must
+        # re-join both sides, merging the components.
+        left = [(float(x), float(y)) for x in (0, 150, 300) for y in (0, 150)]
+        right = [(float(2000 + x), float(y)) for x in (0, 150, 300) for y in (0, 150)]
+        from repro.net.network import Network
+        from repro.radio import PathLossModel, PowerModel
+
+        power_model = PowerModel(propagation=PathLossModel(), max_range=500.0)
+        network = Network.from_positions(left + right, power_model=power_model)
+        manager = ReconfigurationManager(network, ALPHA)
+        reference = network.max_power_graph()
+        assert nx.number_connected_components(reference) == 2
+        assert preserves_connectivity(reference, manager.topology().graph)
+
+        bridge = Node(node_id=100, position=Point(700.0, 75.0))
+        network.add_node(bridge)
+        # One bridge node cannot join the two far groups (they are 2000 apart),
+        # but it must attach to the left group.
+        manager.synchronize()
+        topology = manager.topology()
+        assert preserves_connectivity(network.max_power_graph(), topology.graph)
+
+        # Now move the bridge next to the right group: connectivity of the new
+        # G_R (still two components) must again be matched exactly.
+        bridge.move_to(Point(1800.0, 75.0))
+        manager.synchronize()
+        assert preserves_connectivity(network.max_power_graph(), manager.topology().graph)
+
+    def test_mass_failure_of_half_the_network(self):
+        network = random_uniform_placement(SMALL, seed=21)
+        manager = ReconfigurationManager(network, ALPHA)
+        for node_id in network.node_ids[::2]:
+            network.node(node_id).crash()
+        manager.synchronize()
+        topology = manager.topology()
+        assert preserves_connectivity(network.max_power_graph(), topology.graph)
+        for node_id in network.node_ids[::2]:
+            assert node_id not in manager.outcome.states
+
+    def test_crash_then_recover_is_a_join(self):
+        network = random_uniform_placement(SMALL, seed=22)
+        manager = ReconfigurationManager(network, ALPHA)
+        victim = network.node_ids[7]
+        network.node(victim).crash()
+        manager.synchronize()
+        assert victim not in manager.outcome.states
+        network.node(victim).recover()
+        manager.synchronize()
+        assert victim in manager.outcome.states
+        assert preserves_connectivity(network.max_power_graph(), manager.topology().graph)
+
+    def test_reconfigured_topology_supports_optimizations(self):
+        network = random_uniform_placement(SMALL, seed=23)
+        manager = ReconfigurationManager(network, ALPHA)
+        RandomWaypointModel(min_speed=50, max_speed=100, seed=23).step(network)
+        manager.synchronize()
+        optimized = manager.topology(config=OptimizationConfig(shrink_back=True, pairwise_removal=True))
+        assert preserves_connectivity(network.max_power_graph(), optimized.graph)

@@ -1,0 +1,71 @@
+"""Integration test: CBTC under the synchronous round model of Section 2.
+
+The paper first presents CBTC in a synchronous setting (communication in
+rounds governed by a global clock) and only later relaxes it.  This test runs
+the distributed protocol under the :class:`SynchronousRunner`'s lock-step
+rounds and checks that it converges to the same neighbour sets as the
+asynchronous event-driven execution and as the centralized computation.
+"""
+
+import math
+
+import pytest
+
+from repro.core.cbtc import run_cbtc
+from repro.core.protocol import CBTCProtocol
+from repro.core.analysis import preserves_connectivity
+from repro.core.state import CBTCOutcome
+from repro.core.topology import symmetric_closure_graph
+from repro.net.placement import PlacementConfig, random_uniform_placement
+from repro.radio.power import GeometricSchedule
+from repro.sim.synchronous import SynchronousRunner
+
+ALPHA = 5 * math.pi / 6
+
+
+def _run_synchronously(network, alpha, schedule):
+    levels = schedule(network.power_model)
+    runner = SynchronousRunner(network)
+    protocols = {}
+    for node in network.nodes:
+        if not node.alive:
+            continue
+        protocol = CBTCProtocol(node.node_id, alpha, levels, round_timeout=3.0)
+        protocols[node.node_id] = protocol
+        runner.register(node.node_id, protocol)
+    rounds = runner.run_until_quiescent(max_rounds=5000)
+    outcome = CBTCOutcome(alpha=alpha)
+    for node_id, protocol in protocols.items():
+        outcome.states[node_id] = protocol.state
+    return outcome, rounds, protocols
+
+
+class TestSynchronousExecution:
+    def test_synchronous_run_matches_centralized(self):
+        network = random_uniform_placement(PlacementConfig(node_count=20), seed=13)
+        schedule = GeometricSchedule()
+        outcome, rounds, protocols = _run_synchronously(network, ALPHA, schedule)
+        centralized = run_cbtc(network, ALPHA, schedule=schedule)
+        assert rounds > 0
+        assert all(protocol.finished for protocol in protocols.values())
+        for node_id in centralized.node_ids():
+            assert set(outcome.state(node_id).neighbor_ids) == set(
+                centralized.state(node_id).neighbor_ids
+            )
+
+    def test_synchronous_run_preserves_connectivity(self):
+        network = random_uniform_placement(PlacementConfig(node_count=20), seed=14)
+        outcome, _, _ = _run_synchronously(network, ALPHA, GeometricSchedule())
+        controlled = symmetric_closure_graph(outcome, network)
+        assert preserves_connectivity(network.max_power_graph(), controlled)
+
+    def test_round_count_bounded_by_schedule_length(self):
+        network = random_uniform_placement(PlacementConfig(node_count=15), seed=15)
+        schedule = GeometricSchedule()
+        levels = schedule(network.power_model)
+        _, rounds, protocols = _run_synchronously(network, ALPHA, schedule)
+        # Each power level costs a bounded number of synchronous rounds
+        # (Hello out, Acks back, timeout), so the total round count is at most
+        # a small constant times the number of levels.
+        assert rounds <= 5 * len(levels) + 10
+        assert max(p.hello_broadcasts for p in protocols.values()) <= len(levels)

@@ -1,0 +1,71 @@
+"""Tests for graph and result serialization (repro.io)."""
+
+import math
+
+import pytest
+
+from repro.core.pipeline import OptimizationConfig, build_topology
+from repro.experiments.table1 import run_table1
+from repro.io import (
+    graph_from_dict,
+    graph_to_dict,
+    read_edge_list,
+    read_json,
+    results_from_json,
+    results_to_json,
+    write_edge_list,
+    write_json,
+)
+from repro.net.placement import PlacementConfig
+
+
+class TestGraphSerialization:
+    def test_roundtrip_preserves_structure(self, small_random_network, tmp_path):
+        graph = build_topology(small_random_network, 5 * math.pi / 6).graph
+        path = tmp_path / "topology.json"
+        write_edge_list(graph, path)
+        restored = read_edge_list(path)
+        assert set(restored.nodes) == set(graph.nodes)
+        assert set(map(frozenset, restored.edges)) == set(map(frozenset, graph.edges))
+
+    def test_roundtrip_preserves_attributes(self, square_network):
+        graph = square_network.max_power_graph()
+        payload = graph_to_dict(graph)
+        restored = graph_from_dict(payload)
+        assert restored.nodes[0]["pos"] == (0.0, 0.0)
+        assert restored.edges[0, 1]["length"] == pytest.approx(1.0)
+
+    def test_missing_attributes_tolerated(self):
+        payload = {"nodes": [{"id": 0}, {"id": 1}], "edges": [{"u": 0, "v": 1}]}
+        graph = graph_from_dict(payload)
+        assert graph.has_edge(0, 1)
+        assert "pos" not in graph.nodes[0]
+
+
+class TestResultSerialization:
+    def test_dataclass_tree_to_json(self):
+        result = run_table1(network_count=1, config=PlacementConfig(node_count=20))
+        payload = results_from_json(results_to_json(result))
+        assert payload["network_count"] == 1
+        assert len(payload["rows"]) == len(result.rows)
+        assert payload["rows"][0]["key"] == result.rows[0].key
+
+    def test_write_and_read_json_file(self, tmp_path):
+        result = run_table1(network_count=1, config=PlacementConfig(node_count=15))
+        path = tmp_path / "table1.json"
+        write_json(result, path)
+        payload = read_json(path)
+        assert payload["node_count"] == 15
+
+    def test_special_float_values_survive(self):
+        payload = results_from_json(results_to_json({"nan": float("nan"), "inf": float("inf")}))
+        assert payload["nan"] == "nan"
+        assert payload["inf"] == "inf"
+
+    def test_non_serializable_objects_are_replaced_by_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        payload = results_from_json(results_to_json({"thing": Opaque()}))
+        assert payload["thing"] == "<opaque>"

@@ -1,0 +1,101 @@
+"""Tests for the beaconing protocol (repro.ndp.beacon) on the simulator."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.ndp.beacon import BeaconProtocol
+from repro.ndp.events import NeighborEventType
+from repro.net.network import Network
+from repro.radio import PathLossModel, PowerModel
+from repro.sim.engine import SimulationEngine
+
+
+def _pair_network(distance=1.0, max_range=2.0):
+    power_model = PowerModel(propagation=PathLossModel(), max_range=max_range)
+    return Network.from_points([Point(0, 0), Point(distance, 0)], power_model=power_model)
+
+
+def _run(network, horizon, beacon_power=None, interval=1.0):
+    engine = SimulationEngine(network)
+    protocols = {}
+    for node in network.nodes:
+        power = beacon_power if beacon_power is not None else network.power_model.max_power
+        protocol = BeaconProtocol(
+            node.node_id,
+            beacon_power=power,
+            beacon_interval=interval,
+            horizon=horizon,
+        )
+        protocols[node.node_id] = protocol
+        engine.register(node.node_id, protocol)
+    engine.run_to_completion()
+    return engine, protocols
+
+
+class TestBeaconing:
+    def test_neighbors_discovered_via_join_events(self):
+        network = _pair_network()
+        _, protocols = _run(network, horizon=5.0)
+        for protocol in protocols.values():
+            joins = [e for e in protocol.events if e.event_type is NeighborEventType.JOIN]
+            assert len(joins) == 1
+        assert protocols[0].table.live_neighbors() == [1]
+
+    def test_beacons_sent_until_horizon(self):
+        network = _pair_network()
+        _, protocols = _run(network, horizon=5.0, interval=1.0)
+        for protocol in protocols.values():
+            assert 4 <= protocol.beacons_sent <= 6
+
+    def test_out_of_range_nodes_never_join(self):
+        network = _pair_network(distance=3.0, max_range=2.0)
+        _, protocols = _run(network, horizon=5.0)
+        assert protocols[0].table.live_neighbors() == []
+
+    def test_weak_beacon_power_misses_neighbors(self):
+        network = _pair_network(distance=1.0)
+        weak = network.power_model.required_power(0.5)
+        _, protocols = _run(network, horizon=5.0, beacon_power=weak)
+        assert protocols[0].table.live_neighbors() == []
+
+    def test_crash_produces_leave_event(self):
+        network = _pair_network()
+        engine = SimulationEngine(network)
+        protocols = {}
+        for node in network.nodes:
+            protocol = BeaconProtocol(
+                node.node_id,
+                beacon_power=network.power_model.max_power,
+                beacon_interval=1.0,
+                miss_threshold=2,
+                horizon=20.0,
+            )
+            protocols[node.node_id] = protocol
+            engine.register(node.node_id, protocol)
+        # Let the nodes discover each other, then crash node 1 and keep running.
+        engine.run(until=3.0)
+        network.node(1).crash()
+        engine.run_to_completion()
+        leaves = [e for e in protocols[0].events if e.event_type is NeighborEventType.LEAVE]
+        assert len(leaves) == 1
+        assert leaves[0].subject == 1
+
+    def test_event_callback_invoked(self):
+        network = _pair_network()
+        seen = []
+        engine = SimulationEngine(network)
+        protocol = BeaconProtocol(
+            0,
+            beacon_power=network.power_model.max_power,
+            horizon=3.0,
+            on_event=seen.append,
+        )
+        other = BeaconProtocol(1, beacon_power=network.power_model.max_power, horizon=3.0)
+        engine.register(0, protocol)
+        engine.register(1, other)
+        engine.run_to_completion()
+        assert seen == protocol.events
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            BeaconProtocol(0, beacon_power=1.0, beacon_interval=0.0)

@@ -1,0 +1,83 @@
+"""Tests for the NDP neighbour table (repro.ndp.table)."""
+
+import pytest
+
+from repro.ndp.events import NeighborEventType
+from repro.ndp.table import NeighborTable
+
+
+@pytest.fixture
+def table():
+    return NeighborTable(owner=0, beacon_interval=1.0, miss_threshold=3, angle_threshold=0.1)
+
+
+class TestJoinDetection:
+    def test_first_beacon_is_a_join(self, table):
+        events = table.observe_beacon(sender=5, time=0.0, direction=1.0, required_power=2.0)
+        assert len(events) == 1
+        assert events[0].event_type is NeighborEventType.JOIN
+        assert events[0].observer == 0
+        assert events[0].subject == 5
+        assert table.live_neighbors() == [5]
+
+    def test_subsequent_beacons_are_not_joins(self, table):
+        table.observe_beacon(5, 0.0, 1.0, 2.0)
+        events = table.observe_beacon(5, 1.0, 1.0, 2.0)
+        assert events == []
+
+    def test_beacon_after_failure_is_a_fresh_join(self, table):
+        table.observe_beacon(5, 0.0, 1.0, 2.0)
+        table.expire(10.0)
+        events = table.observe_beacon(5, 11.0, 1.0, 2.0)
+        assert [e.event_type for e in events] == [NeighborEventType.JOIN]
+
+
+class TestLeaveDetection:
+    def test_missing_beacons_trigger_leave(self, table):
+        table.observe_beacon(5, 0.0, 1.0, 2.0)
+        assert table.expire(2.0) == []
+        events = table.expire(3.5)
+        assert [e.event_type for e in events] == [NeighborEventType.LEAVE]
+        assert table.live_neighbors() == []
+
+    def test_leave_reported_only_once(self, table):
+        table.observe_beacon(5, 0.0, 1.0, 2.0)
+        table.expire(10.0)
+        assert table.expire(20.0) == []
+
+    def test_fresh_beacons_prevent_leave(self, table):
+        table.observe_beacon(5, 0.0, 1.0, 2.0)
+        table.observe_beacon(5, 3.0, 1.0, 2.0)
+        assert table.expire(4.0) == []
+
+
+class TestAngleChangeDetection:
+    def test_small_drift_ignored(self, table):
+        table.observe_beacon(5, 0.0, 1.0, 2.0)
+        assert table.observe_beacon(5, 1.0, 1.05, 2.0) == []
+
+    def test_large_drift_reported(self, table):
+        table.observe_beacon(5, 0.0, 1.0, 2.0)
+        events = table.observe_beacon(5, 1.0, 1.5, 2.0)
+        assert [e.event_type for e in events] == [NeighborEventType.ANGLE_CHANGE]
+        assert events[0].direction == pytest.approx(1.5)
+        assert table.direction_of(5) == pytest.approx(1.5)
+
+    def test_wraparound_drift_detected(self, table):
+        table.observe_beacon(5, 0.0, 0.05, 2.0)
+        events = table.observe_beacon(5, 1.0, 2 * 3.141592653589793 - 0.2, 2.0)
+        assert [e.event_type for e in events] == [NeighborEventType.ANGLE_CHANGE]
+
+
+class TestAccessors:
+    def test_direction_of_unknown_or_failed(self, table):
+        assert table.direction_of(9) is None
+        table.observe_beacon(9, 0.0, 0.4, 1.0)
+        table.expire(100.0)
+        assert table.direction_of(9) is None
+
+    def test_event_flags(self, table):
+        (join,) = table.observe_beacon(1, 0.0, 0.0, 1.0)
+        assert join.is_join and not join.is_leave and not join.is_angle_change
+        (leave,) = table.expire(100.0)
+        assert leave.is_leave

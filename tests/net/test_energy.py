@@ -1,0 +1,63 @@
+"""Tests for repro.net.energy."""
+
+import pytest
+
+from repro.net.energy import EnergyAccount, EnergyLedger
+
+
+class TestEnergyAccount:
+    def test_charge_accumulates(self):
+        account = EnergyAccount()
+        account.charge(5.0)
+        account.charge(2.5)
+        assert account.consumed == pytest.approx(7.5)
+        assert account.transmissions == 2
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyAccount().charge(-1.0)
+
+    def test_remaining_and_exhausted(self):
+        account = EnergyAccount(capacity=10.0)
+        account.charge(4.0)
+        assert account.remaining == pytest.approx(6.0)
+        assert not account.exhausted
+        account.charge(7.0)
+        assert account.exhausted
+
+    def test_infinite_capacity_never_exhausts(self):
+        account = EnergyAccount()
+        account.charge(1e12)
+        assert not account.exhausted
+
+
+class TestEnergyLedger:
+    def test_charging_and_totals(self):
+        ledger = EnergyLedger([0, 1, 2])
+        ledger.charge_transmission(0, power=10.0)
+        ledger.charge_transmission(0, power=5.0, duration=2.0)
+        ledger.charge_transmission(1, power=3.0)
+        assert ledger.consumed_by(0) == pytest.approx(20.0)
+        assert ledger.consumed_by(1) == pytest.approx(3.0)
+        assert ledger.consumed_by(2) == 0.0
+        assert ledger.total_consumed() == pytest.approx(23.0)
+        assert ledger.total_transmissions() == 3
+        assert ledger.max_consumed() == pytest.approx(20.0)
+
+    def test_unknown_node_account_created_on_demand(self):
+        ledger = EnergyLedger([0])
+        ledger.charge_transmission(42, power=1.0)
+        assert ledger.consumed_by(42) == pytest.approx(1.0)
+
+    def test_exhausted_nodes(self):
+        ledger = EnergyLedger([0, 1], capacity=5.0)
+        ledger.charge_transmission(0, power=6.0)
+        assert list(ledger.exhausted_nodes()) == [0]
+
+    def test_snapshot(self):
+        ledger = EnergyLedger([0, 1])
+        ledger.charge_transmission(1, power=2.0)
+        assert ledger.snapshot() == {0: 0.0, 1: 2.0}
+
+    def test_empty_ledger_max_consumed(self):
+        assert EnergyLedger([]).max_consumed() == 0.0

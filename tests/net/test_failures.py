@@ -1,0 +1,50 @@
+"""Tests for repro.net.failures."""
+
+import pytest
+
+from repro.net.failures import CrashFailureModel, NoFailures
+from repro.net.placement import PlacementConfig, random_uniform_placement
+
+
+@pytest.fixture
+def network():
+    return random_uniform_placement(PlacementConfig(node_count=30), seed=0)
+
+
+class TestNoFailures:
+    def test_nothing_happens(self, network):
+        assert NoFailures().step(network) == []
+        assert all(node.alive for node in network.nodes)
+
+
+class TestCrashFailureModel:
+    def test_zero_probability_never_crashes(self, network):
+        model = CrashFailureModel(crash_probability=0.0, seed=1)
+        for _ in range(10):
+            assert model.step(network) == []
+        assert all(node.alive for node in network.nodes)
+
+    def test_certain_crash(self, network):
+        model = CrashFailureModel(crash_probability=1.0, seed=1)
+        changed = model.step(network)
+        assert len(changed) == 30
+        assert all(not node.alive for node in network.nodes)
+
+    def test_recovery(self, network):
+        model = CrashFailureModel(crash_probability=1.0, recovery_probability=1.0, seed=2)
+        model.step(network)
+        assert all(not node.alive for node in network.nodes)
+        model.step(network)
+        assert all(node.alive for node in network.nodes)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            CrashFailureModel(crash_probability=1.5)
+        with pytest.raises(ValueError):
+            CrashFailureModel(recovery_probability=-0.1)
+
+    def test_seed_reproducibility(self, network):
+        clone = network.copy()
+        a = CrashFailureModel(crash_probability=0.3, seed=9)
+        b = CrashFailureModel(crash_probability=0.3, seed=9)
+        assert a.step(network) == b.step(clone)

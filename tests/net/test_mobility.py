@@ -1,0 +1,88 @@
+"""Tests for repro.net.mobility."""
+
+import pytest
+
+from repro.net.mobility import RandomWalkModel, RandomWaypointModel, StationaryModel
+from repro.net.placement import PlacementConfig, random_uniform_placement
+
+
+@pytest.fixture
+def network():
+    return random_uniform_placement(PlacementConfig(node_count=20), seed=0)
+
+
+def _positions(network):
+    return [node.position.as_tuple() for node in network.nodes]
+
+
+class TestStationaryModel:
+    def test_no_movement(self, network):
+        before = _positions(network)
+        StationaryModel().step(network)
+        assert _positions(network) == before
+
+
+class TestRandomWalkModel:
+    def test_moves_nodes_within_bounds(self, network):
+        model = RandomWalkModel(max_step=50, seed=1)
+        before = _positions(network)
+        for _ in range(10):
+            model.step(network)
+        after = _positions(network)
+        assert after != before
+        for x, y in after:
+            assert 0 <= x <= 1500
+            assert 0 <= y <= 1500
+
+    def test_step_size_bounded(self, network):
+        model = RandomWalkModel(max_step=10, seed=2)
+        before = _positions(network)
+        model.step(network, dt=1.0)
+        after = _positions(network)
+        for (x0, y0), (x1, y1) in zip(before, after):
+            assert ((x1 - x0) ** 2 + (y1 - y0) ** 2) ** 0.5 <= 10 + 1e-9
+
+    def test_dead_nodes_do_not_move(self, network):
+        network.node(0).crash()
+        before = network.node(0).position
+        RandomWalkModel(max_step=100, seed=3).step(network)
+        assert network.node(0).position == before
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWalkModel(max_step=-1)
+
+    def test_seed_reproducibility(self, network):
+        clone = network.copy()
+        RandomWalkModel(max_step=30, seed=7).step(network)
+        RandomWalkModel(max_step=30, seed=7).step(clone)
+        assert _positions(network) == _positions(clone)
+
+
+class TestRandomWaypointModel:
+    def test_moves_toward_destination_at_bounded_speed(self, network):
+        model = RandomWaypointModel(min_speed=5, max_speed=10, seed=4)
+        before = _positions(network)
+        model.step(network, dt=1.0)
+        after = _positions(network)
+        for (x0, y0), (x1, y1) in zip(before, after):
+            step = ((x1 - x0) ** 2 + (y1 - y0) ** 2) ** 0.5
+            assert step <= 10 + 1e-9
+
+    def test_eventually_reaches_and_repicks_destinations(self, network):
+        model = RandomWaypointModel(min_speed=200, max_speed=400, seed=5)
+        for _ in range(50):
+            model.step(network, dt=1.0)
+        for x, y in _positions(network):
+            assert 0 <= x <= 1500
+            assert 0 <= y <= 1500
+
+    def test_invalid_speeds_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWaypointModel(min_speed=10, max_speed=5)
+
+    def test_dead_nodes_do_not_move(self, network):
+        network.node(3).crash()
+        before = network.node(3).position
+        RandomWaypointModel(seed=6).step(network)
+        assert network.node(3).position == before

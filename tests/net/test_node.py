@@ -1,0 +1,43 @@
+"""Tests for repro.net.node."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+from repro.net.node import Node
+
+
+class TestNode:
+    def test_distance_and_direction(self):
+        a = Node(node_id=0, position=Point(0, 0))
+        b = Node(node_id=1, position=Point(3, 4))
+        assert a.distance_to(b) == pytest.approx(5.0)
+        assert b.distance_to(a) == pytest.approx(5.0)
+        assert a.direction_to(b) == pytest.approx(math.atan2(4, 3))
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Node(node_id=-1, position=Point(0, 0))
+
+    def test_move_to(self):
+        node = Node(node_id=0, position=Point(0, 0))
+        node.move_to(Point(5, 5))
+        assert node.position == Point(5, 5)
+
+    def test_crash_and_recover(self):
+        node = Node(node_id=3, position=Point(1, 1))
+        assert node.alive
+        node.crash()
+        assert not node.alive
+        node.recover()
+        assert node.alive
+
+    def test_equality_and_hash_by_id(self):
+        a = Node(node_id=7, position=Point(0, 0))
+        b = Node(node_id=7, position=Point(9, 9))
+        c = Node(node_id=8, position=Point(0, 0))
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+        assert a != "not a node"

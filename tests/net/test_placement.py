@@ -1,0 +1,104 @@
+"""Tests for repro.net.placement."""
+
+import pytest
+
+from repro.net.placement import (
+    PAPER_CONFIG,
+    PlacementConfig,
+    clustered_placement,
+    grid_placement,
+    paper_workload,
+    paper_workload_suite,
+    positions_from_network,
+    random_uniform_placement,
+)
+
+
+class TestPlacementConfig:
+    def test_paper_config_matches_section5(self):
+        assert PAPER_CONFIG.width == 1500.0
+        assert PAPER_CONFIG.height == 1500.0
+        assert PAPER_CONFIG.node_count == 100
+        assert PAPER_CONFIG.max_range == 500.0
+
+    def test_power_model_from_config(self):
+        model = PAPER_CONFIG.power_model()
+        assert model.max_range == 500.0
+        assert model.max_power == pytest.approx(500.0**2)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementConfig(width=0)
+        with pytest.raises(ValueError):
+            PlacementConfig(node_count=0)
+        with pytest.raises(ValueError):
+            PlacementConfig(max_range=0)
+
+
+class TestRandomUniform:
+    def test_node_count_and_bounds(self):
+        network = random_uniform_placement(PlacementConfig(node_count=50), seed=3)
+        assert len(network) == 50
+        min_x, min_y, max_x, max_y = network.bounding_box()
+        assert min_x >= 0 and min_y >= 0
+        assert max_x <= 1500 and max_y <= 1500
+
+    def test_seed_reproducibility(self):
+        a = random_uniform_placement(seed=9)
+        b = random_uniform_placement(seed=9)
+        assert positions_from_network(a) == positions_from_network(b)
+
+    def test_different_seeds_differ(self):
+        a = random_uniform_placement(seed=1)
+        b = random_uniform_placement(seed=2)
+        assert positions_from_network(a) != positions_from_network(b)
+
+    def test_paper_workload_is_paper_config(self):
+        network = paper_workload(seed=0)
+        assert len(network) == 100
+        assert network.power_model.max_range == 500.0
+
+    def test_paper_workload_suite_size_and_independence(self):
+        suite = paper_workload_suite(count=3, base_seed=5)
+        assert len(suite) == 3
+        assert positions_from_network(suite[0]) != positions_from_network(suite[1])
+
+
+class TestGridPlacement:
+    def test_grid_node_count(self):
+        network = grid_placement(PlacementConfig(node_count=30), seed=0)
+        assert len(network) == 30
+
+    def test_grid_without_jitter_is_deterministic(self):
+        a = grid_placement(PlacementConfig(node_count=16))
+        b = grid_placement(PlacementConfig(node_count=16))
+        assert positions_from_network(a) == positions_from_network(b)
+
+    def test_grid_positions_within_region(self):
+        network = grid_placement(PlacementConfig(node_count=25, width=100, height=200), jitter=30, seed=1)
+        for node in network.nodes:
+            assert 0 <= node.position.x <= 100
+            assert 0 <= node.position.y <= 200
+
+
+class TestClusteredPlacement:
+    def test_cluster_count_validation(self):
+        with pytest.raises(ValueError):
+            clustered_placement(cluster_count=0)
+
+    def test_clustered_positions_within_region(self):
+        network = clustered_placement(PlacementConfig(node_count=40), cluster_count=3, seed=2)
+        assert len(network) == 40
+        for node in network.nodes:
+            assert 0 <= node.position.x <= 1500
+            assert 0 <= node.position.y <= 1500
+
+    def test_clustered_is_denser_than_uniform(self):
+        # Clustered placements should have a higher average degree in G_R than
+        # uniform ones of the same size, since nodes pile into a few hot spots.
+        config = PlacementConfig(node_count=60)
+        clustered = clustered_placement(config, cluster_count=2, cluster_radius=150, seed=4)
+        uniform = random_uniform_placement(config, seed=4)
+        clustered_degree = 2 * clustered.max_power_graph().number_of_edges() / 60
+        uniform_degree = 2 * uniform.max_power_graph().number_of_edges() / 60
+        assert clustered_degree > uniform_degree

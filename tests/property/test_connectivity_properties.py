@@ -1,0 +1,141 @@
+"""Property-based tests of the paper's theorems on random geometric instances.
+
+These are the executable counterparts of Theorems 2.1, 3.1, 3.2 and 3.6: for
+arbitrary node placements (drawn by hypothesis) and arbitrary alpha at or
+below the relevant thresholds, the controlled graphs must preserve the
+connectivity of the maximum-power graph.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import preserves_connectivity
+from repro.core.cbtc import run_cbtc
+from repro.core.optimizations import pairwise_edge_removal, shrink_back
+from repro.core.pipeline import OptimizationConfig, build_topology
+from repro.core.topology import (
+    symmetric_closure_graph,
+    symmetric_subset_graph,
+)
+from repro.net.network import Network
+from repro.radio import PathLossModel, PowerModel
+
+ALPHA_MAX = 5 * math.pi / 6
+ALPHA_ASYM = 2 * math.pi / 3
+
+# Node placements are drawn on a 0.1-spaced grid inside a 4 x 4 region.  The
+# grid guarantees a minimum pairwise distance, which keeps the instances out
+# of the floating-point degenerate regime (nearly coincident nodes) where the
+# strict-inequality arguments of the paper's proofs lose meaning numerically.
+_grid_points = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=40), st.integers(min_value=0, max_value=40)),
+    min_size=2,
+    max_size=16,
+    unique=True,
+)
+node_sets = _grid_points.map(lambda pts: [(0.1 * x, 0.1 * y) for x, y in pts])
+alphas_connectivity = st.floats(min_value=math.pi / 3, max_value=ALPHA_MAX)
+alphas_asymmetric = st.floats(min_value=math.pi / 3, max_value=ALPHA_ASYM)
+
+RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def _network(points) -> Network:
+    power_model = PowerModel(propagation=PathLossModel(), max_range=1.0)
+    return Network.from_positions(list(points), power_model=power_model)
+
+
+class TestTheorem21:
+    @RELAXED
+    @given(node_sets, alphas_connectivity)
+    def test_symmetric_closure_preserves_connectivity(self, points, alpha):
+        network = _network(points)
+        outcome = run_cbtc(network, alpha)
+        controlled = symmetric_closure_graph(outcome, network)
+        assert preserves_connectivity(network.max_power_graph(), controlled)
+
+    @RELAXED
+    @given(node_sets, alphas_connectivity)
+    def test_controlled_graph_is_subgraph_of_gr(self, points, alpha):
+        network = _network(points)
+        outcome = run_cbtc(network, alpha)
+        controlled = symmetric_closure_graph(outcome, network)
+        reference = network.max_power_graph()
+        for u, v in controlled.edges:
+            assert reference.has_edge(u, v)
+
+    @RELAXED
+    @given(node_sets, alphas_connectivity)
+    def test_every_node_has_no_gap_or_max_power(self, points, alpha):
+        network = _network(points)
+        outcome = run_cbtc(network, alpha)
+        for state in outcome:
+            assert (not state.has_gap()) or state.used_max_power
+
+
+class TestOptimizationTheorems:
+    @RELAXED
+    @given(node_sets, alphas_connectivity)
+    def test_theorem_3_1_shrink_back(self, points, alpha):
+        network = _network(points)
+        outcome = shrink_back(run_cbtc(network, alpha))
+        controlled = symmetric_closure_graph(outcome, network)
+        assert preserves_connectivity(network.max_power_graph(), controlled)
+
+    @RELAXED
+    @given(node_sets, alphas_asymmetric)
+    def test_theorem_3_2_asymmetric_removal(self, points, alpha):
+        network = _network(points)
+        outcome = run_cbtc(network, alpha)
+        controlled = symmetric_subset_graph(outcome, network)
+        assert preserves_connectivity(network.max_power_graph(), controlled)
+
+    @RELAXED
+    @given(node_sets, alphas_connectivity)
+    def test_theorem_3_6_pairwise_removal(self, points, alpha):
+        network = _network(points)
+        outcome = run_cbtc(network, alpha)
+        closure = symmetric_closure_graph(outcome, network)
+        pruned = pairwise_edge_removal(closure, network, remove_all=True)
+        assert preserves_connectivity(network.max_power_graph(), pruned)
+
+    @RELAXED
+    @given(node_sets, alphas_asymmetric)
+    def test_all_optimizations_composed(self, points, alpha):
+        network = _network(points)
+        result = build_topology(network, alpha, config=OptimizationConfig.all())
+        assert preserves_connectivity(network.max_power_graph(), result.graph)
+
+
+class TestStructuralInvariants:
+    @RELAXED
+    @given(node_sets, alphas_connectivity)
+    def test_shrink_back_is_idempotent(self, points, alpha):
+        network = _network(points)
+        once = shrink_back(run_cbtc(network, alpha))
+        twice = shrink_back(once)
+        for node_id in once.node_ids():
+            assert set(once.state(node_id).neighbor_ids) == set(twice.state(node_id).neighbor_ids)
+
+    @RELAXED
+    @given(node_sets, alphas_connectivity)
+    def test_final_power_bounded_by_maximum(self, points, alpha):
+        network = _network(points)
+        outcome = run_cbtc(network, alpha)
+        for state in outcome:
+            assert 0.0 <= state.final_power <= network.power_model.max_power + 1e-9
+
+    @RELAXED
+    @given(node_sets)
+    def test_larger_alpha_never_needs_more_power(self, points):
+        network = _network(points)
+        narrow = run_cbtc(network, ALPHA_ASYM)
+        wide = run_cbtc(network, ALPHA_MAX)
+        for node_id in wide.node_ids():
+            assert wide.state(node_id).final_power <= narrow.state(node_id).final_power + 1e-9

@@ -1,0 +1,107 @@
+"""Property-based tests for the geometry substrate (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.angles import (
+    TWO_PI,
+    angle_difference,
+    angular_gaps,
+    covers_full_circle,
+    has_gap_greater_than,
+    max_angular_gap,
+    normalize_angle,
+)
+from repro.geometry.cones import Cone
+from repro.geometry.points import Point, distance, rotate_about, translate_polar
+from repro.geometry.primitives import triangle_angles
+
+finite_angles = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+coordinates = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coordinates, coordinates)
+direction_lists = st.lists(finite_angles, min_size=0, max_size=24)
+
+
+class TestAngleProperties:
+    @given(finite_angles)
+    def test_normalize_range(self, angle):
+        normalized = normalize_angle(angle)
+        assert 0.0 <= normalized < TWO_PI
+
+    @given(finite_angles, finite_angles)
+    def test_angle_difference_symmetry_and_bounds(self, a, b):
+        diff = angle_difference(a, b)
+        assert 0.0 <= diff <= math.pi + 1e-9
+        assert diff == angle_difference(b, a)
+
+    @given(finite_angles)
+    def test_angle_difference_with_itself_is_zero(self, a):
+        assert angle_difference(a, a) <= 1e-9
+
+    @given(direction_lists)
+    def test_gaps_sum_to_full_circle(self, directions):
+        gaps = angular_gaps(directions)
+        assert sum(gaps) == pytest_approx(TWO_PI)
+
+    @given(direction_lists, st.floats(min_value=0.01, max_value=TWO_PI))
+    def test_gap_test_consistent_with_cover_test(self, directions, alpha):
+        assert covers_full_circle(directions, alpha) == (not has_gap_greater_than(directions, alpha))
+
+    @given(direction_lists, finite_angles)
+    def test_max_gap_invariant_under_rotation(self, directions, offset):
+        rotated = [d + offset for d in directions]
+        assert abs(max_angular_gap(directions) - max_angular_gap(rotated)) < 1e-6
+
+    @given(direction_lists, finite_angles)
+    def test_adding_a_direction_never_increases_the_max_gap(self, directions, extra):
+        assert max_angular_gap(directions + [extra]) <= max_angular_gap(directions) + 1e-9
+
+
+class TestPointProperties:
+    @given(points, points)
+    def test_distance_symmetry_and_nonnegativity(self, a, b):
+        assert distance(a, b) == pytest_approx(distance(b, a))
+        assert distance(a, b) >= 0.0
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert distance(a, c) <= distance(a, b) + distance(b, c) + 1e-6
+
+    @given(points, finite_angles, st.floats(min_value=0.0, max_value=1e4))
+    def test_translate_polar_distance(self, origin, angle, radius):
+        target = translate_polar(origin, angle, radius)
+        assert distance(origin, target) == pytest_approx(radius, abs_tolerance=1e-6 * (1 + radius))
+
+    @given(points, points, finite_angles)
+    def test_rotation_preserves_distances(self, point, center, angle):
+        rotated = rotate_about(point, center, angle)
+        assert distance(center, rotated) == pytest_approx(
+            distance(center, point), abs_tolerance=1e-6 * (1 + distance(center, point))
+        )
+
+    @given(points, points, points)
+    def test_triangle_angles_sum(self, a, b, c):
+        if distance(a, b) < 1e-6 or distance(b, c) < 1e-6 or distance(a, c) < 1e-6:
+            return
+        assert sum(triangle_angles(a, b, c)) == pytest_approx(math.pi, abs_tolerance=1e-4)
+
+
+class TestConeProperties:
+    @given(points, finite_angles, st.floats(min_value=0.0, max_value=TWO_PI), points)
+    @settings(max_examples=200)
+    def test_cone_membership_matches_angle_difference(self, apex, bisector, alpha, target):
+        if distance(apex, target) < 1e-9:
+            return
+        cone = Cone(apex=apex, bisector=bisector, angle=alpha)
+        inside = cone.contains(target)
+        expected = angle_difference(apex.angle_to(target), bisector) <= alpha / 2.0 + 1e-12
+        assert inside == expected
+
+
+def pytest_approx(value, abs_tolerance=1e-9):
+    """A tiny local stand-in for pytest.approx usable inside hypothesis bodies."""
+    import pytest
+
+    return pytest.approx(value, abs=abs_tolerance)

@@ -1,0 +1,65 @@
+"""Property-based tests for the radio model and the simulation substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.power import ExhaustiveSchedule, GeometricSchedule, LinearSchedule, PowerModel
+from repro.radio.propagation import PathLossModel, ReceptionReport
+
+exponents = st.floats(min_value=1.0, max_value=6.0)
+distances = st.floats(min_value=1e-3, max_value=1e4)
+powers = st.floats(min_value=1e-6, max_value=1e12)
+ranges = st.floats(min_value=0.1, max_value=1e4)
+
+
+class TestPropagationProperties:
+    @given(exponents, distances)
+    def test_range_inverts_power(self, exponent, distance):
+        model = PathLossModel(exponent=exponent)
+        assert math.isclose(model.range_for_power(model.required_power(distance)), distance, rel_tol=1e-9)
+
+    @given(exponents, distances, distances)
+    def test_required_power_is_monotone(self, exponent, d1, d2):
+        model = PathLossModel(exponent=exponent)
+        if d1 <= d2:
+            assert model.required_power(d1) <= model.required_power(d2)
+        else:
+            assert model.required_power(d1) >= model.required_power(d2)
+
+    @given(exponents, powers, distances)
+    def test_receiver_estimate_recovers_required_power(self, exponent, tx_power, distance):
+        model = PathLossModel(exponent=exponent)
+        needed = model.required_power(distance)
+        if tx_power < needed:
+            return
+        report = ReceptionReport(
+            transmit_power=tx_power,
+            reception_power=model.reception_power(tx_power, distance),
+        )
+        assert math.isclose(model.estimate_required_power(report), needed, rel_tol=1e-9)
+
+
+class TestScheduleProperties:
+    @given(ranges, st.floats(min_value=1.1, max_value=8.0), st.floats(min_value=1e-5, max_value=0.9))
+    @settings(max_examples=60)
+    def test_geometric_schedule_monotone_and_terminates_at_p(self, max_range, factor, fraction):
+        model = PowerModel(propagation=PathLossModel(), max_range=max_range)
+        levels = GeometricSchedule(initial_fraction=fraction, factor=factor)(model)
+        assert all(b > a for a, b in zip(levels, levels[1:]))
+        assert math.isclose(levels[-1], model.max_power, rel_tol=1e-9)
+
+    @given(ranges, st.integers(min_value=1, max_value=64))
+    def test_linear_schedule_covers_p(self, max_range, steps):
+        model = PowerModel(propagation=PathLossModel(), max_range=max_range)
+        levels = LinearSchedule(steps=steps)(model)
+        assert len(levels) == steps
+        assert math.isclose(levels[-1], model.max_power, rel_tol=1e-9)
+
+    @given(ranges, st.lists(st.floats(min_value=0.0, max_value=1e9), max_size=20))
+    def test_exhaustive_schedule_always_valid(self, max_range, raw_levels):
+        model = PowerModel(propagation=PathLossModel(), max_range=max_range)
+        levels = ExhaustiveSchedule(raw_levels=tuple(raw_levels))(model)
+        assert all(b > a for a, b in zip(levels, levels[1:]))
+        assert math.isclose(levels[-1], model.max_power, rel_tol=1e-9)

@@ -1,0 +1,44 @@
+"""Tests for repro.radio.link (receiver-side link estimation)."""
+
+import pytest
+
+from repro.radio.link import LinkEstimator
+from repro.radio.propagation import PathLossModel, ReceptionReport
+
+
+@pytest.fixture
+def estimator() -> LinkEstimator:
+    return LinkEstimator(propagation=PathLossModel(exponent=2.0))
+
+
+def _report(model: PathLossModel, tx_power: float, distance: float) -> ReceptionReport:
+    return ReceptionReport(
+        transmit_power=tx_power,
+        reception_power=model.reception_power(tx_power, distance),
+    )
+
+
+class TestLinkEstimator:
+    def test_required_power_matches_model(self, estimator):
+        model = estimator.propagation
+        report = _report(model, tx_power=1000.0, distance=17.0)
+        assert estimator.required_power(report) == pytest.approx(model.required_power(17.0))
+
+    def test_distance_estimate(self, estimator):
+        report = _report(estimator.propagation, tx_power=500.0, distance=9.0)
+        assert estimator.distance(report) == pytest.approx(9.0)
+
+    def test_closer_of_orders_by_distance(self, estimator):
+        # The pairwise edge removal optimization needs relative distance
+        # comparisons from power measurements only.
+        model = estimator.propagation
+        near = _report(model, tx_power=300.0, distance=5.0)
+        far = _report(model, tx_power=900.0, distance=6.0)
+        assert estimator.closer_of(near, far) == 0
+        assert estimator.closer_of(far, near) == 1
+
+    def test_closer_of_tie_prefers_first(self, estimator):
+        model = estimator.propagation
+        a = _report(model, tx_power=100.0, distance=4.0)
+        b = _report(model, tx_power=700.0, distance=4.0)
+        assert estimator.closer_of(a, b) == 0

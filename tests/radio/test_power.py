@@ -1,0 +1,110 @@
+"""Tests for repro.radio.power (power model and Increase schedules)."""
+
+import pytest
+
+from repro.radio.power import (
+    ExhaustiveSchedule,
+    GeometricSchedule,
+    LinearSchedule,
+    PowerModel,
+    default_power_model,
+    power_levels_for_distances,
+)
+from repro.radio.propagation import PathLossModel
+
+
+class TestPowerModel:
+    def test_max_power_matches_max_range(self):
+        model = PowerModel(propagation=PathLossModel(exponent=2.0), max_range=500.0)
+        assert model.max_power == pytest.approx(500.0**2)
+
+    def test_can_reach(self):
+        model = default_power_model(max_range=500.0)
+        assert model.can_reach(499.9)
+        assert model.can_reach(500.0)
+        assert not model.can_reach(500.1)
+
+    def test_reaches_with(self):
+        model = default_power_model(max_range=10.0)
+        assert model.reaches_with(model.required_power(5.0), 5.0)
+        assert not model.reaches_with(model.required_power(5.0), 6.0)
+        assert not model.reaches_with(model.max_power, 11.0)
+
+    def test_range_for_power_clamped(self):
+        model = default_power_model(max_range=10.0)
+        assert model.range_for_power(model.max_power * 4) == pytest.approx(10.0)
+
+    def test_clamp(self):
+        model = default_power_model(max_range=10.0)
+        assert model.clamp(-5.0) == 0.0
+        assert model.clamp(model.max_power * 2) == pytest.approx(model.max_power)
+        assert model.clamp(3.0) == 3.0
+
+    def test_invalid_max_range_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(propagation=PathLossModel(), max_range=0.0)
+
+
+class TestSchedules:
+    def test_geometric_schedule_ends_at_max_power(self):
+        model = default_power_model(max_range=500.0)
+        levels = GeometricSchedule()(model)
+        assert levels[-1] == pytest.approx(model.max_power)
+        assert all(b > a for a, b in zip(levels, levels[1:]))
+
+    def test_geometric_schedule_doubles(self):
+        model = default_power_model(max_range=16.0)
+        levels = GeometricSchedule(initial_fraction=1 / 8, factor=2.0)(model)
+        assert levels[0] == pytest.approx(model.max_power / 8)
+        assert levels[1] == pytest.approx(model.max_power / 4)
+
+    def test_geometric_schedule_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GeometricSchedule(initial_fraction=0.0)
+        with pytest.raises(ValueError):
+            GeometricSchedule(factor=1.0)
+
+    def test_linear_schedule_even_spacing(self):
+        model = default_power_model(max_range=10.0)
+        levels = LinearSchedule(steps=4)(model)
+        assert len(levels) == 4
+        assert levels[-1] == pytest.approx(model.max_power)
+        assert levels[0] == pytest.approx(model.max_power / 4)
+
+    def test_linear_schedule_needs_at_least_one_step(self):
+        with pytest.raises(ValueError):
+            LinearSchedule(steps=0)
+
+    def test_exhaustive_schedule_filters_and_sorts(self):
+        model = default_power_model(max_range=10.0)
+        schedule = ExhaustiveSchedule(raw_levels=(50.0, 5.0, 5.0, 1e9, -3.0))
+        levels = schedule(model)
+        assert levels[-1] == pytest.approx(model.max_power)
+        assert levels[:-1] == [5.0, 50.0]
+
+    def test_exhaustive_schedule_from_distances(self):
+        model = default_power_model(max_range=10.0)
+        schedule = power_levels_for_distances(model, [2.0, 4.0, 25.0])
+        levels = schedule(model)
+        # The 25.0-distance candidate is unreachable and must be dropped.
+        assert levels == pytest.approx([4.0, 16.0, model.max_power])
+
+    def test_schedule_validation_rejects_non_monotone(self):
+        model = default_power_model(max_range=10.0)
+
+        class BrokenSchedule(GeometricSchedule):
+            def levels(self, power_model):
+                return [5.0, 4.0, power_model.max_power]
+
+        with pytest.raises(ValueError):
+            BrokenSchedule()(model)
+
+    def test_schedule_validation_rejects_wrong_endpoint(self):
+        model = default_power_model(max_range=10.0)
+
+        class TruncatedSchedule(GeometricSchedule):
+            def levels(self, power_model):
+                return [1.0, 2.0]
+
+        with pytest.raises(ValueError):
+            TruncatedSchedule()(model)

@@ -1,0 +1,85 @@
+"""Tests for repro.radio.propagation."""
+
+import pytest
+
+from repro.radio.propagation import FreeSpaceModel, PathLossModel, ReceptionReport
+
+
+class TestPathLossModel:
+    def test_required_power_grows_with_distance(self):
+        model = PathLossModel(exponent=2.0)
+        assert model.required_power(1.0) == pytest.approx(1.0)
+        assert model.required_power(2.0) == pytest.approx(4.0)
+        assert model.required_power(3.0) == pytest.approx(9.0)
+
+    def test_required_power_zero_distance(self):
+        assert PathLossModel().required_power(0.0) == 0.0
+
+    def test_required_power_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            PathLossModel().required_power(-1.0)
+
+    def test_range_inverts_required_power(self):
+        model = PathLossModel(exponent=4.0, reference_power=2.5)
+        for distance in (0.1, 1.0, 7.3, 250.0):
+            assert model.range_for_power(model.required_power(distance)) == pytest.approx(distance)
+
+    def test_exponent_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            PathLossModel(exponent=0.5)
+
+    def test_invalid_reference_power_rejected(self):
+        with pytest.raises(ValueError):
+            PathLossModel(reference_power=0.0)
+
+    def test_reaches_at_exact_power(self):
+        model = PathLossModel(exponent=2.0)
+        assert model.reaches(model.required_power(10.0), 10.0)
+        assert not model.reaches(model.required_power(10.0) * 0.99, 10.0)
+
+    def test_reception_power_decreases_with_distance(self):
+        model = PathLossModel(exponent=2.0)
+        tx = 100.0
+        assert model.reception_power(tx, 1.0) > model.reception_power(tx, 2.0) > model.reception_power(tx, 5.0)
+
+    def test_reception_power_at_required_power_equals_sensitivity(self):
+        model = PathLossModel(exponent=3.0, receiver_sensitivity=0.25)
+        distance = 12.0
+        assert model.reception_power(model.required_power(distance), distance) == pytest.approx(0.25)
+
+
+class TestReceptionEstimates:
+    def test_estimate_required_power_roundtrip(self):
+        # A receiver that knows the transmit power and measures the reception
+        # power recovers exactly the power needed to reach the sender.
+        model = PathLossModel(exponent=2.0)
+        distance = 37.0
+        tx_power = 4.0 * model.required_power(distance)
+        report = ReceptionReport(
+            transmit_power=tx_power,
+            reception_power=model.reception_power(tx_power, distance),
+        )
+        assert model.estimate_required_power(report) == pytest.approx(model.required_power(distance))
+
+    def test_estimate_distance_roundtrip(self):
+        model = PathLossModel(exponent=2.5)
+        distance = 81.0
+        tx_power = model.required_power(200.0)
+        report = ReceptionReport(
+            transmit_power=tx_power,
+            reception_power=model.reception_power(tx_power, distance),
+        )
+        assert model.estimate_distance(report) == pytest.approx(distance)
+
+    def test_attenuation_requires_positive_reception(self):
+        with pytest.raises(ValueError):
+            ReceptionReport(transmit_power=1.0, reception_power=0.0).attenuation
+
+
+class TestFreeSpaceModel:
+    def test_exponent_is_two(self):
+        assert FreeSpaceModel().exponent == 2.0
+
+    def test_custom_reference_power(self):
+        model = FreeSpaceModel(reference_power=3.0)
+        assert model.required_power(2.0) == pytest.approx(12.0)

@@ -1,0 +1,68 @@
+"""Tests for repro.sim.channel."""
+
+import pytest
+
+from repro.sim.channel import DuplicatingChannel, LossyChannel, ReliableChannel
+from repro.sim.messages import Envelope, Message
+
+
+@pytest.fixture
+def envelope():
+    return Envelope(message=Message("hello"), sender=0, transmit_power=1.0)
+
+
+class TestReliableChannel:
+    def test_single_delivery_with_fixed_delay(self, envelope):
+        channel = ReliableChannel(delay=0.5)
+        assert channel.plan_delivery(envelope, receiver=1, distance=10.0) == [0.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ReliableChannel(delay=-1.0)
+
+
+class TestLossyChannel:
+    def test_loss_rate_roughly_respected(self, envelope):
+        channel = LossyChannel(loss_probability=0.5, seed=1)
+        outcomes = [channel.plan_delivery(envelope, receiver=1, distance=1.0) for _ in range(500)]
+        lost = sum(1 for deliveries in outcomes if not deliveries)
+        assert 150 < lost < 350
+
+    def test_zero_loss_always_delivers(self, envelope):
+        channel = LossyChannel(loss_probability=0.0, seed=2)
+        for _ in range(50):
+            deliveries = channel.plan_delivery(envelope, receiver=1, distance=1.0)
+            assert len(deliveries) == 1
+            assert channel.min_delay <= deliveries[0] <= channel.max_delay
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LossyChannel(loss_probability=1.0)
+        with pytest.raises(ValueError):
+            LossyChannel(min_delay=2.0, max_delay=1.0)
+
+    def test_seed_reproducibility(self, envelope):
+        a = LossyChannel(loss_probability=0.3, seed=7)
+        b = LossyChannel(loss_probability=0.3, seed=7)
+        plan_a = [a.plan_delivery(envelope, 1, 1.0) for _ in range(20)]
+        plan_b = [b.plan_delivery(envelope, 1, 1.0) for _ in range(20)]
+        assert plan_a == plan_b
+
+
+class TestDuplicatingChannel:
+    def test_always_duplicates_when_probability_one(self, envelope):
+        channel = DuplicatingChannel(duplicate_probability=1.0, seed=3)
+        deliveries = channel.plan_delivery(envelope, receiver=1, distance=1.0)
+        assert len(deliveries) == 2
+        assert deliveries[1] > deliveries[0]
+
+    def test_never_duplicates_when_probability_zero(self, envelope):
+        channel = DuplicatingChannel(duplicate_probability=0.0, seed=4)
+        for _ in range(20):
+            assert len(channel.plan_delivery(envelope, receiver=1, distance=1.0)) == 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DuplicatingChannel(duplicate_probability=2.0)
+        with pytest.raises(ValueError):
+            DuplicatingChannel(base_delay=-1.0)

@@ -1,0 +1,55 @@
+"""Tests for repro.sim.events."""
+
+from repro.sim.events import Event, MessageDelivery, TimerFired
+from repro.sim.messages import Envelope, Message
+
+
+class TestEventOrdering:
+    def test_ordered_by_time(self):
+        early = Event(time=1.0)
+        late = Event(time=2.0)
+        assert early < late
+        assert not late < early
+
+    def test_ties_broken_by_priority_then_sequence(self):
+        first = Event(time=1.0, priority=0)
+        second = Event(time=1.0, priority=1)
+        assert first < second
+        a = Event(time=1.0)
+        b = Event(time=1.0)
+        assert a < b  # earlier creation wins
+
+    def test_heterogeneous_event_types_are_comparable(self):
+        # The engine keeps deliveries and timers in one heap; comparison must
+        # work across the concrete subclasses.
+        delivery = MessageDelivery(time=1.0, receiver=0, envelope=None, reception_power=0.0)
+        timer = TimerFired(time=2.0, node=0, tag="x")
+        assert delivery < timer
+        assert sorted([timer, delivery])[0] is delivery
+
+    def test_comparison_with_non_event_not_supported(self):
+        assert Event(time=0.0).__lt__(42) is NotImplemented
+
+    def test_cancel_flag(self):
+        event = Event(time=0.0)
+        assert not event.cancelled
+        event.cancel()
+        assert event.cancelled
+
+
+class TestMessages:
+    def test_envelope_sequence_numbers_are_unique(self):
+        message = Message("hello", {"power": 1.0})
+        a = Envelope(message=message, sender=0, transmit_power=1.0)
+        b = Envelope(message=message, sender=0, transmit_power=1.0)
+        assert a.unique_id() != b.unique_id()
+
+    def test_broadcast_flag(self):
+        message = Message("hello")
+        assert Envelope(message=message, sender=0, transmit_power=1.0).is_broadcast
+        assert not Envelope(message=message, sender=0, transmit_power=1.0, destination=3).is_broadcast
+
+    def test_message_payload_accessor(self):
+        message = Message("ack", {"hello_power": 2.0})
+        assert message.get("hello_power") == 2.0
+        assert message.get("missing", -1) == -1

@@ -1,0 +1,33 @@
+"""Tests for repro.sim.randomness."""
+
+from repro.sim.randomness import SeededRandom
+
+
+class TestSeededRandom:
+    def test_same_seed_same_stream(self):
+        a = SeededRandom(5)
+        b = SeededRandom(5)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_child_streams_are_deterministic(self):
+        a = SeededRandom(5).child("mobility")
+        b = SeededRandom(5).child("mobility")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_child_streams_with_different_labels_differ(self):
+        root = SeededRandom(5)
+        mobility = root.child("mobility")
+        channel = root.child("channel")
+        assert [mobility.random() for _ in range(5)] != [channel.random() for _ in range(5)]
+
+    def test_child_independent_of_parent_draw_order(self):
+        first = SeededRandom(9)
+        first.random()
+        first.random()
+        late_child = first.child("x")
+        early_child = SeededRandom(9).child("x")
+        assert [late_child.random() for _ in range(5)] == [early_child.random() for _ in range(5)]
+
+    def test_root_seed_exposed(self):
+        assert SeededRandom(11).root_seed == 11
+        assert SeededRandom().root_seed is None

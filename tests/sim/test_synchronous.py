@@ -1,0 +1,76 @@
+"""Tests for the synchronous (round-based) runner."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.net.network import Network
+from repro.radio import PathLossModel, PowerModel
+from repro.sim.messages import Message
+from repro.sim.process import NodeProcess
+from repro.sim.synchronous import SynchronousRunner
+
+
+def _pair_network() -> Network:
+    power_model = PowerModel(propagation=PathLossModel(), max_range=2.0)
+    return Network.from_points([Point(0, 0), Point(1, 0)], power_model=power_model)
+
+
+class PingPong(NodeProcess):
+    """Sends one message per round, alternating between the two nodes."""
+
+    def __init__(self, node_id, peer, rounds):
+        super().__init__(node_id)
+        self.peer = peer
+        self.rounds = rounds
+        self.received_rounds = []
+
+    def on_start(self, ctx):
+        if self.node_id == 0:
+            ctx.send(ctx.max_power, Message("ping", {"round": 0}), self.peer)
+
+    def on_message(self, ctx, message, info):
+        round_index = message.get("round")
+        self.received_rounds.append((ctx.now, round_index))
+        if round_index < self.rounds:
+            ctx.send(ctx.max_power, Message("ping", {"round": round_index + 1}), self.peer)
+
+
+class TestSynchronousRunner:
+    def test_messages_cross_exactly_one_round_boundary(self):
+        network = _pair_network()
+        runner = SynchronousRunner(network)
+        a = PingPong(0, peer=1, rounds=4)
+        b = PingPong(1, peer=0, rounds=4)
+        runner.register(0, a)
+        runner.register(1, b)
+        runner.run_until_quiescent()
+        # Node 1 receives rounds 0, 2, 4 at times 1, 3, 5; node 0 receives 1, 3 at 2, 4.
+        assert [round_index for _, round_index in b.received_rounds] == [0, 2, 4]
+        assert [time for time, _ in b.received_rounds] == pytest.approx([1.0, 3.0, 5.0])
+        assert [round_index for _, round_index in a.received_rounds] == [1, 3]
+
+    def test_run_returns_rounds_executed(self):
+        network = _pair_network()
+        runner = SynchronousRunner(network)
+        runner.register(0, PingPong(0, peer=1, rounds=2))
+        runner.register(1, PingPong(1, peer=0, rounds=2))
+        rounds = runner.run(max_rounds=100)
+        assert rounds < 100
+        assert runner.engine.pending_events() == 0
+
+    def test_quiescence_error_when_budget_too_small(self):
+        network = _pair_network()
+        runner = SynchronousRunner(network)
+        runner.register(0, PingPong(0, peer=1, rounds=50))
+        runner.register(1, PingPong(1, peer=0, rounds=50))
+        with pytest.raises(RuntimeError):
+            runner.run_until_quiescent(max_rounds=3)
+
+    def test_current_round_counter(self):
+        network = _pair_network()
+        runner = SynchronousRunner(network)
+        runner.register(0, PingPong(0, peer=1, rounds=0))
+        runner.register(1, PingPong(1, peer=0, rounds=0))
+        assert runner.current_round == 0
+        runner.run_round()
+        assert runner.current_round == 1

@@ -1,0 +1,59 @@
+"""Tests for repro.sim.trace."""
+
+import pytest
+
+from repro.sim.trace import MessageTrace, TraceRecord
+
+
+def _record(sender=0, kind="hello", power=1.0, destination=None, time=0.0, receivers=1):
+    return TraceRecord(
+        time=time,
+        sender=sender,
+        kind=kind,
+        transmit_power=power,
+        destination=destination,
+        receivers=receivers,
+    )
+
+
+class TestMessageTrace:
+    def test_record_and_len(self):
+        trace = MessageTrace()
+        trace.record(_record())
+        trace.record(_record(kind="ack"))
+        assert len(trace) == 2
+        assert [r.kind for r in trace.records] == ["hello", "ack"]
+
+    def test_count_by_kind(self):
+        trace = MessageTrace()
+        for kind in ("hello", "hello", "ack", "beacon"):
+            trace.record(_record(kind=kind))
+        assert trace.count_by_kind() == {"hello": 2, "ack": 1, "beacon": 1}
+
+    def test_transmissions_by_node(self):
+        trace = MessageTrace()
+        trace.record(_record(sender=1))
+        trace.record(_record(sender=1))
+        trace.record(_record(sender=2))
+        assert trace.transmissions_by_node() == {1: 2, 2: 1}
+
+    def test_total_transmit_energy(self):
+        trace = MessageTrace()
+        trace.record(_record(power=2.0))
+        trace.record(_record(power=3.0))
+        assert trace.total_transmit_energy() == pytest.approx(5.0)
+        assert trace.total_transmit_energy(duration_per_message=2.0) == pytest.approx(10.0)
+
+    def test_broadcasts_and_unicasts(self):
+        trace = MessageTrace()
+        trace.record(_record(destination=None))
+        trace.record(_record(destination=5))
+        assert len(trace.broadcasts()) == 1
+        assert len(trace.unicasts()) == 1
+        assert trace.unicasts()[0].destination == 5
+
+    def test_clear(self):
+        trace = MessageTrace()
+        trace.record(_record())
+        trace.clear()
+        assert len(trace) == 0

@@ -1,0 +1,74 @@
+"""Tests for the ASCII visualization helpers."""
+
+import math
+
+import pytest
+
+from repro.core.pipeline import OptimizationConfig, build_topology
+from repro.viz import ascii_topology, degree_profile_text, edge_list_text
+
+
+class TestAsciiTopology:
+    def test_dimensions(self, small_random_network):
+        graph = small_random_network.max_power_graph()
+        art = ascii_topology(graph, small_random_network, width=40, height=12)
+        lines = art.split("\n")
+        assert len(lines) == 12
+        assert all(len(line) == 40 for line in lines)
+
+    def test_every_node_is_drawn(self, small_random_network):
+        graph = small_random_network.max_power_graph()
+        art = ascii_topology(graph, small_random_network, width=60, height=24)
+        assert art.count("*") <= len(small_random_network)
+        assert art.count("*") >= 1
+
+    def test_show_ids_uses_digits(self, square_network):
+        graph = square_network.max_power_graph()
+        art = ascii_topology(graph, square_network, width=10, height=5, show_ids=True)
+        for digit in "0123":
+            assert digit in art
+
+    def test_sparser_graph_draws_fewer_edge_cells(self, small_random_network):
+        dense = small_random_network.max_power_graph()
+        sparse = build_topology(
+            small_random_network, 5 * math.pi / 6, config=OptimizationConfig.all()
+        ).graph
+        dense_art = ascii_topology(dense, small_random_network)
+        sparse_art = ascii_topology(sparse, small_random_network)
+        assert sparse_art.count(".") < dense_art.count(".")
+
+    def test_too_small_raster_rejected(self, square_network):
+        with pytest.raises(ValueError):
+            ascii_topology(square_network.max_power_graph(), square_network, width=1, height=1)
+
+
+class TestTextSummaries:
+    def test_edge_list_text_sorted_and_complete(self, square_network):
+        graph = square_network.max_power_graph()
+        text = edge_list_text(graph)
+        lines = text.split("\n")
+        assert len(lines) == graph.number_of_edges()
+        assert lines == sorted(lines)
+        assert "[1.0]" in lines[0]
+
+    def test_edge_list_without_lengths(self):
+        import networkx as nx
+
+        graph = nx.path_graph(3)
+        text = edge_list_text(graph)
+        assert text.splitlines() == ["0 -- 1", "1 -- 2"]
+
+    def test_degree_profile(self, square_network):
+        graph = square_network.max_power_graph()
+        text = degree_profile_text(graph)
+        assert "degree     2: #### (4)" in text
+
+    def test_degree_profile_empty_graph(self):
+        import networkx as nx
+
+        assert degree_profile_text(nx.Graph()) == "(empty graph)"
+
+    def test_degree_profile_buckets(self, small_random_network):
+        graph = small_random_network.max_power_graph()
+        text = degree_profile_text(graph, bucket_width=5)
+        assert "-" in text
