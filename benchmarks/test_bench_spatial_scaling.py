@@ -1,0 +1,100 @@
+"""Benchmark: topology construction at scale on the spatial-index hot paths.
+
+The classical benchmark (``test_bench_scaling``) stops at n = 200 because the
+seed implementation's all-pairs scans made anything larger unusable.  This
+suite measures the spatial-index subsystem where reconfigurable-topology
+systems actually get interesting: n in {500, 1000, 2000, 5000} for the full
+CBTC pipeline and for every baseline family.
+
+The deployment region grows with sqrt(n) so node density (hence expected
+degree) matches the paper's 100-nodes-in-1500x1500 workload at every size —
+the standard setting for measuring scaling, since a fixed region would
+conflate index speedups with a density explosion.
+
+Each case runs once (``pedantic`` with a single round): the point is the
+paper-workload-shaped scaling curve, not microsecond stability, and it keeps
+the whole suite fast enough for CI's ``--benchmark-disable`` smoke job.
+"""
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    euclidean_mst,
+    gabriel_graph,
+    max_power_graph,
+    relative_neighborhood_graph,
+    yao_graph,
+)
+from repro.core.pipeline import OptimizationConfig, build_topology
+from repro.net.placement import PlacementConfig, random_uniform_placement
+
+ALPHA = 5 * math.pi / 6
+
+NODE_COUNTS = [500, 1000, 2000, 5000]
+
+_NETWORK_CACHE = {}
+
+
+def _scaled_network(node_count, seed=0):
+    """Paper-workload density at arbitrary size (region side grows with sqrt(n))."""
+    key = (node_count, seed)
+    if key not in _NETWORK_CACHE:
+        side = 1500.0 * math.sqrt(node_count / 100.0)
+        config = PlacementConfig(width=side, height=side, node_count=node_count, max_range=500.0)
+        _NETWORK_CACHE[key] = random_uniform_placement(config, seed=seed)
+    return _NETWORK_CACHE[key]
+
+
+def _run_once(benchmark, func, *args, **kwargs):
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("node_count", NODE_COUNTS)
+def test_bench_build_topology_spatial(benchmark, node_count):
+    network = _scaled_network(node_count)
+    result = _run_once(benchmark, build_topology, network, ALPHA, config=OptimizationConfig.all())
+    assert result.node_count == node_count
+    # CBTC's whole point: bounded degree regardless of scale.
+    assert result.average_degree() < 12.0
+
+
+@pytest.mark.parametrize("node_count", NODE_COUNTS)
+def test_bench_gabriel_spatial(benchmark, node_count):
+    network = _scaled_network(node_count)
+    graph = _run_once(benchmark, gabriel_graph, network)
+    assert graph.number_of_nodes() == node_count
+    # The Gabriel graph is planar: at most 3n - 6 edges.
+    assert graph.number_of_edges() <= 3 * node_count - 6
+
+
+@pytest.mark.parametrize("node_count", NODE_COUNTS)
+def test_bench_rng_spatial(benchmark, node_count):
+    network = _scaled_network(node_count)
+    graph = _run_once(benchmark, relative_neighborhood_graph, network)
+    assert graph.number_of_nodes() == node_count
+    assert graph.number_of_edges() <= 3 * node_count - 6
+
+
+@pytest.mark.parametrize("node_count", NODE_COUNTS)
+def test_bench_mst_spatial(benchmark, node_count):
+    network = _scaled_network(node_count)
+    forest = _run_once(benchmark, euclidean_mst, network)
+    assert forest.number_of_nodes() == node_count
+    assert forest.number_of_edges() == node_count - 1
+
+
+@pytest.mark.parametrize("node_count", NODE_COUNTS)
+def test_bench_yao_spatial(benchmark, node_count):
+    network = _scaled_network(node_count)
+    graph = _run_once(benchmark, yao_graph, network, 6)
+    assert graph.number_of_nodes() == node_count
+
+
+@pytest.mark.parametrize("node_count", NODE_COUNTS)
+def test_bench_max_power_graph_spatial(benchmark, node_count):
+    network = _scaled_network(node_count)
+    network.invalidate_spatial_index()  # time a cold index build + full enumeration
+    graph = _run_once(benchmark, max_power_graph, network)
+    assert graph.number_of_nodes() == node_count

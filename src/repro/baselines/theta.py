@@ -14,17 +14,37 @@ bisector is shortest.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Iterable, List, Optional
 
 import networkx as nx
 
 from repro.geometry.angles import normalize_angle
 from repro.net.network import Network
+from repro.net.node import Node
 
 
 def _cone_index(angle: float, k: int, offset: float) -> int:
     width = 2.0 * math.pi / k
     return int(normalize_angle(angle - offset) // width) % k
+
+
+def _cone_candidates(network: Network, nodes: List[Node], u: Node, respect_max_range: bool) -> Iterable[Node]:
+    """Nodes competing for ``u``'s cones, ID-sorted.
+
+    With the range restriction the spatial index supplies exactly the
+    in-range nodes; without it every other node competes.  Iteration order
+    matches the classical scan over ID-sorted nodes, so tie-breaking
+    ("first seen wins" on equal distances) is unchanged.
+    """
+    if respect_max_range and network.use_spatial_index:
+        max_range = network.power_model.max_range
+        return (
+            network.node(v_id)
+            for v_id in network.spatial_index().neighbors_within(
+                u.position, max_range, exclude=u.node_id
+            )
+        )
+    return (v for v in nodes if v.node_id != u.node_id)
 
 
 def yao_graph(network: Network, k: int = 6, *, respect_max_range: bool = True, offset: float = 0.0) -> nx.Graph:
@@ -38,9 +58,7 @@ def yao_graph(network: Network, k: int = 6, *, respect_max_range: bool = True, o
     max_range = network.power_model.max_range
     for u in nodes:
         best = {}
-        for v in nodes:
-            if v.node_id == u.node_id:
-                continue
+        for v in _cone_candidates(network, nodes, u, respect_max_range):
             d = u.distance_to(v)
             if respect_max_range and d > max_range + 1e-12:
                 continue
@@ -70,9 +88,7 @@ def theta_graph(
     width = 2.0 * math.pi / k
     for u in nodes:
         best = {}
-        for v in nodes:
-            if v.node_id == u.node_id:
-                continue
+        for v in _cone_candidates(network, nodes, u, respect_max_range):
             d = u.distance_to(v)
             if respect_max_range and d > max_range + 1e-12:
                 continue

@@ -26,7 +26,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import networkx as nx
 
-from repro.geometry.angles import angle_difference, coverage_equal
+from repro.geometry.angles import TWO_PI, angular_gaps_of_sorted, arcs_equal, cover
 from repro.net.network import Network
 from repro.net.node import NodeId
 from repro.core.constants import (
@@ -39,6 +39,37 @@ from repro.core.state import CBTCOutcome, NodeState
 # --------------------------------------------------------------------------- #
 # Shrink-back (op1)
 # --------------------------------------------------------------------------- #
+def _coverage_matches(
+    kept_directions: List[float],
+    original_arcs: List[Tuple[float, float]],
+    original_is_full_circle: bool,
+    alpha: float,
+) -> bool:
+    """Whether ``cover(kept_directions)`` equals the original coverage.
+
+    Equivalent to ``arcs_equal(cover(kept_directions, alpha), original_arcs)``
+    but with a gap-based fast path for the overwhelmingly common case where
+    the original coverage is the full circle (every non-boundary node): the
+    prefix covers the full circle iff its largest angular gap is at most
+    ``alpha`` (+ the 1e-12 tolerance ``cover`` uses), and it can only *look*
+    fully covered to ``arcs_equal``'s 1e-9 arc tolerance when exactly one
+    gap exceeds ``alpha`` by less than ~2e-9 — only that rare corner pays
+    for a real arc merge.
+    """
+    if not original_is_full_circle:
+        return arcs_equal(cover(kept_directions, alpha, normalized=True), original_arcs)
+    gaps = angular_gaps_of_sorted(sorted(kept_directions))
+    if max(gaps) <= alpha + 1e-12:
+        return True
+    oversized = [gap for gap in gaps if gap > alpha]
+    if len(oversized) != 1 or oversized[0] - alpha > 2.5e-9:
+        # cover() would produce one arc per oversized gap; more than one arc,
+        # or a single uncovered span wider than arcs_equal's tolerance, can
+        # never compare equal to the full circle.
+        return False
+    return arcs_equal(cover(kept_directions, alpha, normalized=True), original_arcs)
+
+
 def shrink_back_node(state: NodeState) -> NodeState:
     """Apply the shrink-back operation to a single node's state.
 
@@ -51,16 +82,25 @@ def shrink_back_node(state: NodeState) -> NodeState:
     if not state.neighbors:
         return state
     original_directions = state.directions
+    # The reference coverage is the same for every candidate prefix; compute
+    # its merged arcs once instead of once per keep_count.  Directions stored
+    # in neighbour records come from Point.angle_to, hence are normalized.
+    original_arcs = cover(original_directions, state.alpha, normalized=True)
+    # ``cover`` returns this exact literal for fully covered circles, so the
+    # comparison is an exact one (no tolerance games).
+    original_is_full_circle = original_arcs == [(0.0, TWO_PI)]
     levels = sorted({record.discovery_power for record in state.neighbors.values()})
     # Try to keep only the neighbours discovered at the first i levels, for the
     # smallest i that preserves coverage.
     for keep_count in range(1, len(levels) + 1):
-        kept_levels = set(levels[:keep_count])
+        # Discovery tags are exactly the level values, so the prefix set
+        # membership test reduces to a threshold comparison.
+        level_threshold = levels[keep_count - 1]
         kept_records = [
-            record for record in state.neighbors.values() if record.discovery_power in kept_levels
+            record for record in state.neighbors.values() if record.discovery_power <= level_threshold
         ]
         kept_directions = [record.direction for record in kept_records]
-        if coverage_equal(kept_directions, original_directions, state.alpha):
+        if _coverage_matches(kept_directions, original_arcs, original_is_full_circle, state.alpha):
             shrunk = NodeState(
                 node_id=state.node_id,
                 alpha=state.alpha,
@@ -140,19 +180,30 @@ def redundant_edges(
     Returned edges are normalized as ``(min, max)`` pairs.
     """
     redundant: Set[Tuple[NodeId, NodeId]] = set()
+    node_of = network.node
     for u in graph.nodes:
         neighbors = list(graph.neighbors(u))
         if len(neighbors) < 2:
             continue
-        directions = {v: network.direction(u, v) for v in neighbors}
-        ids = {v: edge_id(network, u, v) for v in neighbors}
-        for v in neighbors:
-            for w in neighbors:
-                if v == w:
-                    continue
-                if angle_difference(directions[v], directions[w]) < angle_threshold and ids[w] < ids[v]:
+        u_node = node_of(u)
+        directions = {v: u_node.direction_to(node_of(v)) for v in neighbors}
+        ids = {v: (u_node.distance_to(node_of(v)), max(u, v), min(u, v)) for v in neighbors}
+        # Visiting neighbours in increasing edge-ID order means only the
+        # already-seen ones can witness redundancy (eid(u, w) < eid(u, v)),
+        # halving the scan.  Edge IDs are a strict total order, so this is
+        # exactly Definition 3.5.
+        seen: List[NodeId] = []
+        for v in sorted(neighbors, key=ids.__getitem__):
+            direction_v = directions[v]
+            for w in seen:
+                # angle_difference inlined: directions are already in [0, 2*pi).
+                diff = abs(direction_v - directions[w])
+                if diff > math.pi:
+                    diff = TWO_PI - diff
+                if diff < angle_threshold:
                     redundant.add((min(u, v), max(u, v)))
                     break
+            seen.append(v)
     return redundant
 
 
@@ -181,19 +232,21 @@ def pairwise_edge_removal(
         result.remove_edges_from(redundant)
         return result
 
-    # Longest non-redundant edge length per node.
+    # Longest non-redundant edge length per node.  Edge lengths are stored on
+    # the graph (same floats the network would recompute).
     longest_non_redundant: Dict[NodeId, float] = {node: 0.0 for node in graph.nodes}
-    for u, v in graph.edges:
+    for u, v, data in graph.edges(data=True):
         key = (min(u, v), max(u, v))
         if key in redundant:
             continue
-        length = network.distance(u, v)
+        length = data["length"] if "length" in data else network.distance(u, v)
         longest_non_redundant[u] = max(longest_non_redundant[u], length)
         longest_non_redundant[v] = max(longest_non_redundant[v], length)
 
     to_remove = []
     for u, v in redundant:
-        length = network.distance(u, v)
+        data = graph[u][v]
+        length = data["length"] if "length" in data else network.distance(u, v)
         if length > longest_non_redundant[u] or length > longest_non_redundant[v]:
             to_remove.append((u, v))
     result.remove_edges_from(to_remove)

@@ -171,14 +171,20 @@ class TopologyResult:
 
 
 def per_node_radius(graph: nx.Graph, network: Network) -> Dict[NodeId, float]:
-    """Distance to the farthest graph neighbour, per node (0 for isolated nodes)."""
+    """Distance to the farthest graph neighbour, per node (0 for isolated nodes).
+
+    Prefers the ``length`` attribute stored on edges (the same floats the
+    network would recompute from positions) and only falls back to geometry
+    for graphs built without it.
+    """
     radius: Dict[NodeId, float] = {}
-    for node_id in graph.nodes:
-        neighbors = list(graph.neighbors(node_id))
-        if not neighbors:
-            radius[node_id] = 0.0
-            continue
-        radius[node_id] = max(network.distance(node_id, other) for other in neighbors)
+    for node_id, adjacency in graph.adj.items():
+        best = 0.0
+        for other, data in adjacency.items():
+            length = data["length"] if "length" in data else network.distance(node_id, other)
+            if length > best:
+                best = length
+        radius[node_id] = best
     return radius
 
 

@@ -30,6 +30,11 @@ Public API
     A circle with containment and intersection helpers.
 ``triangle_angles``, ``opposite_side_is_longest``
     Triangle utilities used by the correctness tests mirroring the proofs.
+``UniformGridIndex``
+    Uniform-grid spatial index answering ``neighbors_within`` disk queries
+    in output-sensitive time (the backbone of every scalable hot path).
+``pairwise_distances``, ``distances_from``
+    Vectorized bulk-distance helpers (numpy-backed when available).
 """
 
 from repro.geometry.points import (
@@ -55,6 +60,12 @@ from repro.geometry.angles import (
     sort_directions,
 )
 from repro.geometry.cones import Cone, cone_from_bisector
+from repro.geometry.spatial import (
+    DISTANCE_TOLERANCE,
+    UniformGridIndex,
+    distances_from,
+    pairwise_distances,
+)
 from repro.geometry.primitives import (
     Circle,
     triangle_angles,
@@ -84,6 +95,10 @@ __all__ = [
     "sort_directions",
     "Cone",
     "cone_from_bisector",
+    "DISTANCE_TOLERANCE",
+    "UniformGridIndex",
+    "distances_from",
+    "pairwise_distances",
     "Circle",
     "triangle_angles",
     "opposite_side_is_longest",

@@ -89,16 +89,39 @@ def angular_gaps(directions: Iterable[float]) -> List[float]:
     single direction the gap is also ``2*pi`` (the circle minus a point still
     contains arbitrarily large gaps up to the full circle).
     """
-    sorted_dirs = sort_directions(directions)
-    if not sorted_dirs:
-        return [TWO_PI]
-    if len(sorted_dirs) == 1:
+    return angular_gaps_of_sorted(sort_directions(directions))
+
+
+def angular_gaps_of_sorted(sorted_dirs: Sequence[float]) -> List[float]:
+    """Gaps of an already-sorted, already-normalized direction list.
+
+    Hot-path variant of :func:`angular_gaps` for callers that maintain their
+    direction lists sorted (the CBTC growing phase, shrink-back).
+    """
+    if len(sorted_dirs) < 2:
         return [TWO_PI]
     gaps = [
         sorted_dirs[i + 1] - sorted_dirs[i] for i in range(len(sorted_dirs) - 1)
     ]
     gaps.append(TWO_PI - sorted_dirs[-1] + sorted_dirs[0])
     return gaps
+
+
+def max_angular_gap_of_sorted(sorted_dirs: Sequence[float]) -> float:
+    """Largest gap of an already-sorted, already-normalized direction list.
+
+    Allocation-free variant of ``max(angular_gaps_of_sorted(...))`` — the
+    single implementation behind the CBTC growing-phase gap test and the
+    full-circle check inside :func:`cover`.
+    """
+    if len(sorted_dirs) < 2:
+        return TWO_PI
+    best = TWO_PI - sorted_dirs[-1] + sorted_dirs[0]
+    for i in range(len(sorted_dirs) - 1):
+        gap = sorted_dirs[i + 1] - sorted_dirs[i]
+        if gap > best:
+            best = gap
+    return best
 
 
 def max_angular_gap(directions: Iterable[float]) -> float:
@@ -118,7 +141,7 @@ def has_gap_greater_than(directions: Iterable[float], alpha: float, *, tolerance
     return max_angular_gap(directions) > alpha + tolerance
 
 
-def cover(directions: Iterable[float], alpha: float) -> List[Tuple[float, float]]:
+def cover(directions: Iterable[float], alpha: float, *, normalized: bool = False) -> List[Tuple[float, float]]:
     """The paper's ``cover_alpha(dir)`` as a list of merged angular intervals.
 
     Each direction ``theta`` covers the closed arc
@@ -127,12 +150,18 @@ def cover(directions: Iterable[float], alpha: float) -> List[Tuple[float, float]
     and ``end`` possibly exceeding ``2*pi`` to represent wrap-around; arcs are
     sorted by ``start``.  If the whole circle is covered a single arc
     ``(0.0, 2*pi)`` is returned.
+
+    ``normalized=True`` promises every input direction already lies in
+    ``[0, 2*pi)`` (true for everything produced by ``Point.angle_to``),
+    skipping the per-element normalization on this hot path.
     """
-    sorted_dirs = sort_directions(directions)
+    sorted_dirs = sorted(directions) if normalized else sort_directions(directions)
     if not sorted_dirs:
         return []
     half = alpha / 2.0
-    if covers_full_circle(sorted_dirs, alpha):
+    # Full-circle test on the already-sorted directions (avoids the second
+    # sort + normalization pass covers_full_circle would do).
+    if max_angular_gap_of_sorted(sorted_dirs) <= alpha + 1e-12:
         return [(0.0, TWO_PI)]
     arcs = [(d - half, d + half) for d in sorted_dirs]
     # Merge overlapping arcs on the unrolled line, then stitch wrap-around.
@@ -161,6 +190,21 @@ def covers_full_circle(directions: Iterable[float], alpha: float, *, tolerance: 
     return not has_gap_greater_than(directions, alpha, tolerance=tolerance)
 
 
+def arcs_equal(arcs_a: Sequence[Tuple[float, float]], arcs_b: Sequence[Tuple[float, float]]) -> bool:
+    """Whether two merged arc lists (as returned by :func:`cover`) coincide.
+
+    Comparison uses the same small tolerance as :func:`coverage_equal`;
+    callers that compare one reference coverage against many candidates can
+    compute the reference arcs once and reuse them here.
+    """
+    if len(arcs_a) != len(arcs_b):
+        return False
+    for (s1, e1), (s2, e2) in zip(arcs_a, arcs_b):
+        if abs(s1 - s2) > 1e-9 or abs(e1 - e2) > 1e-9:
+            return False
+    return True
+
+
 def coverage_equal(dirs_a: Sequence[float], dirs_b: Sequence[float], alpha: float) -> bool:
     """Whether two direction sets have identical ``cover_alpha`` coverage.
 
@@ -168,11 +212,4 @@ def coverage_equal(dirs_a: Sequence[float], dirs_b: Sequence[float], alpha: floa
     as coverage does not change.  Coverage equality is decided by comparing
     the merged arc lists with a small tolerance.
     """
-    arcs_a = cover(dirs_a, alpha)
-    arcs_b = cover(dirs_b, alpha)
-    if len(arcs_a) != len(arcs_b):
-        return False
-    for (s1, e1), (s2, e2) in zip(arcs_a, arcs_b):
-        if abs(s1 - s2) > 1e-9 or abs(e1 - e2) > 1e-9:
-            return False
-    return True
+    return arcs_equal(cover(dirs_a, alpha), cover(dirs_b, alpha))

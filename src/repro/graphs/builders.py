@@ -23,6 +23,12 @@ def unit_disk_graph(network: Network, radius: Optional[float] = None) -> nx.Grap
     nodes = network.alive_nodes()
     for node in nodes:
         graph.add_node(node.node_id, pos=node.position.as_tuple())
+    if network.use_spatial_index:
+        # The grid is keyed on the maximum range but answers any radius; it
+        # simply visits more cells for larger query disks.
+        for u, v, d in network.spatial_index().pairs_within(radius):
+            graph.add_edge(u, v, length=d)
+        return graph
     for i, u in enumerate(nodes):
         for v in nodes[i + 1 :]:
             d = u.distance_to(v)

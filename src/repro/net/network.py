@@ -16,21 +16,42 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
-from repro.geometry import Point, distance
+from repro.geometry import Point, UniformGridIndex, distance
 from repro.net.node import Node, NodeId
 from repro.radio import PowerModel, default_power_model
 
 
 class Network:
-    """A collection of wireless nodes sharing a power model."""
+    """A collection of wireless nodes sharing a power model.
 
-    def __init__(self, nodes: Iterable[Node], power_model: Optional[PowerModel] = None) -> None:
+    The network keeps a lazily built :class:`UniformGridIndex` over the
+    positions of its alive nodes (cell size = the power model's maximum
+    range) so that range queries cost output-sensitive time instead of a
+    full scan.  The cache is invalidated whenever the node set or any
+    node's position/liveness changes: nodes notify the network through the
+    watcher registered on them, and :meth:`add_node`/:meth:`remove_node`
+    invalidate directly.  ``use_spatial_index=False`` forces every query
+    back onto the brute-force scans (used by the equivalence tests and as
+    an escape hatch).
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[Node],
+        power_model: Optional[PowerModel] = None,
+        *,
+        use_spatial_index: bool = True,
+    ) -> None:
         self.power_model = power_model if power_model is not None else default_power_model()
+        self.use_spatial_index = use_spatial_index
+        self._spatial_index: Optional[UniformGridIndex] = None
+        self._derived_cache: Dict[object, object] = {}
         self._nodes: Dict[NodeId, Node] = {}
         for node in nodes:
             if node.node_id in self._nodes:
                 raise ValueError(f"duplicate node id {node.node_id}")
             self._nodes[node.node_id] = node
+            node.watch(self._on_node_changed)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -40,6 +61,8 @@ class Network:
         cls,
         positions: Sequence[Tuple[float, float]],
         power_model: Optional[PowerModel] = None,
+        *,
+        use_spatial_index: bool = True,
     ) -> "Network":
         """Build a network from a sequence of ``(x, y)`` coordinates.
 
@@ -47,13 +70,19 @@ class Network:
         labelling in the paper's Figure 6 plots.
         """
         nodes = [Node(node_id=i, position=Point(float(x), float(y))) for i, (x, y) in enumerate(positions)]
-        return cls(nodes, power_model=power_model)
+        return cls(nodes, power_model=power_model, use_spatial_index=use_spatial_index)
 
     @classmethod
-    def from_points(cls, points: Sequence[Point], power_model: Optional[PowerModel] = None) -> "Network":
+    def from_points(
+        cls,
+        points: Sequence[Point],
+        power_model: Optional[PowerModel] = None,
+        *,
+        use_spatial_index: bool = True,
+    ) -> "Network":
         """Build a network from a sequence of :class:`Point` objects."""
         nodes = [Node(node_id=i, position=p) for i, p in enumerate(points)]
-        return cls(nodes, power_model=power_model)
+        return cls(nodes, power_model=power_model, use_spatial_index=use_spatial_index)
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -90,10 +119,56 @@ class Network:
         if node.node_id in self._nodes:
             raise ValueError(f"duplicate node id {node.node_id}")
         self._nodes[node.node_id] = node
+        node.watch(self._on_node_changed)
+        self._spatial_index = None
+        self._derived_cache.clear()
 
     def remove_node(self, node_id: NodeId) -> Node:
         """Remove and return a node."""
-        return self._nodes.pop(node_id)
+        node = self._nodes.pop(node_id)
+        node.unwatch(self._on_node_changed)
+        self._spatial_index = None
+        self._derived_cache.clear()
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Spatial index
+    # ------------------------------------------------------------------ #
+    def _on_node_changed(self, node: Node) -> None:
+        self._spatial_index = None
+        self._derived_cache.clear()
+
+    def invalidate_spatial_index(self) -> None:
+        """Drop the cached index (for callers that mutate positions directly)."""
+        self._spatial_index = None
+        self._derived_cache.clear()
+
+    @property
+    def derived_cache(self) -> Dict[object, object]:
+        """Scratch cache for data derived from current positions/liveness.
+
+        Cleared together with the spatial index whenever any node moves,
+        crashes, recovers, joins or leaves.  Algorithm layers use it to
+        memoize expensive derived structures (e.g. CBTC's per-node candidate
+        lists) across repeated runs over an unchanged network; entries must
+        be keyed on everything else they depend on.
+        """
+        return self._derived_cache
+
+    def spatial_index(self) -> UniformGridIndex:
+        """The uniform-grid index over alive nodes (built lazily, cached).
+
+        Cell size is the maximum transmission range, so the common
+        ``neighbors_within(p, max_range)`` query inspects at most a 3x3
+        block of cells.  The cache is dropped automatically on node
+        move/crash/recover (via node watchers) and on add/remove.
+        """
+        if self._spatial_index is None:
+            self._spatial_index = UniformGridIndex(
+                self.power_model.max_range,
+                ((n.node_id, n.position) for n in self._nodes.values() if n.alive),
+            )
+        return self._spatial_index
 
     # ------------------------------------------------------------------ #
     # Physical-layer queries
@@ -118,6 +193,21 @@ class Network:
         default, crashed nodes.
         """
         sender_node = self.node(sender)
+        if self.use_spatial_index and not include_dead:
+            # Over-approximate the reception radius, then apply the exact
+            # ``reaches_with`` predicate so results match the linear scan
+            # bit for bit.  ``range_for_power`` clamps to the maximum range,
+            # which is safe because ``reaches_with`` requires ``can_reach``.
+            query_radius = self.power_model.range_for_power(power * (1.0 + 1e-9)) + 1e-9
+            reaches = self.power_model.reaches_with
+            sender_position = sender_node.position
+            return [
+                node_id
+                for node_id, dist in self.spatial_index().neighbors_with_distances(
+                    sender_position, query_radius, exclude=sender
+                )
+                if reaches(power, dist)
+            ]
         receivers = []
         for node in self.nodes:
             if node.node_id == sender:
@@ -131,6 +221,8 @@ class Network:
     def neighbors_within(self, node_id: NodeId, radius: float) -> List[NodeId]:
         """Node IDs within ``radius`` of the given node (excluding itself)."""
         center = self.node(node_id)
+        if self.use_spatial_index:
+            return self.spatial_index().neighbors_within(center.position, radius, exclude=node_id)
         return [
             n.node_id
             for n in self.nodes
@@ -151,6 +243,10 @@ class Network:
         for node in candidates:
             graph.add_node(node.node_id, pos=node.position.as_tuple())
         max_range = self.power_model.max_range
+        if self.use_spatial_index and not include_dead:
+            for u, v, d in self.spatial_index().pairs_within(max_range):
+                graph.add_edge(u, v, length=d)
+            return graph
         for i, u in enumerate(candidates):
             for v in candidates[i + 1 :]:
                 d = u.distance_to(v)
@@ -176,4 +272,4 @@ class Network:
             Node(node_id=n.node_id, position=Point(n.position.x, n.position.y), alive=n.alive, label=n.label)
             for n in self.nodes
         ]
-        return Network(nodes, power_model=self.power_model)
+        return Network(nodes, power_model=self.power_model, use_spatial_index=self.use_spatial_index)

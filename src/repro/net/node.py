@@ -9,7 +9,7 @@ update them; everything else about a node is immutable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, List, Optional
 
 from repro.geometry import Point
 
@@ -30,16 +30,41 @@ class Node:
         Whether the node is up.  Crashed nodes neither send nor receive.
     label:
         Optional human-readable label used by the visualization helpers.
+
+    Every state change relevant to spatial queries (moves, crashes,
+    recoveries) flows through :meth:`move_to`, :meth:`crash` and
+    :meth:`recover`, which notify registered watchers — this is how the
+    owning :class:`~repro.net.network.Network` invalidates its cached
+    spatial index.  Code must not assign ``position``/``alive`` directly.
     """
 
     node_id: NodeId
     position: Point
     alive: bool = True
     label: Optional[str] = None
+    _watchers: List[Callable[["Node"], None]] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.node_id < 0:
             raise ValueError("node IDs must be non-negative integers")
+
+    def watch(self, callback: Callable[["Node"], None]) -> None:
+        """Register a callback fired after every move/crash/recover."""
+        if callback not in self._watchers:
+            self._watchers.append(callback)
+
+    def unwatch(self, callback: Callable[["Node"], None]) -> None:
+        """Remove a previously registered watcher (no-op if absent)."""
+        try:
+            self._watchers.remove(callback)
+        except ValueError:
+            pass
+
+    def _notify(self) -> None:
+        for callback in self._watchers:
+            callback(self)
 
     def distance_to(self, other: "Node") -> float:
         """Euclidean distance to another node."""
@@ -52,14 +77,17 @@ class Node:
     def move_to(self, new_position: Point) -> None:
         """Teleport the node to ``new_position`` (used by mobility models)."""
         self.position = new_position
+        self._notify()
 
     def crash(self) -> None:
         """Mark the node as failed (crash failure: it stops participating)."""
         self.alive = False
+        self._notify()
 
     def recover(self) -> None:
         """Bring a crashed node back up (modelled as a fresh join)."""
         self.alive = True
+        self._notify()
 
     def __hash__(self) -> int:
         return hash(self.node_id)

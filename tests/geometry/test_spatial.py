@@ -1,0 +1,169 @@
+"""Tests for the uniform-grid spatial index (repro.geometry.spatial).
+
+The index is an accelerator with an exactness contract: every query must
+return precisely what a brute-force scan with the repo-wide ``1e-12``
+distance tolerance returns, in ID-sorted order.  The property tests here
+drive that contract with random point sets, including points placed at
+distance *exactly* ``r`` from the query point.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    DISTANCE_TOLERANCE,
+    Point,
+    UniformGridIndex,
+    distances_from,
+    pairwise_distances,
+)
+
+finite_coord = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+point_lists = st.lists(st.tuples(finite_coord, finite_coord), min_size=0, max_size=40)
+
+
+def brute_force_within(points, query, radius, *, exclude=None):
+    qx, qy = query
+    return sorted(
+        key
+        for key, (x, y) in enumerate(points)
+        if key != exclude and math.hypot(x - qx, y - qy) <= radius + DISTANCE_TOLERANCE
+    )
+
+
+class TestNeighborsWithin:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        points=point_lists,
+        query=st.tuples(finite_coord, finite_coord),
+        radius=st.floats(min_value=0.0, max_value=5e3, allow_nan=False),
+        cell_size=st.floats(min_value=0.5, max_value=2e3, allow_nan=False),
+    )
+    def test_matches_brute_force(self, points, query, radius, cell_size):
+        index = UniformGridIndex(cell_size, enumerate(points))
+        assert index.neighbors_within(query, radius) == brute_force_within(points, query, radius)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        points=point_lists,
+        query=st.tuples(finite_coord, finite_coord),
+        radius=st.floats(min_value=0.0, max_value=5e3, allow_nan=False),
+    )
+    def test_exclude_drops_exactly_one_key(self, points, query, radius):
+        if not points:
+            return
+        index = UniformGridIndex(100.0, enumerate(points))
+        full = index.neighbors_within(query, radius)
+        without = index.neighbors_within(query, radius, exclude=0)
+        assert without == [k for k in full if k != 0]
+
+    def test_boundary_point_at_exact_radius_included(self):
+        # Matches the `<= r + 1e-12` tolerance used by _candidate_neighbors
+        # and Network.neighbors_within: exactly-at-range points count.
+        index = UniformGridIndex(1.0, [(0, (0.0, 0.0)), (1, (3.0, 0.0)), (2, (0.0, 3.0))])
+        assert index.neighbors_within((0.0, 0.0), 3.0) == [0, 1, 2]
+
+    def test_point_just_within_tolerance_included(self):
+        index = UniformGridIndex(1.0, [(0, (1.0 + 5e-13, 0.0))])
+        assert index.neighbors_within((0.0, 0.0), 1.0) == [0]
+
+    def test_point_beyond_tolerance_excluded(self):
+        index = UniformGridIndex(1.0, [(0, (1.0 + 1e-9, 0.0))])
+        assert index.neighbors_within((0.0, 0.0), 1.0) == []
+
+    def test_negative_radius_returns_nothing(self):
+        index = UniformGridIndex(1.0, [(0, (0.0, 0.0))])
+        assert index.neighbors_within((0.0, 0.0), -1.0) == []
+
+    def test_accepts_point_objects(self):
+        index = UniformGridIndex(1.0, [(7, Point(2.0, 2.0))])
+        assert index.neighbors_within(Point(2.0, 2.5), 1.0) == [7]
+
+    def test_radius_larger_than_indexed_area(self):
+        points = [(i, (float(i), 0.0)) for i in range(10)]
+        index = UniformGridIndex(0.25, points)
+        assert index.neighbors_within((5.0, 0.0), 1e6) == list(range(10))
+
+
+class TestNeighborsWithDistances:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        points=point_lists,
+        query=st.tuples(finite_coord, finite_coord),
+        radius=st.floats(min_value=0.0, max_value=5e3, allow_nan=False),
+    )
+    def test_distances_match_hypot_exactly(self, points, query, radius):
+        index = UniformGridIndex(250.0, enumerate(points))
+        result = index.neighbors_with_distances(query, radius)
+        assert [key for key, _ in result] == brute_force_within(points, query, radius)
+        qx, qy = query
+        for key, dist in result:
+            x, y = points[key]
+            assert dist == math.hypot(x - qx, y - qy)
+
+
+class TestPairsWithin:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        points=point_lists,
+        radius=st.floats(min_value=0.0, max_value=5e3, allow_nan=False),
+        cell_size=st.floats(min_value=0.5, max_value=2e3, allow_nan=False),
+    )
+    def test_matches_brute_force_pairs_in_order(self, points, radius, cell_size):
+        index = UniformGridIndex(cell_size, enumerate(points))
+        expected = []
+        for i, (ax, ay) in enumerate(points):
+            for j in range(i + 1, len(points)):
+                bx, by = points[j]
+                d = math.hypot(bx - ax, by - ay)
+                if d <= radius + DISTANCE_TOLERANCE:
+                    expected.append((i, j, d))
+        assert list(index.pairs_within(radius)) == expected
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_cell_size(self):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                UniformGridIndex(bad)
+
+    def test_rejects_duplicate_keys(self):
+        with pytest.raises(ValueError):
+            UniformGridIndex(1.0, [(0, (0.0, 0.0)), (0, (1.0, 1.0))])
+
+    def test_empty_index(self):
+        index = UniformGridIndex(1.0)
+        assert len(index) == 0
+        assert index.neighbors_within((0.0, 0.0), 10.0) == []
+        assert list(index.pairs_within(10.0)) == []
+
+    def test_introspection(self):
+        index = UniformGridIndex(1.0, [(3, (0.0, 0.0)), (1, (5.0, 5.0))])
+        assert index.keys() == [1, 3]
+        assert 3 in index and 2 not in index
+        assert index.position_of(1) == (5.0, 5.0)
+        assert index.cell_count() == 2
+
+
+class TestVectorizedHelpers:
+    @settings(max_examples=50, deadline=None)
+    @given(points=st.lists(st.tuples(finite_coord, finite_coord), min_size=1, max_size=15))
+    def test_pairwise_distances_matches_hypot(self, points):
+        matrix = pairwise_distances([Point(x, y) for x, y in points])
+        for i, (ax, ay) in enumerate(points):
+            for j, (bx, by) in enumerate(points):
+                assert matrix[i][j] == pytest.approx(math.hypot(ax - bx, ay - by), abs=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        origin=st.tuples(finite_coord, finite_coord),
+        points=st.lists(st.tuples(finite_coord, finite_coord), min_size=1, max_size=15),
+    )
+    def test_distances_from_matches_hypot(self, origin, points):
+        ox, oy = origin
+        result = distances_from(Point(ox, oy), [Point(x, y) for x, y in points])
+        for got, (x, y) in zip(result, points):
+            assert got == pytest.approx(math.hypot(x - ox, y - oy), abs=1e-9)
