@@ -1,0 +1,103 @@
+"""Benchmark: the scenario engine and experiment runner at scale.
+
+The catalogue's default scenarios are sized for the paper's 100-node
+workload; these benchmarks scale the same specs to n >= 1000 nodes (region
+grown with sqrt(n) to hold density constant, as in the spatial-scaling
+suite) to show that the scenario layer — churn, mobility, battery drain and
+epoch-by-epoch reconfiguration on top of the spatial index — stays usable at
+an order of magnitude beyond the paper.  A final case drives a small
+scenario × seed grid through the multiprocessing runner end to end.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.runner import run_grid
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import (
+    ChurnEvent,
+    EnergySpec,
+    MobilitySpec,
+    PlacementSpec,
+    ScenarioSpec,
+)
+
+ALPHA = 5 * math.pi / 6
+
+
+def _scaled_placement(node_count, **overrides):
+    """Paper-workload density at arbitrary size (region side grows with sqrt(n))."""
+    side = 1500.0 * math.sqrt(node_count / 100.0)
+    return PlacementSpec(node_count=node_count, width=side, height=side, **overrides)
+
+
+def _run_once(benchmark, func, *args, **kwargs):
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("node_count", [1000, 2000])
+def test_bench_scenario_waypoint_drift(benchmark, node_count):
+    spec = ScenarioSpec(
+        name=f"bench-waypoint-{node_count}",
+        placement=_scaled_placement(node_count),
+        mobility=MobilitySpec(kind="random-waypoint", min_speed=5.0, max_speed=25.0),
+        epochs=2,
+        steps_per_epoch=3,
+        alpha=ALPHA,
+    )
+    result = _run_once(benchmark, run_scenario, spec, 0)
+    assert len(result.epochs) == 2
+    assert result.summary.preserved_fraction == 1.0
+    # Bounded degree survives mobility at 10x the paper's scale.
+    assert result.summary.mean_average_degree < 12.0
+
+
+def test_bench_scenario_flash_crowd_n1000(benchmark):
+    spec = ScenarioSpec(
+        name="bench-crowd-1000",
+        placement=_scaled_placement(1000),
+        mobility=MobilitySpec(kind="random-walk", max_step=10.0),
+        churn=(ChurnEvent(epoch=2, joins=200, spread=400.0),),
+        epochs=2,
+        steps_per_epoch=2,
+        alpha=ALPHA,
+    )
+    result = _run_once(benchmark, run_scenario, spec, 0)
+    assert result.epochs[-1].alive_nodes == 1200
+    assert result.summary.preserved_fraction == 1.0
+
+
+def test_bench_scenario_battery_death_n1000(benchmark):
+    spec = ScenarioSpec(
+        name="bench-battery-1000",
+        placement=_scaled_placement(1000, kind="grid", jitter=40.0),
+        energy=EnergySpec(capacity=8.0e5),
+        epochs=3,
+        steps_per_epoch=5,
+        alpha=ALPHA,
+    )
+    result = _run_once(benchmark, run_scenario, spec, 0)
+    assert sum(epoch.battery_deaths for epoch in result.epochs) > 0
+    assert result.summary.preserved_fraction == 1.0
+
+
+def test_bench_grid_runner_two_workers(benchmark, tmp_path):
+    spec = ScenarioSpec(
+        name="bench-grid",
+        placement=PlacementSpec(node_count=60),
+        mobility=MobilitySpec(kind="random-walk", max_step=20.0),
+        epochs=2,
+        steps_per_epoch=2,
+        alpha=ALPHA,
+    )
+    summary = _run_once(
+        benchmark,
+        run_grid,
+        [spec],
+        seeds=4,
+        workers=2,
+        results_dir=tmp_path,
+    )
+    assert summary.computed == 4
+    assert all((tmp_path / "bench-grid" / f"seed-{i:04d}.json").is_file() for i in range(4))

@@ -98,3 +98,44 @@ def test_bench_max_power_graph_spatial(benchmark, node_count):
     network.invalidate_spatial_index()  # time a cold index build + full enumeration
     graph = _run_once(benchmark, max_power_graph, network)
     assert graph.number_of_nodes() == node_count
+
+
+def test_bench_reconfiguration_under_churn_n1000(benchmark):
+    """Section 4 reconfiguration at n = 1000 with the spatial index on.
+
+    One churn epoch: 5% of nodes crash, 10% of the survivors take a random
+    step, then the ReconfigurationManager synchronizes its per-node CBTC
+    states against the new geometry.  This is the hot path the scenario
+    engine drives every epoch; measured here so the churn cost is recorded
+    alongside the static spatial-scaling curves.
+    """
+    import random
+
+    from repro.core.reconfiguration import ReconfigurationManager
+    from repro.geometry import Point
+
+    # Built outside _NETWORK_CACHE: this test crashes and moves nodes, and
+    # must not corrupt the pristine fixture other benchmarks share.
+    side = 1500.0 * math.sqrt(1000 / 100.0)
+    network = random_uniform_placement(
+        PlacementConfig(width=side, height=side, node_count=1000, max_range=500.0), seed=13
+    )
+    manager = ReconfigurationManager(network, ALPHA)
+    rng = random.Random(13)
+    node_ids = network.node_ids
+    for victim in rng.sample(node_ids, 50):
+        network.node(victim).crash()
+    movers = rng.sample([n for n in node_ids if network.node(n).alive], 100)
+    for mover in movers:
+        node = network.node(mover)
+        node.move_to(
+            Point(node.position.x + rng.uniform(-150.0, 150.0), node.position.y + rng.uniform(-150.0, 150.0))
+        )
+
+    def churn_sync():
+        manager.synchronize()
+        return manager.topology(config=OptimizationConfig.all())
+
+    result = _run_once(benchmark, churn_sync)
+    assert result.node_count == 950
+    assert result.average_degree() < 12.0

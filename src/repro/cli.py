@@ -9,13 +9,17 @@ the experiment harnesses:
   with ``--ascii``, ASCII renderings;
 * ``alpha-sweep`` — degree/radius/connectivity as a function of alpha;
 * ``counterexample`` — verify the Figure 2 and Figure 5 constructions;
-* ``reconfig`` — the Section 4 mobility/failure experiment.
+* ``reconfig`` — the Section 4 mobility/failure experiment;
+* ``scenarios list|run|report`` — the scenario catalogue and the parallel
+  scenario × seed experiment runner (results persisted as JSON, cached
+  across re-runs).
 """
 
 from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 from typing import List, Optional
 
@@ -32,7 +36,9 @@ from repro.experiments import (
     run_reconfiguration_experiment,
     run_table1,
 )
+from repro.experiments.runner import format_report, run_grid, summarize_grid
 from repro.net.placement import PAPER_CONFIG, PlacementConfig
+from repro.scenarios import get_scenario, scenario_names
 from repro.viz import ascii_topology
 
 
@@ -111,6 +117,60 @@ def _reconfig(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenarios_list(args: argparse.Namespace) -> int:
+    header = f"{'name':<24}{'nodes':>7}{'epochs':>8}{'protocol':>17}  description"
+    print(header)
+    print("-" * len(header))
+    for name in scenario_names():
+        spec = get_scenario(name)
+        print(
+            f"{spec.name:<24}{spec.placement.node_count:>7}{spec.epochs:>8}"
+            f"{spec.protocol:>17}  {spec.description}"
+        )
+    return 0
+
+
+def _scenarios_run(args: argparse.Namespace) -> int:
+    names = scenario_names() if args.all else args.scenario
+    if not names:
+        print("no scenario selected: pass --scenario NAME (repeatable) or --all", file=sys.stderr)
+        return 2
+    specs = []
+    for name in names:
+        try:
+            spec = get_scenario(name)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        if args.nodes is not None or args.epochs is not None:
+            spec = spec.scaled(node_count=args.nodes, epochs=args.epochs)
+        specs.append(spec)
+    try:
+        summary = run_grid(
+            specs,
+            seeds=args.seeds,
+            workers=args.workers,
+            results_dir=args.results_dir,
+            base_seed=args.base_seed,
+            resume=not args.no_resume,
+        )
+    except ValueError as error:
+        # Bad grid parameters (--seeds 0) or a results-dir spec conflict.
+        print(error, file=sys.stderr)
+        return 2
+    print(
+        f"grid: {summary.tasks} tasks ({len(specs)} scenarios x {args.seeds} seeds), "
+        f"{summary.computed} computed, {summary.cached} cached -> {summary.results_dir}"
+    )
+    print(format_report(summarize_grid(args.results_dir)))
+    return 0
+
+
+def _scenarios_report(args: argparse.Namespace) -> int:
+    print(format_report(summarize_grid(args.results_dir)))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(prog="cbtc", description="CBTC topology-control reproduction")
@@ -142,6 +202,34 @@ def build_parser() -> argparse.ArgumentParser:
     reconfig.add_argument("--seed", type=int, default=0)
     reconfig.set_defaults(func=_reconfig)
 
+    scenarios = subparsers.add_parser("scenarios", help="scenario catalogue and experiment runner")
+    scenario_commands = scenarios.add_subparsers(dest="scenario_command", required=True)
+
+    listing = scenario_commands.add_parser("list", help="list the scenario catalogue")
+    listing.set_defaults(func=_scenarios_list)
+
+    run = scenario_commands.add_parser("run", help="run a scenario x seed grid (parallel, cached)")
+    run.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="scenario to run (repeatable; see 'scenarios list')",
+    )
+    run.add_argument("--all", action="store_true", help="run every catalogue scenario")
+    run.add_argument("--seeds", type=int, default=4, help="seeds per scenario")
+    run.add_argument("--workers", type=int, default=1, help="worker processes (<=1 runs serially)")
+    run.add_argument("--results-dir", default="results", help="directory for persisted JSON results")
+    run.add_argument("--base-seed", type=int, default=0)
+    run.add_argument("--nodes", type=int, default=None, help="override every scenario's node count")
+    run.add_argument("--epochs", type=int, default=None, help="override every scenario's epoch count")
+    run.add_argument("--no-resume", action="store_true", help="recompute even if results are cached")
+    run.set_defaults(func=_scenarios_run)
+
+    report = scenario_commands.add_parser("report", help="aggregate a results directory")
+    report.add_argument("--results-dir", default="results")
+    report.set_defaults(func=_scenarios_report)
+
     return parser
 
 
@@ -149,7 +237,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe early (e.g. ``cbtc ... | head``); exit
+        # quietly instead of tracebacking, per standard CLI etiquette.  The
+        # dup2 stops the interpreter's stdout-flush-at-exit from raising too.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

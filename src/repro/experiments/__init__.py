@@ -33,6 +33,17 @@ from repro.experiments.sweeps import (
 from repro.experiments.baseline_comparison import BaselineComparison, run_baseline_comparison
 from repro.experiments.reconfig import ReconfigurationExperimentResult, run_reconfiguration_experiment
 from repro.experiments.energy import EnergyProfile, run_energy_experiment
+from repro.experiments.runner import (
+    ExperimentTask,
+    GridRunSummary,
+    ScenarioAggregate,
+    build_grid,
+    format_report,
+    load_grid_results,
+    run_grid,
+    summarize_grid,
+    task_seed,
+)
 
 __all__ = [
     "Table1Row",
@@ -54,4 +65,13 @@ __all__ = [
     "run_reconfiguration_experiment",
     "EnergyProfile",
     "run_energy_experiment",
+    "ExperimentTask",
+    "GridRunSummary",
+    "ScenarioAggregate",
+    "build_grid",
+    "format_report",
+    "load_grid_results",
+    "run_grid",
+    "summarize_grid",
+    "task_seed",
 ]

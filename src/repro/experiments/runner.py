@@ -1,0 +1,327 @@
+"""Parallel scenario × seed experiment runner.
+
+:func:`run_grid` expands a list of scenarios and a seed count into a task
+grid, fans the tasks across ``multiprocessing`` workers, and persists each
+result as JSON under ``results_dir/<scenario>/seed-<index>.json``.  Three
+properties make the runner safe to parallelize and re-run:
+
+* **Order-independent seeds** — every task's seed is derived from
+  ``(base_seed, scenario name, seed index)`` via the CRC32 derivation in
+  :func:`repro.sim.randomness.derive_seed`, never from shared RNG state, so
+  the grid's results do not depend on task scheduling, worker count, or
+  which subset of tasks a resumed run still has to compute.
+* **Byte-identical persistence** — workers return the *serialized* JSON
+  payload and the parent process writes all files, so a serial run and any
+  parallel run produce byte-for-byte identical result files.
+* **Resume from cache** — tasks whose result file already exists (and
+  parses) are skipped, so interrupting and re-running a grid only computes
+  the missing cells.
+
+:func:`summarize_grid` aggregates a results directory per scenario for the
+CLI's ``scenarios report`` table.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.io.results import read_json, results_to_json
+from repro.scenarios.catalogue import get_scenario
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.randomness import derive_seed
+
+ScenarioLike = Union[str, ScenarioSpec]
+
+
+def task_seed(base_seed: int, scenario_name: str, seed_index: int) -> int:
+    """The deterministic seed of one grid cell.
+
+    Depends only on the three arguments — not on grid composition or task
+    order — so adding scenarios or seeds to a grid never changes the seeds
+    (and therefore the results) of the existing cells.
+    """
+    return derive_seed(base_seed, f"task:{scenario_name}:{seed_index}")
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One cell of the grid: a scenario spec plus a derived seed."""
+
+    spec: ScenarioSpec
+    seed_index: int
+    seed: int
+
+    @property
+    def relative_path(self) -> Path:
+        """Result location relative to the results directory."""
+        return Path(self.spec.name) / f"seed-{self.seed_index:04d}.json"
+
+
+def execute_task(task: ExperimentTask) -> Tuple[ExperimentTask, str]:
+    """Run one task and return its *serialized* result.
+
+    Module-level (picklable) so it can run in worker processes.  Returning
+    the JSON string rather than the result object keeps serialization in
+    exactly one code path for serial and parallel runs alike.
+    """
+    result = run_scenario(task.spec, task.seed)
+    return task, results_to_json(result)
+
+
+def build_grid(
+    scenarios: Sequence[ScenarioLike],
+    seeds: int,
+    *,
+    base_seed: int = 0,
+) -> List[ExperimentTask]:
+    """Expand scenarios × seed indices into the task list."""
+    if seeds < 1:
+        raise ValueError("a grid needs at least one seed")
+    tasks: List[ExperimentTask] = []
+    for item in scenarios:
+        spec = get_scenario(item) if isinstance(item, str) else item
+        for index in range(seeds):
+            tasks.append(
+                ExperimentTask(
+                    spec=spec,
+                    seed_index=index,
+                    seed=task_seed(base_seed, spec.name, index),
+                )
+            )
+    return tasks
+
+
+@dataclass(frozen=True)
+class GridRunSummary:
+    """What a :func:`run_grid` call did."""
+
+    results_dir: str
+    tasks: int
+    computed: int
+    cached: int
+    result_paths: Tuple[str, ...]
+
+
+def _spec_payload(spec: ScenarioSpec) -> object:
+    """The spec as it appears inside a persisted result (JSON round-tripped)."""
+    return json.loads(results_to_json(spec))
+
+
+def _load(path: Path) -> object:
+    """Parse ``path``, returning ``None`` for corrupt/unreadable files."""
+    try:
+        return read_json(path)
+    except (OSError, ValueError):
+        return None
+
+
+def _loadable(path: Path) -> bool:
+    """Whether ``path`` holds *some* parseable result (any spec)."""
+    return isinstance(_load(path), dict)
+
+
+def _cached(path: Path, expected_spec: object, expected_seed: int) -> bool:
+    """Whether ``path`` holds a result computed under exactly this task.
+
+    Both the embedded spec and the derived seed must match: a result is a
+    pure function of ``(spec, seed)``, so a grid re-run with a different
+    ``--base-seed`` must not reuse files from the old derivation.
+    """
+    payload = _load(path)
+    return (
+        isinstance(payload, dict)
+        and payload.get("spec") == expected_spec
+        and payload.get("seed") == expected_seed
+    )
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork is the cheap option where available; spawn keeps macOS/Windows
+    # working.  Determinism never depends on the start method because
+    # workers share no mutable state with the parent.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_grid(
+    scenarios: Sequence[ScenarioLike],
+    *,
+    seeds: int = 4,
+    workers: int = 1,
+    results_dir: Union[str, Path],
+    base_seed: int = 0,
+    resume: bool = True,
+) -> GridRunSummary:
+    """Run (or resume) a scenario × seed grid and persist every result.
+
+    ``workers <= 1`` runs serially in-process; larger values fan tasks over
+    a ``multiprocessing`` pool.  Regardless of ``workers``, the persisted
+    files are byte-identical because seeds are order-independent and the
+    parent process performs all serialization and writing, one file per
+    completed task (an interrupted grid keeps its finished cells).
+
+    With ``resume=True`` (the default) existing results are reused when
+    their embedded spec matches the requested one, and the call *fails*
+    with ``ValueError`` if the directory holds results for the same
+    scenario computed under a different spec — overwriting them silently
+    would corrupt the archive.  ``resume=False`` recomputes and overwrites
+    unconditionally.
+    """
+    root = Path(results_dir)
+    tasks = build_grid(scenarios, seeds, base_seed=base_seed)
+
+    todo: List[ExperimentTask] = []
+    cached = 0
+    conflicts: List[Path] = []
+    spec_payloads: Dict[str, object] = {}
+    for task in tasks:
+        if task.spec.name not in spec_payloads:
+            spec_payloads[task.spec.name] = _spec_payload(task.spec)
+        path = root / task.relative_path
+        if resume and path.is_file():
+            if _cached(path, spec_payloads[task.spec.name], task.seed):
+                cached += 1
+                continue
+            if _loadable(path):
+                # The file holds a result computed under a *different* spec
+                # or base seed (e.g. a scaled-down smoke run sharing the
+                # results dir).  Overwriting would silently destroy those
+                # results, so make the user choose: a fresh directory, or
+                # resume=False.
+                conflicts.append(path)
+                continue
+        todo.append(task)
+    if conflicts:
+        listing = ", ".join(str(path) for path in conflicts[:5])
+        raise ValueError(
+            f"{len(conflicts)} result file(s) were computed under a different scenario spec "
+            f"or base seed (e.g. {listing}); use a separate --results-dir or pass --no-resume "
+            f"to overwrite"
+        )
+
+    def _write(relative: Path, payload: str) -> None:
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(payload, encoding="utf-8")
+
+    # Results are written by the parent as each task finishes, so an
+    # interrupted grid keeps every completed cell for the next resume.
+    if todo:
+        if workers <= 1:
+            for task in todo:
+                finished, payload = execute_task(task)
+                _write(finished.relative_path, payload)
+        else:
+            with _pool_context().Pool(processes=min(workers, len(todo))) as pool:
+                for finished, payload in pool.imap_unordered(execute_task, todo):
+                    _write(finished.relative_path, payload)
+
+    return GridRunSummary(
+        results_dir=str(root),
+        tasks=len(tasks),
+        computed=len(todo),
+        cached=cached,
+        result_paths=tuple(str(root / task.relative_path) for task in tasks),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Loading and reporting
+# ---------------------------------------------------------------------- #
+def load_grid_results(results_dir: Union[str, Path]) -> Dict[str, List[dict]]:
+    """Load every persisted result, grouped by scenario, sorted by file name.
+
+    Files that fail to parse (e.g. truncated by an interrupted run — the
+    same files ``run_grid`` would recompute) are skipped so one bad cell
+    never takes down a whole report.
+    """
+    root = Path(results_dir)
+    results: Dict[str, List[dict]] = {}
+    if not root.is_dir():
+        return results
+    for scenario_dir in sorted(path for path in root.iterdir() if path.is_dir()):
+        loaded = []
+        for path in sorted(scenario_dir.glob("seed-*.json")):
+            try:
+                payload = read_json(path)
+            except (OSError, ValueError):
+                continue
+            if isinstance(payload, dict):
+                loaded.append(payload)
+        if loaded:
+            results[scenario_dir.name] = loaded
+    return results
+
+
+@dataclass(frozen=True)
+class ScenarioAggregate:
+    """Per-scenario aggregate over all persisted seeds."""
+
+    scenario: str
+    runs: int
+    epochs_per_run: float
+    preserved_fraction: float
+    mean_degree: float
+    mean_radius: float
+    mean_final_alive: float
+    total_events_applied: int
+    total_reruns: int
+    total_messages: int
+
+
+def _mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def summarize_grid(results_dir: Union[str, Path]) -> List[ScenarioAggregate]:
+    """Aggregate a results directory per scenario (sorted by name)."""
+    aggregates: List[ScenarioAggregate] = []
+    for scenario, runs in load_grid_results(results_dir).items():
+        summaries = [
+            run["summary"] for run in runs if isinstance(run.get("summary"), dict)
+        ]
+        if not summaries:
+            continue
+        aggregates.append(
+            ScenarioAggregate(
+                scenario=scenario,
+                runs=len(summaries),
+                epochs_per_run=_mean(summary.get("epochs", 0) for summary in summaries),
+                preserved_fraction=_mean(
+                    summary.get("preserved_fraction", 0.0) for summary in summaries
+                ),
+                mean_degree=_mean(summary.get("mean_average_degree", 0.0) for summary in summaries),
+                mean_radius=_mean(summary.get("mean_average_radius", 0.0) for summary in summaries),
+                mean_final_alive=_mean(summary.get("final_alive_nodes", 0) for summary in summaries),
+                total_events_applied=sum(
+                    summary.get("total_events_applied", 0) for summary in summaries
+                ),
+                total_reruns=sum(summary.get("total_reruns", 0) for summary in summaries),
+                total_messages=sum(summary.get("total_messages", 0) for summary in summaries),
+            )
+        )
+    return aggregates
+
+
+def format_report(aggregates: Sequence[ScenarioAggregate]) -> str:
+    """Render the aggregates as the ``scenarios report`` table."""
+    if not aggregates:
+        return "(no results found)"
+    header = (
+        f"{'scenario':<24}{'runs':>6}{'preserved':>11}{'avg deg':>9}"
+        f"{'avg radius':>12}{'alive':>8}{'events':>9}{'reruns':>8}{'messages':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for agg in aggregates:
+        lines.append(
+            f"{agg.scenario:<24}{agg.runs:>6}{agg.preserved_fraction:>11.2f}"
+            f"{agg.mean_degree:>9.2f}{agg.mean_radius:>12.1f}{agg.mean_final_alive:>8.1f}"
+            f"{agg.total_events_applied:>9}{agg.total_reruns:>8}{agg.total_messages:>10}"
+        )
+    return "\n".join(lines)

@@ -21,6 +21,8 @@ from repro.net.mobility import (
     StationaryModel,
     RandomWalkModel,
     RandomWaypointModel,
+    PartitionModel,
+    ConvoyModel,
 )
 from repro.net.failures import FailureModel, CrashFailureModel, NoFailures
 from repro.net.energy import EnergyAccount, EnergyLedger
@@ -38,6 +40,8 @@ __all__ = [
     "StationaryModel",
     "RandomWalkModel",
     "RandomWaypointModel",
+    "PartitionModel",
+    "ConvoyModel",
     "FailureModel",
     "CrashFailureModel",
     "NoFailures",

@@ -45,14 +45,20 @@ class EnergyLedger:
     """Per-node energy accounts for a whole network."""
 
     def __init__(self, node_ids: Iterable[NodeId], *, capacity: float = float("inf")) -> None:
+        self._default_capacity = capacity
         self._accounts: Dict[NodeId, EnergyAccount] = {
             node_id: EnergyAccount(capacity=capacity) for node_id in node_ids
         }
 
     def account(self, node_id: NodeId) -> EnergyAccount:
-        """The energy account for ``node_id`` (created on demand)."""
+        """The energy account for ``node_id`` (created on demand).
+
+        On-demand accounts inherit the ledger's configured capacity, so a
+        node that joins a finite-battery network after construction is just
+        as mortal as the founding population.
+        """
         if node_id not in self._accounts:
-            self._accounts[node_id] = EnergyAccount()
+            self._accounts[node_id] = EnergyAccount(capacity=self._default_capacity)
         return self._accounts[node_id]
 
     def charge_transmission(self, node_id: NodeId, power: float, duration: float = 1.0) -> None:

@@ -110,3 +110,96 @@ class RandomWaypointModel(MobilityModel):
                     node.position.y + (destination.y - node.position.y) * fraction,
                 )
             )
+
+
+@dataclass
+class PartitionModel(MobilityModel):
+    """Drives the network apart into two halves and then heals the split.
+
+    Nodes whose *initial* x coordinate lies left of the vertical midline
+    drift towards ``x = 0``; the rest drift towards ``x = width``.  For the
+    first ``period // 2`` steps the halves separate at ``separation_speed``;
+    for the remaining steps each node moves back towards its home position
+    at the same speed.  The model is fully deterministic (no randomness):
+    the interesting dynamics — a widening gap that severs ``G_R``, followed
+    by partitions re-approaching and rediscovering each other through the
+    boundary nodes' maximum-power beacons — come from the geometry alone.
+    """
+
+    width: float = 1500.0
+    height: float = 1500.0
+    separation_speed: float = 40.0
+    period: int = 20
+    _step_count: int = field(init=False, repr=False, default=0)
+    _home: Dict[NodeId, Point] = field(init=False, repr=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.separation_speed < 0:
+            raise ValueError("separation_speed must be non-negative")
+        if self.period < 2:
+            raise ValueError("period must be at least 2 steps")
+        self._step_count = 0
+        self._home = {}
+
+    def step(self, network: Network, dt: float = 1.0) -> None:
+        separating = (self._step_count % self.period) < self.period // 2
+        midline = self.width / 2.0
+        travel = self.separation_speed * dt
+        for node in network.nodes:
+            if not node.alive:
+                continue
+            home = self._home.setdefault(node.node_id, node.position)
+            if separating:
+                outward = -travel if home.x < midline else travel
+                x = min(max(node.position.x + outward, 0.0), self.width)
+            else:
+                delta = home.x - node.position.x
+                x = node.position.x + min(max(delta, -travel), travel)
+            node.move_to(Point(x, node.position.y))
+        self._step_count += 1
+
+
+@dataclass
+class ConvoyModel(MobilityModel):
+    """Convoy/corridor motion: the whole population travels down a corridor.
+
+    Every node advances along the x axis with a shared base ``speed`` plus a
+    small per-step random jitter in both axes, bouncing off the corridor ends
+    (the shared direction flips when the convoy's front reaches a boundary).
+    This keeps relative positions — and hence the controlled topology —
+    largely stable while the absolute geometry sweeps the region, stressing
+    the angle-change path of the reconfiguration algorithm rather than the
+    join/leave paths.
+    """
+
+    width: float = 1500.0
+    height: float = 1500.0
+    speed: float = 40.0
+    jitter: float = 5.0
+    seed: Optional[int] = None
+    _rng: random.Random = field(init=False, repr=False)
+    _direction: float = field(init=False, repr=False, default=1.0)
+
+    def __post_init__(self) -> None:
+        if self.speed < 0 or self.jitter < 0:
+            raise ValueError("speed and jitter must be non-negative")
+        self._rng = random.Random(self.seed)
+        self._direction = 1.0
+
+    def step(self, network: Network, dt: float = 1.0) -> None:
+        alive = [node for node in network.nodes if node.alive]
+        if not alive:
+            return
+        front = max(node.position.x for node in alive) if self._direction > 0 else min(
+            node.position.x for node in alive
+        )
+        if self._direction > 0 and front + self.speed * dt > self.width:
+            self._direction = -1.0
+        elif self._direction < 0 and front - self.speed * dt < 0.0:
+            self._direction = 1.0
+        for node in alive:
+            dx = self._direction * self.speed * dt + self._rng.uniform(-self.jitter, self.jitter)
+            dy = self._rng.uniform(-self.jitter, self.jitter)
+            x = min(max(node.position.x + dx, 0.0), self.width)
+            y = min(max(node.position.y + dy, 0.0), self.height)
+            node.move_to(Point(x, y))

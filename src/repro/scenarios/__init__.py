@@ -1,0 +1,57 @@
+"""Scenario engine: declarative workloads over the reconfiguration machinery.
+
+``repro.scenarios`` packages the repo's simulation ingredients — placements,
+mobility models, failure models, channels, the reconfiguration manager and
+the distributed protocol — behind a single declarative
+:class:`~repro.scenarios.spec.ScenarioSpec` plus a
+:class:`~repro.scenarios.runner.ScenarioRunner` that drives network
+evolution epoch by epoch and records per-epoch metrics.  The named
+catalogue (:mod:`repro.scenarios.catalogue`) covers workloads the paper
+treats only qualitatively; the parallel experiment runner
+(:mod:`repro.experiments.runner`) fans scenario × seed grids across worker
+processes.
+"""
+
+from repro.scenarios.spec import (
+    ChannelSpec,
+    ChurnEvent,
+    EnergySpec,
+    FailureSpec,
+    MobilitySpec,
+    OptimizationSpec,
+    PlacementSpec,
+    ScenarioSpec,
+)
+from repro.scenarios.runner import (
+    EpochMetrics,
+    ScenarioResult,
+    ScenarioRunner,
+    ScenarioSummary,
+    run_scenario,
+)
+from repro.scenarios.catalogue import (
+    SCENARIOS,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "ChannelSpec",
+    "ChurnEvent",
+    "EnergySpec",
+    "FailureSpec",
+    "MobilitySpec",
+    "OptimizationSpec",
+    "PlacementSpec",
+    "ScenarioSpec",
+    "EpochMetrics",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSummary",
+    "run_scenario",
+    "SCENARIOS",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,141 @@
+"""The named scenario catalogue.
+
+Each entry opens a genuinely different workload for the reconfiguration
+machinery (or the distributed protocol), beyond the paper's single static
+evaluation setting:
+
+* ``random-waypoint-drift`` — continuous random-waypoint motion; the
+  steady-state stress test for the angle-change/leave/join event rules.
+* ``partition-and-heal`` — the deployment splits into two halves that drift
+  out of radio range and then return; exercises the Section 4 argument that
+  boundary nodes must keep beaconing at maximum power so re-approaching
+  partitions rediscover each other.
+* ``flash-crowd-join`` — a dense crowd of new nodes appears mid-run near the
+  region centre; exercises the join/shrink-back path and the degree bounds
+  under a sudden density spike.
+* ``battery-death`` — a stationary sensor grid with finite batteries; beacon
+  energy drains nodes until they die, thinning the network from within.
+* ``convoy-corridor`` — the whole population sweeps along a narrow corridor
+  with shared velocity; relative geometry is near-constant, so almost all
+  events are angle changes and the reconfiguration work should stay small.
+* ``lossy-channel-chaos`` — the full distributed protocol re-runs every
+  epoch across a lossy channel while nodes jitter; messages are genuinely
+  dropped, so discovered neighbourhoods (and the preserved-connectivity
+  metric) degrade gracefully rather than by assumption.
+
+Scenarios are plain :class:`~repro.scenarios.spec.ScenarioSpec` values;
+:func:`register_scenario` lets tests and downstream code add their own.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.scenarios.spec import (
+    ChannelSpec,
+    ChurnEvent,
+    EnergySpec,
+    FailureSpec,
+    MobilitySpec,
+    OptimizationSpec,
+    PlacementSpec,
+    ScenarioSpec,
+)
+
+ALPHA = 5.0 * math.pi / 6.0
+
+
+def _build_catalogue() -> Dict[str, ScenarioSpec]:
+    scenarios = [
+        ScenarioSpec(
+            name="random-waypoint-drift",
+            description="100 nodes under continuous random-waypoint motion",
+            placement=PlacementSpec(kind="uniform", node_count=100),
+            mobility=MobilitySpec(kind="random-waypoint", min_speed=5.0, max_speed=25.0),
+            epochs=6,
+            steps_per_epoch=5,
+            alpha=ALPHA,
+        ),
+        ScenarioSpec(
+            name="partition-and-heal",
+            description="two halves drift out of range, then heal the split",
+            placement=PlacementSpec(kind="uniform", node_count=80),
+            # period = epochs * steps_per_epoch: the first half of the run
+            # separates the halves, the second half walks them home.
+            mobility=MobilitySpec(kind="partition", speed=60.0, period=40),
+            epochs=8,
+            steps_per_epoch=5,
+            alpha=ALPHA,
+        ),
+        ScenarioSpec(
+            name="flash-crowd-join",
+            description="a dense crowd of newcomers appears mid-run",
+            placement=PlacementSpec(kind="uniform", node_count=60),
+            mobility=MobilitySpec(kind="random-walk", max_step=10.0),
+            churn=(
+                ChurnEvent(epoch=3, joins=40, spread=150.0),
+                ChurnEvent(epoch=5, joins=20, spread=100.0),
+            ),
+            epochs=6,
+            steps_per_epoch=3,
+            alpha=ALPHA,
+        ),
+        ScenarioSpec(
+            name="battery-death",
+            description="stationary sensor grid drained by beacon energy",
+            placement=PlacementSpec(kind="grid", node_count=81, jitter=40.0),
+            mobility=MobilitySpec(kind="stationary"),
+            energy=EnergySpec(capacity=6.0e6),
+            epochs=8,
+            steps_per_epoch=5,
+            alpha=ALPHA,
+        ),
+        ScenarioSpec(
+            name="convoy-corridor",
+            description="the population sweeps along a narrow corridor",
+            placement=PlacementSpec(kind="uniform", node_count=70, width=3000.0, height=400.0),
+            mobility=MobilitySpec(kind="convoy", speed=50.0, jitter=8.0),
+            epochs=6,
+            steps_per_epoch=5,
+            alpha=ALPHA,
+        ),
+        ScenarioSpec(
+            name="lossy-channel-chaos",
+            description="distributed protocol across a lossy channel, per epoch",
+            placement=PlacementSpec(kind="uniform", node_count=40),
+            mobility=MobilitySpec(kind="random-walk", max_step=40.0),
+            failures=FailureSpec(kind="crash", crash_probability=0.02),
+            channel=ChannelSpec(kind="lossy", loss_probability=0.15),
+            protocol="distributed",
+            epochs=3,
+            steps_per_epoch=3,
+            alpha=ALPHA,
+        ),
+    ]
+    return {spec.name: spec for spec in scenarios}
+
+
+SCENARIOS: Dict[str, ScenarioSpec] = _build_catalogue()
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a scenario by name (raises ``KeyError`` with suggestions)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}") from None
+
+
+def register_scenario(spec: ScenarioSpec, *, replace: bool = False) -> ScenarioSpec:
+    """Add a scenario to the registry (for tests and downstream catalogues)."""
+    if spec.name in SCENARIOS and not replace:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    SCENARIOS[spec.name] = spec
+    return spec

@@ -29,7 +29,7 @@ from repro.sim.process import Process, NodeProcess, ProtocolContext
 from repro.sim.synchronous import SynchronousRunner
 from repro.sim.messages import Message, Envelope
 from repro.sim.trace import MessageTrace, TraceRecord
-from repro.sim.randomness import SeededRandom
+from repro.sim.randomness import SeededRandom, derive_seed
 
 __all__ = [
     "Event",
@@ -49,4 +49,5 @@ __all__ = [
     "MessageTrace",
     "TraceRecord",
     "SeededRandom",
+    "derive_seed",
 ]

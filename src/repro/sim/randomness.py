@@ -15,6 +15,19 @@ import zlib
 from typing import Optional
 
 
+def derive_seed(base: Optional[int], label: str) -> int:
+    """Derive an independent seed from ``base`` keyed by ``label``.
+
+    The derivation uses CRC32, which is stable across processes and Python
+    versions (unlike ``hash``), so the same ``(base, label)`` pair always
+    yields the same seed regardless of creation order, interpreter hash
+    randomization, or which worker process performs the derivation.  This is
+    the primitive behind both :meth:`SeededRandom.child` and the experiment
+    runner's per-task seeds.
+    """
+    return zlib.crc32(f"{base if base is not None else 0}:{label}".encode("utf-8")) & 0x7FFFFFFF
+
+
 class SeededRandom(random.Random):
     """A ``random.Random`` that can spawn independent child streams."""
 
@@ -36,6 +49,4 @@ class SeededRandom(random.Random):
         child streams regardless of creation order or interpreter hash
         randomization.
         """
-        base = self._root_seed if self._root_seed is not None else 0
-        derived = zlib.crc32(f"{base}:{label}".encode("utf-8")) & 0x7FFFFFFF
-        return SeededRandom(derived)
+        return SeededRandom(derive_seed(self._root_seed, label))

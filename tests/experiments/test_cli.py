@@ -13,6 +13,10 @@ class TestParser:
         assert args.networks == 2
         for command in ("figure6", "alpha-sweep", "counterexample", "reconfig"):
             assert parser.parse_args([command]).command == command
+        for scenario_command in ("list", "run", "report"):
+            parsed = parser.parse_args(["scenarios", scenario_command])
+            assert parsed.command == "scenarios"
+            assert parsed.scenario_command == scenario_command
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -47,3 +51,82 @@ class TestCommands:
         assert main(["reconfig", "--epochs", "1", "--nodes", "25"]) == 0
         output = capsys.readouterr().out
         assert "Reconfiguration experiment" in output
+
+
+class TestScenarioCommands:
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "partition-and-heal" in output
+        assert "lossy-channel-chaos" in output
+
+    def test_scenarios_run_persists_and_caches(self, capsys, tmp_path):
+        argv = [
+            "scenarios",
+            "run",
+            "--scenario",
+            "flash-crowd-join",
+            "--seeds",
+            "2",
+            "--workers",
+            "1",
+            "--nodes",
+            "15",
+            "--epochs",
+            "2",
+            "--results-dir",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "2 computed, 0 cached" in output
+        assert (tmp_path / "flash-crowd-join" / "seed-0000.json").is_file()
+        # A second invocation finds every cell cached.
+        assert main(argv) == 0
+        assert "0 computed, 2 cached" in capsys.readouterr().out
+
+    def test_scenarios_run_without_selection_errors(self, capsys):
+        assert main(["scenarios", "run", "--seeds", "1"]) == 2
+        assert "no scenario selected" in capsys.readouterr().err
+
+    def test_scenarios_run_unknown_name_errors_politely(self, capsys):
+        assert main(["scenarios", "run", "--scenario", "partition-heal"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "partition-and-heal" in err  # the suggestions list the catalogue
+
+    def test_scenarios_run_zero_seeds_errors_politely(self, capsys):
+        argv = ["scenarios", "run", "--scenario", "battery-death", "--seeds", "0"]
+        assert main(argv) == 2
+        assert "at least one seed" in capsys.readouterr().err
+
+    def test_scenarios_run_spec_conflict_errors_politely(self, capsys, tmp_path):
+        base = ["scenarios", "run", "--scenario", "flash-crowd-join", "--seeds", "1",
+                "--epochs", "2", "--results-dir", str(tmp_path)]
+        assert main(base + ["--nodes", "10"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--nodes", "12"]) == 2
+        assert "different scenario spec" in capsys.readouterr().err
+
+    def test_scenarios_report(self, capsys, tmp_path):
+        main(
+            [
+                "scenarios",
+                "run",
+                "--scenario",
+                "flash-crowd-join",
+                "--seeds",
+                "1",
+                "--nodes",
+                "12",
+                "--epochs",
+                "2",
+                "--results-dir",
+                str(tmp_path),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["scenarios", "report", "--results-dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "flash-crowd-join" in output
+        assert "preserved" in output

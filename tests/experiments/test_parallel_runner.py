@@ -1,0 +1,248 @@
+"""Tests for the parallel experiment runner (repro.experiments.runner).
+
+The load-bearing property is serial/parallel equivalence: the same grid run
+with ``workers=1`` and with a multiprocessing pool must persist
+byte-identical result files, because per-task seeds are derived (never drawn
+from shared RNG state) and serialization happens in exactly one code path.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.runner import (
+    build_grid,
+    execute_task,
+    format_report,
+    load_grid_results,
+    run_grid,
+    summarize_grid,
+    task_seed,
+)
+from repro.scenarios.spec import (
+    ChannelSpec,
+    ChurnEvent,
+    FailureSpec,
+    MobilitySpec,
+    PlacementSpec,
+    ScenarioSpec,
+)
+
+ALPHA = 5.0 * math.pi / 6.0
+
+WALK = ScenarioSpec(
+    name="grid-walk",
+    placement=PlacementSpec(node_count=15),
+    mobility=MobilitySpec(kind="random-walk", max_step=30.0),
+    failures=FailureSpec(kind="crash", crash_probability=0.05),
+    epochs=2,
+    steps_per_epoch=2,
+    alpha=ALPHA,
+)
+CROWD = ScenarioSpec(
+    name="grid-crowd",
+    placement=PlacementSpec(node_count=12),
+    churn=(ChurnEvent(epoch=2, joins=6),),
+    epochs=2,
+    steps_per_epoch=1,
+    alpha=ALPHA,
+)
+CHAOS = ScenarioSpec(
+    name="grid-chaos",
+    placement=PlacementSpec(node_count=10),
+    channel=ChannelSpec(kind="lossy", loss_probability=0.15),
+    protocol="distributed",
+    epochs=1,
+    steps_per_epoch=1,
+    alpha=ALPHA,
+)
+
+
+def _file_bytes(root):
+    return {
+        str(path.relative_to(root)): path.read_bytes() for path in sorted(root.rglob("*.json"))
+    }
+
+
+class TestSeedDerivation:
+    def test_task_seed_ignores_grid_composition(self):
+        # The seed of a cell depends only on (base, scenario, index): a grid
+        # with more scenarios or seeds assigns the same seeds to shared cells.
+        small = build_grid([WALK], 2, base_seed=0)
+        large = build_grid([CROWD, WALK, CHAOS], 5, base_seed=0)
+        small_seeds = {(t.spec.name, t.seed_index): t.seed for t in small}
+        large_seeds = {(t.spec.name, t.seed_index): t.seed for t in large}
+        for key, seed in small_seeds.items():
+            assert large_seeds[key] == seed
+
+    def test_task_seeds_are_distinct_across_cells(self):
+        tasks = build_grid([WALK, CROWD, CHAOS], 8, base_seed=0)
+        assert len({task.seed for task in tasks}) == len(tasks)
+
+    def test_task_seed_is_a_pure_function(self):
+        assert task_seed(3, "grid-walk", 5) == task_seed(3, "grid-walk", 5)
+        assert task_seed(3, "grid-walk", 5) != task_seed(4, "grid-walk", 5)
+
+
+class TestSerialParallelEquivalence:
+    def test_serial_and_parallel_results_are_byte_identical(self, tmp_path):
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        scenarios = [WALK, CROWD, CHAOS]
+        serial = run_grid(scenarios, seeds=2, workers=1, results_dir=serial_dir)
+        parallel = run_grid(scenarios, seeds=2, workers=3, results_dir=parallel_dir)
+        assert serial.computed == parallel.computed == 6
+        serial_files = _file_bytes(serial_dir)
+        parallel_files = _file_bytes(parallel_dir)
+        assert serial_files.keys() == parallel_files.keys()
+        assert serial_files == parallel_files
+
+    def test_partial_then_resumed_grid_matches_one_shot_run(self, tmp_path):
+        # Computing a subset first and resuming must not perturb the rest:
+        # seeds are order-independent, so the final bytes match a clean run.
+        one_shot_dir = tmp_path / "one-shot"
+        resumed_dir = tmp_path / "resumed"
+        run_grid([WALK, CROWD], seeds=2, workers=1, results_dir=one_shot_dir)
+        run_grid([CROWD], seeds=2, workers=1, results_dir=resumed_dir)
+        run_grid([WALK, CROWD], seeds=2, workers=2, results_dir=resumed_dir)
+        assert _file_bytes(one_shot_dir) == _file_bytes(resumed_dir)
+
+
+class TestResumeFromCache:
+    def test_rerun_hits_the_cache(self, tmp_path):
+        first = run_grid([WALK], seeds=3, workers=1, results_dir=tmp_path)
+        assert (first.computed, first.cached) == (3, 0)
+        before = _file_bytes(tmp_path)
+        second = run_grid([WALK], seeds=3, workers=1, results_dir=tmp_path)
+        assert (second.computed, second.cached) == (0, 3)
+        assert _file_bytes(tmp_path) == before
+
+    def test_corrupt_result_is_recomputed(self, tmp_path):
+        run_grid([WALK], seeds=2, workers=1, results_dir=tmp_path)
+        victim = tmp_path / "grid-walk" / "seed-0000.json"
+        intact = (tmp_path / "grid-walk" / "seed-0001.json").read_bytes()
+        victim.write_text("{not json", encoding="utf-8")
+        summary = run_grid([WALK], seeds=2, workers=1, results_dir=tmp_path)
+        assert (summary.computed, summary.cached) == (1, 1)
+        assert json.loads(victim.read_text(encoding="utf-8"))["scenario"] == "grid-walk"
+        assert (tmp_path / "grid-walk" / "seed-0001.json").read_bytes() == intact
+
+    def test_no_resume_recomputes_everything(self, tmp_path):
+        run_grid([WALK], seeds=2, workers=1, results_dir=tmp_path)
+        summary = run_grid([WALK], seeds=2, workers=1, results_dir=tmp_path, resume=False)
+        assert (summary.computed, summary.cached) == (2, 0)
+
+    def test_mismatched_spec_conflicts_instead_of_silently_overwriting(self, tmp_path):
+        # A scaled-down smoke run must neither satisfy the cache for the
+        # full scenario nor be silently destroyed by it: resuming over
+        # results computed under a different spec is an error.
+        scaled = WALK.scaled(node_count=8, epochs=1)
+        run_grid([scaled], seeds=2, workers=1, results_dir=tmp_path)
+        smoke_bytes = _file_bytes(tmp_path)
+        with pytest.raises(ValueError, match="different scenario spec"):
+            run_grid([WALK], seeds=2, workers=1, results_dir=tmp_path)
+        # The conflicting run wrote nothing.
+        assert _file_bytes(tmp_path) == smoke_bytes
+        # resume=False is the explicit opt-in to overwrite.
+        summary = run_grid([WALK], seeds=2, workers=1, results_dir=tmp_path, resume=False)
+        assert (summary.computed, summary.cached) == (2, 0)
+        again = run_grid([WALK], seeds=2, workers=1, results_dir=tmp_path)
+        assert (again.computed, again.cached) == (0, 2)
+
+    def test_changed_base_seed_conflicts_instead_of_reusing_stale_results(self, tmp_path):
+        # Results are a pure function of (spec, seed); a re-run with a new
+        # --base-seed derives different seeds and must not report the old
+        # derivation's files as cached (nor silently overwrite them).
+        run_grid([WALK], seeds=2, workers=1, results_dir=tmp_path, base_seed=0)
+        with pytest.raises(ValueError, match="base seed"):
+            run_grid([WALK], seeds=2, workers=1, results_dir=tmp_path, base_seed=99)
+        summary = run_grid(
+            [WALK], seeds=2, workers=1, results_dir=tmp_path, base_seed=99, resume=False
+        )
+        assert (summary.computed, summary.cached) == (2, 0)
+        payload = json.loads(
+            (tmp_path / "grid-walk" / "seed-0000.json").read_text(encoding="utf-8")
+        )
+        assert payload["seed"] == task_seed(99, "grid-walk", 0)
+
+    def test_interrupted_grid_keeps_completed_cells(self, tmp_path, monkeypatch):
+        # Results are written as each task finishes, so a crash mid-grid
+        # leaves the finished cells on disk for the next resume.
+        import repro.experiments.runner as runner_module
+
+        real_execute = runner_module.execute_task
+        calls = {"count": 0}
+
+        def flaky_execute(task):
+            if calls["count"] == 1:
+                raise RuntimeError("simulated crash after the first task")
+            calls["count"] += 1
+            return real_execute(task)
+
+        monkeypatch.setattr(runner_module, "execute_task", flaky_execute)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            run_grid([WALK], seeds=2, workers=1, results_dir=tmp_path)
+        monkeypatch.setattr(runner_module, "execute_task", real_execute)
+        summary = run_grid([WALK], seeds=2, workers=1, results_dir=tmp_path)
+        assert (summary.computed, summary.cached) == (1, 1)
+
+    def test_persisted_results_embed_their_spec(self, tmp_path):
+        run_grid([WALK], seeds=1, workers=1, results_dir=tmp_path)
+        payload = json.loads(
+            (tmp_path / "grid-walk" / "seed-0000.json").read_text(encoding="utf-8")
+        )
+        assert payload["spec"]["name"] == "grid-walk"
+        assert payload["spec"]["placement"]["node_count"] == 15
+        assert payload["spec"]["epochs"] == WALK.epochs
+
+
+class TestLoadingAndReporting:
+    def test_results_round_trip_through_the_directory(self, tmp_path):
+        run_grid([WALK, CROWD], seeds=2, workers=1, results_dir=tmp_path)
+        loaded = load_grid_results(tmp_path)
+        assert sorted(loaded) == ["grid-crowd", "grid-walk"]
+        assert len(loaded["grid-walk"]) == 2
+        run = loaded["grid-walk"][0]
+        assert run["scenario"] == "grid-walk"
+        assert len(run["epochs"]) == WALK.epochs
+        assert run["summary"]["epochs"] == WALK.epochs
+
+    def test_summarize_and_format(self, tmp_path):
+        run_grid([WALK], seeds=2, workers=1, results_dir=tmp_path)
+        aggregates = summarize_grid(tmp_path)
+        assert len(aggregates) == 1
+        assert aggregates[0].scenario == "grid-walk"
+        assert aggregates[0].runs == 2
+        report = format_report(aggregates)
+        assert "grid-walk" in report
+        assert "preserved" in report
+
+    def test_empty_directory_reports_nothing(self, tmp_path):
+        assert load_grid_results(tmp_path / "missing") == {}
+        assert format_report(summarize_grid(tmp_path / "missing")) == "(no results found)"
+
+    def test_corrupt_file_does_not_take_down_the_report(self, tmp_path):
+        run_grid([WALK], seeds=2, workers=1, results_dir=tmp_path)
+        (tmp_path / "grid-walk" / "seed-0000.json").write_text("{not json", encoding="utf-8")
+        loaded = load_grid_results(tmp_path)
+        assert len(loaded["grid-walk"]) == 1
+        aggregates = summarize_grid(tmp_path)
+        assert aggregates[0].runs == 1
+
+    def test_execute_task_payload_matches_persisted_file(self, tmp_path):
+        task = build_grid([WALK], 1)[0]
+        _, payload = execute_task(task)
+        run_grid([WALK], seeds=1, workers=1, results_dir=tmp_path)
+        persisted = (tmp_path / task.relative_path).read_text(encoding="utf-8")
+        assert payload == persisted
+
+
+class TestValidation:
+    def test_grid_requires_at_least_one_seed(self):
+        with pytest.raises(ValueError):
+            build_grid([WALK], 0)
+
+    def test_names_resolve_through_the_catalogue(self):
+        tasks = build_grid(["battery-death"], 1)
+        assert tasks[0].spec.name == "battery-death"

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.net.mobility import RandomWalkModel, RandomWaypointModel, StationaryModel
+from repro.net.mobility import (
+    ConvoyModel,
+    PartitionModel,
+    RandomWalkModel,
+    RandomWaypointModel,
+    StationaryModel,
+)
 from repro.net.placement import PlacementConfig, random_uniform_placement
 
 
@@ -86,3 +92,89 @@ class TestRandomWaypointModel:
         before = network.node(3).position
         RandomWaypointModel(seed=6).step(network)
         assert network.node(3).position == before
+
+
+class TestPartitionModel:
+    def test_halves_separate_then_heal(self, network):
+        model = PartitionModel(separation_speed=60.0, period=20)
+        homes = _positions(network)
+        for _ in range(10):
+            model.step(network)
+        midline = 750.0
+        for (hx, _), node in zip(homes, network.nodes):
+            if hx < midline:
+                assert node.position.x <= hx + 1e-9
+            else:
+                assert node.position.x >= hx - 1e-9
+        for _ in range(10):
+            model.step(network)
+        for (hx, hy), node in zip(homes, network.nodes):
+            assert node.position.x == pytest.approx(hx, abs=1e-6)
+            assert node.position.y == pytest.approx(hy, abs=1e-6)
+
+    def test_positions_stay_in_region(self, network):
+        model = PartitionModel(separation_speed=500.0, period=6)
+        for _ in range(6):
+            model.step(network)
+        for x, y in _positions(network):
+            assert 0 <= x <= 1500
+            assert 0 <= y <= 1500
+
+    def test_deterministic_without_seed(self):
+        a = random_uniform_placement(PlacementConfig(node_count=20), seed=0)
+        b = random_uniform_placement(PlacementConfig(node_count=20), seed=0)
+        model_a = PartitionModel(separation_speed=60.0, period=8)
+        model_b = PartitionModel(separation_speed=60.0, period=8)
+        for _ in range(8):
+            model_a.step(a)
+            model_b.step(b)
+        assert _positions(a) == _positions(b)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionModel(separation_speed=-1.0)
+        with pytest.raises(ValueError):
+            PartitionModel(period=1)
+
+
+class TestConvoyModel:
+    def test_population_advances_together(self):
+        from repro.net.network import Network
+
+        network = Network.from_positions([(100.0, 200.0), (300.0, 250.0), (500.0, 150.0)])
+        model = ConvoyModel(speed=50.0, jitter=0.0, seed=1)
+        before = _positions(network)
+        model.step(network)
+        after = _positions(network)
+        for (x0, _), (x1, _) in zip(before, after):
+            assert x1 == pytest.approx(x0 + 50.0)
+
+    def test_bounces_at_corridor_ends(self, network):
+        model = ConvoyModel(speed=400.0, jitter=0.0, seed=2)
+        for _ in range(30):
+            model.step(network)
+        for x, y in _positions(network):
+            assert 0 <= x <= 1500
+            assert 0 <= y <= 1500
+
+    def test_seed_reproducibility(self):
+        a = random_uniform_placement(PlacementConfig(node_count=15), seed=3)
+        b = random_uniform_placement(PlacementConfig(node_count=15), seed=3)
+        model_a = ConvoyModel(speed=40.0, jitter=10.0, seed=9)
+        model_b = ConvoyModel(speed=40.0, jitter=10.0, seed=9)
+        for _ in range(10):
+            model_a.step(a)
+            model_b.step(b)
+        assert _positions(a) == _positions(b)
+
+    def test_dead_nodes_do_not_move(self, network):
+        network.node(5).crash()
+        before = network.node(5).position
+        ConvoyModel(seed=4).step(network)
+        assert network.node(5).position == before
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ConvoyModel(speed=-1.0)
+        with pytest.raises(ValueError):
+            ConvoyModel(jitter=-0.5)

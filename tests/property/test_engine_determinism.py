@@ -1,0 +1,136 @@
+"""Determinism battery for the simulation engine and stochastic models.
+
+The scenario engine and the parallel experiment runner both rest on one
+invariant: *everything* stochastic replays identically from its seed.  These
+tests pin that invariant for the discrete-event engine under lossy and
+duplicating channels (identical seeds produce identical
+``MessageTrace``s and protocol outcomes) and for the mobility/failure
+models (identical seeds replay identical position/liveness histories).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import run_distributed_cbtc
+from repro.net.failures import CrashFailureModel
+from repro.net.mobility import ConvoyModel, RandomWalkModel, RandomWaypointModel
+from repro.net.placement import PlacementConfig, random_uniform_placement
+from repro.sim.channel import DuplicatingChannel, LossyChannel
+from repro.sim.randomness import SeededRandom, derive_seed
+
+ALPHA = 5.0 * math.pi / 6.0
+SMALL_CONFIG = PlacementConfig(node_count=12)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _run_once(network_seed: int, channel):
+    network = random_uniform_placement(SMALL_CONFIG, seed=network_seed)
+    result = run_distributed_cbtc(network, ALPHA, channel=channel)
+    neighbor_sets = {
+        node_id: frozenset(state.neighbor_ids) for node_id, state in result.outcome.states.items()
+    }
+    return result.engine.trace.records, neighbor_sets
+
+
+class TestEngineDeterminism:
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_lossy_channel_replays_identically(self, seed):
+        channel_seed = derive_seed(seed, "lossy")
+        first_trace, first_outcome = _run_once(
+            seed, LossyChannel(loss_probability=0.2, seed=channel_seed)
+        )
+        second_trace, second_outcome = _run_once(
+            seed, LossyChannel(loss_probability=0.2, seed=channel_seed)
+        )
+        assert first_trace == second_trace
+        assert first_outcome == second_outcome
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_duplicating_channel_replays_identically(self, seed):
+        channel_seed = derive_seed(seed, "dup")
+        first_trace, first_outcome = _run_once(
+            seed, DuplicatingChannel(duplicate_probability=0.3, seed=channel_seed)
+        )
+        second_trace, second_outcome = _run_once(
+            seed, DuplicatingChannel(duplicate_probability=0.3, seed=channel_seed)
+        )
+        assert first_trace == second_trace
+        assert first_outcome == second_outcome
+
+    def test_different_channel_seeds_change_the_execution(self):
+        # Fixed seeds chosen so the loss pattern actually differs; this guards
+        # against a channel that silently ignores its seed.
+        first_trace, _ = _run_once(0, LossyChannel(loss_probability=0.4, seed=1))
+        second_trace, _ = _run_once(0, LossyChannel(loss_probability=0.4, seed=2))
+        assert first_trace != second_trace
+
+    def test_trace_records_are_time_ordered(self):
+        trace, _ = _run_once(3, LossyChannel(loss_probability=0.1, seed=9))
+        times = [record.time for record in trace]
+        assert times == sorted(times)
+
+
+def _position_history(model_factory, *, steps=8, network_seed=0):
+    network = random_uniform_placement(SMALL_CONFIG, seed=network_seed)
+    model = model_factory()
+    history = []
+    for _ in range(steps):
+        model.step(network)
+        history.append(tuple(node.position.as_tuple() for node in network.nodes))
+    return history
+
+
+class TestModelDeterminism:
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_random_walk_replays_identically(self, seed):
+        assert _position_history(lambda: RandomWalkModel(seed=seed)) == _position_history(
+            lambda: RandomWalkModel(seed=seed)
+        )
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_random_waypoint_replays_identically(self, seed):
+        assert _position_history(lambda: RandomWaypointModel(seed=seed)) == _position_history(
+            lambda: RandomWaypointModel(seed=seed)
+        )
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_convoy_replays_identically(self, seed):
+        assert _position_history(lambda: ConvoyModel(seed=seed)) == _position_history(
+            lambda: ConvoyModel(seed=seed)
+        )
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_crash_failures_replay_identically(self, seed):
+        def crash_history(model_seed):
+            network = random_uniform_placement(SMALL_CONFIG, seed=0)
+            model = CrashFailureModel(
+                crash_probability=0.3, recovery_probability=0.2, seed=model_seed
+            )
+            return [tuple(model.step(network)) for _ in range(10)]
+
+        assert crash_history(seed) == crash_history(seed)
+
+
+class TestSeedDerivation:
+    @given(seeds, st.text(min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_derive_seed_is_pure(self, base, label):
+        assert derive_seed(base, label) == derive_seed(base, label)
+        assert 0 <= derive_seed(base, label) < 2**31
+
+    def test_child_streams_are_independent_of_creation_order(self):
+        root_a = SeededRandom(42)
+        mobility_first = root_a.child("mobility").random()
+        root_b = SeededRandom(42)
+        root_b.child("channel")  # creating another child first changes nothing
+        assert root_b.child("mobility").random() == pytest.approx(mobility_first)

@@ -1,0 +1,78 @@
+"""Tests for the named scenario catalogue."""
+
+import dataclasses
+
+import pytest
+
+from repro.scenarios import (
+    SCENARIOS,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
+
+REQUIRED_SCENARIOS = {
+    "random-waypoint-drift",
+    "partition-and-heal",
+    "flash-crowd-join",
+    "battery-death",
+    "convoy-corridor",
+    "lossy-channel-chaos",
+}
+
+
+class TestCatalogueContents:
+    def test_catalogue_covers_the_required_workloads(self):
+        assert REQUIRED_SCENARIOS <= set(scenario_names())
+        assert len(scenario_names()) >= 6
+
+    def test_every_scenario_is_described_and_named_consistently(self):
+        for name in scenario_names():
+            spec = get_scenario(name)
+            assert spec.name == name
+            assert spec.description
+
+    def test_unknown_scenario_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="known scenarios"):
+            get_scenario("no-such-scenario")
+
+    def test_register_rejects_duplicates(self):
+        spec = get_scenario("battery-death")
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(spec)
+
+    def test_register_and_replace(self):
+        spec = dataclasses.replace(get_scenario("battery-death"), name="catalogue-test-entry")
+        try:
+            register_scenario(spec)
+            assert get_scenario("catalogue-test-entry") is spec
+            register_scenario(spec, replace=True)
+        finally:
+            SCENARIOS.pop("catalogue-test-entry", None)
+
+
+class TestCatalogueRuns:
+    @pytest.mark.parametrize("name", sorted(REQUIRED_SCENARIOS))
+    def test_every_scenario_runs_scaled_down(self, name):
+        spec = get_scenario(name)
+        spec = spec.scaled(node_count=min(spec.placement.node_count, 25), epochs=2)
+        result = run_scenario(spec, seed=0)
+        assert len(result.epochs) == 2
+        assert result.summary is not None
+
+    def test_flash_crowd_join_actually_joins(self):
+        result = run_scenario(get_scenario("flash-crowd-join"), seed=0)
+        assert sum(epoch.joined_nodes for epoch in result.epochs) == 60
+        assert result.epochs[-1].alive_nodes > result.initial_nodes
+
+    def test_battery_death_thins_the_field(self):
+        result = run_scenario(get_scenario("battery-death"), seed=0)
+        assert sum(epoch.battery_deaths for epoch in result.epochs) > 0
+        assert result.epochs[-1].alive_nodes < result.initial_nodes
+
+    def test_lossy_chaos_uses_the_distributed_protocol(self):
+        spec = get_scenario("lossy-channel-chaos").scaled(node_count=20, epochs=2)
+        result = run_scenario(spec, seed=0)
+        assert result.protocol == "distributed"
+        assert result.summary.total_messages > 0

@@ -1,0 +1,199 @@
+"""Tests for the scenario runner's mechanics and determinism."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.io.results import results_to_json
+from repro.scenarios.runner import ScenarioRunner, run_scenario
+from repro.scenarios.spec import (
+    ChannelSpec,
+    ChurnEvent,
+    EnergySpec,
+    FailureSpec,
+    MobilitySpec,
+    PlacementSpec,
+    ScenarioSpec,
+)
+
+ALPHA = 5.0 * math.pi / 6.0
+
+
+def small(name: str, **overrides) -> ScenarioSpec:
+    defaults = dict(
+        name=name,
+        placement=PlacementSpec(node_count=20),
+        epochs=3,
+        steps_per_epoch=2,
+        alpha=ALPHA,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestRunnerBasics:
+    def test_records_one_metrics_row_per_epoch(self):
+        result = run_scenario(small("rows", epochs=4), seed=0)
+        assert [epoch.epoch for epoch in result.epochs] == [1, 2, 3, 4]
+        assert result.scenario == "rows"
+        assert result.initial_nodes == 20
+        assert result.summary is not None
+        assert result.summary.epochs == 4
+
+    def test_reconfiguration_preserves_connectivity_every_epoch(self):
+        spec = small(
+            "preserve",
+            mobility=MobilitySpec(kind="random-waypoint"),
+            epochs=4,
+        )
+        result = run_scenario(spec, seed=2)
+        assert all(epoch.connectivity_preserved for epoch in result.epochs)
+
+    def test_identical_seed_replays_identically(self):
+        spec = small(
+            "replay",
+            mobility=MobilitySpec(kind="random-walk", max_step=30.0),
+            failures=FailureSpec(kind="crash", crash_probability=0.05),
+        )
+        first = results_to_json(run_scenario(spec, seed=5))
+        second = results_to_json(run_scenario(spec, seed=5))
+        assert first == second
+
+    def test_different_seeds_diverge(self):
+        spec = small("diverge", mobility=MobilitySpec(kind="random-walk", max_step=30.0))
+        a = results_to_json(run_scenario(spec, seed=1))
+        b = results_to_json(run_scenario(spec, seed=2))
+        assert a != b
+
+
+class TestChurn:
+    def test_flash_crowd_grows_the_network(self):
+        spec = small(
+            "crowd",
+            churn=(ChurnEvent(epoch=2, joins=15, spread=100.0),),
+            epochs=3,
+        )
+        result = run_scenario(spec, seed=0)
+        assert result.epochs[0].alive_nodes == 20
+        assert result.epochs[1].joined_nodes == 15
+        assert result.epochs[1].alive_nodes == 35
+        # Newcomers are integrated, not just counted: connectivity still holds.
+        assert result.epochs[1].connectivity_preserved
+
+    def test_scripted_crashes_shrink_the_network(self):
+        spec = small("cull", churn=(ChurnEvent(epoch=2, crashes=5),))
+        result = run_scenario(spec, seed=0)
+        assert result.epochs[1].alive_nodes == 15
+        assert result.epochs[1].crashed_nodes == 5
+
+    def test_recoveries_are_not_counted_as_crashes(self):
+        # Churn kills 5 nodes in epoch 1; with crash_probability 0 and
+        # recovery_probability 1 they all come back in epoch 2.  The failure
+        # model reports them as liveness changes, but they are rejoins.
+        spec = small(
+            "lazarus",
+            churn=(ChurnEvent(epoch=1, crashes=5),),
+            failures=FailureSpec(
+                kind="crash", crash_probability=0.0, recovery_probability=1.0
+            ),
+        )
+        result = run_scenario(spec, seed=0)
+        assert result.epochs[0].crashed_nodes == 5
+        assert result.epochs[1].crashed_nodes == 0
+        assert result.epochs[1].alive_nodes == 20
+
+
+class TestBatteryDrain:
+    def test_finite_batteries_kill_nodes(self):
+        spec = small(
+            "drain",
+            placement=PlacementSpec(kind="grid", node_count=16),
+            energy=EnergySpec(capacity=2.0e5),
+            epochs=5,
+            steps_per_epoch=5,
+        )
+        result = run_scenario(spec, seed=0)
+        assert sum(epoch.battery_deaths for epoch in result.epochs) > 0
+        assert result.epochs[-1].alive_nodes < 16
+        # Energy is monotone non-decreasing across epochs.
+        consumed = [epoch.energy_consumed for epoch in result.epochs]
+        assert consumed == sorted(consumed)
+
+    def test_infinite_batteries_never_kill(self):
+        result = run_scenario(small("immortal", epochs=3), seed=0)
+        assert all(epoch.battery_deaths == 0 for epoch in result.epochs)
+        assert result.epochs[-1].alive_nodes == 20
+
+    def test_joined_nodes_inherit_finite_batteries(self):
+        spec = small(
+            "mortal-joiners",
+            placement=PlacementSpec(kind="grid", node_count=16),
+            churn=(ChurnEvent(epoch=1, joins=4),),
+            energy=EnergySpec(capacity=2.0e5),
+            epochs=2,
+        )
+        runner = ScenarioRunner(spec, seed=0)
+        runner.run()
+        joined_ids = [node_id for node_id in runner.network.node_ids if node_id >= 16]
+        assert joined_ids
+        # Newcomers' on-demand accounts carry the scenario's capacity, not
+        # the infinite default — they are as mortal as the founders.
+        assert all(
+            runner.ledger.account(node_id).capacity == 2.0e5 for node_id in joined_ids
+        )
+
+
+class TestPartitionDynamics:
+    def test_partition_severs_and_heals_gr(self):
+        spec = ScenarioSpec(
+            name="split",
+            placement=PlacementSpec(node_count=40),
+            mobility=MobilitySpec(kind="partition", speed=80.0, period=20),
+            epochs=4,
+            steps_per_epoch=5,
+            alpha=ALPHA,
+        )
+        runner = ScenarioRunner(spec, seed=1)
+        initial_components = nx.number_connected_components(runner.network.max_power_graph())
+        result = runner.run()
+        # Mid-run the deployment splits into more components than it started
+        # with; by the final epoch the halves have walked home and healed.
+        peak = max(epoch.components for epoch in result.epochs)
+        assert peak > initial_components
+        assert result.epochs[-1].components == initial_components
+        # The controlled topology tracks G_R's connectivity throughout.
+        assert all(epoch.connectivity_preserved for epoch in result.epochs)
+
+
+class TestDistributedProtocol:
+    def test_distributed_mode_records_messages(self):
+        spec = ScenarioSpec(
+            name="dist",
+            placement=PlacementSpec(node_count=12),
+            channel=ChannelSpec(kind="lossy", loss_probability=0.1),
+            protocol="distributed",
+            epochs=2,
+            steps_per_epoch=1,
+            alpha=ALPHA,
+        )
+        result = run_scenario(spec, seed=3)
+        assert result.protocol == "distributed"
+        assert all(epoch.messages_sent > 0 for epoch in result.epochs)
+        assert all(epoch.events_applied == 0 for epoch in result.epochs)
+        # The engine's transmission energy lands in the scenario ledger.
+        assert result.epochs[-1].energy_consumed > 0.0
+
+    def test_distributed_mode_is_deterministic(self):
+        spec = ScenarioSpec(
+            name="dist-replay",
+            placement=PlacementSpec(node_count=10),
+            channel=ChannelSpec(kind="duplicating", duplicate_probability=0.3),
+            protocol="distributed",
+            epochs=2,
+            steps_per_epoch=1,
+            alpha=ALPHA,
+        )
+        assert results_to_json(run_scenario(spec, seed=4)) == results_to_json(
+            run_scenario(spec, seed=4)
+        )

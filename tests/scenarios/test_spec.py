@@ -1,0 +1,147 @@
+"""Tests for the declarative scenario specification layer."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.net.failures import CrashFailureModel, NoFailures
+from repro.net.mobility import (
+    ConvoyModel,
+    PartitionModel,
+    RandomWalkModel,
+    RandomWaypointModel,
+    StationaryModel,
+)
+from repro.scenarios.spec import (
+    ChannelSpec,
+    ChurnEvent,
+    EnergySpec,
+    FailureSpec,
+    MobilitySpec,
+    PlacementSpec,
+    ScenarioSpec,
+)
+from repro.sim.channel import DuplicatingChannel, LossyChannel, ReliableChannel
+
+
+class TestPlacementSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown placement kind"):
+            PlacementSpec(kind="ring")
+
+    @pytest.mark.parametrize("kind", ["uniform", "grid", "clustered"])
+    def test_build_produces_requested_population(self, kind):
+        network = PlacementSpec(kind=kind, node_count=25).build(seed=3)
+        assert len(network) == 25
+        assert network.power_model.max_range == 500.0
+
+    def test_build_is_seed_deterministic(self):
+        spec = PlacementSpec(kind="uniform", node_count=10)
+        assert spec.build(5).positions() == spec.build(5).positions()
+        assert spec.build(5).positions() != spec.build(6).positions()
+
+
+class TestMobilitySpec:
+    @pytest.mark.parametrize(
+        "kind,expected",
+        [
+            ("stationary", StationaryModel),
+            ("random-walk", RandomWalkModel),
+            ("random-waypoint", RandomWaypointModel),
+            ("partition", PartitionModel),
+            ("convoy", ConvoyModel),
+        ],
+    )
+    def test_build_dispatches_on_kind(self, kind, expected):
+        model = MobilitySpec(kind=kind).build(PlacementSpec(), seed=1)
+        assert isinstance(model, expected)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown mobility kind"):
+            MobilitySpec(kind="teleport")
+
+    def test_region_dimensions_flow_from_placement(self):
+        placement = PlacementSpec(width=3000.0, height=400.0)
+        model = MobilitySpec(kind="convoy").build(placement, seed=0)
+        assert model.width == 3000.0
+        assert model.height == 400.0
+
+
+class TestFailureAndChannelSpecs:
+    def test_failure_kinds(self):
+        assert isinstance(FailureSpec(kind="none").build(1), NoFailures)
+        model = FailureSpec(kind="crash", crash_probability=0.5).build(1)
+        assert isinstance(model, CrashFailureModel)
+        assert model.crash_probability == 0.5
+
+    def test_channel_kinds(self):
+        assert isinstance(ChannelSpec(kind="reliable").build(1), ReliableChannel)
+        assert isinstance(ChannelSpec(kind="lossy").build(1), LossyChannel)
+        assert isinstance(ChannelSpec(kind="duplicating").build(1), DuplicatingChannel)
+
+    def test_unknown_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            FailureSpec(kind="byzantine")
+        with pytest.raises(ValueError):
+            ChannelSpec(kind="wormhole")
+
+
+class TestChurnAndEnergy:
+    def test_churn_validation(self):
+        with pytest.raises(ValueError):
+            ChurnEvent(epoch=0)
+        with pytest.raises(ValueError):
+            ChurnEvent(epoch=1, joins=-1)
+
+    def test_energy_validation(self):
+        with pytest.raises(ValueError):
+            EnergySpec(capacity=0.0)
+        assert not EnergySpec().finite
+        assert EnergySpec(capacity=10.0).finite
+
+
+class TestScenarioSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="named"):
+            ScenarioSpec(name="")
+        with pytest.raises(ValueError, match="epoch"):
+            ScenarioSpec(name="x", epochs=0)
+        with pytest.raises(ValueError, match="protocol"):
+            ScenarioSpec(name="x", protocol="simulated-annealing")
+        with pytest.raises(ValueError, match="beyond"):
+            ScenarioSpec(name="x", epochs=2, churn=(ChurnEvent(epoch=5, joins=1),))
+
+    def test_component_seeds_are_stable_and_distinct(self):
+        spec = ScenarioSpec(name="seed-test")
+        assert spec.component_seed(7, "mobility") == spec.component_seed(7, "mobility")
+        assert spec.component_seed(7, "mobility") != spec.component_seed(7, "failures")
+        assert spec.component_seed(7, "mobility") != spec.component_seed(8, "mobility")
+        # Different scenario names get different streams for the same seed.
+        other = ScenarioSpec(name="other-seed-test")
+        assert spec.component_seed(7, "mobility") != other.component_seed(7, "mobility")
+
+    def test_scaled_overrides_population_and_duration(self):
+        spec = ScenarioSpec(
+            name="scaling",
+            placement=PlacementSpec(node_count=100),
+            epochs=8,
+            churn=(ChurnEvent(epoch=2, joins=5), ChurnEvent(epoch=7, joins=5)),
+        )
+        scaled = spec.scaled(node_count=20, epochs=4)
+        assert scaled.placement.node_count == 20
+        assert scaled.epochs == 4
+        # Churn events beyond the shortened run are dropped; earlier ones kept.
+        assert tuple(event.epoch for event in scaled.churn) == (2,)
+        # The original is untouched (specs are immutable values).
+        assert spec.placement.node_count == 100
+        assert len(spec.churn) == 2
+
+    def test_spec_is_picklable(self):
+        spec = ScenarioSpec(
+            name="pickling",
+            churn=(ChurnEvent(epoch=1, joins=3),),
+            energy=EnergySpec(capacity=100.0),
+            alpha=2.0 * math.pi / 3.0,
+        )
+        assert pickle.loads(pickle.dumps(spec)) == spec
