@@ -1,0 +1,135 @@
+"""Benchmark: packet-level traffic over CBTC and baseline topologies.
+
+Section 6 of the paper cautions that aggressive edge removal lengthens
+routes and concentrates traffic; these benchmarks measure that trade-off at
+n = 500..2000 (constant paper density) with the SINR interference medium:
+
+* throughput-vs-alpha: the same CBR workload crossed over CBTC(2pi/3),
+  CBTC(5pi/6) with all optimizations, max power, and the range-limited MST,
+  reporting delivery ratio, latency, hops, and energy per delivered bit;
+* a scaling case showing the traffic engine itself stays cheap as the
+  topology grows.
+
+The headline row — CBTC versus max power at n = 1000 — is the acceptance
+criterion for the traffic subsystem and completes in a few seconds.
+"""
+
+import math
+
+import pytest
+
+from repro.core.pipeline import OptimizationConfig, build_topology
+from repro.net.placement import random_uniform_placement
+from repro.traffic.experiment import scaled_placement
+from repro.traffic.runner import run_traffic
+from repro.traffic.spec import TrafficSpec
+
+ALPHA_TIGHT = 2.0 * math.pi / 3.0
+ALPHA_LOOSE = 5.0 * math.pi / 6.0
+
+
+def _run_once(benchmark, func, *args, **kwargs):
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def _workload():
+    # Light enough that the medium is not hopelessly saturated, heavy enough
+    # that interference and queueing are visible.
+    return TrafficSpec(
+        kind="cbr",
+        flow_count=30,
+        packets_per_flow=5,
+        packet_interval=8.0,
+        interference=True,
+    )
+
+
+def _topologies(network, alphas=(ALPHA_TIGHT, ALPHA_LOOSE)):
+    graphs = {}
+    for alpha in alphas:
+        label = f"cbtc-opt a={alpha / math.pi:.3f}pi"
+        graphs[label] = build_topology(network, alpha, config=OptimizationConfig.all()).graph
+    graphs["max-power"] = network.max_power_graph()
+    return graphs
+
+
+def _format_rows(rows):
+    header = (
+        f"{'topology':<22}{'edges':>8}{'delivered':>11}{'ratio':>8}"
+        f"{'latency':>9}{'hops':>7}{'e/bit':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for label, graph, report in rows:
+        e_bit = (
+            f"{report.energy_per_delivered_bit:>10.1f}"
+            if math.isfinite(report.energy_per_delivered_bit)
+            else f"{'inf':>10}"
+        )
+        lines.append(
+            f"{label:<22}{graph.number_of_edges():>8}{report.delivered_packets:>11}"
+            f"{report.delivery_ratio:>8.2f}{report.average_latency:>9.1f}"
+            f"{report.average_hops:>7.1f}{e_bit}"
+        )
+    return "\n".join(lines)
+
+
+def test_bench_traffic_throughput_vs_alpha_n1000(benchmark, print_section):
+    """The acceptance row: CBTC vs max power (and alpha ablation) at n=1000."""
+    spec = _workload()
+
+    def harness():
+        network = random_uniform_placement(scaled_placement(1000), seed=0)
+        rows = []
+        for label, graph in _topologies(network).items():
+            report = run_traffic(network, graph, spec, seed=1).report
+            rows.append((label, graph, report))
+        return rows
+
+    rows = _run_once(benchmark, harness)
+    print_section("Traffic: throughput vs alpha at n=1000 (CBR, SINR interference)", _format_rows(rows))
+    by_label = {label: report for label, _, report in rows}
+    cbtc = by_label[f"cbtc-opt a={ALPHA_LOOSE / math.pi:.3f}pi"]
+    dense = by_label["max-power"]
+    # Both the sparse and the dense topology must actually carry traffic,
+    # and both headline metrics must be reported.
+    assert cbtc.offered_packets == dense.offered_packets == 150
+    assert cbtc.delivered_packets > 0 and dense.delivered_packets > 0
+    assert math.isfinite(cbtc.energy_per_delivered_bit)
+    assert math.isfinite(dense.energy_per_delivered_bit)
+
+
+@pytest.mark.parametrize("node_count", [500, 2000])
+def test_bench_traffic_scaling(benchmark, print_section, node_count):
+    spec = _workload()
+
+    def harness():
+        network = random_uniform_placement(scaled_placement(node_count), seed=0)
+        graph = build_topology(network, ALPHA_LOOSE, config=OptimizationConfig.all()).graph
+        return graph, run_traffic(network, graph, spec, seed=1).report
+
+    graph, report = _run_once(benchmark, harness)
+    print_section(
+        f"Traffic: CBR over CBTC(5pi/6)+all-op at n={node_count}",
+        _format_rows([(f"cbtc-opt n={node_count}", graph, report)]),
+    )
+    assert report.offered_packets == 150
+    assert report.delivered_packets > 0
+
+
+def test_bench_traffic_mst_baseline_n1000(benchmark, print_section):
+    """The sparsest extreme: traffic over the range-limited MST."""
+    from repro.baselines.mst import euclidean_mst
+
+    spec = _workload()
+
+    def harness():
+        network = random_uniform_placement(scaled_placement(1000), seed=0)
+        graph = euclidean_mst(network, respect_max_range=True)
+        return graph, run_traffic(network, graph, spec, seed=1).report
+
+    graph, report = _run_once(benchmark, harness)
+    print_section(
+        "Traffic: CBR over the range-limited MST at n=1000",
+        _format_rows([("mst", graph, report)]),
+    )
+    assert report.offered_packets == 150

@@ -28,6 +28,10 @@ Package map
 ``repro.graphs``, ``repro.baselines``
     Metrics and the comparison graph families (RNG, Gabriel, MST, Yao,
     Delaunay, max power).
+``repro.scenarios``, ``repro.traffic``
+    Declarative scenario workloads and the packet-level traffic engine
+    (queues, retransmission, SINR interference, throughput/lifetime
+    metrics) that runs over any constructed topology.
 ``repro.experiments``
     Harnesses regenerating the paper's Table 1 and Figure 6 plus extended
     sweeps and ablations.

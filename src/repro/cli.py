@@ -12,7 +12,10 @@ the experiment harnesses:
 * ``reconfig`` — the Section 4 mobility/failure experiment;
 * ``scenarios list|run|report`` — the scenario catalogue and the parallel
   scenario × seed experiment runner (results persisted as JSON, cached
-  across re-runs).
+  across re-runs);
+* ``traffic run|report`` — packet-level traffic workloads (CBR / hotspot /
+  uniform / burst) over CBTC and baseline topologies, with optional SINR
+  interference and finite batteries.
 """
 
 from __future__ import annotations
@@ -39,6 +42,16 @@ from repro.experiments import (
 from repro.experiments.runner import format_report, run_grid, summarize_grid
 from repro.net.placement import PAPER_CONFIG, PlacementConfig
 from repro.scenarios import get_scenario, scenario_names
+from repro.traffic import (
+    TOPOLOGIES,
+    TrafficSpec,
+    WORKLOAD_KINDS,
+    aggregate_results,
+    compare_topologies,
+    format_traffic_report,
+    summarize_traffic,
+)
+from repro.traffic.spec import ROUTING_POLICIES
 from repro.viz import ascii_topology
 
 
@@ -167,7 +180,66 @@ def _scenarios_run(args: argparse.Namespace) -> int:
 
 
 def _scenarios_report(args: argparse.Namespace) -> int:
-    print(format_report(summarize_grid(args.results_dir)))
+    aggregates = summarize_grid(args.results_dir)
+    if not aggregates:
+        print(
+            f"no scenario results found under {args.results_dir!r}; "
+            f"run 'cbtc scenarios run' first (or pass the right --results-dir)",
+            file=sys.stderr,
+        )
+        return 1
+    print(format_report(aggregates))
+    return 0
+
+
+def _traffic_run(args: argparse.Namespace) -> int:
+    try:
+        spec = TrafficSpec(
+            kind=args.workload,
+            flow_count=args.flows,
+            packets_per_flow=args.packets,
+            packet_interval=args.interval,
+            routing=args.routing,
+            queue_capacity=args.queue,
+            retransmit_limit=args.retransmit,
+            battery_capacity=args.battery if args.battery is not None else float("inf"),
+            interference=args.interference,
+        )
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    topologies = args.topology or ["cbtc-opt", "max-power", "mst"]
+    results = compare_topologies(
+        spec,
+        topologies=topologies,
+        node_count=args.nodes,
+        alpha=args.alpha_pi * math.pi,
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        results_dir=args.results_dir,
+    )
+    print(
+        f"traffic: {len(results)} runs ({len(topologies)} topologies x {args.seeds} seeds, "
+        f"workload={spec.kind}, n={args.nodes}, alpha={args.alpha_pi:.3f}*pi) "
+        f"-> {args.results_dir}"
+    )
+    # Report only this invocation's cells; 'traffic report' is the explicit
+    # whole-directory view (stale differently-parameterized files must not
+    # blend into the table we just announced).
+    print(format_traffic_report(aggregate_results(results)))
+    return 0
+
+
+def _traffic_report(args: argparse.Namespace) -> int:
+    aggregates = summarize_traffic(args.results_dir)
+    if not aggregates:
+        print(
+            f"no traffic results found under {args.results_dir!r}; "
+            f"run 'cbtc traffic run' first (or pass the right --results-dir)",
+            file=sys.stderr,
+        )
+        return 1
+    print(format_traffic_report(aggregates))
     return 0
 
 
@@ -229,6 +301,45 @@ def build_parser() -> argparse.ArgumentParser:
     report = scenario_commands.add_parser("report", help="aggregate a results directory")
     report.add_argument("--results-dir", default="results")
     report.set_defaults(func=_scenarios_report)
+
+    traffic = subparsers.add_parser("traffic", help="packet-level traffic over constructed topologies")
+    traffic_commands = traffic.add_subparsers(dest="traffic_command", required=True)
+
+    traffic_run = traffic_commands.add_parser(
+        "run", help="run one workload over CBTC and baseline topologies"
+    )
+    traffic_run.add_argument("--workload", choices=WORKLOAD_KINDS, default="cbr")
+    traffic_run.add_argument(
+        "--topology",
+        action="append",
+        default=[],
+        choices=list(TOPOLOGIES),
+        help="topology to cross (repeatable; default: cbtc-opt, max-power, mst)",
+    )
+    traffic_run.add_argument("--nodes", type=int, default=200)
+    traffic_run.add_argument(
+        "--alpha-pi", type=float, default=5.0 / 6.0, help="cone angle as a multiple of pi"
+    )
+    traffic_run.add_argument("--flows", type=int, default=10)
+    traffic_run.add_argument("--packets", type=int, default=10, help="packets per flow")
+    traffic_run.add_argument("--interval", type=float, default=4.0, help="packet interval")
+    traffic_run.add_argument("--routing", choices=ROUTING_POLICIES, default="min-power")
+    traffic_run.add_argument("--queue", type=int, default=16, help="per-node queue capacity")
+    traffic_run.add_argument("--retransmit", type=int, default=3, help="retransmission cap")
+    traffic_run.add_argument(
+        "--battery", type=float, default=None, help="finite per-node energy budget"
+    )
+    traffic_run.add_argument(
+        "--interference", action="store_true", help="run over the SINR interference medium"
+    )
+    traffic_run.add_argument("--seeds", type=int, default=1, help="seeds per topology")
+    traffic_run.add_argument("--base-seed", type=int, default=0)
+    traffic_run.add_argument("--results-dir", default="traffic-results")
+    traffic_run.set_defaults(func=_traffic_run)
+
+    traffic_report = traffic_commands.add_parser("report", help="aggregate a traffic results directory")
+    traffic_report.add_argument("--results-dir", default="traffic-results")
+    traffic_report.set_defaults(func=_traffic_report)
 
     return parser
 

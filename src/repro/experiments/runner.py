@@ -27,7 +27,7 @@ import json
 import multiprocessing
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.io.results import read_json, results_to_json
 from repro.scenarios.catalogue import get_scenario
@@ -260,7 +260,12 @@ def load_grid_results(results_dir: Union[str, Path]) -> Dict[str, List[dict]]:
 
 @dataclass(frozen=True)
 class ScenarioAggregate:
-    """Per-scenario aggregate over all persisted seeds."""
+    """Per-scenario aggregate over all persisted seeds.
+
+    ``mean_delivery_ratio`` is ``None`` for scenarios without a traffic
+    workload; the report table only grows its traffic column when at least
+    one aggregate carries traffic numbers.
+    """
 
     scenario: str
     runs: int
@@ -272,11 +277,18 @@ class ScenarioAggregate:
     total_events_applied: int
     total_reruns: int
     total_messages: int
+    mean_delivery_ratio: Optional[float] = None
 
 
 def _mean(values: Iterable[float]) -> float:
     values = list(values)
     return sum(values) / len(values) if values else 0.0
+
+
+def _optional_mean(values: Iterable[Optional[float]]) -> Optional[float]:
+    """Mean over the non-``None`` entries, or ``None`` when there are none."""
+    present = [value for value in values if isinstance(value, (int, float))]
+    return sum(present) / len(present) if present else None
 
 
 def summarize_grid(results_dir: Union[str, Path]) -> List[ScenarioAggregate]:
@@ -304,24 +316,41 @@ def summarize_grid(results_dir: Union[str, Path]) -> List[ScenarioAggregate]:
                 ),
                 total_reruns=sum(summary.get("total_reruns", 0) for summary in summaries),
                 total_messages=sum(summary.get("total_messages", 0) for summary in summaries),
+                mean_delivery_ratio=_optional_mean(
+                    summary.get("mean_delivery_ratio") for summary in summaries
+                ),
             )
         )
     return aggregates
 
 
 def format_report(aggregates: Sequence[ScenarioAggregate]) -> str:
-    """Render the aggregates as the ``scenarios report`` table."""
+    """Render the aggregates as the ``scenarios report`` table.
+
+    A ``delivery`` column appears only when at least one scenario ran a
+    traffic workload, so traffic-free archives render exactly as before.
+    """
     if not aggregates:
         return "(no results found)"
+    with_traffic = any(agg.mean_delivery_ratio is not None for agg in aggregates)
     header = (
         f"{'scenario':<24}{'runs':>6}{'preserved':>11}{'avg deg':>9}"
         f"{'avg radius':>12}{'alive':>8}{'events':>9}{'reruns':>8}{'messages':>10}"
     )
+    if with_traffic:
+        header += f"{'delivery':>10}"
     lines = [header, "-" * len(header)]
     for agg in aggregates:
-        lines.append(
+        line = (
             f"{agg.scenario:<24}{agg.runs:>6}{agg.preserved_fraction:>11.2f}"
             f"{agg.mean_degree:>9.2f}{agg.mean_radius:>12.1f}{agg.mean_final_alive:>8.1f}"
             f"{agg.total_events_applied:>9}{agg.total_reruns:>8}{agg.total_messages:>10}"
         )
+        if with_traffic:
+            line += (
+                f"{agg.mean_delivery_ratio:>10.2f}"
+                if agg.mean_delivery_ratio is not None
+                else f"{'-':>10}"
+            )
+        lines.append(line)
     return "\n".join(lines)

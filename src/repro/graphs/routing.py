@@ -16,17 +16,35 @@ measured rather than argued:
 
 Routing follows minimum-power paths (hop cost ``d**exponent``), the natural
 routing policy over a power-controlled topology.
+
+Exact all-pairs routing is cubic-ish and unusable much past n ≈ 500, so
+every entry point also supports a *sampled-pairs* mode: a seeded sample of
+sources (plus a pair sample among their shortest-path trees) estimates the
+same normalized fractions at a bounded number of Dijkstra passes.  The mode
+is selected explicitly via ``sample_pairs`` or automatically for large
+graphs; the exact mode's code path — and therefore its float results —
+stays byte-identical to the historic implementation and is pinned by the
+test suite.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import networkx as nx
 
 from repro.net.network import Network
 from repro.net.node import NodeId
+from repro.sim.randomness import SeededRandom, derive_seed
+
+#: Above this many graph nodes the default (``sample_pairs=None``) switches
+#: from exact all-pairs routing to the sampled estimator.
+AUTO_SAMPLE_NODE_THRESHOLD = 500
+
+#: How many pairs the automatic sampled mode routes.
+DEFAULT_SAMPLE_PAIRS = 2000
 
 
 def _power_weighted(graph: nx.Graph, network: Network, exponent: float) -> nx.Graph:
@@ -45,11 +63,86 @@ def _all_pairs_paths(graph: nx.Graph, network: Network, exponent: float):
                 yield source, target, path
 
 
-def edge_congestion(graph: nx.Graph, network: Network, *, exponent: float = 2.0) -> Dict[Tuple[NodeId, NodeId], float]:
+def _sampled_pairs_paths(graph: nx.Graph, network: Network, exponent: float, pairs: int, seed: int):
+    """Seeded sample of ``pairs`` routed pairs, one Dijkstra pass per source.
+
+    Sources are sampled first, then the pairs themselves are sampled from
+    their shortest-path trees with source/target double-counting removed.
+    Targets per source are capped near ``sqrt(pairs)``, so the sample is
+    spread over roughly ``sqrt(pairs)`` sources instead of collapsing onto
+    the one or two trees that would suffice to contain it — a few-source
+    sample systematically inflates the max-congestion statistics (the max
+    of a high-variance estimate biases upward) while still costing far
+    fewer Dijkstra runs than the exact mode's ``n``.
+    """
+    nodes = sorted(graph.nodes)
+    if len(nodes) < 2 or pairs < 1:
+        return
+    rng = SeededRandom(derive_seed(seed, "routing:sampled-pairs"))
+    per_source = min(len(nodes) - 1, max(1, math.isqrt(pairs)))
+    source_count = min(len(nodes), max(1, math.ceil(pairs / per_source)))
+    sources = sorted(rng.sample(nodes, source_count))
+    source_set = set(sources)
+    candidates = [
+        (source, target)
+        for source in sources
+        for target in nodes
+        if target != source and not (target in source_set and target < source)
+    ]
+    if pairs < len(candidates):
+        chosen = sorted(rng.sample(candidates, pairs))
+    else:
+        chosen = candidates
+    weighted = _power_weighted(graph, network, exponent)
+    targets_by_source: Dict[NodeId, list] = {}
+    for source, target in chosen:
+        targets_by_source.setdefault(source, []).append(target)
+    for source in sorted(targets_by_source):
+        paths = nx.single_source_dijkstra_path(weighted, source, weight="power_cost")
+        for target in targets_by_source[source]:
+            path = paths.get(target)
+            if path is not None and len(path) > 1:
+                yield source, target, path
+
+
+def _routed_paths(
+    graph: nx.Graph,
+    network: Network,
+    exponent: float,
+    sample_pairs: Optional[int],
+    seed: int,
+):
+    """Dispatch between the exact and sampled modes.
+
+    ``sample_pairs=None`` picks exact routing up to
+    :data:`AUTO_SAMPLE_NODE_THRESHOLD` nodes and
+    :data:`DEFAULT_SAMPLE_PAIRS` sampled pairs beyond it; ``0`` forces the
+    exact mode at any size; a positive value samples that many pairs (or
+    falls back to exact when the graph has fewer pairs in total).
+    """
+    if sample_pairs is not None and sample_pairs < 0:
+        raise ValueError("sample_pairs must be None, 0 (exact) or positive")
+    node_count = graph.number_of_nodes()
+    total_pairs = node_count * (node_count - 1) // 2
+    if sample_pairs is None:
+        sample_pairs = 0 if node_count <= AUTO_SAMPLE_NODE_THRESHOLD else DEFAULT_SAMPLE_PAIRS
+    if sample_pairs == 0 or sample_pairs >= total_pairs:
+        return _all_pairs_paths(graph, network, exponent)
+    return _sampled_pairs_paths(graph, network, exponent, sample_pairs, seed)
+
+
+def edge_congestion(
+    graph: nx.Graph,
+    network: Network,
+    *,
+    exponent: float = 2.0,
+    sample_pairs: Optional[int] = None,
+    seed: int = 0,
+) -> Dict[Tuple[NodeId, NodeId], float]:
     """Fraction of routed pairs whose minimum-power route crosses each edge."""
     counts: Dict[Tuple[NodeId, NodeId], int] = {tuple(sorted(edge)): 0 for edge in graph.edges}
     pairs = 0
-    for _, _, path in _all_pairs_paths(graph, network, exponent):
+    for _, _, path in _routed_paths(graph, network, exponent, sample_pairs, seed):
         pairs += 1
         for u, v in zip(path, path[1:]):
             counts[tuple(sorted((u, v)))] += 1
@@ -58,11 +151,18 @@ def edge_congestion(graph: nx.Graph, network: Network, *, exponent: float = 2.0)
     return {edge: count / pairs for edge, count in counts.items()}
 
 
-def node_forwarding_load(graph: nx.Graph, network: Network, *, exponent: float = 2.0) -> Dict[NodeId, float]:
+def node_forwarding_load(
+    graph: nx.Graph,
+    network: Network,
+    *,
+    exponent: float = 2.0,
+    sample_pairs: Optional[int] = None,
+    seed: int = 0,
+) -> Dict[NodeId, float]:
     """Fraction of routed pairs each node forwards for (excluding endpoints)."""
     counts: Dict[NodeId, int] = {node: 0 for node in graph.nodes}
     pairs = 0
-    for _, _, path in _all_pairs_paths(graph, network, exponent):
+    for _, _, path in _routed_paths(graph, network, exponent, sample_pairs, seed):
         pairs += 1
         for node in path[1:-1]:
             counts[node] += 1
@@ -92,18 +192,28 @@ class CongestionReport:
         }
 
 
-def congestion_report(graph: nx.Graph, network: Network, *, exponent: float = 2.0) -> CongestionReport:
+def congestion_report(
+    graph: nx.Graph,
+    network: Network,
+    *,
+    exponent: float = 2.0,
+    sample_pairs: Optional[int] = None,
+    seed: int = 0,
+) -> CongestionReport:
     """Compute the congestion summary for ``graph`` under min-power routing.
 
     Only pairs connected in ``graph`` are routed; a disconnected topology
     simply routes fewer pairs (the connectivity metrics catch that
-    separately).
+    separately).  ``sample_pairs`` selects the routing mode (see
+    :func:`_routed_paths`): ``None`` is exact up to
+    :data:`AUTO_SAMPLE_NODE_THRESHOLD` nodes and sampled beyond, ``0``
+    forces exact, a positive value samples that many pairs.
     """
     edge_counts: Dict[Tuple[NodeId, NodeId], int] = {tuple(sorted(edge)): 0 for edge in graph.edges}
     node_counts: Dict[NodeId, int] = {node: 0 for node in graph.nodes}
     pairs = 0
     total_hops = 0
-    for _, _, path in _all_pairs_paths(graph, network, exponent):
+    for _, _, path in _routed_paths(graph, network, exponent, sample_pairs, seed):
         pairs += 1
         total_hops += len(path) - 1
         for u, v in zip(path, path[1:]):

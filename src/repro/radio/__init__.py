@@ -31,8 +31,16 @@ from repro.radio.power import (
     default_power_model,
 )
 from repro.radio.link import LinkEstimator
+from repro.radio.interference import (
+    ActiveTransmission,
+    InterferenceField,
+    InterferenceModel,
+)
 
 __all__ = [
+    "ActiveTransmission",
+    "InterferenceField",
+    "InterferenceModel",
     "PathLossModel",
     "FreeSpaceModel",
     "ReceptionReport",

@@ -1,0 +1,213 @@
+"""Additive SINR interference over the path-loss model.
+
+The simulation engine's default channels treat every transmission in
+isolation; whether a message is decodable depends only on the sender's
+power and the link distance.  That is the right abstraction for the paper's
+protocol analysis, but it cannot answer the Section 6 question of how much
+*traffic* a power-controlled topology carries: when many nodes forward
+packets concurrently, their transmissions add up as interference at every
+receiver, and a link that is fine in isolation fails under load.
+
+This module provides the standard additive-interference (SINR) model on top
+of the existing :class:`~repro.radio.propagation.PathLossModel`:
+
+* a transmission from ``u`` at power ``p`` occupies the medium for
+  ``airtime`` time units and contributes reception power
+  ``reception_power(p, d(u, x))`` at every point ``x``;
+* a delivery to a receiver at reception power ``S`` succeeds iff
+
+  ``S / (noise_floor + sum of concurrent interferers' powers) >= sinr_threshold``;
+
+* interferers farther than a cutoff distance — beyond which even the
+  strongest active transmission contributes less than
+  ``negligible_fraction * noise_floor`` — are ignored, which bounds the
+  interferer query and lets it be served by the
+  :class:`~repro.geometry.spatial.UniformGridIndex` when many transmissions
+  are on the air.
+
+Everything is deterministic: the SINR test is a pure threshold (fading can
+be layered with the lossy channels), the active set evolves only through
+explicit ``register``/``prune`` calls driven by the simulation clock, and
+interference sums always iterate transmissions in registration order so the
+floating-point result never depends on container ordering.
+
+Two deliberate simplifications, both standard in packet-level simulators:
+the SINR test is evaluated when the transmission *starts* (against the
+transmissions already on the air), so a later-starting overlap does not
+retroactively kill an earlier delivery; and a node's own concurrent
+transmission interferes with its receptions at distance zero, which makes
+half-duplex behaviour emerge from the model rather than being special-cased.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.geometry.spatial import UniformGridIndex, _as_xy
+from repro.radio.propagation import PathLossModel
+
+#: Below this many active transmissions a sorted linear scan beats building
+#: a grid; above it the interferer query goes through the spatial index.
+GRID_QUERY_THRESHOLD = 16
+
+
+@dataclass(frozen=True)
+class InterferenceModel:
+    """Parameters of the additive-SINR medium.
+
+    ``noise_floor`` is in the same units as reception power (the propagation
+    model delivers ``receiver_sensitivity`` at the exact edge of a link's
+    reach, so the default noise of 0.05 gives an interference-free SNR of 20
+    on the weakest usable link).  ``sinr_threshold`` is the decodability
+    ratio; ``airtime`` is how long one transmission occupies the medium.
+    """
+
+    propagation: PathLossModel
+    noise_floor: float = 0.05
+    sinr_threshold: float = 2.0
+    airtime: float = 1.0
+    negligible_fraction: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.noise_floor <= 0:
+            raise ValueError("noise_floor must be positive")
+        if self.sinr_threshold <= 0:
+            raise ValueError("sinr_threshold must be positive")
+        if self.airtime <= 0:
+            raise ValueError("airtime must be positive")
+        if not 0 < self.negligible_fraction <= 1:
+            raise ValueError("negligible_fraction must be in (0, 1]")
+
+    def cutoff_distance(self, power: float) -> float:
+        """Distance beyond which a transmission at ``power`` is negligible.
+
+        A contribution is negligible when it falls below
+        ``negligible_fraction * noise_floor``; inverting the propagation law
+        gives the distance at which that happens.
+        """
+        if power <= 0:
+            return 0.0
+        ceiling = self.propagation.receiver_sensitivity * power / (
+            self.noise_floor * self.negligible_fraction
+        )
+        return self.propagation.range_for_power(ceiling)
+
+    def decodable(self, reception_power: float, interference: float) -> bool:
+        """The SINR threshold test."""
+        return reception_power >= self.sinr_threshold * (self.noise_floor + interference)
+
+
+@dataclass(frozen=True)
+class ActiveTransmission:
+    """One transmission currently occupying the medium."""
+
+    tx_id: int
+    sender: object
+    x: float
+    y: float
+    power: float
+    start: float
+    end: float
+
+
+class InterferenceField:
+    """The set of transmissions on the air, queryable for interference.
+
+    The field assigns each registered transmission a monotonically
+    increasing ``tx_id``; sums iterate interferers in ``tx_id`` order so the
+    floating-point interference total is independent of container internals.
+    Expired transmissions are dropped by :meth:`prune` (a min-heap on end
+    time makes that O(log n) per expiry).
+    """
+
+    def __init__(self, model: InterferenceModel) -> None:
+        self.model = model
+        self._active: Dict[int, ActiveTransmission] = {}
+        self._expiry: List[Tuple[float, int]] = []
+        self._next_tx_id = 0
+        self._max_active_power = 0.0
+        self._index: Optional[UniformGridIndex] = None
+
+    def __len__(self) -> int:
+        return len(self._active)
+
+    def register(self, sender, position, power: float, now: float) -> int:
+        """Put a transmission on the air; returns its ``tx_id``."""
+        x, y = _as_xy(position)
+        tx = ActiveTransmission(
+            tx_id=self._next_tx_id,
+            sender=sender,
+            x=x,
+            y=y,
+            power=float(power),
+            start=now,
+            end=now + self.model.airtime,
+        )
+        self._next_tx_id += 1
+        self._active[tx.tx_id] = tx
+        heapq.heappush(self._expiry, (tx.end, tx.tx_id))
+        self._max_active_power = max(self._max_active_power, tx.power)
+        self._index = None
+        return tx.tx_id
+
+    def prune(self, now: float) -> None:
+        """Drop transmissions whose airtime has ended (``end <= now``)."""
+        changed = False
+        while self._expiry and self._expiry[0][0] <= now:
+            _, tx_id = heapq.heappop(self._expiry)
+            self._active.pop(tx_id, None)
+            changed = True
+        if changed:
+            self._index = None
+            self._max_active_power = max(
+                (tx.power for tx in self._active.values()), default=0.0
+            )
+
+    def _grid(self, cutoff: float) -> UniformGridIndex:
+        if self._index is None:
+            # Huge cutoffs (weak noise floors) would make absurd cells; the
+            # clamp only coarsens the grid, never the result set.
+            cell = min(max(cutoff, 1e-9), 1e6)
+            self._index = UniformGridIndex(
+                cell, ((tx_id, (tx.x, tx.y)) for tx_id, tx in self._active.items())
+            )
+        return self._index
+
+    def interference_at(self, point, *, exclude_tx: Optional[int] = None) -> float:
+        """Total interference power at ``point`` from the active set.
+
+        Transmissions farther than the model's cutoff distance (computed for
+        the strongest active power, so it over-approximates every weaker
+        interferer) are ignored by *both* query paths, keeping the linear
+        scan and the grid-backed query bit-identical.
+        """
+        if not self._active:
+            return 0.0
+        px, py = _as_xy(point)
+        cutoff = self.model.cutoff_distance(self._max_active_power)
+        reception = self.model.propagation.reception_power
+        hypot = math.hypot
+        if len(self._active) > GRID_QUERY_THRESHOLD:
+            candidates = self._grid(cutoff).neighbors_within((px, py), cutoff)
+        else:
+            candidates = sorted(self._active)
+        total = 0.0
+        for tx_id in candidates:
+            if tx_id == exclude_tx:
+                continue
+            tx = self._active.get(tx_id)
+            if tx is None:
+                continue
+            distance = hypot(tx.x - px, tx.y - py)
+            if distance > cutoff:
+                continue
+            total += reception(tx.power, distance)
+        return total
+
+    def sinr_at(self, point, reception_power: float, *, exclude_tx: Optional[int] = None) -> float:
+        """The SINR a reception at ``reception_power`` experiences at ``point``."""
+        interference = self.interference_at(point, exclude_tx=exclude_tx)
+        return reception_power / (self.model.noise_floor + interference)

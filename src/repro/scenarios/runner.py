@@ -24,6 +24,7 @@ replays identically in any process.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -38,6 +39,8 @@ from repro.net.network import Network
 from repro.net.node import Node
 from repro.scenarios.spec import DISTRIBUTED, ScenarioSpec
 from repro.sim.randomness import SeededRandom
+from repro.traffic.metrics import TrafficReport
+from repro.traffic.runner import run_traffic
 
 import networkx as nx
 
@@ -63,6 +66,7 @@ class EpochMetrics:
     components: int
     total_power: float
     energy_consumed: float
+    traffic: Optional[TrafficReport] = None
 
 
 @dataclass(frozen=True)
@@ -78,6 +82,9 @@ class ScenarioSummary:
     final_alive_nodes: int
     mean_average_degree: float
     mean_average_radius: float
+    mean_delivery_ratio: Optional[float] = None
+    mean_traffic_latency: Optional[float] = None
+    total_traffic_battery_deaths: int = 0
 
 
 @dataclass
@@ -104,6 +111,7 @@ class ScenarioResult:
         """Compute (and cache) the aggregate summary of this run."""
         count = len(self.epochs)
         preserved = sum(1 for epoch in self.epochs if epoch.connectivity_preserved)
+        traffic_epochs = [epoch.traffic for epoch in self.epochs if epoch.traffic is not None]
         self.summary = ScenarioSummary(
             epochs=count,
             preserved_fraction=preserved / count if count else 0.0,
@@ -118,6 +126,17 @@ class ScenarioResult:
             mean_average_radius=(
                 sum(epoch.average_radius for epoch in self.epochs) / count if count else 0.0
             ),
+            mean_delivery_ratio=(
+                sum(t.delivery_ratio for t in traffic_epochs) / len(traffic_epochs)
+                if traffic_epochs
+                else None
+            ),
+            mean_traffic_latency=(
+                sum(t.average_latency for t in traffic_epochs) / len(traffic_epochs)
+                if traffic_epochs
+                else None
+            ),
+            total_traffic_battery_deaths=sum(t.battery_deaths for t in traffic_epochs),
         )
         return self.summary
 
@@ -220,6 +239,26 @@ class ScenarioRunner:
                 self.ledger.charge_transmission(node_id, consumed, duration=1.0)
         return topology, 0, 0, 0, len(run.engine.trace)
 
+    def _run_traffic(self, epoch: int, topology: TopologyResult) -> Optional[TrafficReport]:
+        """Run the spec's packet workload over this epoch's topology.
+
+        The workload gets its own per-epoch derived seed and its own energy
+        ledger (so its battery semantics follow the traffic spec, not the
+        scenario's beacon-energy spec); the transmission energy it consumed
+        is then folded into the scenario ledger, and any traffic-induced
+        battery deaths persist — a hot spot drained by forwarding stays
+        dead in later epochs.
+        """
+        tspec = self.spec.traffic
+        if tspec is None:
+            return None
+        traffic_seed = self.spec.component_seed(self.seed, f"traffic:{epoch}")
+        run = run_traffic(self.network, topology.graph, tspec, traffic_seed)
+        for node_id, consumed in run.engine.energy.snapshot().items():
+            if consumed > 0.0:
+                self.ledger.charge_transmission(node_id, consumed, duration=1.0)
+        return run.report
+
     def _measure(
         self,
         epoch: int,
@@ -285,19 +324,24 @@ class ScenarioRunner:
             )
             battery_deaths = self._drain_batteries()
             topology, events, reruns, iterations, messages = self._reconcile(epoch)
-            result.epochs.append(
-                self._measure(
-                    epoch,
-                    topology,
-                    joined=joined,
-                    crashed=churn_crashed + random_crashed + battery_deaths,
-                    battery_deaths=battery_deaths,
-                    events_applied=events,
-                    reruns=reruns,
-                    sync_iterations=iterations,
-                    messages_sent=messages,
-                )
+            metrics = self._measure(
+                epoch,
+                topology,
+                joined=joined,
+                crashed=churn_crashed + random_crashed + battery_deaths,
+                battery_deaths=battery_deaths,
+                events_applied=events,
+                reruns=reruns,
+                sync_iterations=iterations,
+                messages_sent=messages,
             )
+            # Traffic runs last so the topology metrics above describe the
+            # graph the packets actually crossed; traffic-induced battery
+            # deaths and energy show up from the next epoch's figures on.
+            traffic_report = self._run_traffic(epoch, topology)
+            if traffic_report is not None:
+                metrics = dataclasses.replace(metrics, traffic=traffic_report)
+            result.epochs.append(metrics)
         result.summarize()
         return result
 

@@ -42,6 +42,7 @@ from repro.net.placement import (
 )
 from repro.sim.channel import Channel, DuplicatingChannel, LossyChannel, ReliableChannel
 from repro.sim.randomness import derive_seed
+from repro.traffic.spec import TrafficSpec
 
 
 @dataclass(frozen=True)
@@ -275,6 +276,11 @@ class ScenarioSpec:
     Section 4 event rules); ``"distributed"`` re-runs the full
     message-passing protocol on the event engine each epoch, crossing the
     configured channel (which may lose or duplicate messages).
+
+    ``traffic``, when set, runs that packet-level workload over each
+    epoch's freshly constructed topology (per-epoch derived seeds), records
+    the :class:`~repro.traffic.metrics.TrafficReport` in the epoch metrics,
+    and folds the transmission energy into the scenario's ledger.
     """
 
     name: str
@@ -286,6 +292,7 @@ class ScenarioSpec:
     churn: Tuple[ChurnEvent, ...] = ()
     energy: EnergySpec = field(default_factory=EnergySpec)
     optimizations: OptimizationSpec = field(default_factory=OptimizationSpec)
+    traffic: Optional[TrafficSpec] = None
     alpha: float = 5.0 * math.pi / 6.0
     epochs: int = 5
     steps_per_epoch: int = 5

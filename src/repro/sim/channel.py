@@ -7,6 +7,12 @@ the asynchronous model of Section 4 is exercised with :class:`LossyChannel`
 and :class:`DuplicatingChannel`, which respectively drop and duplicate
 messages at configurable rates.  Channels never reorder the decision logic
 based on global state, so simulations stay deterministic for a fixed seed.
+
+:class:`InterferenceChannel` is the exception that proves the rule: it *is*
+driven by global state — the set of transmissions currently on the air — but
+that state evolves deterministically with the simulation clock (the engine
+announces every transmission through :meth:`Channel.begin_transmission`), so
+simulations over it remain exactly replayable.
 """
 
 from __future__ import annotations
@@ -15,8 +21,23 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.net.node import NodeId
+from repro.radio.interference import InterferenceField, InterferenceModel
 from repro.sim.messages import Envelope
 from repro.sim.randomness import SeededRandom
+
+
+def _ramped_loss(base: float, ramp: float, ramp_range: float, distance: float) -> float:
+    """Base loss plus a linear distance ramp, capped below certainty.
+
+    With ramp ``r`` the loss probability grows linearly from ``base`` at
+    distance 0 to ``base + r`` at ``ramp_range`` (clamped there for longer
+    links) and never reaches 1, so no link is deterministically dead.  A
+    ramp of 0 returns ``base`` exactly — the historic distance-blind value.
+    """
+    if ramp == 0.0:
+        return base
+    loss = base + ramp * min(max(distance, 0.0) / ramp_range, 1.0)
+    return min(loss, 0.999999)
 
 
 class Channel:
@@ -26,6 +47,15 @@ class Channel:
     empty list means the message is lost for that receiver, more than one
     entry means duplication.
     """
+
+    def begin_transmission(self, envelope: Envelope, sender_position, now: float) -> None:
+        """Hook: the engine announces each transmission before planning deliveries.
+
+        Called exactly once per ``bcast``/``send`` (even when nobody is in
+        range) with the sender's position and the current simulation time.
+        The default is a no-op; medium-aware channels such as
+        :class:`InterferenceChannel` use it to track occupancy.
+        """
 
     def plan_delivery(self, envelope: Envelope, receiver: NodeId, distance: float) -> List[float]:
         """Delays (in simulation time units) at which ``receiver`` gets the envelope."""
@@ -59,6 +89,8 @@ class LossyChannel(Channel):
     min_delay: float = 0.5
     max_delay: float = 2.0
     seed: Optional[int] = None
+    distance_loss_ramp: float = 0.0
+    ramp_range: float = 500.0
     _rng: SeededRandom = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -66,10 +98,21 @@ class LossyChannel(Channel):
             raise ValueError("loss_probability must be in [0, 1)")
         if self.min_delay < 0 or self.max_delay < self.min_delay:
             raise ValueError("delays must satisfy 0 <= min_delay <= max_delay")
+        if self.distance_loss_ramp < 0 or self.ramp_range <= 0:
+            raise ValueError("distance_loss_ramp must be >= 0 and ramp_range positive")
         self._rng = SeededRandom(self.seed)
 
+    def _effective_loss(self, distance: float) -> float:
+        """The distance-ramped loss probability (see :func:`_ramped_loss`).
+
+        The default ramp of 0 keeps the decision — and therefore the RNG
+        stream — identical to the historic distance-blind behaviour, byte
+        for byte.
+        """
+        return _ramped_loss(self.loss_probability, self.distance_loss_ramp, self.ramp_range, distance)
+
     def plan_delivery(self, envelope: Envelope, receiver: NodeId, distance: float) -> List[float]:
-        if self._rng.random() < self.loss_probability:
+        if self._rng.random() < self._effective_loss(distance):
             return []
         return [self._rng.uniform(self.min_delay, self.max_delay)]
 
@@ -88,6 +131,8 @@ class DuplicatingChannel(Channel):
     base_delay: float = 1.0
     extra_delay: float = 1.0
     seed: Optional[int] = None
+    distance_loss_ramp: float = 0.0
+    ramp_range: float = 500.0
     _rng: SeededRandom = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -95,10 +140,66 @@ class DuplicatingChannel(Channel):
             raise ValueError("duplicate_probability must be a probability")
         if self.base_delay < 0 or self.extra_delay < 0:
             raise ValueError("delays must be non-negative")
+        if self.distance_loss_ramp < 0 or self.ramp_range <= 0:
+            raise ValueError("distance_loss_ramp must be >= 0 and ramp_range positive")
         self._rng = SeededRandom(self.seed)
 
     def plan_delivery(self, envelope: Envelope, receiver: NodeId, distance: float) -> List[float]:
+        # The ramp draw only exists when the ramp is enabled, so the default
+        # configuration consumes exactly the historic RNG stream.
+        if self.distance_loss_ramp > 0.0:
+            loss = _ramped_loss(0.0, self.distance_loss_ramp, self.ramp_range, distance)
+            if self._rng.random() < loss:
+                return []
         deliveries = [self.base_delay]
         if self._rng.random() < self.duplicate_probability:
             deliveries.append(self.base_delay + self._rng.uniform(0.0, self.extra_delay) + 1e-6)
         return deliveries
+
+
+class InterferenceChannel(Channel):
+    """A medium with additive SINR interference between concurrent transmissions.
+
+    The engine announces every transmission via :meth:`begin_transmission`;
+    the channel registers it in an :class:`~repro.radio.interference.InterferenceField`
+    and evaluates each planned delivery's SINR against the *other*
+    transmissions currently on the air (the transmission being delivered is
+    excluded from its own interference).  A delivery below the SINR
+    threshold is lost; survivors arrive after ``delay``.
+
+    The channel needs receiver positions to sum interference at the right
+    point, so unlike the statistical channels it holds a reference to the
+    network.  It remains fully deterministic — there is no RNG, only the
+    threshold test.
+    """
+
+    def __init__(self, network, model: Optional[InterferenceModel] = None, *, delay: float = 1.0) -> None:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self._network = network
+        self.model = (
+            model
+            if model is not None
+            else InterferenceModel(propagation=network.power_model.propagation)
+        )
+        self.delay = delay
+        self.field = InterferenceField(self.model)
+        self._current_tx: Optional[int] = None
+        self.deliveries_planned = 0
+        self.deliveries_lost = 0
+
+    def begin_transmission(self, envelope: Envelope, sender_position, now: float) -> None:
+        self.field.prune(now)
+        self._current_tx = self.field.register(
+            envelope.sender, sender_position, envelope.transmit_power, now
+        )
+
+    def plan_delivery(self, envelope: Envelope, receiver: NodeId, distance: float) -> List[float]:
+        self.deliveries_planned += 1
+        reception = self.model.propagation.reception_power(envelope.transmit_power, distance)
+        position = self._network.node(receiver).position
+        sinr = self.field.sinr_at(position, reception, exclude_tx=self._current_tx)
+        if sinr < self.model.sinr_threshold:
+            self.deliveries_lost += 1
+            return []
+        return [self.delay]

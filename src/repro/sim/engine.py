@@ -106,6 +106,11 @@ class SimulationEngine:
                 if dest_node.alive and power_model.reaches_with(power, sender_node.distance_to(dest_node)):
                     receiver_ids = [destination]
 
+        # Announce the transmission before planning deliveries: medium-aware
+        # channels (SINR interference) must see it occupy the air even when
+        # nobody is in range.
+        self.channel.begin_transmission(envelope, sender_node.position, self.now)
+
         self.trace.record(
             TraceRecord(
                 time=self.now,

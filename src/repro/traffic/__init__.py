@@ -1,0 +1,75 @@
+"""Packet-level traffic engine over constructed topologies.
+
+Section 6 of the paper warns that aggressive edge removal lengthens paths
+and concentrates traffic; this subpackage turns that caution into measured
+numbers.  A declarative :class:`TrafficSpec` (constant-bit-rate pairs,
+hotspot convergecast, uniform random pairs, bursty flash crowds) runs on
+the discrete-event engine through per-node forwarding processes with
+bounded FIFO queues, static min-hop/min-power routes, link-layer
+retransmission, SINR interference, and per-packet energy charging — and
+reports throughput, delivery ratio, latency, energy per delivered bit and
+network lifetime as a :class:`TrafficReport`.
+"""
+
+from repro.traffic.spec import (
+    BURST,
+    CBR,
+    HOTSPOT,
+    MIN_HOP,
+    MIN_POWER,
+    ROUTING_POLICIES,
+    UNIFORM,
+    WORKLOAD_KINDS,
+    Flow,
+    TrafficSpec,
+)
+from repro.traffic.metrics import TrafficReport, TrafficStats, build_report
+from repro.traffic.forwarding import RoutingPlan, TrafficProcess, TrafficRuntime
+from repro.traffic.runner import TrafficRun, build_channel, build_routing_plan, run_traffic
+from repro.traffic.experiment import (
+    TOPOLOGIES,
+    TrafficAggregate,
+    TrafficExperimentResult,
+    aggregate_results,
+    build_traffic_topology,
+    compare_topologies,
+    format_traffic_report,
+    load_traffic_results,
+    persist_result,
+    run_traffic_experiment,
+    summarize_traffic,
+)
+
+__all__ = [
+    "BURST",
+    "CBR",
+    "HOTSPOT",
+    "MIN_HOP",
+    "MIN_POWER",
+    "ROUTING_POLICIES",
+    "UNIFORM",
+    "WORKLOAD_KINDS",
+    "Flow",
+    "TrafficSpec",
+    "TrafficReport",
+    "TrafficStats",
+    "build_report",
+    "RoutingPlan",
+    "TrafficProcess",
+    "TrafficRuntime",
+    "TrafficRun",
+    "build_channel",
+    "build_routing_plan",
+    "run_traffic",
+    "TOPOLOGIES",
+    "TrafficAggregate",
+    "TrafficExperimentResult",
+    "aggregate_results",
+    "build_traffic_topology",
+    "compare_topologies",
+    "format_traffic_report",
+    "load_traffic_results",
+    "persist_result",
+    "run_traffic_experiment",
+    "summarize_traffic",
+]

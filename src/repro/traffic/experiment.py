@@ -1,0 +1,267 @@
+"""Traffic experiment harness: workloads × topologies, persisted as JSON.
+
+This is the measurement layer the paper's Section 6 caution calls for: run
+the *same* packet workload over differently constructed topologies (CBTC
+with and without optimizations, max-power, MST) and compare throughput,
+delivery ratio, latency, and energy per delivered bit.  Used by the
+``cbtc traffic run|report`` CLI and the throughput-vs-alpha benchmark.
+
+Results persist like the scenario grid: workers (or the serial path) render
+the JSON payload once and the files land under
+``results_dir/<workload>-<topology>/seed-<index>.json``, so serial and
+parallel invocations write byte-identical archives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import networkx as nx
+
+from repro.baselines.mst import euclidean_mst
+from repro.core.pipeline import OptimizationConfig, build_topology
+from repro.io.results import read_json, results_to_json
+from repro.net.network import Network
+from repro.net.placement import PlacementConfig, random_uniform_placement
+from repro.sim.randomness import derive_seed
+from repro.traffic.metrics import TrafficReport
+from repro.traffic.runner import run_traffic
+from repro.traffic.spec import TrafficSpec
+
+ALPHA_DEFAULT = 5.0 * math.pi / 6.0
+
+#: Topology modes the harness can compare.
+TOPOLOGIES = ("cbtc", "cbtc-opt", "max-power", "mst")
+
+
+def scaled_placement(node_count: int, *, max_range: float = 500.0) -> PlacementConfig:
+    """Paper-workload density at arbitrary size (region side grows with sqrt(n))."""
+    side = 1500.0 * math.sqrt(node_count / 100.0)
+    return PlacementConfig(width=side, height=side, node_count=node_count, max_range=max_range)
+
+
+def build_traffic_topology(network: Network, topology: str, alpha: float) -> nx.Graph:
+    """Construct the requested topology graph over ``network``."""
+    if topology == "max-power":
+        return network.max_power_graph()
+    if topology == "mst":
+        # Inside G_R: links longer than the maximum range are not usable, so
+        # the routed MST must respect it (a forest if G_R is disconnected).
+        return euclidean_mst(network, respect_max_range=True)
+    if topology == "cbtc":
+        return build_topology(network, alpha, config=OptimizationConfig.none()).graph
+    if topology == "cbtc-opt":
+        return build_topology(network, alpha, config=OptimizationConfig.all()).graph
+    raise ValueError(f"unknown topology {topology!r}; expected one of {TOPOLOGIES}")
+
+
+@dataclass(frozen=True)
+class TrafficExperimentResult:
+    """One (workload, topology, seed) cell, as persisted."""
+
+    workload: str
+    topology: str
+    node_count: int
+    alpha: float
+    seed_index: int
+    seed: int
+    edge_count: int
+    average_degree: float
+    spec: TrafficSpec
+    report: TrafficReport
+
+    @property
+    def label(self) -> str:
+        """Directory label of this cell's result family."""
+        return f"{self.workload}-{self.topology}"
+
+
+def run_traffic_experiment(
+    spec: TrafficSpec,
+    *,
+    topology: str = "cbtc-opt",
+    node_count: int = 200,
+    alpha: float = ALPHA_DEFAULT,
+    seed_index: int = 0,
+    base_seed: int = 0,
+) -> TrafficExperimentResult:
+    """Place a network, build ``topology``, run ``spec`` over it, and report.
+
+    The placement and the traffic share one derived cell seed from
+    ``(base_seed, workload, seed index)`` — deliberately *not* the topology,
+    so every topology in a comparison crosses the same node placement with
+    the same flows and differences measure the topology, not sampling noise.
+    A cell remains a pure function of its arguments.
+    """
+    seed = derive_seed(base_seed, f"traffic:{spec.kind}:{seed_index}")
+    network = random_uniform_placement(scaled_placement(node_count), seed=seed)
+    graph = build_traffic_topology(network, topology, alpha)
+    run = run_traffic(network, graph, spec, seed)
+    degrees = [d for _, d in graph.degree()]
+    return TrafficExperimentResult(
+        workload=spec.kind,
+        topology=topology,
+        node_count=node_count,
+        alpha=alpha,
+        seed_index=seed_index,
+        seed=seed,
+        edge_count=graph.number_of_edges(),
+        average_degree=sum(degrees) / len(degrees) if degrees else 0.0,
+        spec=spec,
+        report=run.report,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Persistence and reporting
+# ---------------------------------------------------------------------- #
+def persist_result(result: TrafficExperimentResult, results_dir: Union[str, Path]) -> Path:
+    """Write one cell under ``results_dir/<workload>-<topology>/seed-<index>.json``."""
+    path = Path(results_dir) / result.label / f"seed-{result.seed_index:04d}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(results_to_json(result), encoding="utf-8")
+    return path
+
+
+def load_traffic_results(results_dir: Union[str, Path]) -> Dict[str, List[dict]]:
+    """Load persisted traffic cells grouped by ``<workload>-<topology>`` label.
+
+    Only directories whose files carry a traffic ``report`` are considered,
+    so a results directory shared with the scenario grid is filtered
+    correctly; unparseable files are skipped.
+    """
+    root = Path(results_dir)
+    grouped: Dict[str, List[dict]] = {}
+    if not root.is_dir():
+        return grouped
+    for family in sorted(path for path in root.iterdir() if path.is_dir()):
+        loaded = []
+        for path in sorted(family.glob("seed-*.json")):
+            try:
+                payload = read_json(path)
+            except (OSError, ValueError):
+                continue
+            if isinstance(payload, dict) and isinstance(payload.get("report"), dict):
+                loaded.append(payload)
+        if loaded:
+            grouped[family.name] = loaded
+    return grouped
+
+
+def _mean(values: Sequence[Optional[float]]) -> float:
+    """Mean over the non-``None`` entries (0.0 when nothing remains)."""
+    present = [value for value in values if value is not None]
+    return sum(present) / len(present) if present else 0.0
+
+
+@dataclass(frozen=True)
+class TrafficAggregate:
+    """Per-(workload, topology) aggregate over all persisted seeds."""
+
+    label: str
+    runs: int
+    offered: int
+    delivered: int
+    delivery_ratio: float
+    average_latency: float
+    average_hops: float
+    throughput_bits: float
+    energy_per_delivered_bit: float
+    battery_deaths: int
+
+
+def _aggregate(label: str, reports: Sequence[dict]) -> TrafficAggregate:
+    return TrafficAggregate(
+        label=label,
+        runs=len(reports),
+        offered=sum(r.get("offered_packets", 0) for r in reports),
+        delivered=sum(r.get("delivered_packets", 0) for r in reports),
+        delivery_ratio=_mean([r.get("delivery_ratio", 0.0) for r in reports]),
+        average_latency=_mean([r.get("average_latency", 0.0) for r in reports]),
+        average_hops=_mean([r.get("average_hops", 0.0) for r in reports]),
+        throughput_bits=_mean([r.get("throughput_bits", 0.0) for r in reports]),
+        energy_per_delivered_bit=_mean(
+            [
+                r.get("energy_per_delivered_bit", 0.0)
+                for r in reports
+                if isinstance(r.get("energy_per_delivered_bit"), (int, float))
+            ]
+        ),
+        battery_deaths=sum(r.get("battery_deaths", 0) for r in reports),
+    )
+
+
+def summarize_traffic(results_dir: Union[str, Path]) -> List[TrafficAggregate]:
+    """Aggregate a traffic results directory per label (sorted)."""
+    return [
+        _aggregate(label, [run["report"] for run in runs])
+        for label, runs in load_traffic_results(results_dir).items()
+    ]
+
+
+def aggregate_results(results: Sequence[TrafficExperimentResult]) -> List[TrafficAggregate]:
+    """Aggregate in-memory experiment cells per label (sorted).
+
+    This is what ``cbtc traffic run`` prints: only the cells the current
+    invocation produced, so stale files from earlier runs with different
+    parameters in the same directory never blend into the reported table
+    (``cbtc traffic report`` is the explicit whole-directory view).
+    """
+    grouped: Dict[str, List[dict]] = {}
+    for result in results:
+        grouped.setdefault(result.label, []).append(result.report.as_dict())
+    return [_aggregate(label, grouped[label]) for label in sorted(grouped)]
+
+
+def format_traffic_report(aggregates: Sequence[TrafficAggregate]) -> str:
+    """Render traffic aggregates as the ``traffic report`` table."""
+    if not aggregates:
+        return "(no traffic results found)"
+    header = (
+        f"{'workload-topology':<26}{'runs':>5}{'offered':>9}{'delivered':>11}"
+        f"{'ratio':>7}{'latency':>9}{'hops':>6}{'thru b/t':>10}{'e/bit':>10}{'deaths':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for agg in aggregates:
+        energy_bit = (
+            f"{agg.energy_per_delivered_bit:>10.1f}"
+            if math.isfinite(agg.energy_per_delivered_bit)
+            else f"{'inf':>10}"
+        )
+        lines.append(
+            f"{agg.label:<26}{agg.runs:>5}{agg.offered:>9}{agg.delivered:>11}"
+            f"{agg.delivery_ratio:>7.2f}{agg.average_latency:>9.1f}{agg.average_hops:>6.1f}"
+            f"{agg.throughput_bits:>10.1f}{energy_bit}{agg.battery_deaths:>7}"
+        )
+    return "\n".join(lines)
+
+
+def compare_topologies(
+    spec: TrafficSpec,
+    *,
+    topologies: Sequence[str] = ("cbtc-opt", "max-power", "mst"),
+    node_count: int = 200,
+    alpha: float = ALPHA_DEFAULT,
+    seeds: int = 1,
+    base_seed: int = 0,
+    results_dir: Optional[Union[str, Path]] = None,
+) -> List[TrafficExperimentResult]:
+    """Run ``spec`` over each topology (optionally persisting every cell)."""
+    results = []
+    for topology in topologies:
+        for index in range(seeds):
+            result = run_traffic_experiment(
+                spec,
+                topology=topology,
+                node_count=node_count,
+                alpha=alpha,
+                seed_index=index,
+                base_seed=base_seed,
+            )
+            if results_dir is not None:
+                persist_result(result, results_dir)
+            results.append(result)
+    return results

@@ -1,0 +1,283 @@
+"""Per-node packet forwarding on the discrete-event engine.
+
+Each node runs one :class:`TrafficProcess`: it originates the packets of the
+flows rooted at it, keeps a bounded FIFO queue of packets awaiting
+transmission, and forwards along the static per-flow route with stop-and-wait
+link-layer retransmission:
+
+* the head-of-queue packet is unicast to the flow's next hop at exactly the
+  power the link requires, and an acknowledgement timer is set;
+* the receiver acks every accepted (or already-seen) data packet with the
+  power estimated from the reception report — never from coordinates it
+  cannot know;
+* a receiver whose queue is full stays silent, so the sender's timer fires
+  and the packet is retried (congestion backpressure), up to the spec's
+  retransmission cap;
+* transmission energy is charged by the engine to the run's
+  :class:`~repro.net.energy.EnergyLedger`; a node that exhausts a finite
+  battery crashes on the spot, which is how network lifetime is measured.
+
+The process is deterministic: no RNG, and all shared mutable state (the
+statistics, the routing plan, the ledger) is owned by the single-threaded
+simulation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Set, Tuple
+
+from repro.net.energy import EnergyLedger
+from repro.net.network import Network
+from repro.net.node import NodeId
+from repro.sim.messages import Message
+from repro.sim.process import DeliveryInfo, NodeProcess, ProtocolContext
+from repro.traffic.metrics import TrafficStats
+from repro.traffic.spec import Flow, TrafficSpec
+
+DATA = "data"
+ACK = "ack"
+
+_GEN = "gen"
+_TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class _Packet:
+    """One packet as it sits in a queue."""
+
+    flow: int
+    seq: int
+    source: NodeId
+    destination: NodeId
+    created: float
+    hops: int
+
+
+@dataclass
+class RoutingPlan:
+    """Static per-flow routes plus per-link transmit powers.
+
+    ``next_hop[u][flow_id]`` is where ``u`` forwards packets of ``flow_id``;
+    ``link_power[(u, v)]`` is the (clamped) power ``u`` uses to reach ``v``;
+    ``unroutable`` lists flows whose endpoints the topology does not connect.
+    """
+
+    next_hop: Dict[NodeId, Dict[int, NodeId]] = field(default_factory=dict)
+    link_power: Dict[Tuple[NodeId, NodeId], float] = field(default_factory=dict)
+    unroutable: Set[int] = field(default_factory=set)
+    path_hops: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class TrafficRuntime:
+    """Everything one run's processes share: spec, plan, stats, energy, world."""
+
+    spec: TrafficSpec
+    plan: RoutingPlan
+    stats: TrafficStats
+    ledger: EnergyLedger
+    network: Network
+
+
+class TrafficProcess(NodeProcess):
+    """The per-node generator + forwarder."""
+
+    def __init__(self, node_id: NodeId, runtime: TrafficRuntime, flows: Tuple[Flow, ...]) -> None:
+        super().__init__(node_id)
+        self.runtime = runtime
+        self._origin_flows = tuple(f for f in flows if f.source == node_id)
+        self._queue: Deque[_Packet] = deque()
+        self._pending: Optional[_Packet] = None
+        self._attempts = 0
+        self._seen: Set[Tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------ #
+    # Engine callbacks
+    # ------------------------------------------------------------------ #
+    def on_start(self, ctx: ProtocolContext) -> None:
+        for flow in self._origin_flows:
+            for seq in range(flow.packets):
+                ctx.set_timer(flow.start + seq * flow.interval, (_GEN, flow.flow_id, seq))
+
+    def on_timer(self, ctx: ProtocolContext, tag) -> None:
+        kind = tag[0]
+        if kind == _GEN:
+            self._generate(ctx, flow_id=tag[1], seq=tag[2])
+        elif kind == _TIMEOUT:
+            self._handle_timeout(ctx, flow_id=tag[1], seq=tag[2], attempt=tag[3])
+
+    def on_message(self, ctx: ProtocolContext, message: Message, info: DeliveryInfo) -> None:
+        if message.kind == DATA:
+            self._handle_data(ctx, message, info)
+        elif message.kind == ACK:
+            self._handle_ack(ctx, message)
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+    def _generate(self, ctx: ProtocolContext, *, flow_id: int, seq: int) -> None:
+        runtime = self.runtime
+        flow = next(f for f in self._origin_flows if f.flow_id == flow_id)
+        runtime.stats.offered += 1
+        if flow_id in runtime.plan.unroutable:
+            runtime.stats.record_no_route((flow_id, seq))
+            return
+        if len(self._queue) >= runtime.spec.queue_capacity:
+            runtime.stats.record_queue_drop((flow_id, seq))
+            return
+        self._queue.append(
+            _Packet(
+                flow=flow_id,
+                seq=seq,
+                source=self.node_id,
+                destination=flow.destination,
+                created=ctx.now,
+                hops=0,
+            )
+        )
+        self._service(ctx)
+
+    # ------------------------------------------------------------------ #
+    # Queue service and link-layer retransmission
+    # ------------------------------------------------------------------ #
+    def _service(self, ctx: ProtocolContext) -> None:
+        if self._pending is not None or not self._queue:
+            return
+        self._pending = self._queue.popleft()
+        self._attempts = 0
+        self._transmit(ctx)
+
+    def _transmit(self, ctx: ProtocolContext) -> None:
+        runtime = self.runtime
+        packet = self._pending
+        if packet is None:
+            return
+        if not self._battery_allows(ctx):
+            return
+        next_hop = runtime.plan.next_hop.get(self.node_id, {}).get(packet.flow)
+        if next_hop is None:
+            # The route evaporated (only possible for packets enqueued before
+            # a plan change); account it as unroutable rather than losing it.
+            runtime.stats.record_no_route((packet.flow, packet.seq))
+            self._pending = None
+            self._service(ctx)
+            return
+        self._attempts += 1
+        power = runtime.plan.link_power[(self.node_id, next_hop)]
+        ctx.send(
+            power,
+            Message(
+                DATA,
+                {
+                    "flow": packet.flow,
+                    "seq": packet.seq,
+                    "src": packet.source,
+                    "dst": packet.destination,
+                    "created": packet.created,
+                    "hops": packet.hops,
+                },
+            ),
+            next_hop,
+        )
+        self._check_battery_after_transmit(ctx)
+        if self.runtime.network.node(self.node_id).alive:
+            ctx.set_timer(
+                runtime.spec.ack_timeout, (_TIMEOUT, packet.flow, packet.seq, self._attempts)
+            )
+
+    def _handle_timeout(self, ctx: ProtocolContext, *, flow_id: int, seq: int, attempt: int) -> None:
+        packet = self._pending
+        if packet is None or (packet.flow, packet.seq) != (flow_id, seq) or attempt != self._attempts:
+            return  # stale timer: the packet was acked or superseded
+        if self._attempts > self.runtime.spec.retransmit_limit:
+            self.runtime.stats.record_link_abandonment((packet.flow, packet.seq))
+            self._pending = None
+            self._service(ctx)
+            return
+        self._transmit(ctx)
+
+    # ------------------------------------------------------------------ #
+    # Reception
+    # ------------------------------------------------------------------ #
+    def _handle_data(self, ctx: ProtocolContext, message: Message, info: DeliveryInfo) -> None:
+        runtime = self.runtime
+        key = (message.get("flow"), message.get("seq"))
+        destination = message.get("dst")
+        if destination == self.node_id:
+            if key in self._seen:
+                runtime.stats.duplicate_receptions += 1
+            else:
+                self._seen.add(key)
+                runtime.stats.record_delivery(
+                    key, ctx.now - message.get("created"), message.get("hops") + 1
+                )
+            self._ack(ctx, key, info)
+            return
+        if key in self._seen:
+            # Already accepted (the previous ack was lost); re-ack, do not
+            # enqueue a duplicate.
+            runtime.stats.duplicate_receptions += 1
+            self._ack(ctx, key, info)
+            return
+        if len(self._queue) >= runtime.spec.queue_capacity:
+            # Stay silent: the sender's timeout models the backpressure.
+            runtime.stats.queue_rejections += 1
+            return
+        self._seen.add(key)
+        self._queue.append(
+            _Packet(
+                flow=key[0],
+                seq=key[1],
+                source=message.get("src"),
+                destination=destination,
+                created=message.get("created"),
+                hops=message.get("hops") + 1,
+            )
+        )
+        self._ack(ctx, key, info)
+        self._service(ctx)
+
+    def _ack(self, ctx: ProtocolContext, key: Tuple[int, int], info: DeliveryInfo) -> None:
+        if not self._battery_allows(ctx):
+            return
+        power = min(info.required_power, ctx.max_power)
+        ctx.send(power, Message(ACK, {"flow": key[0], "seq": key[1]}), info.sender)
+        self._check_battery_after_transmit(ctx)
+
+    def _handle_ack(self, ctx: ProtocolContext, message: Message) -> None:
+        packet = self._pending
+        if packet is None:
+            return
+        if (packet.flow, packet.seq) != (message.get("flow"), message.get("seq")):
+            return
+        self._pending = None
+        self._service(ctx)
+
+    # ------------------------------------------------------------------ #
+    # Batteries and lifetime
+    # ------------------------------------------------------------------ #
+    def _battery_allows(self, ctx: ProtocolContext) -> bool:
+        runtime = self.runtime
+        if not runtime.spec.finite_battery:
+            return True
+        if runtime.ledger.account(self.node_id).exhausted:
+            self._die(ctx)
+            return False
+        return True
+
+    def _check_battery_after_transmit(self, ctx: ProtocolContext) -> None:
+        runtime = self.runtime
+        if runtime.spec.finite_battery and runtime.ledger.account(self.node_id).exhausted:
+            self._die(ctx)
+
+    def _die(self, ctx: ProtocolContext) -> None:
+        node = self.runtime.network.node(self.node_id)
+        if node.alive:
+            node.crash()
+            self.runtime.stats.record_battery_death(self.node_id, ctx.now)
+        # Anything still held here is stranded; the report's accounting
+        # derives the count from the other counters.
+        self._queue.clear()
+        self._pending = None

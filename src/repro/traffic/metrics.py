@@ -1,0 +1,210 @@
+"""Traffic metrics: per-run statistics and the summary report.
+
+The forwarding processes accumulate raw events in a shared
+:class:`TrafficStats`; :func:`build_report` condenses them into the
+:class:`TrafficReport` of plain scalars that the scenario runner embeds in
+its per-epoch metrics and that the experiment harness persists as JSON.
+
+Packet accounting is by *terminal outcome*, keyed on the packet's global
+``(flow, seq)`` identity: every generated packet ends in exactly one of
+``delivered``, ``queue_drops`` (no room in the source's own queue),
+``no_route_drops`` (the flow's endpoints are disconnected in the topology),
+``retransmit_drops`` (the packet's only live copy was abandoned after the
+retransmission cap), or ``stranded`` (still queued or in flight at the
+run's horizon, including packets orphaned by a battery death).  The
+per-outcome map matters because link-layer events are ambiguous on their
+own: when an *ack* is lost, the upstream node retries and may eventually
+abandon its copy even though the downstream copy is still making progress —
+a delivery always supersedes an upstream abandonment, and raw link
+abandonments are reported separately as an event counter
+(``link_abandonments``) alongside downstream queue rejections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_DELIVERED = "delivered"
+_QUEUE = "queue"
+_NO_ROUTE = "no-route"
+_RETRANSMIT = "retransmit"
+
+
+@dataclass
+class TrafficStats:
+    """Mutable raw statistics shared by every forwarding process in one run."""
+
+    offered: int = 0
+    queue_rejections: int = 0
+    link_abandonments: int = 0
+    duplicate_receptions: int = 0
+    outcomes: Dict[Tuple[int, int], str] = field(default_factory=dict)
+    latencies: List[float] = field(default_factory=list)
+    hop_counts: List[int] = field(default_factory=list)
+    first_exhaustion_time: Optional[float] = None
+    battery_deaths: int = 0
+
+    def record_delivery(self, key: Tuple[int, int], latency: float, hops: int) -> None:
+        """One packet reached its final destination (supersedes any drop)."""
+        self.outcomes[key] = _DELIVERED
+        self.latencies.append(latency)
+        self.hop_counts.append(hops)
+
+    def record_queue_drop(self, key: Tuple[int, int]) -> None:
+        """A packet found no room in its source's own queue."""
+        self.outcomes.setdefault(key, _QUEUE)
+
+    def record_no_route(self, key: Tuple[int, int]) -> None:
+        """A packet's flow has no route in the topology."""
+        self.outcomes.setdefault(key, _NO_ROUTE)
+
+    def record_link_abandonment(self, key: Tuple[int, int]) -> None:
+        """A node gave up on a packet after the retransmission cap.
+
+        Counts the event unconditionally; the packet's terminal outcome only
+        becomes a retransmit drop if no copy of it is ever delivered.
+        """
+        self.link_abandonments += 1
+        if self.outcomes.get(key) != _DELIVERED:
+            self.outcomes[key] = _RETRANSMIT
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Terminal outcomes tallied per kind."""
+        counts = {_DELIVERED: 0, _QUEUE: 0, _NO_ROUTE: 0, _RETRANSMIT: 0}
+        for outcome in self.outcomes.values():
+            counts[outcome] += 1
+        return counts
+
+    def record_battery_death(self, node_id: int, time: float) -> None:
+        """A node exhausted its battery at ``time``."""
+        self.battery_deaths += 1
+        if self.first_exhaustion_time is None or time < self.first_exhaustion_time:
+            self.first_exhaustion_time = time
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """The summary of one packet-level traffic run (all plain scalars).
+
+    ``throughput_bits`` is delivered payload per unit simulation time over
+    the whole run; ``energy_per_delivered_bit`` charges *all* transmission
+    energy (data, acks, retransmissions) to the bits that actually arrived,
+    so it is infinite when nothing was delivered.  ``lifetime`` is the time
+    of the first battery exhaustion (``None`` with infinite batteries or
+    when every node survived).
+    """
+
+    offered_packets: int
+    delivered_packets: int
+    delivery_ratio: float
+    queue_drops: int
+    no_route_drops: int
+    retransmit_drops: int
+    stranded_packets: int
+    queue_rejections: int
+    link_abandonments: int
+    duplicate_receptions: int
+    data_transmissions: int
+    ack_transmissions: int
+    total_transmissions: int
+    average_latency: float
+    p95_latency: float
+    max_latency: float
+    average_hops: float
+    duration: float
+    delivered_bits: int
+    throughput_bits: float
+    total_energy: float
+    max_node_energy: float
+    energy_per_delivered_bit: float
+    battery_deaths: int
+    lifetime: Optional[float]
+
+    def as_dict(self) -> Dict[str, object]:
+        """The report as a plain dictionary (for tables and JSON)."""
+        return {
+            "offered_packets": self.offered_packets,
+            "delivered_packets": self.delivered_packets,
+            "delivery_ratio": self.delivery_ratio,
+            "queue_drops": self.queue_drops,
+            "no_route_drops": self.no_route_drops,
+            "retransmit_drops": self.retransmit_drops,
+            "stranded_packets": self.stranded_packets,
+            "queue_rejections": self.queue_rejections,
+            "link_abandonments": self.link_abandonments,
+            "duplicate_receptions": self.duplicate_receptions,
+            "data_transmissions": self.data_transmissions,
+            "ack_transmissions": self.ack_transmissions,
+            "total_transmissions": self.total_transmissions,
+            "average_latency": self.average_latency,
+            "p95_latency": self.p95_latency,
+            "max_latency": self.max_latency,
+            "average_hops": self.average_hops,
+            "duration": self.duration,
+            "delivered_bits": self.delivered_bits,
+            "throughput_bits": self.throughput_bits,
+            "total_energy": self.total_energy,
+            "max_node_energy": self.max_node_energy,
+            "energy_per_delivered_bit": self.energy_per_delivered_bit,
+            "battery_deaths": self.battery_deaths,
+            "lifetime": self.lifetime,
+        }
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def build_report(
+    stats: TrafficStats,
+    *,
+    packet_size_bits: int,
+    duration: float,
+    data_transmissions: int,
+    ack_transmissions: int,
+    total_energy: float,
+    max_node_energy: float,
+) -> TrafficReport:
+    """Condense raw statistics plus engine totals into a :class:`TrafficReport`."""
+    counts = stats.outcome_counts()
+    delivered = counts[_DELIVERED]
+    accounted = delivered + counts[_QUEUE] + counts[_NO_ROUTE] + counts[_RETRANSMIT]
+    stranded = max(stats.offered - accounted, 0)
+    latencies = sorted(stats.latencies)
+    delivered_bits = delivered * packet_size_bits
+    return TrafficReport(
+        offered_packets=stats.offered,
+        delivered_packets=delivered,
+        delivery_ratio=delivered / stats.offered if stats.offered else 0.0,
+        queue_drops=counts[_QUEUE],
+        no_route_drops=counts[_NO_ROUTE],
+        retransmit_drops=counts[_RETRANSMIT],
+        stranded_packets=stranded,
+        queue_rejections=stats.queue_rejections,
+        link_abandonments=stats.link_abandonments,
+        duplicate_receptions=stats.duplicate_receptions,
+        data_transmissions=data_transmissions,
+        ack_transmissions=ack_transmissions,
+        total_transmissions=data_transmissions + ack_transmissions,
+        average_latency=sum(latencies) / len(latencies) if latencies else 0.0,
+        p95_latency=_percentile(latencies, 0.95),
+        max_latency=latencies[-1] if latencies else 0.0,
+        average_hops=(
+            sum(stats.hop_counts) / len(stats.hop_counts) if stats.hop_counts else 0.0
+        ),
+        duration=duration,
+        delivered_bits=delivered_bits,
+        throughput_bits=delivered_bits / duration if duration > 0 else 0.0,
+        total_energy=total_energy,
+        max_node_energy=max_node_energy,
+        energy_per_delivered_bit=(
+            total_energy / delivered_bits if delivered_bits else float("inf")
+        ),
+        battery_deaths=stats.battery_deaths,
+        lifetime=stats.first_exhaustion_time,
+    )

@@ -1,0 +1,207 @@
+"""Declarative traffic workload specifications.
+
+A :class:`TrafficSpec` describes one packet-level workload as plain frozen
+data — no live objects — so it is picklable (the parallel experiment runner
+ships it to workers inside a :class:`~repro.scenarios.spec.ScenarioSpec`),
+serializable through :mod:`repro.io.results`, and cacheable.  Like scenario
+specs, every stochastic component derives its seed from the single per-run
+``seed`` via :func:`repro.sim.randomness.derive_seed` with a CRC32-stable
+component label, so the same ``(spec, seed)`` pair generates the same flows
+in any process.
+
+Four workload kinds cover the Section 6 concerns:
+
+* ``cbr`` — ``flow_count`` constant-bit-rate flows between random distinct
+  pairs, each emitting ``packets_per_flow`` packets every
+  ``packet_interval`` time units (starts staggered across one interval);
+* ``hotspot`` — data collection: every flow sinks at the node nearest the
+  deployment's centroid, the convergecast pattern that concentrates load
+  and drains the hot spot's battery;
+* ``uniform`` — ``flow_count * packets_per_flow`` independent single-packet
+  flows between uniformly random pairs, spread over the nominal duration;
+* ``burst`` — a flash crowd: the same pair structure as ``cbr`` but every
+  flow starts within ``burst_window`` time units, hammering the network at
+  once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.geometry.points import centroid
+from repro.net.network import Network
+from repro.sim.randomness import SeededRandom, derive_seed
+
+CBR = "cbr"
+HOTSPOT = "hotspot"
+UNIFORM = "uniform"
+BURST = "burst"
+
+WORKLOAD_KINDS = (CBR, HOTSPOT, UNIFORM, BURST)
+
+MIN_HOP = "min-hop"
+MIN_POWER = "min-power"
+
+ROUTING_POLICIES = (MIN_HOP, MIN_POWER)
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One unidirectional packet flow."""
+
+    flow_id: int
+    source: int
+    destination: int
+    start: float
+    interval: float
+    packets: int
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """A complete declarative traffic workload plus forwarding configuration.
+
+    Forwarding parameters: every node runs a bounded FIFO queue of
+    ``queue_capacity`` packets with stop-and-wait link-layer retransmission
+    (a data packet is retried up to ``retransmit_limit`` times when its ack
+    does not arrive within ``ack_timeout``).  ``routing`` selects the
+    static per-flow route: ``"min-hop"`` minimizes hops, ``"min-power"``
+    minimizes total transmission power along the path (the natural policy
+    over a power-controlled topology).
+
+    ``battery_capacity`` bounds each node's transmission energy; a node
+    that exhausts it crashes mid-run (the network-lifetime measurement).
+    ``interference=True`` runs the workload over the SINR medium of
+    :class:`~repro.radio.interference.InterferenceModel` instead of a
+    reliable unit-delay channel.
+    """
+
+    kind: str = CBR
+    flow_count: int = 10
+    packets_per_flow: int = 10
+    packet_interval: float = 4.0
+    packet_size_bits: int = 1024
+    start_time: float = 0.0
+    burst_window: float = 2.0
+    routing: str = MIN_POWER
+    queue_capacity: int = 16
+    retransmit_limit: int = 3
+    ack_timeout: float = 4.0
+    battery_capacity: float = float("inf")
+    interference: bool = False
+    sinr_threshold: float = 2.0
+    noise_floor: float = 0.05
+    airtime: float = 1.0
+    link_delay: float = 1.0
+    horizon: float = 10_000.0
+    max_events: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(f"unknown workload kind {self.kind!r}; expected one of {WORKLOAD_KINDS}")
+        if self.routing not in ROUTING_POLICIES:
+            raise ValueError(f"unknown routing policy {self.routing!r}; expected one of {ROUTING_POLICIES}")
+        if self.flow_count < 0 or self.packets_per_flow < 1:
+            raise ValueError("flow_count must be >= 0 and packets_per_flow >= 1")
+        if self.packet_interval <= 0 or self.burst_window <= 0:
+            raise ValueError("packet_interval and burst_window must be positive")
+        if self.packet_size_bits < 1:
+            raise ValueError("packet_size_bits must be positive")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+        if self.retransmit_limit < 0:
+            raise ValueError("retransmit_limit must be non-negative")
+        if self.ack_timeout <= 0 or self.link_delay < 0:
+            raise ValueError("ack_timeout must be positive and link_delay non-negative")
+        if self.battery_capacity <= 0:
+            raise ValueError("battery_capacity must be positive")
+        if self.sinr_threshold <= 0 or self.noise_floor <= 0 or self.airtime <= 0:
+            raise ValueError("sinr_threshold, noise_floor and airtime must be positive")
+        if self.horizon <= 0 or self.max_events < 1:
+            raise ValueError("horizon and max_events must be positive")
+
+    @property
+    def finite_battery(self) -> bool:
+        """Whether batteries actually constrain the run."""
+        return math.isfinite(self.battery_capacity)
+
+    # ------------------------------------------------------------------ #
+    # Seeds and workload materialization
+    # ------------------------------------------------------------------ #
+    def component_seed(self, seed: int, component: str) -> int:
+        """The derived seed of one stochastic component of this workload."""
+        return derive_seed(seed, f"traffic:{self.kind}:{component}")
+
+    def build_flows(self, network: Network, seed: int) -> Tuple[Flow, ...]:
+        """Generate the flow list for ``network``'s alive population.
+
+        Deterministic in ``(self, network geometry, seed)``; fewer than two
+        alive nodes yield an empty workload.
+        """
+        nodes = sorted(node.node_id for node in network.alive_nodes())
+        if len(nodes) < 2 or self.flow_count == 0:
+            return ()
+        rng = SeededRandom(self.component_seed(seed, "workload"))
+        if self.kind == UNIFORM:
+            return self._uniform_flows(nodes, rng)
+        if self.kind == HOTSPOT:
+            return self._hotspot_flows(network, nodes, rng)
+        return self._paired_flows(nodes, rng)
+
+    def _paired_flows(self, nodes: List[int], rng: SeededRandom) -> Tuple[Flow, ...]:
+        """The ``cbr`` and ``burst`` kinds: persistent random pairs."""
+        window = self.burst_window if self.kind == BURST else self.packet_interval
+        flows = []
+        for flow_id in range(self.flow_count):
+            source, destination = rng.sample(nodes, 2)
+            flows.append(
+                Flow(
+                    flow_id=flow_id,
+                    source=source,
+                    destination=destination,
+                    start=self.start_time + rng.uniform(0.0, window),
+                    interval=self.packet_interval,
+                    packets=self.packets_per_flow,
+                )
+            )
+        return tuple(flows)
+
+    def _hotspot_flows(self, network: Network, nodes: List[int], rng: SeededRandom) -> Tuple[Flow, ...]:
+        """Convergecast: every flow sinks at the node nearest the centroid."""
+        positions = [network.node(node_id).position for node_id in nodes]
+        center = centroid(positions)
+        sink = min(nodes, key=lambda n: (network.node(n).position.distance_to(center), n))
+        sources = [node_id for node_id in nodes if node_id != sink]
+        flows = []
+        for flow_id in range(self.flow_count):
+            flows.append(
+                Flow(
+                    flow_id=flow_id,
+                    source=rng.choice(sources),
+                    destination=sink,
+                    start=self.start_time + rng.uniform(0.0, self.packet_interval),
+                    interval=self.packet_interval,
+                    packets=self.packets_per_flow,
+                )
+            )
+        return tuple(flows)
+
+    def _uniform_flows(self, nodes: List[int], rng: SeededRandom) -> Tuple[Flow, ...]:
+        """Independent single-packet flows spread over the nominal duration."""
+        duration = self.packets_per_flow * self.packet_interval
+        flows = []
+        for flow_id in range(self.flow_count * self.packets_per_flow):
+            source, destination = rng.sample(nodes, 2)
+            flows.append(
+                Flow(
+                    flow_id=flow_id,
+                    source=source,
+                    destination=destination,
+                    start=self.start_time + rng.uniform(0.0, duration),
+                    interval=self.packet_interval,
+                    packets=1,
+                )
+            )
+        return tuple(flows)

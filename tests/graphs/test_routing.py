@@ -7,12 +7,14 @@ import pytest
 
 from repro.core.pipeline import OptimizationConfig, build_topology
 from repro.geometry import Point
+from repro.graphs import routing
 from repro.graphs.routing import (
     congestion_report,
     edge_congestion,
     node_forwarding_load,
 )
 from repro.net.network import Network
+from repro.net.placement import PlacementConfig, random_uniform_placement
 from repro.radio import PathLossModel, PowerModel
 
 
@@ -85,6 +87,35 @@ class TestCongestionReport:
         assert report.routed_pairs == 0
         assert report.max_edge_congestion == 0.0
 
+    def test_single_node_graph(self):
+        power_model = PowerModel(propagation=PathLossModel(), max_range=1.0)
+        network = Network.from_points([Point(0.0, 0.0)], power_model=power_model)
+        graph = nx.Graph()
+        graph.add_node(0)
+        report = congestion_report(graph, network)
+        assert report.routed_pairs == 0
+        assert report.average_hop_count == 0.0
+        assert edge_congestion(graph, network) == {}
+        assert node_forwarding_load(graph, network) == {0: 0.0}
+
+    def test_disconnected_graph_routes_fewer_pairs(self, path_network):
+        # Two components of two nodes each: only the 2 intra-component pairs
+        # route (versus 6 for the connected path).
+        graph = nx.Graph()
+        graph.add_nodes_from(path_network.node_ids)
+        graph.add_edges_from([(0, 1), (2, 3)])
+        report = congestion_report(graph, path_network)
+        assert report.routed_pairs == 2
+        assert report.average_hop_count == 1.0
+        assert report.max_edge_congestion == pytest.approx(1 / 2)
+
+    def test_isolated_nodes_route_zero_pairs(self, path_network):
+        # Nodes but no edges: zero routed pairs must not divide by zero.
+        graph = nx.Graph()
+        graph.add_nodes_from(path_network.node_ids)
+        assert congestion_report(graph, path_network).routed_pairs == 0
+        assert all(value == 0.0 for value in node_forwarding_load(graph, path_network).values())
+
     def test_topology_control_increases_hops_and_congestion(self, small_random_network):
         # The Section 6 discussion: removing edges lengthens routes and
         # concentrates load.  Quantified: the fully optimized topology has
@@ -98,3 +129,72 @@ class TestCongestionReport:
         assert sparse.average_hop_count > dense.average_hop_count
         assert sparse.max_edge_congestion >= dense.max_edge_congestion
         assert sparse.routed_pairs == dense.routed_pairs
+
+
+class TestSampledPairsMode:
+    @pytest.fixture
+    def bigger_world(self):
+        network = random_uniform_placement(PlacementConfig(node_count=60), seed=4)
+        graph = build_topology(network, 5 * math.pi / 6).graph
+        return network, graph
+
+    def test_exact_mode_is_pinned_byte_identical(self, bigger_world):
+        # sample_pairs=0 must take exactly the historic all-pairs code path;
+        # so must the small-graph default.
+        network, graph = bigger_world
+        default = congestion_report(graph, network)
+        forced_exact = congestion_report(graph, network, sample_pairs=0)
+        assert default == forced_exact
+        n = graph.number_of_nodes()
+        oversampled = congestion_report(graph, network, sample_pairs=n * (n - 1) // 2)
+        assert oversampled == default
+
+    def test_sampled_mode_routes_at_most_k_pairs(self, bigger_world):
+        network, graph = bigger_world
+        report = congestion_report(graph, network, sample_pairs=40)
+        assert 0 < report.routed_pairs <= 40
+
+    def test_sampled_mode_is_seeded(self, bigger_world):
+        network, graph = bigger_world
+        first = congestion_report(graph, network, sample_pairs=40, seed=1)
+        again = congestion_report(graph, network, sample_pairs=40, seed=1)
+        other = congestion_report(graph, network, sample_pairs=40, seed=2)
+        assert first == again
+        assert first != other
+
+    def test_sampled_estimates_track_exact_values(self, bigger_world):
+        network, graph = bigger_world
+        exact = congestion_report(graph, network)
+        sampled = congestion_report(graph, network, sample_pairs=600, seed=0)
+        assert sampled.average_hop_count == pytest.approx(exact.average_hop_count, rel=0.35)
+        assert sampled.max_forwarding_load == pytest.approx(exact.max_forwarding_load, rel=0.6)
+
+    def test_large_graphs_sample_automatically(self, bigger_world, monkeypatch):
+        network, graph = bigger_world
+        monkeypatch.setattr(routing, "AUTO_SAMPLE_NODE_THRESHOLD", 10)
+        monkeypatch.setattr(routing, "DEFAULT_SAMPLE_PAIRS", 50)
+        report = congestion_report(graph, network)
+        assert report.routed_pairs <= 50
+
+    def test_negative_sample_pairs_rejected(self, bigger_world):
+        network, graph = bigger_world
+        with pytest.raises(ValueError):
+            congestion_report(graph, network, sample_pairs=-1)
+
+    def test_edge_and_node_functions_accept_sampling(self, bigger_world):
+        network, graph = bigger_world
+        congestion = edge_congestion(graph, network, sample_pairs=30, seed=3)
+        load = node_forwarding_load(graph, network, sample_pairs=30, seed=3)
+        assert set(congestion) == {tuple(sorted(edge)) for edge in graph.edges}
+        assert set(load) == set(graph.nodes)
+        assert any(value > 0 for value in congestion.values())
+
+    def test_sample_spreads_across_many_sources(self, bigger_world):
+        network, graph = bigger_world
+        sources = {
+            source
+            for source, _, _ in routing._sampled_pairs_paths(graph, network, 2.0, 50, seed=0)
+        }
+        # 50 pairs with ~sqrt(50) targets per source must touch >= 5 trees,
+        # not collapse onto the 1-2 that would suffice to contain them.
+        assert len(sources) >= 5

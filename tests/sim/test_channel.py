@@ -66,3 +66,79 @@ class TestDuplicatingChannel:
             DuplicatingChannel(duplicate_probability=2.0)
         with pytest.raises(ValueError):
             DuplicatingChannel(base_delay=-1.0)
+
+
+class TestDistanceLossRamp:
+    def _plan_sequence(self, channel, distances):
+        envelope = Envelope(message=Message("x"), sender=0, transmit_power=1.0)
+        return [channel.plan_delivery(envelope, 1, d) for d in distances]
+
+    def test_lossy_default_ramp_keeps_stream_byte_identical(self):
+        # With the ramp off (the default), outcomes must not depend on
+        # distance at all: same seed, wildly different distances, same plans.
+        distances_a = [0.0, 10.0, 250.0, 499.0]
+        distances_b = [499.0, 250.0, 10.0, 0.0]
+        plans_a = self._plan_sequence(LossyChannel(loss_probability=0.4, seed=9), distances_a)
+        plans_b = self._plan_sequence(LossyChannel(loss_probability=0.4, seed=9), distances_b)
+        assert plans_a == plans_b
+
+    def test_lossy_ramp_increases_loss_with_distance(self):
+        near_losses = sum(
+            1
+            for plan in self._plan_sequence(
+                LossyChannel(loss_probability=0.0, distance_loss_ramp=0.9, ramp_range=100.0, seed=1),
+                [1.0] * 400,
+            )
+            if not plan
+        )
+        far_losses = sum(
+            1
+            for plan in self._plan_sequence(
+                LossyChannel(loss_probability=0.0, distance_loss_ramp=0.9, ramp_range=100.0, seed=1),
+                [100.0] * 400,
+            )
+            if not plan
+        )
+        assert near_losses < 30  # ~0.9% loss at distance 1
+        assert 310 < far_losses < 410  # ~90% loss at the full ramp
+
+    def test_lossy_ramp_saturates_beyond_ramp_range(self):
+        channel = LossyChannel(loss_probability=0.5, distance_loss_ramp=0.2, ramp_range=100.0)
+        assert channel._effective_loss(100.0) == channel._effective_loss(1e9)
+        assert channel._effective_loss(0.0) == 0.5
+
+    def test_lossy_ramp_never_reaches_certainty(self):
+        channel = LossyChannel(loss_probability=0.9, distance_loss_ramp=0.9, ramp_range=10.0)
+        assert channel._effective_loss(1e6) < 1.0
+
+    def test_duplicating_default_ramp_keeps_stream_byte_identical(self):
+        distances_a = [0.0, 10.0, 250.0, 499.0]
+        distances_b = [499.0, 250.0, 10.0, 0.0]
+        plans_a = self._plan_sequence(
+            DuplicatingChannel(duplicate_probability=0.5, seed=9), distances_a
+        )
+        plans_b = self._plan_sequence(
+            DuplicatingChannel(duplicate_probability=0.5, seed=9), distances_b
+        )
+        assert plans_a == plans_b
+
+    def test_duplicating_ramp_can_drop_far_deliveries(self):
+        channel = DuplicatingChannel(
+            duplicate_probability=0.0, distance_loss_ramp=0.95, ramp_range=100.0, seed=2
+        )
+        losses = sum(1 for plan in self._plan_sequence(channel, [100.0] * 300) if not plan)
+        assert losses > 230  # ~95% loss at the full ramp
+
+    def test_negative_ramp_rejected(self):
+        with pytest.raises(ValueError):
+            LossyChannel(distance_loss_ramp=-0.1)
+        with pytest.raises(ValueError):
+            DuplicatingChannel(ramp_range=0.0)
+
+    def test_ramped_loss_helper_contract(self):
+        from repro.sim.channel import _ramped_loss
+
+        assert _ramped_loss(0.3, 0.0, 100.0, 1e9) == 0.3  # ramp off: base exactly
+        assert _ramped_loss(0.0, 1.0, 100.0, 1e9) < 1.0  # never certainty
+        assert _ramped_loss(0.0, 0.5, 100.0, 50.0) == pytest.approx(0.25)
+        assert _ramped_loss(0.0, 0.5, 100.0, -5.0) == 0.0  # clamped at zero distance

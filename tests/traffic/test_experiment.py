@@ -1,0 +1,168 @@
+"""Tests for the traffic experiment harness and its scenario/grid wiring."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.runner import format_report, run_grid, summarize_grid
+from repro.io.results import results_to_json
+from repro.scenarios.spec import MobilitySpec, PlacementSpec, ScenarioSpec
+from repro.traffic.experiment import (
+    aggregate_results,
+    build_traffic_topology,
+    compare_topologies,
+    format_traffic_report,
+    load_traffic_results,
+    run_traffic_experiment,
+    summarize_traffic,
+)
+from repro.traffic.spec import TrafficSpec
+
+
+@pytest.fixture
+def tiny_spec():
+    return TrafficSpec(kind="cbr", flow_count=3, packets_per_flow=2)
+
+
+class TestExperiment:
+    def test_unknown_topology_rejected(self, tiny_spec):
+        with pytest.raises(ValueError):
+            run_traffic_experiment(tiny_spec, topology="steiner-tree", node_count=15)
+
+    def test_experiment_cell_is_deterministic(self, tiny_spec):
+        first = run_traffic_experiment(tiny_spec, topology="mst", node_count=20, seed_index=1)
+        second = run_traffic_experiment(tiny_spec, topology="mst", node_count=20, seed_index=1)
+        assert results_to_json(first) == results_to_json(second)
+
+    def test_compare_topologies_persists_cells(self, tiny_spec, tmp_path):
+        results = compare_topologies(
+            tiny_spec,
+            topologies=("cbtc-opt", "max-power"),
+            node_count=20,
+            seeds=2,
+            results_dir=tmp_path,
+        )
+        assert len(results) == 4
+        assert (tmp_path / "cbr-cbtc-opt" / "seed-0000.json").is_file()
+        assert (tmp_path / "cbr-max-power" / "seed-0001.json").is_file()
+        loaded = load_traffic_results(tmp_path)
+        assert set(loaded) == {"cbr-cbtc-opt", "cbr-max-power"}
+        aggregates = summarize_traffic(tmp_path)
+        assert {agg.label for agg in aggregates} == set(loaded)
+        table = format_traffic_report(aggregates)
+        assert "cbr-cbtc-opt" in table and "ratio" in table
+
+    def test_topologies_share_placement_and_workload(self, tiny_spec):
+        # The comparison must measure the topology, not sampling noise: for
+        # one seed index every topology crosses the same placement with the
+        # same flows (same derived cell seed, same offered packets).
+        mst = run_traffic_experiment(tiny_spec, topology="mst", node_count=20, seed_index=0)
+        dense = run_traffic_experiment(tiny_spec, topology="max-power", node_count=20, seed_index=0)
+        assert mst.seed == dense.seed
+        assert mst.report.offered_packets == dense.report.offered_packets
+
+    def test_cbtc_is_sparser_than_max_power(self, tiny_spec):
+        cbtc = run_traffic_experiment(tiny_spec, topology="cbtc-opt", node_count=40)
+        dense = run_traffic_experiment(tiny_spec, topology="max-power", node_count=40)
+        assert cbtc.edge_count < dense.edge_count
+        assert cbtc.average_degree < dense.average_degree
+
+    def test_empty_results_dir_summarizes_empty(self, tmp_path):
+        assert summarize_traffic(tmp_path) == []
+        assert format_traffic_report([]) == "(no traffic results found)"
+
+    def test_aggregate_results_covers_only_given_cells(self, tiny_spec, tmp_path):
+        # Stale files from an earlier differently-parameterized run share the
+        # directory, but the in-memory aggregation only sees this run.
+        compare_topologies(tiny_spec, topologies=("mst",), node_count=20, seeds=2, results_dir=tmp_path)
+        fresh = compare_topologies(
+            tiny_spec, topologies=("mst",), node_count=15, seeds=1, results_dir=tmp_path
+        )
+        aggregates = aggregate_results(fresh)
+        assert len(aggregates) == 1
+        assert aggregates[0].runs == 1
+        assert aggregates[0].offered == fresh[0].report.offered_packets
+        # ...while the directory view still blends both (2 files remain).
+        assert summarize_traffic(tmp_path)[0].runs == 2
+
+
+class TestTrafficCli:
+    def test_traffic_run_and_report(self, capsys, tmp_path):
+        argv = [
+            "traffic",
+            "run",
+            "--workload",
+            "cbr",
+            "--topology",
+            "mst",
+            "--nodes",
+            "20",
+            "--flows",
+            "3",
+            "--packets",
+            "2",
+            "--results-dir",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cbr-mst" in out
+        assert main(["traffic", "report", "--results-dir", str(tmp_path)]) == 0
+        assert "cbr-mst" in capsys.readouterr().out
+
+    def test_traffic_report_empty_dir_is_friendly(self, capsys, tmp_path):
+        assert main(["traffic", "report", "--results-dir", str(tmp_path / "nope")]) == 1
+        err = capsys.readouterr().err
+        assert "no traffic results" in err
+
+    def test_scenarios_report_empty_dir_is_friendly(self, capsys, tmp_path):
+        assert main(["scenarios", "report", "--results-dir", str(tmp_path / "nope")]) == 1
+        err = capsys.readouterr().err
+        assert "no scenario results" in err
+        assert "Traceback" not in err
+
+
+def traffic_scenario(name="traffic-grid-test"):
+    return ScenarioSpec(
+        name=name,
+        placement=PlacementSpec(kind="uniform", node_count=25),
+        mobility=MobilitySpec(kind="stationary"),
+        traffic=TrafficSpec(kind="hotspot", flow_count=3, packets_per_flow=2),
+        epochs=2,
+        steps_per_epoch=1,
+    )
+
+
+class TestScenarioTrafficWiring:
+    def test_grid_persists_traffic_and_serial_parallel_match(self, tmp_path):
+        spec = traffic_scenario()
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        run_grid([spec], seeds=2, workers=1, results_dir=serial_dir)
+        run_grid([spec], seeds=2, workers=2, results_dir=parallel_dir)
+        for index in range(2):
+            name = f"seed-{index:04d}.json"
+            serial_bytes = (serial_dir / spec.name / name).read_bytes()
+            parallel_bytes = (parallel_dir / spec.name / name).read_bytes()
+            assert serial_bytes == parallel_bytes
+            payload = json.loads(serial_bytes)
+            assert payload["epochs"][0]["traffic"]["offered_packets"] > 0
+            assert payload["summary"]["mean_delivery_ratio"] is not None
+
+    def test_report_table_grows_delivery_column(self, tmp_path):
+        run_grid([traffic_scenario()], seeds=1, workers=1, results_dir=tmp_path)
+        aggregates = summarize_grid(tmp_path)
+        assert aggregates[0].mean_delivery_ratio is not None
+        table = format_report(aggregates)
+        assert "delivery" in table
+
+    def test_traffic_free_report_table_unchanged(self, tmp_path):
+        plain = ScenarioSpec(
+            name="no-traffic-test",
+            placement=PlacementSpec(kind="uniform", node_count=15),
+            epochs=1,
+        )
+        run_grid([plain], seeds=1, workers=1, results_dir=tmp_path)
+        table = format_report(summarize_grid(tmp_path))
+        assert "delivery" not in table

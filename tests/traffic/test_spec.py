@@ -1,0 +1,96 @@
+"""Tests for traffic workload specifications (repro.traffic.spec)."""
+
+import pickle
+
+import pytest
+
+from repro.net.placement import PlacementConfig, random_uniform_placement
+from repro.traffic.spec import BURST, CBR, HOTSPOT, UNIFORM, Flow, TrafficSpec
+
+
+@pytest.fixture
+def network():
+    return random_uniform_placement(PlacementConfig(node_count=30), seed=7)
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(kind="torrent")
+
+    def test_unknown_routing_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(routing="shortest-widest")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"packets_per_flow": 0},
+            {"packet_interval": 0.0},
+            {"queue_capacity": 0},
+            {"retransmit_limit": -1},
+            {"ack_timeout": 0.0},
+            {"battery_capacity": 0.0},
+            {"noise_floor": 0.0},
+            {"sinr_threshold": -1.0},
+            {"horizon": 0.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TrafficSpec(**kwargs)
+
+    def test_spec_is_picklable_and_hashable(self):
+        spec = TrafficSpec(kind=HOTSPOT, flow_count=3, interference=True)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert hash(spec) == hash(TrafficSpec(kind=HOTSPOT, flow_count=3, interference=True))
+
+
+class TestFlowGeneration:
+    def test_flows_replay_identically(self, network):
+        spec = TrafficSpec(kind=CBR, flow_count=8)
+        assert spec.build_flows(network, 5) == spec.build_flows(network, 5)
+        assert spec.build_flows(network, 5) != spec.build_flows(network, 6)
+
+    def test_component_seed_is_kind_dependent(self):
+        cbr = TrafficSpec(kind=CBR)
+        burst = TrafficSpec(kind=BURST)
+        assert cbr.component_seed(3, "workload") != burst.component_seed(3, "workload")
+        assert cbr.component_seed(3, "workload") == TrafficSpec(kind=CBR).component_seed(3, "workload")
+
+    def test_cbr_flow_shape(self, network):
+        spec = TrafficSpec(kind=CBR, flow_count=5, packets_per_flow=7, packet_interval=3.0)
+        flows = spec.build_flows(network, 0)
+        assert len(flows) == 5
+        for flow in flows:
+            assert flow.source != flow.destination
+            assert flow.packets == 7
+            assert flow.interval == 3.0
+            assert 0.0 <= flow.start <= 3.0
+
+    def test_hotspot_sinks_at_one_node(self, network):
+        spec = TrafficSpec(kind=HOTSPOT, flow_count=6)
+        flows = spec.build_flows(network, 0)
+        sinks = {flow.destination for flow in flows}
+        assert len(sinks) == 1
+        assert all(flow.source != flow.destination for flow in flows)
+
+    def test_uniform_generates_single_packet_flows(self, network):
+        spec = TrafficSpec(kind=UNIFORM, flow_count=4, packets_per_flow=3)
+        flows = spec.build_flows(network, 0)
+        assert len(flows) == 12
+        assert all(flow.packets == 1 for flow in flows)
+
+    def test_burst_starts_inside_window(self, network):
+        spec = TrafficSpec(kind=BURST, flow_count=10, burst_window=1.5, start_time=4.0)
+        flows = spec.build_flows(network, 0)
+        assert all(4.0 <= flow.start <= 5.5 for flow in flows)
+
+    def test_tiny_population_yields_no_flows(self):
+        lonely = random_uniform_placement(PlacementConfig(node_count=1), seed=0)
+        assert TrafficSpec().build_flows(lonely, 0) == ()
+
+    def test_flow_ids_are_unique(self, network):
+        flows = TrafficSpec(kind=UNIFORM, flow_count=3, packets_per_flow=4).build_flows(network, 1)
+        ids = [flow.flow_id for flow in flows]
+        assert len(ids) == len(set(ids))
