@@ -166,6 +166,7 @@ def _scenarios_run(args: argparse.Namespace) -> int:
             results_dir=args.results_dir,
             base_seed=args.base_seed,
             resume=not args.no_resume,
+            profile=args.profile,
         )
     except ValueError as error:
         # Bad grid parameters (--seeds 0) or a results-dir spec conflict.
@@ -296,6 +297,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--nodes", type=int, default=None, help="override every scenario's node count")
     run.add_argument("--epochs", type=int, default=None, help="override every scenario's epoch count")
     run.add_argument("--no-resume", action="store_true", help="recompute even if results are cached")
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-phase (churn/mobility/rebuild/traffic/measure) wall-clock "
+        "timings into each epoch of the result JSON (implies recompute)",
+    )
     run.set_defaults(func=_scenarios_run)
 
     report = scenario_commands.add_parser("report", help="aggregate a results directory")

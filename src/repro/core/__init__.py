@@ -40,12 +40,14 @@ from repro.core.topology import (
 )
 from repro.core.optimizations import (
     shrink_back,
+    shrink_back_node,
     asymmetric_edge_removal,
     pairwise_edge_removal,
     redundant_edges,
     edge_id,
 )
-from repro.core.pipeline import build_topology, OptimizationConfig
+from repro.core.pipeline import build_topology, update_topology, OptimizationConfig
+from repro.core.incremental import IncrementalTopologyBuilder
 from repro.core.counterexamples import (
     asymmetry_example,
     disconnection_example,
@@ -54,6 +56,7 @@ from repro.core.counterexamples import (
 )
 from repro.core.analysis import (
     preserves_connectivity,
+    preserves_max_power_connectivity,
     connectivity_report,
     ConnectivityReport,
     power_stretch_factor,
@@ -83,17 +86,21 @@ __all__ = [
     "symmetric_subset_graph",
     "topology_from_outcome",
     "shrink_back",
+    "shrink_back_node",
     "asymmetric_edge_removal",
     "pairwise_edge_removal",
     "redundant_edges",
     "edge_id",
     "build_topology",
+    "update_topology",
+    "IncrementalTopologyBuilder",
     "OptimizationConfig",
     "asymmetry_example",
     "disconnection_example",
     "AsymmetryExample",
     "DisconnectionExample",
     "preserves_connectivity",
+    "preserves_max_power_connectivity",
     "connectivity_report",
     "ConnectivityReport",
     "power_stretch_factor",

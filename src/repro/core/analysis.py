@@ -56,6 +56,40 @@ def preserves_connectivity(reference: nx.Graph, candidate: nx.Graph) -> bool:
     return same_connectivity(reference, candidate)
 
 
+def _partition_labels(items, edges) -> Dict:
+    """Each item mapped to the smallest member of its connected block."""
+    forest = nx.utils.UnionFind(items)
+    for u, v in edges:
+        forest.union(u, v)
+    labels: Dict = {}
+    for block in forest.to_sets():
+        representative = min(block)
+        for item in block:
+            labels[item] = representative
+    return labels
+
+
+def preserves_max_power_connectivity(network: "Network", candidate: nx.Graph) -> bool:
+    """Same boolean as ``preserves_connectivity(network.max_power_graph(), g)``
+    without materializing ``G_R`` as a graph object.
+
+    ``G_R``'s components are computed with a union-find straight off the
+    spatial index's ``pairs_within(max_range)`` enumeration (the identical
+    edge set ``max_power_graph`` would build), and the candidate's off its
+    edge list.  The scenario runner calls this once per epoch, where
+    building a throwaway ``networkx`` reference graph with tens of
+    thousands of edges dominated the measurement phase at n >= 2000.
+    """
+    alive = {node.node_id for node in network.alive_nodes()}
+    if set(candidate.nodes) != alive:
+        return False
+    if not network.use_spatial_index:
+        return preserves_connectivity(network.max_power_graph(), candidate)
+    reference_pairs = network.spatial_index().pairs_within(network.power_model.max_range)
+    reference = _partition_labels(alive, ((u, v) for u, v, _ in reference_pairs))
+    return reference == _partition_labels(alive, candidate.edges)
+
+
 @dataclass(frozen=True)
 class ConnectivityReport:
     """Summary of a connectivity-preservation check."""

@@ -167,6 +167,50 @@ def edge_id(network: Network, u: NodeId, v: NodeId) -> Tuple[float, NodeId, Node
     return (network.distance(u, v), max(u, v), min(u, v))
 
 
+def redundant_edges_from_node(
+    graph: nx.Graph,
+    network: Network,
+    u: NodeId,
+    *,
+    angle_threshold: float = PAIRWISE_ANGLE_THRESHOLD,
+) -> Set[Tuple[NodeId, NodeId]]:
+    """Edges witnessed redundant by node ``u``'s scan (Definition 3.5).
+
+    One node's contribution to :func:`redundant_edges`: the edges ``(u, v)``
+    for which some other neighbour ``w`` of ``u`` satisfies
+    ``angle(v, u, w) < pi/3`` and ``eid(u, w) < eid(u, v)``.  The scan
+    depends only on ``u``'s adjacency and the current positions of ``u`` and
+    its neighbours, which is the locality the incremental pipeline exploits:
+    after a mobility/churn delta it rescans only the nodes whose inputs
+    changed.  Returned edges are normalized as ``(min, max)`` pairs.
+    """
+    node_of = network.node
+    redundant: Set[Tuple[NodeId, NodeId]] = set()
+    neighbors = list(graph.neighbors(u))
+    if len(neighbors) < 2:
+        return redundant
+    u_node = node_of(u)
+    directions = {v: u_node.direction_to(node_of(v)) for v in neighbors}
+    ids = {v: (u_node.distance_to(node_of(v)), max(u, v), min(u, v)) for v in neighbors}
+    # Visiting neighbours in increasing edge-ID order means only the
+    # already-seen ones can witness redundancy (eid(u, w) < eid(u, v)),
+    # halving the scan.  Edge IDs are a strict total order, so this is
+    # exactly Definition 3.5.
+    seen: List[NodeId] = []
+    for v in sorted(neighbors, key=ids.__getitem__):
+        direction_v = directions[v]
+        for w in seen:
+            # angle_difference inlined: directions are already in [0, 2*pi).
+            diff = abs(direction_v - directions[w])
+            if diff > math.pi:
+                diff = TWO_PI - diff
+            if diff < angle_threshold:
+                redundant.add((min(u, v), max(u, v)))
+                break
+        seen.append(v)
+    return redundant
+
+
 def redundant_edges(
     graph: nx.Graph,
     network: Network,
@@ -180,30 +224,10 @@ def redundant_edges(
     Returned edges are normalized as ``(min, max)`` pairs.
     """
     redundant: Set[Tuple[NodeId, NodeId]] = set()
-    node_of = network.node
     for u in graph.nodes:
-        neighbors = list(graph.neighbors(u))
-        if len(neighbors) < 2:
-            continue
-        u_node = node_of(u)
-        directions = {v: u_node.direction_to(node_of(v)) for v in neighbors}
-        ids = {v: (u_node.distance_to(node_of(v)), max(u, v), min(u, v)) for v in neighbors}
-        # Visiting neighbours in increasing edge-ID order means only the
-        # already-seen ones can witness redundancy (eid(u, w) < eid(u, v)),
-        # halving the scan.  Edge IDs are a strict total order, so this is
-        # exactly Definition 3.5.
-        seen: List[NodeId] = []
-        for v in sorted(neighbors, key=ids.__getitem__):
-            direction_v = directions[v]
-            for w in seen:
-                # angle_difference inlined: directions are already in [0, 2*pi).
-                diff = abs(direction_v - directions[w])
-                if diff > math.pi:
-                    diff = TWO_PI - diff
-                if diff < angle_threshold:
-                    redundant.add((min(u, v), max(u, v)))
-                    break
-            seen.append(v)
+        redundant |= redundant_edges_from_node(
+            graph, network, u, angle_threshold=angle_threshold
+        )
     return redundant
 
 

@@ -72,14 +72,26 @@ def _undirected_from_pairs(
     return graph
 
 
-def _edge_length(outcome: CBTCOutcome, u: NodeId, v: NodeId) -> float:
-    state_u = outcome.states.get(u)
-    if state_u is not None and v in state_u.neighbors:
-        return state_u.neighbors[v].distance
-    state_v = outcome.states.get(v)
-    if state_v is not None and u in state_v.neighbors:
-        return state_v.neighbors[u].distance
+def edge_length_from_outcome(outcome: CBTCOutcome, u: NodeId, v: NodeId) -> float:
+    """The distance recorded for edge ``(u, v)``, read canonically.
+
+    Both endpoints' records normally agree bit-for-bit (``hypot`` is
+    symmetric), but under reconfiguration each side's record may be stale by
+    up to the refresh tolerance.  Preferring the smaller endpoint's record
+    makes the stored edge length independent of state iteration order, which
+    the incremental pipeline's byte-identity contract relies on.
+    """
+    a, b = (u, v) if u < v else (v, u)
+    state_a = outcome.states.get(a)
+    if state_a is not None and b in state_a.neighbors:
+        return state_a.neighbors[b].distance
+    state_b = outcome.states.get(b)
+    if state_b is not None and a in state_b.neighbors:
+        return state_b.neighbors[a].distance
     raise KeyError(f"no neighbour record for edge ({u}, {v})")
+
+
+_edge_length = edge_length_from_outcome
 
 
 def symmetric_closure_graph(outcome: CBTCOutcome, network: Optional[Network] = None) -> nx.Graph:

@@ -55,6 +55,7 @@ class ExperimentTask:
     spec: ScenarioSpec
     seed_index: int
     seed: int
+    profile: bool = False
 
     @property
     def relative_path(self) -> Path:
@@ -69,7 +70,7 @@ def execute_task(task: ExperimentTask) -> Tuple[ExperimentTask, str]:
     the JSON string rather than the result object keeps serialization in
     exactly one code path for serial and parallel runs alike.
     """
-    result = run_scenario(task.spec, task.seed)
+    result = run_scenario(task.spec, task.seed, profile=task.profile)
     return task, results_to_json(result)
 
 
@@ -78,6 +79,7 @@ def build_grid(
     seeds: int,
     *,
     base_seed: int = 0,
+    profile: bool = False,
 ) -> List[ExperimentTask]:
     """Expand scenarios × seed indices into the task list."""
     if seeds < 1:
@@ -91,6 +93,7 @@ def build_grid(
                     spec=spec,
                     seed_index=index,
                     seed=task_seed(base_seed, spec.name, index),
+                    profile=profile,
                 )
             )
     return tasks
@@ -120,19 +123,24 @@ def _load(path: Path) -> object:
         return None
 
 
-def _loadable(path: Path) -> bool:
-    """Whether ``path`` holds *some* parseable result (any spec)."""
-    return isinstance(_load(path), dict)
+def _holds_profiling(payload: dict) -> bool:
+    """Whether a persisted result carries wall-clock phase timings."""
+    epochs = payload.get("epochs")
+    if not isinstance(epochs, list):
+        return False
+    return any(
+        isinstance(epoch, dict) and epoch.get("phase_seconds") is not None
+        for epoch in epochs
+    )
 
 
-def _cached(path: Path, expected_spec: object, expected_seed: int) -> bool:
-    """Whether ``path`` holds a result computed under exactly this task.
+def _matches_task(payload: object, expected_spec: object, expected_seed: int) -> bool:
+    """Whether a parsed payload was computed under exactly this task.
 
     Both the embedded spec and the derived seed must match: a result is a
     pure function of ``(spec, seed)``, so a grid re-run with a different
     ``--base-seed`` must not reuse files from the old derivation.
     """
-    payload = _load(path)
     return (
         isinstance(payload, dict)
         and payload.get("spec") == expected_spec
@@ -156,6 +164,7 @@ def run_grid(
     results_dir: Union[str, Path],
     base_seed: int = 0,
     resume: bool = True,
+    profile: bool = False,
 ) -> GridRunSummary:
     """Run (or resume) a scenario × seed grid and persist every result.
 
@@ -171,9 +180,15 @@ def run_grid(
     scenario computed under a different spec — overwriting them silently
     would corrupt the archive.  ``resume=False`` recomputes and overwrites
     unconditionally.
+
+    ``profile=True`` records per-phase wall-clock timings into every epoch
+    of every result (``phase_seconds``).  Profiled runs never reuse cached
+    cells — a cached result has no timings — so ``resume`` is ignored.
     """
+    if profile:
+        resume = False
     root = Path(results_dir)
-    tasks = build_grid(scenarios, seeds, base_seed=base_seed)
+    tasks = build_grid(scenarios, seeds, base_seed=base_seed, profile=profile)
 
     todo: List[ExperimentTask] = []
     cached = 0
@@ -184,10 +199,14 @@ def run_grid(
             spec_payloads[task.spec.name] = _spec_payload(task.spec)
         path = root / task.relative_path
         if resume and path.is_file():
-            if _cached(path, spec_payloads[task.spec.name], task.seed):
-                cached += 1
-                continue
-            if _loadable(path):
+            payload = _load(path)
+            if _matches_task(payload, spec_payloads[task.spec.name], task.seed):
+                if not _holds_profiling(payload):
+                    cached += 1
+                    continue
+                # A matching but profiled cell: recompute it so the archive
+                # returns to its deterministic, timing-free form.
+            elif isinstance(payload, dict):
                 # The file holds a result computed under a *different* spec
                 # or base seed (e.g. a scaled-down smoke run sharing the
                 # results dir).  Overwriting would silently destroy those

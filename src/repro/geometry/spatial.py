@@ -73,11 +73,15 @@ class UniformGridIndex:
         mutually sortable (node IDs in this codebase); points may be
         :class:`repro.geometry.Point` instances or ``(x, y)`` tuples.
 
-    The index is immutable by design: the network layer rebuilds it lazily
-    after any node moves, dies, recovers, joins, or leaves (see
-    ``Network.spatial_index`` for the invalidation rules).  Rebuilding is a
-    single O(n) pass, which is far cheaper than the queries it accelerates
-    and keeps the consistency story trivial.
+    The index supports *delta updates* — :meth:`insert`, :meth:`delete` and
+    :meth:`move` patch the affected cell buckets in O(bucket) time — so the
+    network layer keeps one index alive across mobility/churn epochs instead
+    of rebuilding it from scratch after every node event (see
+    ``Network.spatial_index`` for the ownership rules).  Query results are
+    key-sorted, so bucket ordering never leaks into outputs: a patched index
+    answers every query exactly as a freshly built one would (enforced by the
+    property tests in ``tests/geometry/test_spatial.py``).  Any mutation
+    drops the memoized :meth:`pairs_within` results.
     """
 
     __slots__ = ("cell_size", "_points", "_cells", "_pair_cache")
@@ -121,6 +125,41 @@ class UniformGridIndex:
 
     def _cell_of(self, xy: Coordinate) -> Tuple[int, int]:
         return (math.floor(xy[0] / self.cell_size), math.floor(xy[1] / self.cell_size))
+
+    # ------------------------------------------------------------------ #
+    # Delta updates
+    # ------------------------------------------------------------------ #
+    def insert(self, key: Hashable, point) -> None:
+        """Add a new keyed point (O(1); raises on duplicate keys)."""
+        if key in self._points:
+            raise ValueError(f"duplicate key {key!r} in spatial index")
+        xy = _as_xy(point)
+        self._points[key] = xy
+        self._cells.setdefault(self._cell_of(xy), []).append((key, xy[0], xy[1]))
+        self._pair_cache.clear()
+
+    def delete(self, key: Hashable) -> None:
+        """Remove a keyed point (O(bucket); raises ``KeyError`` when absent)."""
+        xy = self._points.pop(key)
+        cell = self._cell_of(xy)
+        bucket = self._cells[cell]
+        for i, entry in enumerate(bucket):
+            if entry[0] == key:
+                del bucket[i]
+                break
+        if not bucket:
+            del self._cells[cell]
+        self._pair_cache.clear()
+
+    def move(self, key: Hashable, point) -> None:
+        """Relocate a keyed point; a move to the identical coordinate is a
+        no-op that keeps the memoized pair sets alive."""
+        xy = _as_xy(point)
+        if self._points[key] == xy:
+            return
+        self.delete(key)
+        self._points[key] = xy
+        self._cells.setdefault(self._cell_of(xy), []).append((key, xy[0], xy[1]))
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -29,9 +29,10 @@ test suite.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -45,6 +46,143 @@ AUTO_SAMPLE_NODE_THRESHOLD = 500
 
 #: How many pairs the automatic sampled mode routes.
 DEFAULT_SAMPLE_PAIRS = 2000
+
+
+Adjacency = Dict[NodeId, Dict[NodeId, float]]
+
+
+def canonical_single_source_paths(
+    adjacency: Adjacency, source: NodeId
+) -> Dict[NodeId, List[NodeId]]:
+    """Shortest paths from ``source``, with history-independent tie-breaking.
+
+    Plain Dijkstra breaks equal-cost ties by heap insertion order, which
+    leaks the graph's *construction history* into the chosen routes — two
+    structurally identical graphs built in different edge orders can route
+    differently.  This variant makes the output a pure function of the
+    (adjacency, weights, source) triple: distances are settled normally, and
+    each node's predecessor is the *smallest-ID* neighbour among those
+    achieving its exact shortest distance.  That determinism is what lets
+    the route cache reuse a source's tree across epochs whenever no edge of
+    the tree changed, byte-identically to recomputing it.
+
+    Returns ``{target: [source, ..., target]}`` for every reachable target
+    (including the trivial ``{source: [source]}``).
+    """
+    if source not in adjacency:
+        return {}
+    dist: Dict[NodeId, float] = {source: 0.0}
+    pred: Dict[NodeId, NodeId] = {}
+    heap: List[Tuple[float, NodeId]] = [(0.0, source)]
+    settled: Set[NodeId] = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled or d > dist[u]:
+            continue
+        settled.add(u)
+        for v, weight in adjacency[u].items():
+            if v == source:
+                continue
+            candidate = d + weight
+            known = dist.get(v)
+            if known is None or candidate < known:
+                dist[v] = candidate
+                pred[v] = u
+                heapq.heappush(heap, (candidate, v))
+            elif candidate == known and u < pred[v]:
+                pred[v] = u
+    paths: Dict[NodeId, List[NodeId]] = {source: [source]}
+    for target in dist:
+        if target == source:
+            continue
+        hops = [target]
+        cursor = target
+        while cursor != source:
+            cursor = pred[cursor]
+            hops.append(cursor)
+        hops.reverse()
+        paths[target] = hops
+    return paths
+
+
+class SourceRouteCache:
+    """Per-source shortest-path-tree cache with dirty-edge invalidation.
+
+    One cache instance follows a topology as it evolves epoch to epoch.
+    :meth:`sync` diffs the new weighted adjacency against the last one seen:
+
+    * an **added** edge or a **decreased** weight can create better paths
+      anywhere, so the whole cache is dropped (sound and simple);
+    * a **removed** edge or an **increased** weight can only affect sources
+      whose cached shortest-path tree actually uses that edge — only those
+      sources are invalidated.
+
+    Because :func:`canonical_single_source_paths` is a pure function of the
+    graph, a cached tree untouched by any dirty edge is byte-identical to
+    what a recomputation would return — the scenario equivalence battery
+    enforces exactly that, per epoch, traffic reports included.
+    """
+
+    def __init__(self) -> None:
+        self._weights: Optional[Dict[Tuple[NodeId, NodeId], float]] = None
+        self._adjacency: Optional[Adjacency] = None
+        self._paths: Dict[NodeId, Dict[NodeId, List[NodeId]]] = {}
+        self._tree_edges: Dict[NodeId, Set[Tuple[NodeId, NodeId]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def sync(self, adjacency: Adjacency) -> None:
+        """Adopt this epoch's weighted adjacency, invalidating stale sources."""
+        new_weights = {
+            (u, v) if u < v else (v, u): weight
+            for u, neighbors in adjacency.items()
+            for v, weight in neighbors.items()
+            if u < v
+        }
+        old_weights = self._weights
+        self._adjacency = adjacency
+        self._weights = new_weights
+        if old_weights is None:
+            self._drop_all()
+            return
+        worse: Set[Tuple[NodeId, NodeId]] = set()
+        for edge, old_weight in old_weights.items():
+            new_weight = new_weights.get(edge)
+            if new_weight is None or new_weight > old_weight:
+                worse.add(edge)
+            elif new_weight < old_weight:
+                self._drop_all()
+                return
+        for edge in new_weights:
+            if edge not in old_weights:
+                self._drop_all()
+                return
+        if not worse:
+            return
+        for source in list(self._paths):
+            if source not in adjacency or self._tree_edges[source] & worse:
+                del self._paths[source]
+                del self._tree_edges[source]
+
+    def paths(self, source: NodeId) -> Dict[NodeId, List[NodeId]]:
+        """The canonical shortest-path map from ``source`` (cached)."""
+        cached = self._paths.get(source)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        computed = canonical_single_source_paths(self._adjacency or {}, source)
+        edges: Set[Tuple[NodeId, NodeId]] = set()
+        for path in computed.values():
+            for u, v in zip(path, path[1:]):
+                edges.add((u, v) if u < v else (v, u))
+        self._paths[source] = computed
+        self._tree_edges[source] = edges
+        return computed
+
+    def _drop_all(self) -> None:
+        self._paths.clear()
+        self._tree_edges.clear()
 
 
 def _power_weighted(graph: nx.Graph, network: Network, exponent: float) -> nx.Graph:

@@ -10,15 +10,31 @@ import networkx as nx
 
 
 def graph_to_dict(graph: nx.Graph) -> Dict:
-    """A JSON-serializable representation of a graph (nodes, positions, edges)."""
+    """A JSON-serializable representation of a graph (nodes, positions, edges).
+
+    The representation is *canonical*: nodes are listed in sorted order and
+    edges as sorted ``(min, max)`` endpoint pairs, so two graphs with the
+    same nodes, edges and attributes serialize byte-identically regardless
+    of insertion history.  The incremental topology pipeline's
+    byte-identity contract is defined through this form.
+    """
     return {
         "nodes": [
-            {"id": int(node), "pos": list(map(float, data["pos"])) if "pos" in data else None}
-            for node, data in graph.nodes(data=True)
+            {
+                "id": int(node),
+                "pos": list(map(float, graph.nodes[node]["pos"]))
+                if "pos" in graph.nodes[node]
+                else None,
+            }
+            for node in sorted(graph.nodes)
         ],
         "edges": [
-            {"u": int(u), "v": int(v), "length": float(data["length"]) if "length" in data else None}
-            for u, v, data in graph.edges(data=True)
+            {
+                "u": int(u),
+                "v": int(v),
+                "length": float(graph[u][v]["length"]) if "length" in graph[u][v] else None,
+            }
+            for u, v in sorted((min(a, b), max(a, b)) for a, b in graph.edges)
         ],
     }
 

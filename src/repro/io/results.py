@@ -15,13 +15,22 @@ import math
 from pathlib import Path
 from typing import Any, Union
 
+import networkx as nx
+
 
 def _to_jsonable(value: Any) -> Any:
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {field.name: _to_jsonable(getattr(value, field.name)) for field in dataclasses.fields(value)}
     if isinstance(value, dict):
         return {str(key): _to_jsonable(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple, set)):
+    if isinstance(value, set):
+        # Canonical order when the elements sort; insertion order otherwise.
+        try:
+            items = sorted(value)
+        except TypeError:
+            items = list(value)
+        return [_to_jsonable(item) for item in items]
+    if isinstance(value, (list, tuple)):
         return [_to_jsonable(item) for item in value]
     if isinstance(value, float):
         if math.isnan(value):
@@ -31,13 +40,25 @@ def _to_jsonable(value: Any) -> Any:
         return value
     if isinstance(value, (int, str, bool)) or value is None:
         return value
-    # Graphs and other heavyweight objects are summarized rather than dumped.
+    if isinstance(value, nx.Graph) and not value.is_directed():
+        # Undirected graphs serialize canonically (sorted nodes/edges) —
+        # this is what makes "byte-identical topology" a meaningful notion
+        # for the incremental pipeline's equivalence tests.
+        from repro.io.graphs import graph_to_dict
+
+        return graph_to_dict(value)
+    # Other heavyweight objects are summarized rather than dumped.
     return repr(value)
 
 
 def results_to_json(result: Any, *, indent: int = 2) -> str:
-    """Serialize an experiment result (dataclass tree) to a JSON string."""
-    return json.dumps(_to_jsonable(result), indent=indent)
+    """Serialize an experiment result (dataclass tree) to a JSON string.
+
+    Output is canonical: mapping keys are emitted sorted (``sort_keys``), so
+    two structurally equal results serialize byte-identically regardless of
+    dict insertion history.
+    """
+    return json.dumps(_to_jsonable(result), indent=indent, sort_keys=True)
 
 
 def results_from_json(payload: str) -> Any:

@@ -12,7 +12,7 @@ simulation build on exactly the same physical assumptions.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
@@ -21,16 +21,74 @@ from repro.net.node import Node, NodeId
 from repro.radio import PowerModel, default_power_model
 
 
+class DerivedDataCache:
+    """Keyed cache of data derived from node positions/liveness.
+
+    Instead of dropping every entry on any node change (the wholesale
+    invalidation the cache used historically), each entry carries the set of
+    node IDs that changed since it was stored:
+
+    * :meth:`get` keeps the legacy semantics — a dirty entry reads as a miss —
+      so consumers that cannot patch their data incrementally stay correct
+      without changes;
+    * :meth:`entry` returns ``(value, dirty_node_ids)`` so consumers that
+      *can* patch per region (e.g. CBTC's per-node candidate lists) splice in
+      just the dirty neighbourhoods and re-:meth:`put` the result.
+    """
+
+    __slots__ = ("_values", "_dirty")
+
+    def __init__(self) -> None:
+        self._values: Dict[object, object] = {}
+        self._dirty: Dict[object, Set[NodeId]] = {}
+
+    def get(self, key: object) -> Optional[object]:
+        """The clean value for ``key``, or ``None`` when absent or dirty."""
+        if self._dirty.get(key):
+            return None
+        return self._values.get(key)
+
+    def put(self, key: object, value: object) -> None:
+        """Store ``value`` for ``key`` and reset its dirty set."""
+        self._values[key] = value
+        self._dirty[key] = set()
+
+    def __setitem__(self, key: object, value: object) -> None:
+        self.put(key, value)
+
+    def entry(self, key: object) -> Optional[Tuple[object, Set[NodeId]]]:
+        """``(value, dirty_node_ids)`` for self-patching consumers, or ``None``."""
+        if key not in self._values:
+            return None
+        return self._values[key], self._dirty[key]
+
+    def mark_dirty(self, node_id: NodeId) -> None:
+        """Record that ``node_id`` changed since every stored entry."""
+        for dirty in self._dirty.values():
+            dirty.add(node_id)
+
+    def clear(self) -> None:
+        """Drop every entry (wholesale invalidation)."""
+        self._values.clear()
+        self._dirty.clear()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
 class Network:
     """A collection of wireless nodes sharing a power model.
 
     The network keeps a lazily built :class:`UniformGridIndex` over the
     positions of its alive nodes (cell size = the power model's maximum
     range) so that range queries cost output-sensitive time instead of a
-    full scan.  The cache is invalidated whenever the node set or any
-    node's position/liveness changes: nodes notify the network through the
-    watcher registered on them, and :meth:`add_node`/:meth:`remove_node`
-    invalidate directly.  ``use_spatial_index=False`` forces every query
+    full scan.  The index is kept *live* across changes: whenever the node
+    set or any node's position/liveness changes — nodes notify the network
+    through the watcher registered on them, and
+    :meth:`add_node`/:meth:`remove_node` report directly — the matching
+    delta update is applied to the index, the per-entry dirty sets of the
+    :class:`DerivedDataCache` grow, and every registered dirty listener
+    records the node ID.  ``use_spatial_index=False`` forces every query
     back onto the brute-force scans (used by the equivalence tests and as
     an escape hatch).
     """
@@ -45,7 +103,8 @@ class Network:
         self.power_model = power_model if power_model is not None else default_power_model()
         self.use_spatial_index = use_spatial_index
         self._spatial_index: Optional[UniformGridIndex] = None
-        self._derived_cache: Dict[object, object] = {}
+        self._derived_cache = DerivedDataCache()
+        self._dirty_listeners: List[Set[NodeId]] = []
         self._nodes: Dict[NodeId, Node] = {}
         for node in nodes:
             if node.node_id in self._nodes:
@@ -120,48 +179,92 @@ class Network:
             raise ValueError(f"duplicate node id {node.node_id}")
         self._nodes[node.node_id] = node
         node.watch(self._on_node_changed)
-        self._spatial_index = None
-        self._derived_cache.clear()
+        if self._spatial_index is not None and node.alive:
+            self._spatial_index.insert(node.node_id, node.position)
+        self._mark_dirty(node.node_id)
 
     def remove_node(self, node_id: NodeId) -> Node:
         """Remove and return a node."""
         node = self._nodes.pop(node_id)
         node.unwatch(self._on_node_changed)
-        self._spatial_index = None
-        self._derived_cache.clear()
+        if self._spatial_index is not None and node_id in self._spatial_index:
+            self._spatial_index.delete(node_id)
+        self._mark_dirty(node_id)
         return node
 
     # ------------------------------------------------------------------ #
-    # Spatial index
+    # Spatial index and dirty tracking
     # ------------------------------------------------------------------ #
+    def register_dirty_listener(self, listener: Optional[Set[NodeId]] = None) -> Set[NodeId]:
+        """Register (and return) a set that collects changed node IDs.
+
+        Every node move/crash/recover/add/remove adds the node's ID to every
+        registered listener.  Consumers that maintain incrementally updatable
+        views of the network (the reconfiguration manager, the scenario
+        runner) own one listener each and clear it after consuming the delta.
+        """
+        listener = set() if listener is None else listener
+        self._dirty_listeners.append(listener)
+        return listener
+
+    def unregister_dirty_listener(self, listener: Set[NodeId]) -> None:
+        """Stop feeding a previously registered listener (no-op if absent)."""
+        try:
+            self._dirty_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _mark_dirty(self, node_id: NodeId) -> None:
+        self._derived_cache.mark_dirty(node_id)
+        for listener in self._dirty_listeners:
+            listener.add(node_id)
+
     def _on_node_changed(self, node: Node) -> None:
-        self._spatial_index = None
-        self._derived_cache.clear()
+        index = self._spatial_index
+        if index is not None:
+            if node.alive:
+                if node.node_id in index:
+                    index.move(node.node_id, node.position)
+                else:
+                    index.insert(node.node_id, node.position)
+            elif node.node_id in index:
+                index.delete(node.node_id)
+        self._mark_dirty(node.node_id)
 
     def invalidate_spatial_index(self) -> None:
-        """Drop the cached index (for callers that mutate positions directly)."""
+        """Drop the cached index (for callers that mutate positions directly).
+
+        Such callers bypass the node watchers, so every node is conservatively
+        marked dirty for listeners and the derived cache is cleared wholesale.
+        """
         self._spatial_index = None
         self._derived_cache.clear()
+        for listener in self._dirty_listeners:
+            listener.update(self._nodes)
 
     @property
-    def derived_cache(self) -> Dict[object, object]:
-        """Scratch cache for data derived from current positions/liveness.
+    def derived_cache(self) -> DerivedDataCache:
+        """Cache for data derived from current positions/liveness.
 
-        Cleared together with the spatial index whenever any node moves,
-        crashes, recovers, joins or leaves.  Algorithm layers use it to
-        memoize expensive derived structures (e.g. CBTC's per-node candidate
-        lists) across repeated runs over an unchanged network; entries must
-        be keyed on everything else they depend on.
+        Entries track which nodes changed since they were stored
+        (:class:`DerivedDataCache`): plain :meth:`~DerivedDataCache.get`
+        treats a dirty entry as a miss, while per-region consumers use
+        :meth:`~DerivedDataCache.entry` to patch just the dirty
+        neighbourhoods.  Entries must be keyed on everything else they
+        depend on.
         """
         return self._derived_cache
 
     def spatial_index(self) -> UniformGridIndex:
-        """The uniform-grid index over alive nodes (built lazily, cached).
+        """The uniform-grid index over alive nodes (built lazily, kept live).
 
         Cell size is the maximum transmission range, so the common
         ``neighbors_within(p, max_range)`` query inspects at most a 3x3
-        block of cells.  The cache is dropped automatically on node
-        move/crash/recover (via node watchers) and on add/remove.
+        block of cells.  Node changes do not discard the index: moves,
+        crashes, recoveries (via node watchers) and add/remove apply the
+        matching delta update to the live object, whose query answers stay
+        identical to a fresh rebuild's.  Only
+        :meth:`invalidate_spatial_index` drops it wholesale.
         """
         if self._spatial_index is None:
             self._spatial_index = UniformGridIndex(

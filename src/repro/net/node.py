@@ -75,7 +75,14 @@ class Node:
         return self.position.angle_to(other.position)
 
     def move_to(self, new_position: Point) -> None:
-        """Teleport the node to ``new_position`` (used by mobility models)."""
+        """Teleport the node to ``new_position`` (used by mobility models).
+
+        A move to the position the node already occupies is a no-op: watchers
+        are not notified, so the owning network's spatial index, derived-data
+        caches and dirty sets all stay untouched.
+        """
+        if new_position == self.position:
+            return
         self.position = new_position
         self._notify()
 

@@ -25,15 +25,18 @@ replays identically in any process.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.core.analysis import preserves_connectivity
+from repro.core.analysis import preserves_max_power_connectivity
 from repro.core.pipeline import build_topology
 from repro.core.protocol import run_distributed_cbtc
 from repro.core.reconfiguration import ReconfigurationManager, beacon_power_policy
 from repro.core.topology import TopologyResult
 from repro.geometry import Point
+from repro.graphs.routing import SourceRouteCache
+from repro.io.results import results_to_json
 from repro.net.energy import EnergyLedger
 from repro.net.network import Network
 from repro.net.node import Node
@@ -67,6 +70,11 @@ class EpochMetrics:
     total_power: float
     energy_consumed: float
     traffic: Optional[TrafficReport] = None
+    #: Wall-clock seconds per phase (churn/mobility/failures/battery/
+    #: rebuild/measure/traffic), populated only when profiling is enabled
+    #: (``cbtc scenarios run --profile``); ``None`` otherwise so default
+    #: runs stay deterministic byte for byte.
+    phase_seconds: Optional[Dict[str, float]] = None
 
 
 @dataclass(frozen=True)
@@ -142,22 +150,62 @@ class ScenarioResult:
 
 
 class ScenarioRunner:
-    """Drives one scenario run from a spec and a seed."""
+    """Drives one scenario run from a spec and a seed.
 
-    def __init__(self, spec: ScenarioSpec, seed: int = 0) -> None:
+    ``incremental`` selects the epoch-to-epoch topology path: ``True`` (the
+    default) threads each epoch's dirty-node delta through the incremental
+    pipeline (one shared geometry pass per synchronize, scoped CBTC, scoped
+    optimization passes, spliced graph, route cache); ``False`` reproduces
+    the historic epoch loop — the per-pair O(n^2) event-detection scan and a
+    full ``build_topology`` every epoch — kept as the reference baseline the
+    equivalence battery and the incremental benchmarks compare against.
+    Both paths produce byte-identical results per epoch.
+    ``verify_incremental`` makes every epoch self-check against a fresh full
+    rebuild (slow; used by the catalogue equivalence tests).  ``profile``
+    records wall-clock per-phase timings into each epoch's metrics.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        seed: int = 0,
+        *,
+        incremental: bool = True,
+        verify_incremental: bool = False,
+        profile: bool = False,
+    ) -> None:
         self.spec = spec
         self.seed = seed
+        self.incremental = incremental
+        self.verify_incremental = verify_incremental
+        self.profile = profile
         self.network: Network = spec.build_network(seed)
         self.mobility = spec.build_mobility(seed)
         self.failures = spec.build_failures(seed)
         self._churn_rng = SeededRandom(spec.component_seed(seed, "churn"))
         self.ledger = EnergyLedger(self.network.node_ids, capacity=spec.energy.capacity)
         self._next_node_id = max(self.network.node_ids, default=-1) + 1
+        self._route_cache = SourceRouteCache() if incremental else None
         self._manager: Optional[ReconfigurationManager] = None
         if spec.protocol != DISTRIBUTED:
             self._manager = ReconfigurationManager(
                 self.network, spec.alpha, angle_threshold=spec.angle_threshold
             )
+
+    def prime(self) -> Optional[TopologyResult]:
+        """Build the initial topology before the first epoch (warm start).
+
+        Long-running deployments (and the benchmarks) call this so the first
+        epoch pays only for its delta instead of the one-off full pipeline
+        build.  Epoch results are unchanged — the manager's topology is a
+        pure function of the current geometry and CBTC states.  No-op under
+        the distributed protocol.
+        """
+        if self._manager is None:
+            return None
+        return self._manager.topology(
+            config=self.spec.optimizations.config(), incremental=self.incremental
+        )
 
     # ------------------------------------------------------------------ #
     # Per-epoch mechanics
@@ -212,14 +260,34 @@ class ScenarioRunner:
                 deaths += 1
         return deaths
 
+    def _verify_against_full_rebuild(self, epoch: int, topology: TopologyResult) -> None:
+        """Assert the incremental result equals a from-scratch build (slow)."""
+        full = build_topology(
+            self.network,
+            self.spec.alpha,
+            config=self.spec.optimizations.config(),
+            outcome=self._manager.outcome,
+        )
+        if results_to_json(topology) != results_to_json(full):
+            raise AssertionError(
+                f"incremental topology diverged from full rebuild at epoch {epoch} "
+                f"of scenario {self.spec.name!r} (seed {self.seed})"
+            )
+
     def _reconcile(self, epoch: int) -> tuple:
         """React to the new geometry; return (topology, work counters)."""
         spec = self.spec
         if self._manager is not None:
             events_before = self._manager.events_applied
             reruns_before = self._manager.reruns
-            iterations = self._manager.synchronize(max_iterations=spec.sync_max_iterations)
-            topology = self._manager.topology(config=spec.optimizations.config())
+            iterations = self._manager.synchronize(
+                max_iterations=spec.sync_max_iterations, accelerated=self.incremental
+            )
+            topology = self._manager.topology(
+                config=spec.optimizations.config(), incremental=self.incremental
+            )
+            if self.verify_incremental:
+                self._verify_against_full_rebuild(epoch, topology)
             return (
                 topology,
                 self._manager.events_applied - events_before,
@@ -253,7 +321,13 @@ class ScenarioRunner:
         if tspec is None:
             return None
         traffic_seed = self.spec.component_seed(self.seed, f"traffic:{epoch}")
-        run = run_traffic(self.network, topology.graph, tspec, traffic_seed)
+        run = run_traffic(
+            self.network,
+            topology.graph,
+            tspec,
+            traffic_seed,
+            route_cache=self._route_cache,
+        )
         for node_id, consumed in run.engine.energy.snapshot().items():
             if consumed > 0.0:
                 self.ledger.charge_transmission(node_id, consumed, duration=1.0)
@@ -273,7 +347,6 @@ class ScenarioRunner:
         messages_sent: int,
     ) -> EpochMetrics:
         graph = topology.graph
-        reference = self.network.max_power_graph()
         radii = list(topology.node_radius.values())
         return EpochMetrics(
             epoch=epoch,
@@ -289,7 +362,7 @@ class ScenarioRunner:
             average_degree=topology.average_degree(),
             average_radius=sum(radii) / len(radii) if radii else 0.0,
             max_radius=max(radii) if radii else 0.0,
-            connectivity_preserved=preserves_connectivity(reference, graph),
+            connectivity_preserved=preserves_max_power_connectivity(self.network, graph),
             components=(
                 nx.number_connected_components(graph) if graph.number_of_nodes() else 0
             ),
@@ -311,10 +384,14 @@ class ScenarioRunner:
             initial_nodes=len(self.network),
             spec=spec,
         )
+        clock = time.perf_counter
         for epoch in range(1, spec.epochs + 1):
+            epoch_start = clock()
             joined, churn_crashed = self._apply_churn(epoch)
+            t_churn = clock()
             for _ in range(spec.steps_per_epoch):
                 self.mobility.step(self.network)
+            t_mobility = clock()
             # The failure model reports every liveness *change*; only nodes
             # that are now dead count as crashes (recoveries are rejoins).
             random_crashed = sum(
@@ -322,8 +399,11 @@ class ScenarioRunner:
                 for node_id in self.failures.step(self.network)
                 if not self.network.node(node_id).alive
             )
+            t_failures = clock()
             battery_deaths = self._drain_batteries()
+            t_battery = clock()
             topology, events, reruns, iterations, messages = self._reconcile(epoch)
+            t_rebuild = clock()
             metrics = self._measure(
                 epoch,
                 topology,
@@ -335,17 +415,46 @@ class ScenarioRunner:
                 sync_iterations=iterations,
                 messages_sent=messages,
             )
+            t_measure = clock()
             # Traffic runs last so the topology metrics above describe the
             # graph the packets actually crossed; traffic-induced battery
             # deaths and energy show up from the next epoch's figures on.
             traffic_report = self._run_traffic(epoch, topology)
+            t_traffic = clock()
             if traffic_report is not None:
                 metrics = dataclasses.replace(metrics, traffic=traffic_report)
+            if self.profile:
+                metrics = dataclasses.replace(
+                    metrics,
+                    phase_seconds={
+                        "churn": t_churn - epoch_start,
+                        "mobility": t_mobility - t_churn,
+                        "failures": t_failures - t_mobility,
+                        "battery": t_battery - t_failures,
+                        "rebuild": t_rebuild - t_battery,
+                        "measure": t_measure - t_rebuild,
+                        "traffic": t_traffic - t_measure,
+                        "total": t_traffic - epoch_start,
+                    },
+                )
             result.epochs.append(metrics)
         result.summarize()
         return result
 
 
-def run_scenario(spec: ScenarioSpec, seed: int = 0) -> ScenarioResult:
+def run_scenario(
+    spec: ScenarioSpec,
+    seed: int = 0,
+    *,
+    incremental: bool = True,
+    verify_incremental: bool = False,
+    profile: bool = False,
+) -> ScenarioResult:
     """Convenience wrapper: build a runner and execute the scenario."""
-    return ScenarioRunner(spec, seed).run()
+    return ScenarioRunner(
+        spec,
+        seed,
+        incremental=incremental,
+        verify_incremental=verify_incremental,
+        profile=profile,
+    ).run()

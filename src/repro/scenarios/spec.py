@@ -102,6 +102,9 @@ class MobilitySpec:
     ``"partition"`` or ``"convoy"``.  Speed-like fields are interpreted per
     kind (``max_step`` for walks, ``min_speed``/``max_speed`` for waypoint,
     ``speed`` for partition separation and convoy travel).
+    ``mover_fraction`` (random-waypoint only) restricts motion to a
+    seed-stable subset of nodes — the partial-mobility regime the
+    incremental topology pipeline is built for.
     """
 
     kind: str = "stationary"
@@ -111,12 +114,15 @@ class MobilitySpec:
     speed: float = 40.0
     jitter: float = 5.0
     period: int = 20
+    mover_fraction: float = 1.0
 
     _KINDS = ("stationary", "random-walk", "random-waypoint", "partition", "convoy")
 
     def __post_init__(self) -> None:
         if self.kind not in self._KINDS:
             raise ValueError(f"unknown mobility kind {self.kind!r}; expected one of {self._KINDS}")
+        if not 0.0 <= self.mover_fraction <= 1.0:
+            raise ValueError("mover_fraction must lie in [0, 1]")
 
     def build(self, placement: PlacementSpec, seed: int) -> MobilityModel:
         """Materialize the mobility model for a region of ``placement``'s size."""
@@ -132,6 +138,7 @@ class MobilitySpec:
                 min_speed=self.min_speed,
                 max_speed=self.max_speed,
                 seed=seed,
+                mover_fraction=self.mover_fraction,
             )
         if self.kind == "partition":
             return PartitionModel(

@@ -29,6 +29,7 @@ from typing import Dict, Optional, Tuple
 
 import networkx as nx
 
+from repro.graphs.routing import SourceRouteCache, canonical_single_source_paths
 from repro.net.energy import EnergyLedger
 from repro.net.network import Network
 from repro.net.node import NodeId
@@ -57,7 +58,12 @@ class TrafficRun:
 
 
 def build_routing_plan(
-    network: Network, graph: nx.Graph, flows: Tuple[Flow, ...], *, routing: str
+    network: Network,
+    graph: nx.Graph,
+    flows: Tuple[Flow, ...],
+    *,
+    routing: str,
+    route_cache: Optional[SourceRouteCache] = None,
 ) -> RoutingPlan:
     """Static per-flow routes over ``graph`` under the given policy.
 
@@ -65,24 +71,38 @@ def build_routing_plan(
     transmission power it requires, so routes minimize total radiated
     energy.  Flows whose endpoints are not connected in ``graph`` land in
     ``unroutable``.
+
+    Routes come from :func:`~repro.graphs.routing.canonical_single_source_paths`
+    (one pass per distinct source), whose equal-cost tie-breaking is a pure
+    function of the weighted adjacency — independent of edge insertion
+    order.  ``route_cache`` optionally carries shortest-path trees across
+    calls over an evolving topology: only sources whose tree touches a
+    changed edge are recomputed (see
+    :class:`~repro.graphs.routing.SourceRouteCache`), with no effect on the
+    resulting plan.
     """
-    weighted = nx.Graph()
-    weighted.add_nodes_from(graph.nodes)
+    adjacency: Dict[NodeId, Dict[NodeId, float]] = {node: {} for node in graph.nodes}
     for u, v in graph.edges:
         weight = 1.0 if routing == MIN_HOP else network.required_power(u, v)
-        weighted.add_edge(u, v, w=weight)
+        adjacency[u][v] = weight
+        adjacency[v][u] = weight
+    if route_cache is not None:
+        route_cache.sync(adjacency)
 
     plan = RoutingPlan()
     paths_by_source: Dict[NodeId, Dict[NodeId, list]] = {}
     clamp = network.power_model.clamp
     for flow in flows:
-        if flow.source not in weighted or flow.destination not in weighted:
+        if flow.source not in adjacency or flow.destination not in adjacency:
             plan.unroutable.add(flow.flow_id)
             continue
         if flow.source not in paths_by_source:
-            paths_by_source[flow.source] = nx.single_source_dijkstra_path(
-                weighted, flow.source, weight="w"
-            )
+            if route_cache is not None:
+                paths_by_source[flow.source] = route_cache.paths(flow.source)
+            else:
+                paths_by_source[flow.source] = canonical_single_source_paths(
+                    adjacency, flow.source
+                )
         path = paths_by_source[flow.source].get(flow.destination)
         if path is None or len(path) < 2:
             plan.unroutable.add(flow.flow_id)
@@ -115,16 +135,22 @@ def run_traffic(
     seed: int = 0,
     *,
     energy_ledger: Optional[EnergyLedger] = None,
+    route_cache: Optional[SourceRouteCache] = None,
 ) -> TrafficRun:
     """Run one traffic workload over ``graph`` and report the metrics.
 
     ``energy_ledger`` lets callers (the scenario runner) supply their own
     ledger; by default a fresh one with the spec's battery capacity is
     created.  Battery deaths crash nodes in ``network`` — callers that need
-    the population back must run on a copy.
+    the population back must run on a copy.  ``route_cache`` carries
+    per-source shortest-path trees across repeated runs over an evolving
+    topology (the scenario runner supplies one), trading a graph diff for
+    skipped Dijkstra passes without changing any route.
     """
     flows = spec.build_flows(network, seed)
-    plan = build_routing_plan(network, graph, flows, routing=spec.routing)
+    plan = build_routing_plan(
+        network, graph, flows, routing=spec.routing, route_cache=route_cache
+    )
     ledger = (
         energy_ledger
         if energy_ledger is not None

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.analysis import preserves_connectivity
 from repro.core.cbtc import run_cbtc
+from repro.core.pipeline import OptimizationConfig
 from repro.core.reconfiguration import (
     AngleChangeEvent,
     JoinEvent,
@@ -165,3 +166,74 @@ class TestSynchronize:
         events_after_first = manager.events_applied
         manager.synchronize()
         assert manager.events_applied == events_after_first
+
+
+class TestTopologyMemoization:
+    """Satellite regression: no rebuild when synchronize applied zero events."""
+
+    @pytest.fixture
+    def network(self):
+        return random_uniform_placement(PlacementConfig(node_count=30), seed=9)
+
+    def test_clean_synchronize_reuses_memoized_topology(self, network):
+        manager = ReconfigurationManager(network, ALPHA)
+        manager.synchronize()
+        first = manager.topology()
+        builds_after_first = manager.topology_builds
+        # Nothing moved, nothing crashed: synchronize applies zero events and
+        # topology() must hand back the same object without any pipeline work.
+        for _ in range(3):
+            assert manager.synchronize() == 0
+            assert manager.topology() is first
+        assert manager.topology_builds == builds_after_first
+        assert manager.memo_hits == 3
+
+    def test_full_rebuild_path_is_also_memoized(self, network, monkeypatch):
+        import repro.core.reconfiguration as reconfiguration_module
+
+        calls = {"count": 0}
+        real_build = reconfiguration_module.build_topology
+
+        def counting_build(*args, **kwargs):
+            calls["count"] += 1
+            return real_build(*args, **kwargs)
+
+        monkeypatch.setattr(reconfiguration_module, "build_topology", counting_build)
+        manager = ReconfigurationManager(network, ALPHA)
+        manager.synchronize()
+        first = manager.topology(incremental=False)
+        assert calls["count"] == 1
+        manager.synchronize()
+        assert manager.topology(incremental=False) is first
+        assert calls["count"] == 1  # zero events => no build_topology call
+
+    def test_any_node_change_invalidates_the_memo(self, network):
+        manager = ReconfigurationManager(network, ALPHA)
+        manager.synchronize()
+        first = manager.topology()
+        network.node(network.node_ids[0]).move_to(Point(10.0, 10.0))
+        manager.synchronize()
+        assert manager.topology() is not first
+
+    def test_config_change_invalidates_the_memo(self, network):
+        manager = ReconfigurationManager(network, ALPHA)
+        manager.synchronize()
+        basic = manager.topology()
+        shrunk = manager.topology(config=OptimizationConfig.shrink_only())
+        assert shrunk is not basic
+
+    def test_incremental_and_full_topologies_are_byte_identical(self, network):
+        from repro.io.results import results_to_json
+
+        incremental_manager = ReconfigurationManager(network, ALPHA)
+        full_manager = ReconfigurationManager(network, ALPHA)
+        for step in range(3):
+            moved = network.node(network.node_ids[step])
+            moved.move_to(Point(200.0 + 40 * step, 300.0))
+            incremental_manager.synchronize()
+            full_manager.synchronize(accelerated=False)
+            a = incremental_manager.topology(config=OptimizationConfig.shrink_only())
+            b = full_manager.topology(
+                config=OptimizationConfig.shrink_only(), incremental=False
+            )
+            assert results_to_json(a) == results_to_json(b)

@@ -246,3 +246,25 @@ class TestValidation:
     def test_names_resolve_through_the_catalogue(self):
         tasks = build_grid(["battery-death"], 1)
         assert tasks[0].spec.name == "battery-death"
+
+
+class TestProfiledArchiveHygiene:
+    def test_normal_resume_recomputes_profiled_cells(self, tmp_path):
+        from repro.experiments.runner import run_grid
+        from repro.scenarios.spec import PlacementSpec, ScenarioSpec
+
+        spec = ScenarioSpec(
+            name="profiled-cells",
+            placement=PlacementSpec(node_count=12),
+            epochs=2,
+            steps_per_epoch=1,
+        )
+        profiled = run_grid([spec], seeds=2, results_dir=tmp_path, profile=True)
+        assert profiled.computed == 2
+        # A normal resume must not treat timing-polluted files as cache hits
+        # (they carry wall-clock phase_seconds); it recomputes and cleans them.
+        cleaned = run_grid([spec], seeds=2, results_dir=tmp_path)
+        assert cleaned.computed == 2 and cleaned.cached == 0
+        # Once cleaned, the archive is deterministic again and caches fully.
+        resumed = run_grid([spec], seeds=2, results_dir=tmp_path)
+        assert resumed.computed == 0 and resumed.cached == 2

@@ -8,6 +8,7 @@ distance *exactly* ``r`` from the query point.
 """
 
 import math
+import random
 
 import pytest
 from hypothesis import given, settings
@@ -167,3 +168,59 @@ class TestVectorizedHelpers:
         result = distances_from(Point(ox, oy), [Point(x, y) for x, y in points])
         for got, (x, y) in zip(result, points):
             assert got == pytest.approx(math.hypot(x - ox, y - oy), abs=1e-9)
+
+
+class TestDeltaUpdates:
+    """insert/delete/move must leave the index indistinguishable from a rebuild."""
+
+    def test_patched_index_matches_fresh_rebuild(self):
+        rng = random.Random(17)
+        points = {i: (rng.uniform(0, 1000), rng.uniform(0, 1000)) for i in range(60)}
+        index = UniformGridIndex(100.0, points.items())
+        for step in range(120):
+            op = rng.choice(["move", "insert", "delete"])
+            if op == "move" and points:
+                key = rng.choice(sorted(points))
+                points[key] = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+                index.move(key, points[key])
+            elif op == "insert":
+                key = 1000 + step
+                points[key] = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+                index.insert(key, points[key])
+            elif points:
+                key = rng.choice(sorted(points))
+                del points[key]
+                index.delete(key)
+        fresh = UniformGridIndex(100.0, points.items())
+        assert index.keys() == fresh.keys()
+        for radius in (0.0, 75.0, 150.0, 400.0):
+            query = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+            assert index.neighbors_within(query, radius) == fresh.neighbors_within(query, radius)
+            assert index.neighbors_with_distances(query, radius) == fresh.neighbors_with_distances(query, radius)
+        assert index.pairs_within(150.0) == fresh.pairs_within(150.0)
+
+    def test_mutations_drop_the_pair_cache(self):
+        index = UniformGridIndex(100.0, [(1, (0.0, 0.0)), (2, (50.0, 0.0))])
+        assert index.pairs_within(100.0) == [(1, 2, 50.0)]
+        index.move(1, (500.0, 500.0))
+        assert index.pairs_within(100.0) == []
+        index.insert(3, (40.0, 0.0))
+        assert index.pairs_within(100.0) == [(2, 3, 10.0)]
+        index.delete(3)
+        assert index.pairs_within(100.0) == []
+
+    def test_noop_move_keeps_the_pair_cache(self):
+        index = UniformGridIndex(100.0, [(1, (0.0, 0.0)), (2, (50.0, 0.0))])
+        first = index.pairs_within(100.0)
+        index.move(1, (0.0, 0.0))
+        assert index.pairs_within(100.0) is first
+
+    def test_insert_duplicate_key_raises(self):
+        index = UniformGridIndex(10.0, [(1, (0.0, 0.0))])
+        with pytest.raises(ValueError):
+            index.insert(1, (5.0, 5.0))
+
+    def test_delete_missing_key_raises(self):
+        index = UniformGridIndex(10.0)
+        with pytest.raises(KeyError):
+            index.delete(42)

@@ -198,3 +198,122 @@ class TestSampledPairsMode:
         # 50 pairs with ~sqrt(50) targets per source must touch >= 5 trees,
         # not collapse onto the 1-2 that would suffice to contain them.
         assert len(sources) >= 5
+
+
+class TestCanonicalDijkstra:
+    """History-independent tie-breaking for per-source routes."""
+
+    def _adjacency(self, edges):
+        adjacency = {}
+        for u, v, w in edges:
+            adjacency.setdefault(u, {})[v] = w
+            adjacency.setdefault(v, {})[u] = w
+        return adjacency
+
+    def test_result_is_independent_of_insertion_order(self):
+        from repro.graphs.routing import canonical_single_source_paths
+
+        edges = [(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0), (3, 4, 1.0)]
+        forward = self._adjacency(edges)
+        backward = self._adjacency(list(reversed(edges)))
+        assert canonical_single_source_paths(forward, 0) == canonical_single_source_paths(
+            backward, 0
+        )
+
+    def test_equal_cost_ties_pick_smallest_predecessor(self):
+        from repro.graphs.routing import canonical_single_source_paths
+
+        # Both 1 and 2 reach 3 at cost 2; the canonical tree must route 0->1->3.
+        adjacency = self._adjacency(
+            [(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)]
+        )
+        assert canonical_single_source_paths(adjacency, 0)[3] == [0, 1, 3]
+
+    def test_unreachable_targets_are_absent(self):
+        from repro.graphs.routing import canonical_single_source_paths
+
+        adjacency = self._adjacency([(0, 1, 1.0)])
+        adjacency[5] = {}
+        paths = canonical_single_source_paths(adjacency, 0)
+        assert 5 not in paths
+        assert paths[0] == [0]
+
+
+class TestSourceRouteCache:
+    def _adjacency(self, edges):
+        adjacency = {}
+        for u, v, w in edges:
+            adjacency.setdefault(u, {})[v] = w
+            adjacency.setdefault(v, {})[u] = w
+        return adjacency
+
+    def test_cached_paths_match_fresh_computation_under_evolution(self):
+        import random as random_module
+
+        from repro.graphs.routing import SourceRouteCache, canonical_single_source_paths
+
+        rng = random_module.Random(3)
+        nodes = list(range(16))
+        edges = {}
+        for u in nodes:
+            for v in nodes:
+                if u < v and rng.random() < 0.3:
+                    edges[(u, v)] = rng.uniform(1.0, 5.0)
+        cache = SourceRouteCache()
+        for _ in range(25):
+            action = rng.random()
+            if action < 0.4 and edges:  # remove an edge
+                del edges[rng.choice(sorted(edges))]
+            elif action < 0.7:  # add an edge
+                u, v = sorted(rng.sample(nodes, 2))
+                edges[(u, v)] = rng.uniform(1.0, 5.0)
+            elif edges:  # perturb a weight
+                edge = rng.choice(sorted(edges))
+                edges[edge] = rng.uniform(1.0, 5.0)
+            adjacency = {node: {} for node in nodes}
+            for (u, v), w in edges.items():
+                adjacency[u][v] = w
+                adjacency[v][u] = w
+            cache.sync(adjacency)
+            for source in rng.sample(nodes, 4):
+                assert cache.paths(source) == canonical_single_source_paths(
+                    adjacency, source
+                )
+
+    def test_unrelated_removal_keeps_cached_tree(self):
+        from repro.graphs.routing import SourceRouteCache
+
+        edges = [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]
+        cache = SourceRouteCache()
+        cache.sync(self._adjacency(edges))
+        cache.paths(0)
+        assert cache.misses == 1
+        # Removing (3, 4) cannot touch 0's shortest-path tree (0-1, 1-2):
+        # the tree survives the sync.
+        adjacency = self._adjacency([(0, 1, 1.0), (1, 2, 1.0)])
+        adjacency.setdefault(3, {})
+        adjacency.setdefault(4, {})
+        cache.sync(adjacency)
+        cache.paths(0)
+        assert cache.hits == 1
+
+    def test_tree_edge_removal_invalidates_the_source(self):
+        from repro.graphs.routing import SourceRouteCache
+
+        cache = SourceRouteCache()
+        cache.sync(self._adjacency([(0, 1, 1.0), (1, 2, 1.0)]))
+        cache.paths(0)
+        cache.sync(self._adjacency([(0, 1, 1.0)]))
+        paths = cache.paths(0)
+        assert cache.misses == 2
+        assert 2 not in paths
+
+    def test_added_edge_drops_everything(self):
+        from repro.graphs.routing import SourceRouteCache
+
+        cache = SourceRouteCache()
+        cache.sync(self._adjacency([(0, 1, 1.0), (1, 2, 1.0)]))
+        cache.paths(0)
+        cache.sync(self._adjacency([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]))
+        assert cache.paths(0)[2] == [0, 2]
+        assert cache.misses == 2

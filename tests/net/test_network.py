@@ -123,3 +123,94 @@ class TestGeometryHelpers:
         positions = square_network.positions()
         assert positions[2] == (1.0, 1.0)
         assert len(positions) == 4
+
+
+class TestDirtyTracking:
+    """Dirty listeners and delta-patched caches (the incremental substrate)."""
+
+    def _network(self):
+        return Network.from_positions([(0, 0), (100, 0), (200, 0), (0, 150)])
+
+    def test_listener_collects_every_kind_of_change(self):
+        network = self._network()
+        dirty = network.register_dirty_listener()
+        network.node(0).move_to(Point(5.0, 5.0))
+        network.node(1).crash()
+        network.node(1).recover()
+        network.add_node(Node(node_id=9, position=Point(50.0, 50.0)))
+        network.remove_node(9)
+        assert dirty == {0, 1, 9}
+        dirty.clear()
+        network.node(2).move_to(Point(210.0, 0.0))
+        assert dirty == {2}
+        network.unregister_dirty_listener(dirty)
+        network.node(3).move_to(Point(0.0, 160.0))
+        assert dirty == {2}
+
+    def test_noop_move_invalidates_nothing(self):
+        network = self._network()
+        dirty = network.register_dirty_listener()
+        index = network.spatial_index()
+        cache = network.derived_cache
+        cache["probe"] = "value"
+        network.node(0).move_to(Point(0.0, 0.0))  # unchanged position
+        assert dirty == set()
+        assert network.spatial_index() is index
+        assert cache.get("probe") == "value"
+
+    def test_real_move_patches_index_and_dirties_cache(self):
+        network = self._network()
+        index = network.spatial_index()
+        cache = network.derived_cache
+        cache["probe"] = "value"
+        network.node(0).move_to(Point(500.0, 500.0))
+        # The index object is patched in place, not discarded...
+        assert network.spatial_index() is index
+        # ...and answers exactly as a freshly built one would.
+        fresh = Network.from_positions(
+            [(500, 500), (100, 0), (200, 0), (0, 150)]
+        ).spatial_index()
+        assert index.neighbors_within(Point(500, 500), 250.0) == fresh.neighbors_within(
+            Point(500, 500), 250.0
+        )
+        # Plain get() treats the dirty entry as a miss (legacy semantics)...
+        assert cache.get("probe") is None
+        # ...while self-patching consumers can read the value plus its dirty set.
+        value, dirty = cache.entry("probe")
+        assert value == "value" and dirty == {0}
+
+    def test_crash_and_recover_patch_index_membership(self):
+        network = self._network()
+        index = network.spatial_index()
+        network.node(2).crash()
+        assert 2 not in index
+        network.node(2).recover()
+        assert 2 in index
+        assert network.spatial_index() is index
+
+    def test_cbtc_candidate_cache_patches_to_fresh_values(self):
+        import math
+        from repro.core.cbtc import _all_sorted_candidates
+
+        side = 1500.0 * math.sqrt(2.0)
+        from repro.net.placement import PlacementConfig, random_uniform_placement
+
+        network = random_uniform_placement(
+            PlacementConfig(node_count=200, width=side, height=side), seed=4
+        )
+        before = _all_sorted_candidates(network)
+        assert _all_sorted_candidates(network) is before  # clean cache hit
+        network.node(7).move_to(Point(side / 2, side / 2))
+        network.node(11).crash()
+        patched = _all_sorted_candidates(network)
+        fresh = random_uniform_placement(
+            PlacementConfig(node_count=200, width=side, height=side), seed=4
+        )
+        fresh.node(7).move_to(Point(side / 2, side / 2))
+        fresh.node(11).crash()
+        rebuilt = _all_sorted_candidates(fresh)
+        assert set(patched) == set(rebuilt)
+        for node_id, items in rebuilt.items():
+            assert [
+                (required, other.node_id, dist) for required, other, dist in patched[node_id]
+            ] == [(required, other.node_id, dist) for required, other, dist in items]

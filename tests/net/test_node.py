@@ -41,3 +41,25 @@ class TestNode:
         assert a != c
         assert hash(a) == hash(b)
         assert a != "not a node"
+
+
+class TestNoOpMoves:
+    """Satellite: a move to the identical position must not notify watchers."""
+
+    def test_move_to_same_position_skips_watchers(self):
+        node = Node(node_id=1, position=Point(3.0, 4.0))
+        seen = []
+        node.watch(seen.append)
+        node.move_to(Point(3.0, 4.0))
+        assert seen == []
+        node.move_to(Point(3.0, 5.0))
+        assert seen == [node]
+
+    def test_real_move_still_notifies_every_watcher(self):
+        node = Node(node_id=1, position=Point(0.0, 0.0))
+        first, second = [], []
+        node.watch(first.append)
+        node.watch(second.append)
+        node.move_to(Point(1.0, 0.0))
+        node.move_to(Point(1.0, 0.0))  # repeat: no second notification
+        assert len(first) == 1 and len(second) == 1
