@@ -1,0 +1,172 @@
+"""Benchmark: fleet-server serving throughput, batched+cached vs naive.
+
+Two measurements, both over the load generator's deterministic mixed
+read/write workload (95/5 read/write serving mix, hot route/traffic keys,
+5% movers — the regime the snapshot cache and the incremental dirty-set
+pipeline serve):
+
+* **engine cells** (8 / 32 / 64 worlds) — the sharded serving engine
+  driven directly (no sockets): worlds are provisioned in an untimed setup
+  phase, then the steady-state workload is replayed through the consistent-
+  hash shard executor in batches.  The *cached* arm is the real serving
+  path (snapshot cache + route cache + incremental topology splicing); the
+  *naive* arm is the one-request-one-rebuild baseline (full
+  ``build_topology`` per request, no caches).  The acceptance bar —
+  **cached ≥ 3× naive requests/sec at 32 worlds** — is asserted here.
+* **server cell** (32 worlds) — the same workload end to end through the
+  asyncio front end over TCP (16 closed-loop connections, inline shards),
+  reporting requests/sec and p50/p95 latency for both arms.
+
+Every cell also asserts the two arms' final world snapshots are
+byte-identical — the caches and the incremental pipeline are optimizations,
+not approximations.
+
+Run with ``--benchmark-json`` to archive the cached-arm timings (the CI
+service job uploads them); naive timings and speedups ride in
+``extra_info``.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.service.loadgen import LoadConfig, build_trace, flatten_trace, run_load_async
+from repro.service.replay import ShardedReplayer
+from repro.service.server import FleetServer
+
+#: The issue's acceptance bar at 32 worlds.
+REQUIRED_SPEEDUP = 3.0
+
+SHARDS = 4
+
+
+def _serving_config(worlds: int) -> LoadConfig:
+    return LoadConfig(
+        worlds=worlds,
+        requests_per_world=30,
+        nodes=100,
+        connections=16,
+        mover_fraction=0.05,
+        write_fraction=0.05,
+        seed=0,
+    )
+
+
+def _split_phases(config: LoadConfig):
+    """(setup trace, steady-state workload trace) of the load config."""
+    traces = build_trace(config)
+    creates = [trace[0] for trace in traces]
+    workload = flatten_trace([trace[1:] for trace in traces])
+    return creates, workload
+
+
+def _engine_arm(config: LoadConfig, *, naive: bool):
+    """Provision untimed, then time the workload; return (rps, snapshots)."""
+    creates, workload = _split_phases(config)
+    replayer = ShardedReplayer(SHARDS, naive=naive)
+    try:
+        replayer.execute(creates, schedule_seed=0)
+        started = time.perf_counter()
+        routed = replayer.execute(workload, schedule_seed=1)
+        elapsed = time.perf_counter() - started
+        return routed / elapsed, replayer.snapshots()
+    finally:
+        replayer.close()
+
+
+@pytest.mark.parametrize("worlds", [8, 32, 64])
+def test_bench_service_engine_throughput(benchmark, print_section, worlds):
+    config = _serving_config(worlds)
+
+    naive_rps, naive_snapshots = _engine_arm(config, naive=True)
+
+    state = {}
+
+    def cached_arm():
+        state["rps"], state["snapshots"] = _engine_arm(config, naive=False)
+
+    benchmark.pedantic(cached_arm, rounds=1, iterations=1, warmup_rounds=0)
+    cached_rps, cached_snapshots = state["rps"], state["snapshots"]
+
+    # Optimization, not approximation: byte-identical final worlds.
+    assert cached_snapshots == naive_snapshots
+
+    speedup = cached_rps / naive_rps
+    benchmark.extra_info.update(
+        {
+            "worlds": worlds,
+            "shards": SHARDS,
+            "cached_requests_per_second": round(cached_rps, 1),
+            "naive_requests_per_second": round(naive_rps, 1),
+            "speedup": round(speedup, 2),
+        }
+    )
+    print_section(
+        f"serving engine, {worlds} worlds x {SHARDS} shards (steady state)",
+        f"batched+cached: {cached_rps:8.1f} req/s\n"
+        f"naive rebuild:  {naive_rps:8.1f} req/s\n"
+        f"speedup:        {speedup:8.2f} x",
+    )
+    if worlds == 32:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"batched+cached serving must be >= {REQUIRED_SPEEDUP}x the naive "
+            f"one-request-one-rebuild baseline at {worlds} worlds "
+            f"(measured {speedup:.2f}x)"
+        )
+
+
+def _server_arm(config: LoadConfig, *, naive: bool):
+    async def run():
+        server = FleetServer(port=0, shards=SHARDS, inline=True, naive=naive)
+        await server.start()
+        try:
+            return await run_load_async("127.0.0.1", server.port, config)
+        finally:
+            await server.stop()
+
+    return asyncio.run(run())
+
+
+def test_bench_service_server_end_to_end(benchmark, print_section):
+    config = _serving_config(32)
+
+    naive_report, naive_snapshots = _server_arm(config, naive=True)
+
+    state = {}
+
+    def cached_arm():
+        state["report"], state["snapshots"] = _server_arm(config, naive=False)
+
+    benchmark.pedantic(cached_arm, rounds=1, iterations=1, warmup_rounds=0)
+    report, snapshots = state["report"], state["snapshots"]
+
+    assert report.errors == 0 and naive_report.errors == 0
+    assert snapshots == naive_snapshots
+
+    speedup = report.requests_per_second / naive_report.requests_per_second
+    benchmark.extra_info.update(
+        {
+            "worlds": config.worlds,
+            "connections": config.connections,
+            "cached_requests_per_second": round(report.requests_per_second, 1),
+            "cached_p95_latency_ms": round(report.latency_p95_ms, 2),
+            "naive_requests_per_second": round(naive_report.requests_per_second, 1),
+            "naive_p95_latency_ms": round(naive_report.latency_p95_ms, 2),
+            "speedup": round(speedup, 2),
+        }
+    )
+    print_section(
+        "fleet server end to end, 32 worlds x 16 connections (TCP, inline shards)",
+        f"batched+cached: {report.requests_per_second:8.1f} req/s, "
+        f"p50 {report.latency_p50_ms:6.2f} ms, p95 {report.latency_p95_ms:6.2f} ms\n"
+        f"naive rebuild:  {naive_report.requests_per_second:8.1f} req/s, "
+        f"p50 {naive_report.latency_p50_ms:6.2f} ms, p95 {naive_report.latency_p95_ms:6.2f} ms\n"
+        f"speedup:        {speedup:8.2f} x",
+    )
+    # The socket stack sits on both arms, so the end-to-end gap is smaller
+    # than the engine's; it must still be decisive.
+    assert speedup >= 2.0, (
+        f"end-to-end batched+cached serving should be >= 2x the naive baseline "
+        f"(measured {speedup:.2f}x)"
+    )

@@ -15,7 +15,13 @@ the experiment harnesses:
   across re-runs);
 * ``traffic run|report`` — packet-level traffic workloads (CBR / hotspot /
   uniform / burst) over CBTC and baseline topologies, with optional SINR
-  interference and finite batteries.
+  interference and finite batteries;
+* ``serve`` — the topology-as-a-service fleet server (asyncio front end,
+  consistent-hash sharding over worker processes, batched dispatch,
+  snapshot caching);
+* ``load`` — the closed-loop load generator, with byte-identity
+  verification of the served world snapshots against a serial in-process
+  replay (``--verify``).
 """
 
 from __future__ import annotations
@@ -40,8 +46,12 @@ from repro.experiments import (
     run_table1,
 )
 from repro.experiments.runner import format_report, run_grid, summarize_grid
+from repro.io.results import write_json
 from repro.net.placement import PAPER_CONFIG, PlacementConfig
 from repro.scenarios import get_scenario, scenario_names
+from repro.service.loadgen import LoadConfig, run_load, verify_snapshots
+from repro.service.server import run_server
+from repro.service.worlds import DEFAULT_SCENARIO
 from repro.traffic import (
     TOPOLOGIES,
     TrafficSpec,
@@ -144,6 +154,13 @@ def _scenarios_list(args: argparse.Namespace) -> int:
 
 
 def _scenarios_run(args: argparse.Namespace) -> int:
+    if args.workers <= 0:
+        print(
+            f"--workers must be at least 1 (got {args.workers}); "
+            f"use --workers 1 for a serial run",
+            file=sys.stderr,
+        )
+        return 1
     names = scenario_names() if args.all else args.scenario
     if not names:
         print("no scenario selected: pass --scenario NAME (repeatable) or --all", file=sys.stderr)
@@ -154,7 +171,7 @@ def _scenarios_run(args: argparse.Namespace) -> int:
             spec = get_scenario(name)
         except KeyError as error:
             print(error.args[0], file=sys.stderr)
-            return 2
+            return 1
         if args.nodes is not None or args.epochs is not None:
             spec = spec.scaled(node_count=args.nodes, epochs=args.epochs)
         specs.append(spec)
@@ -241,6 +258,85 @@ def _traffic_report(args: argparse.Namespace) -> int:
         )
         return 1
     print(format_traffic_report(aggregates))
+    return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    if args.shards <= 0:
+        print(f"--shards must be at least 1 (got {args.shards})", file=sys.stderr)
+        return 1
+    try:
+        return run_server(
+            host=args.host,
+            port=args.port,
+            shards=args.shards,
+            inline=args.inline,
+            naive=args.naive,
+        )
+    except OSError as error:
+        print(
+            f"cannot listen on {args.host}:{args.port}: {error}; is another "
+            f"'cbtc serve' already running there?",
+            file=sys.stderr,
+        )
+        return 1
+
+
+def _load(args: argparse.Namespace) -> int:
+    try:
+        config = LoadConfig(
+            worlds=args.worlds,
+            requests_per_world=args.requests,
+            seed=args.seed,
+            scenario=args.scenario,
+            nodes=args.nodes,
+            mover_fraction=args.mover_fraction,
+            write_fraction=args.write_fraction,
+            connections=args.connections,
+        )
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 1
+    from repro.service.client import ServiceError
+
+    try:
+        report, snapshots = run_load(args.host, args.port, config)
+    except ServiceError as error:
+        print(error, file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as error:
+        print(
+            f"cannot drive {args.host}:{args.port}: {error}; is 'cbtc serve' running?",
+            file=sys.stderr,
+        )
+        return 1
+    if args.shutdown:
+        import asyncio
+
+        from repro.service.client import ServiceClient
+
+        async def _shutdown() -> None:
+            client = await ServiceClient.connect(args.host, args.port)
+            try:
+                await client.call("shutdown")
+            finally:
+                await client.close()
+
+        asyncio.run(_shutdown())
+    print(report.as_text())
+    if args.json:
+        write_json(report, args.json)
+        print(f"report written to {args.json}")
+    if args.verify:
+        mismatched = verify_snapshots(config, snapshots)
+        if mismatched:
+            print(
+                f"snapshot verification FAILED: {len(mismatched)} world(s) diverged from "
+                f"the serial replay: {', '.join(mismatched)}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"snapshot verification passed: {report.worlds} worlds byte-identical to serial replay")
     return 0
 
 
@@ -347,6 +443,53 @@ def build_parser() -> argparse.ArgumentParser:
     traffic_report = traffic_commands.add_parser("report", help="aggregate a traffic results directory")
     traffic_report.add_argument("--results-dir", default="traffic-results")
     traffic_report.set_defaults(func=_traffic_report)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the topology-as-a-service fleet server until shutdown"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7421, help="TCP port (0 picks a free one)")
+    serve.add_argument("--shards", type=int, default=2, help="worker shards (consistent-hashed)")
+    serve.add_argument(
+        "--inline",
+        action="store_true",
+        help="execute shards in-process instead of worker processes",
+    )
+    serve.add_argument(
+        "--naive",
+        action="store_true",
+        help="serve without snapshot/route caches and rebuild topology per request "
+        "(the benchmark baseline)",
+    )
+    serve.set_defaults(func=_serve)
+
+    load = subparsers.add_parser(
+        "load", help="drive the closed-loop load generator against a fleet server"
+    )
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--port", type=int, default=7421)
+    load.add_argument("--worlds", type=int, default=8, help="worlds to create and exercise")
+    load.add_argument("--requests", type=int, default=10, help="requests per world (plus create/snapshot)")
+    load.add_argument("--connections", type=int, default=4, help="concurrent closed-loop connections")
+    load.add_argument("--seed", type=int, default=0, help="trace seed (the whole trace is deterministic)")
+    load.add_argument("--scenario", default=DEFAULT_SCENARIO, help="catalogue scenario bootstrapping each world")
+    load.add_argument("--nodes", type=int, default=80, help="node population per world")
+    load.add_argument(
+        "--mover-fraction", type=float, default=0.1, help="fraction of nodes that move per world"
+    )
+    load.add_argument(
+        "--write-fraction", type=float, default=0.5, help="fraction of requests that are writes"
+    )
+    load.add_argument(
+        "--verify",
+        action="store_true",
+        help="replay the trace serially in-process and require byte-identical snapshots",
+    )
+    load.add_argument(
+        "--shutdown", action="store_true", help="shut the server down after the run"
+    )
+    load.add_argument("--json", default=None, metavar="PATH", help="write the load report as JSON")
+    load.set_defaults(func=_load)
 
     return parser
 

@@ -168,8 +168,9 @@ def run_grid(
 ) -> GridRunSummary:
     """Run (or resume) a scenario × seed grid and persist every result.
 
-    ``workers <= 1`` runs serially in-process; larger values fan tasks over
-    a ``multiprocessing`` pool.  Regardless of ``workers``, the persisted
+    ``workers == 1`` runs serially in-process; larger values fan tasks over
+    a ``multiprocessing`` pool; zero or negative worker counts are rejected
+    (``ValueError``) rather than silently running serially.  Regardless of ``workers``, the persisted
     files are byte-identical because seeds are order-independent and the
     parent process performs all serialization and writing, one file per
     completed task (an interrupted grid keeps its finished cells).
@@ -185,6 +186,8 @@ def run_grid(
     of every result (``phase_seconds``).  Profiled runs never reuse cached
     cells — a cached result has no timings — so ``resume`` is ignored.
     """
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1 (got {workers})")
     if profile:
         resume = False
     root = Path(results_dir)

@@ -61,6 +61,17 @@ def results_to_json(result: Any, *, indent: int = 2) -> str:
     return json.dumps(_to_jsonable(result), indent=indent, sort_keys=True)
 
 
+def canonical_json(value: Any) -> str:
+    """The compact canonical serialization of ``value`` (one line).
+
+    Same conversion and key ordering as :func:`results_to_json`, but with
+    all whitespace elided — the form used for cache keys and wire payloads,
+    where two structurally equal values must map to the same string and
+    every byte counts.
+    """
+    return json.dumps(_to_jsonable(value), sort_keys=True, separators=(",", ":"))
+
+
 def results_from_json(payload: str) -> Any:
     """Parse a JSON string produced by :func:`results_to_json`."""
     return json.loads(payload)

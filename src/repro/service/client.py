@@ -1,0 +1,74 @@
+"""Asyncio client for the fleet server's wire protocol."""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, Optional
+
+
+class ServiceError(RuntimeError):
+    """An error response from the server, surfaced as an exception."""
+
+
+class ServiceClient:
+    """One connection speaking the newline-delimited JSON protocol.
+
+    Requests are issued strictly one at a time per client (write, then read
+    the matching response), mirroring the closed-loop usage of the load
+    generator; open several clients for concurrency.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        """Open a connection to a running fleet server."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(
+        self,
+        op: str,
+        *,
+        world: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Send one request and return the raw response envelope."""
+        from repro.service.protocol import decode_message, encode_message
+
+        message: Dict[str, Any] = {"id": next(self._ids), "op": op}
+        if world is not None:
+            message["world"] = world
+        if params:
+            message["params"] = params
+        self._writer.write(encode_message(message))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_message(line)
+
+    async def call(
+        self,
+        op: str,
+        *,
+        world: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        """Send one request and return its ``result``; raise on errors."""
+        response = await self.request(op, world=world, params=params)
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown server error"))
+        return response.get("result")
+
+    async def close(self) -> None:
+        """Close the connection."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown races
+            pass

@@ -1,0 +1,338 @@
+"""Closed-loop load generator for the fleet server.
+
+The generator builds a **deterministic request trace** — per world: one
+``create_world``, then a seeded mix of writes (``advance``) and reads
+(``query_stats`` / ``query_route`` / ``run_traffic``), closed by one
+``snapshot`` — and drives it over ``connections`` concurrent client
+connections in a closed loop (each connection issues its next request only
+after receiving the previous response; offered load rises with the
+connection count, exactly how the server's batching is designed to be fed).
+
+Worlds are partitioned across connections, so every world's requests flow
+through exactly one connection in trace order — per-world request order is
+preserved no matter how the event loop schedules the connections.  That
+makes the run *replayable*: :func:`serial_reference` executes the same
+trace on a single in-process :class:`~repro.service.worlds.WorldHost`, and
+:func:`verify_snapshots` compares the server's final world snapshots
+byte-for-byte against it — the check ``cbtc load --verify`` and the CI
+smoke job run after every load.
+
+Latency is recorded per request and condensed into p50/p95/p99 (and per-op
+p95) in the :class:`LoadReport`; snapshot payloads are kept out of the
+report so its JSON stays a metrics artifact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.io.results import results_to_json
+from repro.scenarios.catalogue import get_scenario
+from repro.service import protocol
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.replay import replay_serial
+from repro.service.worlds import DEFAULT_SCENARIO
+from repro.sim.randomness import SeededRandom, derive_seed
+from repro.traffic.metrics import percentile
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One load run, fully determined (trace-wise) by its fields."""
+
+    worlds: int = 8
+    requests_per_world: int = 10
+    seed: int = 0
+    scenario: str = DEFAULT_SCENARIO
+    nodes: Optional[int] = 80
+    mover_fraction: Optional[float] = 0.1
+    write_fraction: float = 0.5
+    traffic_fraction: float = 0.2
+    connections: int = 4
+
+    def __post_init__(self) -> None:
+        if self.worlds < 1:
+            raise ValueError("a load run needs at least one world")
+        if self.requests_per_world < 0:
+            raise ValueError("requests_per_world must be non-negative")
+        if self.nodes is not None and self.nodes < 2:
+            raise ValueError("a world needs at least 2 nodes (routes need two endpoints)")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must lie in [0, 1]")
+        if not 0.0 <= self.traffic_fraction <= 1.0:
+            raise ValueError("traffic_fraction must lie in [0, 1]")
+        if self.connections < 1:
+            raise ValueError("a load run needs at least one connection")
+
+    @property
+    def node_count(self) -> int:
+        """Node population of each world (for route endpoint sampling)."""
+        if self.nodes is not None:
+            return self.nodes
+        return get_scenario(self.scenario).placement.node_count
+
+
+def world_name(index: int) -> str:
+    """The canonical name of the ``index``-th load-generated world."""
+    return f"world-{index:03d}"
+
+
+def build_world_trace(config: LoadConfig, index: int) -> List[Dict[str, Any]]:
+    """The deterministic request sequence of one world.
+
+    Derivation is keyed per world name, so traces are order-independent:
+    adding worlds to a config never changes the existing worlds' requests.
+    """
+    wid = world_name(index)
+    rng = SeededRandom(derive_seed(config.seed, f"load:{wid}"))
+    node_count = config.node_count
+    # Reads draw from a small per-world pool of hot keys (route pairs,
+    # traffic seeds) — serving workloads are zipfian, and hot keys are what
+    # snapshot caches exist for.  The pool is part of the deterministic
+    # trace, so replays agree on it.
+    route_pool = [rng.sample(range(node_count), 2) for _ in range(4)]
+    create_params: Dict[str, Any] = {
+        "scenario": config.scenario,
+        "seed": derive_seed(config.seed, f"world-seed:{wid}"),
+    }
+    if config.nodes is not None:
+        create_params["nodes"] = config.nodes
+    if config.mover_fraction is not None:
+        create_params["mover_fraction"] = config.mover_fraction
+    trace: List[Dict[str, Any]] = [
+        {"op": protocol.CREATE_WORLD, "world": wid, "params": create_params}
+    ]
+    for _ in range(config.requests_per_world):
+        if rng.random() < config.write_fraction:
+            trace.append({"op": protocol.ADVANCE, "world": wid, "params": {"steps": 1}})
+        elif rng.random() < config.traffic_fraction:
+            trace.append(
+                {
+                    "op": protocol.RUN_TRAFFIC,
+                    "world": wid,
+                    "params": {"flows": 3, "packets": 2, "seed": rng.randrange(2)},
+                }
+            )
+        elif rng.random() < 0.5:
+            source, target = route_pool[rng.randrange(len(route_pool))]
+            trace.append(
+                {
+                    "op": protocol.QUERY_ROUTE,
+                    "world": wid,
+                    "params": {"source": source, "target": target},
+                }
+            )
+        else:
+            trace.append({"op": protocol.QUERY_STATS, "world": wid, "params": {}})
+    trace.append({"op": protocol.SNAPSHOT, "world": wid, "params": {}})
+    return trace
+
+
+def build_trace(config: LoadConfig) -> List[List[Dict[str, Any]]]:
+    """Every world's request sequence."""
+    return [build_world_trace(config, index) for index in range(config.worlds)]
+
+
+def flatten_trace(traces: List[List[Dict[str, Any]]]) -> List[Dict[str, Any]]:
+    """One arrival order interleaving the world traces round-robin.
+
+    Any interleave that preserves per-world order is equivalent for world
+    state; round-robin is the canonical one the serial reference uses.
+    """
+    flat: List[Dict[str, Any]] = []
+    cursors = [0] * len(traces)
+    remaining = sum(len(trace) for trace in traces)
+    while remaining:
+        for index, trace in enumerate(traces):
+            if cursors[index] < len(trace):
+                flat.append(trace[cursors[index]])
+                cursors[index] += 1
+                remaining -= 1
+    return flat
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    """The ``fraction`` percentile of ``values`` (repo-wide definition)."""
+    return percentile(sorted(values), fraction)
+
+
+@dataclass
+class LoadReport:
+    """What a load run measured (snapshots are returned separately).
+
+    ``requests``/``requests_per_second``/latency percentiles describe the
+    steady-state workload phase only; world creation is a separate setup
+    phase (``setup_requests``, ``setup_seconds``) the way serving
+    benchmarks conventionally split provisioning from serving.
+    """
+
+    worlds: int
+    connections: int
+    requests: int
+    errors: int
+    elapsed_seconds: float
+    requests_per_second: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    setup_requests: int = 0
+    setup_seconds: float = 0.0
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    op_p95_ms: Dict[str, float] = field(default_factory=dict)
+    server_stats: Optional[Dict[str, Any]] = None
+
+    def as_text(self) -> str:
+        """Human-readable summary for the CLI."""
+        lines = [
+            f"setup: {self.setup_requests} worlds created in {self.setup_seconds:.2f} s",
+            f"load: {self.requests} requests over {self.worlds} worlds "
+            f"x {self.connections} connections in {self.elapsed_seconds:.2f} s "
+            f"({self.requests_per_second:.1f} req/s, {self.errors} errors)",
+            f"latency: p50 {self.latency_p50_ms:.2f} ms, p95 {self.latency_p95_ms:.2f} ms, "
+            f"p99 {self.latency_p99_ms:.2f} ms",
+        ]
+        for op in sorted(self.op_counts):
+            lines.append(
+                f"  {op:<13} {self.op_counts[op]:>6} requests, p95 {self.op_p95_ms[op]:.2f} ms"
+            )
+        if self.server_stats is not None:
+            lines.append(
+                f"server: {self.server_stats.get('batches', 0)} batches, "
+                f"max batch {self.server_stats.get('max_batch_size', 0)}, "
+                f"shard requests {self.server_stats.get('shard_requests')}"
+            )
+        return "\n".join(lines)
+
+
+async def run_load_async(
+    host: str,
+    port: int,
+    config: LoadConfig,
+) -> Tuple[LoadReport, Dict[str, str]]:
+    """Drive the trace against a running server; return (report, snapshots).
+
+    Snapshots map world name to the canonical JSON of the server's final
+    ``snapshot`` response — the byte-identity artifact ``--verify`` and the
+    CI smoke job compare against :func:`serial_reference`.
+    """
+    traces = build_trace(config)
+    assignments: List[List[List[Dict[str, Any]]]] = [[] for _ in range(config.connections)]
+    for index, trace in enumerate(traces):
+        assignments[index % config.connections].append(trace)
+
+    latencies: List[Tuple[str, float]] = []
+    snapshots: Dict[str, str] = {}
+    errors = 0
+    setup_requests = 0
+
+    async def issue(client: ServiceClient, request: Dict[str, Any], timed: bool) -> None:
+        nonlocal errors
+        start = time.perf_counter()
+        response = await client.request(
+            request["op"], world=request.get("world"), params=request.get("params")
+        )
+        if timed:
+            latencies.append((request["op"], time.perf_counter() - start))
+        if not response.get("ok"):
+            errors += 1
+        elif request["op"] == protocol.SNAPSHOT:
+            snapshots[request["world"]] = results_to_json(response["result"])
+
+    async def setup(client, connection_traces) -> None:
+        nonlocal setup_requests
+        if not connection_traces:
+            return
+        for trace in connection_traces:
+            assert trace[0]["op"] == protocol.CREATE_WORLD
+            await issue(client, trace[0], timed=False)
+            setup_requests += 1
+
+    async def drive(client, connection_traces) -> None:
+        if not connection_traces:
+            return
+        for request in flatten_trace([trace[1:] for trace in connection_traces]):
+            await issue(client, request, timed=True)
+
+    clients: List[Optional[ServiceClient]] = []
+    try:
+        for assigned in assignments:
+            clients.append(await ServiceClient.connect(host, port) if assigned else None)
+        # Phase 1 — provisioning: every world is created (and primed) before
+        # the clock starts; serving benchmarks measure serving, not setup.
+        setup_started = time.perf_counter()
+        await asyncio.gather(*(setup(c, a) for c, a in zip(clients, assignments)))
+        setup_seconds = time.perf_counter() - setup_started
+        if errors:
+            # Creation failures (typically: the server still hosts worlds
+            # from a previous load run) would skew every later request and
+            # make --verify report a phantom determinism failure — fail
+            # loudly and early instead.
+            raise ServiceError(
+                f"{errors} of {setup_requests} world creations failed; the server "
+                f"likely still hosts worlds from a previous run — restart it (or "
+                f"shut it down with 'cbtc load --shutdown') before loading again"
+            )
+        # Phase 2 — the timed steady-state workload.
+        started = time.perf_counter()
+        await asyncio.gather(*(drive(c, a) for c, a in zip(clients, assignments)))
+        elapsed = time.perf_counter() - started
+    finally:
+        for client in clients:
+            if client is not None:
+                await client.close()
+
+    stats_client = await ServiceClient.connect(host, port)
+    try:
+        server_stats = await stats_client.call(protocol.SERVER_STATS)
+    finally:
+        await stats_client.close()
+
+    all_latencies = [seconds for _, seconds in latencies]
+    op_counts: Dict[str, int] = {}
+    op_latencies: Dict[str, List[float]] = {}
+    for op, seconds in latencies:
+        op_counts[op] = op_counts.get(op, 0) + 1
+        op_latencies.setdefault(op, []).append(seconds)
+    report = LoadReport(
+        worlds=config.worlds,
+        connections=config.connections,
+        requests=len(latencies),
+        errors=errors,
+        elapsed_seconds=elapsed,
+        requests_per_second=len(latencies) / elapsed if elapsed > 0 else 0.0,
+        setup_requests=setup_requests,
+        setup_seconds=setup_seconds,
+        latency_p50_ms=_percentile(all_latencies, 0.50) * 1000.0,
+        latency_p95_ms=_percentile(all_latencies, 0.95) * 1000.0,
+        latency_p99_ms=_percentile(all_latencies, 0.99) * 1000.0,
+        op_counts=op_counts,
+        op_p95_ms={op: _percentile(values, 0.95) * 1000.0 for op, values in op_latencies.items()},
+        server_stats=server_stats,
+    )
+    return report, snapshots
+
+
+def run_load(host: str, port: int, config: LoadConfig) -> Tuple[LoadReport, Dict[str, str]]:
+    """Synchronous wrapper around :func:`run_load_async`."""
+    return asyncio.run(run_load_async(host, port, config))
+
+
+def serial_reference(config: LoadConfig) -> Dict[str, str]:
+    """The trace's final snapshots under serial in-process execution."""
+    return replay_serial(flatten_trace(build_trace(config)))
+
+
+def verify_snapshots(config: LoadConfig, observed: Dict[str, str]) -> List[str]:
+    """World names whose served snapshot differs from the serial reference.
+
+    An empty list is the pass condition: every world the server built,
+    mutated, sharded and batched ended byte-identical to a plain serial
+    execution of the same per-world request sequences.
+    """
+    reference = serial_reference(config)
+    # A world missing from ``observed`` reads as ``None`` and therefore
+    # mismatches too.
+    return [world for world in sorted(reference) if observed.get(world) != reference[world]]

@@ -1,0 +1,136 @@
+"""The fleet server's JSON wire protocol.
+
+One request or response per line, encoded as a canonical JSON object
+(sorted keys, no whitespace) terminated by ``\\n``.  Requests are plain
+dictionaries — no typed envelope classes — because the same payload has to
+cross three very different boundaries unchanged: a TCP socket (the asyncio
+front end), a ``multiprocessing`` queue (the shard workers), and a plain
+function call (the serial replay used by the determinism battery).
+
+A request looks like::
+
+    {"id": 7, "op": "query_stats", "world": "w3", "params": {}}
+
+and its response like::
+
+    {"id": 7, "ok": true, "result": {...}}
+    {"id": 7, "ok": false, "error": "unknown world 'w3'"}
+
+``op`` names the operation; ``world`` addresses one hosted world (the
+consistent-hash routing key) and is required for every op in
+:data:`WORLD_OPS`.  The front-end ops in :data:`FRONTEND_OPS` (``ping``,
+``list_worlds``, ``server_stats``, ``shutdown``) carry no world and never
+reach a shard.
+
+Requests are validated *before* routing so a malformed message is answered
+with a friendly error instead of crashing a worker.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+# ---------------------------------------------------------------------- #
+# Operations
+# ---------------------------------------------------------------------- #
+#: Create a world from a scenario spec (params: scenario, seed, nodes,
+#: mover_fraction).
+CREATE_WORLD = "create_world"
+#: Advance the world's mobility model (params: steps) — a write.
+ADVANCE = "advance"
+#: Apply an explicit churn/mobility delta (params: moves/joins/crashes/
+#: recovers) — a write.
+APPLY = "apply"
+#: Topology statistics over the current controlled topology — a read.
+QUERY_STATS = "query_stats"
+#: Canonical shortest route between two nodes — a read.
+QUERY_ROUTE = "query_route"
+#: Run a packet-level traffic burst over the current topology — a read
+#: (deterministic in the request's seed; finite batteries make it a write).
+RUN_TRAFFIC = "run_traffic"
+#: The canonical byte-comparable serialization of the world — a read.
+SNAPSHOT = "snapshot"
+#: Per-world snapshot-cache and route-cache counters (never cached itself).
+CACHE_STATS = "cache_stats"
+#: Drop a world from its shard — a write.
+DELETE_WORLD = "delete_world"
+
+#: Front-end liveness probe.
+PING = "ping"
+#: Worlds the front end has seen created, with their shard assignment.
+LIST_WORLDS = "list_worlds"
+#: Request/batch counters of the front end.
+SERVER_STATS = "server_stats"
+#: Orderly server shutdown (responds, then stops accepting).
+SHUTDOWN = "shutdown"
+
+#: Ops executed by the shard that owns ``request["world"]``.
+WORLD_OPS = frozenset(
+    {
+        CREATE_WORLD,
+        ADVANCE,
+        APPLY,
+        QUERY_STATS,
+        QUERY_ROUTE,
+        RUN_TRAFFIC,
+        SNAPSHOT,
+        CACHE_STATS,
+        DELETE_WORLD,
+    }
+)
+
+#: Ops answered by the asyncio front end without touching any shard.
+FRONTEND_OPS = frozenset({PING, LIST_WORLDS, SERVER_STATS, SHUTDOWN})
+
+#: World ops that only read state (their responses are snapshot-cacheable).
+READ_OPS = frozenset({QUERY_STATS, QUERY_ROUTE, RUN_TRAFFIC, SNAPSHOT})
+
+
+# ---------------------------------------------------------------------- #
+# Encoding
+# ---------------------------------------------------------------------- #
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """Canonical single-line JSON encoding (sorted keys, compact, ``\\n``)."""
+    return (json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one protocol line; raises ``ValueError`` on malformed input."""
+    payload = json.loads(line.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError("protocol messages must be JSON objects")
+    return payload
+
+
+def ok_response(request_id: Any, result: Any) -> Dict[str, Any]:
+    """A success response carrying ``result``."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: Any, message: str) -> Dict[str, Any]:
+    """A failure response carrying a human-readable error."""
+    return {"id": request_id, "ok": False, "error": message}
+
+
+def validate_request(request: Dict[str, Any]) -> Optional[str]:
+    """Why ``request`` is malformed, or ``None`` when it is well-formed.
+
+    Validation stops at the envelope (op known, world present where
+    required, params a dict) — per-op parameter checking happens in the
+    world host, where a bad parameter still yields an error *response*
+    rather than an exception.
+    """
+    op = request.get("op")
+    if not isinstance(op, str):
+        return "request is missing its 'op'"
+    if op not in WORLD_OPS and op not in FRONTEND_OPS:
+        return f"unknown op {op!r}"
+    if op in WORLD_OPS:
+        world = request.get("world")
+        if not isinstance(world, str) or not world:
+            return f"op {op!r} requires a non-empty 'world'"
+    params = request.get("params", {})
+    if not isinstance(params, dict):
+        return "'params' must be an object"
+    return None

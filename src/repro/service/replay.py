@@ -1,0 +1,139 @@
+"""Request-trace replay: the service layer's determinism harness.
+
+A request *trace* is a list of protocol request dictionaries in arrival
+order.  The fleet's correctness contract is that the final state of every
+world is a pure function of the **per-world subsequence** of the trace —
+independent of sharding, batching, worker scheduling, or transport.  This
+module provides the two reference executions the battery (and the CI smoke
+job) compare:
+
+* :func:`replay_serial` — one :class:`~repro.service.worlds.WorldHost`
+  executes the whole trace in order: the obviously correct baseline.
+* :func:`replay_sharded` — the trace is routed through the same
+  consistent-hash ring the server uses, then each shard's queue is consumed
+  in seeded-random interleaved batches of seeded-random sizes.  Any such
+  schedule preserves per-world order (worlds never migrate between shards),
+  so the resulting snapshots must be byte-identical to the serial ones —
+  the hypothesis battery samples schedules adversarially.
+
+Both return ``{world_id: canonical snapshot JSON string}`` so comparisons
+are literal string equality on :func:`repro.io.results.results_to_json`
+output, the repo-wide byte-identity notion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List
+
+from repro.io.results import results_to_json
+from repro.service import protocol
+from repro.service.sharding import HashRing
+from repro.service.worlds import WorldHost
+from repro.sim.randomness import SeededRandom
+
+
+def snapshot_request(world_id: str) -> Dict[str, Any]:
+    """The canonical parameterless snapshot request for ``world_id``."""
+    return {"id": None, "op": protocol.SNAPSHOT, "world": world_id, "params": {}}
+
+
+def collect_snapshots(host: WorldHost) -> Dict[str, str]:
+    """Final canonical snapshots of every world hosted by ``host``."""
+    snapshots: Dict[str, str] = {}
+    for world_id in sorted(host.worlds):
+        response = host.execute(snapshot_request(world_id))
+        if not response.get("ok"):  # pragma: no cover - snapshots cannot fail
+            raise RuntimeError(f"snapshot of {world_id!r} failed: {response.get('error')}")
+        snapshots[world_id] = results_to_json(response["result"])
+    return snapshots
+
+
+def replay_serial(trace: List[Dict[str, Any]], *, naive: bool = False) -> Dict[str, str]:
+    """Execute the whole trace on one host, in order; return final snapshots."""
+    host = WorldHost(naive=naive)
+    try:
+        for request in trace:
+            host.execute(request)
+        return collect_snapshots(host)
+    finally:
+        host.close()
+
+
+class ShardedReplayer:
+    """Sharded trace execution with explicit phases.
+
+    The benchmarks need to execute a trace in parts — an untimed world
+    bootstrap, then a timed steady-state workload — against the *same*
+    shard hosts, so the replayer keeps its hosts alive across
+    :meth:`execute` calls and hands out snapshots on demand.
+    """
+
+    def __init__(self, shards: int = 2, *, naive: bool = False) -> None:
+        self.ring = HashRing(shards)
+        self.hosts = [WorldHost(naive=naive) for _ in range(shards)]
+
+    def execute(
+        self,
+        trace: List[Dict[str, Any]],
+        *,
+        schedule_seed: int = 0,
+        max_batch: int = 8,
+    ) -> int:
+        """Replay ``trace`` under a seeded random batch schedule.
+
+        ``schedule_seed`` drives which shard dispatches next and how large
+        each batch is — the degrees of freedom the real server's
+        load-dependent batching exercises.  Per-shard queues are strictly
+        FIFO, exactly like the server's pending queues.  Returns the number
+        of requests that reached a shard.
+        """
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        queues: List[deque] = [deque() for _ in self.hosts]
+        routed = 0
+        for request in trace:
+            world = request.get("world")
+            if isinstance(world, str) and world:
+                queues[self.ring.shard_of(world)].append(request)
+                routed += 1
+            # Front-end/malformed requests never reach a shard; they cannot
+            # affect world state, so replay ignores them.
+        rng = SeededRandom(schedule_seed)
+        while True:
+            nonempty = [shard for shard, queue in enumerate(queues) if queue]
+            if not nonempty:
+                return routed
+            shard = rng.choice(nonempty)
+            size = rng.randint(1, min(max_batch, len(queues[shard])))
+            batch = [queues[shard].popleft() for _ in range(size)]
+            self.hosts[shard].execute_batch(batch)
+
+    def snapshots(self) -> Dict[str, str]:
+        """Final canonical snapshots across every shard, sorted by world."""
+        snapshots: Dict[str, str] = {}
+        for host in self.hosts:
+            snapshots.update(collect_snapshots(host))
+        return dict(sorted(snapshots.items()))
+
+    def close(self) -> None:
+        """Release every shard host."""
+        for host in self.hosts:
+            host.close()
+
+
+def replay_sharded(
+    trace: List[Dict[str, Any]],
+    *,
+    shards: int = 2,
+    schedule_seed: int = 0,
+    max_batch: int = 8,
+    naive: bool = False,
+) -> Dict[str, str]:
+    """One-shot sharded replay: execute the whole trace, return snapshots."""
+    replayer = ShardedReplayer(shards, naive=naive)
+    try:
+        replayer.execute(trace, schedule_seed=schedule_seed, max_batch=max_batch)
+        return replayer.snapshots()
+    finally:
+        replayer.close()

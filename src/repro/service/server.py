@@ -1,0 +1,277 @@
+"""The asyncio front end: topology-as-a-service.
+
+:class:`FleetServer` accepts newline-delimited JSON requests over TCP,
+answers front-end ops (``ping``, ``list_worlds``, ``server_stats``,
+``shutdown``) directly, and routes every world-addressed op to the shard
+owning that world (consistent hashing, :class:`~repro.service.sharding.
+HashRing`).
+
+**Batching.**  Each shard has one dispatcher task and at most one batch in
+flight.  Requests arriving while a batch executes accumulate in the shard's
+pending queue and are dispatched together as the next batch — coalescing
+emerges from load instead of from a timer, so an idle server adds no
+latency and a busy one amortizes the per-dispatch cost over many requests.
+Arrival order within a shard is preserved end to end (queue → batch →
+in-order execution → per-request futures), which keeps per-world request
+order — the determinism contract — intact no matter how batches fall.
+
+**Shards.**  The default backend is a :class:`~repro.service.workers.
+ProcessShardPool` (one long-lived worker process per shard, each owning its
+worlds' reconfiguration and incremental-builder state); ``inline=True``
+executes shards in-process — same semantics, no IPC — which is what the
+benchmarks use to isolate the serving-layer gains and what tests use for
+speed.  ``naive=True`` selects the one-request-one-rebuild baseline in
+either backend.
+
+Connections are handled concurrently but each connection's requests are
+processed sequentially (read → execute → respond), so a single client
+observes its own writes; concurrency — and therefore batching — comes from
+multiple connections, as in the load generator's closed loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.service import protocol
+from repro.service.sharding import HashRing
+from repro.service.workers import InlineShardPool, ProcessShardPool
+
+
+class FleetServer:
+    """Hosts many live worlds behind a batched, sharded request front end."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shards: int = 2,
+        inline: bool = False,
+        naive: bool = False,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.shards = shards
+        self.inline = inline
+        self.naive = naive
+        self.ring = HashRing(shards)
+        self.requests_received = 0
+        self.batches_dispatched = 0
+        self.max_batch_size = 0
+        self.shard_requests = [0] * shards
+        self._pool: Optional[Any] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pending: List[Deque[Tuple[Dict[str, Any], asyncio.Future]]] = [
+            deque() for _ in range(shards)
+        ]
+        self._wakeups: List[asyncio.Event] = []
+        self._dispatchers: List[asyncio.Task] = []
+        self._handlers: set = set()
+        self._connections: set = set()
+        self._worlds: Dict[str, int] = {}
+        self._stopping: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind the listener, start the shard pool and the dispatchers."""
+        self._stopping = asyncio.Event()
+        self._wakeups = [asyncio.Event() for _ in range(self.shards)]
+        # Bind before spawning the pool: a failed bind (port in use) must
+        # not leave orphaned worker processes behind.
+        self._server = await asyncio.start_server(self._handle_client, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        pool_class = InlineShardPool if self.inline else ProcessShardPool
+        self._pool = pool_class(self.shards, naive=self.naive)
+        self._dispatchers = [
+            asyncio.create_task(self._dispatch(shard)) for shard in range(self.shards)
+        ]
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` request arrives, then stop cleanly."""
+        assert self._stopping is not None, "start() must run first"
+        await self._stopping.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain in-flight work, stop the shard pool."""
+        if self._stopping is not None:
+            self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Unblock handlers parked in readline: closing the transports makes
+        # their reads return EOF, so the gather below terminates.
+        for writer in list(self._connections):
+            writer.close()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        for task in self._dispatchers:
+            task.cancel()
+        if self._dispatchers:
+            await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        self._dispatchers = []
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    # ------------------------------------------------------------------ #
+    # Dispatch (one batch in flight per shard)
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, shard: int) -> None:
+        loop = asyncio.get_running_loop()
+        pending = self._pending[shard]
+        wakeup = self._wakeups[shard]
+        while True:
+            await wakeup.wait()
+            wakeup.clear()
+            while pending:
+                batch = list(pending)
+                pending.clear()
+                requests = [request for request, _ in batch]
+                futures = [future for _, future in batch]
+                self.batches_dispatched += 1
+                self.max_batch_size = max(self.max_batch_size, len(requests))
+                self.shard_requests[shard] += len(requests)
+                # Process-backed pools block on a queue round trip, so they
+                # run in the default executor and the event loop keeps
+                # reading other connections — that concurrency is what lets
+                # the next batch coalesce while this one executes.  Inline
+                # pools compute under the GIL regardless; calling them
+                # directly skips a thread hop per batch, and arriving
+                # requests coalesce in the transport buffers instead.
+                if self._pool.runs_in_loop:
+                    responses = self._pool.execute(shard, requests)
+                    await asyncio.sleep(0)
+                else:
+                    responses = await loop.run_in_executor(
+                        None, self._pool.execute, shard, requests
+                    )
+                for future, response in zip(futures, responses):
+                    if not future.done():
+                        future.set_result(response)
+
+    async def _submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        shard = self.ring.shard_of(request["world"])
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[shard].append((request, future))
+        self._wakeups[shard].set()
+        return await future
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        self._connections.add(writer)
+        try:
+            while not self._stopping.is_set():
+                # Plain readline keeps the per-request hot path to one
+                # awaitable; stop() unblocks it by closing the transport
+                # (readline then returns EOF).
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = protocol.decode_message(line)
+                except ValueError as error:
+                    writer.write(protocol.encode_message(
+                        protocol.error_response(None, f"malformed request: {error}")
+                    ))
+                    await writer.drain()
+                    continue
+                response = await self._serve_request(request)
+                writer.write(protocol.encode_message(response))
+                await writer.drain()
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown races
+                pass
+
+    async def _serve_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        request_id = request.get("id")
+        problem = protocol.validate_request(request)
+        if problem is not None:
+            return protocol.error_response(request_id, problem)
+        self.requests_received += 1
+        op = request["op"]
+        if op in protocol.FRONTEND_OPS:
+            return self._serve_frontend(op, request_id)
+        response = await self._submit(request)
+        # The front end tracks world placement from the responses it relays
+        # (a failed create must not register a phantom world).
+        if response.get("ok"):
+            if op == protocol.CREATE_WORLD:
+                self._worlds[request["world"]] = self.ring.shard_of(request["world"])
+            elif op == protocol.DELETE_WORLD:
+                self._worlds.pop(request["world"], None)
+        return response
+
+    def _serve_frontend(self, op: str, request_id: Any) -> Dict[str, Any]:
+        if op == protocol.PING:
+            return protocol.ok_response(request_id, {"pong": True, "shards": self.shards})
+        if op == protocol.LIST_WORLDS:
+            return protocol.ok_response(
+                request_id,
+                {"worlds": {world: shard for world, shard in sorted(self._worlds.items())}},
+            )
+        if op == protocol.SERVER_STATS:
+            return protocol.ok_response(request_id, self.stats())
+        # SHUTDOWN: acknowledge first; serve_until_shutdown tears down after
+        # this response has been written back to the requester.
+        self._stopping.set()
+        return protocol.ok_response(request_id, {"stopping": True})
+
+    def stats(self) -> Dict[str, Any]:
+        """Front-end serving counters."""
+        return {
+            "shards": self.shards,
+            "inline": self.inline,
+            "naive": self.naive,
+            "worlds": len(self._worlds),
+            "requests": self.requests_received,
+            "batches": self.batches_dispatched,
+            "max_batch_size": self.max_batch_size,
+            "shard_requests": list(self.shard_requests),
+        }
+
+
+def run_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 7421,
+    shards: int = 2,
+    inline: bool = False,
+    naive: bool = False,
+) -> int:
+    """Run a fleet server until a ``shutdown`` request arrives (CLI entry)."""
+
+    async def _main() -> int:
+        server = FleetServer(host=host, port=port, shards=shards, inline=inline, naive=naive)
+        await server.start()
+        mode = "inline shards" if inline else f"{shards} worker processes"
+        print(f"fleet server listening on {server.host}:{server.port} ({mode})", flush=True)
+        await server.serve_until_shutdown()
+        print(
+            f"fleet server: clean shutdown "
+            f"({server.requests_received} requests, {server.batches_dispatched} batches, "
+            f"max batch {server.max_batch_size})",
+            flush=True,
+        )
+        return 0
+
+    try:
+        return asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 130

@@ -1,0 +1,142 @@
+"""Shard execution backends: in-process and multiprocessing.
+
+Both backends expose the same two-method interface the front end's
+dispatchers drive::
+
+    responses = pool.execute(shard, [request, ...])   # blocking, in order
+    pool.close()
+
+:class:`InlineShardPool` runs every shard's :class:`~repro.service.worlds.
+WorldHost` in the server process — zero IPC, ideal for tests, benchmarks
+that isolate the serving-layer gains, and single-machine serving.
+
+:class:`ProcessShardPool` gives each shard a long-lived worker process
+owning its worlds' :class:`~repro.core.reconfiguration.ReconfigurationManager`
+and :class:`~repro.core.incremental.IncrementalTopologyBuilder` state, so
+epoch updates ride the dirty-set path across requests instead of rebuilding
+per request.  Workers receive request batches over a ``multiprocessing``
+queue and answer on a per-shard response queue; because each shard has at
+most one batch in flight (the dispatcher awaits the previous batch before
+sending the next), responses need no sequence numbers and per-world request
+order — the determinism contract — is preserved by construction.
+
+Workers start **empty**: worlds are created by ``create_world`` requests
+routed through the same consistent hash as every other request, so no live
+object ever crosses a process boundary (requests and responses are plain
+JSON-able dictionaries).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Dict, List
+
+from repro.service.worlds import WorldHost
+
+#: Sentinel telling a worker loop to exit.
+_STOP = "stop"
+
+
+class InlineShardPool:
+    """All shards executed synchronously in the calling process."""
+
+    #: Inline execution is pure in-process Python: running it straight on
+    #: the event loop avoids an executor-thread round trip per batch (the
+    #: compute holds the GIL either way), while arriving requests queue in
+    #: the transport buffers and coalesce into the next batch.
+    runs_in_loop = True
+
+    def __init__(self, shard_count: int, *, naive: bool = False) -> None:
+        if shard_count < 1:
+            raise ValueError("a shard pool needs at least one shard")
+        self.shard_count = shard_count
+        self.hosts = [WorldHost(naive=naive) for _ in range(shard_count)]
+
+    def execute(self, shard: int, batch: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Run one batch on ``shard``; responses in request order."""
+        return self.hosts[shard].execute_batch(batch)
+
+    def close(self) -> None:
+        """Release every host's worlds."""
+        for host in self.hosts:
+            host.close()
+
+
+def _worker_loop(
+    shard: int,
+    naive: bool,
+    inbox: multiprocessing.Queue,
+    outbox: multiprocessing.Queue,
+) -> None:
+    """One shard worker: execute batches until the stop sentinel arrives.
+
+    An unexpected exception must not strand the dispatcher awaiting a
+    response, so failures are converted into per-request error responses
+    and the loop keeps serving — a poisoned request takes down one batch's
+    semantics, not the shard.
+    """
+    host = WorldHost(naive=naive)
+    while True:
+        message = inbox.get()
+        if message == _STOP:
+            break
+        batch: List[Dict[str, Any]] = message
+        try:
+            responses = host.execute_batch(batch)
+        except Exception as error:  # pragma: no cover - defensive
+            from repro.service.protocol import error_response
+
+            responses = [
+                error_response(request.get("id"), f"shard {shard} worker error: {error!r}")
+                for request in batch
+            ]
+        outbox.put(responses)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # Same choice as the experiment runner: fork where available (cheap),
+    # spawn elsewhere; workers share no mutable state with the parent, so
+    # the start method never affects results.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class ProcessShardPool:
+    """One long-lived worker process per shard."""
+
+    #: The queue round trip blocks; it must run in an executor thread so
+    #: the event loop keeps reading other connections meanwhile.
+    runs_in_loop = False
+
+    def __init__(self, shard_count: int, *, naive: bool = False) -> None:
+        if shard_count < 1:
+            raise ValueError("a shard pool needs at least one shard")
+        self.shard_count = shard_count
+        context = _pool_context()
+        self._inboxes = [context.Queue() for _ in range(shard_count)]
+        self._outboxes = [context.Queue() for _ in range(shard_count)]
+        self._workers = [
+            context.Process(
+                target=_worker_loop,
+                args=(shard, naive, self._inboxes[shard], self._outboxes[shard]),
+                daemon=True,
+            )
+            for shard in range(shard_count)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    def execute(self, shard: int, batch: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Ship one batch to ``shard``'s worker and block for its responses."""
+        self._inboxes[shard].put(batch)
+        return self._outboxes[shard].get()
+
+    def close(self) -> None:
+        """Stop every worker and reap the processes."""
+        for inbox in self._inboxes:
+            inbox.put(_STOP)
+        for worker in self._workers:
+            worker.join(timeout=10)
+            if worker.is_alive():  # pragma: no cover - defensive
+                worker.terminate()
+                worker.join(timeout=5)

@@ -1,0 +1,527 @@
+"""Live worlds and the shard-side execution engine.
+
+A :class:`World` is one hosted deployment: a live
+:class:`~repro.net.network.Network` bootstrapped from a catalogue
+:class:`~repro.scenarios.spec.ScenarioSpec`, the
+:class:`~repro.core.reconfiguration.ReconfigurationManager` maintaining its
+per-node CBTC states, a :class:`~repro.graphs.routing.SourceRouteCache` for
+routing queries, and a **snapshot cache** of read responses.
+
+The write path rides PR 4's dirty-set machinery end to end: mobility steps
+and churn deltas mark node IDs dirty through the network's watcher hooks;
+the next read synchronizes the manager (one shared geometry pass) and
+splices the delta into the previous topology through the
+:class:`~repro.core.incremental.IncrementalTopologyBuilder` instead of
+rebuilding.  Read responses are cached keyed by the canonical
+:func:`repro.io.results.results_to_json` serialization of their request
+parameters and invalidated through a dirty listener registered on the
+network — the *same* hook feeding the manager and the derived-data cache —
+so a write that changes nothing (an ``advance`` of a stationary world)
+leaves every cached response valid.
+
+``naive=True`` builds the serving baseline the benchmarks compare against:
+no snapshot cache, no route cache, and a full from-scratch
+:func:`~repro.core.pipeline.build_topology` on **every** request — the
+one-request-one-rebuild server a straightforward implementation would be.
+Both modes produce byte-identical responses (the incremental pipeline is an
+optimization, not an approximation), which the service test suite asserts.
+
+:class:`WorldHost` owns many worlds and executes protocol requests against
+them.  It is deliberately synchronous and transport-free: the asyncio front
+end, the multiprocessing shard workers, and the serial replay used by the
+determinism battery all drive the exact same ``execute`` method, which is
+what makes "serial and sharded replays are byte-identical" a structural
+property rather than a hope.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.pipeline import build_topology
+from repro.core.reconfiguration import ReconfigurationManager
+from repro.core.topology import TopologyResult
+from repro.geometry import Point
+from repro.core.analysis import preserves_max_power_connectivity
+from repro.graphs.routing import SourceRouteCache, canonical_single_source_paths
+from repro.io.graphs import graph_to_dict
+from repro.io.results import canonical_json
+from repro.net.network import Network
+from repro.net.node import Node, NodeId
+from repro.scenarios.catalogue import get_scenario
+from repro.scenarios.spec import DISTRIBUTED, ScenarioSpec
+from repro.sim.randomness import derive_seed
+from repro.service import protocol
+from repro.traffic.runner import run_traffic
+from repro.traffic.spec import MIN_POWER, TrafficSpec
+
+import networkx as nx
+
+#: Default catalogue scenario for worlds created without an explicit one.
+DEFAULT_SCENARIO = "random-waypoint-drift"
+
+#: Per-world snapshot-cache entry bound.  Long-lived quiescent worlds can
+#: otherwise accumulate one entry per distinct read parameterization
+#: (O(n^2) route pairs, unbounded traffic seeds) between writes; when the
+#: bound is hit the oldest-stored entry is evicted (insertion order — a
+#: deterministic policy, so replays agree on cache *contents* too, though
+#: results never depend on it).
+SNAPSHOT_CACHE_MAX_ENTRIES = 1024
+
+
+class RequestError(ValueError):
+    """A request that is well-formed on the wire but invalid for this world."""
+
+
+def _params_key(op: str, params: Dict[str, Any]) -> str:
+    """Snapshot-cache key: the op plus the canonical serialization of params."""
+    return f"{op}:{canonical_json(params)}"
+
+
+class World:
+    """One live deployment hosted by a shard."""
+
+    def __init__(
+        self,
+        world_id: str,
+        spec: ScenarioSpec,
+        seed: int,
+        *,
+        naive: bool = False,
+    ) -> None:
+        if spec.protocol == DISTRIBUTED:
+            raise RequestError(
+                f"scenario {spec.name!r} uses the distributed protocol; the fleet "
+                f"server hosts reconfiguration-managed worlds only"
+            )
+        self.world_id = world_id
+        self.spec = spec
+        self.seed = seed
+        self.naive = naive
+        self.network: Network = spec.build_network(seed)
+        self.mobility = spec.build_mobility(seed)
+        self.manager = ReconfigurationManager(
+            self.network, spec.alpha, angle_threshold=spec.angle_threshold
+        )
+        self._config = spec.optimizations.config()
+        self._route_cache: Optional[SourceRouteCache] = None if naive else SourceRouteCache()
+        self._snapshot_cache: Dict[str, Any] = {}
+        self._adjacency: Optional[Dict[NodeId, Dict[NodeId, float]]] = None
+        # The invalidation feed: every node move/crash/recover/add/remove
+        # lands this world's ID set — the same hook the manager and the
+        # derived-data cache consume.
+        self._dirty = self.network.register_dirty_listener()
+        self._next_node_id = max(self.network.node_ids, default=-1) + 1
+        self.writes_applied = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        # Prime at creation (the ScenarioRunner.prime() analogue): run the
+        # initial NDP reconciliation — the first synchronize after a fresh
+        # CBTC outcome floods join events as boundary beacons complete every
+        # node's neighbourhood knowledge — and, on the cached path, build
+        # the initial topology.  A freshly created world is then quiescent:
+        # its first read is a memo hit and later write bursts pay only for
+        # their own deltas.
+        self.manager.synchronize(max_iterations=spec.sync_max_iterations)
+        self._dirty.clear()
+        if not naive:
+            self.manager.topology(config=self._config, incremental=True)
+
+    def close(self) -> None:
+        """Detach from the network's notification feeds (world deletion)."""
+        self.manager.close()
+        self.network.unregister_dirty_listener(self._dirty)
+
+    # ------------------------------------------------------------------ #
+    # Topology refresh (the dirty-set read path)
+    # ------------------------------------------------------------------ #
+    def _refresh(self) -> TopologyResult:
+        """Reconcile topology control with the current geometry.
+
+        Both modes synchronize the manager exactly when the dirty listener
+        reports a geometric change since the last read — reconciliation is
+        part of the model's semantics, so it must not differ between modes.
+        What differs is what a read *costs* afterwards: cached mode asks the
+        manager for the memoized, incrementally spliced topology; naive mode
+        rebuilds from scratch on every request, bypassing the manager's memo
+        on purpose (the one-request-one-rebuild baseline).
+        """
+        if self.naive:
+            if self._dirty:
+                self.manager.synchronize(max_iterations=self.spec.sync_max_iterations)
+                self._dirty.clear()
+            self._adjacency = None
+            return build_topology(
+                self.network,
+                self.spec.alpha,
+                config=self._config,
+                outcome=self.manager.outcome,
+            )
+        if self._dirty:
+            self.manager.synchronize(max_iterations=self.spec.sync_max_iterations)
+            self._snapshot_cache.clear()
+            self._adjacency = None
+            self._dirty.clear()
+        return self.manager.topology(config=self._config, incremental=True)
+
+    def _power_adjacency(self, graph: nx.Graph) -> Dict[NodeId, Dict[NodeId, float]]:
+        """Min-power weighted adjacency of the current topology (memoized)."""
+        if self._adjacency is None or self.naive:
+            adjacency: Dict[NodeId, Dict[NodeId, float]] = {node: {} for node in graph.nodes}
+            for u, v in graph.edges:
+                weight = self.network.required_power(u, v)
+                adjacency[u][v] = weight
+                adjacency[v][u] = weight
+            self._adjacency = adjacency
+        return self._adjacency
+
+    def _cached(self, op: str, params: Dict[str, Any], compute) -> Any:
+        """Serve a read from the snapshot cache, or compute and remember it.
+
+        ``_refresh`` ran first, so a surviving entry is valid by the dirty-
+        listener argument: no node changed since it was stored.
+        """
+        if self.naive:
+            return compute()
+        key = _params_key(op, params)
+        if key in self._snapshot_cache:
+            self.cache_hits += 1
+            return self._snapshot_cache[key]
+        self.cache_misses += 1
+        value = compute()
+        if len(self._snapshot_cache) >= SNAPSHOT_CACHE_MAX_ENTRIES:
+            self._snapshot_cache.pop(next(iter(self._snapshot_cache)))
+        self._snapshot_cache[key] = value
+        return value
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+    def advance(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Advance the world's mobility model ``steps`` times."""
+        steps = params.get("steps", self.spec.steps_per_epoch)
+        if not isinstance(steps, int) or steps < 0:
+            raise RequestError("'steps' must be a non-negative integer")
+        for _ in range(steps):
+            self.mobility.step(self.network)
+        self.writes_applied += 1
+        return {"world": self.world_id, "steps": steps, "writes": self.writes_applied}
+
+    def apply_delta(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply an explicit churn/mobility delta.
+
+        ``moves`` is ``[[node_id, x, y], ...]``; ``joins`` is ``[[x, y],
+        ...]`` (IDs are assigned deterministically); ``crashes`` and
+        ``recovers`` are node-ID lists.  The whole delta is validated before
+        any of it is applied, so an invalid request leaves the world
+        untouched — errors must not fork the state between replays.
+        """
+        # Parse and validate the whole delta first — entry shapes, coordinate
+        # types, node existence — so a bad entry cannot leave the world
+        # half-mutated.
+        try:
+            moves = [
+                (node_id, Point(float(x), float(y))) for node_id, x, y in params.get("moves", [])
+            ]
+            join_points = [Point(float(x), float(y)) for x, y in params.get("joins", [])]
+            crashes = list(params.get("crashes", []))
+            recovers = list(params.get("recovers", []))
+            for node_id, _ in moves:
+                if node_id not in self.network:
+                    raise RequestError(f"cannot move unknown node {node_id}")
+            for node_id in crashes + recovers:
+                if node_id not in self.network:
+                    raise RequestError(f"cannot crash/recover unknown node {node_id}")
+        except (TypeError, ValueError) as error:
+            if isinstance(error, RequestError):
+                raise
+            raise RequestError(
+                "malformed delta: 'moves' entries are [node_id, x, y], 'joins' entries "
+                "[x, y], 'crashes'/'recovers' are node-ID lists"
+            ) from None
+        for node_id, position in moves:
+            self.network.node(node_id).move_to(position)
+        joined_ids = []
+        for position in join_points:
+            node = Node(node_id=self._next_node_id, position=position)
+            self._next_node_id += 1
+            self.network.add_node(node)
+            joined_ids.append(node.node_id)
+        for node_id in crashes:
+            self.network.node(node_id).crash()
+        for node_id in recovers:
+            self.network.node(node_id).recover()
+        self.writes_applied += 1
+        return {
+            "world": self.world_id,
+            "moved": len(moves),
+            "joined": joined_ids,
+            "crashed": len(crashes),
+            "recovered": len(recovers),
+            "writes": self.writes_applied,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def stats(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Topology statistics over the current controlled topology."""
+        topology = self._refresh()
+
+        def compute() -> Dict[str, Any]:
+            graph = topology.graph
+            radii = list(topology.node_radius.values())
+            return {
+                "world": self.world_id,
+                "alive_nodes": len(self.network.alive_nodes()),
+                "edge_count": graph.number_of_edges(),
+                "average_degree": topology.average_degree(),
+                "average_radius": sum(radii) / len(radii) if radii else 0.0,
+                "max_radius": max(radii) if radii else 0.0,
+                "components": (
+                    nx.number_connected_components(graph) if graph.number_of_nodes() else 0
+                ),
+                "total_power": sum(topology.node_power.values()),
+                "connectivity_preserved": preserves_max_power_connectivity(self.network, graph),
+            }
+
+        return self._cached(protocol.QUERY_STATS, params, compute)
+
+    def route(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """The canonical minimum-power route between two nodes."""
+        source = params.get("source")
+        target = params.get("target")
+        if not isinstance(source, int) or not isinstance(target, int):
+            raise RequestError("'source' and 'target' must be node IDs")
+        topology = self._refresh()
+
+        def compute() -> Dict[str, Any]:
+            adjacency = self._power_adjacency(topology.graph)
+            if source not in adjacency or target not in adjacency:
+                return {"world": self.world_id, "source": source, "target": target, "reachable": False}
+            if self._route_cache is not None:
+                self._route_cache.sync(adjacency)
+                paths = self._route_cache.paths(source)
+            else:
+                paths = canonical_single_source_paths(adjacency, source)
+            path = paths.get(target)
+            if path is None:
+                return {"world": self.world_id, "source": source, "target": target, "reachable": False}
+            cost = sum(adjacency[u][v] for u, v in zip(path, path[1:]))
+            return {
+                "world": self.world_id,
+                "source": source,
+                "target": target,
+                "reachable": True,
+                "path": list(path),
+                "hops": len(path) - 1,
+                "cost": cost,
+            }
+
+        return self._cached(protocol.QUERY_ROUTE, params, compute)
+
+    def traffic(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Run a packet-level burst over the current topology; report metrics.
+
+        Deterministic in ``(world state, params)``: the run's seed derives
+        from the world seed and the request's ``seed`` parameter, and the
+        default infinite battery keeps the run side-effect free, so the
+        response is cacheable like any other read.
+        """
+        flows = params.get("flows", 4)
+        packets = params.get("packets", 3)
+        request_seed = params.get("seed", 0)
+        kind = params.get("kind", "cbr")
+        interference = bool(params.get("interference", False))
+        topology = self._refresh()
+
+        def compute() -> Dict[str, Any]:
+            try:
+                tspec = TrafficSpec(
+                    kind=kind,
+                    flow_count=flows,
+                    packets_per_flow=packets,
+                    routing=MIN_POWER,
+                    interference=interference,
+                )
+            except (ValueError, TypeError) as error:
+                raise RequestError(str(error)) from None
+            run_seed = derive_seed(self.seed, f"service-traffic:{request_seed}")
+            run = run_traffic(
+                self.network,
+                topology.graph,
+                tspec,
+                run_seed,
+                route_cache=self._route_cache,
+            )
+            report = json.loads(canonical_json(run.report))
+            report["world"] = self.world_id
+            return report
+
+        return self._cached(protocol.RUN_TRAFFIC, params, compute)
+
+    def snapshot(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """The canonical byte-comparable serialization of this world.
+
+        Covers exactly the replay-relevant state — node positions/liveness
+        and the controlled topology, both in the canonical sorted form of
+        :mod:`repro.io` — and none of the serving metadata (cache counters,
+        batch shapes), so serial and sharded replays of one request trace
+        must agree on every byte.
+        """
+        topology = self._refresh()
+
+        def compute() -> Dict[str, Any]:
+            return {
+                "world": self.world_id,
+                "scenario": self.spec.name,
+                "seed": self.seed,
+                "nodes": [
+                    {
+                        "id": node.node_id,
+                        "x": node.position.x,
+                        "y": node.position.y,
+                        "alive": node.alive,
+                    }
+                    for node in self.network.nodes
+                ],
+                "topology": graph_to_dict(topology.graph),
+            }
+
+        return self._cached(protocol.SNAPSHOT, params, compute)
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Serving-layer counters (never cached — they change on every read)."""
+        return {
+            "world": self.world_id,
+            "naive": self.naive,
+            "writes": self.writes_applied,
+            "snapshot_cache_entries": len(self._snapshot_cache),
+            "snapshot_cache_hits": self.cache_hits,
+            "snapshot_cache_misses": self.cache_misses,
+            "route_cache_hits": self._route_cache.hits if self._route_cache else 0,
+            "route_cache_misses": self._route_cache.misses if self._route_cache else 0,
+            "topology_builds": self.manager.topology_builds,
+            "incremental_updates": self.manager.incremental_updates,
+            "topology_memo_hits": self.manager.memo_hits,
+        }
+
+
+def build_world_spec(params: Dict[str, Any]) -> Tuple[ScenarioSpec, int]:
+    """Resolve ``create_world`` params into a ``(spec, seed)`` pair.
+
+    ``scenario`` names a catalogue entry (default
+    :data:`DEFAULT_SCENARIO`); ``nodes`` scales its population;
+    ``mover_fraction`` restricts motion to a seed-stable subset — the
+    partial-mobility regime the incremental pipeline serves best.
+    """
+    name = params.get("scenario", DEFAULT_SCENARIO)
+    try:
+        spec = get_scenario(name)
+    except KeyError as error:
+        raise RequestError(error.args[0]) from None
+    nodes = params.get("nodes")
+    if nodes is not None:
+        if not isinstance(nodes, int) or nodes < 1:
+            raise RequestError("'nodes' must be a positive integer")
+        spec = spec.scaled(node_count=nodes)
+    mover_fraction = params.get("mover_fraction")
+    if mover_fraction is not None:
+        try:
+            spec = dataclasses.replace(
+                spec,
+                mobility=dataclasses.replace(spec.mobility, mover_fraction=float(mover_fraction)),
+            )
+        except (TypeError, ValueError) as error:
+            raise RequestError(str(error)) from None
+    seed = params.get("seed", 0)
+    if not isinstance(seed, int):
+        raise RequestError("'seed' must be an integer")
+    return spec, seed
+
+
+class WorldHost:
+    """Executes protocol requests against a set of hosted worlds.
+
+    One host backs one shard (worker process), the whole serial replay, or
+    the inline server — the execution semantics are identical in all three,
+    which is the determinism battery's core claim.
+    """
+
+    def __init__(self, *, naive: bool = False) -> None:
+        self.naive = naive
+        self.worlds: Dict[str, World] = {}
+        self.requests_executed = 0
+
+    # The per-op dispatch; every handler returns the response's ``result``.
+    def _execute_world_op(self, op: str, world_id: str, params: Dict[str, Any]) -> Any:
+        if op == protocol.CREATE_WORLD:
+            if world_id in self.worlds:
+                raise RequestError(f"world {world_id!r} already exists")
+            spec, seed = build_world_spec(params)
+            world = World(world_id, spec, seed, naive=self.naive)
+            self.worlds[world_id] = world
+            return {
+                "world": world_id,
+                "scenario": spec.name,
+                "seed": seed,
+                "nodes": len(world.network),
+            }
+        world = self.worlds.get(world_id)
+        if world is None:
+            raise RequestError(f"unknown world {world_id!r}")
+        if op == protocol.ADVANCE:
+            return world.advance(params)
+        if op == protocol.APPLY:
+            return world.apply_delta(params)
+        if op == protocol.QUERY_STATS:
+            return world.stats(params)
+        if op == protocol.QUERY_ROUTE:
+            return world.route(params)
+        if op == protocol.RUN_TRAFFIC:
+            return world.traffic(params)
+        if op == protocol.SNAPSHOT:
+            return world.snapshot(params)
+        if op == protocol.CACHE_STATS:
+            return world.cache_stats()
+        if op == protocol.DELETE_WORLD:
+            self.worlds.pop(world_id).close()
+            return {"world": world_id, "deleted": True}
+        raise RequestError(f"op {op!r} is not a world op")
+
+    def execute(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute one request, always returning a protocol response."""
+        request_id = request.get("id")
+        problem = protocol.validate_request(request)
+        if problem is not None:
+            return protocol.error_response(request_id, problem)
+        op = request["op"]
+        if op not in protocol.WORLD_OPS:
+            return protocol.error_response(request_id, f"op {op!r} is not served by shards")
+        self.requests_executed += 1
+        try:
+            result = self._execute_world_op(op, request["world"], request.get("params", {}))
+        except RequestError as error:
+            return protocol.error_response(request_id, str(error))
+        except Exception as error:
+            # Containment lives here, at the per-request layer, so every
+            # backend — inline dispatcher, worker process, serial replay —
+            # turns an unexpected handler failure into the same error
+            # response instead of killing its execution loop (or, worse,
+            # failing innocent co-batched requests).
+            return protocol.error_response(
+                request_id, f"internal error executing {op!r}: {error!r}"
+            )
+        return protocol.ok_response(request_id, result)
+
+    def execute_batch(self, requests: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Execute a batch in arrival order, one response per request."""
+        return [self.execute(request) for request in requests]
+
+    def close(self) -> None:
+        """Release every hosted world's notification hooks."""
+        for world in self.worlds.values():
+            world.close()
+        self.worlds.clear()

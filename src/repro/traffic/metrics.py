@@ -152,8 +152,13 @@ class TrafficReport:
         }
 
 
-def _percentile(sorted_values: List[float], fraction: float) -> float:
-    """Nearest-rank percentile over an already sorted list."""
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Rounded-rank percentile over an already sorted list.
+
+    The repo-wide percentile definition: traffic reports and the service
+    load generator both condense latency distributions through it, so their
+    p95 columns mean the same thing.
+    """
     if not sorted_values:
         return 0.0
     rank = max(0, min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1)))))
@@ -192,7 +197,7 @@ def build_report(
         ack_transmissions=ack_transmissions,
         total_transmissions=data_transmissions + ack_transmissions,
         average_latency=sum(latencies) / len(latencies) if latencies else 0.0,
-        p95_latency=_percentile(latencies, 0.95),
+        p95_latency=percentile(latencies, 0.95),
         max_latency=latencies[-1] if latencies else 0.0,
         average_hops=(
             sum(stats.hop_counts) / len(stats.hop_counts) if stats.hop_counts else 0.0

@@ -11,7 +11,7 @@ class TestParser:
         args = parser.parse_args(["table1", "--networks", "2"])
         assert args.command == "table1"
         assert args.networks == 2
-        for command in ("figure6", "alpha-sweep", "counterexample", "reconfig"):
+        for command in ("figure6", "alpha-sweep", "counterexample", "reconfig", "serve", "load"):
             assert parser.parse_args([command]).command == command
         for scenario_command in ("list", "run", "report"):
             parsed = parser.parse_args(["scenarios", scenario_command])
@@ -90,10 +90,48 @@ class TestScenarioCommands:
         assert "no scenario selected" in capsys.readouterr().err
 
     def test_scenarios_run_unknown_name_errors_politely(self, capsys):
-        assert main(["scenarios", "run", "--scenario", "partition-heal"]) == 2
+        assert main(["scenarios", "run", "--scenario", "partition-heal"]) == 1
         err = capsys.readouterr().err
         assert "unknown scenario" in err
         assert "partition-and-heal" in err  # the suggestions list the catalogue
+
+    def test_serve_zero_shards_errors_politely(self, capsys):
+        assert main(["serve", "--shards", "0"]) == 1
+        assert "--shards must be at least 1" in capsys.readouterr().err
+
+    def test_load_invalid_config_errors_politely(self, capsys):
+        assert main(["load", "--worlds", "0"]) == 1
+        assert "at least one world" in capsys.readouterr().err
+        assert main(["load", "--nodes", "1"]) == 1
+        assert "at least 2 nodes" in capsys.readouterr().err
+
+    def test_serve_occupied_port_errors_politely(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            port = blocker.getsockname()[1]
+            assert main(["serve", "--port", str(port), "--inline"]) == 1
+            assert "cannot listen" in capsys.readouterr().err
+        finally:
+            blocker.close()
+
+    def test_load_without_server_errors_politely(self, capsys):
+        # Nothing listens on this port; the CLI must fail with advice, not
+        # a traceback.
+        assert main(["load", "--port", "1", "--worlds", "1", "--requests", "1"]) == 1
+        assert "is 'cbtc serve' running?" in capsys.readouterr().err
+
+    def test_scenarios_run_zero_workers_errors_politely(self, capsys):
+        argv = ["scenarios", "run", "--scenario", "battery-death", "--workers", "0"]
+        assert main(argv) == 1
+        assert "--workers must be at least 1" in capsys.readouterr().err
+
+    def test_scenarios_run_negative_workers_errors_politely(self, capsys):
+        argv = ["scenarios", "run", "--all", "--workers", "-2"]
+        assert main(argv) == 1
+        assert "--workers must be at least 1" in capsys.readouterr().err
 
     def test_scenarios_run_zero_seeds_errors_politely(self, capsys):
         argv = ["scenarios", "run", "--scenario", "battery-death", "--seeds", "0"]

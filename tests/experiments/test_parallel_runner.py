@@ -85,6 +85,17 @@ class TestSeedDerivation:
         assert task_seed(3, "grid-walk", 5) != task_seed(4, "grid-walk", 5)
 
 
+class TestWorkerValidation:
+    def test_zero_workers_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="workers must be at least 1"):
+            run_grid([WALK], seeds=1, workers=0, results_dir=tmp_path)
+
+    def test_negative_workers_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="workers must be at least 1"):
+            run_grid([WALK], seeds=1, workers=-3, results_dir=tmp_path)
+        assert not any(tmp_path.iterdir())  # nothing was computed or written
+
+
 class TestSerialParallelEquivalence:
     def test_serial_and_parallel_results_are_byte_identical(self, tmp_path):
         serial_dir = tmp_path / "serial"

@@ -317,3 +317,102 @@ class TestSourceRouteCache:
         cache.sync(self._adjacency([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]))
         assert cache.paths(0)[2] == [0, 2]
         assert cache.misses == 2
+
+    # ------------------------------------------------------------------ #
+    # Whole-node removal (a node leaving the network entirely, not just an
+    # edge worsening): the cases the scenario runner hits when a route
+    # source or an interior relay crashes or is removed.
+    # ------------------------------------------------------------------ #
+    def test_removed_source_is_evicted_not_served_stale(self):
+        from repro.graphs.routing import SourceRouteCache
+
+        cache = SourceRouteCache()
+        cache.sync(self._adjacency([(0, 1, 1.0), (1, 2, 1.0)]))
+        assert cache.paths(0)[2] == [0, 1, 2]
+        # Node 0 disappears from the network: it is absent from the new
+        # adjacency, not merely disconnected.
+        cache.sync(self._adjacency([(1, 2, 1.0)]))
+        paths = cache.paths(0)
+        assert paths == {}
+        assert cache.misses == 2  # the cached tree was evicted, not reused
+
+    def test_removed_interior_tree_node_invalidates_dependent_sources(self):
+        from repro.graphs.routing import SourceRouteCache, canonical_single_source_paths
+
+        # 0-1-2-3 path plus a detour 0-4-3 that is initially more expensive.
+        edges = [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 4, 2.0), (4, 3, 2.0)]
+        cache = SourceRouteCache()
+        cache.sync(self._adjacency(edges))
+        assert cache.paths(0)[3] == [0, 1, 2, 3]
+        # Node 1 — an interior relay of 0's tree — is removed outright, so
+        # both of its edges vanish in one sync.
+        survivors = [(2, 3, 1.0), (0, 4, 2.0), (4, 3, 2.0)]
+        adjacency = self._adjacency(survivors)
+        cache.sync(adjacency)
+        paths = cache.paths(0)
+        assert paths == canonical_single_source_paths(adjacency, 0)
+        assert paths[3] == [0, 4, 3]
+        assert 1 not in paths
+        assert cache.misses == 2
+
+    def test_removed_leaf_outside_other_trees_keeps_them(self):
+        from repro.graphs.routing import SourceRouteCache
+
+        # 5 hangs off 4; 0's tree (0-1-2) never touches 4-5.
+        edges = [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)]
+        cache = SourceRouteCache()
+        cache.sync(self._adjacency(edges))
+        cache.paths(0)
+        cache.paths(3)
+        cache.sync(self._adjacency([(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]))
+        cache.paths(0)
+        assert cache.hits == 1  # 0's tree survived node 5's removal...
+        paths = cache.paths(3)
+        assert 5 not in paths  # ...while 3's tree, which reached 5, was rebuilt
+        assert cache.misses == 3
+
+    def test_removed_then_readded_node_is_recomputed_fresh(self):
+        from repro.graphs.routing import SourceRouteCache, canonical_single_source_paths
+
+        before = self._adjacency([(0, 1, 1.0), (1, 2, 1.0)])
+        cache = SourceRouteCache()
+        cache.sync(before)
+        assert cache.paths(2)[0] == [2, 1, 0]
+        cache.sync(self._adjacency([(0, 1, 1.0)]))  # node 2 gone
+        assert cache.paths(2) == {}
+        # The node rejoins elsewhere: its edge set is different now, and the
+        # re-added edge wipes the cache wholesale (adds may improve paths).
+        after = self._adjacency([(0, 1, 1.0), (0, 2, 1.0)])
+        cache.sync(after)
+        paths = cache.paths(2)
+        assert paths == canonical_single_source_paths(after, 2)
+        assert paths[1] == [2, 0, 1]
+
+    def test_network_backed_node_removal_matches_fresh_routes(self):
+        """End to end over a real topology: drop a relay node from the
+        network, rebuild the adjacency, and require cached routes to equal
+        a from-scratch computation for every surviving source."""
+        from repro.graphs.routing import SourceRouteCache, canonical_single_source_paths
+
+        network = random_uniform_placement(PlacementConfig(node_count=40), seed=8)
+        graph = build_topology(network, 5 * math.pi / 6).graph
+
+        def power_adjacency(g):
+            adjacency = {node: {} for node in g.nodes}
+            for u, v in g.edges:
+                weight = network.distance(u, v) ** 2
+                adjacency[u][v] = weight
+                adjacency[v][u] = weight
+            return adjacency
+
+        cache = SourceRouteCache()
+        cache.sync(power_adjacency(graph))
+        for source in sorted(graph.nodes):
+            cache.paths(source)
+        victim = sorted(graph.nodes)[len(graph.nodes) // 2]
+        graph.remove_node(victim)
+        adjacency = power_adjacency(graph)
+        cache.sync(adjacency)
+        for source in sorted(graph.nodes):
+            assert cache.paths(source) == canonical_single_source_paths(adjacency, source)
+        assert cache.paths(victim) == {}

@@ -142,3 +142,27 @@ class TestScenarioResultSerialization:
         # dataclass tree must encode it as the documented "inf" string.
         payload = results_from_json(results_to_json(EnergySpec()))
         assert payload["capacity"] == "inf"
+
+
+class TestCanonicalJson:
+    def test_compact_single_line(self):
+        from repro.io.results import canonical_json
+
+        payload = canonical_json({"b": [1, 2], "a": {"y": 1.5, "x": None}})
+        assert payload == '{"a":{"x":null,"y":1.5},"b":[1,2]}'
+        assert "\n" not in payload
+
+    def test_matches_results_to_json_structure(self):
+        import json as json_module
+
+        from repro.io.results import canonical_json, results_to_json
+
+        value = {"z": {3, 1, 2}, "alpha": float("inf"), "t": (1, "two")}
+        assert json_module.loads(canonical_json(value)) == json_module.loads(
+            results_to_json(value)
+        )
+
+    def test_key_order_insensitive(self):
+        from repro.io.results import canonical_json
+
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})

@@ -1,0 +1,97 @@
+"""Load-generator trace determinism and report mechanics."""
+
+import pytest
+
+from repro.service import protocol
+from repro.service.loadgen import (
+    LoadConfig,
+    _percentile,
+    build_trace,
+    build_world_trace,
+    flatten_trace,
+    serial_reference,
+    world_name,
+)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadConfig(worlds=0)
+        with pytest.raises(ValueError):
+            LoadConfig(write_fraction=1.5)
+        with pytest.raises(ValueError):
+            LoadConfig(connections=0)
+        with pytest.raises(ValueError, match="at least 2 nodes"):
+            LoadConfig(nodes=1)
+
+    def test_node_count_falls_back_to_the_catalogue(self):
+        assert LoadConfig(nodes=None).node_count == 100  # random-waypoint-drift
+        assert LoadConfig(nodes=33).node_count == 33
+
+
+class TestTrace:
+    def test_trace_is_deterministic(self):
+        config = LoadConfig(worlds=3, requests_per_world=8, seed=5)
+        assert build_trace(config) == build_trace(config)
+
+    def test_world_traces_are_order_independent(self):
+        """Adding worlds never changes the existing worlds' traces."""
+        small = LoadConfig(worlds=2, requests_per_world=6, seed=9)
+        large = LoadConfig(worlds=5, requests_per_world=6, seed=9)
+        for index in range(2):
+            assert build_world_trace(small, index) == build_world_trace(large, index)
+
+    def test_trace_shape(self):
+        config = LoadConfig(worlds=2, requests_per_world=4, seed=1)
+        for index, trace in enumerate(build_trace(config)):
+            assert trace[0]["op"] == protocol.CREATE_WORLD
+            assert trace[-1]["op"] == protocol.SNAPSHOT
+            assert len(trace) == 4 + 2
+            assert {request["world"] for request in trace} == {world_name(index)}
+
+    def test_write_fraction_extremes(self):
+        writes_only = LoadConfig(worlds=1, requests_per_world=10, write_fraction=1.0)
+        [trace] = build_trace(writes_only)
+        assert all(r["op"] == protocol.ADVANCE for r in trace[1:-1])
+        reads_only = LoadConfig(worlds=1, requests_per_world=10, write_fraction=0.0)
+        [trace] = build_trace(reads_only)
+        assert all(r["op"] != protocol.ADVANCE for r in trace[1:-1])
+
+    def test_flatten_preserves_per_world_order(self):
+        config = LoadConfig(worlds=3, requests_per_world=5, seed=2)
+        traces = build_trace(config)
+        flat = flatten_trace(traces)
+        assert len(flat) == sum(len(trace) for trace in traces)
+        for trace in traces:
+            world = trace[0]["world"]
+            assert [r for r in flat if r["world"] == world] == trace
+
+
+class TestSerialReference:
+    def test_reference_covers_every_world(self):
+        config = LoadConfig(worlds=2, requests_per_world=3, nodes=20, seed=4)
+        reference = serial_reference(config)
+        assert sorted(reference) == [world_name(0), world_name(1)]
+        for payload in reference.values():
+            assert '"topology"' in payload
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert _percentile([], 0.95) == 0.0
+
+    def test_matches_the_traffic_report_definition(self):
+        """One percentile semantics repo-wide (rounded rank, see
+        repro.traffic.metrics.percentile): p95 latency means the same thing
+        in a TrafficReport and a LoadReport."""
+        from repro.traffic.metrics import percentile
+
+        values = [float(v) for v in range(100, 0, -1)]  # unsorted on purpose
+        for fraction in (0.0, 0.5, 0.95, 1.0):
+            assert _percentile(values, fraction) == percentile(sorted(values), fraction)
+        assert _percentile(values, 0.95) == 95.0
+        assert _percentile(values, 1.0) == 100.0
+
+    def test_single_value(self):
+        assert _percentile([7.0], 0.99) == 7.0

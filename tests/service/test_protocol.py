@@ -1,0 +1,66 @@
+"""Wire-protocol encoding and validation."""
+
+import pytest
+
+from repro.service import protocol
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        message = {"id": 3, "op": "query_stats", "world": "w1", "params": {"a": 1}}
+        assert protocol.decode_message(protocol.encode_message(message)) == message
+
+    def test_encoding_is_canonical(self):
+        a = protocol.encode_message({"b": 1, "a": 2})
+        b = protocol.encode_message({"a": 2, "b": 1})
+        assert a == b
+        assert a.endswith(b"\n")
+        assert b" " not in a
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ValueError):
+            protocol.decode_message(b"[1, 2, 3]\n")
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ValueError):
+            protocol.decode_message(b"{nope\n")
+
+
+class TestResponses:
+    def test_ok_response_shape(self):
+        response = protocol.ok_response(7, {"x": 1})
+        assert response == {"id": 7, "ok": True, "result": {"x": 1}}
+
+    def test_error_response_shape(self):
+        response = protocol.error_response(None, "boom")
+        assert response == {"id": None, "ok": False, "error": "boom"}
+
+
+class TestValidation:
+    def test_well_formed_world_op(self):
+        assert protocol.validate_request({"op": "advance", "world": "w"}) is None
+
+    def test_well_formed_frontend_op(self):
+        assert protocol.validate_request({"op": "ping"}) is None
+
+    def test_missing_op(self):
+        assert "missing" in protocol.validate_request({"world": "w"})
+
+    def test_unknown_op(self):
+        assert "unknown op" in protocol.validate_request({"op": "frobnicate"})
+
+    def test_world_op_requires_world(self):
+        problem = protocol.validate_request({"op": "query_stats"})
+        assert "requires" in problem
+
+    def test_world_must_be_nonempty_string(self):
+        assert protocol.validate_request({"op": "advance", "world": ""}) is not None
+        assert protocol.validate_request({"op": "advance", "world": 3}) is not None
+
+    def test_params_must_be_object(self):
+        problem = protocol.validate_request({"op": "advance", "world": "w", "params": [1]})
+        assert "params" in problem
+
+    def test_op_partition_is_total_and_disjoint(self):
+        assert not (protocol.WORLD_OPS & protocol.FRONTEND_OPS)
+        assert protocol.READ_OPS <= protocol.WORLD_OPS

@@ -1,0 +1,166 @@
+"""The asyncio front end, driven over real TCP connections."""
+
+import asyncio
+
+import pytest
+
+from repro.service import protocol
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.loadgen import LoadConfig, run_load_async, verify_snapshots
+from repro.service.server import FleetServer
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def _with_server(body, **kwargs):
+    """Start an inline-shard server on a free port, run ``body``, stop."""
+    kwargs.setdefault("shards", 2)
+    kwargs.setdefault("inline", True)
+    server = FleetServer(port=0, **kwargs)
+    await server.start()
+    try:
+        return await body(server)
+    finally:
+        await server.stop()
+
+
+class TestFrontend:
+    def test_ping(self):
+        async def body(server):
+            client = await ServiceClient.connect("127.0.0.1", server.port)
+            try:
+                result = await client.call(protocol.PING)
+                assert result == {"pong": True, "shards": 2}
+            finally:
+                await client.close()
+
+        run(_with_server(body))
+
+    def test_world_round_trip_and_listing(self):
+        async def body(server):
+            client = await ServiceClient.connect("127.0.0.1", server.port)
+            try:
+                created = await client.call(
+                    protocol.CREATE_WORLD,
+                    world="w1",
+                    params={"nodes": 25, "seed": 2, "mover_fraction": 0.2},
+                )
+                assert created["nodes"] == 25
+                stats = await client.call(protocol.QUERY_STATS, world="w1")
+                assert stats["alive_nodes"] == 25
+                await client.call(protocol.ADVANCE, world="w1", params={"steps": 1})
+                listing = await client.call(protocol.LIST_WORLDS)
+                assert list(listing["worlds"]) == ["w1"]
+                await client.call(protocol.DELETE_WORLD, world="w1")
+                listing = await client.call(protocol.LIST_WORLDS)
+                assert listing["worlds"] == {}
+            finally:
+                await client.close()
+
+        run(_with_server(body))
+
+    def test_error_responses_are_not_fatal(self):
+        async def body(server):
+            client = await ServiceClient.connect("127.0.0.1", server.port)
+            try:
+                with pytest.raises(ServiceError, match="unknown world"):
+                    await client.call(protocol.QUERY_STATS, world="ghost")
+                # The connection survives an error response.
+                assert (await client.call(protocol.PING))["pong"] is True
+            finally:
+                await client.close()
+
+        run(_with_server(body))
+
+    def test_malformed_line_yields_error_response(self):
+        async def body(server):
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            try:
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                response = protocol.decode_message(await reader.readline())
+                assert response["ok"] is False
+                assert "malformed" in response["error"]
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        run(_with_server(body))
+
+    def test_server_stats_counts_requests_and_batches(self):
+        async def body(server):
+            client = await ServiceClient.connect("127.0.0.1", server.port)
+            try:
+                await client.call(protocol.CREATE_WORLD, world="w1", params={"nodes": 20})
+                for _ in range(3):
+                    await client.call(protocol.QUERY_STATS, world="w1")
+                stats = await client.call(protocol.SERVER_STATS)
+                assert stats["worlds"] == 1
+                assert stats["requests"] >= 5
+                assert stats["batches"] >= 4
+                assert sum(stats["shard_requests"]) == 4
+            finally:
+                await client.close()
+
+        run(_with_server(body))
+
+    def test_shutdown_is_acknowledged_then_honoured(self):
+        async def body():
+            server = FleetServer(port=0, shards=2, inline=True)
+            await server.start()
+            waiter = asyncio.create_task(server.serve_until_shutdown())
+            client = await ServiceClient.connect("127.0.0.1", server.port)
+            result = await client.call(protocol.SHUTDOWN)
+            assert result == {"stopping": True}
+            await client.close()
+            await asyncio.wait_for(waiter, timeout=10)
+
+        run(body())
+
+
+class TestLoadAgainstServer:
+    def test_load_run_verifies_against_serial_replay(self):
+        async def body(server):
+            config = LoadConfig(
+                worlds=4, requests_per_world=5, nodes=25, connections=3, seed=11
+            )
+            report, snapshots = await run_load_async("127.0.0.1", server.port, config)
+            assert report.errors == 0
+            # Creation is the untimed setup phase; the workload phase covers
+            # the per-world requests plus the closing snapshot.
+            assert report.setup_requests == 4
+            assert report.requests == 4 * (5 + 1)
+            assert verify_snapshots(config, snapshots) == []
+            assert report.server_stats["worlds"] == 4
+            return report
+
+        report = run(_with_server(body))
+        assert report.requests_per_second > 0
+
+    def test_second_load_against_the_same_server_fails_fast(self):
+        """Leftover worlds from a previous run must yield a clear error,
+        not a phantom 'snapshots diverged' verification failure."""
+        from repro.service.client import ServiceError
+
+        async def body(server):
+            config = LoadConfig(worlds=2, requests_per_world=2, nodes=20, connections=1)
+            await run_load_async("127.0.0.1", server.port, config)
+            with pytest.raises(ServiceError, match="previous run"):
+                await run_load_async("127.0.0.1", server.port, config)
+
+        run(_with_server(body))
+
+    def test_tampered_snapshot_fails_verification(self):
+        async def body(server):
+            config = LoadConfig(
+                worlds=2, requests_per_world=3, nodes=20, connections=2, seed=3
+            )
+            _, snapshots = await run_load_async("127.0.0.1", server.port, config)
+            snapshots["world-000"] = snapshots["world-000"].replace('"alive": true', '"alive": false', 1)
+            assert "world-000" in verify_snapshots(config, snapshots)
+            del snapshots["world-001"]
+            assert verify_snapshots(config, snapshots) == ["world-000", "world-001"]
+
+        run(_with_server(body))
