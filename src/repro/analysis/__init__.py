@@ -1,0 +1,47 @@
+"""``detlint`` — static determinism & concurrency contract checking.
+
+Every layer of this repository rests on one invariant: byte-identical
+outputs across serial, multiprocessing and sharded-service execution.  The
+replay batteries enforce it dynamically; this package enforces it
+*statically*, by proving the absence of the known hazard classes at the AST
+level — unseeded global randomness, unsorted set iteration feeding
+ordering-sensitive sinks, insertion-order tie-breaking, wall-clock reads in
+simulation paths, blocking calls inside the asyncio front end, mutable
+module state reachable from worker processes, and node-attribute writes
+that bypass the watcher protocol.
+
+Entry points:
+
+* :func:`run_lint` — lint a set of paths, returning a :class:`LintReport`;
+* ``cbtc lint`` — the CLI wrapper (baseline-aware, human or JSON output).
+"""
+
+from repro.analysis.baseline import Baseline, BaselineDiff
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import (
+    Finding,
+    LintError,
+    LintReport,
+    Rule,
+    all_rules,
+    register_rule,
+    rule_ids,
+    run_lint,
+)
+
+# Importing the rule packs populates the registry as a side effect.
+from repro.analysis import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Baseline",
+    "BaselineDiff",
+    "Finding",
+    "LintConfig",
+    "LintError",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "register_rule",
+    "rule_ids",
+    "run_lint",
+]

@@ -1,0 +1,108 @@
+"""Baseline files: explicitly grandfathered findings.
+
+A baseline records the findings a repository has accepted (with eyes
+open) so that CI can fail on *new* findings only.  Entries are
+fingerprinted by ``(rule id, path, stripped source snippet)`` with an
+occurrence count rather than by line number, so unrelated edits that
+shift code up or down do not churn the file; the committed baseline is
+canonical JSON (sorted entries, sorted keys) and therefore diffs
+meaningfully under review.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.analysis.engine import Finding, LintError
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "detlint-baseline.json"
+
+Fingerprint = Tuple[str, str, str]
+
+
+def fingerprint(finding: Finding) -> Fingerprint:
+    """The baseline identity of a finding (line numbers excluded)."""
+    return (finding.rule_id, finding.path, finding.snippet)
+
+
+@dataclass
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    counts: Dict[Fingerprint, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        counts: Dict[Fingerprint, int] = {}
+        for finding in findings:
+            key = fingerprint(finding)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts=counts)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise LintError(f"baseline file does not exist: {path}")
+        except json.JSONDecodeError as error:
+            raise LintError(f"{path}: baseline is not valid JSON: {error}")
+        if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+            raise LintError(
+                f"{path}: unsupported baseline format (expected version {BASELINE_VERSION})"
+            )
+        counts: Dict[Fingerprint, int] = {}
+        for entry in payload.get("findings", []):
+            try:
+                key = (entry["rule"], entry["path"], entry["snippet"])
+                count = int(entry.get("count", 1))
+            except (KeyError, TypeError) as error:
+                raise LintError(f"{path}: malformed baseline entry {entry!r}") from error
+            counts[key] = counts.get(key, 0) + count
+        return cls(counts=counts)
+
+    def dump(self, path: Path) -> None:
+        """Write the canonical baseline JSON (sorted, versioned)."""
+        entries = [
+            {"rule": rule, "path": file_path, "snippet": snippet, "count": count}
+            for (rule, file_path, snippet), count in sorted(self.counts.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "findings": entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def diff(self, findings: List[Finding]) -> "BaselineDiff":
+        """Split ``findings`` into new vs baselined, and report stale entries.
+
+        When several findings share a fingerprint, the first ``count`` of
+        them (in canonical finding order) are considered baselined and the
+        excess is new.  Baseline entries with a higher count than the
+        current run produces are *stale* — the debt was paid down but the
+        baseline still records it.
+        """
+        remaining = dict(self.counts)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            key = fingerprint(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = {key: count for key, count in sorted(remaining.items()) if count > 0}
+        return BaselineDiff(new=new, baselined=baselined, stale=stale)
+
+
+@dataclass
+class BaselineDiff:
+    """Findings partitioned against a baseline."""
+
+    new: List[Finding]
+    baselined: List[Finding]
+    stale: Dict[Fingerprint, int]

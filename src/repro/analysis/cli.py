@@ -1,0 +1,115 @@
+"""Implementation of ``cbtc lint``.
+
+Kept out of :mod:`repro.cli` so the argument plumbing stays thin there and
+the exit-code policy is testable in isolation:
+
+* exit 0 — no findings beyond the baseline;
+* exit 1 — new findings, stale baseline entries under ``--strict-baseline``,
+  or a user error (bad path, malformed suppression) reported as a one-line
+  message on stderr, never a traceback;
+* exit 2 — bad command-line usage (argparse's own convention).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, TextIO
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.config import ConfigError, LintConfig
+from repro.analysis.engine import LintError, find_project_root, run_lint
+from repro.analysis.report import render_human, render_json
+
+
+def lint_command(
+    paths: Sequence[str],
+    *,
+    json_output: bool = False,
+    baseline_path: Optional[str] = None,
+    no_baseline: bool = False,
+    update_baseline: bool = False,
+    rules: Optional[str] = None,
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> int:
+    """Run the linter with CLI semantics; returns the process exit code.
+
+    ``stdout``/``stderr`` default to the *current* ``sys`` streams at call
+    time, so callers that redirect output (tests, embedding tools) are
+    honoured.
+    """
+    stdout = stdout if stdout is not None else sys.stdout
+    stderr = stderr if stderr is not None else sys.stderr
+    try:
+        return _lint(
+            [str(p) for p in paths] or ["src/repro"],
+            json_output=json_output,
+            baseline_path=baseline_path,
+            no_baseline=no_baseline,
+            update_baseline=update_baseline,
+            rules=rules,
+            stdout=stdout,
+            stderr=stderr,
+        )
+    except (LintError, ConfigError) as error:
+        print(f"cbtc lint: {error}", file=stderr)
+        return 1
+
+
+def _lint(
+    paths: List[str],
+    *,
+    json_output: bool,
+    baseline_path: Optional[str],
+    no_baseline: bool,
+    update_baseline: bool,
+    rules: Optional[str],
+    stdout: TextIO,
+    stderr: TextIO,
+) -> int:
+    first = Path(paths[0])
+    if not first.exists():
+        raise LintError(f"path does not exist: {first}")
+    root = find_project_root(first)
+    config = LintConfig.load(root)
+    if rules:
+        config.select = tuple(
+            rule_id.strip() for rule_id in rules.split(",") if rule_id.strip()
+        )
+    report = run_lint([Path(p) for p in paths], config, root=root)
+
+    resolved_baseline = _resolve_baseline_path(root, config, baseline_path)
+    if update_baseline:
+        Baseline.from_findings(report.findings).dump(resolved_baseline)
+        print(
+            f"baseline updated: {len(report.findings)} finding(s) recorded in "
+            f"{resolved_baseline}",
+            file=stdout,
+        )
+        return 0
+
+    diff = None
+    if not no_baseline and baseline_path is not None:
+        diff = Baseline.load(resolved_baseline).diff(report.findings)
+    elif not no_baseline and resolved_baseline.is_file():
+        diff = Baseline.load(resolved_baseline).diff(report.findings)
+
+    if json_output:
+        print(render_json(report, diff), file=stdout)
+    else:
+        print(render_human(report, diff), file=stdout)
+    if diff is not None:
+        return 1 if diff.new else 0
+    return 1 if report.findings else 0
+
+
+def _resolve_baseline_path(
+    root: Path, config: LintConfig, baseline_path: Optional[str]
+) -> Path:
+    if baseline_path is not None:
+        return Path(baseline_path)
+    if config.baseline is not None:
+        configured = Path(config.baseline)
+        return configured if configured.is_absolute() else root / configured
+    return root / DEFAULT_BASELINE_NAME

@@ -1,0 +1,253 @@
+"""Lint configuration from ``pyproject.toml``.
+
+``detlint`` reads the ``[tool.detlint]`` table::
+
+    [tool.detlint]
+    select = ["det-set-iteration", ...]   # default: every registered rule
+    ignore = ["con-module-mutable-state"] # removed after select
+    baseline = "detlint-baseline.json"    # default baseline location
+
+    [tool.detlint.scopes]                 # override a rule's path scopes
+    det-wall-clock = ["repro/sim", "repro/service"]
+
+    [tool.detlint.exempt]                 # extra per-rule path exemptions
+    con-node-attr-write = ["repro/net/node.py"]
+
+Python 3.11+ parses TOML with the stdlib ``tomllib``; on 3.9/3.10 a
+minimal fallback parser handles the subset this table actually uses
+(string/bool scalars and arrays of strings inside ``[section]`` tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+try:  # Python 3.11+
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - exercised only on 3.9/3.10
+    try:
+        import tomli as _toml  # type: ignore[no-redef]
+    except ImportError:
+        _toml = None
+
+
+class ConfigError(Exception):
+    """Invalid ``[tool.detlint]`` configuration."""
+
+
+def _parse_toml_value(text: str):
+    text = text.strip()
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        if not inner:
+            return []
+        parts = []
+        for chunk in _split_toml_array(inner):
+            parts.append(_parse_toml_value(chunk))
+        return parts
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return text[1:-1]
+    if text.startswith("'") and text.endswith("'") and len(text) >= 2:
+        return text[1:-1]
+    if text in ("true", "false"):
+        return text == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    raise ConfigError(f"unsupported TOML value: {text!r}")
+
+
+def _split_toml_array(inner: str) -> List[str]:
+    chunks: List[str] = []
+    depth = 0
+    quote: Optional[str] = None
+    current = ""
+    for char in inner:
+        if quote is not None:
+            current += char
+            if char == quote:
+                quote = None
+            continue
+        if char in "\"'":
+            quote = char
+            current += char
+        elif char == "[":
+            depth += 1
+            current += char
+        elif char == "]":
+            depth -= 1
+            current += char
+        elif char == "," and depth == 0:
+            chunks.append(current)
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        chunks.append(current)
+    return chunks
+
+
+def _minimal_toml_loads(text: str) -> Dict[str, Any]:
+    """Parse the simple TOML subset detlint's own table uses.
+
+    Multi-line arrays are joined before parsing; quoted keys, inline
+    tables and the full string-escape grammar are *not* supported — this
+    is strictly a 3.9/3.10 fallback for ``[tool.detlint]``-shaped data.
+    """
+    root: Dict[str, Any] = {}
+    table = root
+    pending_key: Optional[str] = None
+    pending_value = ""
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if pending_key is not None:
+            pending_value += " " + _strip_comment(line)
+            if _balanced(pending_value):
+                table[pending_key] = _parse_toml_value(pending_value)
+                pending_key = None
+                pending_value = ""
+            continue
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            section = line[1:-1].strip()
+            table = root
+            for part in section.split("."):
+                table = table.setdefault(part.strip(), {})
+            continue
+        if "=" not in line:
+            raise ConfigError(f"cannot parse TOML line: {raw_line!r}")
+        key, _, value = line.partition("=")
+        key = key.strip().strip('"').strip("'")
+        value = _strip_comment(value.strip())
+        if not _balanced(value):
+            pending_key = key
+            pending_value = value
+            continue
+        table[key] = _parse_toml_value(value)
+    return root
+
+
+def _strip_comment(value: str) -> str:
+    quote: Optional[str] = None
+    for index, char in enumerate(value):
+        if quote is not None:
+            if char == quote:
+                quote = None
+        elif char in "\"'":
+            quote = char
+        elif char == "#":
+            return value[:index].strip()
+    return value
+
+
+def _balanced(value: str) -> bool:
+    depth = 0
+    quote: Optional[str] = None
+    for char in value:
+        if quote is not None:
+            if char == quote:
+                quote = None
+        elif char in "\"'":
+            quote = char
+        elif char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+    return depth == 0 and quote is None
+
+
+def load_toml(path: Path) -> Dict[str, Any]:
+    """Load a TOML file via ``tomllib`` or the minimal fallback parser."""
+    text = path.read_text(encoding="utf-8")
+    if _toml is not None:
+        return _toml.loads(text)
+    return _minimal_toml_loads(text)
+
+
+@dataclass
+class LintConfig:
+    """Resolved lint configuration (rule sets, scopes, baseline path)."""
+
+    select: Optional[Tuple[str, ...]] = None
+    ignore: Tuple[str, ...] = ()
+    scopes: Dict[str, Optional[List[str]]] = field(default_factory=dict)
+    exempt: Dict[str, List[str]] = field(default_factory=dict)
+    baseline: Optional[str] = None
+
+    @classmethod
+    def load(cls, root: Path) -> "LintConfig":
+        """Read ``[tool.detlint]`` from ``root/pyproject.toml`` (if any)."""
+        pyproject = Path(root) / "pyproject.toml"
+        if not pyproject.is_file():
+            return cls()
+        try:
+            data = load_toml(pyproject)
+        except ConfigError as error:
+            raise ConfigError(f"{pyproject}: {error}") from error
+        section = data.get("tool", {}).get("detlint", {})
+        if not isinstance(section, dict):
+            raise ConfigError(f"{pyproject}: [tool.detlint] must be a table")
+        select = section.get("select")
+        ignore = section.get("ignore", [])
+        scopes_raw = section.get("scopes", {})
+        exempt_raw = section.get("exempt", {})
+        baseline = section.get("baseline")
+        for name, value in (("select", select), ("ignore", ignore)):
+            if value is not None and (
+                not isinstance(value, list) or any(not isinstance(v, str) for v in value)
+            ):
+                raise ConfigError(f"{pyproject}: [tool.detlint] {name} must be a list of strings")
+        for name, value in (("scopes", scopes_raw), ("exempt", exempt_raw)):
+            if not isinstance(value, dict):
+                raise ConfigError(f"{pyproject}: [tool.detlint.{name}] must be a table")
+        return cls(
+            select=tuple(select) if select is not None else None,
+            ignore=tuple(ignore),
+            scopes={key: list(value) for key, value in scopes_raw.items()},
+            exempt={key: list(value) for key, value in exempt_raw.items()},
+            baseline=baseline if isinstance(baseline, str) else None,
+        )
+
+    def validate(self, known_rule_ids: Sequence[str]) -> None:
+        """Raise on rule ids that do not exist (typos fail loudly)."""
+        from repro.analysis.engine import LintError
+
+        known = set(known_rule_ids)
+        for origin, ids in (
+            ("select", self.select or ()),
+            ("ignore", self.ignore),
+            ("scopes", tuple(self.scopes)),
+            ("exempt", tuple(self.exempt)),
+        ):
+            for rule_id in ids:
+                if rule_id not in known:
+                    raise LintError(
+                        f"unknown rule id {rule_id!r} in [tool.detlint] {origin} "
+                        f"(known: {', '.join(sorted(known))})"
+                    )
+
+    def enabled_rules(self, known_rule_ids: Sequence[str]) -> List[str]:
+        """The rule ids to run, honouring ``select`` then ``ignore``."""
+        chosen = list(self.select) if self.select is not None else list(known_rule_ids)
+        ignored = set(self.ignore)
+        return [rule_id for rule_id in sorted(chosen) if rule_id not in ignored]
+
+    def scopes_for(
+        self, rule_id: str, default: Optional[Tuple[str, ...]]
+    ) -> Optional[List[str]]:
+        """Path scopes for a rule (config overrides the rule's default)."""
+        if rule_id in self.scopes:
+            return self.scopes[rule_id]
+        return list(default) if default is not None else None
+
+    def exemptions_for(self, rule_id: str, default: Tuple[str, ...]) -> List[str]:
+        """Path exemptions for a rule (config *extends* the default)."""
+        return list(default) + self.exempt.get(rule_id, [])

@@ -1,0 +1,520 @@
+"""The ``detlint`` engine: file walking, AST contexts, rule registry.
+
+A *rule* inspects one parsed module at a time and yields
+:class:`Finding` objects with precise source spans.  The engine owns
+everything around that: collecting files, parsing, building the shared
+:class:`ModuleContext` (import resolution, parent links, set-type
+inference), honouring per-rule path scopes from the configuration,
+applying ``# detlint: ignore[rule-id]`` suppressions, and sorting the
+surviving findings into a canonical order so that two runs over the same
+tree produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.analysis.config import LintConfig
+
+
+class LintError(Exception):
+    """A user-facing lint failure (bad path, malformed suppression, ...).
+
+    The CLI turns these into a one-line message and exit status 1 — never
+    a traceback.
+    """
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source span.
+
+    Ordering is canonical (path, then position, then rule), so a sorted
+    list of findings serializes byte-identically run over run.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    snippet: str = field(compare=False, default="")
+    end_line: int = field(compare=False, default=0)
+    end_col: int = field(compare=False, default=0)
+
+    def location(self) -> str:
+        """``path:line:col`` (1-based line, 1-based column for humans)."""
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+
+# --------------------------------------------------------------------- #
+# Module context
+# --------------------------------------------------------------------- #
+
+_SET_CONSTRUCTORS = {"set", "frozenset"}
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+_SET_ANNOTATIONS = {
+    "set",
+    "frozenset",
+    "Set",
+    "FrozenSet",
+    "AbstractSet",
+    "MutableSet",
+    "typing.Set",
+    "typing.FrozenSet",
+    "typing.AbstractSet",
+    "typing.MutableSet",
+}
+_DICT_VIEW_METHODS = {"keys", "values", "items"}
+
+
+class ModuleContext:
+    """Everything a rule needs to know about one parsed module."""
+
+    def __init__(self, path: Path, display_path: str, source: str) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.source = source
+        try:
+            self.tree = ast.parse(source)
+        except SyntaxError as error:
+            raise LintError(
+                f"{display_path}:{error.lineno or 0}: cannot parse file: {error.msg}"
+            ) from error
+        self.lines = source.splitlines()
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self.imports = _collect_imports(self.tree)
+        self._set_names: Dict[ast.AST, Set[str]] = {}
+
+    # -- navigation ---------------------------------------------------- #
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (``None`` for the module)."""
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module root."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_scope(self, node: ast.AST) -> ast.AST:
+        """The nearest enclosing function (or the module itself)."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return ancestor
+        return self.tree
+
+    # -- name resolution ------------------------------------------------ #
+    def qualname(self, node: ast.AST) -> Optional[str]:
+        """Dotted canonical name of a Name/Attribute chain, if resolvable.
+
+        ``import numpy as np`` makes ``np.random.shuffle`` resolve to
+        ``numpy.random.shuffle``; ``from time import perf_counter`` makes
+        the bare name resolve to ``time.perf_counter``.  Unresolvable
+        expressions (calls, subscripts) return ``None``.
+        """
+        if isinstance(node, ast.Name):
+            return self.imports.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.qualname(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    def call_qualname(self, node: ast.Call) -> Optional[str]:
+        """Canonical dotted name of a call's callee, if resolvable."""
+        return self.qualname(node.func)
+
+    # -- set-type inference --------------------------------------------- #
+    def set_names(self, scope: ast.AST) -> Set[str]:
+        """Names that are definitely set-typed throughout ``scope``.
+
+        Flow-insensitive and conservative: a name qualifies only when
+        every assignment to it inside the scope (ignoring nested function
+        bodies) is a definitely-set expression, or when it is annotated as
+        a set.  Augmented assignments (``s |= other``) preserve the type.
+        """
+        cached = self._set_names.get(scope)
+        if cached is not None:
+            return cached
+        assignments: Dict[str, List[bool]] = {}
+
+        def note(name: str, is_set: bool) -> None:
+            assignments.setdefault(name, []).append(is_set)
+
+        body = scope.body if not isinstance(scope, ast.Lambda) else []
+        for stmt in body:
+            for node in _walk_same_scope(stmt):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            note(target.id, self.is_set_expr(node.value, frozenset()))
+                elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                    if _is_set_annotation(node.annotation, self):
+                        note(node.target.id, True)
+                    elif node.value is not None:
+                        note(node.target.id, self.is_set_expr(node.value, frozenset()))
+                elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+                    pass  # preserves whatever type the name already had
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    if isinstance(node.target, ast.Name):
+                        note(node.target.id, False)
+                elif isinstance(node, ast.withitem):
+                    if isinstance(node.optional_vars, ast.Name):
+                        note(node.optional_vars.id, False)
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            ):
+                if arg.annotation is not None and _is_set_annotation(arg.annotation, self):
+                    note(arg.arg, True)
+        first_pass = {
+            name for name, flags in assignments.items() if flags and all(flags)
+        }
+        # One fixpoint-ish refinement so chains like ``a = set(x); b = a | c``
+        # resolve (two passes suffice for the patterns the rules target).
+        refined: Dict[str, List[bool]] = {}
+        for stmt in body:
+            for node in _walk_same_scope(stmt):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            refined.setdefault(target.id, []).append(
+                                self.is_set_expr(node.value, frozenset(first_pass))
+                            )
+        names = set(first_pass)
+        for name, flags in refined.items():
+            if flags and all(flags):
+                names.add(name)
+            elif name in names and not all(flags):
+                names.discard(name)
+        self._set_names[scope] = names
+        return names
+
+    def is_set_expr(self, node: ast.AST, set_names: Iterable[str]) -> bool:
+        """Whether ``node`` definitely evaluates to a ``set``/``frozenset``."""
+        names = set_names if isinstance(set_names, (set, frozenset)) else frozenset(set_names)
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in names
+        if isinstance(node, ast.Call):
+            callee = self.call_qualname(node)
+            if callee in _SET_CONSTRUCTORS:
+                return True
+            if isinstance(node.func, ast.Attribute):
+                if node.func.attr in _SET_METHODS:
+                    return True
+                if node.func.attr == "copy":
+                    return self.is_set_expr(node.func.value, names)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set_expr(node.left, names) or self.is_set_expr(node.right, names)
+        if isinstance(node, ast.IfExp):
+            return self.is_set_expr(node.body, names) and self.is_set_expr(node.orelse, names)
+        return False
+
+    def is_unordered_source(self, node: ast.AST, scope: ast.AST) -> Optional[str]:
+        """Classify an iteration source: ``"set"``, ``"dict-view"`` or ``None``.
+
+        ``"set"`` covers definitely-set expressions (including names whose
+        every assignment in ``scope`` is a set, and names narrowed by an
+        enclosing ``isinstance(name, set)`` guard); ``"dict-view"`` covers
+        argument-less ``.keys()`` / ``.values()`` / ``.items()`` calls.
+        """
+        names = set(self.set_names(scope))
+        names |= self._isinstance_narrowed(node)
+        if self.is_set_expr(node, names):
+            return "set"
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _DICT_VIEW_METHODS
+            and not node.args
+            and not node.keywords
+        ):
+            return "dict-view"
+        return None
+
+    def _isinstance_narrowed(self, node: ast.AST) -> Set[str]:
+        """Names proven set-typed by enclosing ``isinstance(x, set)`` guards."""
+        narrowed: Set[str] = set()
+        child = node
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.If) and child in getattr(ancestor, "body", []):
+                narrowed |= _isinstance_set_names(ancestor.test)
+            child = ancestor
+        return narrowed
+
+    def sorted_guard(self, node: ast.AST) -> bool:
+        """Whether ``node`` is consumed directly by a ``sorted(...)`` call."""
+        parent = self.parent(node)
+        if isinstance(parent, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            # ``sorted(f(x) for x in source)`` restores a total order too.
+            grand = self.parent(parent)
+            if isinstance(grand, ast.Call) and self.call_qualname(grand) == "sorted":
+                return True
+        if isinstance(parent, ast.comprehension):
+            comp = self.parent(parent)
+            grand = self.parent(comp) if comp is not None else None
+            if isinstance(grand, ast.Call) and self.call_qualname(grand) == "sorted":
+                return True
+        return isinstance(parent, ast.Call) and self.call_qualname(parent) == "sorted"
+
+    # -- findings -------------------------------------------------------- #
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` spanning ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        snippet = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        return Finding(
+            path=self.display_path,
+            line=line,
+            col=col,
+            rule_id=rule_id,
+            message=message,
+            snippet=snippet,
+            end_line=getattr(node, "end_lineno", line) or line,
+            end_col=getattr(node, "end_col_offset", col) or col,
+        )
+
+
+def _walk_same_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function/class bodies."""
+    yield node
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            continue
+        yield from _walk_same_scope(child)
+
+
+def _collect_imports(tree: ast.Module) -> Dict[str, str]:
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    imports[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".", 1)[0]
+                    imports[root] = root
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                bound = alias.asname if alias.asname is not None else alias.name
+                imports[bound] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def _is_set_annotation(annotation: ast.AST, ctx: "ModuleContext") -> bool:
+    target = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+    name = ctx.qualname(target)
+    if name is None:
+        return False
+    return name in _SET_ANNOTATIONS or name.split(".")[-1] in {"Set", "FrozenSet", "AbstractSet", "MutableSet"}
+
+
+def _isinstance_set_names(test: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    candidates = [test]
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        candidates = list(test.values)
+    for candidate in candidates:
+        if not (isinstance(candidate, ast.Call) and isinstance(candidate.func, ast.Name)):
+            continue
+        if candidate.func.id != "isinstance" or len(candidate.args) != 2:
+            continue
+        target, kinds = candidate.args
+        if not isinstance(target, ast.Name):
+            continue
+        kind_nodes = kinds.elts if isinstance(kinds, ast.Tuple) else [kinds]
+        if any(
+            isinstance(kind, ast.Name) and kind.id in _SET_CONSTRUCTORS
+            for kind in kind_nodes
+        ):
+            names.add(target.id)
+    return names
+
+
+# --------------------------------------------------------------------- #
+# Rule registry
+# --------------------------------------------------------------------- #
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``default_scopes`` limits a rule to path fragments (``"repro/sim"``
+    matches any file under a ``repro/sim/`` directory); ``None`` means the
+    rule applies everywhere.  ``exempt_paths`` are fragments the rule
+    never applies to (e.g. the one module allowed to assign
+    ``Node.position``).
+    """
+
+    rule_id: str = ""
+    pack: str = ""
+    description: str = ""
+    default_scopes: Optional[Tuple[str, ...]] = None
+    exempt_paths: Tuple[str, ...] = ()
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_class.rule_id:
+        raise ValueError(f"{rule_class.__name__} has no rule_id")
+    if rule_class.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_class.rule_id!r}")
+    _REGISTRY[rule_class.rule_id] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Every registered rule class, sorted by rule id."""
+    import repro.analysis.rules  # noqa: F401  (populates the registry)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def rule_ids() -> List[str]:
+    """Sorted ids of every registered rule."""
+    return [rule.rule_id for rule in all_rules()]
+
+
+# --------------------------------------------------------------------- #
+# Running
+# --------------------------------------------------------------------- #
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run (pre-baseline)."""
+
+    findings: List[Finding]
+    suppressed: List[Finding]
+    files_scanned: int
+    root: Path
+
+    @property
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return counts
+
+
+def _collect_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if not path.exists():
+            raise LintError(f"path does not exist: {path}")
+        if path.is_dir():
+            files.extend(sorted(p for p in path.rglob("*.py") if p.is_file()))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise LintError(f"not a Python file or directory: {path}")
+    unique: List[Path] = []
+    seen: Set[Path] = set()
+    for file in files:
+        resolved = file.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(file)
+    return unique
+
+
+def find_project_root(start: Path) -> Path:
+    """Walk up from ``start`` to the directory holding ``pyproject.toml``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in [current] + list(current.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return current
+
+
+def _display_path(file: Path, root: Path) -> str:
+    resolved = file.resolve()
+    try:
+        return resolved.relative_to(root).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def _path_in_scope(display: str, scopes: Optional[Sequence[str]]) -> bool:
+    if scopes is None:
+        return True
+    haystack = f"/{display}"
+    for scope in scopes:
+        fragment = scope.strip("/")
+        if f"/{fragment}/" in haystack or haystack.endswith(f"/{fragment}"):
+            return True
+    return False
+
+
+def run_lint(
+    paths: Sequence[Path],
+    config: Optional[LintConfig] = None,
+    *,
+    root: Optional[Path] = None,
+) -> LintReport:
+    """Lint ``paths`` and return the (suppression-filtered) report.
+
+    Raises :class:`LintError` for user errors: nonexistent paths, syntax
+    errors in scanned files, malformed or unknown suppression comments.
+    """
+    from repro.analysis.suppressions import file_suppressions
+
+    path_objects = [Path(p) for p in paths]
+    files = _collect_files(path_objects)
+    if root is None:
+        root = find_project_root(files[0] if files else Path.cwd())
+    if config is None:
+        config = LintConfig.load(root)
+    known = set(_REGISTRY)
+    config.validate(known)
+    enabled = config.enabled_rules(sorted(known))
+
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for file in files:
+        source = file.read_text(encoding="utf-8")
+        ctx = ModuleContext(file, _display_path(file, root), source)
+        suppressions = file_suppressions(ctx, known)
+        for rule_id in enabled:
+            rule_class = _REGISTRY[rule_id]
+            scopes = config.scopes_for(rule_id, rule_class.default_scopes)
+            if not _path_in_scope(ctx.display_path, scopes):
+                continue
+            exempt = config.exemptions_for(rule_id, rule_class.exempt_paths)
+            if exempt and any(ctx.display_path.endswith(fragment) for fragment in exempt):
+                continue
+            for finding in rule_class().check(ctx):
+                if suppressions.covers(finding.line, finding.rule_id):
+                    suppressed.append(finding)
+                else:
+                    findings.append(finding)
+    findings.sort()
+    suppressed.sort()
+    return LintReport(
+        findings=findings,
+        suppressed=suppressed,
+        files_scanned=len(files),
+        root=root,
+    )

@@ -1,0 +1,59 @@
+"""Rendering lint results for humans and for machines.
+
+The JSON form is canonical — findings arrive pre-sorted from the engine
+and keys are emitted sorted — so archiving the report as a CI artifact
+and diffing two runs is byte-meaningful, the same contract every other
+serialized result in this repository honours.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.baseline import BaselineDiff
+from repro.analysis.engine import LintReport
+from repro.io.results import results_to_json
+
+
+def render_human(report: LintReport, diff: Optional[BaselineDiff] = None) -> str:
+    """Multi-line human-readable report (new findings first)."""
+    lines = []
+    if diff is None:
+        for finding in report.findings:
+            lines.append(f"{finding.location()}: {finding.rule_id}: {finding.message}")
+        lines.append(
+            f"{len(report.findings)} finding(s) in {report.files_scanned} file(s)"
+            f" ({len(report.suppressed)} suppressed)"
+        )
+        return "\n".join(lines)
+    for finding in diff.new:
+        lines.append(f"{finding.location()}: {finding.rule_id}: {finding.message}")
+    if diff.stale:
+        for (rule, path, snippet), count in diff.stale.items():
+            lines.append(
+                f"stale baseline entry: {rule} at {path} "
+                f"({count} occurrence(s) of {snippet!r} no longer found)"
+            )
+    lines.append(
+        f"{len(diff.new)} new finding(s), {len(diff.baselined)} baselined, "
+        f"{len(diff.stale)} stale baseline entr(y/ies), "
+        f"{len(report.suppressed)} suppressed, {report.files_scanned} file(s) scanned"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport, diff: Optional[BaselineDiff] = None) -> str:
+    """Canonical JSON document for the whole run."""
+    document = {
+        "files_scanned": report.files_scanned,
+        "findings": report.findings,
+        "suppressed": report.suppressed,
+    }
+    if diff is not None:
+        document["new"] = diff.new
+        document["baselined"] = diff.baselined
+        document["stale"] = [
+            {"rule": rule, "path": path, "snippet": snippet, "count": count}
+            for (rule, path, snippet), count in diff.stale.items()
+        ]
+    return results_to_json(document)

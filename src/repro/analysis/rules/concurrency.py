@@ -1,0 +1,198 @@
+"""Concurrency rule pack.
+
+The service layer multiplies the ways determinism can break: a blocking
+call parks the whole event loop (reordering batch coalescing), module
+state forked into ``ProcessShardPool`` workers silently diverges per
+process, and node-attribute writes that bypass the watcher protocol
+desynchronize the spatial index and every dirty-listener cache.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule, register_rule
+from repro.analysis.rules.determinism import _resolved_via_import
+
+_BLOCKING_EXACT = {
+    "os.popen",
+    "os.system",
+    "socket.create_connection",
+    "time.sleep",
+    "urllib.request.urlopen",
+}
+
+_BLOCKING_PREFIXES = ("subprocess.", "requests.")
+
+_BLOCKING_FILE_ATTRS = {"read_bytes", "read_text", "write_bytes", "write_text"}
+
+
+def _walk_async_body(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk an ``async def`` body without entering nested function scopes."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            continue
+        yield child
+        yield from _walk_async_body(child)
+
+
+@register_rule
+class BlockingInAsyncRule(Rule):
+    """Blocking calls inside ``async def`` park the entire event loop.
+
+    The asyncio front end's fairness — and therefore the batching that the
+    replay battery proves equivalent to serial execution — relies on no
+    coroutine ever blocking.  Use ``asyncio.sleep``, stream APIs, or
+    ``loop.run_in_executor`` for synchronous work.
+    """
+
+    rule_id = "con-blocking-async"
+    pack = "concurrency"
+    description = "blocking call (sleep/file I/O/subprocess) inside async def"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for inner in _walk_async_body(node):
+                if not isinstance(inner, ast.Call):
+                    continue
+                name = ctx.call_qualname(inner)
+                blocking = None
+                if name in _BLOCKING_EXACT or (
+                    name is not None
+                    and name.startswith(_BLOCKING_PREFIXES)
+                    and _resolved_via_import(ctx, inner.func)
+                ):
+                    blocking = name
+                elif name == "open" and "open" not in ctx.imports:
+                    blocking = "open"
+                elif (
+                    isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr in _BLOCKING_FILE_ATTRS
+                ):
+                    blocking = f".{inner.func.attr}"
+                if blocking is not None:
+                    yield ctx.finding(
+                        self.rule_id,
+                        inner,
+                        f"{blocking}() blocks the event loop inside "
+                        f"'async def {node.name}'; use the asyncio equivalent "
+                        f"or loop.run_in_executor",
+                    )
+
+
+@register_rule
+class ModuleMutableStateRule(Rule):
+    """Module-level mutable containers reachable from worker processes.
+
+    ``ProcessShardPool`` workers import service modules independently;
+    any module-level list/dict/set mutated at runtime silently diverges
+    between the parent and each worker (and between workers), breaking
+    the serial-vs-sharded replay contract.  Constants (ALL_CAPS names)
+    and ``__dunder__`` module metadata are exempt.
+    """
+
+    rule_id = "con-module-mutable-state"
+    pack = "concurrency"
+    description = "module-level mutable container in worker-reachable code"
+    default_scopes = ("repro/service",)
+
+    _MUTABLE_CALLS = {
+        "collections.Counter",
+        "collections.OrderedDict",
+        "collections.defaultdict",
+        "collections.deque",
+        "dict",
+        "list",
+        "set",
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for stmt in self._module_level(ctx.tree):
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            if not self._is_mutable_container(ctx, value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.startswith("__") and name.endswith("__"):
+                    continue
+                if name.upper() == name:
+                    continue  # ALL_CAPS constant-by-convention
+                yield ctx.finding(
+                    self.rule_id,
+                    stmt,
+                    f"module-level mutable container {name!r} is copied into "
+                    f"every ProcessShardPool worker at fork/spawn and then "
+                    f"diverges per process; hold state on an object the pool "
+                    f"owns, or mark it ALL_CAPS if it is an immutable constant",
+                )
+
+    def _module_level(self, tree: ast.Module) -> Iterator[ast.stmt]:
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.If, ast.Try)):
+                for nested in ast.iter_child_nodes(stmt):
+                    if isinstance(nested, ast.stmt):
+                        yield nested
+            else:
+                yield stmt
+
+    def _is_mutable_container(self, ctx: ModuleContext, value: ast.AST) -> bool:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            name = ctx.call_qualname(value)
+            return name in self._MUTABLE_CALLS
+        return False
+
+
+@register_rule
+class NodeAttrWriteRule(Rule):
+    """Direct writes to ``Node.position`` / ``Node.alive`` bypass watchers.
+
+    The spatial index, derived-data caches and dirty-listener snapshot
+    caches are all patched through node watcher callbacks; assigning the
+    attributes directly leaves every one of them stale.  Use
+    ``move_to()``, ``crash()`` and ``recover()`` — the one module allowed
+    to assign the attributes is ``repro/net/node.py`` itself.
+    """
+
+    rule_id = "con-node-attr-write"
+    pack = "concurrency"
+    description = "direct Node.position/.alive write bypassing move_to/crash/recover"
+    exempt_paths = ("repro/net/node.py",)
+
+    _GUARDED_ATTRS = {"alive", "position"}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                candidates = target.elts if isinstance(target, ast.Tuple) else [target]
+                for candidate in candidates:
+                    if (
+                        isinstance(candidate, ast.Attribute)
+                        and candidate.attr in self._GUARDED_ATTRS
+                    ):
+                        yield ctx.finding(
+                            self.rule_id,
+                            candidate,
+                            f"direct write to .{candidate.attr} bypasses the "
+                            f"watcher protocol (spatial index and dirty-listener "
+                            f"caches go stale); use move_to()/crash()/recover()",
+                        )

@@ -1,0 +1,97 @@
+"""``# detlint: ignore[rule-id]`` suppression comments.
+
+Grammar (the only accepted forms)::
+
+    # detlint: ignore[rule-a]
+    # detlint: ignore[rule-a,rule-b] -- justification text
+
+A suppression covers findings on its own line and, when it is a
+standalone comment, on the first following line that holds code.  Any
+comment starting with ``# detlint`` that does not match the grammar — or
+that names a rule id the registry does not know — is *malformed* and
+fails the run with a friendly error: silent typos would quietly disable
+enforcement, which is exactly the failure mode this tool exists to
+prevent.  The ``-- justification`` tail is optional but encouraged; the
+README's determinism contract asks every suppression to carry one.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Set
+
+from repro.analysis.engine import LintError, ModuleContext
+
+_MARKER = re.compile(r"#\s*detlint\b")
+_VALID = re.compile(
+    r"#\s*detlint:\s*ignore\[(?P<rules>[a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\]"
+    r"(?:\s+--\s+\S.*)?$"
+)
+
+
+@dataclass
+class Suppressions:
+    """Per-line suppression table for one file."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def covers(self, line: int, rule_id: str) -> bool:
+        """Whether a finding on ``line`` is suppressed for ``rule_id``."""
+        return rule_id in self.by_line.get(line, set())
+
+
+def file_suppressions(ctx: ModuleContext, known_rule_ids: Iterable[str]) -> Suppressions:
+    """Parse every suppression comment in ``ctx`` (or raise :class:`LintError`)."""
+    known = set(known_rule_ids)
+    table: Dict[int, Set[str]] = {}
+    standalone: Dict[int, Set[str]] = {}
+    code_lines: Set[int] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(ctx.source).readline))
+    except tokenize.TokenError as error:  # pragma: no cover - parse already succeeded
+        raise LintError(f"{ctx.display_path}: cannot tokenize file: {error}") from error
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            comment = token.string
+            if not _MARKER.match(comment):
+                continue
+            match = _VALID.match(comment.strip())
+            if match is None:
+                raise LintError(
+                    f"{ctx.display_path}:{token.start[0]}: malformed detlint suppression "
+                    f"{comment.strip()!r}; expected '# detlint: ignore[rule-id]' "
+                    f"(optionally '-- justification')"
+                )
+            rules = {rule.strip() for rule in match.group("rules").split(",")}
+            unknown = sorted(rules - known)
+            if unknown:
+                raise LintError(
+                    f"{ctx.display_path}:{token.start[0]}: suppression names unknown "
+                    f"rule id(s) {', '.join(unknown)} (known: {', '.join(sorted(known))})"
+                )
+            line = token.start[0]
+            stripped = ctx.lines[line - 1].strip() if line <= len(ctx.lines) else ""
+            if stripped.startswith("#"):
+                standalone[line] = rules
+            else:
+                table.setdefault(line, set()).update(rules)
+        elif token.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+            tokenize.COMMENT,
+        ):
+            code_lines.add(token.start[0])
+    # A standalone suppression covers the next line holding code.
+    for line, rules in standalone.items():
+        target = line + 1
+        while target <= len(ctx.lines) and target not in code_lines:
+            target += 1
+        table.setdefault(target, set()).update(rules)
+        table.setdefault(line, set()).update(rules)
+    return Suppressions(by_line=table)

@@ -14,7 +14,7 @@ bisector is shortest.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional
+from typing import Iterable, List
 
 import networkx as nx
 
@@ -29,12 +29,12 @@ def _cone_index(angle: float, k: int, offset: float) -> int:
 
 
 def _cone_candidates(network: Network, nodes: List[Node], u: Node, respect_max_range: bool) -> Iterable[Node]:
-    """Nodes competing for ``u``'s cones, ID-sorted.
+    """Nodes competing for ``u``'s cones.
 
     With the range restriction the spatial index supplies exactly the
-    in-range nodes; without it every other node competes.  Iteration order
-    matches the classical scan over ID-sorted nodes, so tie-breaking
-    ("first seen wins" on equal distances) is unchanged.
+    in-range nodes; without it every other node competes.  Enumeration
+    order is irrelevant to the result: the per-cone winner is selected by
+    full-tuple comparison (distance, then node id), never first-seen.
     """
     if respect_max_range and network.use_spatial_index:
         max_range = network.power_model.max_range
@@ -63,9 +63,11 @@ def yao_graph(network: Network, k: int = 6, *, respect_max_range: bool = True, o
             if respect_max_range and d > max_range + 1e-12:
                 continue
             cone = _cone_index(u.direction_to(v), k, offset)
-            if cone not in best or d < best[cone][0]:
+            # Full-tuple comparison so equal distances break ties by node id,
+            # not by which candidate happened to be enumerated first.
+            if cone not in best or (d, v.node_id) < best[cone]:
                 best[cone] = (d, v.node_id)
-        for d, v_id in best.values():
+        for _, (d, v_id) in sorted(best.items()):
             graph.add_edge(u.node_id, v_id, length=d)
     return graph
 
@@ -96,8 +98,8 @@ def theta_graph(
             cone = _cone_index(angle, k, offset)
             bisector = offset + (cone + 0.5) * width
             projection = d * math.cos(abs(normalize_angle(angle - bisector)))
-            if cone not in best or projection < best[cone][0]:
+            if cone not in best or (projection, d, v.node_id) < best[cone]:
                 best[cone] = (projection, d, v.node_id)
-        for _, d, v_id in best.values():
+        for _, (_, d, v_id) in sorted(best.items()):
             graph.add_edge(u.node_id, v_id, length=d)
     return graph

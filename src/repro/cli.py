@@ -21,7 +21,10 @@ the experiment harnesses:
   snapshot caching);
 * ``load`` — the closed-loop load generator, with byte-identity
   verification of the served world snapshots against a serial in-process
-  replay (``--verify``).
+  replay (``--verify``);
+* ``lint`` — the ``detlint`` static determinism/concurrency contract
+  checker (AST rules, ``# detlint: ignore[rule-id]`` suppressions,
+  committed-baseline diffing, human or canonical-JSON output).
 """
 
 from __future__ import annotations
@@ -340,6 +343,19 @@ def _load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import lint_command
+
+    return lint_command(
+        args.paths,
+        json_output=args.json,
+        baseline_path=args.baseline,
+        no_baseline=args.no_baseline,
+        update_baseline=args.update_baseline,
+        rules=args.rules,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(prog="cbtc", description="CBTC topology-control reproduction")
@@ -490,6 +506,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     load.add_argument("--json", default=None, metavar="PATH", help="write the load report as JSON")
     load.set_defaults(func=_load)
+
+    lint = subparsers.add_parser(
+        "lint", help="run the detlint determinism/concurrency contract checker"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=[],
+        metavar="PATH",
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument("--json", action="store_true", help="emit the canonical-JSON report")
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file to diff against (default: detlint-baseline.json at the project root)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true", help="ignore any baseline file"
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept every current finding",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="run only these rule ids (comma-separated)",
+    )
+    lint.set_defaults(func=_lint)
 
     return parser
 

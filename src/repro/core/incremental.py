@@ -463,7 +463,7 @@ class IncrementalTopologyBuilder:
         return affected | dirty
 
     def _materialize(self, final) -> TopologyResult:
-        network, alpha, config = self.network, self.alpha, self.config
+        alpha, config = self.alpha, self.config
         label = f"CBTC(alpha={alpha:.4f}) [{config.describe()}]"
         return TopologyResult(
             graph=final,

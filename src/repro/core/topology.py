@@ -44,7 +44,9 @@ def neighbor_digraph(outcome: CBTCOutcome, network: Optional[Network] = None) ->
         for node_id in digraph.nodes:
             digraph.nodes[node_id]["pos"] = network.node(node_id).position.as_tuple()
     for state in outcome:
-        for record in state.neighbors.values():
+        # Sorted so edge insertion order (which leaks into nx iteration
+        # order downstream) never depends on discovery history.
+        for _, record in sorted(state.neighbors.items()):
             digraph.add_edge(
                 state.node_id,
                 record.neighbor,
@@ -165,7 +167,9 @@ class TopologyResult:
         """Average per-node transmission radius (the paper's "Average radius")."""
         if not self.node_radius:
             return 0.0
-        return sum(self.node_radius.values()) / len(self.node_radius)
+        # Summed in node-id order: float addition is not associative, and the
+        # dict's insertion order differs between incremental and full builds.
+        return sum(radius for _, radius in sorted(self.node_radius.items())) / len(self.node_radius)
 
     def max_radius(self) -> float:
         """Largest per-node transmission radius."""
@@ -175,7 +179,7 @@ class TopologyResult:
 
     def total_power(self) -> float:
         """Sum of per-node transmission powers (an aggregate energy proxy)."""
-        return sum(self.node_power.values())
+        return sum(power for _, power in sorted(self.node_power.items()))
 
     def degree_of(self, node_id: NodeId) -> int:
         """Degree of one node in the final graph."""

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional
 
 from repro.core.analysis import power_stretch_factor
 from repro.core.pipeline import OptimizationConfig, build_topology
-from repro.graphs.metrics import graph_metrics, interference_proxy
+from repro.graphs.metrics import interference_proxy
 from repro.net.energy import EnergyLedger
 from repro.net.network import Network
 from repro.net.node import NodeId
@@ -85,7 +85,7 @@ def run_energy_experiment(
     profiles.append(
         EnergyProfile(
             name="max power",
-            total_transmit_power=sum(uncontrolled_power.values()),
+            total_transmit_power=sum(p for _, p in sorted(uncontrolled_power.items())),
             max_node_power=max_power,
             interference=interference_proxy(reference, network),
             lifetime_rounds=estimate_lifetime(uncontrolled_power, battery_capacity=battery_capacity),
@@ -101,7 +101,7 @@ def run_energy_experiment(
         profiles.append(
             EnergyProfile(
                 name=name,
-                total_transmit_power=sum(result.node_power.values()),
+                total_transmit_power=sum(p for _, p in sorted(result.node_power.items())),
                 max_node_power=max(result.node_power.values(), default=0.0),
                 interference=interference_proxy(result.graph, network),
                 lifetime_rounds=estimate_lifetime(result.node_power, battery_capacity=battery_capacity),

@@ -19,7 +19,7 @@ from typing import List, Optional
 
 from repro.core.analysis import preserves_connectivity
 from repro.core.reconfiguration import ReconfigurationManager
-from repro.net.failures import CrashFailureModel, FailureModel, NoFailures
+from repro.net.failures import CrashFailureModel, FailureModel
 from repro.net.mobility import MobilityModel, RandomWaypointModel
 from repro.net.placement import PAPER_CONFIG, PlacementConfig, random_uniform_placement
 

@@ -24,7 +24,7 @@ from repro.core.pipeline import OptimizationConfig, build_topology
 from repro.core.analysis import preserves_connectivity
 from repro.graphs.metrics import graph_metrics
 from repro.net.placement import PAPER_CONFIG, PlacementConfig, random_uniform_placement
-from repro.radio.power import GeometricSchedule, LinearSchedule, PowerSchedule
+from repro.radio.power import GeometricSchedule, LinearSchedule
 
 
 @dataclass(frozen=True)

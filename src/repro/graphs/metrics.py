@@ -54,7 +54,9 @@ def average_radius(graph: nx.Graph, network: Network, *, fixed_radius: Optional[
     if fixed_radius is not None:
         return fixed_radius
     radii = per_node_radius_of_graph(graph, network)
-    return sum(radii.values()) / len(radii)
+    # Node-id order keeps the float sum canonical regardless of how the
+    # graph (and hence the radii dict) was assembled.
+    return sum(radius for _, radius in sorted(radii.items())) / len(radii)
 
 
 def interference_proxy(graph: nx.Graph, network: Network) -> float:
@@ -67,11 +69,11 @@ def interference_proxy(graph: nx.Graph, network: Network) -> float:
     radii = per_node_radius_of_graph(graph, network)
     if not radii:
         return 0.0
-    total = 0
-    for node_id, radius in radii.items():
-        if radius <= 0.0:
-            continue
-        total += len(network.neighbors_within(node_id, radius))
+    total = sum(
+        len(network.neighbors_within(node_id, radius))
+        for node_id, radius in sorted(radii.items())
+        if radius > 0.0
+    )
     return total / len(radii)
 
 
@@ -119,13 +121,17 @@ def graph_metrics(
         radii = {node_id: fixed_radius for node_id in radii}
     degrees: List[int] = [degree for _, degree in graph.degree]
     power_model = network.power_model
-    total_power = sum(power_model.required_power(radius) for radius in radii.values())
+    total_power = sum(
+        power_model.required_power(radius) for _, radius in sorted(radii.items())
+    )
     return GraphMetrics(
         node_count=graph.number_of_nodes(),
         edge_count=graph.number_of_edges(),
         average_degree=average_degree(graph),
         max_degree=max(degrees) if degrees else 0,
-        average_radius=(sum(radii.values()) / len(radii)) if radii else 0.0,
+        average_radius=(
+            sum(radius for _, radius in sorted(radii.items())) / len(radii) if radii else 0.0
+        ),
         max_radius=max(radii.values()) if radii else 0.0,
         total_power=total_power,
         connected_components=nx.number_connected_components(graph) if graph.number_of_nodes() else 0,

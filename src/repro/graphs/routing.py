@@ -360,8 +360,12 @@ def congestion_report(
             node_counts[node] += 1
     if pairs == 0:
         return CongestionReport(0, 0.0, 0.0, 0.0, 0.0)
-    edge_fractions = [count / pairs for count in edge_counts.values()] or [0.0]
-    node_fractions = [count / pairs for count in node_counts.values()] or [0.0]
+    # Keyed order makes the congestion averages canonical: the count dicts
+    # are keyed by insertion order of graph edges/nodes, which is not stable
+    # across construction paths, and float division + summation below is
+    # order-sensitive.
+    edge_fractions = [count / pairs for _, count in sorted(edge_counts.items())] or [0.0]
+    node_fractions = [count / pairs for _, count in sorted(node_counts.items())] or [0.0]
     return CongestionReport(
         routed_pairs=pairs,
         average_hop_count=total_hops / pairs,

@@ -28,7 +28,7 @@ def _to_jsonable(value: Any) -> Any:
         try:
             items = sorted(value)
         except TypeError:
-            items = list(value)
+            items = list(value)  # detlint: ignore[det-set-iteration] -- unsortable elements fall back to insertion order by design
         return [_to_jsonable(item) for item in items]
     if isinstance(value, (list, tuple)):
         return [_to_jsonable(item) for item in value]

@@ -9,8 +9,8 @@ style metrics (time until first node exhausts its budget) can be computed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable
 
 from repro.net.node import NodeId
 
@@ -66,12 +66,16 @@ class EnergyLedger:
         self.account(node_id).charge(power * duration)
 
     def total_consumed(self) -> float:
-        """Total energy consumed across all nodes."""
-        return sum(account.consumed for account in self._accounts.values())
+        """Total energy consumed across all nodes.
+
+        Summed in node-id order: float addition is not associative, and the
+        account dict's insertion order tracks charge history, not identity.
+        """
+        return sum(account.consumed for _, account in sorted(self._accounts.items()))
 
     def total_transmissions(self) -> int:
         """Total number of transmissions charged."""
-        return sum(account.transmissions for account in self._accounts.values())
+        return sum(account.transmissions for _, account in sorted(self._accounts.items()))
 
     def consumed_by(self, node_id: NodeId) -> float:
         """Energy consumed by one node."""

@@ -14,9 +14,8 @@ with the idealized analysis in the paper's Table 1).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence
+from typing import List, Sequence
 
 from repro.radio.propagation import PathLossModel
 

@@ -42,7 +42,6 @@ from repro.scenarios.spec import (
     EnergySpec,
     FailureSpec,
     MobilitySpec,
-    OptimizationSpec,
     PlacementSpec,
     ScenarioSpec,
 )

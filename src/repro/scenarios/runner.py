@@ -347,7 +347,9 @@ class ScenarioRunner:
         messages_sent: int,
     ) -> EpochMetrics:
         graph = topology.graph
-        radii = list(topology.node_radius.values())
+        # Sorted so the float sum below is canonical regardless of how the
+        # radius dict was assembled (full rebuild vs incremental splice).
+        radii = sorted(topology.node_radius.values())
         return EpochMetrics(
             epoch=epoch,
             alive_nodes=len(self.network.alive_nodes()),
@@ -366,7 +368,7 @@ class ScenarioRunner:
             components=(
                 nx.number_connected_components(graph) if graph.number_of_nodes() else 0
             ),
-            total_power=sum(topology.node_power.values()),
+            total_power=sum(p for _, p in sorted(topology.node_power.items())),
             energy_consumed=self.ledger.total_consumed(),
         )
 
@@ -384,7 +386,7 @@ class ScenarioRunner:
             initial_nodes=len(self.network),
             spec=spec,
         )
-        clock = time.perf_counter
+        clock = time.perf_counter  # detlint: ignore[det-wall-clock] -- epoch timing is measurement output, never fed back into the simulation
         for epoch in range(1, spec.epochs + 1):
             epoch_start = clock()
             joined, churn_crashed = self._apply_churn(epoch)

@@ -272,7 +272,7 @@ class World:
 
         def compute() -> Dict[str, Any]:
             graph = topology.graph
-            radii = list(topology.node_radius.values())
+            radii = sorted(topology.node_radius.values())
             return {
                 "world": self.world_id,
                 "alive_nodes": len(self.network.alive_nodes()),
@@ -283,7 +283,7 @@ class World:
                 "components": (
                     nx.number_connected_components(graph) if graph.number_of_nodes() else 0
                 ),
-                "total_power": sum(topology.node_power.values()),
+                "total_power": sum(p for _, p in sorted(topology.node_power.items())),
                 "connectivity_preserved": preserves_max_power_connectivity(self.network, graph),
             }
 

@@ -18,7 +18,7 @@ simulations over it remain exactly replayable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.net.node import NodeId
 from repro.radio.interference import InterferenceField, InterferenceModel

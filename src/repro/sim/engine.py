@@ -22,7 +22,7 @@ produce identical executions.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set
 
 from repro.net.energy import EnergyLedger
 from repro.net.network import Network

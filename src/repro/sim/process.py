@@ -20,7 +20,7 @@ directions and power estimates, exactly matching the paper's model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, TYPE_CHECKING
+from typing import Any, TYPE_CHECKING
 
 from repro.net.node import NodeId
 from repro.sim.messages import Message

@@ -11,7 +11,6 @@ every message transmitted during round ``t`` is delivered during round
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.net.network import Network
 from repro.sim.channel import ReliableChannel

@@ -9,7 +9,7 @@ unicasts a CBTC run costs, how that changes with the power schedule).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.net.node import NodeId

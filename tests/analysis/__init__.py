@@ -1,0 +1,1 @@
+"""Test package (explicit, so clashing basenames collect cleanly)."""

@@ -1,0 +1,31 @@
+"""Shared fixtures for the detlint tests.
+
+``lint`` writes a snippet into a synthetic project tree under ``tmp_path``
+(so path-scoped rules see realistic display paths like
+``src/repro/sim/example.py``) and runs the engine over it.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import LintConfig, run_lint
+
+
+@pytest.fixture
+def lint(tmp_path):
+    def run(source, rel="src/repro/sim/example.py", config=None):
+        file = tmp_path / rel
+        file.parent.mkdir(parents=True, exist_ok=True)
+        file.write_text(textwrap.dedent(source), encoding="utf-8")
+        return run_lint([file], config if config is not None else LintConfig(), root=tmp_path)
+
+    return run
+
+
+@pytest.fixture
+def lint_rules(lint):
+    def run(source, rel="src/repro/sim/example.py", config=None):
+        return [finding.rule_id for finding in lint(source, rel=rel, config=config).findings]
+
+    return run

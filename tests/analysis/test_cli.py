@@ -1,0 +1,171 @@
+"""``cbtc lint`` CLI semantics: exit codes, JSON output, friendly errors.
+
+Also the repository's own contract: linting ``src/repro`` must match the
+committed ``detlint-baseline.json`` exactly — zero new findings *and* zero
+stale entries, so the baseline can never silently rot.
+"""
+
+import io
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis import Baseline, LintConfig, run_lint
+from repro.analysis.cli import lint_command
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CLEAN = """
+def total(powers):
+    return sum(p for _, p in sorted(powers.items()))
+"""
+
+DIRTY = """
+def total(powers):
+    return sum(powers.values())
+"""
+
+
+def _write(tmp_path, source, name="example.py"):
+    # An (empty) pyproject.toml anchors find_project_root, so display paths
+    # and rule scopes behave as they do in a real checkout.
+    (tmp_path / "pyproject.toml").write_text("", encoding="utf-8")
+    file = tmp_path / "src" / "repro" / "sim" / name
+    file.parent.mkdir(parents=True, exist_ok=True)
+    file.write_text(textwrap.dedent(source), encoding="utf-8")
+    return file
+
+
+def _run(*argv):
+    paths = [arg for arg in argv if not arg.startswith("--")]
+    flags = {arg for arg in argv if arg.startswith("--")}
+    stdout, stderr = io.StringIO(), io.StringIO()
+    code = lint_command(
+        paths,
+        json_output="--json" in flags,
+        no_baseline="--no-baseline" in flags,
+        stdout=stdout,
+        stderr=stderr,
+    )
+    return code, stdout.getvalue(), stderr.getvalue()
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        file = _write(tmp_path, CLEAN)
+        assert main(["lint", str(file), "--no-baseline"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        file = _write(tmp_path, DIRTY)
+        assert main(["lint", str(file), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "det-float-sum-order" in out
+
+    def test_nonexistent_path_is_friendly(self, capsys):
+        assert main(["lint", "does/not/exist"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.strip() == "cbtc lint: path does not exist: does/not/exist"
+        assert "Traceback" not in captured.err
+
+    def test_malformed_suppression_is_friendly(self, tmp_path, capsys):
+        file = _write(
+            tmp_path,
+            """
+            def total(powers):
+                return sum(powers.values())  # detlint: ignore(det-float-sum-order)
+            """,
+        )
+        assert main(["lint", str(file)]) == 1
+        captured = capsys.readouterr()
+        assert "malformed detlint suppression" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_rules_filter(self, tmp_path, capsys):
+        file = _write(
+            tmp_path,
+            """
+            import time
+
+            def stamp(powers):
+                sum(powers.values())
+                return time.time()
+            """,
+        )
+        assert main(["lint", str(file), "--no-baseline", "--rules", "det-wall-clock"]) == 1
+        out = capsys.readouterr().out
+        assert "det-wall-clock" in out
+        assert "det-float-sum-order" not in out
+
+
+class TestJsonOutput:
+    def test_json_is_parseable_and_canonical(self, tmp_path):
+        file = _write(tmp_path, DIRTY)
+        code, out, _ = _run(str(file), "--no-baseline", "--json")
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["files_scanned"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule_id"] == "det-float-sum-order"
+        assert finding["path"].endswith("src/repro/sim/example.py")
+        # Canonical: a second run emits byte-identical JSON.
+        _, again, _ = _run(str(file), "--no-baseline", "--json")
+        assert again == out
+
+
+def _run_kw(paths, **kwargs):
+    stdout, stderr = io.StringIO(), io.StringIO()
+    code = lint_command(paths, stdout=stdout, stderr=stderr, **kwargs)
+    return code, stdout.getvalue(), stderr.getvalue()
+
+
+class TestBaselineWorkflow:
+    def test_update_then_clean_then_regression(self, tmp_path):
+        file = _write(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+
+        code, out, _ = _run_kw([str(file)], update_baseline=True, baseline_path=str(baseline))
+        assert code == 0
+        assert "1 finding(s) recorded" in out
+
+        # Baselined finding: exit 0, reported as baselined.
+        code, out, _ = _run_kw([str(file)], baseline_path=str(baseline))
+        assert code == 0
+        assert "0 new finding(s)" in out and "1 baselined" in out
+
+        # A second violation is new: exit 1.
+        file.write_text(
+            textwrap.dedent(DIRTY)
+            + textwrap.dedent(
+                """
+                def also(powers):
+                    return sum(powers.values()) / 2
+                """
+            ),
+            encoding="utf-8",
+        )
+        code, out, _ = _run_kw([str(file)], baseline_path=str(baseline))
+        assert code == 1
+        assert "1 new finding(s)" in out
+
+    def test_missing_baseline_file_is_friendly(self, tmp_path):
+        file = _write(tmp_path, CLEAN)
+        code, _, err = _run_kw([str(file)], baseline_path=str(tmp_path / "nope.json"))
+        assert code == 1
+        assert "baseline file does not exist" in err
+
+
+class TestRepositoryContract:
+    def test_src_repro_matches_committed_baseline_exactly(self):
+        report = run_lint(
+            [REPO_ROOT / "src" / "repro"], LintConfig.load(REPO_ROOT), root=REPO_ROOT
+        )
+        baseline = Baseline.load(REPO_ROOT / "detlint-baseline.json")
+        diff = baseline.diff(report.findings)
+        assert diff.new == [], [f.location() for f in diff.new]
+        assert diff.stale == {}, diff.stale
+
+    def test_cli_on_src_repro_exits_zero(self):
+        code, out, err = _run_kw([str(REPO_ROOT / "src" / "repro")])
+        assert code == 0, err or out

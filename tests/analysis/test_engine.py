@@ -1,0 +1,200 @@
+"""Engine-level tests: suppressions, config, baselines, error handling."""
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, LintConfig, LintError, rule_ids, run_lint
+from repro.analysis.baseline import fingerprint
+from repro.analysis.config import ConfigError, _minimal_toml_loads
+from repro.analysis.engine import Finding
+
+SET_LOOP = """
+def splice(graph, pairs):
+    pending = set(pairs)
+    for u, v in pending:{comment}
+        graph.add_edge(u, v)
+"""
+
+
+class TestSuppressions:
+    def test_inline_suppression_moves_finding_to_suppressed(self, lint):
+        report = lint(
+            SET_LOOP.format(comment="  # detlint: ignore[det-set-iteration] -- fixture")
+        )
+        assert [f.rule_id for f in report.findings] == []
+        assert [f.rule_id for f in report.suppressed] == ["det-set-iteration"]
+
+    def test_standalone_comment_covers_next_code_line(self, lint):
+        report = lint(
+            """
+            def splice(graph, pairs):
+                pending = set(pairs)
+                # detlint: ignore[det-set-iteration] -- fixture
+                for u, v in pending:
+                    graph.add_edge(u, v)
+            """
+        )
+        assert report.findings == []
+        assert [f.rule_id for f in report.suppressed] == ["det-set-iteration"]
+
+    def test_suppression_is_rule_specific(self, lint):
+        report = lint(SET_LOOP.format(comment="  # detlint: ignore[det-wall-clock]"))
+        assert [f.rule_id for f in report.findings] == ["det-set-iteration"]
+
+    def test_malformed_suppression_fails_loudly(self, lint):
+        with pytest.raises(LintError, match="malformed detlint suppression"):
+            lint(SET_LOOP.format(comment="  # detlint: ignore(det-set-iteration)"))
+
+    def test_unknown_rule_id_fails_loudly(self, lint):
+        with pytest.raises(LintError, match="unknown rule id"):
+            lint(SET_LOOP.format(comment="  # detlint: ignore[no-such-rule]"))
+
+
+class TestEngineErrors:
+    def test_nonexistent_path(self, tmp_path):
+        with pytest.raises(LintError, match="path does not exist"):
+            run_lint([tmp_path / "missing.py"], LintConfig(), root=tmp_path)
+
+    def test_syntax_error_is_a_lint_error(self, lint):
+        with pytest.raises(LintError, match="cannot parse"):
+            lint("def broken(:\n    pass\n")
+
+    def test_findings_sorted_canonically(self, lint):
+        report = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+
+            def total(powers):
+                return sum(powers.values())
+            """
+        )
+        assert {f.rule_id for f in report.findings} == {"det-wall-clock", "det-float-sum-order"}
+        assert report.findings == sorted(report.findings)
+
+
+class TestConfig:
+    def test_select_and_ignore(self, lint):
+        config = LintConfig(select=("det-set-iteration", "det-wall-clock"), ignore=("det-wall-clock",))
+        report = lint(
+            """
+            import time
+
+            def splice(graph, pairs):
+                pending = set(pairs)
+                for u, v in pending:
+                    graph.add_edge(u, v)
+                return time.time()
+            """,
+            config=config,
+        )
+        assert [f.rule_id for f in report.findings] == ["det-set-iteration"]
+
+    def test_scope_override_disables_rule_elsewhere(self, lint):
+        config = LintConfig(scopes={"det-set-iteration": ["src/elsewhere"]})
+        report = lint(SET_LOOP.format(comment=""), config=config)
+        assert report.findings == []
+
+    def test_validate_rejects_unknown_rule(self):
+        with pytest.raises(LintError, match="unknown rule id"):
+            LintConfig(select=("not-a-rule",)).validate(rule_ids())
+
+    def test_load_from_pyproject(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "\n".join(
+                [
+                    "[tool.detlint]",
+                    'ignore = ["det-wall-clock"]',
+                    'baseline = "custom-baseline.json"',
+                    "",
+                    "[tool.detlint.scopes]",
+                    'det-set-iteration = ["src/repro"]',
+                ]
+            ),
+            encoding="utf-8",
+        )
+        config = LintConfig.load(tmp_path)
+        assert config.ignore == ("det-wall-clock",)
+        assert config.baseline == "custom-baseline.json"
+        assert config.scopes == {"det-set-iteration": ["src/repro"]}
+
+    def test_minimal_toml_parser_matches_expectations(self):
+        data = _minimal_toml_loads(
+            "\n".join(
+                [
+                    "[tool.detlint]",
+                    "select = [",
+                    '    "det-set-iteration",',
+                    '    "det-wall-clock",',
+                    "]  # trailing comment",
+                    "strict = true",
+                    "limit = 3",
+                ]
+            )
+        )
+        assert data == {
+            "tool": {
+                "detlint": {
+                    "select": ["det-set-iteration", "det-wall-clock"],
+                    "strict": True,
+                    "limit": 3,
+                }
+            }
+        }
+
+    def test_minimal_toml_parser_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            _minimal_toml_loads("just some words\n")
+
+
+def _finding(rule="det-wall-clock", path="src/repro/sim/a.py", line=3, snippet="time.time()"):
+    return Finding(path=path, line=line, col=0, rule_id=rule, message="m", snippet=snippet)
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        baseline = Baseline.from_findings([_finding(), _finding(), _finding(line=9)])
+        target = tmp_path / "baseline.json"
+        baseline.dump(target)
+        reloaded = Baseline.load(target)
+        assert reloaded.counts == baseline.counts
+        assert reloaded.counts[fingerprint(_finding())] == 3
+
+    def test_dump_is_canonical_json(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        Baseline.from_findings([_finding()]).dump(target)
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["version"] == 1
+        assert payload["findings"] == [
+            {
+                "count": 1,
+                "path": "src/repro/sim/a.py",
+                "rule": "det-wall-clock",
+                "snippet": "time.time()",
+            }
+        ]
+
+    def test_diff_partitions_new_baselined_stale(self):
+        baseline = Baseline.from_findings([_finding(), _finding(snippet="other")])
+        diff = baseline.diff([_finding(), _finding(line=9), _finding(line=12)])
+        # Two of the three current findings share the baselined fingerprint
+        # (count 1), so one is absorbed and two are new; the "other" entry
+        # no longer occurs and is reported stale.
+        assert len(diff.baselined) == 1
+        assert len(diff.new) == 2
+        assert diff.stale == {fingerprint(_finding(snippet="other")): 1}
+
+    def test_load_missing_and_invalid(self, tmp_path):
+        with pytest.raises(LintError, match="does not exist"):
+            Baseline.load(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(LintError, match="not valid JSON"):
+            Baseline.load(bad)
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text('{"version": 99, "findings": []}', encoding="utf-8")
+        with pytest.raises(LintError, match="unsupported baseline format"):
+            Baseline.load(wrong)

@@ -1,0 +1,85 @@
+"""The acceptance demonstration: delete a guarding ``sorted()`` and both
+detlint *and* a byte-identity test must fail.
+
+The guarded path under mutation is ``repro/io/results.py``'s set
+serialization (``items = sorted(value)``).  The test textually mutates it
+to ``items = list(value)``, then shows (a) detlint flags the mutated line,
+and (b) two *equal* sets with different insertion histories now serialize
+to different bytes, while the pristine module keeps them byte-identical.
+"""
+
+import itertools
+import types
+from pathlib import Path
+
+from repro.analysis import LintConfig, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+RESULTS_PATH = REPO_ROOT / "src" / "repro" / "io" / "results.py"
+GUARD = "items = sorted(value)"
+MUTATED = "items = list(value)"
+
+
+def _equal_sets_with_different_iteration_orders():
+    """Two equal int sets whose CPython iteration order differs.
+
+    Small ints hash to themselves, so values congruent modulo the hash
+    table size collide and their probe placement depends on insertion
+    order.  The search over permutations keeps the test robust to hash
+    table implementation details.
+    """
+    values = [8, 16, 24, 32]
+    reference = set(values)
+    for permutation in itertools.permutations(values):
+        candidate = set()
+        for value in permutation:
+            candidate.add(value)
+        if candidate == reference and list(candidate) != list(reference):
+            return reference, candidate
+    raise AssertionError("could not construct divergent set iteration orders")
+
+
+def _load_module(source, name):
+    module = types.ModuleType(name)
+    exec(compile(source, f"<{name}>", "exec"), module.__dict__)
+    return module
+
+
+def _mutated_source():
+    source = RESULTS_PATH.read_text(encoding="utf-8")
+    assert GUARD in source, "the guarded serialization path moved; update this test"
+    return source.replace(GUARD, MUTATED)
+
+
+class TestGuardMutation:
+    def test_detlint_flags_the_mutation(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "io" / "results.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(_mutated_source(), encoding="utf-8")
+        report = run_lint([target], LintConfig(), root=tmp_path)
+        flagged = [f for f in report.findings if f.rule_id == "det-set-iteration"]
+        assert any(MUTATED in f.snippet for f in flagged), [
+            f.location() for f in report.findings
+        ]
+
+    def test_pristine_module_lints_clean(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "io" / "results.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(RESULTS_PATH.read_text(encoding="utf-8"), encoding="utf-8")
+        report = run_lint([target], LintConfig(), root=tmp_path)
+        assert report.findings == []
+
+    def test_mutation_breaks_byte_identity(self):
+        first, second = _equal_sets_with_different_iteration_orders()
+        assert first == second
+
+        import repro.io.results as pristine
+
+        assert pristine.results_to_json({"xs": first}) == pristine.results_to_json(
+            {"xs": second}
+        )
+
+        mutated = _load_module(_mutated_source(), "results_mutated")
+        assert mutated.results_to_json({"xs": first}) != mutated.results_to_json(
+            {"xs": second}
+        )

@@ -1,0 +1,336 @@
+"""One positive and one negative fixture per detlint rule.
+
+Each positive snippet is the smallest code shape the rule exists to catch;
+each negative snippet is the idiomatic fix (or an out-of-scope variant) and
+must lint clean — the pair pins both the detection and the false-positive
+boundary.
+"""
+
+
+class TestUnseededRandom:
+    def test_positive_random_module_draw(self, lint_rules):
+        assert lint_rules(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """
+        ) == ["det-unseeded-random"]
+
+    def test_positive_numpy_global_stream(self, lint_rules):
+        assert lint_rules(
+            """
+            import numpy as np
+
+            def scramble(xs):
+                np.random.shuffle(xs)
+            """
+        ) == ["det-unseeded-random"]
+
+    def test_negative_seeded_stream(self, lint_rules):
+        assert lint_rules(
+            """
+            import random
+
+            from repro.sim.randomness import derive_seed
+
+            def jitter(seed):
+                rng = random.Random(derive_seed(seed, "jitter"))
+                return rng.random()
+            """
+        ) == []
+
+    def test_negative_numpy_explicit_generator(self, lint_rules):
+        assert lint_rules(
+            """
+            import numpy as np
+
+            def draws(seed):
+                return np.random.default_rng(seed)
+            """
+        ) == []
+
+    def test_negative_local_variable_named_random(self, lint_rules):
+        assert lint_rules(
+            """
+            def confusing(random):
+                return random.random()
+            """
+        ) == []
+
+
+class TestSetIteration:
+    def test_positive_set_loop_into_edges(self, lint_rules):
+        assert lint_rules(
+            """
+            def splice(graph, pairs):
+                pending = set(pairs)
+                for u, v in pending:
+                    graph.add_edge(u, v)
+            """
+        ) == ["det-set-iteration"]
+
+    def test_positive_list_of_set(self, lint_rules):
+        assert lint_rules(
+            """
+            def order(pending):
+                if isinstance(pending, set):
+                    return list(pending)
+                return pending
+            """
+        ) == ["det-set-iteration"]
+
+    def test_negative_sorted_guard(self, lint_rules):
+        assert lint_rules(
+            """
+            def splice(graph, pairs):
+                pending = set(pairs)
+                for u, v in sorted(pending):
+                    graph.add_edge(u, v)
+            """
+        ) == []
+
+    def test_negative_order_insensitive_sink(self, lint_rules):
+        # Membership counting does not depend on iteration order.
+        assert lint_rules(
+            """
+            def count(pending, needle):
+                pending = set(pending)
+                hits = 0
+                for item in pending:
+                    if item == needle:
+                        hits = hits + 1
+                return hits
+            """
+        ) == []
+
+
+class TestFloatSumOrder:
+    def test_positive_sum_over_dict_values(self, lint_rules):
+        assert lint_rules(
+            """
+            def total(powers):
+                return sum(powers.values())
+            """
+        ) == ["det-float-sum-order"]
+
+    def test_positive_loop_accumulator(self, lint_rules):
+        assert lint_rules(
+            """
+            def total(powers):
+                acc = 0.0
+                for value in powers.values():
+                    acc += value
+                return acc
+            """
+        ) == ["det-float-sum-order"]
+
+    def test_negative_sum_over_sorted_items(self, lint_rules):
+        assert lint_rules(
+            """
+            def total(powers):
+                return sum(p for _, p in sorted(powers.items()))
+            """
+        ) == []
+
+    def test_negative_loop_local_assignment(self, lint_rules):
+        # ``share`` is rebound every iteration — per-item state, not an
+        # accumulator carrying float error across iterations.
+        assert lint_rules(
+            """
+            def shares(powers, total, out):
+                for key, value in powers.items():
+                    share = 0.0
+                    share += value / total
+                    out[key] = share
+            """
+        ) == []
+
+
+class TestOrderTiebreak:
+    def test_positive_id_ordering(self, lint_rules):
+        assert lint_rules(
+            """
+            def key(obj):
+                return id(obj)
+            """
+        ) == ["det-order-tiebreak"]
+
+    def test_positive_first_seen_best_so_far(self, lint_rules):
+        assert lint_rules(
+            """
+            def nearest(candidates):
+                best = {}
+                for cone, d, node in candidates:
+                    if cone not in best or d < best[cone][0]:
+                        best[cone] = (d, node)
+                return best
+            """
+        ) == ["det-order-tiebreak"]
+
+    def test_positive_min_with_key_over_set(self, lint_rules):
+        assert lint_rules(
+            """
+            def pick(names):
+                pool = set(names)
+                return min(pool, key=len)
+            """
+        ) == ["det-order-tiebreak"]
+
+    def test_negative_full_tuple_comparison(self, lint_rules):
+        assert lint_rules(
+            """
+            def nearest(candidates):
+                best = {}
+                for cone, d, node in candidates:
+                    if cone not in best or (d, node) < best[cone]:
+                        best[cone] = (d, node)
+                return best
+            """
+        ) == []
+
+
+class TestWallClock:
+    SOURCE = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+
+    def test_positive_inside_sim_scope(self, lint_rules):
+        assert lint_rules(self.SOURCE, rel="src/repro/sim/example.py") == ["det-wall-clock"]
+
+    def test_positive_from_import(self, lint_rules):
+        assert lint_rules(
+            """
+            from time import perf_counter
+
+            def stamp():
+                return perf_counter()
+            """,
+            rel="src/repro/scenarios/example.py",
+        ) == ["det-wall-clock"]
+
+    def test_negative_outside_scope(self, lint_rules):
+        assert lint_rules(self.SOURCE, rel="src/repro/io/example.py") == []
+
+    def test_negative_simulated_clock(self, lint_rules):
+        assert lint_rules(
+            """
+            def stamp(engine):
+                return engine.now()
+            """,
+            rel="src/repro/sim/example.py",
+        ) == []
+
+
+class TestBlockingInAsync:
+    def test_positive_sleep_in_async(self, lint_rules):
+        assert lint_rules(
+            """
+            import time
+
+            async def handler():
+                time.sleep(1)
+            """
+        ) == ["con-blocking-async"]
+
+    def test_positive_open_in_async(self, lint_rules):
+        assert lint_rules(
+            """
+            async def handler(path):
+                with open(path) as fh:
+                    return fh.name
+            """
+        ) == ["con-blocking-async"]
+
+    def test_negative_asyncio_sleep(self, lint_rules):
+        assert lint_rules(
+            """
+            import asyncio
+
+            async def handler():
+                await asyncio.sleep(1)
+            """
+        ) == []
+
+    def test_negative_sync_helper_is_fine(self, lint_rules):
+        assert lint_rules(
+            """
+            import time
+
+            def helper():
+                time.sleep(1)
+            """,
+            rel="src/repro/io/example.py",
+        ) == []
+
+
+class TestModuleMutableState:
+    def test_positive_module_level_dict_in_service(self, lint_rules):
+        assert lint_rules(
+            """
+            cache = {}
+            """,
+            rel="src/repro/service/example.py",
+        ) == ["con-module-mutable-state"]
+
+    def test_negative_constant_and_function_local(self, lint_rules):
+        assert lint_rules(
+            """
+            LIMITS = {"max": 10}
+
+            def make_cache():
+                cache = {}
+                return cache
+            """,
+            rel="src/repro/service/example.py",
+        ) == []
+
+    def test_negative_outside_service_scope(self, lint_rules):
+        assert lint_rules(
+            """
+            cache = {}
+            """,
+            rel="src/repro/io/example.py",
+        ) == []
+
+
+class TestNodeAttrWrite:
+    def test_positive_direct_position_write(self, lint_rules):
+        assert lint_rules(
+            """
+            def teleport(node, point):
+                node.position = point
+            """
+        ) == ["con-node-attr-write"]
+
+    def test_positive_direct_alive_write(self, lint_rules):
+        assert lint_rules(
+            """
+            def kill(node):
+                node.alive = False
+            """
+        ) == ["con-node-attr-write"]
+
+    def test_negative_watcher_protocol(self, lint_rules):
+        assert lint_rules(
+            """
+            def teleport(node, point):
+                node.move_to(point)
+
+            def kill(node):
+                node.crash()
+            """
+        ) == []
+
+    def test_negative_exempt_owner_module(self, lint_rules):
+        assert lint_rules(
+            """
+            def assign(node, point):
+                node.position = point
+            """,
+            rel="src/repro/net/node.py",
+        ) == []

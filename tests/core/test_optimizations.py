@@ -17,7 +17,7 @@ from repro.core.optimizations import (
 from repro.core.state import CBTCOutcome, NeighborRecord, NodeState
 from repro.core.topology import symmetric_closure_graph
 from repro.core.analysis import preserves_connectivity
-from repro.geometry import Point, translate_polar
+from repro.geometry import Point
 from repro.net.network import Network
 from repro.radio import PathLossModel, PowerModel
 

@@ -2,7 +2,6 @@
 
 import math
 
-import networkx as nx
 import pytest
 
 from repro.core.analysis import preserves_connectivity

@@ -1,6 +1,5 @@
 """Tests for the Section 4 reconfiguration experiment harness."""
 
-import pytest
 
 from repro.experiments.reconfig import run_reconfiguration_experiment
 from repro.net.failures import NoFailures

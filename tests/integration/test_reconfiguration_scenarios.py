@@ -3,7 +3,6 @@
 import math
 
 import networkx as nx
-import pytest
 
 from repro.core.analysis import preserves_connectivity
 from repro.core.pipeline import OptimizationConfig

@@ -9,7 +9,6 @@ asynchronous event-driven execution and as the centralized computation.
 
 import math
 
-import pytest
 
 from repro.core.cbtc import run_cbtc
 from repro.core.protocol import CBTCProtocol

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core.pipeline import OptimizationConfig, build_topology
+from repro.core.pipeline import build_topology
 from repro.experiments.table1 import run_table1
 from repro.io import (
     graph_from_dict,

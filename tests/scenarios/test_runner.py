@@ -3,7 +3,6 @@
 import math
 
 import networkx as nx
-import pytest
 
 from repro.io.results import results_to_json
 from repro.scenarios.runner import ScenarioRunner, run_scenario

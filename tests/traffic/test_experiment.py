@@ -10,7 +10,6 @@ from repro.io.results import results_to_json
 from repro.scenarios.spec import MobilitySpec, PlacementSpec, ScenarioSpec
 from repro.traffic.experiment import (
     aggregate_results,
-    build_traffic_topology,
     compare_topologies,
     format_traffic_report,
     load_traffic_results,
