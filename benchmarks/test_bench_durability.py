@@ -1,0 +1,207 @@
+"""Benchmark: durability costs — WAL overhead, recovery time, eviction mode.
+
+Three measurements over the load generator's deterministic mixed workload,
+all through the sharded serving engine (no sockets — the durability layer
+lives entirely behind the shard hosts, so the engine isolates its cost):
+
+* **WAL overhead** (32 worlds) — steady-state requests/sec of the
+  ephemeral engine vs the same engine committing every write batch to a
+  per-shard sqlite write-ahead log.  Final snapshots must be
+  byte-identical: durability is bookkeeping, not behaviour.
+* **recovery time** (32 worlds) — after the full workload, every shard is
+  crashed (host abandoned, exactly what a killed worker leaves behind) and
+  a replacement recovers from the log.  Timed twice: from the latest
+  checkpoints, and with checkpoints disabled (full log replay) — the gap
+  is what the snapshot cadence buys.  Recovered snapshots must equal the
+  pre-crash ones byte for byte.
+* **eviction mode** (32 worlds, 4 live) — steady-state requests/sec with
+  ``max_live_worlds=4``, every cold world flushed to sqlite and rehydrated
+  on touch, vs the all-in-RAM durable arm.  Byte-identical snapshots
+  again: eviction is transparent.
+
+Run with ``--benchmark-json`` to archive the durable-arm timings (the CI
+durability job uploads them); the other arms ride in ``extra_info``.
+"""
+
+import time
+
+import pytest
+
+from repro.service.loadgen import LoadConfig, build_trace, flatten_trace
+from repro.service.replay import ShardedReplayer
+from repro.service.storage import SqliteStore, shard_db_path
+
+SHARDS = 4
+WORLDS = 32
+
+
+def _serving_config() -> LoadConfig:
+    return LoadConfig(
+        worlds=WORLDS,
+        requests_per_world=30,
+        nodes=100,
+        connections=16,
+        mover_fraction=0.05,
+        write_fraction=0.05,
+        seed=0,
+    )
+
+
+def _split_phases(config: LoadConfig):
+    """(setup trace, steady-state workload trace) of the load config."""
+    traces = build_trace(config)
+    creates = [trace[0] for trace in traces]
+    workload = flatten_trace([trace[1:] for trace in traces])
+    return creates, workload
+
+
+def _sqlite_factory(state_dir):
+    return lambda shard: SqliteStore(shard_db_path(str(state_dir), shard))
+
+
+def _engine_arm(config: LoadConfig, *, store_factory=None, max_live_worlds=None):
+    """Provision untimed, then time the workload; return (rps, snapshots)."""
+    creates, workload = _split_phases(config)
+    replayer = ShardedReplayer(
+        SHARDS, store_factory=store_factory, max_live_worlds=max_live_worlds
+    )
+    try:
+        replayer.execute(creates, schedule_seed=0)
+        started = time.perf_counter()
+        routed = replayer.execute(workload, schedule_seed=1)
+        elapsed = time.perf_counter() - started
+        return routed / elapsed, replayer.snapshots()
+    finally:
+        replayer.close()
+
+
+def test_bench_durability_wal_overhead(benchmark, print_section, tmp_path):
+    config = _serving_config()
+
+    ephemeral_rps, ephemeral_snapshots = _engine_arm(config)
+
+    state = {}
+
+    def durable_arm():
+        state["rps"], state["snapshots"] = _engine_arm(
+            config, store_factory=_sqlite_factory(tmp_path / "wal")
+        )
+
+    benchmark.pedantic(durable_arm, rounds=1, iterations=1, warmup_rounds=0)
+    durable_rps, durable_snapshots = state["rps"], state["snapshots"]
+
+    # Durability is bookkeeping, not behaviour.
+    assert durable_snapshots == ephemeral_snapshots
+
+    overhead = ephemeral_rps / durable_rps
+    benchmark.extra_info.update(
+        {
+            "worlds": WORLDS,
+            "shards": SHARDS,
+            "durable_requests_per_second": round(durable_rps, 1),
+            "ephemeral_requests_per_second": round(ephemeral_rps, 1),
+            "overhead_factor": round(overhead, 2),
+        }
+    )
+    print_section(
+        f"write-ahead log overhead, {WORLDS} worlds x {SHARDS} shards (steady state)",
+        f"ephemeral:      {ephemeral_rps:8.1f} req/s\n"
+        f"sqlite WAL:     {durable_rps:8.1f} req/s\n"
+        f"overhead:       {overhead:8.2f} x",
+    )
+    # The workload is 95% reads; logging 5% writes must not dominate.
+    assert overhead <= 3.0, (
+        f"the write-ahead log should cost well under 3x on a read-heavy "
+        f"workload (measured {overhead:.2f}x)"
+    )
+
+
+def test_bench_durability_recovery_time(benchmark, print_section, tmp_path):
+    config = _serving_config()
+    creates, workload = _split_phases(config)
+
+    replayer = ShardedReplayer(SHARDS, store_factory=_sqlite_factory(tmp_path / "rec"))
+    try:
+        replayer.execute(creates, schedule_seed=0)
+        replayer.execute(workload, schedule_seed=1)
+        before = replayer.snapshots()
+
+        def crash_all(*, use_checkpoints):
+            started = time.perf_counter()
+            recovered = sum(
+                replayer.crash(shard, use_checkpoints=use_checkpoints)
+                for shard in range(SHARDS)
+            )
+            return time.perf_counter() - started, recovered
+
+        replay_seconds, _ = crash_all(use_checkpoints=False)
+        assert replayer.snapshots() == before
+
+        state = {}
+
+        def checkpoint_recovery():
+            state["seconds"], state["recovered"] = crash_all(use_checkpoints=True)
+
+        benchmark.pedantic(checkpoint_recovery, rounds=1, iterations=1, warmup_rounds=0)
+        assert state["recovered"] == WORLDS
+        assert replayer.snapshots() == before
+    finally:
+        replayer.close()
+
+    checkpoint_seconds = state["seconds"]
+    benchmark.extra_info.update(
+        {
+            "worlds": WORLDS,
+            "shards": SHARDS,
+            "checkpoint_recovery_seconds": round(checkpoint_seconds, 3),
+            "log_replay_recovery_seconds": round(replay_seconds, 3),
+            "checkpoint_speedup": round(replay_seconds / checkpoint_seconds, 2),
+        }
+    )
+    print_section(
+        f"crash recovery, {WORLDS} worlds x {SHARDS} shards",
+        f"from checkpoints: {checkpoint_seconds * 1000:8.1f} ms\n"
+        f"full log replay:  {replay_seconds * 1000:8.1f} ms\n"
+        f"checkpoint gain:  {replay_seconds / checkpoint_seconds:8.2f} x",
+    )
+
+
+def test_bench_durability_eviction_mode(benchmark, print_section, tmp_path):
+    config = _serving_config()
+
+    resident_rps, resident_snapshots = _engine_arm(
+        config, store_factory=_sqlite_factory(tmp_path / "resident")
+    )
+
+    state = {}
+
+    def evicting_arm():
+        state["rps"], state["snapshots"] = _engine_arm(
+            config,
+            store_factory=_sqlite_factory(tmp_path / "evicting"),
+            max_live_worlds=4,
+        )
+
+    benchmark.pedantic(evicting_arm, rounds=1, iterations=1, warmup_rounds=0)
+    evicting_rps, evicting_snapshots = state["rps"], state["snapshots"]
+
+    # Eviction is transparent: cold worlds rehydrate to the same bytes.
+    assert evicting_snapshots == resident_snapshots
+
+    slowdown = resident_rps / evicting_rps
+    benchmark.extra_info.update(
+        {
+            "worlds": WORLDS,
+            "shards": SHARDS,
+            "max_live_worlds": 4,
+            "evicting_requests_per_second": round(evicting_rps, 1),
+            "resident_requests_per_second": round(resident_rps, 1),
+            "slowdown_factor": round(slowdown, 2),
+        }
+    )
+    print_section(
+        f"disk eviction, {WORLDS} worlds capped at 4 live x {SHARDS} shards",
+        f"all resident:   {resident_rps:8.1f} req/s\n"
+        f"4 live (LRU):   {evicting_rps:8.1f} req/s\n"
+        f"slowdown:       {slowdown:8.2f} x",
+    )

@@ -52,9 +52,9 @@ from repro.experiments.runner import format_report, run_grid, summarize_grid
 from repro.io.results import write_json
 from repro.net.placement import PAPER_CONFIG, PlacementConfig
 from repro.scenarios import get_scenario, scenario_names
-from repro.service.loadgen import LoadConfig, run_load, verify_snapshots
+from repro.service.loadgen import LoadConfig, resnapshot, run_load, verify_snapshots
 from repro.service.server import run_server
-from repro.service.worlds import DEFAULT_SCENARIO
+from repro.service.worlds import DEFAULT_SCENARIO, DEFAULT_SNAPSHOT_EVERY
 from repro.traffic import (
     TOPOLOGIES,
     TrafficSpec,
@@ -268,6 +268,12 @@ def _serve(args: argparse.Namespace) -> int:
     if args.shards <= 0:
         print(f"--shards must be at least 1 (got {args.shards})", file=sys.stderr)
         return 1
+    if args.snapshot_every < 1:
+        print(f"--snapshot-every must be at least 1 (got {args.snapshot_every})", file=sys.stderr)
+        return 1
+    if args.max_live_worlds is not None and args.state_dir is None:
+        print("--max-live-worlds needs --state-dir to evict into", file=sys.stderr)
+        return 1
     try:
         return run_server(
             host=args.host,
@@ -275,6 +281,9 @@ def _serve(args: argparse.Namespace) -> int:
             shards=args.shards,
             inline=args.inline,
             naive=args.naive,
+            state_dir=args.state_dir,
+            snapshot_every=args.snapshot_every,
+            max_live_worlds=args.max_live_worlds,
         )
     except OSError as error:
         print(
@@ -283,6 +292,22 @@ def _serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+
+
+def _shutdown_server(host: str, port: int) -> None:
+    """Ask a running fleet server to shut down cleanly."""
+    import asyncio
+
+    from repro.service.client import ServiceClient
+
+    async def _shutdown() -> None:
+        client = await ServiceClient.connect(host, port)
+        try:
+            await client.call("shutdown")
+        finally:
+            await client.close()
+
+    asyncio.run(_shutdown())
 
 
 def _load(args: argparse.Namespace) -> int:
@@ -302,6 +327,36 @@ def _load(args: argparse.Namespace) -> int:
         return 1
     from repro.service.client import ServiceError
 
+    if args.resnapshot:
+        # No load: just re-fetch every world's final snapshot (the durability
+        # smoke runs this against a restarted --state-dir server) and verify.
+        try:
+            snapshots = resnapshot(args.host, args.port, config)
+        except ServiceError as error:
+            print(error, file=sys.stderr)
+            return 1
+        except (ConnectionError, OSError) as error:
+            print(
+                f"cannot drive {args.host}:{args.port}: {error}; is 'cbtc serve' running?",
+                file=sys.stderr,
+            )
+            return 1
+        mismatched = verify_snapshots(config, snapshots)
+        if mismatched:
+            print(
+                f"re-snapshot verification FAILED: {len(mismatched)} world(s) diverged "
+                f"from the serial replay: {', '.join(mismatched)}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"re-snapshot verification passed: {config.worlds} worlds byte-identical "
+            f"to serial replay"
+        )
+        if args.shutdown:
+            _shutdown_server(args.host, args.port)
+        return 0
+
     try:
         report, snapshots = run_load(args.host, args.port, config)
     except ServiceError as error:
@@ -314,18 +369,7 @@ def _load(args: argparse.Namespace) -> int:
         )
         return 1
     if args.shutdown:
-        import asyncio
-
-        from repro.service.client import ServiceClient
-
-        async def _shutdown() -> None:
-            client = await ServiceClient.connect(args.host, args.port)
-            try:
-                await client.call("shutdown")
-            finally:
-                await client.close()
-
-        asyncio.run(_shutdown())
+        _shutdown_server(args.host, args.port)
     print(report.as_text())
     if args.json:
         write_json(report, args.json)
@@ -477,6 +521,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve without snapshot/route caches and rebuild topology per request "
         "(the benchmark baseline)",
     )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="durable state directory (one sqlite write-ahead log per shard); "
+        "worlds survive worker deaths and server restarts",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=DEFAULT_SNAPSHOT_EVERY,
+        metavar="K",
+        help="checkpoint a world after every K applied writes (with --state-dir)",
+    )
+    serve.add_argument(
+        "--max-live-worlds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-shard bound on resident worlds; cold worlds are evicted to "
+        "the state directory and rehydrated on access (needs --state-dir)",
+    )
     serve.set_defaults(func=_serve)
 
     load = subparsers.add_parser(
@@ -500,6 +566,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="replay the trace serially in-process and require byte-identical snapshots",
+    )
+    load.add_argument(
+        "--resnapshot",
+        action="store_true",
+        help="skip the load: re-fetch each world's final snapshot and verify it "
+        "against the serial replay (for checking a restarted --state-dir server)",
     )
     load.add_argument(
         "--shutdown", action="store_true", help="shut the server down after the run"

@@ -204,6 +204,12 @@ class LoadReport:
                 f"max batch {self.server_stats.get('max_batch_size', 0)}, "
                 f"shard requests {self.server_stats.get('shard_requests')}"
             )
+            if self.server_stats.get("durable"):
+                lines.append(
+                    f"durability: {self.server_stats.get('recovered_worlds', 0)} worlds "
+                    f"recovered, {self.server_stats.get('worker_restarts', 0)} worker "
+                    f"restarts"
+                )
         return "\n".join(lines)
 
 
@@ -318,6 +324,34 @@ async def run_load_async(
 def run_load(host: str, port: int, config: LoadConfig) -> Tuple[LoadReport, Dict[str, str]]:
     """Synchronous wrapper around :func:`run_load_async`."""
     return asyncio.run(run_load_async(host, port, config))
+
+
+async def resnapshot_async(host: str, port: int, config: LoadConfig) -> Dict[str, str]:
+    """Re-fetch the final snapshot of every world a previous run created.
+
+    The durability smoke uses this after restarting a ``--state-dir``
+    server: a snapshot is an idempotent read of a quiescent world, so the
+    recovered fleet must serve byte-for-byte what the pre-restart fleet
+    served — i.e. these snapshots must still verify against
+    :func:`serial_reference` of the same config.
+    """
+    snapshots: Dict[str, str] = {}
+    client = await ServiceClient.connect(host, port)
+    try:
+        for index in range(config.worlds):
+            wid = world_name(index)
+            response = await client.request(protocol.SNAPSHOT, world=wid, params={})
+            if not response.get("ok"):
+                raise ServiceError(f"snapshot of {wid!r} failed: {response.get('error')}")
+            snapshots[wid] = results_to_json(response["result"])
+    finally:
+        await client.close()
+    return snapshots
+
+
+def resnapshot(host: str, port: int, config: LoadConfig) -> Dict[str, str]:
+    """Synchronous wrapper around :func:`resnapshot_async`."""
+    return asyncio.run(resnapshot_async(host, port, config))
 
 
 def serial_reference(config: LoadConfig) -> Dict[str, str]:

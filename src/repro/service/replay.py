@@ -24,12 +24,13 @@ output, the repo-wide byte-identity notion.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.io.results import results_to_json
 from repro.service import protocol
 from repro.service.sharding import HashRing
-from repro.service.worlds import WorldHost
+from repro.service.storage.base import WorldStore
+from repro.service.worlds import DEFAULT_SNAPSHOT_EVERY, WorldHost
 from repro.sim.randomness import SeededRandom
 
 
@@ -39,9 +40,13 @@ def snapshot_request(world_id: str) -> Dict[str, Any]:
 
 
 def collect_snapshots(host: WorldHost) -> Dict[str, str]:
-    """Final canonical snapshots of every world hosted by ``host``."""
+    """Final canonical snapshots of every world hosted by ``host``.
+
+    ``world_ids()`` covers evicted worlds too — snapshotting rehydrates
+    them, which is exactly the transparency the eviction tests assert.
+    """
     snapshots: Dict[str, str] = {}
-    for world_id in sorted(host.worlds):
+    for world_id in host.world_ids():
         response = host.execute(snapshot_request(world_id))
         if not response.get("ok"):  # pragma: no cover - snapshots cannot fail
             raise RuntimeError(f"snapshot of {world_id!r} failed: {response.get('error')}")
@@ -67,11 +72,55 @@ class ShardedReplayer:
     bootstrap, then a timed steady-state workload — against the *same*
     shard hosts, so the replayer keeps its hosts alive across
     :meth:`execute` calls and hands out snapshots on demand.
+
+    With a ``store_factory`` (``shard -> WorldStore``) each host runs
+    durably, and :meth:`crash` models a worker death between batches: the
+    shard's host is *abandoned* — no flush, no close, exactly what a killed
+    process leaves behind — and a fresh host recovers from the shard's
+    store.  The kill-and-recover battery interleaves ``execute`` segments
+    with ``crash`` calls at hypothesis-chosen points and requires the final
+    snapshots to match :func:`replay_serial` byte for byte.
     """
 
-    def __init__(self, shards: int = 2, *, naive: bool = False) -> None:
+    def __init__(
+        self,
+        shards: int = 2,
+        *,
+        naive: bool = False,
+        store_factory: Optional[Callable[[int], WorldStore]] = None,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        max_live_worlds: Optional[int] = None,
+    ) -> None:
         self.ring = HashRing(shards)
-        self.hosts = [WorldHost(naive=naive) for _ in range(shards)]
+        self.naive = naive
+        self.snapshot_every = snapshot_every
+        self.max_live_worlds = max_live_worlds
+        self._stores = [
+            store_factory(shard) if store_factory is not None else None for shard in range(shards)
+        ]
+        self.hosts = [self._build_host(shard) for shard in range(shards)]
+
+    def _build_host(self, shard: int) -> WorldHost:
+        return WorldHost(
+            naive=self.naive,
+            store=self._stores[shard],
+            snapshot_every=self.snapshot_every,
+            max_live_worlds=self.max_live_worlds,
+        )
+
+    def crash(self, shard: int, *, use_checkpoints: bool = True) -> int:
+        """Abandon ``shard``'s host and recover a replacement from its store.
+
+        Returns the number of worlds recovered.  ``use_checkpoints=False``
+        forces full-log replay, proving checkpoints are an optimization
+        with no observable effect.
+        """
+        if self._stores[shard] is None:
+            raise ValueError("crash() needs a store_factory to recover from")
+        # No close(), no flush: a killed worker's in-memory state simply
+        # vanishes, and only what commit_batch persisted survives.
+        self.hosts[shard] = self._build_host(shard)
+        return self.hosts[shard].recover(use_checkpoints=use_checkpoints)
 
     def execute(
         self,
@@ -117,9 +166,12 @@ class ShardedReplayer:
         return dict(sorted(snapshots.items()))
 
     def close(self) -> None:
-        """Release every shard host."""
+        """Release every shard host (and its store, where attached)."""
         for host in self.hosts:
             host.close()
+        for store in self._stores:
+            if store is not None:
+                store.close()
 
 
 def replay_sharded(

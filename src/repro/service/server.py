@@ -27,6 +27,16 @@ Connections are handled concurrently but each connection's requests are
 processed sequentially (read → execute → respond), so a single client
 observes its own writes; concurrency — and therefore batching — comes from
 multiple connections, as in the load generator's closed loop.
+
+**Durability.**  ``state_dir`` attaches a sqlite
+:class:`~repro.service.storage.sqlite.SqliteStore` per shard (one database
+file each): every applied write lands in a write-ahead log before its
+response leaves the worker, the pool restarts-and-recovers workers that
+die mid-batch, and on server start the fleet recovers from whatever the
+directory already holds — the placement map is rebuilt by scanning the
+shard databases (synchronously, in ``__init__``, before the loop runs).
+``max_live_worlds`` bounds resident worlds per shard via LRU eviction to
+the store.
 """
 
 from __future__ import annotations
@@ -37,7 +47,9 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.service import protocol
 from repro.service.sharding import HashRing
+from repro.service.storage import StoreConfig, scan_world_ids
 from repro.service.workers import InlineShardPool, ProcessShardPool
+from repro.service.worlds import DEFAULT_SNAPSHOT_EVERY
 
 
 class FleetServer:
@@ -51,12 +63,25 @@ class FleetServer:
         shards: int = 2,
         inline: bool = False,
         naive: bool = False,
+        state_dir: Optional[str] = None,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        max_live_worlds: Optional[int] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.shards = shards
         self.inline = inline
         self.naive = naive
+        self.store_config: Optional[StoreConfig] = None
+        if state_dir is not None:
+            self.store_config = StoreConfig(
+                kind="sqlite",
+                path=state_dir,
+                snapshot_every=snapshot_every,
+                max_live_worlds=max_live_worlds,
+            )
+        elif max_live_worlds is not None:
+            raise ValueError("--max-live-worlds needs --state-dir to evict into")
         self.ring = HashRing(shards)
         self.requests_received = 0
         self.batches_dispatched = 0
@@ -71,7 +96,12 @@ class FleetServer:
         self._dispatchers: List[asyncio.Task] = []
         self._handlers: set = set()
         self._connections: set = set()
-        self._worlds: Dict[str, int] = {}
+        # Placement survives restarts with the worlds themselves: scan the
+        # state directory here, in the synchronous constructor, so the event
+        # loop never blocks on sqlite I/O.
+        self._worlds: Dict[str, int] = (
+            scan_world_ids(state_dir, shards) if state_dir is not None else {}
+        )
         self._stopping: Optional[asyncio.Event] = None
 
     # ------------------------------------------------------------------ #
@@ -86,7 +116,15 @@ class FleetServer:
         self._server = await asyncio.start_server(self._handle_client, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
         pool_class = InlineShardPool if self.inline else ProcessShardPool
-        self._pool = pool_class(self.shards, naive=self.naive)
+        self._pool = pool_class(
+            self.shards,
+            naive=self.naive,
+            store_config=self.store_config,
+            # Recovering an empty state directory is a no-op, so a durable
+            # server always starts through the recovery path — first boot
+            # and restart are the same code.
+            recover=self.store_config is not None and self.store_config.durable,
+        )
         self._dispatchers = [
             asyncio.create_task(self._dispatch(shard)) for shard in range(self.shards)
         ]
@@ -235,16 +273,21 @@ class FleetServer:
 
     def stats(self) -> Dict[str, Any]:
         """Front-end serving counters."""
-        return {
+        stats = {
             "shards": self.shards,
             "inline": self.inline,
             "naive": self.naive,
+            "durable": self.store_config is not None and self.store_config.durable,
             "worlds": len(self._worlds),
             "requests": self.requests_received,
             "batches": self.batches_dispatched,
             "max_batch_size": self.max_batch_size,
             "shard_requests": list(self.shard_requests),
         }
+        if self._pool is not None and self.store_config is not None:
+            stats["worker_restarts"] = self._pool.worker_restarts
+            stats["recovered_worlds"] = self._pool.recovered_worlds()
+        return stats
 
 
 def run_server(
@@ -254,13 +297,28 @@ def run_server(
     shards: int = 2,
     inline: bool = False,
     naive: bool = False,
+    state_dir: Optional[str] = None,
+    snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+    max_live_worlds: Optional[int] = None,
 ) -> int:
     """Run a fleet server until a ``shutdown`` request arrives (CLI entry)."""
 
     async def _main() -> int:
-        server = FleetServer(host=host, port=port, shards=shards, inline=inline, naive=naive)
+        server = FleetServer(
+            host=host,
+            port=port,
+            shards=shards,
+            inline=inline,
+            naive=naive,
+            state_dir=state_dir,
+            snapshot_every=snapshot_every,
+            max_live_worlds=max_live_worlds,
+        )
         await server.start()
         mode = "inline shards" if inline else f"{shards} worker processes"
+        if state_dir is not None:
+            recovered = server._pool.recovered_worlds() if server._pool is not None else 0
+            mode += f", durable state in {state_dir} ({recovered} worlds recovered)"
         print(f"fleet server listening on {server.host}:{server.port} ({mode})", flush=True)
         await server.serve_until_shutdown()
         print(

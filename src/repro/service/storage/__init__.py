@@ -1,0 +1,31 @@
+"""Pluggable per-shard persistence for the fleet server.
+
+See :mod:`repro.service.storage.base` for the contract (write-ahead log,
+checkpoints, exactly-once batch markers), :mod:`.memory` for the in-process
+test backend and :mod:`.sqlite` for the durable one-file-per-shard backend.
+"""
+
+from repro.service.storage.base import (
+    RECORD_OP,
+    RECORD_SYNC,
+    Checkpoint,
+    StoreConfig,
+    WorldStore,
+    build_store,
+    shard_db_path,
+)
+from repro.service.storage.memory import MemoryStore
+from repro.service.storage.sqlite import SqliteStore, scan_world_ids
+
+__all__ = [
+    "RECORD_OP",
+    "RECORD_SYNC",
+    "Checkpoint",
+    "MemoryStore",
+    "SqliteStore",
+    "StoreConfig",
+    "WorldStore",
+    "build_store",
+    "scan_world_ids",
+    "shard_db_path",
+]

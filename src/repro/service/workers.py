@@ -17,24 +17,60 @@ epoch updates ride the dirty-set path across requests instead of rebuilding
 per request.  Workers receive request batches over a ``multiprocessing``
 queue and answer on a per-shard response queue; because each shard has at
 most one batch in flight (the dispatcher awaits the previous batch before
-sending the next), responses need no sequence numbers and per-world request
-order — the determinism contract — is preserved by construction.
+sending the next), per-world request order — the determinism contract — is
+preserved by construction.  Batches *do* carry sequence numbers, but for
+durability rather than ordering: the number keys the store's exactly-once
+re-dispatch marker (see below).
 
-Workers start **empty**: worlds are created by ``create_world`` requests
-routed through the same consistent hash as every other request, so no live
-object ever crosses a process boundary (requests and responses are plain
-JSON-able dictionaries).
+Workers start **empty** unless recovering: worlds are created by
+``create_world`` requests routed through the same consistent hash as every
+other request, so no live object ever crosses a process boundary (requests
+and responses are plain JSON-able dictionaries; stores are built *inside*
+the worker from a picklable :class:`~repro.service.storage.base.StoreConfig`).
+
+**Worker death.**  ``execute`` never blocks forever on a dead worker: it
+polls the response queue and watches ``Process.is_alive()``.  What happens
+next depends on durability:
+
+* with a durable (sqlite) store the pool restarts the worker on fresh
+  queues (a kill mid-``put`` can corrupt the old ones), the replacement
+  recovers its fleet from the shard's write-ahead log, and the batch is
+  re-dispatched under its original sequence number — if the dead worker
+  had already committed it, the store answers with the committed responses
+  (exactly-once); if not, the batch re-executes from the pre-batch state,
+  deterministically.  The client never sees the crash.
+* without one (no store, or the per-process memory store) the batch's
+  state is simply gone: the pool surfaces one error response per request
+  and restarts an **empty** worker so the shard keeps serving.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Any, Dict, List
+import os
+import queue as queue_module
+from typing import Any, Dict, List, Optional
 
+from repro.service.storage.base import StoreConfig, build_store
 from repro.service.worlds import WorldHost
 
 #: Sentinel telling a worker loop to exit.
 _STOP = "stop"
+
+#: Response-queue poll interval while watching worker liveness (seconds).
+_POLL_INTERVAL = 0.1
+
+
+def _build_host(shard: int, naive: bool, store_config: Optional[StoreConfig]) -> WorldHost:
+    """One shard's host, with its store attached when storage is configured."""
+    if store_config is None:
+        return WorldHost(naive=naive)
+    return WorldHost(
+        naive=naive,
+        store=build_store(store_config, shard),
+        snapshot_every=store_config.snapshot_every,
+        max_live_worlds=store_config.max_live_worlds,
+    )
 
 
 class InlineShardPool:
@@ -46,25 +82,46 @@ class InlineShardPool:
     #: the transport buffers and coalesce into the next batch.
     runs_in_loop = True
 
-    def __init__(self, shard_count: int, *, naive: bool = False) -> None:
+    def __init__(
+        self,
+        shard_count: int,
+        *,
+        naive: bool = False,
+        store_config: Optional[StoreConfig] = None,
+        recover: bool = False,
+    ) -> None:
         if shard_count < 1:
             raise ValueError("a shard pool needs at least one shard")
         self.shard_count = shard_count
-        self.hosts = [WorldHost(naive=naive) for _ in range(shard_count)]
+        self.worker_restarts = 0
+        self.hosts = [_build_host(shard, naive, store_config) for shard in range(shard_count)]
+        if recover:
+            if store_config is None:
+                raise ValueError("recover=True needs a store_config")
+            for host in self.hosts:
+                host.recover()
 
     def execute(self, shard: int, batch: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
         """Run one batch on ``shard``; responses in request order."""
         return self.hosts[shard].execute_batch(batch)
 
+    def recovered_worlds(self) -> int:
+        """Worlds restored from storage across all shards."""
+        return sum(host.recovered_worlds for host in self.hosts)
+
     def close(self) -> None:
-        """Release every host's worlds."""
+        """Release every host's worlds (flushing to storage where attached)."""
         for host in self.hosts:
             host.close()
+            if host.store is not None:
+                host.store.close()
 
 
 def _worker_loop(
     shard: int,
     naive: bool,
+    store_config: Optional[StoreConfig],
+    recover: bool,
     inbox: multiprocessing.Queue,
     outbox: multiprocessing.Queue,
 ) -> None:
@@ -74,15 +131,38 @@ def _worker_loop(
     response, so failures are converted into per-request error responses
     and the loop keeps serving — a poisoned request takes down one batch's
     semantics, not the shard.
+
+    The store (when configured) is built here, inside the worker process —
+    a sqlite connection must never cross a fork/spawn boundary.  A worker
+    started with ``recover=True`` rebuilds its fleet from that store before
+    serving, then reports the recovered-world count on the outbox as its
+    first message (the pool's restart handshake).
     """
-    host = WorldHost(naive=naive)
+    host = _build_host(shard, naive, store_config)
+    if recover:
+        # The handshake also reports the last committed batch sequence so
+        # the dispatcher resumes numbering where the store left off — a
+        # restarted server otherwise re-issues seq 1 against a log whose
+        # exactly-once marker is far ahead.
+        outbox.put((host.recover(), host.last_batch_seq))
+    # Orphan watchdog: a forked worker inherits the parent's file
+    # descriptors — including the server's listening socket — so a worker
+    # that outlives a SIGKILLed parent keeps the port bound and blocks a
+    # restart.  Getting reparented (getppid changes) is the death signal;
+    # polling the inbox instead of blocking forever lets the loop notice.
+    parent = os.getppid()
     while True:
-        message = inbox.get()
+        try:
+            message = inbox.get(timeout=1.0)
+        except queue_module.Empty:
+            if os.getppid() != parent:
+                break
+            continue
         if message == _STOP:
             break
-        batch: List[Dict[str, Any]] = message
+        seq, batch = message
         try:
-            responses = host.execute_batch(batch)
+            responses = host.execute_batch(batch, batch_seq=seq)
         except Exception as error:  # pragma: no cover - defensive
             from repro.service.protocol import error_response
 
@@ -91,6 +171,13 @@ def _worker_loop(
                 for request in batch
             ]
         outbox.put(responses)
+    host.close()
+    if host.store is not None:
+        host.store.close()
+
+
+class WorkerDiedError(RuntimeError):
+    """A shard worker died with a batch in flight and could not be made whole."""
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -102,39 +189,155 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 
 class ProcessShardPool:
-    """One long-lived worker process per shard."""
+    """One long-lived worker process per shard, supervised."""
 
     #: The queue round trip blocks; it must run in an executor thread so
     #: the event loop keeps reading other connections meanwhile.
     runs_in_loop = False
 
-    def __init__(self, shard_count: int, *, naive: bool = False) -> None:
+    def __init__(
+        self,
+        shard_count: int,
+        *,
+        naive: bool = False,
+        store_config: Optional[StoreConfig] = None,
+        recover: bool = False,
+    ) -> None:
         if shard_count < 1:
             raise ValueError("a shard pool needs at least one shard")
+        if recover and (store_config is None or not store_config.durable):
+            raise ValueError("recover=True needs a durable store_config")
         self.shard_count = shard_count
-        context = _pool_context()
-        self._inboxes = [context.Queue() for _ in range(shard_count)]
-        self._outboxes = [context.Queue() for _ in range(shard_count)]
-        self._workers = [
-            context.Process(
-                target=_worker_loop,
-                args=(shard, naive, self._inboxes[shard], self._outboxes[shard]),
-                daemon=True,
-            )
-            for shard in range(shard_count)
-        ]
-        for worker in self._workers:
-            worker.start()
+        self.naive = naive
+        self.store_config = store_config
+        self.worker_restarts = 0
+        self._recovered = 0
+        self._context = _pool_context()
+        self._batch_seqs = [0] * shard_count
+        self._inboxes: List[multiprocessing.Queue] = []
+        self._outboxes: List[multiprocessing.Queue] = []
+        self._workers: List[multiprocessing.process.BaseProcess] = []
+        for shard in range(shard_count):
+            inbox, outbox, worker = self._spawn(shard, recover=recover)
+            self._inboxes.append(inbox)
+            self._outboxes.append(outbox)
+            self._workers.append(worker)
+        if recover:
+            # The recovery handshake: each worker reports its fleet size
+            # before serving, so the front end can report what came back.
+            self._recovered = sum(self._handshake(shard) for shard in range(shard_count))
+
+    @property
+    def durable(self) -> bool:
+        """Whether shard state survives a worker process death."""
+        return self.store_config is not None and self.store_config.durable
+
+    def recovered_worlds(self) -> int:
+        """Worlds restored from storage across all shards (startup + restarts)."""
+        return self._recovered
+
+    def _spawn(self, shard: int, *, recover: bool):
+        """Fresh queues + process for ``shard`` (initial start and restarts
+        alike — a worker killed mid-``put`` can leave a queue's pipe with a
+        partial pickle, so restarted workers never reuse the old pair)."""
+        inbox = self._context.Queue()
+        outbox = self._context.Queue()
+        worker = self._context.Process(
+            target=_worker_loop,
+            args=(shard, self.naive, self.store_config, recover, inbox, outbox),
+            daemon=True,
+        )
+        worker.start()
+        return inbox, outbox, worker
+
+    def _await_response(self, shard: int) -> Optional[Any]:
+        """The shard's next outbox message, or ``None`` once its worker is dead.
+
+        Polls with a timeout instead of blocking forever (the old behaviour
+        hung the dispatcher — and with it every request hashed to the shard —
+        when a worker died mid-batch).  One final poll after observing death
+        catches a response the worker managed to flush before dying.
+        """
+        outbox = self._outboxes[shard]
+        worker = self._workers[shard]
+        while True:
+            alive = worker.is_alive()
+            try:
+                return outbox.get(timeout=_POLL_INTERVAL)
+            except queue_module.Empty:
+                if not alive:
+                    return None
+
+    def _handshake(self, shard: int) -> int:
+        """A recovering worker's startup report (polled, never a hang).
+
+        Syncs the dispatcher's batch numbering to the store's committed
+        sequence — never backwards: a mid-flight restart has already
+        assigned the in-flight batch a number past the committed one, and
+        re-dispatch must reuse it.  Returns the recovered-world count.
+        """
+        report = self._await_response(shard)
+        if report is None:
+            raise WorkerDiedError(f"shard {shard} worker died while recovering its fleet")
+        count, batch_seq = report
+        self._batch_seqs[shard] = max(self._batch_seqs[shard], batch_seq)
+        return count
+
+    def _restart(self, shard: int, *, recover: bool) -> None:
+        self._workers[shard].join(timeout=5)
+        inbox, outbox, worker = self._spawn(shard, recover=recover)
+        self._inboxes[shard] = inbox
+        self._outboxes[shard] = outbox
+        self._workers[shard] = worker
+        self.worker_restarts += 1
+        if recover:
+            self._recovered += self._handshake(shard)
 
     def execute(self, shard: int, batch: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
-        """Ship one batch to ``shard``'s worker and block for its responses."""
-        self._inboxes[shard].put(batch)
-        return self._outboxes[shard].get()
+        """Ship one batch to ``shard``'s worker and block for its responses.
+
+        Supervision lives here: a worker that dies mid-batch is restarted
+        and — when the shard's store is durable — made whole from its log,
+        after which the batch is re-dispatched under its original sequence
+        number (committed ⇒ answered from the store; uncommitted ⇒ re-run
+        from the pre-batch state).  Without durability the caller gets one
+        error response per request instead of a hang.
+        """
+        self._batch_seqs[shard] += 1
+        seq = self._batch_seqs[shard]
+        self._inboxes[shard].put((seq, batch))
+        responses = self._await_response(shard)
+        if responses is not None:
+            return responses
+        if self.durable:
+            self._restart(shard, recover=True)
+            self._inboxes[shard].put((seq, batch))
+            responses = self._await_response(shard)
+            if responses is None:
+                raise WorkerDiedError(
+                    f"shard {shard} worker died again while recovering batch {seq}"
+                )
+            return responses
+        # Non-durable: the shard's worlds died with the worker.  Surface
+        # errors (never silence a lost batch) and restart empty so the
+        # shard keeps accepting new work.
+        from repro.service.protocol import error_response
+
+        self._restart(shard, recover=False)
+        return [
+            error_response(
+                request.get("id"),
+                f"shard {shard} worker died executing this batch; "
+                f"its worlds were lost (no durable store configured)",
+            )
+            for request in batch
+        ]
 
     def close(self) -> None:
         """Stop every worker and reap the processes."""
-        for inbox in self._inboxes:
-            inbox.put(_STOP)
+        for inbox, worker in zip(self._inboxes, self._workers):
+            if worker.is_alive():
+                inbox.put(_STOP)
         for worker in self._workers:
             worker.join(timeout=10)
             if worker.is_alive():  # pragma: no cover - defensive

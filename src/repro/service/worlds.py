@@ -36,9 +36,13 @@ property rather than a hope.
 
 from __future__ import annotations
 
+import copy
 import dataclasses
+import functools
 import json
-from typing import Any, Dict, List, Optional, Tuple
+import pickle
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.pipeline import build_topology
 from repro.core.reconfiguration import ReconfigurationManager
@@ -54,6 +58,13 @@ from repro.scenarios.catalogue import get_scenario
 from repro.scenarios.spec import DISTRIBUTED, ScenarioSpec
 from repro.sim.randomness import derive_seed
 from repro.service import protocol
+from repro.service.storage.base import (
+    RECORD_OP,
+    RECORD_SYNC,
+    Checkpoint,
+    StagedRecord,
+    WorldStore,
+)
 from repro.traffic.runner import run_traffic
 from repro.traffic.spec import MIN_POWER, TrafficSpec
 
@@ -70,6 +81,10 @@ DEFAULT_SCENARIO = "random-waypoint-drift"
 #: results never depend on it).
 SNAPSHOT_CACHE_MAX_ENTRIES = 1024
 
+#: Default checkpoint cadence: a durable host checkpoints a world after
+#: every this-many applied write ops (``cbtc serve --snapshot-every``).
+DEFAULT_SNAPSHOT_EVERY = 16
+
 
 class RequestError(ValueError):
     """A request that is well-formed on the wire but invalid for this world."""
@@ -78,6 +93,21 @@ class RequestError(ValueError):
 def _params_key(op: str, params: Dict[str, Any]) -> str:
     """Snapshot-cache key: the op plus the canonical serialization of params."""
     return f"{op}:{canonical_json(params)}"
+
+
+def _require_int(value: Any, message: str, *, minimum: Optional[int] = None) -> int:
+    """``value`` as a true integer, or :class:`RequestError` with ``message``.
+
+    ``bool`` subclasses ``int``, so a bare ``isinstance(value, int)`` check
+    quietly accepts ``true``/``false`` off the wire (``advance`` with
+    ``steps: true`` used to run one step); booleans are rejected here along
+    with everything else non-integral or below ``minimum``.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestError(message)
+    if minimum is not None and value < minimum:
+        raise RequestError(message)
+    return value
 
 
 class World:
@@ -109,11 +139,14 @@ class World:
         self._route_cache: Optional[SourceRouteCache] = None if naive else SourceRouteCache()
         self._snapshot_cache: Dict[str, Any] = {}
         self._adjacency: Optional[Dict[NodeId, Dict[NodeId, float]]] = None
+        # The durable host's write-ahead hook: called right before a read
+        # triggers a synchronize, so the WAL records the sync point (never
+        # pickled — see __getstate__ — the listener closes over the host).
+        self._sync_listener: Optional[Callable[[], None]] = None
         # The invalidation feed: every node move/crash/recover/add/remove
         # lands this world's ID set — the same hook the manager and the
         # derived-data cache consume.
         self._dirty = self.network.register_dirty_listener()
-        self._next_node_id = max(self.network.node_ids, default=-1) + 1
         self.writes_applied = 0
         self.cache_hits = 0
         self.cache_misses = 0
@@ -123,16 +156,39 @@ class World:
         # node's neighbourhood knowledge — and, on the cached path, build
         # the initial topology.  A freshly created world is then quiescent:
         # its first read is a memo hit and later write bursts pay only for
-        # their own deltas.
-        self.manager.synchronize(max_iterations=spec.sync_max_iterations)
-        self._dirty.clear()
-        if not naive:
-            self.manager.topology(config=self._config, incremental=True)
+        # their own deltas.  Priming can raise (a hostile spec, a resource
+        # failure mid-sync); the listener and the manager's hooks registered
+        # above must not outlive a World that was never handed out, so a
+        # failed prime unwinds them before re-raising — ``create_world``
+        # then leaves no partial state behind.
+        try:
+            self._next_node_id = max(self.network.node_ids, default=-1) + 1
+            self.manager.synchronize(max_iterations=spec.sync_max_iterations)
+            self._dirty.clear()
+            if not naive:
+                self.manager.topology(config=self._config, incremental=True)
+        except BaseException:
+            self.close()
+            raise
 
     def close(self) -> None:
         """Detach from the network's notification feeds (world deletion)."""
         self.manager.close()
         self.network.unregister_dirty_listener(self._dirty)
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Checkpoint/eviction blobs must capture the world alone: the sync
+        # listener closes over the hosting WorldHost (and through it the
+        # store), which must never ride into a pickle.  The adopting host
+        # re-attaches its own listener on rehydration.
+        state = self.__dict__.copy()
+        state["_sync_listener"] = None
+        return state
+
+    def _notify_sync(self) -> None:
+        """Tell the hosting WAL (if any) that a synchronize is about to run."""
+        if self._sync_listener is not None:
+            self._sync_listener()
 
     # ------------------------------------------------------------------ #
     # Topology refresh (the dirty-set read path)
@@ -150,6 +206,7 @@ class World:
         """
         if self.naive:
             if self._dirty:
+                self._notify_sync()
                 self.manager.synchronize(max_iterations=self.spec.sync_max_iterations)
                 self._dirty.clear()
             self._adjacency = None
@@ -160,6 +217,7 @@ class World:
                 outcome=self.manager.outcome,
             )
         if self._dirty:
+            self._notify_sync()
             self.manager.synchronize(max_iterations=self.spec.sync_max_iterations)
             self._snapshot_cache.clear()
             self._adjacency = None
@@ -188,13 +246,15 @@ class World:
         key = _params_key(op, params)
         if key in self._snapshot_cache:
             self.cache_hits += 1
-            return self._snapshot_cache[key]
+            # Hand out a copy, never the stored value: a caller mutating a
+            # response it received must not corrupt what later hits see.
+            return copy.deepcopy(self._snapshot_cache[key])
         self.cache_misses += 1
         value = compute()
         if len(self._snapshot_cache) >= SNAPSHOT_CACHE_MAX_ENTRIES:
             self._snapshot_cache.pop(next(iter(self._snapshot_cache)))
         self._snapshot_cache[key] = value
-        return value
+        return copy.deepcopy(value)
 
     # ------------------------------------------------------------------ #
     # Writes
@@ -202,8 +262,7 @@ class World:
     def advance(self, params: Dict[str, Any]) -> Dict[str, Any]:
         """Advance the world's mobility model ``steps`` times."""
         steps = params.get("steps", self.spec.steps_per_epoch)
-        if not isinstance(steps, int) or steps < 0:
-            raise RequestError("'steps' must be a non-negative integer")
+        _require_int(steps, "'steps' must be a non-negative integer", minimum=0)
         for _ in range(steps):
             self.mobility.step(self.network)
         self.writes_applied += 1
@@ -293,8 +352,8 @@ class World:
         """The canonical minimum-power route between two nodes."""
         source = params.get("source")
         target = params.get("target")
-        if not isinstance(source, int) or not isinstance(target, int):
-            raise RequestError("'source' and 'target' must be node IDs")
+        _require_int(source, "'source' and 'target' must be node IDs")
+        _require_int(target, "'source' and 'target' must be node IDs")
         topology = self._refresh()
 
         def compute() -> Dict[str, Any]:
@@ -424,8 +483,7 @@ def build_world_spec(params: Dict[str, Any]) -> Tuple[ScenarioSpec, int]:
         raise RequestError(error.args[0]) from None
     nodes = params.get("nodes")
     if nodes is not None:
-        if not isinstance(nodes, int) or nodes < 1:
-            raise RequestError("'nodes' must be a positive integer")
+        _require_int(nodes, "'nodes' must be a positive integer", minimum=1)
         spec = spec.scaled(node_count=nodes)
     mover_fraction = params.get("mover_fraction")
     if mover_fraction is not None:
@@ -437,8 +495,7 @@ def build_world_spec(params: Dict[str, Any]) -> Tuple[ScenarioSpec, int]:
         except (TypeError, ValueError) as error:
             raise RequestError(str(error)) from None
     seed = params.get("seed", 0)
-    if not isinstance(seed, int):
-        raise RequestError("'seed' must be an integer")
+    _require_int(seed, "'seed' must be an integer")
     return spec, seed
 
 
@@ -448,34 +505,310 @@ class WorldHost:
     One host backs one shard (worker process), the whole serial replay, or
     the inline server — the execution semantics are identical in all three,
     which is the determinism battery's core claim.
+
+    With a :class:`~repro.service.storage.base.WorldStore` attached the host
+    is **durable**: every applied write op is staged into a write-ahead log
+    (plus sync markers recording where reads reconciled the geometry — see
+    :meth:`World._refresh`), and the whole batch's staged records commit
+    atomically *before* its responses are released.  Periodic checkpoints
+    (every ``snapshot_every`` writes) bound replay length; :meth:`recover`
+    rebuilds every world from latest-checkpoint-plus-log through the normal
+    execution path, byte-identically.  ``max_live_worlds`` adds LRU
+    eviction: cold worlds are flushed to the store as checkpoints and
+    transparently rehydrated on their next access.
     """
 
-    def __init__(self, *, naive: bool = False) -> None:
+    def __init__(
+        self,
+        *,
+        naive: bool = False,
+        store: Optional[WorldStore] = None,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        max_live_worlds: Optional[int] = None,
+    ) -> None:
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be at least 1")
+        if max_live_worlds is not None:
+            if max_live_worlds < 1:
+                raise ValueError("max_live_worlds must be at least 1")
+            if store is None:
+                raise ValueError("max_live_worlds requires a store to evict into")
         self.naive = naive
-        self.worlds: Dict[str, World] = {}
+        self.store = store
+        self.snapshot_every = snapshot_every
+        self.max_live_worlds = max_live_worlds
+        # LRU order: oldest-accessed first (move_to_end on every touch).
+        self.worlds: "OrderedDict[str, World]" = OrderedDict()
         self.requests_executed = 0
+        self.recovered_worlds = 0
+        self.evictions = 0
+        self.rehydrations = 0
+        #: Worlds known to the store but not currently live in memory.
+        self._evicted: Set[str] = set()
+        #: Per-world last-assigned log position (1-based).
+        self._log_seq: Dict[str, int] = {}
+        #: Per-world count of RECORD_OP records ever logged (cadence basis).
+        self._write_counts: Dict[str, int] = {}
+        #: Per-world write count at the world's newest checkpoint.
+        self._checkpointed_writes: Dict[str, int] = {}
+        self._batch_seq = 0
+        self._last_batch_responses: Optional[List[Dict[str, Any]]] = None
+        self._staged: List[StagedRecord] = []
+        self._staged_purges: List[str] = []
+        self._replaying = False
+        self._use_checkpoints = True
 
+    # ------------------------------------------------------------------ #
+    # WAL staging
+    # ------------------------------------------------------------------ #
+    def _logging_enabled(self) -> bool:
+        return self.store is not None and not self._replaying
+
+    def _stage(self, world_id: str, record: Dict[str, Any]) -> int:
+        """Append one record to the staging area; returns its marker index."""
+        seq = self._log_seq.get(world_id, 0) + 1
+        self._log_seq[world_id] = seq
+        if record["kind"] == RECORD_OP:
+            self._write_counts[world_id] = self._write_counts.get(world_id, 0) + 1
+        marker = len(self._staged)
+        self._staged.append((world_id, seq, record))
+        return marker
+
+    def _stage_write(self, world_id: str, op: str, params: Dict[str, Any]) -> Optional[int]:
+        if not self._logging_enabled():
+            return None
+        return self._stage(world_id, {"kind": RECORD_OP, "op": op, "params": params})
+
+    def _stage_sync(self, world_id: str) -> None:
+        """The :attr:`World._sync_listener` hook: log a sync marker."""
+        if self._logging_enabled():
+            self._stage(world_id, {"kind": RECORD_SYNC})
+
+    def _unstage_from(self, marker: Optional[int]) -> None:
+        """Roll the staging area back to ``marker`` (a failed write applied
+        nothing, so its record — and any markers staged after it — must not
+        become durable history)."""
+        if marker is None:
+            return
+        for world_id, seq, record in reversed(self._staged[marker:]):
+            if seq > 1:
+                self._log_seq[world_id] = seq - 1
+            else:
+                self._log_seq.pop(world_id, None)
+            if record["kind"] == RECORD_OP:
+                self._write_counts[world_id] -= 1
+                if not self._write_counts[world_id]:
+                    self._write_counts.pop(world_id)
+        del self._staged[marker:]
+
+    # ------------------------------------------------------------------ #
+    # World lifecycle: adopt / evict / rehydrate / delete
+    # ------------------------------------------------------------------ #
+    def _adopt(self, world_id: str, world: World) -> None:
+        world._sync_listener = functools.partial(self._stage_sync, world_id)
+        self.worlds[world_id] = world
+        self.worlds.move_to_end(world_id)
+
+    def _world(self, world_id: str) -> World:
+        world = self.worlds.get(world_id)
+        if world is not None:
+            self.worlds.move_to_end(world_id)
+            return world
+        if world_id in self._evicted:
+            return self._rehydrate(world_id)
+        raise RequestError(f"unknown world {world_id!r}")
+
+    def _rehydrate(self, world_id: str) -> World:
+        """Load an evicted/recovered world back into memory.
+
+        Latest checkpoint (if allowed) plus replay of the log tail through
+        the normal execution path — the byte-identity argument is that both
+        legs re-run exactly the code that produced the original state.
+        """
+        assert self.store is not None
+        checkpoint = self.store.latest_checkpoint(world_id) if self._use_checkpoints else None
+        if checkpoint is not None:
+            world: Optional[World] = pickle.loads(checkpoint.state)
+            seq = checkpoint.seq
+        else:
+            world = None
+            seq = 0
+        world = self._replay_records(world_id, world, self.store.records_after(world_id, seq))
+        if world is None:
+            raise RequestError(f"unknown world {world_id!r}")
+        self._evicted.discard(world_id)
+        self._adopt(world_id, world)
+        self.rehydrations += 1
+        return world
+
+    def _replay_records(
+        self,
+        world_id: str,
+        world: Optional[World],
+        records: List[Dict[str, Any]],
+    ) -> Optional[World]:
+        """Re-execute a world's log tail (recovery is replay, not a codepath
+        of its own); staging stays off so replayed ops are not re-logged."""
+        previous = self._replaying
+        self._replaying = True
+        try:
+            for record in records:
+                if record["kind"] == RECORD_SYNC:
+                    if world is None:
+                        raise RuntimeError(f"sync marker before create in {world_id!r} log")
+                    world._refresh()
+                    continue
+                op = record["op"]
+                params = record["params"]
+                if op == protocol.CREATE_WORLD:
+                    spec, seed = build_world_spec(params)
+                    world = World(world_id, spec, seed, naive=self.naive)
+                elif world is None:
+                    raise RuntimeError(f"op {op!r} before create in {world_id!r} log")
+                elif op == protocol.ADVANCE:
+                    world.advance(params)
+                elif op == protocol.APPLY:
+                    world.apply_delta(params)
+                else:
+                    raise RuntimeError(f"unexpected op {op!r} in {world_id!r} log")
+        finally:
+            self._replaying = previous
+        return world
+
+    def _delete_world(self, world_id: str) -> None:
+        live = self.worlds.pop(world_id, None)
+        if live is not None:
+            live.close()
+        self._evicted.discard(world_id)
+        self._log_seq.pop(world_id, None)
+        self._write_counts.pop(world_id, None)
+        self._checkpointed_writes.pop(world_id, None)
+        # Deletion's durable effect is a purge in the same commit; any
+        # records this batch already staged for the world die with it.
+        self._staged = [entry for entry in self._staged if entry[0] != world_id]
+        if self._logging_enabled():
+            self._staged_purges.append(world_id)
+
+    # ------------------------------------------------------------------ #
+    # Checkpoints and eviction
+    # ------------------------------------------------------------------ #
+    def _checkpoint(self, world_id: str, world: World, *, observable: bool) -> Checkpoint:
+        """Pickle the world *as it is* — forcing a synchronize here would
+        fork its history from the uninterrupted run.  The observable snapshot
+        (periodic checkpoints only) is computed on a throwaway clone so even
+        the snapshot's own refresh cannot touch the serving state."""
+        blob = pickle.dumps(world)
+        snapshot_json: Optional[str] = None
+        if observable:
+            clone: World = pickle.loads(blob)
+            try:
+                snapshot_json = canonical_json(clone.snapshot({}))
+            finally:
+                clone.close()
+        return Checkpoint(
+            seq=self._log_seq.get(world_id, 0), state=blob, snapshot_json=snapshot_json
+        )
+
+    def _due_checkpoints(self) -> List[Tuple[str, Checkpoint]]:
+        """Live worlds whose write count crossed the cadence since their
+        last checkpoint.  Cadence counts *writes* (not sync markers): the
+        checkpoint point is then a deterministic function of the write
+        trace, so every replay checkpoints at the same log positions."""
+        due: List[Tuple[str, Checkpoint]] = []
+        for world_id, world in self.worlds.items():
+            writes = self._write_counts.get(world_id, 0)
+            if writes - self._checkpointed_writes.get(world_id, 0) >= self.snapshot_every:
+                due.append((world_id, self._checkpoint(world_id, world, observable=True)))
+                self._checkpointed_writes[world_id] = writes
+        return due
+
+    def _enforce_live_bound(self) -> None:
+        if self.max_live_worlds is None or self.store is None:
+            return
+        while len(self.worlds) > self.max_live_worlds:
+            world_id, world = self.worlds.popitem(last=False)
+            self.store.save_checkpoint(
+                world_id, self._checkpoint(world_id, world, observable=False)
+            )
+            self._checkpointed_writes[world_id] = self._write_counts.get(world_id, 0)
+            self._evicted.add(world_id)
+            self.evictions += 1
+            # The whole object graph is dropped, not closed: the evicted
+            # pickle must keep its listener hooks so the rehydrated clone
+            # wakes up with them intact.
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+    def recover(self, *, use_checkpoints: bool = True, eager: bool = True) -> int:
+        """Restore this host's fleet from its store.
+
+        Every stored world starts out *evicted* (rehydrated lazily on first
+        access); with ``eager`` the host rehydrates up front, up to the live
+        bound.  ``use_checkpoints=False`` forces full-log replay — the
+        battery uses it to prove checkpoints change nothing.  Returns the
+        number of worlds found.
+        """
+        if self.store is None:
+            raise RuntimeError("recover() needs a store")
+        self._use_checkpoints = use_checkpoints
+        counts = self.store.world_counts()
+        self._batch_seq, self._last_batch_responses = self.store.last_batch()
+        for world_id, (records, writes) in counts.items():
+            self._log_seq[world_id] = records
+            self._write_counts[world_id] = writes
+            self._checkpointed_writes[world_id] = writes
+            self._evicted.add(world_id)
+        if eager:
+            for world_id in sorted(counts):
+                if self.max_live_worlds is not None and len(self.worlds) >= self.max_live_worlds:
+                    break
+                self._rehydrate(world_id)
+        self.recovered_worlds = len(counts)
+        return self.recovered_worlds
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
     # The per-op dispatch; every handler returns the response's ``result``.
     def _execute_world_op(self, op: str, world_id: str, params: Dict[str, Any]) -> Any:
         if op == protocol.CREATE_WORLD:
-            if world_id in self.worlds:
+            if world_id in self.worlds or world_id in self._evicted:
                 raise RequestError(f"world {world_id!r} already exists")
-            spec, seed = build_world_spec(params)
-            world = World(world_id, spec, seed, naive=self.naive)
-            self.worlds[world_id] = world
+            marker = self._stage_write(world_id, op, params)
+            try:
+                spec, seed = build_world_spec(params)
+                world = World(world_id, spec, seed, naive=self.naive)
+            except BaseException:
+                self._unstage_from(marker)
+                raise
+            self._adopt(world_id, world)
             return {
                 "world": world_id,
                 "scenario": spec.name,
                 "seed": seed,
                 "nodes": len(world.network),
             }
-        world = self.worlds.get(world_id)
-        if world is None:
-            raise RequestError(f"unknown world {world_id!r}")
+        if op == protocol.DELETE_WORLD:
+            if world_id not in self.worlds and world_id not in self._evicted:
+                raise RequestError(f"unknown world {world_id!r}")
+            self._delete_world(world_id)
+            return {"world": world_id, "deleted": True}
+        world = self._world(world_id)
         if op == protocol.ADVANCE:
-            return world.advance(params)
+            marker = self._stage_write(world_id, op, params)
+            try:
+                return world.advance(params)
+            except BaseException:
+                self._unstage_from(marker)
+                raise
         if op == protocol.APPLY:
-            return world.apply_delta(params)
+            marker = self._stage_write(world_id, op, params)
+            try:
+                return world.apply_delta(params)
+            except BaseException:
+                self._unstage_from(marker)
+                raise
         if op == protocol.QUERY_STATS:
             return world.stats(params)
         if op == protocol.QUERY_ROUTE:
@@ -486,12 +819,9 @@ class WorldHost:
             return world.snapshot(params)
         if op == protocol.CACHE_STATS:
             return world.cache_stats()
-        if op == protocol.DELETE_WORLD:
-            self.worlds.pop(world_id).close()
-            return {"world": world_id, "deleted": True}
         raise RequestError(f"op {op!r} is not a world op")
 
-    def execute(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def _execute_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Execute one request, always returning a protocol response."""
         request_id = request.get("id")
         problem = protocol.validate_request(request)
@@ -516,12 +846,69 @@ class WorldHost:
             )
         return protocol.ok_response(request_id, result)
 
-    def execute_batch(self, requests: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
-        """Execute a batch in arrival order, one response per request."""
-        return [self.execute(request) for request in requests]
+    def execute(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute one request as a batch of one (same durability path)."""
+        return self.execute_batch([request])[0]
 
-    def close(self) -> None:
-        """Release every hosted world's notification hooks."""
+    def execute_batch(
+        self, requests: List[Dict[str, Any]], *, batch_seq: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """Execute a batch in arrival order, one response per request.
+
+        With a store attached this is the **group commit**: all records the
+        batch staged become durable in one transaction together with the
+        batch marker, before the responses leave this method.  A re-dispatch
+        of the already-committed batch (``batch_seq`` ≤ the committed one)
+        is answered from the stored responses without executing anything —
+        the exactly-once half of crash recovery.
+        """
+        if not self._logging_enabled():
+            return [self._execute_request(request) for request in requests]
+        assert self.store is not None
+        seq = self._batch_seq + 1 if batch_seq is None else batch_seq
+        if seq <= self._batch_seq:
+            if seq == self._batch_seq and self._last_batch_responses is not None:
+                return copy.deepcopy(self._last_batch_responses)
+            raise RuntimeError(
+                f"batch {seq} was already committed (at {self._batch_seq}) and its "
+                f"responses are no longer retained"
+            )
+        responses = [self._execute_request(request) for request in requests]
+        self.store.commit_batch(
+            seq, self._staged, responses, self._due_checkpoints(), self._staged_purges
+        )
+        self._batch_seq = seq
+        self._last_batch_responses = copy.deepcopy(responses)
+        self._staged = []
+        self._staged_purges = []
+        self._enforce_live_bound()
+        return responses
+
+    # ------------------------------------------------------------------ #
+    # Introspection / shutdown
+    # ------------------------------------------------------------------ #
+    @property
+    def last_batch_seq(self) -> int:
+        """Sequence number of the last committed batch (0 before any)."""
+        return self._batch_seq
+
+    def world_ids(self) -> List[str]:
+        """Every hosted world, live or evicted."""
+        return sorted(set(self.worlds) | self._evicted)
+
+    def close(self, *, flush: bool = True) -> None:
+        """Release every hosted world's notification hooks.
+
+        With a store and ``flush``, live worlds are checkpointed first so a
+        clean shutdown restarts from checkpoints instead of log replay.
+        """
+        if flush and self.store is not None and not self._replaying:
+            for world_id, world in self.worlds.items():
+                self.store.save_checkpoint(
+                    world_id, self._checkpoint(world_id, world, observable=False)
+                )
+                self._checkpointed_writes[world_id] = self._write_counts.get(world_id, 0)
         for world in self.worlds.values():
             world.close()
         self.worlds.clear()
+        self._evicted.clear()

@@ -35,6 +35,14 @@ class SeededRandom(random.Random):
         super().__init__(seed)
         self._root_seed = seed
 
+    def __reduce__(self):
+        # random.Random pickles via (class, seed-args, getstate()) and drops
+        # subclass attributes: a round-tripped SeededRandom used to lose
+        # _root_seed, so child() streams derived after unpickling diverged
+        # from those derived before.  World checkpoints pickle the mobility
+        # model (and its RNG), so recovery correctness rides on this.
+        return self.__class__, (self._root_seed,), self.getstate()
+
     @property
     def root_seed(self) -> Optional[int]:
         """The seed this stream was created with."""

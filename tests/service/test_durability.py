@@ -1,0 +1,476 @@
+"""Durability battery: write-ahead log, crash recovery, eviction.
+
+Three layers of assurance, mirroring the design's trust chain:
+
+* **store unit tests** — both backends implement the WorldStore contract
+  identically (group commit, purge-first semantics, the exactly-once batch
+  marker);
+* **kill-and-recover battery** — hypothesis interleaves host crashes (the
+  abandoned-host model: no flush, only committed state survives) into
+  randomly scheduled sharded replays and requires the final snapshots to
+  stay byte-identical to :func:`replay_serial`, with and without
+  checkpoints, under random checkpoint cadences and eviction bounds;
+* **process supervision** — a real SIGKILLed worker: with a durable store
+  the dispatcher restarts, recovers and re-dispatches (the client never
+  sees the crash); without one it surfaces per-request errors instead of
+  hanging forever (the regression that motivated this PR).
+"""
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.service import protocol
+from repro.service.replay import ShardedReplayer, replay_serial
+from repro.service.sharding import HashRing
+from repro.service.storage import (
+    Checkpoint,
+    MemoryStore,
+    SqliteStore,
+    StoreConfig,
+    scan_world_ids,
+    shard_db_path,
+)
+from repro.service.workers import ProcessShardPool
+from repro.service.worlds import WorldHost
+
+from tests.service.test_determinism import WORLD_NAMES, build_trace
+
+
+# --------------------------------------------------------------------- #
+# Store contract
+# --------------------------------------------------------------------- #
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        backend = MemoryStore()
+    else:
+        backend = SqliteStore(str(tmp_path / "shard.sqlite"))
+    yield backend
+    backend.close()
+
+
+class TestStoreContract:
+    def test_empty_store(self, store):
+        assert store.last_batch() == (0, None)
+        assert store.world_ids() == []
+        assert store.world_counts() == {}
+        assert store.latest_checkpoint("w") is None
+        assert store.records_after("w", 0) == []
+
+    def test_commit_round_trip(self, store):
+        records = [
+            ("w", 1, {"kind": "op", "op": "create_world", "params": {"nodes": 5}}),
+            ("w", 2, {"kind": "op", "op": "advance", "params": {"steps": 1}}),
+            ("w", 3, {"kind": "sync"}),
+            ("v", 1, {"kind": "op", "op": "create_world", "params": {}}),
+        ]
+        responses = [{"id": 1, "ok": True, "result": {"x": 1}}]
+        store.commit_batch(1, records, responses, [], [])
+        assert store.world_ids() == ["v", "w"]
+        assert store.world_counts() == {"v": (1, 1), "w": (3, 2)}
+        assert store.last_batch() == (1, responses)
+        assert store.records_after("w", 0) == [record for _, _, record in records[:3]]
+        assert store.records_after("w", 2) == [{"kind": "sync"}]
+
+    def test_checkpoints(self, store):
+        checkpoint = Checkpoint(seq=4, state=b"blob", snapshot_json='{"a": 1}')
+        store.commit_batch(1, [], [], [("w", checkpoint)], [])
+        loaded = store.latest_checkpoint("w")
+        assert (loaded.seq, bytes(loaded.state), loaded.snapshot_json) == (4, b"blob", '{"a": 1}')
+        # A checkpoint-only world still shows up with its seq.
+        assert store.world_counts() == {"w": (4, 0)}
+        # save_checkpoint (the eviction path) replaces it.
+        store.save_checkpoint("w", Checkpoint(seq=9, state=b"newer"))
+        loaded = store.latest_checkpoint("w")
+        assert (loaded.seq, loaded.snapshot_json) == (9, None)
+
+    def test_purges_apply_before_records(self, store):
+        store.commit_batch(
+            1,
+            [("w", 1, {"kind": "op", "op": "create_world", "params": {}})],
+            [],
+            [("w", Checkpoint(seq=1, state=b"old"))],
+            [],
+        )
+        # Delete-then-recreate in one batch: the purge must erase the old
+        # history, the same batch's records must survive it.
+        store.commit_batch(
+            2,
+            [("w", 1, {"kind": "op", "op": "create_world", "params": {"seed": 7}})],
+            [],
+            [],
+            ["w"],
+        )
+        assert store.records_after("w", 0) == [
+            {"kind": "op", "op": "create_world", "params": {"seed": 7}}
+        ]
+        assert store.latest_checkpoint("w") is None
+
+    def test_last_batch_marker_is_replaced(self, store):
+        store.commit_batch(1, [], [{"id": 1, "ok": True, "result": {}}], [], [])
+        store.commit_batch(2, [], [{"id": 2, "ok": True, "result": {}}], [], [])
+        seq, responses = store.last_batch()
+        assert seq == 2
+        assert responses == [{"id": 2, "ok": True, "result": {}}]
+
+
+class TestSqlitePersistence:
+    def test_state_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "shard.sqlite")
+        first = SqliteStore(path)
+        first.commit_batch(
+            3,
+            [("w", 1, {"kind": "op", "op": "create_world", "params": {}})],
+            [{"id": 0, "ok": True, "result": {}}],
+            [("w", Checkpoint(seq=1, state=b"blob"))],
+            [],
+        )
+        first.close()
+        second = SqliteStore(path)
+        try:
+            assert second.last_batch()[0] == 3
+            assert second.world_ids() == ["w"]
+            assert bytes(second.latest_checkpoint("w").state) == b"blob"
+        finally:
+            second.close()
+
+    def test_scan_world_ids(self, tmp_path):
+        state_dir = str(tmp_path)
+        for shard, world in ((0, "alpha"), (2, "gamma")):
+            backend = SqliteStore(shard_db_path(state_dir, shard))
+            backend.commit_batch(
+                1, [(world, 1, {"kind": "op", "op": "create_world", "params": {}})], [], [], []
+            )
+            backend.close()
+        # Shard 1 has no database file; the scan just skips it.
+        assert scan_world_ids(state_dir, 3) == {"alpha": 0, "gamma": 2}
+
+
+class TestStoreConfig:
+    def test_sqlite_requires_path(self):
+        with pytest.raises(ValueError, match="state directory"):
+            StoreConfig(kind="sqlite", path=None)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown store kind"):
+            StoreConfig(kind="postgres", path="x")
+
+    def test_bounds(self):
+        with pytest.raises(ValueError, match="snapshot_every"):
+            StoreConfig(kind="memory", snapshot_every=0)
+        with pytest.raises(ValueError, match="max_live_worlds"):
+            StoreConfig(kind="memory", max_live_worlds=0)
+
+    def test_durability_flag(self):
+        assert StoreConfig(kind="sqlite", path="x").durable
+        assert not StoreConfig(kind="memory").durable
+
+
+# --------------------------------------------------------------------- #
+# Kill-and-recover battery
+# --------------------------------------------------------------------- #
+def _replay_with_crashes(
+    trace,
+    *,
+    shards,
+    schedule_seed,
+    max_batch,
+    cuts,
+    snapshot_every,
+    max_live_worlds,
+    use_checkpoints,
+    store_factory,
+):
+    """Sharded replay with every shard crashed-and-recovered at each cut."""
+    replayer = ShardedReplayer(
+        shards,
+        store_factory=store_factory,
+        snapshot_every=snapshot_every,
+        max_live_worlds=max_live_worlds,
+    )
+    try:
+        positions = sorted(set(min(cut, len(trace)) for cut in cuts))
+        previous = 0
+        for position in positions + [len(trace)]:
+            replayer.execute(
+                trace[previous:position], schedule_seed=schedule_seed, max_batch=max_batch
+            )
+            previous = position
+            if position < len(trace):
+                for shard in range(shards):
+                    replayer.crash(shard, use_checkpoints=use_checkpoints)
+        return replayer.snapshots()
+    finally:
+        replayer.close()
+
+
+class TestKillAndRecover:
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        trace_seed=st.integers(min_value=0, max_value=2**20),
+        ops_per_world=st.integers(min_value=1, max_value=6),
+        shards=st.integers(min_value=1, max_value=3),
+        schedule_seed=st.integers(min_value=0, max_value=2**20),
+        max_batch=st.integers(min_value=1, max_value=5),
+        cuts=st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=3),
+        snapshot_every=st.integers(min_value=1, max_value=8),
+        use_checkpoints=st.booleans(),
+    )
+    def test_recovered_replay_is_byte_identical(
+        self,
+        trace_seed,
+        ops_per_world,
+        shards,
+        schedule_seed,
+        max_batch,
+        cuts,
+        snapshot_every,
+        use_checkpoints,
+    ):
+        """Crash every shard at random trace positions; recovery (from a
+        random checkpoint cadence, or from the raw log) must reproduce the
+        uninterrupted serial execution byte for byte."""
+        trace = build_trace(trace_seed, ops_per_world, node_count=15)
+        serial = replay_serial(trace)
+        recovered = _replay_with_crashes(
+            trace,
+            shards=shards,
+            schedule_seed=schedule_seed,
+            max_batch=max_batch,
+            cuts=cuts,
+            snapshot_every=snapshot_every,
+            max_live_worlds=None,
+            use_checkpoints=use_checkpoints,
+            store_factory=lambda shard: MemoryStore(),
+        )
+        assert recovered == serial
+
+    @settings(max_examples=4, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        trace_seed=st.integers(min_value=0, max_value=2**20),
+        ops_per_world=st.integers(min_value=1, max_value=5),
+        snapshot_every=st.integers(min_value=1, max_value=6),
+        max_live_worlds=st.integers(min_value=1, max_value=2),
+    )
+    def test_eviction_is_transparent(
+        self, trace_seed, ops_per_world, snapshot_every, max_live_worlds
+    ):
+        """A host bounded to fewer live worlds than the trace touches must
+        serve the exact bytes an unbounded host serves — eviction and
+        rehydration are invisible to clients."""
+        trace = build_trace(trace_seed, ops_per_world, node_count=15)
+        serial = replay_serial(trace)
+        replayer = ShardedReplayer(
+            1,
+            store_factory=lambda shard: MemoryStore(),
+            snapshot_every=snapshot_every,
+            max_live_worlds=max_live_worlds,
+        )
+        try:
+            replayer.execute(trace, schedule_seed=trace_seed, max_batch=3)
+            host = replayer.hosts[0]
+            if len(host.world_ids()) > max_live_worlds:
+                assert host.evictions > 0
+            assert replayer.snapshots() == serial
+        finally:
+            replayer.close()
+
+    def test_memory_and_sqlite_recover_identically(self, tmp_path):
+        trace = build_trace(11, 5, node_count=15)
+        serial = replay_serial(trace)
+        kwargs = dict(
+            shards=2,
+            schedule_seed=5,
+            max_batch=3,
+            cuts=[4, 9],
+            snapshot_every=3,
+            max_live_worlds=None,
+            use_checkpoints=True,
+        )
+        from_memory = _replay_with_crashes(
+            trace, store_factory=lambda shard: MemoryStore(), **kwargs
+        )
+        from_sqlite = _replay_with_crashes(
+            trace,
+            store_factory=lambda shard: SqliteStore(str(tmp_path / f"shard-{shard}.sqlite")),
+            **kwargs,
+        )
+        assert from_memory == serial
+        assert from_sqlite == serial
+
+    def test_delete_and_recreate_survive_a_crash(self):
+        store = MemoryStore()
+        host = WorldHost(store=store)
+        create = {"op": protocol.CREATE_WORLD, "world": "w", "params": {"nodes": 10, "seed": 1}}
+        host.execute(create)
+        host.execute({"op": protocol.ADVANCE, "world": "w", "params": {"steps": 2}})
+        # Delete and recreate (different seed) in ONE batch: the purge and
+        # the new create commit together.
+        recreate = {"op": protocol.CREATE_WORLD, "world": "w", "params": {"nodes": 10, "seed": 2}}
+        responses = host.execute_batch(
+            [{"op": protocol.DELETE_WORLD, "world": "w", "params": {}}, recreate]
+        )
+        assert all(response["ok"] for response in responses)
+        [snapshot] = host.execute_batch(
+            [{"op": protocol.SNAPSHOT, "world": "w", "params": {}}]
+        )
+        recovered_host = WorldHost(store=store)
+        recovered_host.recover()
+        [recovered] = recovered_host.execute_batch(
+            [{"op": protocol.SNAPSHOT, "world": "w", "params": {}}]
+        )
+        assert recovered["result"] == snapshot["result"]
+        assert recovered["result"]["seed"] == 2
+
+    def test_flush_on_close_makes_recovery_checkpoint_only(self):
+        store = MemoryStore()
+        host = WorldHost(store=store, snapshot_every=100)
+        host.execute({"op": protocol.CREATE_WORLD, "world": "w", "params": {"nodes": 10}})
+        host.execute({"op": protocol.ADVANCE, "world": "w", "params": {"steps": 3}})
+        host.execute({"op": protocol.QUERY_STATS, "world": "w", "params": {}})
+        host.close()  # flushes a checkpoint at the current log position
+        checkpoint = store.latest_checkpoint("w")
+        assert checkpoint is not None
+        assert store.records_after("w", checkpoint.seq) == []
+
+    def test_redispatched_batch_is_not_reexecuted(self):
+        host = WorldHost(store=MemoryStore())
+        host.execute_batch(
+            [{"op": protocol.CREATE_WORLD, "world": "w", "params": {"nodes": 10}}],
+            batch_seq=1,
+        )
+        batch = [{"op": protocol.ADVANCE, "world": "w", "params": {"steps": 1}}]
+        first = host.execute_batch(batch, batch_seq=2)
+        executed = host.requests_executed
+        again = host.execute_batch(batch, batch_seq=2)
+        assert again == first
+        assert host.requests_executed == executed  # answered from the store
+        with pytest.raises(RuntimeError, match="already committed"):
+            host.execute_batch(batch, batch_seq=1)
+
+    def test_failed_write_is_not_logged(self):
+        store = MemoryStore()
+        host = WorldHost(store=store)
+        host.execute({"op": protocol.CREATE_WORLD, "world": "w", "params": {"nodes": 10}})
+        response = host.execute(
+            {"op": protocol.APPLY, "world": "w", "params": {"moves": [[999, 0.0, 0.0]]}}
+        )
+        assert not response["ok"]
+        # Only the create is durable; the rejected apply staged nothing.
+        assert [record["kind"] for record in store.records_after("w", 0)] == ["op"]
+        recovered_host = WorldHost(store=store)
+        assert recovered_host.recover() == 1
+
+
+# --------------------------------------------------------------------- #
+# Process-pool supervision (real SIGKILL)
+# --------------------------------------------------------------------- #
+class TestProcessPoolSupervision:
+    def _bootstrap(self, pool, trace, ring):
+        for request in trace:
+            [response] = pool.execute(ring.shard_of(request["world"]), [request])
+            assert response["ok"], response
+
+    def test_durable_pool_survives_worker_kill(self, tmp_path):
+        """SIGKILL a worker, then keep serving: the restarted worker must
+        recover from its log and the full run must stay byte-identical to
+        an uninterrupted serial execution."""
+        trace = build_trace(21, 4, node_count=15)
+        serial = replay_serial(trace)
+        midpoint = len(trace) // 2
+        ring = HashRing(2)
+        pool = ProcessShardPool(
+            2, store_config=StoreConfig(kind="sqlite", path=str(tmp_path))
+        )
+        try:
+            self._bootstrap(pool, trace[:midpoint], ring)
+            for worker in pool._workers:
+                worker.kill()
+            self._bootstrap(pool, trace[midpoint:], ring)
+            # Every shard that received post-kill traffic restarted once.
+            assert pool.worker_restarts >= 1
+            from repro.io.results import results_to_json
+
+            snapshots = {}
+            for world in WORLD_NAMES:
+                [response] = pool.execute(
+                    ring.shard_of(world),
+                    [{"id": None, "op": protocol.SNAPSHOT, "world": world, "params": {}}],
+                )
+                assert response["ok"], response
+                snapshots[world] = results_to_json(response["result"])
+            assert snapshots == serial
+        finally:
+            pool.close()
+
+    def test_nondurable_pool_reports_errors_instead_of_hanging(self):
+        """The PR's motivating bug: ``execute`` used to block forever on the
+        outbox of a dead worker.  It must return error responses promptly
+        and leave the shard serving."""
+        pool = ProcessShardPool(1)
+        try:
+            [response] = pool.execute(
+                0, [{"id": 1, "op": protocol.CREATE_WORLD, "world": "w", "params": {"nodes": 8}}]
+            )
+            assert response["ok"], response
+            pool._workers[0].kill()
+
+            outcome = {}
+
+            def run_batch():
+                outcome["responses"] = pool.execute(
+                    0, [{"id": 2, "op": protocol.ADVANCE, "world": "w", "params": {}}]
+                )
+
+            thread = threading.Thread(target=run_batch, daemon=True)
+            thread.start()
+            thread.join(timeout=30)
+            assert not thread.is_alive(), "dispatcher hung on a dead worker"
+            [response] = outcome["responses"]
+            assert not response["ok"]
+            assert "worker died" in response["error"]
+            assert response["id"] == 2
+            assert pool.worker_restarts == 1
+            # The restarted (empty) worker serves new worlds.
+            [response] = pool.execute(
+                0, [{"id": 3, "op": protocol.CREATE_WORLD, "world": "w2", "params": {"nodes": 8}}]
+            )
+            assert response["ok"], response
+        finally:
+            pool.close()
+
+    def test_mid_batch_kill_recovers_exactly_once(self, tmp_path):
+        """Kill the worker *while* a batch executes: the re-dispatched batch
+        must apply its writes exactly once."""
+        ring = HashRing(1)
+        pool = ProcessShardPool(
+            1, store_config=StoreConfig(kind="sqlite", path=str(tmp_path))
+        )
+        try:
+            [response] = pool.execute(
+                0, [{"op": protocol.CREATE_WORLD, "world": "w", "params": {"nodes": 20, "seed": 3}}]
+            )
+            assert response["ok"], response
+            # A batch slow enough to be killed in flight: many advances.
+            batch = [
+                {"id": index, "op": protocol.ADVANCE, "world": "w", "params": {"steps": 2}}
+                for index in range(30)
+            ]
+            killer = threading.Timer(0.15, pool._workers[0].kill)
+            killer.start()
+            try:
+                responses = pool.execute(0, batch)
+            finally:
+                killer.cancel()
+            assert all(response["ok"] for response in responses), responses
+            # Exactly-once: the final write count equals the trace's writes.
+            [stats] = pool.execute(
+                0, [{"op": protocol.CACHE_STATS, "world": "w", "params": {}}]
+            )
+            assert stats["ok"], stats
+            assert stats["result"]["writes"] == 30
+        finally:
+            pool.close()

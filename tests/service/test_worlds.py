@@ -297,3 +297,92 @@ class TestNaiveBaseline:
             assert stats["snapshot_cache_entries"] == 0
         finally:
             host.close()
+
+
+class TestIntegerValidation:
+    """bool subclasses int, so isinstance checks used to accept true/false
+    off the wire — 'steps': true quietly advanced one step."""
+
+    @pytest.mark.parametrize("steps", [True, False, "3", 1.0, None])
+    def test_advance_rejects_non_integers(self, host, steps):
+        _create(host)
+        response = host.execute(_request(protocol.ADVANCE, steps=steps))
+        assert not response["ok"]
+        assert "non-negative integer" in response["error"]
+
+    @pytest.mark.parametrize("endpoint", [True, False, 1.5, "0"])
+    def test_route_rejects_non_integer_endpoints(self, host, endpoint):
+        _create(host)
+        for params in ({"source": endpoint, "target": 1}, {"source": 0, "target": endpoint}):
+            response = host.execute(_request(protocol.QUERY_ROUTE, **params))
+            assert not response["ok"]
+            assert "node IDs" in response["error"]
+
+    @pytest.mark.parametrize("nodes", [True, 2.0, "10"])
+    def test_create_rejects_non_integer_nodes(self, host, nodes):
+        response = host.execute(_request(protocol.CREATE_WORLD, nodes=nodes))
+        assert not response["ok"]
+        assert "positive integer" in response["error"]
+
+    @pytest.mark.parametrize("seed", [True, False, 0.5, "7"])
+    def test_create_rejects_non_integer_seed(self, host, seed):
+        response = host.execute(_request(protocol.CREATE_WORLD, seed=seed))
+        assert not response["ok"]
+        assert "'seed' must be an integer" in response["error"]
+
+
+class TestCacheAliasing:
+    def test_mutating_a_cached_response_does_not_corrupt_later_hits(self, host):
+        """The snapshot cache used to hand out its stored dictionary: a
+        caller mutating a hit corrupted every later hit of the same key."""
+        _create(host)
+        first = host.execute(_request(protocol.QUERY_STATS))["result"]
+        pristine = results_to_json(first)
+        first["alive_nodes"] = -999
+        first.pop("edge_count")
+        second = host.execute(_request(protocol.QUERY_STATS))["result"]
+        assert results_to_json(second) == pristine
+        # And the first response really was a cache hit's copy, not a rebuild.
+        stats = host.execute(_request(protocol.CACHE_STATS))["result"]
+        assert stats["snapshot_cache_hits"] >= 1
+
+
+class TestFailedCreateCleanup:
+    def test_failed_prime_unregisters_every_hook(self, monkeypatch):
+        """A create_world whose prime raises must leave nothing behind: no
+        hosted world, no staged WAL records, no listeners on the network."""
+        from repro.core.reconfiguration import ReconfigurationManager
+        from repro.scenarios.spec import ScenarioSpec
+        from repro.service.storage import MemoryStore
+
+        networks = []
+        original_build = ScenarioSpec.build_network
+
+        def capturing_build(self, seed):
+            network = original_build(self, seed)
+            networks.append(network)
+            return network
+
+        monkeypatch.setattr(ScenarioSpec, "build_network", capturing_build)
+        original_synchronize = ReconfigurationManager.synchronize
+
+        def failing_synchronize(self, *args, **kwargs):
+            raise RuntimeError("mid-prime failure")
+
+        monkeypatch.setattr(ReconfigurationManager, "synchronize", failing_synchronize)
+        store = MemoryStore()
+        host = WorldHost(store=store)
+        response = host.execute(_request(protocol.CREATE_WORLD))
+        assert not response["ok"]
+        assert "mid-prime failure" in response["error"]
+        # No partial state: the world is not hosted, nothing was staged for
+        # the WAL, and the doomed network's hooks were all unwound.
+        assert host.world_ids() == []
+        assert host._staged == []
+        assert host._log_seq == {}
+        [network] = networks
+        assert network._dirty_listeners == []
+        # The name is immediately reusable once the failure is gone.
+        monkeypatch.setattr(ReconfigurationManager, "synchronize", original_synchronize)
+        assert host.execute(_request(protocol.CREATE_WORLD))["ok"]
+        host.close()
