@@ -1,5 +1,5 @@
 """Rule packs.  Importing this package registers every rule."""
 
-from repro.analysis.rules import concurrency, determinism  # noqa: F401
+from repro.analysis.rules import concurrency, determinism, observability  # noqa: F401
 
-__all__ = ["concurrency", "determinism"]
+__all__ = ["concurrency", "determinism", "observability"]

@@ -1,0 +1,58 @@
+"""Observability rule pack.
+
+The observability layer (:mod:`repro.obs`) owns every clock in the tree:
+``repro.obs.clock`` is the single sanctioned read site, metrics/spans are
+telemetry-only, and the byte-identity batteries run with tracing enabled.
+That contract only holds if no other module reads a clock directly —
+a raw ``time.perf_counter()`` sprinkled into a hot path bypasses the
+no-feedback guarantee and cannot be swapped for a virtual clock in tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import (
+    Finding,
+    ModuleContext,
+    register_rule,
+)
+from repro.analysis.rules.determinism import WallClockRule, _resolved_via_import
+
+
+@register_rule
+class RawClockRule(WallClockRule):
+    """Raw clock reads anywhere outside ``repro/obs/clock.py``.
+
+    Stricter sibling of ``det-wall-clock``: that rule guards simulation
+    scopes against nondeterminism; this one guards *every* repro module so
+    all timing flows through :mod:`repro.obs.clock` (and from there into
+    histograms/spans).  Measurement code is not exempt — it routes through
+    the obs layer instead of suppressing.
+    """
+
+    rule_id = "obs-raw-clock"
+    pack = "observability"
+    description = "raw clock read outside the repro.obs clock module"
+    default_scopes = ("repro",)
+    exempt_paths = ("repro/obs/clock.py",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            if isinstance(node, ast.Name) and not isinstance(node.ctx, ast.Load):
+                continue
+            parent = ctx.parent(node)
+            if isinstance(parent, ast.Attribute):
+                continue  # flag the full chain once, at its outermost node
+            name = ctx.qualname(node)
+            if name in self._CLOCKS and _resolved_via_import(ctx, node):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"{name} reads a clock directly; route timing through "
+                    f"repro.obs.clock (wall()/cpu()) so instrumentation "
+                    f"stays swappable and telemetry-only",
+                )

@@ -24,7 +24,12 @@ the experiment harnesses:
   replay (``--verify``);
 * ``lint`` — the ``detlint`` static determinism/concurrency contract
   checker (AST rules, ``# detlint: ignore[rule-id]`` suppressions,
-  committed-baseline diffing, human or canonical-JSON output).
+  committed-baseline diffing, human or canonical-JSON output);
+* ``metrics`` — fetch a running fleet server's merged metrics registry
+  (per-shard counters, cache hit rates, canonical histogram percentiles);
+* ``bench run|diff`` — the committed benchmark trajectory: reference-
+  normalized perf cells written as ``BENCH_<area>.json``, with ``diff``
+  failing when a ratio regresses past tolerance.
 """
 
 from __future__ import annotations
@@ -387,6 +392,120 @@ def _load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metrics(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import protocol
+    from repro.service.client import ServiceClient, ServiceError
+
+    async def _fetch() -> dict:
+        client = await ServiceClient.connect(args.host, args.port)
+        try:
+            return await client.call(protocol.METRICS)
+        finally:
+            await client.close()
+
+    try:
+        payload = asyncio.run(_fetch())
+    except ServiceError as error:
+        print(error, file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as error:
+        print(
+            f"cannot reach {args.host}:{args.port}: {error}; is 'cbtc serve' running?",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        from repro.io.results import canonical_json
+
+        print(canonical_json(payload))
+        return 0
+    merged = payload.get("merged", {})
+    shard_count = len(payload.get("shards", []))
+    print(f"fleet metrics ({shard_count} shard(s) + front end, merged)")
+    counters = merged.get("counters", {})
+    if counters:
+        print("counters:")
+        for name, value in sorted(counters.items()):
+            print(f"  {name:<36} {value:>12g}")
+    gauges = merged.get("gauges", {})
+    if gauges:
+        print("gauges:")
+        for name, value in sorted(gauges.items()):
+            print(f"  {name:<36} {value:>12g}")
+    histograms = merged.get("histograms", {})
+    if histograms:
+        print("histograms (count / mean / p50 / p95 / p99):")
+        for name, summary in sorted(histograms.items()):
+            cells = [summary.get(k) for k in ("mean", "p50", "p95", "p99")]
+            rendered = "  ".join(
+                "-" if cell is None else f"{cell:.6g}" for cell in cells
+            )
+            print(f"  {name:<36} {summary.get('count', 0):>8}  {rendered}")
+    return 0
+
+
+def _bench_run(args: argparse.Namespace) -> int:
+    from repro.obs import bench
+
+    areas = args.area or bench.area_names()
+    for area in areas:
+        try:
+            report = bench.run_area(area, repeats=args.repeats)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 1
+        print(bench.format_report(report))
+        out = args.out or bench.bench_path(area)
+        if len(areas) > 1 and args.out:
+            print("--out is only valid with a single --area", file=sys.stderr)
+            return 1
+        write_json(report, out)
+        print(f"report written to {out}")
+    return 0
+
+
+def _bench_diff(args: argparse.Namespace) -> int:
+    from repro.io.results import read_json
+    from repro.obs import bench
+
+    areas = args.area or bench.area_names()
+    failed = False
+    for area in areas:
+        baseline_path = args.baseline or bench.bench_path(area)
+        if len(areas) > 1 and args.baseline:
+            print("--baseline is only valid with a single --area", file=sys.stderr)
+            return 2
+        try:
+            baseline = read_json(baseline_path)
+        except (OSError, ValueError) as error:
+            print(f"cannot read baseline {baseline_path}: {error}", file=sys.stderr)
+            return 2
+        report = bench.run_area(area, repeats=args.repeats)
+        print(bench.format_report(report))
+        if args.report:
+            stem = args.report[:-5] if args.report.endswith(".json") else args.report
+            out = args.report if len(areas) == 1 else f"{stem}.{area}.json"
+            write_json(report, out)
+            print(f"report written to {out}")
+        regressions = bench.diff_reports(baseline, report, tolerance=args.tolerance)
+        if regressions:
+            failed = True
+            print(
+                f"bench regression in area {area!r} "
+                f"(tolerance {args.tolerance:g}):",
+                file=sys.stderr,
+            )
+            print(bench.format_regressions(regressions), file=sys.stderr)
+        else:
+            print(
+                f"area {area!r}: within tolerance {args.tolerance:g} "
+                f"of {baseline_path}"
+            )
+    return 1 if failed else 0
+
+
 def _lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import lint_command
 
@@ -611,6 +730,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only these rule ids (comma-separated)",
     )
     lint.set_defaults(func=_lint)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="fetch a running fleet server's merged metrics registry"
+    )
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument("--port", type=int, default=7421)
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full canonical-JSON payload (per-shard + frontend + merged)",
+    )
+    metrics.set_defaults(func=_metrics)
+
+    bench = subparsers.add_parser(
+        "bench", help="the committed benchmark trajectory (reference-normalized)"
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_commands.add_parser(
+        "run", help="measure an area and write its BENCH_<area>.json report"
+    )
+    bench_run.add_argument(
+        "--area",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="bench area to run (repeatable; default: every area)",
+    )
+    bench_run.add_argument("--repeats", type=int, default=3, help="min-of-N timing repeats")
+    bench_run.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="report path (single --area only; default BENCH_<area>.json)",
+    )
+    bench_run.set_defaults(func=_bench_run)
+
+    bench_diff = bench_commands.add_parser(
+        "diff", help="re-measure and fail if ratios regressed past tolerance"
+    )
+    bench_diff.add_argument(
+        "--area",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="bench area to diff (repeatable; default: every area)",
+    )
+    bench_diff.add_argument("--repeats", type=int, default=3, help="min-of-N timing repeats")
+    bench_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional ratio growth before failing (default 0.5)",
+    )
+    bench_diff.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline report (single --area only; default BENCH_<area>.json)",
+    )
+    bench_diff.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write the fresh measurement (CI uploads this artifact)",
+    )
+    bench_diff.set_defaults(func=_bench_diff)
 
     return parser
 

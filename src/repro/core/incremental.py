@@ -61,6 +61,8 @@ from repro.core.topology import (
 )
 from repro.net.network import Network
 from repro.net.node import NodeId
+from repro.obs.metrics import COUNT_BUCKETS, Histogram
+from repro.obs.trace import get_tracer
 from repro.radio.power import PowerSchedule
 
 Edge = Tuple[NodeId, NodeId]
@@ -105,6 +107,10 @@ class IncrementalTopologyBuilder:
         self.schedule = schedule
         self.full_builds = 0
         self.incremental_updates = 0
+        # Telemetry only (metrics op): how often splicing was abandoned for a
+        # from-scratch rebuild, and how large the per-epoch dirty sets ran.
+        self.fallbacks = 0
+        self.dirty_size_hist = Histogram(COUNT_BUCKETS)
         self._result: Optional[TopologyResult] = None
         self._raw: Optional[CBTCOutcome] = None
         self._working: Optional[CBTCOutcome] = None
@@ -145,6 +151,10 @@ class IncrementalTopologyBuilder:
         per-node redundancy contributions, longest-non-redundant table,
         removal set, radius/power maps) are retained for later splicing.
         """
+        with get_tracer().span("topology.rebuild"):
+            return self._rebuild(outcome)
+
+    def _rebuild(self, outcome: Optional[CBTCOutcome] = None) -> TopologyResult:
         self.full_builds += 1
         self._external_outcome = outcome is not None
         network, alpha, config = self.network, self.alpha, self.config
@@ -222,6 +232,12 @@ class IncrementalTopologyBuilder:
         omission is not.  Returns the result for the network's current
         state, byte-identical to a from-scratch build.
         """
+        with get_tracer().span("topology.update"):
+            return self._update(dirty, outcome)
+
+    def _update(
+        self, dirty: Iterable[NodeId], outcome: Optional[CBTCOutcome] = None
+    ) -> TopologyResult:
         if self._result is None or self._external_outcome != (outcome is not None):
             # First build, or the caller switched between supplying external
             # states and letting the builder run CBTC itself — the cached
@@ -230,17 +246,21 @@ class IncrementalTopologyBuilder:
         dirty = set(dirty)
         if not dirty:
             return self._result
+        self.dirty_size_hist.observe(len(dirty))
         network, config = self.network, self.config
         if outcome is None:
             if not network.use_spatial_index:
+                self.fallbacks += 1
                 return self.rebuild()
             expanded = self._recompute_cbtc(dirty)
             if expanded is None:
+                self.fallbacks += 1
                 return self.rebuild()
             dirty = expanded
             outcome = self._raw
         population = max(len(outcome.states), len(self._working.states), 1)
         if len(dirty) >= FULL_REBUILD_FRACTION * population:
+            self.fallbacks += 1
             return self.rebuild(outcome=outcome if outcome is not self._raw else None)
 
         self.incremental_updates += 1

@@ -41,6 +41,7 @@ from repro.core.optimizations import shrink_back_node
 from repro.core.pipeline import OptimizationConfig, build_topology
 from repro.core.state import CBTCOutcome, NeighborRecord, NodeState
 from repro.core.topology import TopologyResult
+from repro.obs.metrics import COUNT_BUCKETS, Histogram
 
 
 @dataclass(frozen=True)
@@ -183,6 +184,8 @@ class ReconfigurationManager:
         self._builder = None
         self._full_builds = 0
         self._retired_incremental_updates = 0
+        self._retired_fallbacks = 0
+        self._retired_dirty_hist = Histogram(COUNT_BUCKETS)
         self._last_result: Optional[TopologyResult] = None
         self._last_config: Optional[OptimizationConfig] = None
 
@@ -206,6 +209,8 @@ class ReconfigurationManager:
         if self._builder is not None:
             self._full_builds += self._builder.full_builds
             self._retired_incremental_updates += self._builder.incremental_updates
+            self._retired_fallbacks += self._builder.fallbacks
+            self._retired_dirty_hist.merge(self._builder.dirty_size_hist)
             self._builder = None
 
     # ------------------------------------------------------------------ #
@@ -538,6 +543,19 @@ class ReconfigurationManager:
         return self._retired_incremental_updates + (
             self._builder.incremental_updates if self._builder else 0
         )
+
+    @property
+    def rebuild_fallbacks(self) -> int:
+        """How often splicing was abandoned for a full rebuild (monotone)."""
+        return self._retired_fallbacks + (self._builder.fallbacks if self._builder else 0)
+
+    def dirty_size_histogram(self) -> Histogram:
+        """Merged per-update dirty-set-size distribution (telemetry only)."""
+        merged = Histogram(COUNT_BUCKETS)
+        merged.merge(self._retired_dirty_hist)
+        if self._builder is not None:
+            merged.merge(self._builder.dirty_size_hist)
+        return merged
 
     def topology(
         self,

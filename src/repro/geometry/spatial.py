@@ -84,12 +84,22 @@ class UniformGridIndex:
     drops the memoized :meth:`pairs_within` results.
     """
 
-    __slots__ = ("cell_size", "_points", "_cells", "_pair_cache")
+    __slots__ = (
+        "cell_size",
+        "_points",
+        "_cells",
+        "_pair_cache",
+        "neighbor_queries",
+        "pair_queries",
+    )
 
     def __init__(self, cell_size: float, items: Iterable[Tuple[Hashable, object]] = ()) -> None:
         if not (cell_size > 0.0) or math.isinf(cell_size) or math.isnan(cell_size):
             raise ValueError("cell_size must be a positive finite number")
         self.cell_size = float(cell_size)
+        # Telemetry-only query counters surfaced through the metrics op.
+        self.neighbor_queries = 0
+        self.pair_queries = 0
         self._pair_cache: Dict[float, List[Tuple[Hashable, Hashable, float]]] = {}
         self._points: Dict[Hashable, Coordinate] = {}
         # Buckets carry coordinates inline ((key, x, y) tuples) so the query
@@ -192,6 +202,7 @@ class UniformGridIndex:
         ``hypot(dx, dy) <= radius + DISTANCE_TOLERANCE``.  ``exclude`` drops
         one key (typically the querying node itself) without a distance test.
         """
+        self.neighbor_queries += 1
         if radius < 0:
             return []
         qx, qy = _as_xy(point)
@@ -209,6 +220,7 @@ class UniformGridIndex:
         self, point, radius: float, *, exclude: Optional[Hashable] = None
     ) -> List[Tuple[Hashable, float]]:
         """Like :meth:`neighbors_within` but returns sorted ``(key, distance)`` pairs."""
+        self.neighbor_queries += 1
         if radius < 0:
             return []
         qx, qy = _as_xy(point)
@@ -240,6 +252,7 @@ class UniformGridIndex:
         enumerate the ``max_range`` pair set once.  Callers must treat the
         returned list as read-only.
         """
+        self.pair_queries += 1
         cached = self._pair_cache.get(radius)
         if cached is not None:
             return cached

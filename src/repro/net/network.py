@@ -36,17 +36,26 @@ class DerivedDataCache:
       just the dirty neighbourhoods and re-:meth:`put` the result.
     """
 
-    __slots__ = ("_values", "_dirty")
+    __slots__ = ("_values", "_dirty", "hits", "misses")
 
     def __init__(self) -> None:
         self._values: Dict[object, object] = {}
         self._dirty: Dict[object, Set[NodeId]] = {}
+        # Telemetry-only lookup counters surfaced through the metrics op.
+        self.hits = 0
+        self.misses = 0
 
     def get(self, key: object) -> Optional[object]:
         """The clean value for ``key``, or ``None`` when absent or dirty."""
         if self._dirty.get(key):
+            self.misses += 1
             return None
-        return self._values.get(key)
+        value = self._values.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
 
     def put(self, key: object, value: object) -> None:
         """Store ``value`` for ``key`` and reset its dirty set."""
@@ -59,7 +68,12 @@ class DerivedDataCache:
     def entry(self, key: object) -> Optional[Tuple[object, Set[NodeId]]]:
         """``(value, dirty_node_ids)`` for self-patching consumers, or ``None``."""
         if key not in self._values:
+            self.misses += 1
             return None
+        if self._dirty[key]:
+            self.misses += 1
+        else:
+            self.hits += 1
         return self._values[key], self._dirty[key]
 
     def mark_dirty(self, node_id: NodeId) -> None:
@@ -272,6 +286,17 @@ class Network:
                 ((n.node_id, n.position) for n in self._nodes.values() if n.alive),
             )
         return self._spatial_index
+
+    def spatial_query_counts(self) -> Tuple[int, int]:
+        """``(neighbor_queries, pair_queries)`` served by the index so far.
+
+        Telemetry for the metrics op; ``(0, 0)`` while the index has not
+        been built (the accessor must not force a build just to report).
+        """
+        index = self._spatial_index
+        if index is None:
+            return (0, 0)
+        return (index.neighbor_queries, index.pair_queries)
 
     # ------------------------------------------------------------------ #
     # Physical-layer queries

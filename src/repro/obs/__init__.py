@@ -1,0 +1,50 @@
+"""Deterministic-safe observability: metrics, spans, and the bench flywheel.
+
+This package is the only place in the repository allowed to read host
+clocks (see :mod:`repro.obs.clock`); everything it produces is telemetry
+that must never influence simulated state or serialized world output.
+"""
+
+from repro.obs import clock
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    hit_rate,
+    merge_snapshots,
+    summarize_snapshot,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    Span,
+    get_tracer,
+    set_tracer,
+    timed,
+    use_tracer,
+)
+
+__all__ = [
+    "clock",
+    "COUNT_BUCKETS",
+    "SECONDS_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "hit_rate",
+    "merge_snapshots",
+    "summarize_snapshot",
+    "NULL_TRACER",
+    "NullTracer",
+    "RecordingTracer",
+    "Span",
+    "get_tracer",
+    "set_tracer",
+    "timed",
+    "use_tracer",
+]

@@ -1,0 +1,27 @@
+"""The one sanctioned wall/cpu clock in the repository.
+
+Determinism policy: simulated code must never read host clocks, and even
+observability code must funnel every clock read through this module so the
+``obs-raw-clock`` detlint rule can enforce the boundary statically.  Timings
+gathered here are *telemetry only* — they may appear in reports and metrics
+snapshots but must never influence simulated state, iteration order, or any
+serialized world output.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["wall", "cpu"]
+
+
+def wall() -> float:
+    """Monotonic wall-clock seconds, for durations only (not timestamps)."""
+
+    return time.perf_counter()
+
+
+def cpu() -> float:
+    """Process CPU seconds consumed so far."""
+
+    return time.process_time()

@@ -1,0 +1,320 @@
+"""Deterministic-safe metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is telemetry-only state: nothing in it may feed back into
+simulated behaviour.  Everything is designed around three invariants:
+
+* **Canonical serialization** — ``snapshot()`` returns a plain dict of JSON
+  scalars (no ``inf``/``nan``; the histogram overflow bucket is implicit, so
+  bucket bounds are always finite) that round-trips through
+  :func:`repro.io.results.canonical_json` byte-identically.
+* **Mergeable across processes** — fixed bucket bounds make histogram merge a
+  bucket-wise add, which is associative and commutative; counters and gauges
+  merge by summation.  Every snapshot carries a process-unique ``source`` tag
+  so a front end that collects the same registry twice (e.g. the inline shard
+  pool, where all shards share one process) can deduplicate.
+* **Canonical percentiles** — percentiles are computed from bucket bounds by
+  rank, never from raw samples, so the same merged snapshot yields the same
+  p50/p95/p99 on every machine.
+
+The registry is not thread-safe; each event loop / worker process owns its
+own registry and snapshots are merged at the front end.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import os
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SECONDS_BUCKETS",
+    "COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "summarize_snapshot",
+    "hit_rate",
+]
+
+#: Geometric bucket bounds for latencies in seconds: 50µs .. ~105s.
+SECONDS_BUCKETS: Tuple[float, ...] = tuple(5e-5 * (2.0 ** k) for k in range(22))
+
+#: Geometric bucket bounds for sizes/counts: 1 .. 65536.
+COUNT_BUCKETS: Tuple[float, ...] = tuple(float(2 ** k) for k in range(17))
+
+_PERCENTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p95", 0.95),
+    ("p99", 0.99),
+)
+
+_SOURCE_SEQUENCE = itertools.count()
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level; merged snapshots sum per-process levels."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with an implicit overflow bucket.
+
+    ``counts`` has ``len(bounds) + 1`` entries; an observation lands in the
+    first bucket whose upper bound is >= the value, or the final overflow
+    bucket.  ``min``/``max`` track observed extrema so canonical percentiles
+    can be clamped to the actually-observed range.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = SECONDS_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be non-empty and ascending")
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with differing bounds")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        for bound_name in ("min", "max"):
+            theirs = getattr(other, bound_name)
+            if theirs is None:
+                continue
+            ours = getattr(self, bound_name)
+            if ours is None:
+                setattr(self, bound_name, theirs)
+            elif bound_name == "min":
+                setattr(self, bound_name, min(ours, theirs))
+            else:
+                setattr(self, bound_name, max(ours, theirs))
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        """Canonical percentile: the bucket upper bound at the given rank.
+
+        The answer is exact to within one bucket width and depends only on
+        the (mergeable) bucket counts, never on sample arrival order.
+        """
+
+        if self.count == 0:
+            return None
+        rank = max(1, math.ceil(fraction * self.count))
+        cumulative = 0
+        for i, c in enumerate(self.counts):
+            cumulative += c
+            if cumulative >= rank:
+                representative = self.bounds[i] if i < len(self.bounds) else self.max
+                assert self.min is not None and self.max is not None
+                return min(max(representative, self.min), self.max)
+        return self.max
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Histogram":
+        hist = cls(payload["bounds"])
+        counts = [int(c) for c in payload["counts"]]
+        if len(counts) != len(hist.counts):
+            raise ValueError("histogram counts do not match bounds")
+        hist.counts = counts
+        hist.count = int(payload["count"])
+        hist.total = float(payload["sum"])
+        hist.min = None if payload.get("min") is None else float(payload["min"])
+        hist.max = None if payload.get("max") is None else float(payload["max"])
+        return hist
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    Metric instruments are created on first use so call sites never need a
+    registration phase.  ``snapshot()`` is cheap and side-effect free; the
+    ``source`` tag identifies this registry instance across process
+    boundaries for merge deduplication.
+    """
+
+    def __init__(self, source: Optional[str] = None) -> None:
+        self.source = source or f"{os.getpid()}-{next(_SOURCE_SEQUENCE)}"
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = SECONDS_BUCKETS
+    ) -> Histogram:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram(bounds)
+        elif hist.bounds != tuple(float(b) for b in bounds):
+            raise ValueError(f"histogram {name!r} re-declared with new bounds")
+        return hist
+
+    def snapshot(
+        self, extra_counters: Optional[Dict[str, float]] = None
+    ) -> Dict[str, Any]:
+        counters = {name: c.value for name, c in self._counters.items()}
+        if extra_counters:
+            for name, value in extra_counters.items():
+                counters[name] = counters.get(name, 0) + value
+        return {
+            "source": self.source,
+            "counters": dict(sorted(counters.items())),
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: h.to_dict() for name, h in sorted(self._histograms.items())
+            },
+        }
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge registry snapshots, deduplicating identical ``source`` tags.
+
+    Bucket-wise histogram addition makes the merge associative and
+    commutative, so front ends may merge partial merges in any order.
+    """
+
+    seen_sources = set()
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Histogram] = {}
+    sources: List[str] = []
+    for snap in snapshots:
+        if snap is None:
+            continue
+        source = snap.get("source")
+        if source is not None:
+            if source in seen_sources:
+                continue
+            seen_sources.add(source)
+            sources.append(source)
+        else:
+            sources.extend(snap.get("sources", []))
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0) + value
+        for name, payload in snap.get("histograms", {}).items():
+            incoming = Histogram.from_dict(payload)
+            existing = histograms.get(name)
+            if existing is None:
+                histograms[name] = incoming
+            else:
+                existing.merge(incoming)
+    return {
+        "sources": sorted(sources),
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {
+            name: h.to_dict() for name, h in sorted(histograms.items())
+        },
+    }
+
+
+def summarize_snapshot(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Attach canonical percentiles/means to every histogram in a snapshot."""
+
+    histograms = {}
+    for name, payload in snapshot.get("histograms", {}).items():
+        hist = Histogram.from_dict(payload)
+        summary = dict(payload)
+        summary["mean"] = hist.mean
+        for label, fraction in _PERCENTILES:
+            summary[label] = hist.percentile(fraction)
+        histograms[name] = summary
+    summarized = dict(snapshot)
+    summarized["histograms"] = histograms
+    return summarized
+
+
+def histogram_delta(
+    after: Dict[str, Any], before: Optional[Dict[str, Any]]
+) -> Histogram:
+    """The histogram of observations made between two snapshots of it.
+
+    Bucket counts and sums subtract exactly; ``min``/``max`` are not
+    recoverable for the window, so the after-snapshot's extrema are kept
+    (they still bound the window's observations).
+    """
+
+    result = Histogram.from_dict(after)
+    if before is None:
+        return result
+    base = Histogram.from_dict(before)
+    if base.bounds != result.bounds:
+        raise ValueError("cannot diff histograms with differing bounds")
+    for i, c in enumerate(base.counts):
+        result.counts[i] -= c
+    result.count -= base.count
+    result.total -= base.total
+    return result
+
+
+def hit_rate(hits: float, misses: float) -> Optional[float]:
+    """Cache hit rate, or None when the cache was never consulted."""
+
+    lookups = hits + misses
+    return hits / lookups if lookups else None

@@ -1,0 +1,199 @@
+"""Structured span tracing with a zero-cost no-op default.
+
+Spans name *where time went* (wall and cpu seconds, parentage, attributes)
+without ever feeding back into simulated state: the default tracer is a
+:class:`NullTracer` whose ``span()`` returns one shared, allocation-free
+context manager and reads no clocks, so instrumented hot paths cost a single
+attribute lookup when tracing is disabled — and byte-identity batteries hold
+whether tracing is on or off.
+
+Span naming scheme (dotted, lowercase): ``<layer>.<operation>``, e.g.
+``wal.commit``, ``host.batch``, ``scenario.churn``.  Scenario phase spans use
+the bare phase name so ``phase_seconds`` keys stay stable.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs import clock
+from repro.obs.metrics import Histogram
+
+__all__ = [
+    "Span",
+    "NullTracer",
+    "RecordingTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "timed",
+]
+
+
+@dataclass
+class Span:
+    """One completed span: name, parentage, wall/cpu duration, attributes."""
+
+    name: str
+    index: int
+    parent: Optional[int]
+    wall_seconds: float
+    cpu_seconds: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+class _NullSpan:
+    """Shared reusable no-op span context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    def set_attr(self, name: str, value: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: records nothing, reads no clocks."""
+
+    __slots__ = ()
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+
+class _LiveSpan:
+    __slots__ = (
+        "_tracer",
+        "name",
+        "attrs",
+        "index",
+        "_start_wall",
+        "_start_cpu",
+        "_parent",
+    )
+
+    def __init__(self, tracer: "RecordingTracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_LiveSpan":
+        self._parent = self._tracer._open(self)
+        self._start_wall = clock.wall()
+        self._start_cpu = clock.cpu()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        wall_seconds = clock.wall() - self._start_wall
+        cpu_seconds = clock.cpu() - self._start_cpu
+        self._tracer._close(self, wall_seconds, cpu_seconds)
+
+    def set_attr(self, name: str, value: Any) -> None:
+        self.attrs[name] = value
+
+
+class RecordingTracer:
+    """Records completed spans with parentage for later aggregation."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._stack: List[int] = []
+        self._sequence = 0
+
+    def span(self, name: str, **attrs: Any) -> _LiveSpan:
+        return _LiveSpan(self, name, attrs)
+
+    def _open(self, live: _LiveSpan) -> Optional[int]:
+        index = self._sequence
+        self._sequence += 1
+        live.index = index
+        parent = self._stack[-1] if self._stack else None
+        self._stack.append(index)
+        return parent
+
+    def _close(self, live: _LiveSpan, wall_seconds: float, cpu_seconds: float) -> None:
+        self._stack.pop()
+        self.spans.append(
+            Span(
+                name=live.name,
+                index=live.index,
+                parent=live._parent,
+                wall_seconds=wall_seconds,
+                cpu_seconds=cpu_seconds,
+                attrs=live.attrs,
+            )
+        )
+
+    def reset(self) -> None:
+        self.spans = []
+        self._stack = []
+        self._sequence = 0
+
+    def durations(self) -> Dict[str, float]:
+        """Total wall seconds per span name across all recorded spans."""
+
+        totals: Dict[str, float] = {}
+        for span in self.spans:
+            totals[span.name] = totals.get(span.name, 0.0) + span.wall_seconds
+        return totals
+
+    def cpu_durations(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for span in self.spans:
+            totals[span.name] = totals.get(span.name, 0.0) + span.cpu_seconds
+        return totals
+
+
+NULL_TRACER = NullTracer()
+_tracer = NULL_TRACER
+
+
+def get_tracer():
+    """The process-wide tracer; NullTracer unless explicitly enabled."""
+
+    return _tracer
+
+
+def set_tracer(tracer) -> None:
+    global _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+
+
+@contextmanager
+def use_tracer(tracer) -> Iterator[None]:
+    """Temporarily install a tracer (tests, profiled runs)."""
+
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    try:
+        yield
+    finally:
+        _tracer = previous
+
+
+@contextmanager
+def timed(histogram: Histogram, name: str, **attrs: Any) -> Iterator[None]:
+    """Time a block into a histogram, emitting a span under the same name.
+
+    The histogram observation always happens (metrics are always on); the
+    span only materializes when a recording tracer is installed.
+    """
+
+    start = clock.wall()
+    with get_tracer().span(name, **attrs):
+        try:
+            yield
+        finally:
+            histogram.observe(clock.wall() - start)

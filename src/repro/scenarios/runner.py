@@ -25,7 +25,7 @@ replays identically in any process.
 from __future__ import annotations
 
 import dataclasses
-import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -40,6 +40,7 @@ from repro.io.results import results_to_json
 from repro.net.energy import EnergyLedger
 from repro.net.network import Network
 from repro.net.node import Node
+from repro.obs.trace import RecordingTracer, get_tracer, use_tracer
 from repro.scenarios.spec import DISTRIBUTED, ScenarioSpec
 from repro.sim.randomness import SeededRandom
 from repro.traffic.metrics import TrafficReport
@@ -386,57 +387,71 @@ class ScenarioRunner:
             initial_nodes=len(self.network),
             spec=spec,
         )
-        clock = time.perf_counter  # detlint: ignore[det-wall-clock] -- epoch timing is measurement output, never fed back into the simulation
+        # Profiling installs a recording tracer for the epoch body, so the
+        # phase timings come from the same span model as every other layer
+        # (and nested spans — e.g. topology.update — record alongside).
+        # Spans are telemetry only: timings land in measurement output,
+        # never back in the simulation.
+        profiler = RecordingTracer() if self.profile else None
         for epoch in range(1, spec.epochs + 1):
-            epoch_start = clock()
-            joined, churn_crashed = self._apply_churn(epoch)
-            t_churn = clock()
-            for _ in range(spec.steps_per_epoch):
-                self.mobility.step(self.network)
-            t_mobility = clock()
-            # The failure model reports every liveness *change*; only nodes
-            # that are now dead count as crashes (recoveries are rejoins).
-            random_crashed = sum(
-                1
-                for node_id in self.failures.step(self.network)
-                if not self.network.node(node_id).alive
-            )
-            t_failures = clock()
-            battery_deaths = self._drain_batteries()
-            t_battery = clock()
-            topology, events, reruns, iterations, messages = self._reconcile(epoch)
-            t_rebuild = clock()
-            metrics = self._measure(
-                epoch,
-                topology,
-                joined=joined,
-                crashed=churn_crashed + random_crashed + battery_deaths,
-                battery_deaths=battery_deaths,
-                events_applied=events,
-                reruns=reruns,
-                sync_iterations=iterations,
-                messages_sent=messages,
-            )
-            t_measure = clock()
-            # Traffic runs last so the topology metrics above describe the
-            # graph the packets actually crossed; traffic-induced battery
-            # deaths and energy show up from the next epoch's figures on.
-            traffic_report = self._run_traffic(epoch, topology)
-            t_traffic = clock()
+            if profiler is not None:
+                profiler.reset()
+            tracer = profiler if profiler is not None else get_tracer()
+            scope = use_tracer(profiler) if profiler is not None else nullcontext()
+            with scope, tracer.span("epoch", epoch=epoch):
+                with tracer.span("churn"):
+                    joined, churn_crashed = self._apply_churn(epoch)
+                with tracer.span("mobility"):
+                    for _ in range(spec.steps_per_epoch):
+                        self.mobility.step(self.network)
+                # The failure model reports every liveness *change*; only
+                # nodes that are now dead count as crashes (recoveries are
+                # rejoins).
+                with tracer.span("failures"):
+                    random_crashed = sum(
+                        1
+                        for node_id in self.failures.step(self.network)
+                        if not self.network.node(node_id).alive
+                    )
+                with tracer.span("battery"):
+                    battery_deaths = self._drain_batteries()
+                with tracer.span("rebuild"):
+                    topology, events, reruns, iterations, messages = self._reconcile(
+                        epoch
+                    )
+                with tracer.span("measure"):
+                    metrics = self._measure(
+                        epoch,
+                        topology,
+                        joined=joined,
+                        crashed=churn_crashed + random_crashed + battery_deaths,
+                        battery_deaths=battery_deaths,
+                        events_applied=events,
+                        reruns=reruns,
+                        sync_iterations=iterations,
+                        messages_sent=messages,
+                    )
+                # Traffic runs last so the topology metrics above describe
+                # the graph the packets actually crossed; traffic-induced
+                # battery deaths and energy show up from the next epoch's
+                # figures on.
+                with tracer.span("traffic"):
+                    traffic_report = self._run_traffic(epoch, topology)
             if traffic_report is not None:
                 metrics = dataclasses.replace(metrics, traffic=traffic_report)
-            if self.profile:
+            if profiler is not None:
+                durations = profiler.durations()
                 metrics = dataclasses.replace(
                     metrics,
                     phase_seconds={
-                        "churn": t_churn - epoch_start,
-                        "mobility": t_mobility - t_churn,
-                        "failures": t_failures - t_mobility,
-                        "battery": t_battery - t_failures,
-                        "rebuild": t_rebuild - t_battery,
-                        "measure": t_measure - t_rebuild,
-                        "traffic": t_traffic - t_measure,
-                        "total": t_traffic - epoch_start,
+                        "churn": durations.get("churn", 0.0),
+                        "mobility": durations.get("mobility", 0.0),
+                        "failures": durations.get("failures", 0.0),
+                        "battery": durations.get("battery", 0.0),
+                        "rebuild": durations.get("rebuild", 0.0),
+                        "measure": durations.get("measure", 0.0),
+                        "traffic": durations.get("traffic", 0.0),
+                        "total": durations.get("epoch", 0.0),
                     },
                 )
             result.epochs.append(metrics)

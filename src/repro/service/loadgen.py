@@ -25,11 +25,12 @@ report so its JSON stays a metrics artifact.
 from __future__ import annotations
 
 import asyncio
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.io.results import results_to_json
+from repro.obs import clock
+from repro.obs.metrics import histogram_delta, hit_rate
 from repro.scenarios.catalogue import get_scenario
 from repro.service import protocol
 from repro.service.client import ServiceClient, ServiceError
@@ -183,6 +184,10 @@ class LoadReport:
     op_counts: Dict[str, int] = field(default_factory=dict)
     op_p95_ms: Dict[str, float] = field(default_factory=dict)
     server_stats: Optional[Dict[str, Any]] = None
+    #: Observability sourced from the ``metrics`` op: per-shard qps over the
+    #: timed phase, dispatch batch-size distribution, cache hit rates and
+    #: queue-wait percentiles, plus the full merged registry summary.
+    metrics: Optional[Dict[str, Any]] = None
 
     def as_text(self) -> str:
         """Human-readable summary for the CLI."""
@@ -210,6 +215,27 @@ class LoadReport:
                     f"recovered, {self.server_stats.get('worker_restarts', 0)} worker "
                     f"restarts"
                 )
+        if self.metrics is not None:
+            qps = ", ".join(f"{q:.1f}" for q in self.metrics["per_shard_qps"])
+            lines.append(f"shard qps: [{qps}]")
+            batch = self.metrics["batch_size"]
+            lines.append(
+                f"batch size: mean {batch['mean']:.2f}, p95 {batch['p95']:.0f}, "
+                f"max {batch['max']:.0f}"
+            )
+            wait = self.metrics["queue_wait_ms"]
+            lines.append(
+                f"queue wait: p50 {wait['p50']:.2f} ms, p95 {wait['p95']:.2f} ms, "
+                f"p99 {wait['p99']:.2f} ms"
+            )
+            rates = self.metrics["cache_hit_rates"]
+            lines.append(
+                "cache hit rates: "
+                + ", ".join(
+                    f"{name} {rate:.0%}" if rate is not None else f"{name} n/a"
+                    for name, rate in sorted(rates.items())
+                )
+            )
         return "\n".join(lines)
 
 
@@ -236,12 +262,12 @@ async def run_load_async(
 
     async def issue(client: ServiceClient, request: Dict[str, Any], timed: bool) -> None:
         nonlocal errors
-        start = time.perf_counter()
+        start = clock.wall()
         response = await client.request(
             request["op"], world=request.get("world"), params=request.get("params")
         )
         if timed:
-            latencies.append((request["op"], time.perf_counter() - start))
+            latencies.append((request["op"], clock.wall() - start))
         if not response.get("ok"):
             errors += 1
         elif request["op"] == protocol.SNAPSHOT:
@@ -268,9 +294,9 @@ async def run_load_async(
             clients.append(await ServiceClient.connect(host, port) if assigned else None)
         # Phase 1 — provisioning: every world is created (and primed) before
         # the clock starts; serving benchmarks measure serving, not setup.
-        setup_started = time.perf_counter()
+        setup_started = clock.wall()
         await asyncio.gather(*(setup(c, a) for c, a in zip(clients, assignments)))
-        setup_seconds = time.perf_counter() - setup_started
+        setup_seconds = clock.wall() - setup_started
         if errors:
             # Creation failures (typically: the server still hosts worlds
             # from a previous load run) would skew every later request and
@@ -281,10 +307,13 @@ async def run_load_async(
                 f"likely still hosts worlds from a previous run — restart it (or "
                 f"shut it down with 'cbtc load --shutdown') before loading again"
             )
+        # The metrics snapshot bracketing the timed phase turns cumulative
+        # per-shard request counters into per-shard qps for this run.
+        metrics_before = await _fetch_metrics(host, port)
         # Phase 2 — the timed steady-state workload.
-        started = time.perf_counter()
+        started = clock.wall()
         await asyncio.gather(*(drive(c, a) for c, a in zip(clients, assignments)))
-        elapsed = time.perf_counter() - started
+        elapsed = clock.wall() - started
     finally:
         for client in clients:
             if client is not None:
@@ -293,6 +322,7 @@ async def run_load_async(
     stats_client = await ServiceClient.connect(host, port)
     try:
         server_stats = await stats_client.call(protocol.SERVER_STATS)
+        metrics_after = await stats_client.call(protocol.METRICS)
     finally:
         await stats_client.close()
 
@@ -317,8 +347,81 @@ async def run_load_async(
         op_counts=op_counts,
         op_p95_ms={op: _percentile(values, 0.95) * 1000.0 for op, values in op_latencies.items()},
         server_stats=server_stats,
+        metrics=_metrics_report(metrics_before, metrics_after, elapsed),
     )
     return report, snapshots
+
+
+async def _fetch_metrics(host: str, port: int) -> Dict[str, Any]:
+    """One ``metrics`` op round trip on a dedicated connection."""
+    client = await ServiceClient.connect(host, port)
+    try:
+        return await client.call(protocol.METRICS)
+    finally:
+        await client.close()
+
+
+def _metrics_report(
+    before: Dict[str, Any], after: Dict[str, Any], elapsed: float
+) -> Dict[str, Any]:
+    """Condense two ``metrics`` snapshots into the load report's view.
+
+    Counters and latency histograms are *differenced* across the timed
+    window (setup traffic and earlier runs drop out); cache hit rates are
+    reported cumulatively — they describe the server's caches, not this
+    run's window.
+    """
+
+    per_shard_qps: List[float] = []
+    shards_before = before.get("shards", [])
+    for index, snap in enumerate(after.get("shards", [])):
+        current = (snap or {}).get("counters", {}).get("host.requests", 0)
+        previous = 0
+        if index < len(shards_before) and shards_before[index] is not None:
+            previous = shards_before[index].get("counters", {}).get("host.requests", 0)
+        per_shard_qps.append((current - previous) / elapsed if elapsed > 0 else 0.0)
+
+    merged_after = after.get("merged", {})
+    merged_before = before.get("merged", {})
+
+    def windowed(name: str):
+        payload = merged_after.get("histograms", {}).get(name)
+        if payload is None:
+            return None
+        return histogram_delta(payload, merged_before.get("histograms", {}).get(name))
+
+    batch = windowed("server.batch_size")
+    wait = windowed("server.queue_wait_seconds")
+    counters = merged_after.get("counters", {})
+
+    def rate(prefix: str) -> Optional[float]:
+        return hit_rate(
+            counters.get(f"{prefix}.hits", 0), counters.get(f"{prefix}.misses", 0)
+        )
+
+    return {
+        "per_shard_qps": per_shard_qps,
+        "batch_size": {
+            "count": batch.count if batch else 0,
+            "mean": (batch.mean if batch else None) or 0.0,
+            "p50": (batch.percentile(0.50) if batch else None) or 0.0,
+            "p95": (batch.percentile(0.95) if batch else None) or 0.0,
+            "max": (batch.max if batch else None) or 0.0,
+            "bounds": list(batch.bounds) if batch else [],
+            "counts": list(batch.counts) if batch else [],
+        },
+        "queue_wait_ms": {
+            "p50": ((wait.percentile(0.50) if wait else None) or 0.0) * 1000.0,
+            "p95": ((wait.percentile(0.95) if wait else None) or 0.0) * 1000.0,
+            "p99": ((wait.percentile(0.99) if wait else None) or 0.0) * 1000.0,
+        },
+        "cache_hit_rates": {
+            "snapshot_cache": rate("cache.snapshot"),
+            "route_cache": rate("cache.route"),
+            "derived_cache": rate("cache.derived"),
+        },
+        "registry": merged_after,
+    }
 
 
 def run_load(host: str, port: int, config: LoadConfig) -> Tuple[LoadReport, Dict[str, str]]:

@@ -55,13 +55,22 @@ SNAPSHOT = "snapshot"
 CACHE_STATS = "cache_stats"
 #: Drop a world from its shard — a write.
 DELETE_WORLD = "delete_world"
+#: One shard's metrics-registry snapshot (an internal op: the front end
+#: fans it to every shard when serving :data:`METRICS`; the ``world`` field
+#: only satisfies the envelope and plays no routing role).
+SHARD_METRICS = "shard_metrics"
 
 #: Front-end liveness probe.
 PING = "ping"
 #: Worlds the front end has seen created, with their shard assignment.
 LIST_WORLDS = "list_worlds"
-#: Request/batch counters of the front end.
+#: Request/batch counters of the front end.  Deprecated in favour of
+#: :data:`METRICS`, which carries every counter this op carries and more;
+#: kept for wire compatibility.
 SERVER_STATS = "server_stats"
+#: Merged fleet metrics: per-shard registry snapshots plus the front end's
+#: own, with canonical histogram percentiles.
+METRICS = "metrics"
 #: Orderly server shutdown (responds, then stops accepting).
 SHUTDOWN = "shutdown"
 
@@ -77,11 +86,12 @@ WORLD_OPS = frozenset(
         SNAPSHOT,
         CACHE_STATS,
         DELETE_WORLD,
+        SHARD_METRICS,
     }
 )
 
 #: Ops answered by the asyncio front end without touching any shard.
-FRONTEND_OPS = frozenset({PING, LIST_WORLDS, SERVER_STATS, SHUTDOWN})
+FRONTEND_OPS = frozenset({PING, LIST_WORLDS, SERVER_STATS, METRICS, SHUTDOWN})
 
 #: World ops that only read state (their responses are snapshot-cacheable).
 READ_OPS = frozenset({QUERY_STATS, QUERY_ROUTE, RUN_TRAFFIC, SNAPSHOT})

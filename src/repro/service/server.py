@@ -2,7 +2,7 @@
 
 :class:`FleetServer` accepts newline-delimited JSON requests over TCP,
 answers front-end ops (``ping``, ``list_worlds``, ``server_stats``,
-``shutdown``) directly, and routes every world-addressed op to the shard
+``metrics``, ``shutdown``) directly, and routes every world-addressed op to the shard
 owning that world (consistent hashing, :class:`~repro.service.sharding.
 HashRing`).
 
@@ -45,6 +45,13 @@ import asyncio
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
+from repro.obs import clock
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    MetricsRegistry,
+    merge_snapshots,
+    summarize_snapshot,
+)
 from repro.service import protocol
 from repro.service.sharding import HashRing
 from repro.service.storage import StoreConfig, scan_world_ids
@@ -87,9 +94,15 @@ class FleetServer:
         self.batches_dispatched = 0
         self.max_batch_size = 0
         self.shard_requests = [0] * shards
+        # Front-end registry: dispatch-side latency histograms plus the
+        # counters that ``server_stats`` used to be the only home of.
+        self.metrics = MetricsRegistry()
+        self._started_wall = clock.wall()
         self._pool: Optional[Any] = None
         self._server: Optional[asyncio.AbstractServer] = None
-        self._pending: List[Deque[Tuple[Dict[str, Any], asyncio.Future]]] = [
+        # Each pending entry is (request, response future, enqueue wall time);
+        # the timestamp feeds the queue-wait histogram at dispatch.
+        self._pending: List[Deque[Tuple[Dict[str, Any], asyncio.Future, float]]] = [
             deque() for _ in range(shards)
         ]
         self._wakeups: List[asyncio.Event] = []
@@ -170,11 +183,20 @@ class FleetServer:
             while pending:
                 batch = list(pending)
                 pending.clear()
-                requests = [request for request, _ in batch]
-                futures = [future for _, future in batch]
+                requests = [request for request, _, _ in batch]
+                futures = [future for _, future, _ in batch]
                 self.batches_dispatched += 1
                 self.max_batch_size = max(self.max_batch_size, len(requests))
                 self.shard_requests[shard] += len(requests)
+                now = clock.wall()
+                queue_wait = self.metrics.histogram("server.queue_wait_seconds")
+                for _, _, enqueued in batch:
+                    queue_wait.observe(now - enqueued)
+                self.metrics.histogram("server.batch_size", COUNT_BUCKETS).observe(
+                    len(requests)
+                )
+                self.metrics.counter("server.requests").inc(len(requests))
+                self.metrics.counter(f"server.shard.{shard}.requests").inc(len(requests))
                 # Process-backed pools block on a queue round trip, so they
                 # run in the default executor and the event loop keeps
                 # reading other connections — that concurrency is what lets
@@ -189,16 +211,25 @@ class FleetServer:
                     responses = await loop.run_in_executor(
                         None, self._pool.execute, shard, requests
                     )
+                self.metrics.histogram("server.execute_seconds").observe(
+                    clock.wall() - now
+                )
                 for future, response in zip(futures, responses):
                     if not future.done():
                         future.set_result(response)
 
     async def _submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
         shard = self.ring.shard_of(request["world"])
+        return await self._submit_to_shard(shard, request)
+
+    def _enqueue(self, shard: int, request: Dict[str, Any]) -> asyncio.Future:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._pending[shard].append((request, future))
+        self._pending[shard].append((request, future, clock.wall()))
         self._wakeups[shard].set()
-        return await future
+        return future
+
+    async def _submit_to_shard(self, shard: int, request: Dict[str, Any]) -> Dict[str, Any]:
+        return await self._enqueue(shard, request)
 
     # ------------------------------------------------------------------ #
     # Connection handling
@@ -244,6 +275,8 @@ class FleetServer:
             return protocol.error_response(request_id, problem)
         self.requests_received += 1
         op = request["op"]
+        if op == protocol.METRICS:
+            return await self._serve_metrics(request_id)
         if op in protocol.FRONTEND_OPS:
             return self._serve_frontend(op, request_id)
         response = await self._submit(request)
@@ -271,8 +304,74 @@ class FleetServer:
         self._stopping.set()
         return protocol.ok_response(request_id, {"stopping": True})
 
+    async def _serve_metrics(self, request_id: Any) -> Dict[str, Any]:
+        """The ``metrics`` op: fan ``shard_metrics`` to every shard, merge.
+
+        The probes ride the normal batching path (same queues, same
+        dispatchers) so ordering guarantees hold; the ``world`` field is
+        synthetic because the op is shard-addressed, not world-addressed.
+        """
+        futures = [
+            self._enqueue(
+                shard,
+                {"op": protocol.SHARD_METRICS, "world": f"@shard:{shard}", "id": None},
+            )
+            for shard in range(self.shards)
+        ]
+        responses = await asyncio.gather(*futures)
+        shard_snapshots: List[Optional[Dict[str, Any]]] = [
+            response.get("result") if response.get("ok") else None
+            for response in responses
+        ]
+        frontend = self._frontend_snapshot()
+        merged = merge_snapshots([frontend] + [s for s in shard_snapshots if s])
+        return protocol.ok_response(
+            request_id,
+            {
+                "shards": [
+                    summarize_snapshot(s) if s is not None else None
+                    for s in shard_snapshots
+                ],
+                "frontend": summarize_snapshot(frontend),
+                "merged": summarize_snapshot(merged),
+            },
+        )
+
+    def _frontend_snapshot(self) -> Dict[str, Any]:
+        """The front end's own registry snapshot, durability gauges refreshed."""
+        self._refresh_durability_metrics()
+        self.metrics.gauge("server.uptime_seconds").set(
+            clock.wall() - self._started_wall
+        )
+        self.metrics.gauge("server.worlds").set(len(self._worlds))
+        return self.metrics.snapshot(
+            extra_counters={"server.requests_received": self.requests_received}
+        )
+
+    def _refresh_durability_metrics(self) -> None:
+        """Fold the pool's durability counters into the registry.
+
+        The registry is the canonical home of these counters; the deprecated
+        ``server_stats`` dict reads them back from here so both paths can
+        never disagree.
+        """
+        restarts = self.metrics.gauge("service.worker_restarts")
+        recovered = self.metrics.gauge("service.recovered_worlds")
+        if self._pool is not None and self.store_config is not None:
+            restarts.set(self._pool.worker_restarts)
+            recovered.set(self._pool.recovered_worlds())
+
     def stats(self) -> Dict[str, Any]:
-        """Front-end serving counters."""
+        """Front-end serving counters.
+
+        .. deprecated:: PR 8
+            ``server_stats`` predates the metrics registry; prefer the
+            ``metrics`` op, which carries these counters (and the latency
+            histograms this dict never had).  Kept for wire compatibility —
+            the durability counters are now *read back from the registry*
+            rather than from the pool directly.
+        """
+        self._refresh_durability_metrics()
         stats = {
             "shards": self.shards,
             "inline": self.inline,
@@ -285,8 +384,12 @@ class FleetServer:
             "shard_requests": list(self.shard_requests),
         }
         if self._pool is not None and self.store_config is not None:
-            stats["worker_restarts"] = self._pool.worker_restarts
-            stats["recovered_worlds"] = self._pool.recovered_worlds()
+            stats["worker_restarts"] = int(
+                self.metrics.gauge("service.worker_restarts").value
+            )
+            stats["recovered_worlds"] = int(
+                self.metrics.gauge("service.recovered_worlds").value
+            )
         return stats
 
 

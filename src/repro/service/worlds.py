@@ -54,6 +54,8 @@ from repro.io.graphs import graph_to_dict
 from repro.io.results import canonical_json
 from repro.net.network import Network
 from repro.net.node import Node, NodeId
+from repro.obs.metrics import COUNT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.trace import get_tracer, timed
 from repro.scenarios.catalogue import get_scenario
 from repro.scenarios.spec import DISTRIBUTED, ScenarioSpec
 from repro.sim.randomness import derive_seed
@@ -537,6 +539,10 @@ class WorldHost:
         self.store = store
         self.snapshot_every = snapshot_every
         self.max_live_worlds = max_live_worlds
+        # Telemetry-only registry for this host (= this shard).  WAL phase
+        # timings are observed as they happen; world/cache/pipeline counters
+        # are folded in on demand by :meth:`metrics_snapshot`.
+        self.metrics = MetricsRegistry()
         # LRU order: oldest-accessed first (move_to_end on every touch).
         self.worlds: "OrderedDict[str, World]" = OrderedDict()
         self.requests_executed = 0
@@ -697,17 +703,20 @@ class WorldHost:
         fork its history from the uninterrupted run.  The observable snapshot
         (periodic checkpoints only) is computed on a throwaway clone so even
         the snapshot's own refresh cannot touch the serving state."""
-        blob = pickle.dumps(world)
-        snapshot_json: Optional[str] = None
-        if observable:
-            clone: World = pickle.loads(blob)
-            try:
-                snapshot_json = canonical_json(clone.snapshot({}))
-            finally:
-                clone.close()
-        return Checkpoint(
-            seq=self._log_seq.get(world_id, 0), state=blob, snapshot_json=snapshot_json
-        )
+        with timed(
+            self.metrics.histogram("wal.checkpoint_seconds"), "wal.checkpoint"
+        ):
+            blob = pickle.dumps(world)
+            snapshot_json: Optional[str] = None
+            if observable:
+                clone: World = pickle.loads(blob)
+                try:
+                    snapshot_json = canonical_json(clone.snapshot({}))
+                finally:
+                    clone.close()
+            return Checkpoint(
+                seq=self._log_seq.get(world_id, 0), state=blob, snapshot_json=snapshot_json
+            )
 
     def _due_checkpoints(self) -> List[Tuple[str, Checkpoint]]:
         """Live worlds whose write count crossed the cadence since their
@@ -726,13 +735,16 @@ class WorldHost:
         if self.max_live_worlds is None or self.store is None:
             return
         while len(self.worlds) > self.max_live_worlds:
-            world_id, world = self.worlds.popitem(last=False)
-            self.store.save_checkpoint(
-                world_id, self._checkpoint(world_id, world, observable=False)
-            )
-            self._checkpointed_writes[world_id] = self._write_counts.get(world_id, 0)
-            self._evicted.add(world_id)
-            self.evictions += 1
+            with timed(
+                self.metrics.histogram("wal.eviction_seconds"), "wal.evict"
+            ):
+                world_id, world = self.worlds.popitem(last=False)
+                self.store.save_checkpoint(
+                    world_id, self._checkpoint(world_id, world, observable=False)
+                )
+                self._checkpointed_writes[world_id] = self._write_counts.get(world_id, 0)
+                self._evicted.add(world_id)
+                self.evictions += 1
             # The whole object graph is dropped, not closed: the evicted
             # pickle must keep its listener hooks so the rehydrated clone
             # wakes up with them intact.
@@ -751,27 +763,35 @@ class WorldHost:
         """
         if self.store is None:
             raise RuntimeError("recover() needs a store")
-        self._use_checkpoints = use_checkpoints
-        counts = self.store.world_counts()
-        self._batch_seq, self._last_batch_responses = self.store.last_batch()
-        for world_id, (records, writes) in counts.items():
-            self._log_seq[world_id] = records
-            self._write_counts[world_id] = writes
-            self._checkpointed_writes[world_id] = writes
-            self._evicted.add(world_id)
-        if eager:
-            for world_id in sorted(counts):
-                if self.max_live_worlds is not None and len(self.worlds) >= self.max_live_worlds:
-                    break
-                self._rehydrate(world_id)
-        self.recovered_worlds = len(counts)
-        return self.recovered_worlds
+        with timed(self.metrics.histogram("wal.recovery_seconds"), "wal.recover"):
+            self._use_checkpoints = use_checkpoints
+            counts = self.store.world_counts()
+            self._batch_seq, self._last_batch_responses = self.store.last_batch()
+            for world_id, (records, writes) in counts.items():
+                self._log_seq[world_id] = records
+                self._write_counts[world_id] = writes
+                self._checkpointed_writes[world_id] = writes
+                self._evicted.add(world_id)
+            if eager:
+                for world_id in sorted(counts):
+                    if (
+                        self.max_live_worlds is not None
+                        and len(self.worlds) >= self.max_live_worlds
+                    ):
+                        break
+                    self._rehydrate(world_id)
+            self.recovered_worlds = len(counts)
+            return self.recovered_worlds
 
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
     # The per-op dispatch; every handler returns the response's ``result``.
     def _execute_world_op(self, op: str, world_id: str, params: Dict[str, Any]) -> Any:
+        if op == protocol.SHARD_METRICS:
+            # Not tied to any world: the front end fans one such request to
+            # every shard (with a synthetic world id) and merges the results.
+            return self.metrics_snapshot()
         if op == protocol.CREATE_WORLD:
             if world_id in self.worlds or world_id in self._evicted:
                 raise RequestError(f"world {world_id!r} already exists")
@@ -830,7 +850,10 @@ class WorldHost:
         op = request["op"]
         if op not in protocol.WORLD_OPS:
             return protocol.error_response(request_id, f"op {op!r} is not served by shards")
-        self.requests_executed += 1
+        if op != protocol.SHARD_METRICS:
+            # Metrics probes are excluded so qps derived from this counter
+            # reflects the workload, not the observer.
+            self.requests_executed += 1
         try:
             result = self._execute_world_op(op, request["world"], request.get("params", {}))
         except RequestError as error:
@@ -862,8 +885,10 @@ class WorldHost:
         is answered from the stored responses without executing anything —
         the exactly-once half of crash recovery.
         """
+        self.metrics.histogram("host.batch_size", COUNT_BUCKETS).observe(len(requests))
         if not self._logging_enabled():
-            return [self._execute_request(request) for request in requests]
+            with get_tracer().span("host.batch", size=len(requests)):
+                return [self._execute_request(request) for request in requests]
         assert self.store is not None
         seq = self._batch_seq + 1 if batch_seq is None else batch_seq
         if seq <= self._batch_seq:
@@ -873,10 +898,12 @@ class WorldHost:
                 f"batch {seq} was already committed (at {self._batch_seq}) and its "
                 f"responses are no longer retained"
             )
-        responses = [self._execute_request(request) for request in requests]
-        self.store.commit_batch(
-            seq, self._staged, responses, self._due_checkpoints(), self._staged_purges
-        )
+        with get_tracer().span("host.batch", size=len(requests)):
+            responses = [self._execute_request(request) for request in requests]
+        with timed(self.metrics.histogram("wal.commit_seconds"), "wal.commit"):
+            self.store.commit_batch(
+                seq, self._staged, responses, self._due_checkpoints(), self._staged_purges
+            )
         self._batch_seq = seq
         self._last_batch_responses = copy.deepcopy(responses)
         self._staged = []
@@ -895,6 +922,65 @@ class WorldHost:
     def world_ids(self) -> List[str]:
         """Every hosted world, live or evicted."""
         return sorted(set(self.worlds) | self._evicted)
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """This shard's registry snapshot with live-world counters folded in.
+
+        Cache/pipeline counters live on the world objects themselves (plain
+        ints — the hot paths never touch a registry), so they are summed
+        here at observation time.  Evicted worlds carry their counters in
+        their pickles and drop out of the totals until rehydrated; the
+        counters are telemetry, not durable state.
+        """
+        folded: Dict[str, float] = {
+            "host.requests": self.requests_executed,
+            "host.recovered_worlds": self.recovered_worlds,
+            "host.evictions": self.evictions,
+            "host.rehydrations": self.rehydrations,
+        }
+        sums = {
+            "cache.snapshot.hits": 0,
+            "cache.snapshot.misses": 0,
+            "cache.route.hits": 0,
+            "cache.route.misses": 0,
+            "cache.derived.hits": 0,
+            "cache.derived.misses": 0,
+            "spatial.neighbor_queries": 0,
+            "spatial.pair_queries": 0,
+            "topology.full_builds": 0,
+            "topology.incremental_updates": 0,
+            "topology.memo_hits": 0,
+            "topology.rebuild_fallbacks": 0,
+            "world.writes": 0,
+        }
+        dirty_hist = Histogram(COUNT_BUCKETS)
+        for world in self.worlds.values():
+            sums["cache.snapshot.hits"] += world.cache_hits
+            sums["cache.snapshot.misses"] += world.cache_misses
+            if world._route_cache is not None:
+                sums["cache.route.hits"] += world._route_cache.hits
+                sums["cache.route.misses"] += world._route_cache.misses
+            derived = world.network.derived_cache
+            sums["cache.derived.hits"] += derived.hits
+            sums["cache.derived.misses"] += derived.misses
+            neighbor_queries, pair_queries = world.network.spatial_query_counts()
+            sums["spatial.neighbor_queries"] += neighbor_queries
+            sums["spatial.pair_queries"] += pair_queries
+            sums["topology.full_builds"] += world.manager.topology_builds
+            sums["topology.incremental_updates"] += world.manager.incremental_updates
+            sums["topology.memo_hits"] += world.manager.memo_hits
+            sums["topology.rebuild_fallbacks"] += world.manager.rebuild_fallbacks
+            sums["world.writes"] += world.writes_applied
+            dirty_hist.merge(world.manager.dirty_size_histogram())
+        folded.update(sums)
+        self.metrics.gauge("host.live_worlds").set(len(self.worlds))
+        self.metrics.gauge("host.evicted_worlds").set(len(self._evicted))
+        snapshot = self.metrics.snapshot(extra_counters=folded)
+        if dirty_hist.count:
+            histograms = dict(snapshot["histograms"])
+            histograms["topology.dirty_set_size"] = dirty_hist.to_dict()
+            snapshot["histograms"] = dict(sorted(histograms.items()))
+        return snapshot
 
     def close(self, *, flush: bool = True) -> None:
         """Release every hosted world's notification hooks.

@@ -72,7 +72,11 @@ class TestEngineErrors:
                 return sum(powers.values())
             """
         )
-        assert {f.rule_id for f in report.findings} == {"det-wall-clock", "det-float-sum-order"}
+        assert {f.rule_id for f in report.findings} == {
+            "det-wall-clock",
+            "det-float-sum-order",
+            "obs-raw-clock",
+        }
         assert report.findings == sorted(report.findings)
 
 

@@ -200,21 +200,30 @@ class TestWallClock:
         """
 
     def test_positive_inside_sim_scope(self, lint_rules):
-        assert lint_rules(self.SOURCE, rel="src/repro/sim/example.py") == ["det-wall-clock"]
+        # The stricter observability rule covers the whole tree, so a raw
+        # clock read in a determinism scope is flagged by both packs.
+        assert sorted(lint_rules(self.SOURCE, rel="src/repro/sim/example.py")) == [
+            "det-wall-clock",
+            "obs-raw-clock",
+        ]
 
     def test_positive_from_import(self, lint_rules):
-        assert lint_rules(
-            """
-            from time import perf_counter
+        assert sorted(
+            lint_rules(
+                """
+                from time import perf_counter
 
-            def stamp():
-                return perf_counter()
-            """,
-            rel="src/repro/scenarios/example.py",
-        ) == ["det-wall-clock"]
+                def stamp():
+                    return perf_counter()
+                """,
+                rel="src/repro/scenarios/example.py",
+            )
+        ) == ["det-wall-clock", "obs-raw-clock"]
 
     def test_negative_outside_scope(self, lint_rules):
-        assert lint_rules(self.SOURCE, rel="src/repro/io/example.py") == []
+        # Outside the determinism scopes only the obs-layer rule fires.
+        assert lint_rules(self.SOURCE, rel="src/repro/io/example.py") == ["obs-raw-clock"]
+        assert lint_rules(self.SOURCE, rel="tools/example.py") == []
 
     def test_negative_simulated_clock(self, lint_rules):
         assert lint_rules(
@@ -333,4 +342,54 @@ class TestNodeAttrWrite:
                 node.position = point
             """,
             rel="src/repro/net/node.py",
+        ) == []
+
+
+class TestRawClock:
+    def test_positive_raw_clock_outside_determinism_scopes(self, lint_rules):
+        # repro/experiments is outside det-wall-clock's scopes, so only the
+        # observability rule fires: all timing must route through repro.obs.
+        assert lint_rules(
+            """
+            import time
+
+            def stamp():
+                return time.perf_counter()
+            """,
+            rel="src/repro/experiments/example.py",
+        ) == ["obs-raw-clock"]
+
+    def test_positive_doubles_with_det_rule_in_sim_scope(self, lint_rules):
+        assert sorted(
+            lint_rules(
+                """
+                import time
+
+                def stamp():
+                    return time.time()
+                """,
+                rel="src/repro/sim/example.py",
+            )
+        ) == ["det-wall-clock", "obs-raw-clock"]
+
+    def test_negative_clock_module_is_exempt(self, lint_rules):
+        assert lint_rules(
+            """
+            import time
+
+            def wall():
+                return time.perf_counter()
+            """,
+            rel="src/repro/obs/clock.py",
+        ) == []
+
+    def test_negative_obs_clock_wrapper_usage(self, lint_rules):
+        assert lint_rules(
+            """
+            from repro.obs import clock
+
+            def stamp():
+                return clock.wall()
+            """,
+            rel="src/repro/experiments/example.py",
         ) == []

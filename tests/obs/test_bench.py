@@ -1,0 +1,93 @@
+"""The bench trajectory: diff semantics and one real (tiny) measurement."""
+
+import pytest
+
+from repro.obs import bench
+
+
+def _report(cells, area="topology"):
+    return {
+        "version": bench.BENCH_VERSION,
+        "area": area,
+        "reference_cell": bench.REFERENCE_CELL,
+        "reference_seconds_hint": 0.01,
+        "repeats": 3,
+        "cells": {
+            name: {"ratio": ratio, "seconds_hint": ratio * 0.01}
+            for name, ratio in cells.items()
+        },
+    }
+
+
+class TestDiff:
+    def test_identical_reports_have_no_regressions(self):
+        report = _report({"a": 4.0, "b": 10.0})
+        assert bench.diff_reports(report, report, tolerance=0.0) == []
+
+    def test_within_tolerance_passes(self):
+        baseline = _report({"a": 4.0})
+        current = _report({"a": 5.9})
+        assert bench.diff_reports(baseline, current, tolerance=0.5) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        baseline = _report({"a": 4.0})
+        current = _report({"a": 6.1})
+        regressions = bench.diff_reports(baseline, current, tolerance=0.5)
+        assert [r["cell"] for r in regressions] == ["a"]
+        assert regressions[0]["kind"] == "slower"
+        assert regressions[0]["limit"] == 6.0
+
+    def test_missing_cell_is_a_regression(self):
+        baseline = _report({"a": 4.0, "b": 10.0})
+        current = _report({"a": 4.0})
+        regressions = bench.diff_reports(baseline, current, tolerance=1.0)
+        assert [(r["cell"], r["kind"]) for r in regressions] == [("b", "missing")]
+
+    def test_new_cell_is_not_a_regression(self):
+        baseline = _report({"a": 4.0})
+        current = _report({"a": 4.0, "new": 99.0})
+        assert bench.diff_reports(baseline, current, tolerance=0.0) == []
+
+    def test_improvements_pass_any_tolerance(self):
+        baseline = _report({"a": 4.0})
+        current = _report({"a": 0.5})
+        assert bench.diff_reports(baseline, current, tolerance=0.0) == []
+
+    def test_negative_tolerance_rejected(self):
+        report = _report({"a": 1.0})
+        with pytest.raises(ValueError):
+            bench.diff_reports(report, report, tolerance=-0.1)
+
+    def test_seconds_hint_is_never_compared(self):
+        baseline = _report({"a": 4.0})
+        current = _report({"a": 4.0})
+        current["cells"]["a"]["seconds_hint"] = 1e9  # different machine
+        assert bench.diff_reports(baseline, current, tolerance=0.0) == []
+
+
+class TestAreas:
+    def test_area_names_and_paths(self):
+        names = bench.area_names()
+        assert "topology" in names and "service" in names
+        assert bench.bench_path("topology") == "BENCH_topology.json"
+
+    def test_unknown_area_raises(self):
+        with pytest.raises(KeyError, match="unknown bench area"):
+            bench.run_area("nonsense")
+
+    def test_run_area_produces_normalized_report(self):
+        report = bench.run_area("service", repeats=1)
+        assert report["version"] == bench.BENCH_VERSION
+        assert report["area"] == "service"
+        assert report["reference_cell"] == bench.REFERENCE_CELL
+        assert report["reference_seconds_hint"] > 0
+        for entry in report["cells"].values():
+            assert entry["ratio"] > 0
+            assert entry["seconds_hint"] > 0
+        # A fresh measurement diffs clean against itself.
+        assert bench.diff_reports(report, report, tolerance=0.0) == []
+
+    def test_format_report_renders_every_cell(self):
+        report = _report({"a": 4.0, "b": 10.0})
+        rendered = bench.format_report(report)
+        assert "a" in rendered and "b" in rendered and "reference" in rendered

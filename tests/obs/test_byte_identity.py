@@ -1,0 +1,62 @@
+"""Instrumentation must be invisible: byte-identity with tracing enabled.
+
+The whole observability layer rides on one promise — spans and metrics are
+telemetry only, never inputs.  These batteries run the repo's canonical
+determinism comparisons twice, with a recording tracer installed and
+without, and require literally identical output bytes.
+"""
+
+from repro.io.results import results_to_json
+from repro.obs.trace import RecordingTracer, use_tracer
+from repro.scenarios import get_scenario
+from repro.scenarios.runner import run_scenario
+from repro.service.loadgen import LoadConfig, build_trace, flatten_trace
+from repro.service.replay import replay_serial, replay_sharded
+
+
+def _trace():
+    config = LoadConfig(
+        worlds=4, requests_per_world=6, nodes=30, mover_fraction=0.1, seed=3
+    )
+    return flatten_trace(build_trace(config))
+
+
+class TestServiceByteIdentity:
+    def test_serial_replay_identical_with_tracing(self):
+        trace = _trace()
+        baseline = replay_serial(trace)
+        tracer = RecordingTracer()
+        with use_tracer(tracer):
+            traced = replay_serial(trace)
+        assert traced == baseline
+        # The comparison is only meaningful if spans actually recorded.
+        assert tracer.spans
+
+    def test_sharded_replay_identical_with_tracing(self):
+        trace = _trace()
+        baseline = replay_sharded(trace, shards=4)
+        with use_tracer(RecordingTracer()):
+            traced = replay_sharded(trace, shards=4)
+        assert traced == baseline
+
+
+class TestScenarioByteIdentity:
+    def test_scenario_run_identical_with_tracing(self):
+        spec = get_scenario("random-waypoint-drift").scaled(node_count=40, epochs=2)
+        baseline = results_to_json(run_scenario(spec, 1))
+        tracer = RecordingTracer()
+        with use_tracer(tracer):
+            traced = results_to_json(run_scenario(spec, 1))
+        assert traced == baseline
+        assert tracer.spans
+
+    def test_profiled_run_matches_modulo_phase_seconds(self):
+        spec = get_scenario("random-waypoint-drift").scaled(node_count=40, epochs=2)
+        plain = run_scenario(spec, 1)
+        profiled = run_scenario(spec, 1, profile=True)
+        for bare, timed in zip(plain.epochs, profiled.epochs):
+            assert timed.phase_seconds is not None
+            # Everything except the timings is unaffected by profiling.
+            import dataclasses
+
+            assert dataclasses.replace(timed, phase_seconds=None) == bare

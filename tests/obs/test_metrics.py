@@ -1,0 +1,192 @@
+"""The metrics registry: merge algebra, canonical serialization, percentiles."""
+
+import json
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.results import canonical_json
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    SECONDS_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    hit_rate,
+    histogram_delta,
+    merge_snapshots,
+    summarize_snapshot,
+)
+
+observations = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    max_size=40,
+)
+
+
+def _observe_all(values, bounds=SECONDS_BUCKETS):
+    hist = Histogram(bounds)
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+class TestHistogramAlgebra:
+    @given(observations, observations, observations)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_associative_and_order_independent(self, a, b, c):
+        left = _observe_all(a)
+        left.merge(_observe_all(b))
+        left.merge(_observe_all(c))
+
+        inner = _observe_all(b)
+        inner.merge(_observe_all(c))
+        right = _observe_all(a)
+        right.merge(inner)
+
+        reversed_order = _observe_all(c)
+        reversed_order.merge(_observe_all(b))
+        reversed_order.merge(_observe_all(a))
+
+        combined = _observe_all(a + b + c)
+        reference = left.to_dict()
+        for other in (right, reversed_order, combined):
+            payload = other.to_dict()
+            # Float addition is commutative but not associative in the last
+            # ulp, so the running total is compared to tolerance; counts,
+            # bounds and extrema — everything percentiles derive from — are
+            # exact in every merge order.
+            total = payload.pop("sum")
+            assert math.isclose(total, reference["sum"], rel_tol=1e-9, abs_tol=1e-12)
+            assert payload == {k: v for k, v in reference.items() if k != "sum"}
+
+    @given(observations, observations)
+    @settings(max_examples=60, deadline=None)
+    def test_percentiles_are_merge_order_independent(self, a, b):
+        forward = _observe_all(a)
+        forward.merge(_observe_all(b))
+        backward = _observe_all(b)
+        backward.merge(_observe_all(a))
+        for fraction in (0.5, 0.95, 0.99):
+            assert forward.percentile(fraction) == backward.percentile(fraction)
+
+    @given(observations)
+    @settings(max_examples=60, deadline=None)
+    def test_percentile_is_clamped_to_observed_range(self, values):
+        hist = _observe_all(values)
+        if not values:
+            assert hist.percentile(0.5) is None
+            return
+        for fraction in (0.01, 0.5, 0.99):
+            p = hist.percentile(fraction)
+            assert min(values) <= p <= max(values)
+
+    def test_merge_rejects_different_bounds(self):
+        seconds = Histogram(SECONDS_BUCKETS)
+        counts = Histogram(COUNT_BUCKETS)
+        try:
+            seconds.merge(counts)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("merging differing bounds must fail")
+
+
+class TestCanonicalSerialization:
+    @given(observations)
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_is_byte_identical(self, values):
+        hist = _observe_all(values)
+        payload = hist.to_dict()
+        # The dict is pure JSON scalars: canonical encoding round-trips.
+        encoded = canonical_json(payload)
+        decoded = json.loads(encoded)
+        assert Histogram.from_dict(decoded).to_dict() == payload
+        assert canonical_json(decoded) == encoded
+
+    def test_no_infinities_in_snapshot(self):
+        registry = MetricsRegistry(source="test")
+        hist = registry.histogram("h")
+        hist.observe(1e12)  # past the last bound: lands in overflow bucket
+        encoded = canonical_json(registry.snapshot())
+        assert "Infinity" not in encoded and "NaN" not in encoded
+        assert sum(hist.counts) == 1 and hist.counts[-1] == 1
+
+
+class TestSnapshotMerge:
+    def _registry(self, source):
+        registry = MetricsRegistry(source=source)
+        registry.counter("requests").inc(3)
+        registry.gauge("live").set(2)
+        registry.histogram("latency").observe(0.001)
+        return registry
+
+    def test_duplicate_sources_are_deduplicated(self):
+        snap = self._registry("shard-0").snapshot()
+        merged = merge_snapshots([snap, snap, dict(snap)])
+        assert merged["sources"] == ["shard-0"]
+        assert merged["counters"]["requests"] == 3
+        assert merged["histograms"]["latency"]["count"] == 1
+
+    def test_distinct_sources_sum(self):
+        merged = merge_snapshots(
+            [self._registry("shard-0").snapshot(), self._registry("shard-1").snapshot()]
+        )
+        assert merged["sources"] == ["shard-0", "shard-1"]
+        assert merged["counters"]["requests"] == 6
+        assert merged["gauges"]["live"] == 4
+        assert merged["histograms"]["latency"]["count"] == 2
+
+    def test_merge_of_merges_preserves_sources(self):
+        first = merge_snapshots([self._registry("a").snapshot()])
+        second = merge_snapshots([self._registry("b").snapshot()])
+        merged = merge_snapshots([first, second])
+        assert merged["sources"] == ["a", "b"]
+        assert merged["counters"]["requests"] == 6
+
+    def test_none_entries_are_skipped(self):
+        merged = merge_snapshots([None, self._registry("a").snapshot(), None])
+        assert merged["counters"]["requests"] == 3
+
+    def test_summarize_attaches_percentiles(self):
+        summarized = summarize_snapshot(self._registry("a").snapshot())
+        latency = summarized["histograms"]["latency"]
+        assert latency["count"] == 1
+        for key in ("mean", "p50", "p95", "p99"):
+            assert latency[key] == 0.001
+
+
+class TestRegistry:
+    def test_redeclaring_histogram_bounds_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", SECONDS_BUCKETS)
+        try:
+            registry.histogram("h", COUNT_BUCKETS)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("bound redeclaration must fail")
+
+    def test_extra_counters_fold_into_snapshot(self):
+        registry = MetricsRegistry(source="s")
+        registry.counter("requests").inc(2)
+        snap = registry.snapshot({"requests": 5, "cache.hits": 7})
+        assert snap["counters"] == {"cache.hits": 7, "requests": 7}
+
+
+class TestWindows:
+    @given(observations, observations)
+    @settings(max_examples=60, deadline=None)
+    def test_delta_recovers_the_window(self, before_values, window_values):
+        hist = _observe_all(before_values)
+        before = hist.to_dict()
+        for value in window_values:
+            hist.observe(value)
+        delta = histogram_delta(hist.to_dict(), before)
+        expected = _observe_all(window_values)
+        assert delta.counts == expected.counts
+        assert delta.count == expected.count
+
+    def test_hit_rate(self):
+        assert hit_rate(0, 0) is None
+        assert hit_rate(3, 1) == 0.75

@@ -1,0 +1,98 @@
+"""Span tracing: null default, recording semantics, the timed() bridge."""
+
+from repro.obs.metrics import Histogram
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    get_tracer,
+    timed,
+    use_tracer,
+)
+
+
+class TestDefaults:
+    def test_default_tracer_is_null(self):
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_null_span_is_shared_and_inert(self):
+        span_a = NULL_TRACER.span("a", detail=1)
+        span_b = NULL_TRACER.span("b")
+        assert span_a is span_b
+        with span_a as inner:
+            inner.set_attr("ignored", True)
+
+
+class TestRecording:
+    def test_nesting_and_parentage(self):
+        tracer = RecordingTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner", step=1):
+                pass
+            with tracer.span("inner", step=2):
+                pass
+        names = [(span.name, span.parent) for span in tracer.spans]
+        # Children close before the parent; both point at the outer span.
+        assert names == [("inner", 0), ("inner", 0), ("outer", None)]
+        assert tracer.spans[0].attrs == {"step": 1}
+        assert all(span.wall_seconds >= 0 for span in tracer.spans)
+        assert all(span.cpu_seconds >= 0 for span in tracer.spans)
+
+    def test_durations_aggregate_by_name(self):
+        tracer = RecordingTracer()
+        with tracer.span("work"):
+            pass
+        with tracer.span("work"):
+            pass
+        durations = tracer.durations()
+        assert set(durations) == {"work"}
+        assert durations["work"] >= 0
+        assert set(tracer.cpu_durations()) == {"work"}
+
+    def test_reset_clears_everything(self):
+        tracer = RecordingTracer()
+        with tracer.span("work"):
+            pass
+        tracer.reset()
+        assert tracer.spans == []
+        with tracer.span("again"):
+            pass
+        assert tracer.spans[0].index == 0
+
+
+class TestInstallation:
+    def test_use_tracer_restores_previous(self):
+        tracer = RecordingTracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+            with use_tracer(None):
+                assert isinstance(get_tracer(), NullTracer)
+            assert get_tracer() is tracer
+        assert isinstance(get_tracer(), NullTracer)
+
+
+class TestTimed:
+    def test_histogram_observes_without_a_tracer(self):
+        hist = Histogram()
+        with timed(hist, "op"):
+            pass
+        assert hist.count == 1
+
+    def test_span_materializes_only_under_recording_tracer(self):
+        hist = Histogram()
+        tracer = RecordingTracer()
+        with use_tracer(tracer):
+            with timed(hist, "op", detail="x"):
+                pass
+        assert hist.count == 1
+        assert [span.name for span in tracer.spans] == ["op"]
+        assert tracer.spans[0].attrs == {"detail": "x"}
+
+    def test_histogram_observes_even_on_exception(self):
+        hist = Histogram()
+        try:
+            with timed(hist, "op"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert hist.count == 1
