@@ -58,7 +58,8 @@ from repro.io.results import write_json
 from repro.net.placement import PAPER_CONFIG, PlacementConfig
 from repro.scenarios import get_scenario, scenario_names
 from repro.service.loadgen import LoadConfig, resnapshot, run_load, verify_snapshots
-from repro.service.server import run_server
+from repro.service.client import DEFAULT_DEADLINE, DEFAULT_TIMEOUT
+from repro.service.server import DEFAULT_MAX_INFLIGHT, DEFAULT_MAX_PENDING, run_server
 from repro.service.worlds import DEFAULT_SCENARIO, DEFAULT_SNAPSHOT_EVERY
 from repro.traffic import (
     TOPOLOGIES,
@@ -279,6 +280,22 @@ def _serve(args: argparse.Namespace) -> int:
     if args.max_live_worlds is not None and args.state_dir is None:
         print("--max-live-worlds needs --state-dir to evict into", file=sys.stderr)
         return 1
+    if args.max_pending < 1:
+        print(f"--max-pending must be at least 1 (got {args.max_pending})", file=sys.stderr)
+        return 1
+    if args.max_inflight < 1:
+        print(f"--max-inflight must be at least 1 (got {args.max_inflight})", file=sys.stderr)
+        return 1
+    if args.faults is not None:
+        # Validate the plan before binding anything: a typo in a fault rule
+        # should fail the command, not a server already holding the port.
+        from repro.service.faults import FaultPlan
+
+        try:
+            FaultPlan.load(args.faults)
+        except (OSError, ValueError) as error:
+            print(f"cannot load fault plan {args.faults!r}: {error}", file=sys.stderr)
+            return 1
     try:
         return run_server(
             host=args.host,
@@ -289,6 +306,9 @@ def _serve(args: argparse.Namespace) -> int:
             state_dir=args.state_dir,
             snapshot_every=args.snapshot_every,
             max_live_worlds=args.max_live_worlds,
+            faults_path=args.faults,
+            max_pending=args.max_pending,
+            max_inflight=args.max_inflight,
         )
     except OSError as error:
         print(
@@ -326,6 +346,10 @@ def _load(args: argparse.Namespace) -> int:
             mover_fraction=args.mover_fraction,
             write_fraction=args.write_fraction,
             connections=args.connections,
+            request_timeout=args.timeout,
+            deadline=args.deadline,
+            max_attempts=args.max_attempts,
+            retry=not args.no_retry,
         )
     except ValueError as error:
         print(error, file=sys.stderr)
@@ -389,6 +413,45 @@ def _load(args: argparse.Namespace) -> int:
             )
             return 1
         print(f"snapshot verification passed: {report.worlds} worlds byte-identical to serial replay")
+    return 0
+
+
+def _resize(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import protocol
+    from repro.service.client import ServiceClient, ServiceError
+
+    if args.shards < 1:
+        print(f"--shards must be at least 1 (got {args.shards})", file=sys.stderr)
+        return 1
+
+    async def _request() -> dict:
+        client = await ServiceClient.connect(args.host, args.port)
+        try:
+            # A resize migrating many worlds takes longer than an ordinary
+            # request; give it a generous response window.
+            return await client.call(
+                protocol.RESIZE, params={"shards": args.shards}, timeout=300.0
+            )
+        finally:
+            await client.close()
+
+    try:
+        result = asyncio.run(_request())
+    except ServiceError as error:
+        print(f"resize failed: {error}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as error:
+        print(
+            f"cannot reach {args.host}:{args.port}: {error}; is 'cbtc serve' running?",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"resized to {result['shards']} shard(s): {result['moved']} world(s) migrated, "
+        f"{result['parked']} request(s) parked and replayed"
+    )
     return 0
 
 
@@ -662,6 +725,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-shard bound on resident worlds; cold worlds are evicted to "
         "the state directory and rehydrated on access (needs --state-dir)",
     )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="install a deterministic fault-injection plan (worker kills, shard "
+        "freezes, response drop/delay/duplication, connection refusal)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=DEFAULT_MAX_PENDING,
+        metavar="N",
+        help="per-shard queue bound; beyond it requests are shed with a "
+        "structured RETRY_LATER error carrying a backoff hint",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=DEFAULT_MAX_INFLIGHT,
+        metavar="N",
+        help="per-connection in-flight request cap for pipelining clients "
+        "(beyond it the server stops reading the connection)",
+    )
     serve.set_defaults(func=_serve)
 
     load = subparsers.add_parser(
@@ -680,6 +766,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     load.add_argument(
         "--write-fraction", type=float, default=0.5, help="fraction of requests that are writes"
+    )
+    load.add_argument(
+        "--timeout",
+        type=float,
+        default=DEFAULT_TIMEOUT,
+        metavar="SECONDS",
+        help="per-request response timeout (a dropped response costs one timeout, not a hang)",
+    )
+    load.add_argument(
+        "--deadline",
+        type=float,
+        default=DEFAULT_DEADLINE,
+        metavar="SECONDS",
+        help="total time budget for one logical request across all its retries",
+    )
+    load.add_argument(
+        "--max-attempts", type=int, default=8, metavar="N", help="attempts per logical request"
+    )
+    load.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="fail requests on the first error instead of retrying (keeps timeouts)",
     )
     load.add_argument(
         "--verify",
@@ -730,6 +838,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only these rule ids (comma-separated)",
     )
     lint.set_defaults(func=_lint)
+
+    resize = subparsers.add_parser(
+        "resize", help="live-resize a running fleet server's shard ring (no downtime)"
+    )
+    resize.add_argument("--host", default="127.0.0.1")
+    resize.add_argument("--port", type=int, default=7421)
+    resize.add_argument("--shards", type=int, required=True, help="new shard count")
+    resize.set_defaults(func=_resize)
 
     metrics = subparsers.add_parser(
         "metrics", help="fetch a running fleet server's merged metrics registry"

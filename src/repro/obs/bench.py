@@ -118,6 +118,42 @@ def _engine_factory(worlds: int, requests: int, *, naive: bool) -> CellFactory:
     return factory
 
 
+def _migrate_factory(worlds: int, requests: int) -> CellFactory:
+    """Live-resize cost: drain, serialize, and adopt every moved world.
+
+    The timed thunk performs a grow (4 -> 8 shards) followed by a shrink
+    (8 -> 2), so the ratio tracks the full migrate_out/migrate_in path —
+    world serialization, durable-history handoff, and ring recomputation —
+    against populated hosts.
+    """
+
+    def factory() -> Callable[[], Any]:
+        from repro.service.loadgen import LoadConfig, build_trace, flatten_trace
+        from repro.service.replay import ShardedReplayer
+
+        config = LoadConfig(
+            worlds=worlds,
+            requests_per_world=requests,
+            nodes=60,
+            mover_fraction=0.05,
+            write_fraction=0.05,
+            seed=0,
+        )
+        replayer = ShardedReplayer(4)
+        replayer.execute(flatten_trace(build_trace(config)), schedule_seed=0)
+
+        def run() -> Any:
+            try:
+                replayer.resize(8)
+                return replayer.resize(2)
+            finally:
+                replayer.close()
+
+        return run
+
+    return factory
+
+
 #: area -> ordered (cell name, factory) pairs.
 _AREAS: Dict[str, Tuple[Tuple[str, CellFactory], ...]] = {
     "topology": (
@@ -127,6 +163,7 @@ _AREAS: Dict[str, Tuple[Tuple[str, CellFactory], ...]] = {
     "service": (
         ("engine-cached-8x12", _engine_factory(8, 12, naive=False)),
         ("engine-naive-4x6", _engine_factory(4, 6, naive=True)),
+        ("migrate-grow-shrink-12x8", _migrate_factory(12, 8)),
     ),
 }
 

@@ -1,14 +1,79 @@
-"""Asyncio client for the fleet server's wire protocol."""
+"""Asyncio client for the fleet server's wire protocol.
+
+Two layers:
+
+* :class:`ServiceClient` — one connection, one request at a time.  Reads
+  are **id-matched** (responses whose ``id`` does not match the in-flight
+  request are discarded) so injected duplicate or stale responses never
+  desynchronize the stream, and every blocking read carries a timeout so a
+  dropped response surfaces as :class:`ServiceTimeout` instead of a hang.
+* :class:`RetryingClient` — wraps a connection factory with deadline-aware
+  retries: jittered exponential backoff (seeded, deterministic), a
+  per-request deadline budget, ``retry_after`` hints honoured, reconnection
+  on connection loss, and idempotency tokens on writes so a re-issued
+  request that *did* land the first time is answered from the server's
+  dedup cache instead of applied twice (exactly-once from the client's
+  point of view).
+"""
 
 from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Any, Dict, Optional
+import random
+import uuid
+from typing import Any, Callable, Dict, Optional
+
+from repro.obs import clock
+from repro.service import protocol
+
+#: Default per-read timeout (seconds).  Generous next to the sub-second
+#: service times, tight next to "forever" — a dropped response costs one
+#: timeout, not a hung client.
+DEFAULT_TIMEOUT = 10.0
+
+#: Default total time budget for one logical request across all retries.
+DEFAULT_DEADLINE = 30.0
+
+#: Backoff schedule: ``base * 2**attempt`` capped, then jittered.
+DEFAULT_BACKOFF_BASE = 0.05
+DEFAULT_BACKOFF_CAP = 2.0
 
 
 class ServiceError(RuntimeError):
-    """An error response from the server, surfaced as an exception."""
+    """An error response from the server, surfaced as an exception.
+
+    ``code`` carries the structured error code (``RETRY_LATER``,
+    ``SHUTTING_DOWN``, ...) when the server sent one; ``retry_after`` the
+    backoff hint in seconds riding ``RETRY_LATER`` responses.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: Optional[str] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retry_after = retry_after
+
+
+class ServiceTimeout(ServiceError):
+    """No response arrived within the client's timeout."""
+
+
+class DeadlineExceeded(ServiceError):
+    """The per-request deadline budget ran out across retries.
+
+    ``last_error`` preserves the final attempt's failure, so callers can
+    distinguish "the server is overloaded" from "nothing is listening".
+    """
+
+    def __init__(self, message: str, *, last_error: Optional[BaseException] = None) -> None:
+        super().__init__(message)
+        self.last_error = last_error
 
 
 class ServiceClient:
@@ -19,16 +84,40 @@ class ServiceClient:
     generator; open several clients for concurrency.
     """
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        timeout: Optional[float] = DEFAULT_TIMEOUT,
+    ) -> None:
         self._reader = reader
         self._writer = writer
         self._ids = itertools.count(1)
+        self.timeout = timeout
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ServiceClient":
+    async def connect(
+        cls, host: str, port: int, *, timeout: Optional[float] = DEFAULT_TIMEOUT
+    ) -> "ServiceClient":
         """Open a connection to a running fleet server."""
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        if timeout is not None:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout
+            )
+        else:
+            reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, timeout=timeout)
+
+    async def _readline(self, timeout: Optional[float]) -> bytes:
+        if timeout is None:
+            return await self._reader.readline()
+        try:
+            return await asyncio.wait_for(self._reader.readline(), timeout)
+        except asyncio.TimeoutError:
+            raise ServiceTimeout(
+                f"no response within {timeout:g}s (request may or may not have applied)"
+            ) from None
 
     async def request(
         self,
@@ -36,21 +125,36 @@ class ServiceClient:
         *,
         world: Optional[str] = None,
         params: Optional[Dict[str, Any]] = None,
+        token: Optional[str] = None,
+        timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
-        """Send one request and return the raw response envelope."""
-        from repro.service.protocol import decode_message, encode_message
+        """Send one request and return the raw response envelope.
 
-        message: Dict[str, Any] = {"id": next(self._ids), "op": op}
+        The read is id-matched: responses carrying a different ``id``
+        (injected duplicates, responses to an earlier timed-out request
+        still in the pipe) are discarded rather than mistaken for the
+        answer.  ``timeout`` overrides the client default for this request.
+        """
+        request_id = next(self._ids)
+        message: Dict[str, Any] = {"id": request_id, "op": op}
         if world is not None:
             message["world"] = world
         if params:
             message["params"] = params
-        self._writer.write(encode_message(message))
+        if token is not None:
+            message["token"] = token
+        self._writer.write(protocol.encode_message(message))
         await self._writer.drain()
-        line = await self._reader.readline()
-        if not line:
-            raise ConnectionError("server closed the connection")
-        return decode_message(line)
+        read_timeout = self.timeout if timeout is None else timeout
+        while True:
+            line = await self._readline(read_timeout)
+            if not line:
+                raise ConnectionError("server closed the connection")
+            response = protocol.decode_message(line)
+            # Server-initiated envelopes (id=None malformed-input errors)
+            # and stale/duplicate responses do not answer this request.
+            if response.get("id") == request_id:
+                return response
 
     async def call(
         self,
@@ -58,11 +162,19 @@ class ServiceClient:
         *,
         world: Optional[str] = None,
         params: Optional[Dict[str, Any]] = None,
+        token: Optional[str] = None,
+        timeout: Optional[float] = None,
     ) -> Any:
         """Send one request and return its ``result``; raise on errors."""
-        response = await self.request(op, world=world, params=params)
+        response = await self.request(
+            op, world=world, params=params, token=token, timeout=timeout
+        )
         if not response.get("ok"):
-            raise ServiceError(response.get("error", "unknown server error"))
+            raise ServiceError(
+                response.get("error", "unknown server error"),
+                code=response.get("code"),
+                retry_after=response.get("retry_after"),
+            )
         return response.get("result")
 
     async def close(self) -> None:
@@ -72,3 +184,184 @@ class ServiceClient:
             await self._writer.wait_closed()
         except (ConnectionError, OSError):  # pragma: no cover - teardown races
             pass
+
+
+#: Ops that mutate world state and therefore ride an idempotency token on
+#: every attempt (reads are naturally idempotent; delete's retry ambiguity
+#: is resolved in :meth:`RetryingClient.call` instead).
+_WRITE_OPS = frozenset(
+    {protocol.CREATE_WORLD, protocol.ADVANCE, protocol.APPLY, protocol.DELETE_WORLD}
+)
+
+
+class RetryingClient:
+    """Deadline-aware retrying wrapper around :class:`ServiceClient`.
+
+    Every write op carries a fresh idempotency token, so a request whose
+    response was lost (timeout, dropped response, connection reset, worker
+    death) can be re-issued safely: if the first attempt applied, the
+    server answers from its per-world dedup cache with the original result
+    instead of applying the write twice.  Reads are naturally idempotent.
+
+    Backoff is exponential with full jitter from a **seeded** generator —
+    two runs with the same seed retry on the same schedule, keeping chaos
+    tests reproducible.  ``RETRY_LATER`` responses carry a server-side
+    ``retry_after`` hint, used as the floor of the next sleep.
+
+    One deliberate asymmetry: a retried ``delete_world`` that finds the
+    world already gone is treated as success — the first attempt's effect
+    and the retry's "unknown world" error are indistinguishable, and
+    deleted-is-deleted is the caller's intent.
+    """
+
+    def __init__(
+        self,
+        connect: Callable[[], "asyncio.Future[ServiceClient]"],
+        *,
+        seed: int = 0,
+        timeout: Optional[float] = DEFAULT_TIMEOUT,
+        deadline: float = DEFAULT_DEADLINE,
+        max_attempts: int = 8,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        token_prefix: Optional[str] = None,
+    ) -> None:
+        self._connect = connect
+        self._client: Optional[ServiceClient] = None
+        self._rng = random.Random(seed)
+        self.timeout = timeout
+        self.deadline = deadline
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._tokens = itertools.count(1)
+        # Tokens must never collide with a *previous* client's (a reused
+        # token would be answered from the server's dedup cache instead of
+        # applied), so the default prefix carries a fresh UUID.  Token
+        # values never influence world state or snapshots — only dedup —
+        # so this randomness is outside the determinism contract.
+        if token_prefix is None:
+            token_prefix = f"tok-{uuid.uuid4().hex[:12]}"
+        self._token_prefix = token_prefix
+        self.retries = 0
+        self.reconnects = 0
+        self.shed_responses = 0
+
+    @classmethod
+    def to_server(
+        cls, host: str, port: int, *, seed: int = 0, **options: Any
+    ) -> "RetryingClient":
+        """A retrying client (re)connecting to ``host:port`` as needed."""
+        timeout = options.get("timeout", DEFAULT_TIMEOUT)
+
+        async def _connect() -> ServiceClient:
+            return await ServiceClient.connect(host, port, timeout=timeout)
+
+        return cls(_connect, seed=seed, **options)
+
+    def _next_token(self) -> str:
+        return f"{self._token_prefix}-{next(self._tokens)}"
+
+    async def _ensure_client(self) -> ServiceClient:
+        if self._client is None:
+            self._client = await self._connect()
+        return self._client
+
+    async def _drop_client(self) -> None:
+        if self._client is not None:
+            client, self._client = self._client, None
+            await client.close()
+            self.reconnects += 1
+
+    def _backoff(self, attempt: int, hint: Optional[float]) -> float:
+        """Full-jitter exponential backoff, floored by the server's hint.
+
+        The hint is jittered *upward* rather than used as an exact floor:
+        the server sheds a whole pile-up at once, and if every shed client
+        slept exactly the hint they would return as a phase-locked herd,
+        collide with the next full queue, and get shed again in lockstep —
+        escalating the tail by whole backoff generations.  Spreading the
+        herd across [hint, 1.75*hint] lets it reabsorb over a couple of
+        dispatch cycles instead.
+        """
+        ceiling = min(self.backoff_cap, self.backoff_base * (2**attempt))
+        sleep = self._rng.uniform(0.0, ceiling)
+        if hint is not None:
+            sleep = max(sleep, float(hint) * self._rng.uniform(1.0, 1.75))
+        return sleep
+
+    async def call(
+        self,
+        op: str,
+        *,
+        world: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+        deadline: Optional[float] = None,
+    ) -> Any:
+        """One logical request, retried until success or deadline.
+
+        Retried on: connection errors (reconnects first), timeouts,
+        ``RETRY_LATER`` / ``SHUTTING_DOWN`` / ``WORKER_DIED`` responses.
+        Not retried: ordinary application errors ("unknown world", bad
+        params) — those are answers, not failures.
+        """
+        budget = self.deadline if deadline is None else deadline
+        started = clock.wall()
+        token = self._next_token() if op in _WRITE_OPS else None
+        attempt = 0
+        last_error: Optional[BaseException] = None
+        while True:
+            elapsed = clock.wall() - started
+            if attempt >= self.max_attempts or elapsed >= budget:
+                raise DeadlineExceeded(
+                    f"{op} gave up after {attempt} attempts in {elapsed:.2f}s"
+                    + (f" (last error: {last_error})" if last_error else ""),
+                    last_error=last_error,
+                )
+            hint: Optional[float] = None
+            try:
+                client = await self._ensure_client()
+                remaining = budget - (clock.wall() - started)
+                timeout = self.timeout
+                if timeout is None or remaining < timeout:
+                    timeout = max(0.05, remaining)
+                return await client.call(
+                    op, world=world, params=params, token=token, timeout=timeout
+                )
+            except ServiceTimeout as error:
+                # The response is lost but the request may have applied —
+                # only the token makes the re-issue safe.  The connection's
+                # stream may still deliver the late response; id-matching
+                # would discard it, but a fresh connection is cheaper to
+                # reason about and matches what a real client does.
+                last_error = error
+                await self._drop_client()
+            except (ConnectionError, OSError) as error:
+                last_error = error
+                await self._drop_client()
+            except ServiceError as error:
+                if error.code == protocol.RETRY_LATER:
+                    self.shed_responses += 1
+                    hint = error.retry_after
+                    last_error = error
+                elif error.code in (protocol.SHUTTING_DOWN, protocol.WORKER_DIED):
+                    last_error = error
+                    await self._drop_client()
+                elif (
+                    op == protocol.DELETE_WORLD
+                    and attempt > 0
+                    and "unknown world" in str(error)
+                ):
+                    # The first attempt's delete applied; the retry found
+                    # the world already gone.  Deleted-is-deleted.
+                    return {"world": world, "deleted": True, "retried": True}
+                else:
+                    raise
+            attempt += 1
+            self.retries += 1
+            await asyncio.sleep(self._backoff(attempt, hint))
+
+    async def close(self) -> None:
+        if self._client is not None:
+            await self._client.close()
+            self._client = None

@@ -1,0 +1,312 @@
+"""Deterministic, seed-driven fault injection for the fleet service.
+
+A :class:`FaultPlan` is a list of rules, each describing one failure mode
+and when it fires.  All firing decisions are driven by monotone event
+counters (requests dispatched per shard, responses written by the front
+end, connections accepted) plus a per-rule seeded RNG for probabilistic
+rules — so a plan replays identically run after run, which is what lets
+the chaos battery assert byte-identical snapshots *under* injected
+faults.
+
+Rule schema (JSON)::
+
+    {"seed": 42, "rules": [
+        {"kind": "kill_worker",       "shard": 1, "at_request": 40},
+        {"kind": "freeze_shard",      "shard": 0, "every": 10, "duration": 0.05},
+        {"kind": "drop_response",     "every": 37, "count": 5},
+        {"kind": "delay_response",    "probability": 0.05, "duration": 0.02},
+        {"kind": "duplicate_response","at_request": 13},
+        {"kind": "refuse_connections","every": 7, "count": 3}
+    ]}
+
+Triggers (exactly one per rule): ``at_request`` fires once when the
+rule's counter reaches that value; ``every`` fires on every multiple;
+``probability`` fires per event under the plan's seed.  ``count`` caps
+total firings (default 1 for ``at_request``, unlimited otherwise).
+
+Which counter a rule watches follows from its kind:
+
+- ``kill_worker`` / ``freeze_shard`` — requests dispatched to ``shard``.
+- ``drop_response`` / ``delay_response`` / ``duplicate_response`` —
+  responses written by the front end (any connection).
+- ``refuse_connections`` — connections accepted.
+
+The injector is consulted from the server's dispatcher and connection
+handler; the decision is made in one place (the front-end process) so a
+fired one-shot rule stays fired across worker restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+KILL_WORKER = "kill_worker"
+FREEZE_SHARD = "freeze_shard"
+DROP_RESPONSE = "drop_response"
+DELAY_RESPONSE = "delay_response"
+DUPLICATE_RESPONSE = "duplicate_response"
+REFUSE_CONNECTIONS = "refuse_connections"
+
+FAULT_KINDS = frozenset(
+    {
+        KILL_WORKER,
+        FREEZE_SHARD,
+        DROP_RESPONSE,
+        DELAY_RESPONSE,
+        DUPLICATE_RESPONSE,
+        REFUSE_CONNECTIONS,
+    }
+)
+
+#: Kinds that target one shard and watch its request counter.
+_SHARD_KINDS = frozenset({KILL_WORKER, FREEZE_SHARD})
+#: Kinds that watch the front end's response counter.
+_RESPONSE_KINDS = frozenset({DROP_RESPONSE, DELAY_RESPONSE, DUPLICATE_RESPONSE})
+#: Kinds that need a duration.
+_DURATION_KINDS = frozenset({FREEZE_SHARD, DELAY_RESPONSE})
+
+
+@dataclass
+class FaultRule:
+    """One failure mode plus its trigger."""
+
+    kind: str
+    shard: Optional[int] = None
+    at_request: Optional[int] = None
+    every: Optional[int] = None
+    probability: Optional[float] = None
+    duration: float = 0.0
+    count: Optional[int] = None
+    fired: int = field(default=0, compare=False)
+
+    def validate(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        triggers = [t for t in (self.at_request, self.every, self.probability) if t is not None]
+        if len(triggers) != 1:
+            raise ValueError(
+                f"rule {self.kind!r} needs exactly one of at_request/every/probability"
+            )
+        if self.kind in _SHARD_KINDS:
+            if not isinstance(self.shard, int) or self.shard < 0:
+                raise ValueError(f"rule {self.kind!r} requires a non-negative 'shard'")
+        elif self.shard is not None:
+            raise ValueError(f"rule {self.kind!r} does not take a 'shard'")
+        if self.at_request is not None and (
+            not isinstance(self.at_request, int) or self.at_request < 1
+        ):
+            raise ValueError("'at_request' must be a positive integer")
+        if self.every is not None and (not isinstance(self.every, int) or self.every < 1):
+            raise ValueError("'every' must be a positive integer")
+        if self.probability is not None and not (0.0 < float(self.probability) <= 1.0):
+            raise ValueError("'probability' must be in (0, 1]")
+        if self.kind in _DURATION_KINDS and not (
+            isinstance(self.duration, (int, float)) and self.duration >= 0.0
+        ):
+            raise ValueError(f"rule {self.kind!r} requires a non-negative 'duration'")
+        if self.count is not None and (not isinstance(self.count, int) or self.count < 1):
+            raise ValueError("'count' must be a positive integer")
+
+    def _budget(self) -> Optional[int]:
+        if self.count is not None:
+            return self.count
+        return 1 if self.at_request is not None else None
+
+    def spent(self) -> bool:
+        budget = self._budget()
+        return budget is not None and self.fired >= budget
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"kind": self.kind}
+        for key in ("shard", "at_request", "every", "probability", "count"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        if self.kind in _DURATION_KINDS:
+            payload["duration"] = self.duration
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultRule":
+        if not isinstance(payload, dict):
+            raise ValueError("each fault rule must be an object")
+        unknown = set(payload) - {
+            "kind",
+            "shard",
+            "at_request",
+            "every",
+            "probability",
+            "duration",
+            "count",
+        }
+        if unknown:
+            raise ValueError(f"unknown fault-rule fields {sorted(unknown)}")
+        rule = cls(
+            kind=payload.get("kind", ""),
+            shard=payload.get("shard"),
+            at_request=payload.get("at_request"),
+            every=payload.get("every"),
+            probability=payload.get("probability"),
+            duration=float(payload.get("duration", 0.0)),
+            count=payload.get("count"),
+        )
+        rule.validate()
+        return rule
+
+
+@dataclass
+class FaultPlan:
+    """A reproducible schedule of injected faults."""
+
+    rules: List[FaultRule] = field(default_factory=list)
+    seed: int = 0
+
+    def validate(self) -> None:
+        for rule in self.rules:
+            rule.validate()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "rules": [rule.to_dict() for rule in self.rules]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise ValueError("a fault plan must be a JSON object")
+        unknown = set(payload) - {"seed", "rules"}
+        if unknown:
+            raise ValueError(f"unknown fault-plan fields {sorted(unknown)}")
+        seed = payload.get("seed", 0)
+        if not isinstance(seed, int):
+            raise ValueError("'seed' must be an integer")
+        raw_rules = payload.get("rules", [])
+        if not isinstance(raw_rules, list):
+            raise ValueError("'rules' must be a list")
+        return cls(rules=[FaultRule.from_dict(raw) for raw in raw_rules], seed=seed)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class ResponseFault:
+    """What the front end should do to one outgoing response."""
+
+    drop: bool = False
+    duplicate: bool = False
+    delay: float = 0.0
+
+    def __bool__(self) -> bool:
+        return self.drop or self.duplicate or self.delay > 0.0
+
+
+class FaultInjector:
+    """Stateful evaluator of a :class:`FaultPlan`.
+
+    One injector instance lives in the front-end process and owns every
+    counter, so one-shot rules stay consumed across worker restarts.  The
+    hook methods are synchronous and cheap; callers apply the returned
+    actions (``asyncio.sleep`` for delays/freezes — never a blocking
+    sleep, the inline pool shares the event loop).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        plan.validate()
+        self._plan = plan
+        self._shard_requests: Dict[int, int] = {}
+        self._responses = 0
+        self._connections = 0
+        self._rngs = [
+            random.Random((plan.seed << 16) ^ index) for index, _ in enumerate(plan.rules)
+        ]
+        self.fired_counts: Dict[str, int] = {}
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._plan
+
+    def _fires(self, rule: FaultRule, index: int, counter: int) -> bool:
+        if rule.spent():
+            return False
+        if rule.at_request is not None:
+            hit = counter == rule.at_request
+        elif rule.every is not None:
+            hit = counter % rule.every == 0
+        else:
+            hit = self._rngs[index].random() < float(rule.probability)
+        if hit:
+            rule.fired += 1
+            self.fired_counts[rule.kind] = self.fired_counts.get(rule.kind, 0) + 1
+        return hit
+
+    def _matching(self, kinds: Iterable[str], shard: Optional[int] = None) -> Iterable[
+        Tuple[int, FaultRule]
+    ]:
+        wanted = frozenset(kinds)
+        for index, rule in enumerate(self._plan.rules):
+            if rule.kind not in wanted:
+                continue
+            if shard is not None and rule.shard != shard:
+                continue
+            yield index, rule
+
+    # ------------------------------------------------------------------ #
+    # Hook points
+    # ------------------------------------------------------------------ #
+    def on_shard_request(self, shard: int) -> Tuple[bool, float]:
+        """Advance ``shard``'s request counter; -> (kill_worker, freeze_s).
+
+        Called by the dispatcher once per request as it is pulled into a
+        batch.  A returned kill means the pool should crash that shard's
+        worker before executing the batch; a positive freeze is a
+        duration the dispatcher must ``asyncio.sleep`` before dispatch.
+        """
+        counter = self._shard_requests.get(shard, 0) + 1
+        self._shard_requests[shard] = counter
+        kill = False
+        freeze = 0.0
+        for index, rule in self._matching(_SHARD_KINDS, shard=shard):
+            if self._fires(rule, index, counter):
+                if rule.kind == KILL_WORKER:
+                    kill = True
+                else:
+                    freeze += rule.duration
+        return kill, freeze
+
+    def on_response(self) -> ResponseFault:
+        """Advance the response counter; what to do to this response."""
+        self._responses += 1
+        fault = ResponseFault()
+        for index, rule in self._matching(_RESPONSE_KINDS):
+            if self._fires(rule, index, self._responses):
+                if rule.kind == DROP_RESPONSE:
+                    fault.drop = True
+                elif rule.kind == DUPLICATE_RESPONSE:
+                    fault.duplicate = True
+                else:
+                    fault.delay += rule.duration
+        return fault
+
+    def on_connection(self) -> bool:
+        """Advance the connection counter; True → refuse this connection."""
+        self._connections += 1
+        refuse = False
+        for index, rule in self._matching({REFUSE_CONNECTIONS}):
+            if self._fires(rule, index, self._connections):
+                refuse = True
+        return refuse
+
+    def counters(self) -> Dict[str, int]:
+        """Fired-per-kind counts (for metrics and test assertions)."""
+        return dict(self.fired_counts)

@@ -33,7 +33,14 @@ from repro.obs import clock
 from repro.obs.metrics import histogram_delta, hit_rate
 from repro.scenarios.catalogue import get_scenario
 from repro.service import protocol
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import (
+    DEFAULT_DEADLINE,
+    DEFAULT_TIMEOUT,
+    DeadlineExceeded,
+    RetryingClient,
+    ServiceClient,
+    ServiceError,
+)
 from repro.service.replay import replay_serial
 from repro.service.worlds import DEFAULT_SCENARIO
 from repro.sim.randomness import SeededRandom, derive_seed
@@ -53,6 +60,13 @@ class LoadConfig:
     write_fraction: float = 0.5
     traffic_fraction: float = 0.2
     connections: int = 4
+    #: Client robustness knobs.  They shape how the trace is *delivered*
+    #: (timeouts, retries), never the trace itself — the serial reference
+    #: stays byte-identical whatever these are set to.
+    request_timeout: float = DEFAULT_TIMEOUT
+    deadline: float = DEFAULT_DEADLINE
+    max_attempts: int = 8
+    retry: bool = True
 
     def __post_init__(self) -> None:
         if self.worlds < 1:
@@ -67,6 +81,12 @@ class LoadConfig:
             raise ValueError("traffic_fraction must lie in [0, 1]")
         if self.connections < 1:
             raise ValueError("a load run needs at least one connection")
+        if self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
 
     @property
     def node_count(self) -> int:
@@ -181,6 +201,11 @@ class LoadReport:
     latency_p99_ms: float
     setup_requests: int = 0
     setup_seconds: float = 0.0
+    #: Client-side robustness counters: re-issued requests, reconnections,
+    #: and ``RETRY_LATER`` (load-shed) responses absorbed by backoff.
+    retries: int = 0
+    reconnects: int = 0
+    shed_responses: int = 0
     op_counts: Dict[str, int] = field(default_factory=dict)
     op_p95_ms: Dict[str, float] = field(default_factory=dict)
     server_stats: Optional[Dict[str, Any]] = None
@@ -199,6 +224,11 @@ class LoadReport:
             f"latency: p50 {self.latency_p50_ms:.2f} ms, p95 {self.latency_p95_ms:.2f} ms, "
             f"p99 {self.latency_p99_ms:.2f} ms",
         ]
+        if self.retries or self.reconnects or self.shed_responses:
+            lines.append(
+                f"robustness: {self.retries} retries, {self.reconnects} reconnects, "
+                f"{self.shed_responses} shed responses absorbed"
+            )
         for op in sorted(self.op_counts):
             lines.append(
                 f"  {op:<13} {self.op_counts[op]:>6} requests, p95 {self.op_p95_ms[op]:.2f} ms"
@@ -259,19 +289,26 @@ async def run_load_async(
     snapshots: Dict[str, str] = {}
     errors = 0
     setup_requests = 0
+    failures: List[BaseException] = []
 
-    async def issue(client: ServiceClient, request: Dict[str, Any], timed: bool) -> None:
+    async def issue(client: RetryingClient, request: Dict[str, Any], timed: bool) -> None:
         nonlocal errors
         start = clock.wall()
-        response = await client.request(
-            request["op"], world=request.get("world"), params=request.get("params")
-        )
+        try:
+            result = await client.call(
+                request["op"], world=request.get("world"), params=request.get("params")
+            )
+        except ServiceError as error:
+            # Deadline exhausted or a genuine application error — retryable
+            # failures (shed, timeouts, worker death) were already absorbed
+            # by the retry layer and never reach here.
+            errors += 1
+            failures.append(error)
+            result = None
         if timed:
             latencies.append((request["op"], clock.wall() - start))
-        if not response.get("ok"):
-            errors += 1
-        elif request["op"] == protocol.SNAPSHOT:
-            snapshots[request["world"]] = results_to_json(response["result"])
+        if result is not None and request["op"] == protocol.SNAPSHOT:
+            snapshots[request["world"]] = results_to_json(result)
 
     async def setup(client, connection_traces) -> None:
         nonlocal setup_requests
@@ -288,16 +325,38 @@ async def run_load_async(
         for request in flatten_trace([trace[1:] for trace in connection_traces]):
             await issue(client, request, timed=True)
 
-    clients: List[Optional[ServiceClient]] = []
+    def make_client(index: int) -> RetryingClient:
+        # Per-connection retry seed: backoff schedules are deterministic
+        # across runs yet uncorrelated across connections (no thundering
+        # herd of synchronized retries).  max_attempts=1 disables retrying
+        # while keeping the timeout discipline.
+        return RetryingClient.to_server(
+            host,
+            port,
+            seed=derive_seed(config.seed, f"load-retry:{index}"),
+            timeout=config.request_timeout,
+            deadline=config.deadline,
+            max_attempts=config.max_attempts if config.retry else 1,
+        )
+
+    clients: List[Optional[RetryingClient]] = []
     try:
-        for assigned in assignments:
-            clients.append(await ServiceClient.connect(host, port) if assigned else None)
+        for index, assigned in enumerate(assignments):
+            clients.append(make_client(index) if assigned else None)
         # Phase 1 — provisioning: every world is created (and primed) before
         # the clock starts; serving benchmarks measure serving, not setup.
         setup_started = clock.wall()
         await asyncio.gather(*(setup(c, a) for c, a in zip(clients, assignments)))
         setup_seconds = clock.wall() - setup_started
         if errors:
+            # Nothing listening at all reads as a connection problem, not a
+            # load-run problem — surface it as one so callers can point the
+            # user at 'cbtc serve'.
+            first = failures[0] if failures else None
+            if isinstance(first, DeadlineExceeded) and isinstance(
+                first.last_error, (ConnectionError, OSError)
+            ):
+                raise ConnectionError(str(first.last_error))
             # Creation failures (typically: the server still hosts worlds
             # from a previous load run) would skew every later request and
             # make --verify report a phantom determinism failure — fail
@@ -326,6 +385,11 @@ async def run_load_async(
     finally:
         await stats_client.close()
 
+    live_clients = [client for client in clients if client is not None]
+    total_retries = sum(client.retries for client in live_clients)
+    total_reconnects = sum(client.reconnects for client in live_clients)
+    total_shed = sum(client.shed_responses for client in live_clients)
+
     all_latencies = [seconds for _, seconds in latencies]
     op_counts: Dict[str, int] = {}
     op_latencies: Dict[str, List[float]] = {}
@@ -341,6 +405,9 @@ async def run_load_async(
         requests_per_second=len(latencies) / elapsed if elapsed > 0 else 0.0,
         setup_requests=setup_requests,
         setup_seconds=setup_seconds,
+        retries=total_retries,
+        reconnects=total_reconnects,
+        shed_responses=total_shed,
         latency_p50_ms=_percentile(all_latencies, 0.50) * 1000.0,
         latency_p95_ms=_percentile(all_latencies, 0.95) * 1000.0,
         latency_p99_ms=_percentile(all_latencies, 0.99) * 1000.0,

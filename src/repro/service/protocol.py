@@ -59,6 +59,12 @@ DELETE_WORLD = "delete_world"
 #: fans it to every shard when serving :data:`METRICS`; the ``world`` field
 #: only satisfies the envelope and plays no routing role).
 SHARD_METRICS = "shard_metrics"
+#: Drain one world off its shard for migration: the shard serializes the
+#: world, removes it from its host and store, and returns the pickled
+#: state (an internal op — never accepted from a TCP connection).
+MIGRATE_OUT = "migrate_out"
+#: Adopt a previously drained world on its new owning shard (internal).
+MIGRATE_IN = "migrate_in"
 
 #: Front-end liveness probe.
 PING = "ping"
@@ -73,6 +79,9 @@ SERVER_STATS = "server_stats"
 METRICS = "metrics"
 #: Orderly server shutdown (responds, then stops accepting).
 SHUTDOWN = "shutdown"
+#: Live ring resize (params: shards) — migrates moved worlds between
+#: shards without downtime, parking their requests meanwhile.
+RESIZE = "resize"
 
 #: Ops executed by the shard that owns ``request["world"]``.
 WORLD_OPS = frozenset(
@@ -87,14 +96,35 @@ WORLD_OPS = frozenset(
         CACHE_STATS,
         DELETE_WORLD,
         SHARD_METRICS,
+        MIGRATE_OUT,
+        MIGRATE_IN,
     }
 )
 
 #: Ops answered by the asyncio front end without touching any shard.
-FRONTEND_OPS = frozenset({PING, LIST_WORLDS, SERVER_STATS, METRICS, SHUTDOWN})
+FRONTEND_OPS = frozenset({PING, LIST_WORLDS, SERVER_STATS, METRICS, SHUTDOWN, RESIZE})
 
 #: World ops that only read state (their responses are snapshot-cacheable).
 READ_OPS = frozenset({QUERY_STATS, QUERY_ROUTE, RUN_TRAFFIC, SNAPSHOT})
+
+#: Ops the front end issues to its own shards but refuses from the wire:
+#: migration carries pickled state, which must never be accepted from a
+#: client connection.
+INTERNAL_OPS = frozenset({MIGRATE_OUT, MIGRATE_IN})
+
+
+# ---------------------------------------------------------------------- #
+# Structured error codes
+# ---------------------------------------------------------------------- #
+#: The shard queue (or connection) is saturated; the response carries a
+#: ``retry_after`` backoff hint in seconds.  Safe to retry.
+RETRY_LATER = "RETRY_LATER"
+#: The server is draining: queued requests are failed instead of silently
+#: dropped.  Safe to retry against a restarted server.
+SHUTTING_DOWN = "SHUTTING_DOWN"
+#: A shard worker died mid-batch and the request's effect is unknown; the
+#: retry layer may re-issue it under the same idempotency token.
+WORKER_DIED = "WORKER_DIED"
 
 
 # ---------------------------------------------------------------------- #
@@ -118,9 +148,25 @@ def ok_response(request_id: Any, result: Any) -> Dict[str, Any]:
     return {"id": request_id, "ok": True, "result": result}
 
 
-def error_response(request_id: Any, message: str) -> Dict[str, Any]:
-    """A failure response carrying a human-readable error."""
-    return {"id": request_id, "ok": False, "error": message}
+def error_response(
+    request_id: Any,
+    message: str,
+    *,
+    code: Optional[str] = None,
+    retry_after: Optional[float] = None,
+) -> Dict[str, Any]:
+    """A failure response carrying a human-readable error.
+
+    ``code`` is a machine-readable classifier (:data:`RETRY_LATER`,
+    :data:`SHUTTING_DOWN`, :data:`WORKER_DIED`); ``retry_after`` is the
+    backoff hint in seconds that rides :data:`RETRY_LATER` responses.
+    """
+    response: Dict[str, Any] = {"id": request_id, "ok": False, "error": message}
+    if code is not None:
+        response["code"] = code
+    if retry_after is not None:
+        response["retry_after"] = retry_after
+    return response
 
 
 def validate_request(request: Dict[str, Any]) -> Optional[str]:
@@ -143,4 +189,7 @@ def validate_request(request: Dict[str, Any]) -> Optional[str]:
     params = request.get("params", {})
     if not isinstance(params, dict):
         return "'params' must be an object"
+    token = request.get("token")
+    if token is not None and (not isinstance(token, str) or not token):
+        return "'token' must be a non-empty string"
     return None

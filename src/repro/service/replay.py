@@ -95,6 +95,7 @@ class ShardedReplayer:
         self.naive = naive
         self.snapshot_every = snapshot_every
         self.max_live_worlds = max_live_worlds
+        self._store_factory = store_factory
         self._stores = [
             store_factory(shard) if store_factory is not None else None for shard in range(shards)
         ]
@@ -121,6 +122,65 @@ class ShardedReplayer:
         # vanishes, and only what commit_batch persisted survives.
         self.hosts[shard] = self._build_host(shard)
         return self.hosts[shard].recover(use_checkpoints=use_checkpoints)
+
+    def resize(self, new_shards: int) -> int:
+        """Change the shard count, migrating moved worlds between hosts.
+
+        The in-process mirror of the server's live ``resize``: every world
+        whose ring assignment changes is drained off its current host
+        (``migrate_out`` — serializing it and purging its durable history)
+        and adopted by its new owner (``migrate_in``), through the same
+        request path the server uses.  Shrinking closes the dying hosts
+        only after their worlds have moved.  Returns the number of worlds
+        migrated.  The battery interleaves ``resize`` with ``execute`` and
+        ``crash`` segments and requires final snapshots byte-identical to
+        :func:`replay_serial` of the same trace.
+        """
+        if new_shards < 1:
+            raise ValueError("a replayer needs at least one shard")
+        old_shards = len(self.hosts)
+        new_ring = HashRing(new_shards)
+        for shard in range(old_shards, new_shards):
+            self._stores.append(
+                self._store_factory(shard) if self._store_factory is not None else None
+            )
+            host = self._build_host(shard)
+            if self._stores[shard] is not None:
+                host.recover()
+            self.hosts.append(host)
+        moving: List[tuple] = []
+        for shard, host in enumerate(self.hosts[:old_shards]):
+            for world_id in host.world_ids():
+                if new_ring.shard_of(world_id) != shard:
+                    moving.append((world_id, shard))
+        moved = 0
+        for world_id, source in sorted(moving):
+            out = self.hosts[source].execute(
+                {"id": None, "op": protocol.MIGRATE_OUT, "world": world_id}
+            )
+            if not out.get("ok"):  # pragma: no cover - worlds cannot vanish here
+                raise RuntimeError(f"migrate_out of {world_id!r} failed: {out.get('error')}")
+            landed = self.hosts[new_ring.shard_of(world_id)].execute(
+                {
+                    "id": None,
+                    "op": protocol.MIGRATE_IN,
+                    "world": world_id,
+                    "params": {"state": out["result"]["state"]},
+                }
+            )
+            if not landed.get("ok"):  # pragma: no cover - adoption cannot fail
+                raise RuntimeError(
+                    f"migrate_in of {world_id!r} failed: {landed.get('error')}"
+                )
+            moved += 1
+        for shard in range(new_shards, old_shards):
+            self.hosts[shard].close()
+            if self._stores[shard] is not None:
+                self._stores[shard].close()
+        del self.hosts[new_shards:]
+        del self._stores[new_shards:]
+        self.ring = new_ring
+        return moved
 
     def execute(
         self,

@@ -2,9 +2,9 @@
 
 :class:`FleetServer` accepts newline-delimited JSON requests over TCP,
 answers front-end ops (``ping``, ``list_worlds``, ``server_stats``,
-``metrics``, ``shutdown``) directly, and routes every world-addressed op to the shard
-owning that world (consistent hashing, :class:`~repro.service.sharding.
-HashRing`).
+``metrics``, ``resize``, ``shutdown``) directly, and routes every
+world-addressed op to the shard owning that world (consistent hashing,
+:class:`~repro.service.sharding.HashRing`).
 
 **Batching.**  Each shard has one dispatcher task and at most one batch in
 flight.  Requests arriving while a batch executes accumulate in the shard's
@@ -15,6 +15,29 @@ Arrival order within a shard is preserved end to end (queue → batch →
 in-order execution → per-request futures), which keeps per-world request
 order — the determinism contract — intact no matter how batches fall.
 
+**Pipelining.**  A connection's requests are validated and routed to their
+shard queues *synchronously* in the read loop (so per-connection arrival
+order still reaches the shards intact), while the responses are written
+back by per-request tasks as their futures resolve.  A client that issues
+one request at a time sees exactly the old strict request–response
+behaviour; a pipelining client gets concurrency from a single connection,
+bounded by the per-connection in-flight cap (``max_inflight``) — beyond it
+the server simply stops reading, which is TCP backpressure.
+
+**Admission control.**  Each shard's pending queue is bounded
+(``max_pending``, the high watermark).  A request arriving at a saturated
+queue is answered immediately with a structured ``RETRY_LATER`` error
+carrying a backoff hint instead of growing the queue without bound;
+shedding stays on until the queue drains below the low watermark (half the
+bound).  Shed counts land in the metrics registry.
+
+**Fault injection.**  An installed :class:`~repro.service.faults.FaultPlan`
+is evaluated at three hook points — connection accept (refusal), response
+write (drop / delay / duplicate), and batch dispatch (shard freeze, worker
+kill) — all decided in this process so one-shot rules stay consumed across
+worker restarts.  Freezes are ``asyncio.sleep``\\ s in the dispatcher,
+never blocking sleeps (inline pools share this event loop).
+
 **Shards.**  The default backend is a :class:`~repro.service.workers.
 ProcessShardPool` (one long-lived worker process per shard, each owning its
 worlds' reconfiguration and incremental-builder state); ``inline=True``
@@ -23,10 +46,18 @@ benchmarks use to isolate the serving-layer gains and what tests use for
 speed.  ``naive=True`` selects the one-request-one-rebuild baseline in
 either backend.
 
-Connections are handled concurrently but each connection's requests are
-processed sequentially (read → execute → respond), so a single client
-observes its own writes; concurrency — and therefore batching — comes from
-multiple connections, as in the load generator's closed loop.
+**Live resize.**  The ``resize`` op changes the shard count without
+downtime: requests for worlds that move between rings are parked, each
+moving world is drained off its old shard (``migrate_out`` rides the
+normal batch path, so the shard's queued work for that world completes
+first), restored on its new owner (``migrate_in``), and the ring is then
+swapped atomically before the parked requests replay in arrival order.
+On a durable fleet the migration itself is durable: the outbound shard
+purges the world's log in the same commit, and the inbound shard logs the
+adopted state.  Startup heals placement the same way — a state directory
+written under a different ``--shards`` (including shard files beyond the
+new fleet) has its worlds migrated to their ring-correct shards before the
+server reports ready.
 
 **Durability.**  ``state_dir`` attaches a sqlite
 :class:`~repro.service.storage.sqlite.SqliteStore` per shard (one database
@@ -37,13 +68,21 @@ directory already holds — the placement map is rebuilt by scanning the
 shard databases (synchronously, in ``__init__``, before the loop runs).
 ``max_live_worlds`` bounds resident worlds per shard via LRU eviction to
 the store.
+
+**Shutdown.**  ``stop()`` drains instead of stranding: queued-but-
+undispatched requests (and any requests parked by a resize) are failed
+with a structured ``SHUTTING_DOWN`` error, dispatchers finish their
+in-flight batches, and the response writers flush before connections
+close — a client never waits forever on a response the server will not
+send.
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.obs import clock
 from repro.obs.metrics import (
@@ -53,10 +92,20 @@ from repro.obs.metrics import (
     summarize_snapshot,
 )
 from repro.service import protocol
+from repro.service.faults import FaultInjector, FaultPlan
 from repro.service.sharding import HashRing
 from repro.service.storage import StoreConfig, scan_world_ids
 from repro.service.workers import InlineShardPool, ProcessShardPool
 from repro.service.worlds import DEFAULT_SNAPSHOT_EVERY
+
+#: Default per-shard pending-queue bound (the high watermark).  Deep
+#: enough that a healthy fleet never sheds, shallow enough that a frozen
+#: shard turns into fast ``RETRY_LATER`` errors instead of an unbounded
+#: queue.
+DEFAULT_MAX_PENDING = 1024
+
+#: Default per-connection in-flight request cap for pipelining clients.
+DEFAULT_MAX_INFLIGHT = 64
 
 
 class FleetServer:
@@ -73,12 +122,21 @@ class FleetServer:
         state_dir: Optional[str] = None,
         snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
         max_live_worlds: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
     ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
         self.host = host
         self.port = port
         self.shards = shards
         self.inline = inline
         self.naive = naive
+        self.max_pending = max_pending
+        self.max_inflight = max_inflight
         self.store_config: Optional[StoreConfig] = None
         if state_dir is not None:
             self.store_config = StoreConfig(
@@ -97,6 +155,9 @@ class FleetServer:
         # Front-end registry: dispatch-side latency histograms plus the
         # counters that ``server_stats`` used to be the only home of.
         self.metrics = MetricsRegistry()
+        self._injector: Optional[FaultInjector] = (
+            FaultInjector(faults) if faults is not None else None
+        )
         self._started_wall = clock.wall()
         self._pool: Optional[Any] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -107,11 +168,30 @@ class FleetServer:
         ]
         self._wakeups: List[asyncio.Event] = []
         self._dispatchers: List[asyncio.Task] = []
+        self._shedding: List[bool] = [False] * shards
+        self._busy: List[bool] = [False] * shards
         self._handlers: set = set()
         self._connections: set = set()
+        self._response_tasks: Set[asyncio.Task] = set()
+        # Recent per-request execute time (EWMA) — the RETRY_LATER hint's
+        # basis: "queue depth × how long a request has been taking".
+        self._avg_request_seconds = 0.01
+        # Live resize state: while a resize runs, requests whose routing
+        # would change are parked here (in arrival order) and replayed
+        # after the ring swap.  ``None`` means no resize in progress.
+        self._parked: Optional[List[Tuple[Dict[str, Any], asyncio.Future]]] = None
+        self._park_moving: Optional[Set[str]] = None
+        self._next_ring: Optional[HashRing] = None
+        self._resizing = False
+        # Outstanding create futures — a resize drains these before it
+        # computes the set of moving worlds, so no create can land on a
+        # shard the swap is about to reroute.
+        self._create_futures: Set[asyncio.Future] = set()
         # Placement survives restarts with the worlds themselves: scan the
         # state directory here, in the synchronous constructor, so the event
-        # loop never blocks on sqlite I/O.
+        # loop never blocks on sqlite I/O.  The scan reports where each
+        # world's state *is* (its shard file), which start() reconciles
+        # against the ring.
         self._worlds: Dict[str, int] = (
             scan_world_ids(state_dir, shards) if state_dir is not None else {}
         )
@@ -141,6 +221,8 @@ class FleetServer:
         self._dispatchers = [
             asyncio.create_task(self._dispatch(shard)) for shard in range(self.shards)
         ]
+        if self.store_config is not None and self.store_config.durable:
+            await self._heal_placement()
 
     async def serve_until_shutdown(self) -> None:
         """Block until a ``shutdown`` request arrives, then stop cleanly."""
@@ -149,26 +231,122 @@ class FleetServer:
         await self.stop()
 
     async def stop(self) -> None:
-        """Stop accepting, drain in-flight work, stop the shard pool."""
+        """Stop accepting, drain in-flight work, stop the shard pool.
+
+        Queued-but-undispatched requests (and requests parked by a resize)
+        are failed with a structured ``SHUTTING_DOWN`` error; in-flight
+        batches finish and their responses flush before connections close.
+        """
         if self._stopping is not None:
             self._stopping.set()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        shed = self.metrics.counter("server.shutdown_failed_requests")
+        for pending in self._pending:
+            while pending:
+                request, future, _ = pending.popleft()
+                if not future.done():
+                    future.set_result(self._shutting_down_error(request.get("id")))
+                shed.inc()
+        if self._parked:
+            for request, future in self._parked:
+                if not future.done():
+                    future.set_result(self._shutting_down_error(request.get("id")))
+                shed.inc()
+            self._parked = []
+        # Wake every dispatcher so it observes the stop and exits after
+        # finishing whatever batch is in flight.
+        for wakeup in self._wakeups:
+            wakeup.set()
+        if self._dispatchers:
+            done, stragglers = await asyncio.wait(self._dispatchers, timeout=30)
+            for task in stragglers:  # pragma: no cover - defensive
+                task.cancel()
+            if stragglers:  # pragma: no cover - defensive
+                await asyncio.gather(*stragglers, return_exceptions=True)
+        self._dispatchers = []
+        # Every routed future is resolved now; let the writers flush.
+        if self._response_tasks:
+            await asyncio.gather(*list(self._response_tasks), return_exceptions=True)
         # Unblock handlers parked in readline: closing the transports makes
         # their reads return EOF, so the gather below terminates.
         for writer in list(self._connections):
             writer.close()
         if self._handlers:
             await asyncio.gather(*self._handlers, return_exceptions=True)
-        for task in self._dispatchers:
-            task.cancel()
-        if self._dispatchers:
-            await asyncio.gather(*self._dispatchers, return_exceptions=True)
-        self._dispatchers = []
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+
+    @staticmethod
+    def _shutting_down_error(request_id: Any) -> Dict[str, Any]:
+        return protocol.error_response(
+            request_id, "server is shutting down", code=protocol.SHUTTING_DOWN
+        )
+
+    # ------------------------------------------------------------------ #
+    # Startup placement healing
+    # ------------------------------------------------------------------ #
+    async def _heal_placement(self) -> None:
+        """Migrate worlds whose stored shard is not their ring shard.
+
+        Runs once at startup: a state directory written under a different
+        shard count (or interrupted mid-resize) has worlds in the wrong
+        files, including files *beyond* the current fleet.  In-fleet
+        strays migrate through their own worker; out-of-fleet files are
+        opened parent-side just long enough to drain them.
+        """
+        misplaced = sorted(
+            (world, shard)
+            for world, shard in self._worlds.items()
+            if shard != self.ring.shard_of(world)
+        )
+        if not misplaced:
+            return
+        healed = self.metrics.counter("server.placement_healed")
+        for world, file_shard in misplaced:
+            if file_shard < self.shards:
+                out = await self._submit_to_shard(
+                    file_shard, {"id": None, "op": protocol.MIGRATE_OUT, "world": world}
+                )
+                state = out["result"]["state"] if out.get("ok") else None
+            else:
+                state = self._export_stray(file_shard, world)
+            if state is None:
+                continue
+            target = self.ring.shard_of(world)
+            response = await self._submit_to_shard(
+                target,
+                {
+                    "id": None,
+                    "op": protocol.MIGRATE_IN,
+                    "world": world,
+                    "params": {"state": state},
+                },
+            )
+            if response.get("ok"):
+                self._worlds[world] = target
+                healed.inc()
+
+    def _export_stray(self, file_shard: int, world: str) -> Optional[str]:
+        """Drain one world out of a shard file beyond the fleet (no worker
+        owns it, so a throwaway parent-side host does the export)."""
+        from repro.service.workers import _build_host
+
+        host = _build_host(file_shard, self.naive, self.store_config)
+        try:
+            host.recover(eager=False)
+            response = host.execute(
+                {"id": None, "op": protocol.MIGRATE_OUT, "world": world}
+            )
+        finally:
+            host.close(flush=False)
+            if host.store is not None:
+                host.store.close()
+        if not response.get("ok"):
+            return None
+        return response["result"]["state"]
 
     # ------------------------------------------------------------------ #
     # Dispatch (one batch in flight per shard)
@@ -197,6 +375,19 @@ class FleetServer:
                 )
                 self.metrics.counter("server.requests").inc(len(requests))
                 self.metrics.counter(f"server.shard.{shard}.requests").inc(len(requests))
+                if self._injector is not None:
+                    kill = False
+                    freeze = 0.0
+                    for _ in requests:
+                        killed, frozen = self._injector.on_shard_request(shard)
+                        kill = kill or killed
+                        freeze += frozen
+                    if freeze > 0.0:
+                        self.metrics.counter("server.faults.shard_freezes").inc()
+                        await asyncio.sleep(freeze)
+                    if kill:
+                        self.metrics.counter("server.faults.workers_killed").inc()
+                        self._pool.kill_worker(shard)
                 # Process-backed pools block on a queue round trip, so they
                 # run in the default executor and the event loop keeps
                 # reading other connections — that concurrency is what lets
@@ -204,23 +395,32 @@ class FleetServer:
                 # pools compute under the GIL regardless; calling them
                 # directly skips a thread hop per batch, and arriving
                 # requests coalesce in the transport buffers instead.
-                if self._pool.runs_in_loop:
-                    responses = self._pool.execute(shard, requests)
-                    await asyncio.sleep(0)
-                else:
-                    responses = await loop.run_in_executor(
-                        None, self._pool.execute, shard, requests
-                    )
-                self.metrics.histogram("server.execute_seconds").observe(
-                    clock.wall() - now
+                self._busy[shard] = True
+                try:
+                    if self._pool.runs_in_loop:
+                        responses = self._pool.execute(shard, requests)
+                        await asyncio.sleep(0)
+                    else:
+                        responses = await loop.run_in_executor(
+                            None, self._pool.execute, shard, requests
+                        )
+                finally:
+                    self._busy[shard] = False
+                elapsed = clock.wall() - now
+                self.metrics.histogram("server.execute_seconds").observe(elapsed)
+                self._avg_request_seconds = (
+                    0.8 * self._avg_request_seconds + 0.2 * elapsed / max(1, len(requests))
                 )
                 for future, response in zip(futures, responses):
                     if not future.done():
                         future.set_result(response)
+            if self._stopping is not None and self._stopping.is_set():
+                return
 
-    async def _submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        shard = self.ring.shard_of(request["world"])
-        return await self._submit_to_shard(shard, request)
+    def _resolved(self, response: Dict[str, Any]) -> asyncio.Future:
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        future.set_result(response)
+        return future
 
     def _enqueue(self, shard: int, request: Dict[str, Any]) -> asyncio.Future:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
@@ -228,8 +428,119 @@ class FleetServer:
         self._wakeups[shard].set()
         return future
 
+    def _enqueue_or_fail(self, shard: int, request: Dict[str, Any]) -> asyncio.Future:
+        if self._stopping is not None and self._stopping.is_set():
+            return self._resolved(self._shutting_down_error(request.get("id")))
+        return self._enqueue(shard, request)
+
     async def _submit_to_shard(self, shard: int, request: Dict[str, Any]) -> Dict[str, Any]:
-        return await self._enqueue(shard, request)
+        return await self._enqueue_or_fail(shard, request)
+
+    def _should_park(self, world: str) -> bool:
+        """Whether a request for ``world`` must wait out the resize."""
+        if self._park_moving is not None and world in self._park_moving:
+            return True
+        if world not in self._worlds and self._next_ring is not None:
+            # Unknown world (a create racing the resize): park it exactly
+            # when the two rings disagree on its placement — otherwise the
+            # routing is identical under both and it can proceed.
+            return self._next_ring.shard_of(world) != self.ring.shard_of(world)
+        return False
+
+    def _route(self, request: Dict[str, Any]) -> asyncio.Future:
+        """Route one world-addressed request to its shard queue.
+
+        Synchronous — the connection read loop calls it inline, which is
+        what preserves per-connection (and so per-world) arrival order.
+        Admission control happens here: a saturated shard answers with
+        ``RETRY_LATER`` immediately instead of queueing.
+        """
+        request_id = request.get("id")
+        if self._stopping is not None and self._stopping.is_set():
+            return self._resolved(self._shutting_down_error(request_id))
+        world = request["world"]
+        if self._parked is not None and self._should_park(world):
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._parked.append((request, future))
+            self.metrics.counter("server.resize.parked_requests").inc()
+            return future
+        shard = self.ring.shard_of(world)
+        pending = self._pending[shard]
+        if self._shedding[shard] and len(pending) <= self.max_pending // 2:
+            self._shedding[shard] = False
+        if not self._shedding[shard] and len(pending) >= self.max_pending:
+            self._shedding[shard] = True
+        if self._shedding[shard]:
+            self.metrics.counter("server.load_shed").inc()
+            self.metrics.counter(f"server.shard.{shard}.load_shed").inc()
+            hint = min(2.0, max(0.05, (len(pending) + 1) * self._avg_request_seconds))
+            return self._resolved(
+                protocol.error_response(
+                    request_id,
+                    f"shard {shard} queue is saturated ({len(pending)} pending)",
+                    code=protocol.RETRY_LATER,
+                    retry_after=round(hint, 4),
+                )
+            )
+        future = self._enqueue(shard, request)
+        op = request["op"]
+        # Placement is maintained here, at routing time, with the routed
+        # shard captured — a resize computes its moving set from this map,
+        # so a create must be visible the moment it is queued, not when its
+        # response happens to be written.  The done-callback settles the
+        # optimistic entry against the actual outcome.
+        if op == protocol.CREATE_WORLD:
+            was_absent = world not in self._worlds
+            if was_absent:
+                self._worlds[world] = shard
+            future.add_done_callback(
+                functools.partial(self._finish_create, world, shard, was_absent)
+            )
+        elif op == protocol.DELETE_WORLD:
+            future.add_done_callback(functools.partial(self._finish_delete, world))
+        return future
+
+    @staticmethod
+    def _future_response(done: asyncio.Future) -> Optional[Dict[str, Any]]:
+        if done.cancelled() or done.exception() is not None:
+            return None
+        return done.result()
+
+    def _finish_create(
+        self, world: str, shard: int, was_absent: bool, done: asyncio.Future
+    ) -> None:
+        response = self._future_response(done)
+        if response is not None and response.get("ok"):
+            self._worlds[world] = shard
+        elif was_absent and self._worlds.get(world) == shard:
+            # The optimistic entry was ours and the create failed: undo it.
+            # (A migration changes the mapped shard, so a resize that moved
+            # the world meanwhile is never clobbered.)
+            del self._worlds[world]
+
+    def _finish_delete(self, world: str, done: asyncio.Future) -> None:
+        response = self._future_response(done)
+        if response is not None and response.get("ok"):
+            self._worlds.pop(world, None)
+
+    @staticmethod
+    def _chain(inner: asyncio.Future, outer: asyncio.Future) -> None:
+        """Propagate ``inner``'s response into ``outer`` (parked replay)."""
+
+        def _copy(done: asyncio.Future) -> None:
+            if outer.done():
+                return
+            if done.cancelled():
+                outer.cancel()
+            elif done.exception() is not None:  # pragma: no cover - defensive
+                outer.set_exception(done.exception())
+            else:
+                outer.set_result(done.result())
+
+        if inner.done():
+            _copy(inner)
+        else:
+            inner.add_done_callback(_copy)
 
     # ------------------------------------------------------------------ #
     # Connection handling
@@ -238,8 +549,13 @@ class FleetServer:
         task = asyncio.current_task()
         if task is not None:
             self._handlers.add(task)
-        self._connections.add(writer)
         try:
+            if self._injector is not None and self._injector.on_connection():
+                self.metrics.counter("server.faults.connections_refused").inc()
+                return
+            self._connections.add(writer)
+            write_lock = asyncio.Lock()
+            inflight: Set[asyncio.Task] = set()
             while not self._stopping.is_set():
                 # Plain readline keeps the per-request hot path to one
                 # awaitable; stop() unblocks it by closing the transport
@@ -250,14 +566,35 @@ class FleetServer:
                 try:
                     request = protocol.decode_message(line)
                 except ValueError as error:
-                    writer.write(protocol.encode_message(
-                        protocol.error_response(None, f"malformed request: {error}")
-                    ))
-                    await writer.drain()
+                    async with write_lock:
+                        writer.write(protocol.encode_message(
+                            protocol.error_response(None, f"malformed request: {error}")
+                        ))
+                        await writer.drain()
                     continue
-                response = await self._serve_request(request)
-                writer.write(protocol.encode_message(response))
-                await writer.drain()
+                future = self._begin_request(request)
+                responder = asyncio.create_task(
+                    self._respond(writer, write_lock, future)
+                )
+                inflight.add(responder)
+                self._response_tasks.add(responder)
+                responder.add_done_callback(inflight.discard)
+                responder.add_done_callback(self._response_tasks.discard)
+                # The per-connection in-flight cap: past it the server
+                # stops reading this connection until responses drain —
+                # backpressure through the socket, not through memory.
+                while len(inflight) >= self.max_inflight and not self._stopping.is_set():
+                    await asyncio.wait(
+                        list(inflight),  # detlint: ignore[det-set-iteration] -- wait-any over tasks; completion order is scheduler-driven either way and responses serialize under write_lock
+                        return_when=asyncio.FIRST_COMPLETED,
+                    )
+            # Flush this connection's outstanding responses before the
+            # transport closes under them.
+            if inflight:
+                await asyncio.gather(
+                    *list(inflight),  # detlint: ignore[det-set-iteration] -- await-all barrier; responses serialize under write_lock, so gather order is immaterial
+                    return_exceptions=True,
+                )
         finally:
             if task is not None:
                 self._handlers.discard(task)
@@ -268,26 +605,67 @@ class FleetServer:
             except (ConnectionError, OSError):  # pragma: no cover - teardown races
                 pass
 
-    async def _serve_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def _begin_request(self, request: Dict[str, Any]) -> "asyncio.Future":
+        """Validate + route one request; returns its future response.
+
+        Synchronous up to the shard queues (ordering), async beyond them.
+        """
         request_id = request.get("id")
         problem = protocol.validate_request(request)
         if problem is not None:
-            return protocol.error_response(request_id, problem)
-        self.requests_received += 1
+            return self._resolved(protocol.error_response(request_id, problem))
         op = request["op"]
+        if op in protocol.INTERNAL_OPS:
+            return self._resolved(
+                protocol.error_response(
+                    request_id, f"op {op!r} is internal to the fleet"
+                )
+            )
+        self.requests_received += 1
         if op == protocol.METRICS:
-            return await self._serve_metrics(request_id)
+            return asyncio.ensure_future(self._serve_metrics(request_id))
+        if op == protocol.RESIZE:
+            return asyncio.ensure_future(
+                self._serve_resize(request_id, request.get("params", {}))
+            )
         if op in protocol.FRONTEND_OPS:
-            return self._serve_frontend(op, request_id)
-        response = await self._submit(request)
-        # The front end tracks world placement from the responses it relays
-        # (a failed create must not register a phantom world).
-        if response.get("ok"):
-            if op == protocol.CREATE_WORLD:
-                self._worlds[request["world"]] = self.ring.shard_of(request["world"])
-            elif op == protocol.DELETE_WORLD:
-                self._worlds.pop(request["world"], None)
-        return response
+            return self._resolved(self._serve_frontend(op, request_id))
+        future = self._route(request)
+        if request["op"] == protocol.CREATE_WORLD:
+            self._create_futures.add(future)
+            future.add_done_callback(self._create_futures.discard)
+        return future
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        future: "asyncio.Future",
+    ) -> None:
+        response = await future
+        if self._injector is not None:
+            fault = self._injector.on_response()
+            if fault.delay > 0.0:
+                self.metrics.counter("server.faults.responses_delayed").inc()
+                await asyncio.sleep(fault.delay)
+            if fault.drop:
+                self.metrics.counter("server.faults.responses_dropped").inc()
+                return
+            duplicate = fault.duplicate
+        else:
+            duplicate = False
+        async with write_lock:
+            if writer.is_closing():
+                return
+            payload = protocol.encode_message(response)
+            writer.write(payload)
+            if duplicate:
+                self.metrics.counter("server.faults.responses_duplicated").inc()
+                writer.write(payload)
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):  # pragma: no cover - client went away
+                pass
 
     def _serve_frontend(self, op: str, request_id: Any) -> Dict[str, Any]:
         if op == protocol.PING:
@@ -312,7 +690,7 @@ class FleetServer:
         synthetic because the op is shard-addressed, not world-addressed.
         """
         futures = [
-            self._enqueue(
+            self._enqueue_or_fail(
                 shard,
                 {"op": protocol.SHARD_METRICS, "world": f"@shard:{shard}", "id": None},
             )
@@ -337,6 +715,160 @@ class FleetServer:
             },
         )
 
+    # ------------------------------------------------------------------ #
+    # Live resize
+    # ------------------------------------------------------------------ #
+    async def _serve_resize(self, request_id: Any, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Change the shard count without downtime (the ``resize`` op)."""
+        new_shards = params.get("shards")
+        if isinstance(new_shards, bool) or not isinstance(new_shards, int) or new_shards < 1:
+            return protocol.error_response(request_id, "'shards' must be a positive integer")
+        if self._resizing:
+            return protocol.error_response(
+                request_id,
+                "a resize is already in progress",
+                code=protocol.RETRY_LATER,
+                retry_after=0.5,
+            )
+        if new_shards == self.shards:
+            return protocol.ok_response(
+                request_id, {"shards": self.shards, "moved": 0, "parked": 0}
+            )
+        self._resizing = True
+        self.metrics.counter("server.resizes").inc()
+        old_shards = self.shards
+        new_ring = HashRing(new_shards)
+        moved = 0
+        try:
+            # Phase 0: raise the park gate, then drain outstanding creates
+            # so the moving set below is complete.
+            self._next_ring = new_ring
+            self._parked = []
+            if self._create_futures:
+                await asyncio.gather(*list(self._create_futures), return_exceptions=True)
+            moving = sorted(
+                world
+                for world, shard in self._worlds.items()
+                if new_ring.shard_of(world) != self.ring.shard_of(world)
+            )
+            self._park_moving = set(moving)
+            # Phase 1: grow the runtime first so target shards exist.
+            if new_shards > old_shards:
+                await self._grow_runtime(new_shards)
+            # Phase 2: migrate each moving world.  migrate_out rides the
+            # source shard's normal batch path, so every request already
+            # queued for the world executes first — that is the drain.
+            for world in moving:
+                source = self.ring.shard_of(world)
+                out = await self._submit_to_shard(
+                    source, {"id": None, "op": protocol.MIGRATE_OUT, "world": world}
+                )
+                if not out.get("ok"):
+                    # Deleted while queued ahead of the drain — nothing to
+                    # move; the delete's responder already updated the map.
+                    continue
+                state = out["result"]["state"]
+                target = new_ring.shard_of(world)
+                landed = await self._submit_to_shard(
+                    target,
+                    {
+                        "id": None,
+                        "op": protocol.MIGRATE_IN,
+                        "world": world,
+                        "params": {"state": state},
+                    },
+                )
+                if landed.get("ok"):
+                    self._worlds[world] = target
+                    moved += 1
+                    self.metrics.counter("server.migrations").inc()
+                else:  # pragma: no cover - defensive
+                    # Could not land on the new owner: put the world back
+                    # where it came from rather than lose it.
+                    await self._submit_to_shard(
+                        source,
+                        {
+                            "id": None,
+                            "op": protocol.MIGRATE_IN,
+                            "world": world,
+                            "params": {"state": state},
+                        },
+                    )
+            # Phase 3: the swap.  No awaits between these statements — the
+            # ring, the shard count, and the gate change atomically as far
+            # as the event loop is concerned.
+            self.ring = new_ring
+            self.shards = new_shards
+            parked = self._parked or []
+            self._parked = None
+            self._park_moving = None
+            self._next_ring = None
+            for request, future in parked:
+                self._chain(self._route(request), future)
+            # Phase 4: shrink the runtime after the swap (the dying shards
+            # hold no worlds now; their queues drain before teardown).
+            if new_shards < old_shards:
+                await self._shrink_runtime(new_shards)
+            return protocol.ok_response(
+                request_id,
+                {"shards": new_shards, "moved": moved, "parked": len(parked)},
+            )
+        finally:
+            self._resizing = False
+            if self._parked is not None:
+                # Error path: drop the gate and replay under whatever ring
+                # is current so parked clients never hang.
+                parked = self._parked
+                self._parked = None
+                self._park_moving = None
+                self._next_ring = None
+                for request, future in parked:
+                    self._chain(self._route(request), future)
+
+    async def _grow_runtime(self, new_shards: int) -> None:
+        recover = self.store_config is not None and self.store_config.durable
+        if self._pool.runs_in_loop:
+            self._pool.grow(new_shards, recover=recover)
+        else:
+            await asyncio.get_running_loop().run_in_executor(
+                None, functools.partial(self._pool.grow, new_shards, recover=recover)
+            )
+        for shard in range(len(self._pending), new_shards):
+            self._pending.append(deque())
+            self._wakeups.append(asyncio.Event())
+            self._shedding.append(False)
+            self._busy.append(False)
+            self.shard_requests.append(0)
+            self._dispatchers.append(asyncio.create_task(self._dispatch(shard)))
+
+    async def _shrink_runtime(self, new_shards: int) -> None:
+        # Drain the dying shards (queued metrics probes, stragglers), then
+        # retire their dispatchers and workers.
+        for shard in range(new_shards, len(self._pending)):
+            while self._pending[shard] or self._busy[shard]:
+                self._wakeups[shard].set()
+                await asyncio.sleep(0.01)
+        dying = self._dispatchers[new_shards:]
+        for task in dying:
+            task.cancel()
+        if dying:
+            await asyncio.gather(*dying, return_exceptions=True)
+        del self._dispatchers[new_shards:]
+        del self._pending[new_shards:]
+        del self._wakeups[new_shards:]
+        del self._shedding[new_shards:]
+        del self._busy[new_shards:]
+        del self.shard_requests[new_shards:]
+        if self._pool.runs_in_loop:
+            self._pool.shrink(new_shards)
+        else:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._pool.shrink, new_shards
+            )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
     def _frontend_snapshot(self) -> Dict[str, Any]:
         """The front end's own registry snapshot, durability gauges refreshed."""
         self._refresh_durability_metrics()
@@ -403,8 +935,12 @@ def run_server(
     state_dir: Optional[str] = None,
     snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
     max_live_worlds: Optional[int] = None,
+    faults_path: Optional[str] = None,
+    max_pending: int = DEFAULT_MAX_PENDING,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
 ) -> int:
     """Run a fleet server until a ``shutdown`` request arrives (CLI entry)."""
+    faults = FaultPlan.load(faults_path) if faults_path is not None else None
 
     async def _main() -> int:
         server = FleetServer(
@@ -416,12 +952,17 @@ def run_server(
             state_dir=state_dir,
             snapshot_every=snapshot_every,
             max_live_worlds=max_live_worlds,
+            faults=faults,
+            max_pending=max_pending,
+            max_inflight=max_inflight,
         )
         await server.start()
         mode = "inline shards" if inline else f"{shards} worker processes"
         if state_dir is not None:
             recovered = server._pool.recovered_worlds() if server._pool is not None else 0
             mode += f", durable state in {state_dir} ({recovered} worlds recovered)"
+        if faults is not None:
+            mode += f", fault plan with {len(faults.rules)} rules"
         print(f"fleet server listening on {server.host}:{server.port} ({mode})", flush=True)
         await server.serve_until_shutdown()
         print(

@@ -15,7 +15,7 @@ from repro.service.storage.base import (
     shard_db_path,
 )
 from repro.service.storage.memory import MemoryStore
-from repro.service.storage.sqlite import SqliteStore, scan_world_ids
+from repro.service.storage.sqlite import SqliteStore, scan_shard_files, scan_world_ids
 
 __all__ = [
     "RECORD_OP",
@@ -26,6 +26,7 @@ __all__ = [
     "StoreConfig",
     "WorldStore",
     "build_store",
+    "scan_shard_files",
     "scan_world_ids",
     "shard_db_path",
 ]

@@ -172,17 +172,38 @@ class SqliteStore(WorldStore):
         self._connection.close()
 
 
+def scan_shard_files(state_dir: str) -> List[int]:
+    """Shard indices with a database file present, in ascending order.
+
+    Scans the directory instead of ``range(shards)`` so a restart with a
+    *smaller* ``--shards`` still sees the worlds stranded in higher-index
+    files (the front end migrates them back into the fleet at startup).
+    """
+    import re
+
+    if not os.path.isdir(state_dir):
+        return []
+    found: List[int] = []
+    for name in os.listdir(state_dir):
+        match = re.fullmatch(r"shard-(\d+)\.sqlite", name)
+        if match:
+            found.append(int(match.group(1)))
+    return sorted(found)
+
+
 def scan_world_ids(state_dir: str, shards: int) -> Dict[str, int]:
-    """World IDs found across a state directory's shard databases.
+    """World IDs found across a state directory's shard databases, mapped
+    to the shard file each currently lives in.
 
     Used by the front end at startup (synchronous context) to repopulate
     its world→shard placement map before any worker answers a request.
-    Missing shard files simply contribute nothing.
+    Missing shard files simply contribute nothing; files beyond ``shards``
+    are included so their worlds can be migrated back into the fleet.
     """
     from repro.service.storage.base import shard_db_path
 
     placements: Dict[str, int] = {}
-    for shard in range(shards):
+    for shard in sorted(set(range(shards)) | set(scan_shard_files(state_dir))):
         path = shard_db_path(state_dir, shard)
         if not os.path.exists(path):
             continue

@@ -57,6 +57,12 @@ from repro.service.worlds import WorldHost
 #: Sentinel telling a worker loop to exit.
 _STOP = "stop"
 
+#: Sentinel telling a worker loop to die *ungracefully* (``os._exit``),
+#: exercising the real supervision path.  Sent by the fault injector's
+#: ``kill_worker`` rules; the decision is made parent-side so a one-shot
+#: rule stays consumed across the restart.
+_DIE = "die"
+
 #: Response-queue poll interval while watching worker liveness (seconds).
 _POLL_INTERVAL = 0.1
 
@@ -93,7 +99,10 @@ class InlineShardPool:
         if shard_count < 1:
             raise ValueError("a shard pool needs at least one shard")
         self.shard_count = shard_count
+        self.naive = naive
+        self.store_config = store_config
         self.worker_restarts = 0
+        self._killed = [False] * shard_count
         self.hosts = [_build_host(shard, naive, store_config) for shard in range(shard_count)]
         if recover:
             if store_config is None:
@@ -101,13 +110,70 @@ class InlineShardPool:
             for host in self.hosts:
                 host.recover()
 
+    @property
+    def durable(self) -> bool:
+        """Whether shard state survives a (simulated) worker death."""
+        return self.store_config is not None and self.store_config.durable
+
+    def kill_worker(self, shard: int) -> None:
+        """Mark ``shard``'s host as crashed (the inline analogue of a
+        worker-process death): the next batch finds the host gone and takes
+        the same restart-or-error path the process pool takes."""
+        self._killed[shard] = True
+
     def execute(self, shard: int, batch: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
         """Run one batch on ``shard``; responses in request order."""
+        if self._killed[shard]:
+            self._killed[shard] = False
+            # Abandon the host without flushing — a crash checkpoints
+            # nothing — and rebuild, mirroring the process pool's restart.
+            old_store = self.hosts[shard].store
+            if old_store is not None:
+                old_store.close()
+            replacement = _build_host(shard, self.naive, self.store_config)
+            self.hosts[shard] = replacement
+            self.worker_restarts += 1
+            if not self.durable:
+                from repro.service.protocol import error_response
+
+                return [
+                    error_response(
+                        request.get("id"),
+                        f"shard {shard} worker died executing this batch; "
+                        f"its worlds were lost (no durable store configured)",
+                    )
+                    for request in batch
+                ]
+            replacement.recover()
         return self.hosts[shard].execute_batch(batch)
 
     def recovered_worlds(self) -> int:
         """Worlds restored from storage across all shards."""
         return sum(host.recovered_worlds for host in self.hosts)
+
+    def grow(self, new_count: int, *, recover: bool = False) -> None:
+        """Add shards ``shard_count..new_count-1`` (live resize, grow leg)."""
+        if new_count < self.shard_count:
+            raise ValueError("grow() cannot shrink the pool")
+        for shard in range(self.shard_count, new_count):
+            host = _build_host(shard, self.naive, self.store_config)
+            if recover and host.store is not None:
+                host.recover()
+            self.hosts.append(host)
+            self._killed.append(False)
+        self.shard_count = new_count
+
+    def shrink(self, new_count: int) -> None:
+        """Drop shards ``new_count..`` (their worlds must already be gone)."""
+        if not 1 <= new_count <= self.shard_count:
+            raise ValueError("shrink() needs 1 <= new_count <= shard_count")
+        while len(self.hosts) > new_count:
+            host = self.hosts.pop()
+            self._killed.pop()
+            host.close()
+            if host.store is not None:
+                host.store.close()
+        self.shard_count = new_count
 
     def close(self) -> None:
         """Release every host's worlds (flushing to storage where attached)."""
@@ -160,6 +226,10 @@ def _worker_loop(
             continue
         if message == _STOP:
             break
+        if message == _DIE:
+            # Injected crash: die the way a real fault would — no cleanup,
+            # no store flush, no queue drain.
+            os._exit(1)
         seq, batch = message
         try:
             responses = host.execute_batch(batch, batch_seq=seq)
@@ -332,6 +402,56 @@ class ProcessShardPool:
             )
             for request in batch
         ]
+
+    def kill_worker(self, shard: int) -> None:
+        """Crash ``shard``'s worker ungracefully (fault injection).
+
+        The death is asynchronous: the worker ``os._exit``\\ s when it pulls
+        the sentinel, and the next ``execute`` for the shard finds it dead
+        and takes the normal supervision path (durable restart + re-dispatch
+        or per-request error responses).
+        """
+        try:
+            self._inboxes[shard].put(_DIE)
+        except (ValueError, OSError):  # pragma: no cover - teardown races
+            pass
+
+    def grow(self, new_count: int, *, recover: bool = False) -> None:
+        """Spawn workers for shards ``shard_count..new_count-1``."""
+        if new_count < self.shard_count:
+            raise ValueError("grow() cannot shrink the pool")
+        if recover and not self.durable:
+            raise ValueError("recover=True needs a durable store_config")
+        new_shards = range(self.shard_count, new_count)
+        for shard in new_shards:
+            inbox, outbox, worker = self._spawn(shard, recover=recover)
+            self._inboxes.append(inbox)
+            self._outboxes.append(outbox)
+            self._workers.append(worker)
+            self._batch_seqs.append(0)
+        self.shard_count = new_count
+        if recover:
+            for shard in new_shards:
+                self._recovered += self._handshake(shard)
+
+    def shrink(self, new_count: int) -> None:
+        """Stop workers ``new_count..`` (their worlds must already be gone)."""
+        if not 1 <= new_count <= self.shard_count:
+            raise ValueError("shrink() needs 1 <= new_count <= shard_count")
+        stopping = list(zip(self._inboxes[new_count:], self._workers[new_count:]))
+        for inbox, worker in stopping:
+            if worker.is_alive():
+                inbox.put(_STOP)
+        for _, worker in stopping:
+            worker.join(timeout=10)
+            if worker.is_alive():  # pragma: no cover - defensive
+                worker.terminate()
+                worker.join(timeout=5)
+        del self._inboxes[new_count:]
+        del self._outboxes[new_count:]
+        del self._workers[new_count:]
+        del self._batch_seqs[new_count:]
+        self.shard_count = new_count
 
     def close(self) -> None:
         """Stop every worker and reap the processes."""

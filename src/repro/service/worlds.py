@@ -36,6 +36,7 @@ property rather than a hope.
 
 from __future__ import annotations
 
+import base64
 import copy
 import dataclasses
 import functools
@@ -86,6 +87,11 @@ SNAPSHOT_CACHE_MAX_ENTRIES = 1024
 #: Default checkpoint cadence: a durable host checkpoints a world after
 #: every this-many applied write ops (``cbtc serve --snapshot-every``).
 DEFAULT_SNAPSHOT_EVERY = 16
+
+#: Per-world idempotency-token memory.  A retried write re-issued under
+#: its original token is answered from here instead of being applied
+#: twice; the bound only has to outlive the retry window, not history.
+TOKEN_CACHE_MAX_ENTRIES = 256
 
 
 class RequestError(ValueError):
@@ -152,6 +158,12 @@ class World:
         self.writes_applied = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        # Idempotency tokens of writes already applied to this world, with
+        # the results they produced.  Lives on the world (not the host) so
+        # it rides checkpoints, eviction pickles, and migration blobs — a
+        # retry that lands after a crash-recover or on the world's new
+        # shard still deduplicates.  Never serialized into snapshots.
+        self.applied_tokens: "OrderedDict[str, Any]" = OrderedDict()
         # Prime at creation (the ScenarioRunner.prime() analogue): run the
         # initial NDP reconciliation — the first synchronize after a fresh
         # CBTC outcome floods join events as boundary beacons complete every
@@ -186,6 +198,30 @@ class World:
         state = self.__dict__.copy()
         state["_sync_listener"] = None
         return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        # Checkpoints written before idempotency tokens existed lack the
+        # attribute; default it so old state dirs rehydrate cleanly.
+        state.setdefault("applied_tokens", OrderedDict())
+        self.__dict__.update(state)
+
+    def remember_token(self, token: str, result: Any) -> None:
+        """Record an applied write's idempotency token and its result."""
+        if token in self.applied_tokens:
+            self.applied_tokens.move_to_end(token)
+        self.applied_tokens[token] = copy.deepcopy(result)
+        while len(self.applied_tokens) > TOKEN_CACHE_MAX_ENTRIES:
+            self.applied_tokens.popitem(last=False)
+
+    def token_result(self, token: Optional[str]) -> Optional[Any]:
+        """The remembered result for ``token``, or None if never applied."""
+        if token is None:
+            return None
+        cached = self.applied_tokens.get(token)
+        if cached is None:
+            return None
+        self.applied_tokens.move_to_end(token)
+        return copy.deepcopy(cached)
 
     def _notify_sync(self) -> None:
         """Tell the hosting WAL (if any) that a synchronize is about to run."""
@@ -580,10 +616,17 @@ class WorldHost:
         self._staged.append((world_id, seq, record))
         return marker
 
-    def _stage_write(self, world_id: str, op: str, params: Dict[str, Any]) -> Optional[int]:
+    def _stage_write(
+        self, world_id: str, op: str, params: Dict[str, Any], *, token: Optional[str] = None
+    ) -> Optional[int]:
         if not self._logging_enabled():
             return None
-        return self._stage(world_id, {"kind": RECORD_OP, "op": op, "params": params})
+        record: Dict[str, Any] = {"kind": RECORD_OP, "op": op, "params": params}
+        if token is not None:
+            # The token rides the WAL record so log replay re-registers it:
+            # a retry landing after crash recovery still deduplicates.
+            record["token"] = token
+        return self._stage(world_id, record)
 
     def _stage_sync(self, world_id: str) -> None:
         """The :attr:`World._sync_listener` hook: log a sync marker."""
@@ -669,31 +712,50 @@ class WorldHost:
                 if op == protocol.CREATE_WORLD:
                     spec, seed = build_world_spec(params)
                     world = World(world_id, spec, seed, naive=self.naive)
+                    result: Any = {
+                        "world": world_id,
+                        "scenario": spec.name,
+                        "seed": seed,
+                        "nodes": len(world.network),
+                    }
+                elif op == protocol.MIGRATE_IN:
+                    world = pickle.loads(base64.b64decode(params["state"]))
+                    result = {"world": world_id, "migrated": True}
                 elif world is None:
                     raise RuntimeError(f"op {op!r} before create in {world_id!r} log")
                 elif op == protocol.ADVANCE:
-                    world.advance(params)
+                    result = world.advance(params)
                 elif op == protocol.APPLY:
-                    world.apply_delta(params)
+                    result = world.apply_delta(params)
                 else:
                     raise RuntimeError(f"unexpected op {op!r} in {world_id!r} log")
+                token = record.get("token")
+                if token is not None:
+                    world.remember_token(token, result)
         finally:
             self._replaying = previous
         return world
+
+    def _forget_world(self, world_id: str) -> None:
+        """Drop a world's host-side bookkeeping and stage its durable purge.
+
+        Shared by deletion and outbound migration: any records this batch
+        already staged for the world die with it, and the purge rides the
+        same commit.
+        """
+        self._evicted.discard(world_id)
+        self._log_seq.pop(world_id, None)
+        self._write_counts.pop(world_id, None)
+        self._checkpointed_writes.pop(world_id, None)
+        self._staged = [entry for entry in self._staged if entry[0] != world_id]
+        if self._logging_enabled():
+            self._staged_purges.append(world_id)
 
     def _delete_world(self, world_id: str) -> None:
         live = self.worlds.pop(world_id, None)
         if live is not None:
             live.close()
-        self._evicted.discard(world_id)
-        self._log_seq.pop(world_id, None)
-        self._write_counts.pop(world_id, None)
-        self._checkpointed_writes.pop(world_id, None)
-        # Deletion's durable effect is a purge in the same commit; any
-        # records this batch already staged for the world die with it.
-        self._staged = [entry for entry in self._staged if entry[0] != world_id]
-        if self._logging_enabled():
-            self._staged_purges.append(world_id)
+        self._forget_world(world_id)
 
     # ------------------------------------------------------------------ #
     # Checkpoints and eviction
@@ -787,15 +849,54 @@ class WorldHost:
     # Execution
     # ------------------------------------------------------------------ #
     # The per-op dispatch; every handler returns the response's ``result``.
-    def _execute_world_op(self, op: str, world_id: str, params: Dict[str, Any]) -> Any:
+    def _execute_world_op(
+        self,
+        op: str,
+        world_id: str,
+        params: Dict[str, Any],
+        token: Optional[str] = None,
+    ) -> Any:
         if op == protocol.SHARD_METRICS:
             # Not tied to any world: the front end fans one such request to
             # every shard (with a synthetic world id) and merges the results.
             return self.metrics_snapshot()
+        if op == protocol.MIGRATE_OUT:
+            # Drain this world for its new owner: serialize, detach, and
+            # purge its durable history here — the pickled blob carries
+            # everything (including applied idempotency tokens), and the
+            # receiving shard logs it as its own MIGRATE_IN record.
+            world = self._world(world_id)
+            blob = pickle.dumps(world)
+            self.worlds.pop(world_id, None)
+            world.close()
+            self._forget_world(world_id)
+            return {
+                "world": world_id,
+                "state": base64.b64encode(blob).decode("ascii"),
+            }
+        if op == protocol.MIGRATE_IN:
+            if world_id in self.worlds or world_id in self._evicted:
+                # A re-dispatched migration batch (worker died after the
+                # adopt became durable) must converge, not error.
+                return {"world": world_id, "migrated": True}
+            state = params.get("state")
+            if not isinstance(state, str):
+                raise RequestError("migrate_in requires the pickled 'state'")
+            try:
+                world = pickle.loads(base64.b64decode(state))
+            except Exception:
+                raise RequestError("migrate_in 'state' is not a valid world blob") from None
+            self._stage_write(world_id, op, params)
+            self._adopt(world_id, world)
+            return {"world": world_id, "migrated": True}
         if op == protocol.CREATE_WORLD:
             if world_id in self.worlds or world_id in self._evicted:
+                if token is not None:
+                    cached = self._world(world_id).token_result(token)
+                    if cached is not None:
+                        return cached
                 raise RequestError(f"world {world_id!r} already exists")
-            marker = self._stage_write(world_id, op, params)
+            marker = self._stage_write(world_id, op, params, token=token)
             try:
                 spec, seed = build_world_spec(params)
                 world = World(world_id, spec, seed, naive=self.naive)
@@ -803,32 +904,39 @@ class WorldHost:
                 self._unstage_from(marker)
                 raise
             self._adopt(world_id, world)
-            return {
+            result = {
                 "world": world_id,
                 "scenario": spec.name,
                 "seed": seed,
                 "nodes": len(world.network),
             }
+            if token is not None:
+                world.remember_token(token, result)
+            return result
         if op == protocol.DELETE_WORLD:
             if world_id not in self.worlds and world_id not in self._evicted:
                 raise RequestError(f"unknown world {world_id!r}")
             self._delete_world(world_id)
             return {"world": world_id, "deleted": True}
         world = self._world(world_id)
-        if op == protocol.ADVANCE:
-            marker = self._stage_write(world_id, op, params)
+        if op in (protocol.ADVANCE, protocol.APPLY):
+            cached = world.token_result(token)
+            if cached is not None:
+                # The write already applied under this token (the client
+                # retried a request whose response was lost) — answer from
+                # memory instead of applying it twice.
+                return cached
+            marker = self._stage_write(world_id, op, params, token=token)
             try:
-                return world.advance(params)
+                result = (
+                    world.advance(params) if op == protocol.ADVANCE else world.apply_delta(params)
+                )
             except BaseException:
                 self._unstage_from(marker)
                 raise
-        if op == protocol.APPLY:
-            marker = self._stage_write(world_id, op, params)
-            try:
-                return world.apply_delta(params)
-            except BaseException:
-                self._unstage_from(marker)
-                raise
+            if token is not None:
+                world.remember_token(token, result)
+            return result
         if op == protocol.QUERY_STATS:
             return world.stats(params)
         if op == protocol.QUERY_ROUTE:
@@ -850,12 +958,15 @@ class WorldHost:
         op = request["op"]
         if op not in protocol.WORLD_OPS:
             return protocol.error_response(request_id, f"op {op!r} is not served by shards")
-        if op != protocol.SHARD_METRICS:
-            # Metrics probes are excluded so qps derived from this counter
-            # reflects the workload, not the observer.
+        if op != protocol.SHARD_METRICS and op not in protocol.INTERNAL_OPS:
+            # Metrics probes and migration plumbing are excluded so qps
+            # derived from this counter reflects the workload, not the
+            # observer or the rebalancer.
             self.requests_executed += 1
         try:
-            result = self._execute_world_op(op, request["world"], request.get("params", {}))
+            result = self._execute_world_op(
+                op, request["world"], request.get("params", {}), request.get("token")
+            )
         except RequestError as error:
             return protocol.error_response(request_id, str(error))
         except Exception as error:

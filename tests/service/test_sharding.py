@@ -46,3 +46,51 @@ class TestHashRing:
             HashRing(0)
         with pytest.raises(ValueError):
             HashRing(2, replicas=0)
+
+
+class TestHashRingResize:
+    """The resize edge cases live migration leans on."""
+
+    WORLDS = [f"world-{i:03d}" for i in range(400)]
+
+    def test_shrinking_to_one_shard_converges_everywhere(self):
+        # The terminal shrink: whatever the starting count, every world
+        # lands on shard 0 and nothing is orphaned.
+        for start in (2, 3, 8):
+            before = HashRing(start).assignment(self.WORLDS)
+            after = HashRing(1).assignment(self.WORLDS)
+            assert set(after.values()) == {0}
+            moved = [w for w in self.WORLDS if before[w] != after[w]]
+            # Exactly the worlds not already on shard 0 move.
+            assert sorted(moved) == sorted(w for w in self.WORLDS if before[w] != 0)
+
+    def test_growing_past_virtual_node_count(self):
+        # More shards than replicas-per-shard would naively suggest is
+        # fine: every shard still appears on the ring, and with enough
+        # keys every shard owns some (sparse rings are lumpy at small
+        # sample sizes, so this one samples wide).
+        ring = HashRing(24, replicas=8)
+        assignment = ring.assignment([f"world-{i:05d}" for i in range(5000)])
+        assert set(assignment.values()) == set(range(24))
+        for i in range(200):
+            assert 0 <= ring.shard_of(f"extra-{i}") < 24
+
+    def test_grow_moves_roughly_one_over_n(self):
+        # The consistent-hashing contract: growing n-1 -> n moves about
+        # 1/n of the keys (within a 3x band — CRC32 placement is lumpy at
+        # this sample size, but nowhere near the (n-1)/n of modulo).
+        for n in (3, 5, 9):
+            before = HashRing(n - 1).assignment(self.WORLDS)
+            after = HashRing(n).assignment(self.WORLDS)
+            moved = sum(1 for w in self.WORLDS if before[w] != after[w])
+            expected = len(self.WORLDS) / n
+            assert expected / 3 <= moved <= expected * 3
+            # Nothing shuffles between surviving shards: every move lands
+            # on the new shard.
+            assert {after[w] for w in self.WORLDS if before[w] != after[w]} == {n - 1}
+
+    def test_shrink_moves_only_the_dying_shards_keys(self):
+        before = HashRing(6).assignment(self.WORLDS)
+        after = HashRing(5).assignment(self.WORLDS)
+        moved = [w for w in self.WORLDS if before[w] != after[w]]
+        assert moved and all(before[w] == 5 for w in moved)
