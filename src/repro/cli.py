@@ -25,6 +25,9 @@ the experiment harnesses:
 * ``lint`` — the ``detlint`` static determinism/concurrency contract
   checker (AST rules, ``# detlint: ignore[rule-id]`` suppressions,
   committed-baseline diffing, human or canonical-JSON output);
+* ``watch`` — subscribe to a world on a running fleet server and print its
+  epoch-commit diff frames live (``--verify`` requires the reconstructed
+  snapshot to be byte-identical to a fresh fetch);
 * ``metrics`` — fetch a running fleet server's merged metrics registry
   (per-shard counters, cache hit rates, canonical histogram percentiles);
 * ``bench run|diff`` — the committed benchmark trajectory: reference-
@@ -346,6 +349,7 @@ def _load(args: argparse.Namespace) -> int:
             mover_fraction=args.mover_fraction,
             write_fraction=args.write_fraction,
             connections=args.connections,
+            subscribers=args.subscribers,
             request_timeout=args.timeout,
             deadline=args.deadline,
             max_attempts=args.max_attempts,
@@ -455,6 +459,128 @@ def _resize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _diff_frame_summary(diff: dict) -> str:
+    """One human line for a diff frame's section sizes."""
+    parts = []
+    fields = diff.get("fields", {})
+    removed_fields = diff.get("fields_removed", [])
+    if fields or removed_fields:
+        parts.append(f"fields ~{len(fields)} -{len(removed_fields)}")
+    for section in ("nodes", "topo_nodes", "edges"):
+        delta = diff.get(section)
+        if not delta:
+            continue
+        parts.append(
+            f"{section} +{len(delta.get('added', []))}"
+            f" -{len(delta.get('removed', []))}"
+            f" ~{len(delta.get('changed', []))}"
+        )
+    return ", ".join(parts) if parts else "(empty)"
+
+
+def _watch(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.io.results import canonical_json
+    from repro.service import protocol
+    from repro.service.client import ServiceError, ServiceTimeout, SubscribingClient
+
+    async def _run() -> int:
+        try:
+            client = await SubscribingClient.connect(
+                args.host, args.port, timeout=args.timeout
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError) as error:
+            print(
+                f"cannot reach {args.host}:{args.port}: {error}; is 'cbtc serve' running?",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            try:
+                await client.subscribe(args.world)
+            except ServiceError as error:
+                print(f"cannot subscribe to {args.world!r}: {error}", file=sys.stderr)
+                return 1
+            mirror = client.mirrors[args.world]
+            nodes = len((mirror.snapshot or {}).get("nodes", []))
+            print(
+                f"subscribed to {args.world!r} at seq {mirror.seq} ({nodes} nodes)",
+                flush=True,
+            )
+            seen = 0
+
+            def on_frame(frame: dict) -> None:
+                nonlocal seen
+                seen += 1
+                if args.json:
+                    print(canonical_json(frame), flush=True)
+                    return
+                kind = frame.get("kind")
+                if kind == protocol.FRAME_DIFF:
+                    print(
+                        f"seq {frame['seq']} diff: "
+                        f"{_diff_frame_summary(frame.get('data', {}))}",
+                        flush=True,
+                    )
+                elif kind == protocol.FRAME_SNAPSHOT:
+                    print(f"seq {frame['seq']} snapshot (resync)", flush=True)
+                else:
+                    print(f"seq {frame['seq']} deleted", flush=True)
+
+            client.on_frame = on_frame
+            while not mirror.deleted and (args.frames is None or seen < args.frames):
+                try:
+                    await client.wait_for(args.world, timeout=args.timeout)
+                except ServiceTimeout:
+                    pass  # no frames yet; keep watching
+                except ConnectionError:
+                    print("connection lost", file=sys.stderr)
+                    return 1
+                if client.stale:
+                    # A sequence gap (e.g. racing collects around a resize
+                    # outran the ring): resume from the mirror's cursor.
+                    await client.heal()
+            if args.verify and not mirror.deleted:
+                # The fresh fetch can be ahead of the mirror while frames
+                # are still in flight; give the stream a few rounds to
+                # converge before declaring divergence.
+                verified = False
+                for _ in range(10):
+                    fresh = await client.call(protocol.SNAPSHOT, world=args.world)
+                    if canonical_json(mirror.snapshot) == canonical_json(fresh):
+                        verified = True
+                        break
+                    try:
+                        await client.wait_for(args.world, timeout=2.0)
+                    except ServiceTimeout:
+                        pass
+                    if client.stale:
+                        await client.heal()
+                if not verified:
+                    print(
+                        f"verify FAILED: reconstructed snapshot of {args.world!r} "
+                        f"diverged from a fresh fetch",
+                        file=sys.stderr,
+                    )
+                    return 1
+                print(
+                    f"verify: reconstructed snapshot byte-identical at seq {mirror.seq}"
+                )
+            print(
+                f"watched {seen} frame(s) of {args.world!r} "
+                f"(resyncs={mirror.resyncs}, gaps={client.gaps})"
+            )
+            return 0
+        finally:
+            await client.close()
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 130
+
+
 def _metrics(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -484,29 +610,42 @@ def _metrics(args: argparse.Namespace) -> int:
 
         print(canonical_json(payload))
         return 0
+    print(_render_metrics(payload))
+    return 0
+
+
+def _render_metrics(payload: dict) -> str:
+    """The human-readable ``cbtc metrics`` report.
+
+    Tolerates a completely empty registry (a server that has answered no
+    requests yet): every section renders with whatever is present, and a
+    payload with no samples at all says so instead of printing nothing.
+    """
     merged = payload.get("merged", {})
     shard_count = len(payload.get("shards", []))
-    print(f"fleet metrics ({shard_count} shard(s) + front end, merged)")
+    lines = [f"fleet metrics ({shard_count} shard(s) + front end, merged)"]
     counters = merged.get("counters", {})
     if counters:
-        print("counters:")
+        lines.append("counters:")
         for name, value in sorted(counters.items()):
-            print(f"  {name:<36} {value:>12g}")
+            lines.append(f"  {name:<36} {value:>12g}")
     gauges = merged.get("gauges", {})
     if gauges:
-        print("gauges:")
+        lines.append("gauges:")
         for name, value in sorted(gauges.items()):
-            print(f"  {name:<36} {value:>12g}")
+            lines.append(f"  {name:<36} {value:>12g}")
     histograms = merged.get("histograms", {})
     if histograms:
-        print("histograms (count / mean / p50 / p95 / p99):")
+        lines.append("histograms (count / mean / p50 / p95 / p99):")
         for name, summary in sorted(histograms.items()):
             cells = [summary.get(k) for k in ("mean", "p50", "p95", "p99")]
             rendered = "  ".join(
                 "-" if cell is None else f"{cell:.6g}" for cell in cells
             )
-            print(f"  {name:<36} {summary.get('count', 0):>8}  {rendered}")
-    return 0
+            lines.append(f"  {name:<36} {summary.get('count', 0):>8}  {rendered}")
+    if not (counters or gauges or histograms):
+        lines.append("  (no samples recorded yet)")
+    return "\n".join(lines)
 
 
 def _bench_run(args: argparse.Namespace) -> int:
@@ -758,6 +897,14 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--worlds", type=int, default=8, help="worlds to create and exercise")
     load.add_argument("--requests", type=int, default=10, help="requests per world (plus create/snapshot)")
     load.add_argument("--connections", type=int, default=4, help="concurrent closed-loop connections")
+    load.add_argument(
+        "--subscribers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="watch the first N worlds with live diff-push subscribers "
+        "(mirrors verified byte-identical at the end of the run)",
+    )
     load.add_argument("--seed", type=int, default=0, help="trace seed (the whole trace is deterministic)")
     load.add_argument("--scenario", default=DEFAULT_SCENARIO, help="catalogue scenario bootstrapping each world")
     load.add_argument("--nodes", type=int, default=80, help="node population per world")
@@ -846,6 +993,37 @@ def build_parser() -> argparse.ArgumentParser:
     resize.add_argument("--port", type=int, default=7421)
     resize.add_argument("--shards", type=int, required=True, help="new shard count")
     resize.set_defaults(func=_resize)
+
+    watch = subparsers.add_parser(
+        "watch", help="subscribe to a world and print its pushed diff frames live"
+    )
+    watch.add_argument("world", help="world id to watch")
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument("--port", type=int, default=7421)
+    watch.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after N frames (default: watch until the world is deleted)",
+    )
+    watch.add_argument(
+        "--verify",
+        action="store_true",
+        help="before exiting, require the diff-reconstructed snapshot to be "
+        "byte-identical to a fresh snapshot fetch",
+    )
+    watch.add_argument(
+        "--json", action="store_true", help="print raw push frames as canonical JSON"
+    )
+    watch.add_argument(
+        "--timeout",
+        type=float,
+        default=DEFAULT_TIMEOUT,
+        metavar="SECONDS",
+        help="per-wait timeout while idle (the watch itself runs until done)",
+    )
+    watch.set_defaults(func=_watch)
 
     metrics = subparsers.add_parser(
         "metrics", help="fetch a running fleet server's merged metrics registry"

@@ -154,6 +154,94 @@ def _migrate_factory(worlds: int, requests: int) -> CellFactory:
     return factory
 
 
+def _subs_factory(worlds: int, requests: int, *, subscribers: int) -> CellFactory:
+    """Diff-push overhead at fleet scale: the roadmap's 256-world cell.
+
+    The timed thunk replays the steady-state workload with a subscriber
+    population attached — every write to a tracked world computes and
+    retains a structural diff, and the mirror-collection sweep drains the
+    rings exactly as the front end does — so the ratio tracks the full
+    epoch-commit → diff → push pipeline against the plain serving path.
+    """
+
+    def factory() -> Callable[[], Any]:
+        from repro.service.loadgen import LoadConfig, build_trace, flatten_trace, world_name
+        from repro.service.replay import ShardedReplayer
+
+        config = LoadConfig(
+            worlds=worlds,
+            requests_per_world=requests,
+            nodes=60,
+            mover_fraction=0.05,
+            write_fraction=0.3,
+            seed=0,
+        )
+        traces = build_trace(config)
+        creates = [trace[0] for trace in traces]
+        workload = flatten_trace([trace[1:] for trace in traces])
+        replayer = ShardedReplayer(4)
+        replayer.execute(creates, schedule_seed=0)
+        for index in range(subscribers):
+            replayer.attach_mirror(world_name(index))
+
+        def run() -> Any:
+            try:
+                routed = replayer.execute(workload, schedule_seed=1)
+                replayer.collect_all_frames()
+                return routed
+            finally:
+                replayer.close()
+
+        return run
+
+    return factory
+
+
+def _wal_factory(worlds: int, requests: int) -> CellFactory:
+    """Durable write-heavy mix: every write group-commits through sqlite.
+
+    ROADMAP item 5's trajectory cell — a WAL regression (fsync cadence,
+    record encoding, checkpoint pressure) shows up in ``cbtc bench diff``
+    here rather than only in the dedicated durability benchmarks.
+    """
+
+    def factory() -> Callable[[], Any]:
+        import shutil
+        import tempfile
+
+        from repro.service.loadgen import LoadConfig, build_trace, flatten_trace
+        from repro.service.replay import ShardedReplayer
+        from repro.service.storage import SqliteStore, shard_db_path
+
+        config = LoadConfig(
+            worlds=worlds,
+            requests_per_world=requests,
+            nodes=60,
+            mover_fraction=0.05,
+            write_fraction=0.6,
+            seed=0,
+        )
+        traces = build_trace(config)
+        creates = [trace[0] for trace in traces]
+        workload = flatten_trace([trace[1:] for trace in traces])
+        state_dir = tempfile.mkdtemp(prefix="bench-wal-")
+        replayer = ShardedReplayer(
+            4, store_factory=lambda shard: SqliteStore(shard_db_path(state_dir, shard))
+        )
+        replayer.execute(creates, schedule_seed=0)
+
+        def run() -> Any:
+            try:
+                return replayer.execute(workload, schedule_seed=1)
+            finally:
+                replayer.close()
+                shutil.rmtree(state_dir, ignore_errors=True)
+
+        return run
+
+    return factory
+
+
 #: area -> ordered (cell name, factory) pairs.
 _AREAS: Dict[str, Tuple[Tuple[str, CellFactory], ...]] = {
     "topology": (
@@ -164,6 +252,8 @@ _AREAS: Dict[str, Tuple[Tuple[str, CellFactory], ...]] = {
         ("engine-cached-8x12", _engine_factory(8, 12, naive=False)),
         ("engine-naive-4x6", _engine_factory(4, 6, naive=True)),
         ("migrate-grow-shrink-12x8", _migrate_factory(12, 8)),
+        ("subs-diff-push-256x3", _subs_factory(256, 3, subscribers=64)),
+        ("wal-write-heavy-8x24", _wal_factory(8, 24)),
     ),
 }
 

@@ -40,6 +40,7 @@ from repro.service.client import (
     RetryingClient,
     ServiceClient,
     ServiceError,
+    SubscribingClient,
 )
 from repro.service.replay import replay_serial
 from repro.service.worlds import DEFAULT_SCENARIO
@@ -60,6 +61,12 @@ class LoadConfig:
     write_fraction: float = 0.5
     traffic_fraction: float = 0.2
     connections: int = 4
+    #: How many worlds carry a live subscriber: the first ``subscribers``
+    #: worlds get a ``subscribe`` in their trace right after the create (so
+    #: the serial reference walks the same synchronize schedule) plus a
+    #: dedicated watcher connection reconstructing the world from pushed
+    #: diffs during the timed phase.
+    subscribers: int = 0
     #: Client robustness knobs.  They shape how the trace is *delivered*
     #: (timeouts, retries), never the trace itself — the serial reference
     #: stays byte-identical whatever these are set to.
@@ -81,6 +88,10 @@ class LoadConfig:
             raise ValueError("traffic_fraction must lie in [0, 1]")
         if self.connections < 1:
             raise ValueError("a load run needs at least one connection")
+        if self.subscribers < 0:
+            raise ValueError("subscribers must be non-negative")
+        if self.subscribers > self.worlds:
+            raise ValueError("subscribers cannot exceed the world count")
         if self.request_timeout <= 0:
             raise ValueError("request_timeout must be positive")
         if self.deadline <= 0:
@@ -126,6 +137,12 @@ def build_world_trace(config: LoadConfig, index: int) -> List[Dict[str, Any]]:
     trace: List[Dict[str, Any]] = [
         {"op": protocol.CREATE_WORLD, "world": wid, "params": create_params}
     ]
+    if index < config.subscribers:
+        # Subscribing turns on diff tracking, which changes the world's
+        # synchronize schedule from that point on — it must sit at the same
+        # trace position (right after the create, before any write) in the
+        # live run and the serial reference alike.
+        trace.append({"op": protocol.SUBSCRIBE, "world": wid, "params": {}})
     for _ in range(config.requests_per_world):
         if rng.random() < config.write_fraction:
             trace.append({"op": protocol.ADVANCE, "world": wid, "params": {"steps": 1}})
@@ -206,6 +223,13 @@ class LoadReport:
     retries: int = 0
     reconnects: int = 0
     shed_responses: int = 0
+    #: Subscriber population: worlds watched, push frames received by the
+    #: watcher connections, resync (full-snapshot) frames among them, and
+    #: how many mirrors ended byte-identical to the served final snapshot.
+    subscribers: int = 0
+    frames_pushed: int = 0
+    subscriber_resyncs: int = 0
+    mirrors_verified: int = 0
     op_counts: Dict[str, int] = field(default_factory=dict)
     op_p95_ms: Dict[str, float] = field(default_factory=dict)
     server_stats: Optional[Dict[str, Any]] = None
@@ -228,6 +252,13 @@ class LoadReport:
             lines.append(
                 f"robustness: {self.retries} retries, {self.reconnects} reconnects, "
                 f"{self.shed_responses} shed responses absorbed"
+            )
+        if self.subscribers:
+            lines.append(
+                f"subscribers: {self.subscribers} worlds watched, "
+                f"{self.frames_pushed} frames pushed "
+                f"({self.subscriber_resyncs} resyncs), "
+                f"{self.mirrors_verified}/{self.subscribers} mirrors byte-identical"
             )
         for op in sorted(self.op_counts):
             lines.append(
@@ -290,6 +321,10 @@ async def run_load_async(
     errors = 0
     setup_requests = 0
     failures: List[BaseException] = []
+    watchers: List[SubscribingClient] = []
+    mirrors_verified = 0
+    frames_pushed = 0
+    subscriber_resyncs = 0
 
     async def issue(client: RetryingClient, request: Dict[str, Any], timed: bool) -> None:
         nonlocal errors
@@ -310,19 +345,29 @@ async def run_load_async(
         if result is not None and request["op"] == protocol.SNAPSHOT:
             snapshots[request["world"]] = results_to_json(result)
 
+    def _setup_len(trace: List[Dict[str, Any]]) -> int:
+        """How many leading requests belong to the provisioning phase."""
+        length = 1
+        if len(trace) > 1 and trace[1]["op"] == protocol.SUBSCRIBE:
+            length = 2
+        return length
+
     async def setup(client, connection_traces) -> None:
         nonlocal setup_requests
         if not connection_traces:
             return
         for trace in connection_traces:
             assert trace[0]["op"] == protocol.CREATE_WORLD
-            await issue(client, trace[0], timed=False)
-            setup_requests += 1
+            for request in trace[: _setup_len(trace)]:
+                await issue(client, request, timed=False)
+                setup_requests += 1
 
     async def drive(client, connection_traces) -> None:
         if not connection_traces:
             return
-        for request in flatten_trace([trace[1:] for trace in connection_traces]):
+        for request in flatten_trace(
+            [trace[_setup_len(trace):] for trace in connection_traces]
+        ):
             await issue(client, request, timed=True)
 
     def make_client(index: int) -> RetryingClient:
@@ -366,6 +411,20 @@ async def run_load_async(
                 f"likely still hosts worlds from a previous run — restart it (or "
                 f"shut it down with 'cbtc load --shutdown') before loading again"
             )
+        # Subscriber population: dedicated watcher connections mirror the
+        # subscribed worlds from pushed diffs through the timed phase.
+        # They attach after setup (the trace's own subscribe has already
+        # turned tracking on) and before the clock starts.
+        watched = [world_name(index) for index in range(config.subscribers)]
+        watcher_count = min(len(watched), config.connections) or 0
+        for index in range(watcher_count):
+            watchers.append(
+                await SubscribingClient.connect(
+                    host, port, timeout=config.request_timeout
+                )
+            )
+        for index, world in enumerate(watched):
+            await watchers[index % watcher_count].subscribe(world)
         # The metrics snapshot bracketing the timed phase turns cumulative
         # per-shard request counters into per-shard qps for this run.
         metrics_before = await _fetch_metrics(host, port)
@@ -373,10 +432,19 @@ async def run_load_async(
         started = clock.wall()
         await asyncio.gather(*(drive(c, a) for c, a in zip(clients, assignments)))
         elapsed = clock.wall() - started
+        mirrors_verified = await _settle_watchers(watchers, watched, snapshots)
+        frames_pushed = sum(watcher.frames_received for watcher in watchers)
+        subscriber_resyncs = sum(
+            watcher.mirrors[world].resyncs
+            for watcher in watchers
+            for world in sorted(watcher.mirrors)
+        )
     finally:
         for client in clients:
             if client is not None:
                 await client.close()
+        for watcher in watchers:
+            await watcher.close()
 
     stats_client = await ServiceClient.connect(host, port)
     try:
@@ -408,6 +476,10 @@ async def run_load_async(
         retries=total_retries,
         reconnects=total_reconnects,
         shed_responses=total_shed,
+        subscribers=config.subscribers,
+        frames_pushed=frames_pushed,
+        subscriber_resyncs=subscriber_resyncs,
+        mirrors_verified=mirrors_verified,
         latency_p50_ms=_percentile(all_latencies, 0.50) * 1000.0,
         latency_p95_ms=_percentile(all_latencies, 0.95) * 1000.0,
         latency_p99_ms=_percentile(all_latencies, 0.99) * 1000.0,
@@ -417,6 +489,43 @@ async def run_load_async(
         metrics=_metrics_report(metrics_before, metrics_after, elapsed),
     )
     return report, snapshots
+
+
+async def _settle_watchers(
+    watchers: List[SubscribingClient],
+    watched: List[str],
+    snapshots: Dict[str, str],
+) -> int:
+    """Wait for each watcher's mirror to converge on the served snapshot.
+
+    The trace's final ``snapshot`` response is the byte-identity target;
+    trailing diff frames can still be in flight when the timed phase ends,
+    so each mirror gets a bounded window to catch up.  Returns how many
+    worlds converged byte-identically.
+    """
+    if not watchers:
+        return 0
+    verified = 0
+    count = len(watchers)
+    for index, world in enumerate(watched):
+        watcher = watchers[index % count]
+        target = snapshots.get(world)
+        mirror = watcher.mirrors.get(world)
+        if target is None or mirror is None:
+            continue
+        for _ in range(50):
+            if mirror.snapshot is not None and results_to_json(mirror.snapshot) == target:
+                verified += 1
+                break
+            if watcher.stale:
+                await watcher.heal()
+            try:
+                await watcher.wait_for(world, timeout=0.2)
+            except ServiceError:
+                continue  # idle window; re-compare and keep waiting
+            except ConnectionError:
+                break
+    return verified
 
 
 async def _fetch_metrics(host: str, port: int) -> Dict[str, Any]:

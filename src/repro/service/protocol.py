@@ -24,12 +24,26 @@ reach a shard.
 
 Requests are validated *before* routing so a malformed message is answered
 with a friendly error instead of crashing a worker.
+
+Since protocol version 2 the stream is no longer purely request/response:
+a connection that has issued :data:`SUBSCRIBE` also receives
+**server-initiated push frames** — envelopes carrying a ``push`` key and
+no ``id``::
+
+    {"push": "frame", "world": "w3", "seq": 12, "kind": "diff", "data": {...}}
+
+Clients that never subscribe can ignore them (the id-matched read loop in
+:class:`~repro.service.client.ServiceClient` discards any envelope whose
+``id`` does not answer the in-flight request).  Requests may carry an
+optional ``protocol_version`` field; the server answers versions it does
+not speak with a structured :data:`UNSUPPORTED_VERSION` error instead of
+misinterpreting the envelope.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 # ---------------------------------------------------------------------- #
 # Operations
@@ -65,6 +79,23 @@ SHARD_METRICS = "shard_metrics"
 MIGRATE_OUT = "migrate_out"
 #: Adopt a previously drained world on its new owning shard (internal).
 MIGRATE_IN = "migrate_in"
+#: Register the issuing connection for diff pushes from one world (params:
+#: since — optional resume cursor).  The front end intercepts this op: it
+#: turns on shard-side diff tracking via :data:`SUB_TRACK`, registers the
+#: connection in its subscription registry, and answers with the base state
+#: (a full snapshot, or the ring diffs after ``since``).
+SUBSCRIBE = "subscribe"
+#: Remove the issuing connection's subscription for one world (front-end
+#: only: shard-side tracking stays on for the world's remaining lifetime).
+UNSUBSCRIBE = "unsubscribe"
+#: Turn on diff tracking for a world and return its base state (internal:
+#: what the front end sends a shard on behalf of :data:`SUBSCRIBE`; also
+#: the form logged in the WAL, because tracking changes the world's
+#: synchronize schedule and must replay at the same log position).
+SUB_TRACK = "sub_track"
+#: Drain push frames for tracked worlds past per-world cursors (internal;
+#: addressed to a shard with a synthetic ``world`` like shard_metrics).
+SUBS_COLLECT = "subs_collect"
 
 #: Front-end liveness probe.
 PING = "ping"
@@ -98,6 +129,10 @@ WORLD_OPS = frozenset(
         SHARD_METRICS,
         MIGRATE_OUT,
         MIGRATE_IN,
+        SUBSCRIBE,
+        UNSUBSCRIBE,
+        SUB_TRACK,
+        SUBS_COLLECT,
     }
 )
 
@@ -109,8 +144,79 @@ READ_OPS = frozenset({QUERY_STATS, QUERY_ROUTE, RUN_TRAFFIC, SNAPSHOT})
 
 #: Ops the front end issues to its own shards but refuses from the wire:
 #: migration carries pickled state, which must never be accepted from a
-#: client connection.
-INTERNAL_OPS = frozenset({MIGRATE_OUT, MIGRATE_IN})
+#: client connection, and the subscription plumbing ops bypass the
+#: front end's registry bookkeeping (clients speak SUBSCRIBE/UNSUBSCRIBE).
+INTERNAL_OPS = frozenset({MIGRATE_OUT, MIGRATE_IN, SUB_TRACK, SUBS_COLLECT})
+
+#: Ops whose application can change a tracked world's snapshot (or end its
+#: life) and therefore oblige the front end to collect push frames after
+#: the batch that carried them.
+PUSH_TRIGGER_OPS = frozenset({ADVANCE, APPLY, DELETE_WORLD, MIGRATE_IN})
+
+
+# ---------------------------------------------------------------------- #
+# Protocol versioning
+# ---------------------------------------------------------------------- #
+#: The version this build speaks.  Version 1 was the pure request/response
+#: protocol (PR 5–9); version 2 added subscriptions and server-initiated
+#: push frames.  The envelope field is optional — an absent
+#: ``protocol_version`` means "whatever the server speaks", preserving
+#: every pre-versioning client.
+PROTOCOL_VERSION = 2
+
+#: Versions this build is willing to serve.  Version 1 clients never send
+#: ``subscribe`` so the push extension is invisible to them.
+SUPPORTED_PROTOCOL_VERSIONS = frozenset({1, 2})
+
+#: Per-line buffer limit both sides pass to asyncio's stream factories.
+#: A full snapshot of a large world (a subscribe response, a resync frame)
+#: easily exceeds asyncio's 64 KiB default ``readline`` limit, which
+#: surfaces as a spurious ``LimitOverrunError`` mid-protocol.
+STREAM_LIMIT = 16 * 1024 * 1024
+
+
+# ---------------------------------------------------------------------- #
+# Push frames (server-initiated, protocol version 2)
+# ---------------------------------------------------------------------- #
+#: ``kind`` of a frame carrying a structural diff against the previous
+#: sequence point (``data`` is :func:`repro.service.subs.diff.compute_diff`
+#: output; ``seq`` the sequence point it produces).
+FRAME_DIFF = "diff"
+#: ``kind`` of a frame carrying a full snapshot (subscription base state,
+#: or a resync after the client's cursor aged out of the diff ring; also
+#: what coalescing degrades to when merged diffs would be larger).
+FRAME_SNAPSHOT = "snapshot"
+#: ``kind`` of the terminal frame pushed when a subscribed world is
+#: deleted.  No frames for the world follow it.
+FRAME_DELETED = "deleted"
+
+
+def push_frame(
+    world: str,
+    seq: int,
+    kind: str,
+    data: Any = None,
+    *,
+    base: Optional[int] = None,
+) -> Dict[str, Any]:
+    """A server-initiated push frame (no ``id`` — never answers a request).
+
+    ``base`` rides :data:`FRAME_DIFF` frames: the sequence point the diff
+    applies on top of (``seq - 1`` for a raw commit; further back for a
+    coalesced frame covering several commits).  Subscribers use it to
+    detect gaps instead of corrupting their mirror.
+    """
+    frame: Dict[str, Any] = {"push": "frame", "world": world, "seq": seq, "kind": kind}
+    if base is not None:
+        frame["base"] = base
+    if data is not None:
+        frame["data"] = data
+    return frame
+
+
+def is_push_frame(message: Dict[str, Any]) -> bool:
+    """Whether a decoded envelope is a server-initiated push frame."""
+    return message.get("push") == "frame" and "id" not in message
 
 
 # ---------------------------------------------------------------------- #
@@ -125,6 +231,13 @@ SHUTTING_DOWN = "SHUTTING_DOWN"
 #: A shard worker died mid-batch and the request's effect is unknown; the
 #: retry layer may re-issue it under the same idempotency token.
 WORKER_DIED = "WORKER_DIED"
+#: The request's ``protocol_version`` is not one this server speaks.  Not
+#: retryable against the same server; the error message names the
+#: supported versions.
+UNSUPPORTED_VERSION = "UNSUPPORTED_VERSION"
+#: Terminal code riding the error a subscriber sees when it touches a
+#: world that has been deleted out from under it.
+WORLD_DELETED = "WORLD_DELETED"
 
 
 # ---------------------------------------------------------------------- #
@@ -169,27 +282,53 @@ def error_response(
     return response
 
 
-def validate_request(request: Dict[str, Any]) -> Optional[str]:
-    """Why ``request`` is malformed, or ``None`` when it is well-formed.
+def envelope_problem(
+    request: Dict[str, Any],
+) -> Optional[Tuple[str, Optional[str]]]:
+    """Why ``request`` is malformed as ``(message, code)``, or ``None``.
 
     Validation stops at the envelope (op known, world present where
-    required, params a dict) — per-op parameter checking happens in the
-    world host, where a bad parameter still yields an error *response*
-    rather than an exception.
+    required, params a dict, protocol version speakable) — per-op parameter
+    checking happens in the world host, where a bad parameter still yields
+    an error *response* rather than an exception.  ``code`` is the
+    structured error code to attach (currently only
+    :data:`UNSUPPORTED_VERSION`); ``None`` for plain malformed envelopes.
     """
+    version = request.get("protocol_version")
+    if version is not None:
+        if not isinstance(version, int) or isinstance(version, bool):
+            return ("'protocol_version' must be an integer", UNSUPPORTED_VERSION)
+        if version not in SUPPORTED_PROTOCOL_VERSIONS:
+            supported = ", ".join(str(v) for v in sorted(SUPPORTED_PROTOCOL_VERSIONS))
+            return (
+                f"protocol version {version} is not supported"
+                f" (this server speaks: {supported})",
+                UNSUPPORTED_VERSION,
+            )
     op = request.get("op")
     if not isinstance(op, str):
-        return "request is missing its 'op'"
+        return ("request is missing its 'op'", None)
     if op not in WORLD_OPS and op not in FRONTEND_OPS:
-        return f"unknown op {op!r}"
+        return (f"unknown op {op!r}", None)
     if op in WORLD_OPS:
         world = request.get("world")
         if not isinstance(world, str) or not world:
-            return f"op {op!r} requires a non-empty 'world'"
+            return (f"op {op!r} requires a non-empty 'world'", None)
     params = request.get("params", {})
     if not isinstance(params, dict):
-        return "'params' must be an object"
+        return ("'params' must be an object", None)
     token = request.get("token")
     if token is not None and (not isinstance(token, str) or not token):
-        return "'token' must be a non-empty string"
+        return ("'token' must be a non-empty string", None)
     return None
+
+
+def validate_request(request: Dict[str, Any]) -> Optional[str]:
+    """Why ``request`` is malformed, or ``None`` when it is well-formed.
+
+    Compatibility wrapper around :func:`envelope_problem` for callers that
+    only want the message; new code should prefer the full form, which
+    also carries the structured error code.
+    """
+    problem = envelope_problem(request)
+    return None if problem is None else problem[0]

@@ -30,6 +30,7 @@ from repro.io.results import results_to_json
 from repro.service import protocol
 from repro.service.sharding import HashRing
 from repro.service.storage.base import WorldStore
+from repro.service.subs.mirror import WorldMirror
 from repro.service.worlds import DEFAULT_SNAPSHOT_EVERY, WorldHost
 from repro.sim.randomness import SeededRandom
 
@@ -100,6 +101,8 @@ class ShardedReplayer:
             store_factory(shard) if store_factory is not None else None for shard in range(shards)
         ]
         self.hosts = [self._build_host(shard) for shard in range(shards)]
+        #: In-process subscription mirrors (see :meth:`attach_mirror`).
+        self.mirrors: Dict[str, WorldMirror] = {}
 
     def _build_host(self, shard: int) -> WorldHost:
         return WorldHost(
@@ -180,6 +183,9 @@ class ShardedReplayer:
         del self.hosts[new_shards:]
         del self._stores[new_shards:]
         self.ring = new_ring
+        # Trackers ride the migration; fetch anything committed on the old
+        # owner that no per-batch collect picked up before the move.
+        self.collect_all_frames()
         return moved
 
     def execute(
@@ -216,7 +222,104 @@ class ShardedReplayer:
             shard = rng.choice(nonempty)
             size = rng.randint(1, min(max_batch, len(queues[shard])))
             batch = [queues[shard].popleft() for _ in range(size)]
-            self.hosts[shard].execute_batch(batch)
+            responses = self.hosts[shard].execute_batch(batch)
+            self._collect_frames(shard, batch, responses)
+
+    def attach_mirror(self, world_id: str) -> WorldMirror:
+        """Subscribe in-process: track the world and mirror its stream.
+
+        The engine-level twin of the server front end's subscription path:
+        a ``sub_track`` rides the world's shard (idempotent if the trace
+        already subscribed), the response seeds a
+        :class:`~repro.service.subs.mirror.WorldMirror`, and every
+        subsequent :meth:`execute` batch that commits a push-trigger op
+        collects the fresh diff frames and applies them — so the battery
+        can require the mirror to be byte-identical to a fresh snapshot at
+        every sequence point, under any batch schedule.
+        """
+        shard = self.ring.shard_of(world_id)
+        response = self.hosts[shard].execute(
+            {"id": None, "op": protocol.SUB_TRACK, "world": world_id, "params": {}}
+        )
+        if not response.get("ok"):
+            raise RuntimeError(
+                f"sub_track of {world_id!r} failed: {response.get('error')}"
+            )
+        result = response["result"]
+        mirror = WorldMirror(world_id)
+        mirror.seed(result["seq"], result["snapshot"])
+        self.mirrors[world_id] = mirror
+        return mirror
+
+    def _collect_frames(
+        self,
+        shard: int,
+        batch: List[Dict[str, Any]],
+        responses: List[Dict[str, Any]],
+    ) -> None:
+        """Mirror maintenance after a batch, as the server front end does."""
+        if not self.mirrors:
+            return
+        worlds = set()
+        for request, response in zip(batch, responses):
+            if request.get("op") not in protocol.PUSH_TRIGGER_OPS:
+                continue
+            if not response.get("ok"):
+                continue
+            world = request.get("world")
+            if world in self.mirrors:
+                worlds.add(world)
+        if not worlds:
+            return
+        cursors = {
+            world: (-1 if self.mirrors[world].seq is None else self.mirrors[world].seq)
+            for world in sorted(worlds)
+        }
+        collected = self.hosts[shard].execute(
+            {
+                "id": None,
+                "op": protocol.SUBS_COLLECT,
+                "world": f"@shard:{shard}",
+                "params": {"cursors": cursors},
+            }
+        )
+        if collected.get("ok"):
+            for frame in collected["result"]["frames"]:
+                self.mirrors[frame["world"]].apply(frame)
+
+    def collect_all_frames(self) -> None:
+        """Collect outstanding frames for every mirrored world.
+
+        Called after :meth:`resize` (migrated trackers may hold frames no
+        per-batch collect has fetched yet) or at a comparison point.
+        """
+        by_shard: Dict[int, Dict[str, int]] = {}
+        for world, mirror in sorted(self.mirrors.items()):
+            if mirror.deleted:
+                continue
+            shard = self.ring.shard_of(world)
+            cursor = -1 if mirror.seq is None else mirror.seq
+            by_shard.setdefault(shard, {})[world] = cursor
+        for shard, cursors in sorted(by_shard.items()):
+            collected = self.hosts[shard].execute(
+                {
+                    "id": None,
+                    "op": protocol.SUBS_COLLECT,
+                    "world": f"@shard:{shard}",
+                    "params": {"cursors": cursors},
+                }
+            )
+            if collected.get("ok"):
+                for frame in collected["result"]["frames"]:
+                    self.mirrors[frame["world"]].apply(frame)
+
+    def mirror_snapshots(self) -> Dict[str, str]:
+        """Canonical JSON of each live mirror's reconstructed snapshot."""
+        return {
+            world: results_to_json(mirror.snapshot)
+            for world, mirror in sorted(self.mirrors.items())
+            if mirror.snapshot is not None and not mirror.deleted
+        }
 
     def snapshots(self) -> Dict[str, str]:
         """Final canonical snapshots across every shard, sorted by world."""

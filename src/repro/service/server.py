@@ -24,6 +24,19 @@ behaviour; a pipelining client gets concurrency from a single connection,
 bounded by the per-connection in-flight cap (``max_inflight``) — beyond it
 the server simply stops reading, which is TCP backpressure.
 
+**Subscriptions.**  A ``subscribe`` request registers the connection for
+server-initiated push frames carrying each epoch commit of a world as a
+canonical structural diff (see :mod:`repro.service.subs`).  Shards keep
+the frames in per-world bounded rings; the front end *collects* fresh
+frames right after any batch that committed a push-trigger op for a
+subscribed world (the collect rides the same shard queue, so it is
+ordered behind the writes that produced the frames) and fans them out
+through per-subscriber bounded queues — a slow subscriber's backlog is
+coalesced into one merged diff, never an unbounded queue.  Deleting a
+subscribed world pushes a terminal ``deleted`` frame; a resize re-collects
+every subscribed world from its new owner, so sequence numbers never gap
+or duplicate across migrations.
+
 **Admission control.**  Each shard's pending queue is bounded
 (``max_pending``, the high watermark).  A request arriving at a saturated
 queue is answered immediately with a structured ``RETRY_LATER`` error
@@ -95,6 +108,7 @@ from repro.service import protocol
 from repro.service.faults import FaultInjector, FaultPlan
 from repro.service.sharding import HashRing
 from repro.service.storage import StoreConfig, scan_world_ids
+from repro.service.subs.manager import SubscriptionManager
 from repro.service.workers import InlineShardPool, ProcessShardPool
 from repro.service.worlds import DEFAULT_SNAPSHOT_EVERY
 
@@ -155,6 +169,9 @@ class FleetServer:
         # Front-end registry: dispatch-side latency histograms plus the
         # counters that ``server_stats`` used to be the only home of.
         self.metrics = MetricsRegistry()
+        # Subscription registry: which connections watch which worlds, and
+        # the machinery that pushes diff frames to them.
+        self._subs = SubscriptionManager(self.metrics)
         self._injector: Optional[FaultInjector] = (
             FaultInjector(faults) if faults is not None else None
         )
@@ -206,7 +223,9 @@ class FleetServer:
         self._wakeups = [asyncio.Event() for _ in range(self.shards)]
         # Bind before spawning the pool: a failed bind (port in use) must
         # not leave orphaned worker processes behind.
-        self._server = await asyncio.start_server(self._handle_client, self.host, self.port)
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port, limit=protocol.STREAM_LIMIT
+        )
         self.port = self._server.sockets[0].getsockname()[1]
         pool_class = InlineShardPool if self.inline else ProcessShardPool
         self._pool = pool_class(
@@ -269,6 +288,7 @@ class FleetServer:
         # Every routed future is resolved now; let the writers flush.
         if self._response_tasks:
             await asyncio.gather(*list(self._response_tasks), return_exceptions=True)
+        await self._subs.shutdown()
         # Unblock handlers parked in readline: closing the transports makes
         # their reads return EOF, so the gather below terminates.
         for writer in list(self._connections):
@@ -414,6 +434,7 @@ class FleetServer:
                 for future, response in zip(futures, responses):
                     if not future.done():
                         future.set_result(response)
+                self._maybe_collect(shard, requests, responses)
             if self._stopping is not None and self._stopping.is_set():
                 return
 
@@ -435,6 +456,80 @@ class FleetServer:
 
     async def _submit_to_shard(self, shard: int, request: Dict[str, Any]) -> Dict[str, Any]:
         return await self._enqueue_or_fail(shard, request)
+
+    # ------------------------------------------------------------------ #
+    # Subscriptions (front-end side; see repro.service.subs)
+    # ------------------------------------------------------------------ #
+    def _maybe_collect(self, shard: int, requests: List[Dict[str, Any]], responses: List[Dict[str, Any]]) -> None:
+        """After a batch lands, pull fresh frames for its subscribed worlds.
+
+        The collect request is enqueued on the same shard the batch ran on,
+        so it executes *after* the writes that produced the frames and
+        *before* any later write — frame delivery order follows commit
+        order with no extra synchronization.
+        """
+        if self._subs.active_count == 0:
+            return
+        worlds = set()
+        for request, response in zip(requests, responses):
+            if request.get("op") not in protocol.PUSH_TRIGGER_OPS:
+                continue
+            if not response.get("ok"):
+                continue
+            world = request.get("world")
+            if self._subs.is_subscribed(world):
+                worlds.add(world)
+        if not worlds:
+            return
+        cursors = {world: self._subs.cursor(world) for world in sorted(worlds)}
+        future = self._enqueue_or_fail(
+            shard,
+            {
+                "id": None,
+                "op": protocol.SUBS_COLLECT,
+                "world": f"@shard:{shard}",
+                "params": {"cursors": cursors},
+            },
+        )
+        future.add_done_callback(self._subs.on_collect_response)
+
+    def _collect_subscribed(self) -> None:
+        """Pull frames for every subscribed world under the current ring.
+
+        A resize calls this right after the ring swap: frames committed on
+        the old owner whose collect never ran ride the migrated tracker
+        (it travels with the world), and this sweep fetches them from the
+        new owner — no gap, and the per-subscriber dedup absorbs any
+        overlap with a collect that was already in flight.
+        """
+        by_shard: Dict[int, Dict[str, int]] = {}
+        for world in self._subs.subscribed_worlds():
+            if world not in self._worlds:
+                continue
+            shard = self.ring.shard_of(world)
+            by_shard.setdefault(shard, {})[world] = self._subs.cursor(world)
+        for shard, cursors in sorted(by_shard.items()):
+            future = self._enqueue_or_fail(
+                shard,
+                {
+                    "id": None,
+                    "op": protocol.SUBS_COLLECT,
+                    "world": f"@shard:{shard}",
+                    "params": {"cursors": cursors},
+                },
+            )
+            future.add_done_callback(self._subs.on_collect_response)
+
+    async def _finish_subscribe(
+        self, sub: Any, inner: "asyncio.Future"
+    ) -> Dict[str, Any]:
+        """Await the shard's ``sub_track`` answer, then activate the handle."""
+        response = await inner
+        if not response.get("ok"):
+            self._subs.discard(sub)
+            return response
+        self._subs.activate(sub, response["result"]["seq"])
+        return response
 
     def _should_park(self, world: str) -> bool:
         """Whether a request for ``world`` must wait out the resize."""
@@ -522,6 +617,10 @@ class FleetServer:
         response = self._future_response(done)
         if response is not None and response.get("ok"):
             self._worlds.pop(world, None)
+            # Terminal frame is synthesized front-end side: the shard no
+            # longer hosts the world, but the subscribers deserve a clean
+            # end-of-stream marker rather than silence.
+            self._subs.world_deleted(world)
 
     @staticmethod
     def _chain(inner: asyncio.Future, outer: asyncio.Future) -> None:
@@ -572,7 +671,7 @@ class FleetServer:
                         ))
                         await writer.drain()
                     continue
-                future = self._begin_request(request)
+                future = self._begin_request(request, writer=writer, write_lock=write_lock)
                 responder = asyncio.create_task(
                     self._respond(writer, write_lock, future)
                 )
@@ -599,21 +698,33 @@ class FleetServer:
             if task is not None:
                 self._handlers.discard(task)
             self._connections.discard(writer)
+            self._subs.drop_connection(writer)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover - teardown races
                 pass
 
-    def _begin_request(self, request: Dict[str, Any]) -> "asyncio.Future":
+    def _begin_request(
+        self,
+        request: Dict[str, Any],
+        *,
+        writer: Optional[asyncio.StreamWriter] = None,
+        write_lock: Optional[asyncio.Lock] = None,
+    ) -> "asyncio.Future":
         """Validate + route one request; returns its future response.
 
         Synchronous up to the shard queues (ordering), async beyond them.
+        ``writer``/``write_lock`` identify the connection for the ops that
+        bind state to it (``subscribe``/``unsubscribe``).
         """
         request_id = request.get("id")
-        problem = protocol.validate_request(request)
+        problem = protocol.envelope_problem(request)
         if problem is not None:
-            return self._resolved(protocol.error_response(request_id, problem))
+            message, code = problem
+            return self._resolved(
+                protocol.error_response(request_id, message, code=code)
+            )
         op = request["op"]
         if op in protocol.INTERNAL_OPS:
             return self._resolved(
@@ -630,6 +741,36 @@ class FleetServer:
             )
         if op in protocol.FRONTEND_OPS:
             return self._resolved(self._serve_frontend(op, request_id))
+        if op == protocol.SUBSCRIBE:
+            if writer is None or write_lock is None:
+                return self._resolved(
+                    protocol.error_response(
+                        request_id, "subscribe requires a live connection"
+                    )
+                )
+            # Register before routing: the handle exists (buffering early
+            # frames) before the shard can possibly commit anything past
+            # the sequence number the subscribe response will carry.
+            sub = self._subs.register(request["world"], writer, write_lock)
+            inner = self._route(
+                {
+                    "id": request_id,
+                    "op": protocol.SUB_TRACK,
+                    "world": request["world"],
+                    "params": dict(request.get("params", {})),
+                }
+            )
+            return asyncio.ensure_future(self._finish_subscribe(sub, inner))
+        if op == protocol.UNSUBSCRIBE:
+            removed = writer is not None and self._subs.unsubscribe(
+                request["world"], writer
+            )
+            return self._resolved(
+                protocol.ok_response(
+                    request_id,
+                    {"world": request["world"], "unsubscribed": bool(removed)},
+                )
+            )
         future = self._route(request)
         if request["op"] == protocol.CREATE_WORLD:
             self._create_futures.add(future)
@@ -805,6 +946,10 @@ class FleetServer:
             self._next_ring = None
             for request, future in parked:
                 self._chain(self._route(request), future)
+            # Frames committed on old owners whose collect never ran ride
+            # the migrated trackers; sweep every subscribed world under the
+            # new ring so subscribers see them (dedup absorbs overlap).
+            self._collect_subscribed()
             # Phase 4: shrink the runtime after the swap (the dying shards
             # hold no worlds now; their queues drain before teardown).
             if new_shards < old_shards:
@@ -876,6 +1021,7 @@ class FleetServer:
             clock.wall() - self._started_wall
         )
         self.metrics.gauge("server.worlds").set(len(self._worlds))
+        self.metrics.gauge("subs.active").set(self._subs.active_count)
         return self.metrics.snapshot(
             extra_counters={"server.requests_received": self.requests_received}
         )

@@ -1,0 +1,223 @@
+"""Canonical structural diffs between world snapshots.
+
+A world snapshot (see :meth:`repro.service.worlds.World.snapshot`) is a
+canonical form: node lists sorted by ID, topology edges sorted by
+``(min, max)`` endpoints, scalar fields at the top level.  A diff between
+two snapshots is itself canonical — computed key-by-key over those sorted
+collections — so two shards diffing the same pair of snapshots produce the
+same bytes, and :func:`apply_diff` reconstructs the *exact* canonical form
+(same list orders) rather than a merely-equal one.  That is the basis of
+the subscription contract: a snapshot reconstructed by applying diffs is
+byte-identical (under ``canonical_json``) to a fresh ``snapshot`` fetch at
+the same sequence point.
+
+Diffs compose: :func:`merge_diffs` folds two consecutive diffs into one
+covering both steps, which is how the push layer coalesces frames for slow
+subscribers without ever growing an unbounded queue.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Snapshot keys handled structurally; every other top-level key is treated
+#: as a scalar field and diffed by value.
+_NODES_KEY = "nodes"
+_TOPOLOGY_KEY = "topology"
+
+
+def _keyed_delta(
+    old_items: Sequence[Dict[str, Any]],
+    new_items: Sequence[Dict[str, Any]],
+    key,
+) -> Optional[Dict[str, Any]]:
+    """Added/removed/changed between two keyed item lists (None if equal).
+
+    ``added`` and ``changed`` carry full new items (sorted by key);
+    ``removed`` carries keys only.  Only non-empty sections are emitted, so
+    the common small delta serializes small.
+    """
+    old_map = {key(item): item for item in old_items}
+    new_map = {key(item): item for item in new_items}
+    added = [new_map[k] for k in sorted(new_map.keys() - old_map.keys())]
+    removed = sorted(old_map.keys() - new_map.keys())
+    changed = [
+        new_map[k]
+        for k in sorted(old_map.keys() & new_map.keys())
+        if new_map[k] != old_map[k]
+    ]
+    delta: Dict[str, Any] = {}
+    if added:
+        delta["added"] = added
+    if removed:
+        delta["removed"] = [list(k) if isinstance(k, tuple) else k for k in removed]
+    if changed:
+        delta["changed"] = changed
+    return delta or None
+
+
+def _node_key(item: Dict[str, Any]) -> int:
+    return item["id"]
+
+
+def _edge_key(item: Dict[str, Any]) -> Tuple[int, int]:
+    return (item["u"], item["v"])
+
+
+def compute_diff(old: Dict[str, Any], new: Dict[str, Any]) -> Dict[str, Any]:
+    """The canonical structural diff turning snapshot ``old`` into ``new``.
+
+    Sections (each present only when non-empty):
+
+    * ``fields`` — changed top-level scalar values (``{name: new_value}``);
+      ``fields_removed`` lists names dropped entirely.
+    * ``nodes`` — added/removed/changed world nodes, keyed by ``id``.
+    * ``topo_nodes`` / ``edges`` — the same over the controlled topology's
+      node and edge lists (edges keyed by ``[u, v]``).
+    """
+    diff: Dict[str, Any] = {}
+    fields: Dict[str, Any] = {}
+    fields_removed: List[str] = []
+    for name in sorted(set(old) | set(new)):
+        if name in (_NODES_KEY, _TOPOLOGY_KEY):
+            continue
+        if name not in new:
+            fields_removed.append(name)
+        elif name not in old or old[name] != new[name]:
+            fields[name] = new[name]
+    if fields:
+        diff["fields"] = fields
+    if fields_removed:
+        diff["fields_removed"] = fields_removed
+    nodes = _keyed_delta(old.get(_NODES_KEY, []), new.get(_NODES_KEY, []), _node_key)
+    if nodes:
+        diff["nodes"] = nodes
+    old_topo = old.get(_TOPOLOGY_KEY, {})
+    new_topo = new.get(_TOPOLOGY_KEY, {})
+    topo_nodes = _keyed_delta(
+        old_topo.get("nodes", []), new_topo.get("nodes", []), _node_key
+    )
+    if topo_nodes:
+        diff["topo_nodes"] = topo_nodes
+    edges = _keyed_delta(old_topo.get("edges", []), new_topo.get("edges", []), _edge_key)
+    if edges:
+        diff["edges"] = edges
+    return diff
+
+
+def _apply_keyed(
+    items: Sequence[Dict[str, Any]],
+    delta: Optional[Dict[str, Any]],
+    key,
+) -> List[Dict[str, Any]]:
+    """Apply one keyed delta, returning the new list in canonical order."""
+    current = {key(item): item for item in items}
+    if delta:
+        for raw in delta.get("removed", []):
+            current.pop(tuple(raw) if isinstance(raw, list) else raw, None)
+        for item in delta.get("changed", []):
+            current[key(item)] = item
+        for item in delta.get("added", []):
+            current[key(item)] = item
+    return [current[k] for k in sorted(current)]
+
+
+def apply_diff(snapshot: Dict[str, Any], diff: Dict[str, Any]) -> Dict[str, Any]:
+    """``snapshot`` advanced by one diff — the canonical next snapshot.
+
+    Pure: the input snapshot is not mutated.  The result's list orders
+    match what a fresh ``snapshot`` fetch would produce (sorted node IDs,
+    sorted edge endpoint pairs), so ``canonical_json`` of the result is
+    byte-comparable against the server's.
+    """
+    result = copy.deepcopy(snapshot)
+    for name, value in diff.get("fields", {}).items():
+        result[name] = value
+    for name in diff.get("fields_removed", []):
+        result.pop(name, None)
+    if "nodes" in diff or _NODES_KEY in result:
+        result[_NODES_KEY] = _apply_keyed(
+            result.get(_NODES_KEY, []), diff.get("nodes"), _node_key
+        )
+    if "topo_nodes" in diff or "edges" in diff or _TOPOLOGY_KEY in result:
+        topo = result.get(_TOPOLOGY_KEY, {})
+        topo["nodes"] = _apply_keyed(topo.get("nodes", []), diff.get("topo_nodes"), _node_key)
+        topo["edges"] = _apply_keyed(topo.get("edges", []), diff.get("edges"), _edge_key)
+        result[_TOPOLOGY_KEY] = topo
+    return result
+
+
+def _normalize(delta: Optional[Dict[str, Any]], key):
+    added = {key(i): i for i in (delta or {}).get("added", [])}
+    changed = {key(i): i for i in (delta or {}).get("changed", [])}
+    removed = {
+        tuple(r) if isinstance(r, list) else r for r in (delta or {}).get("removed", [])
+    }
+    return added, changed, removed
+
+
+def _merge_keyed(
+    first: Optional[Dict[str, Any]], second: Optional[Dict[str, Any]], key
+) -> Optional[Dict[str, Any]]:
+    """Compose two keyed deltas (apply ``first`` then ``second``)."""
+    added, changed, removed = _normalize(first, key)
+    b_added, b_changed, b_removed = _normalize(second, key)
+    for k, item in b_added.items():
+        if k in removed:
+            # Removed then re-added: relative to the original state this is
+            # a change (possibly to an identical value — apply handles both).
+            removed.discard(k)
+            changed[k] = item
+        else:
+            added[k] = item
+    for k, item in b_changed.items():
+        if k in added:
+            added[k] = item
+        else:
+            changed[k] = item
+    for k in b_removed:
+        if k in added:
+            added.pop(k)
+        else:
+            changed.pop(k, None)
+            removed.add(k)
+    delta: Dict[str, Any] = {}
+    if added:
+        delta["added"] = [added[k] for k in sorted(added)]
+    if removed:
+        delta["removed"] = [list(k) if isinstance(k, tuple) else k for k in sorted(removed)]
+    if changed:
+        delta["changed"] = [changed[k] for k in sorted(changed)]
+    return delta or None
+
+
+def merge_diffs(first: Dict[str, Any], second: Dict[str, Any]) -> Dict[str, Any]:
+    """One diff equivalent to applying ``first`` then ``second``.
+
+    The algebra behind frame coalescing: ``apply(apply(s, a), b) ==
+    apply(s, merge_diffs(a, b))`` for any snapshot ``s`` the diffs are
+    contiguous over.
+    """
+    merged: Dict[str, Any] = {}
+    fields = dict(first.get("fields", {}))
+    removed_fields = set(first.get("fields_removed", []))
+    for name in second.get("fields_removed", []):
+        fields.pop(name, None)
+        removed_fields.add(name)
+    for name, value in second.get("fields", {}).items():
+        removed_fields.discard(name)
+        fields[name] = value
+    if fields:
+        merged["fields"] = fields
+    if removed_fields:
+        merged["fields_removed"] = sorted(removed_fields)
+    for section, key in (
+        ("nodes", _node_key),
+        ("topo_nodes", _node_key),
+        ("edges", _edge_key),
+    ):
+        folded = _merge_keyed(first.get(section), second.get(section), key)
+        if folded:
+            merged[section] = folded
+    return merged

@@ -1,0 +1,305 @@
+"""The front end's subscription registry and push fan-out.
+
+One :class:`_Subscriber` per ``(world, connection)`` pair.  Frames reach
+subscribers through per-subscriber **bounded** queues drained by small
+writer tasks that share the connection's write lock with ordinary
+responses — a push frame never interleaves bytes with a response, and a
+slow subscriber never grows an unbounded queue: past the bound its queued
+diff frames are **coalesced** into one merged diff (diffs compose — see
+:func:`~repro.service.subs.diff.merge_diffs`), or superseded outright by a
+full-snapshot resync frame already in the queue.
+
+Life cycle notes:
+
+* A subscriber is *registered* synchronously when the ``subscribe``
+  request is routed (so no frame can slip between the shard's answer and
+  the registration — early frames buffer until *activation* sets the
+  cursor from the response).
+* Duplicate delivery is possible around migrations (an in-flight collect
+  from the old shard racing the post-resize collect from the new one);
+  subscribers dedup by sequence number on enqueue, and client mirrors
+  dedup again on apply.
+* A deleted world's subscribers get one terminal ``deleted`` frame and
+  are dropped; the frame's sequence number is one past the last frame the
+  subscriber was sent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Set
+
+from repro.obs import clock
+from repro.obs.metrics import MetricsRegistry
+from repro.service import protocol
+from repro.service.subs.diff import merge_diffs
+
+#: Default per-subscriber queued-frame bound; past it, coalescing kicks in.
+DEFAULT_MAX_PENDING_FRAMES = 16
+
+
+class _Subscriber:
+    """One connection's subscription to one world."""
+
+    __slots__ = ("world", "writer", "lock", "cursor", "high", "buffer", "pending", "draining", "closed")
+
+    def __init__(self, world: str, writer: asyncio.StreamWriter, lock: asyncio.Lock) -> None:
+        self.world = world
+        self.writer = writer
+        self.lock = lock
+        #: Last sequence number *written* to the connection; ``None`` until
+        #: the subscribe response activates the subscription.
+        self.cursor: Optional[int] = None
+        #: Highest sequence number ever *enqueued* (dedup on enqueue).
+        self.high = -1
+        #: Frames that arrived before activation.
+        self.buffer: List[Dict[str, Any]] = []
+        #: Activated frames awaiting the writer task (bounded).
+        self.pending: Deque[Dict[str, Any]] = deque()
+        self.draining = False
+        self.closed = False
+
+
+class SubscriptionManager:
+    """World → subscribers registry plus the frame delivery machinery."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        *,
+        max_pending: int = DEFAULT_MAX_PENDING_FRAMES,
+    ) -> None:
+        if max_pending < 3:
+            # A coalesced queue needs room for snapshot + merged diff +
+            # terminal frame simultaneously.
+            raise ValueError("max_pending must be at least 3")
+        self._metrics = metrics
+        self.max_pending = max_pending
+        self._by_world: Dict[str, Dict[asyncio.StreamWriter, _Subscriber]] = {}
+        self._by_writer: Dict[asyncio.StreamWriter, Dict[str, _Subscriber]] = {}
+        #: Per-world shard-collect cursor: the highest sequence number any
+        #: collect has fetched (what the next collect asks for frames past).
+        self._cursors: Dict[str, int] = {}
+        self._tasks: Set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------ #
+    # Registry
+    # ------------------------------------------------------------------ #
+    @property
+    def active_count(self) -> int:
+        return sum(len(self._by_world[world]) for world in sorted(self._by_world))
+
+    def is_subscribed(self, world: str) -> bool:
+        return bool(self._by_world.get(world))
+
+    def subscribed_worlds(self) -> List[str]:
+        return sorted(world for world, subs in self._by_world.items() if subs)
+
+    def cursor(self, world: str) -> int:
+        """The collect cursor for ``world`` (-1 before any frame)."""
+        return self._cursors.get(world, -1)
+
+    def register(self, world: str, writer: asyncio.StreamWriter, lock: asyncio.Lock) -> _Subscriber:
+        """Register (or reset, on re-subscribe) a connection's subscription.
+
+        Idempotent per ``(world, connection)``: a double subscribe reuses
+        the existing subscriber, resetting it to the pre-activation state
+        so the new subscribe response re-establishes the cursor.
+        """
+        sub = self._by_writer.get(writer, {}).get(world)
+        if sub is None:
+            sub = _Subscriber(world, writer, lock)
+            self._by_world.setdefault(world, {})[writer] = sub
+            self._by_writer.setdefault(writer, {})[world] = sub
+        else:
+            sub.cursor = None
+            sub.buffer = []
+            sub.pending.clear()
+        return sub
+
+    def activate(self, sub: _Subscriber, seq: int) -> None:
+        """Set the cursor from the subscribe response; flush early frames."""
+        if sub.closed:
+            return
+        sub.cursor = seq
+        sub.high = max(sub.high, seq)
+        self._cursors[sub.world] = max(self._cursors.get(sub.world, -1), seq)
+        buffered, sub.buffer = sub.buffer, []
+        for frame in buffered:
+            self._enqueue(sub, frame)
+
+    def _remove(self, sub: _Subscriber) -> None:
+        sub.closed = True
+        world_subs = self._by_world.get(sub.world)
+        if world_subs is not None:
+            world_subs.pop(sub.writer, None)
+            if not world_subs:
+                del self._by_world[sub.world]
+                self._cursors.pop(sub.world, None)
+        writer_subs = self._by_writer.get(sub.writer)
+        if writer_subs is not None:
+            writer_subs.pop(sub.world, None)
+            if not writer_subs:
+                del self._by_writer[sub.writer]
+
+    def discard(self, sub: _Subscriber) -> None:
+        """Drop a registration whose subscribe never completed."""
+        if sub.cursor is None:
+            self._remove(sub)
+
+    def unsubscribe(self, world: str, writer: asyncio.StreamWriter) -> bool:
+        """Remove one subscription; returns whether it existed."""
+        sub = self._by_writer.get(writer, {}).get(world)
+        if sub is None:
+            return False
+        self._remove(sub)
+        return True
+
+    def drop_connection(self, writer: asyncio.StreamWriter) -> int:
+        """Remove every subscription of a closing connection."""
+        subs = list(self._by_writer.get(writer, {}).values())
+        for sub in subs:
+            self._remove(sub)
+        return len(subs)
+
+    # ------------------------------------------------------------------ #
+    # Delivery
+    # ------------------------------------------------------------------ #
+    def on_collect_response(self, future: "asyncio.Future") -> None:
+        """Done-callback for a ``subs_collect`` future: deliver its frames."""
+        if future.cancelled() or future.exception() is not None:
+            return
+        response = future.result()
+        if not response.get("ok"):
+            return
+        self.deliver(response.get("result", {}).get("frames", []))
+
+    def deliver(self, frames: List[Dict[str, Any]]) -> None:
+        """Fan collected frames out to their worlds' subscribers."""
+        for frame in frames:
+            world = frame.get("world")
+            seq = frame.get("seq")
+            if isinstance(seq, int) and seq > self._cursors.get(world, -1):
+                self._cursors[world] = seq
+            for sub in list(self._by_world.get(world, {}).values()):
+                self._enqueue(sub, frame)
+
+    def world_deleted(self, world: str) -> None:
+        """Push the terminal ``deleted`` frame and drop the subscriptions."""
+        subs = list(self._by_world.get(world, {}).values())
+        for sub in subs:
+            last = sub.cursor if sub.cursor is not None else self._cursors.get(world, -1)
+            frame = protocol.push_frame(world, max(last + 1, 0), protocol.FRAME_DELETED)
+            if sub.cursor is None:
+                # Never activated: deliver the terminal frame directly so
+                # it does not rot in the pre-activation buffer.
+                sub.cursor = max(last, 0)
+            self._enqueue(sub, frame)
+        for sub in subs:
+            self._remove(sub)
+
+    def _enqueue(self, sub: _Subscriber, frame: Dict[str, Any]) -> None:
+        if sub.writer.is_closing():
+            return
+        if sub.cursor is None:
+            sub.buffer.append(frame)
+            if len(sub.buffer) > self.max_pending:
+                sub.buffer = self._coalesced(sub.buffer)
+            return
+        seq = frame.get("seq")
+        terminal = frame.get("kind") == protocol.FRAME_DELETED
+        if not terminal and isinstance(seq, int):
+            if seq <= sub.high:
+                return  # duplicate (racing collects around a migration)
+            sub.high = seq
+        sub.pending.append(frame)
+        if len(sub.pending) > self.max_pending:
+            coalesced = self._coalesced(list(sub.pending))
+            sub.pending.clear()
+            sub.pending.extend(coalesced)
+        self._ensure_drain(sub)
+
+    def _coalesced(self, frames: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Fold a frame backlog: latest snapshot, one merged diff, terminal.
+
+        Diffs compose, so a slow subscriber's backlog collapses to at most
+        three frames while still landing it on the exact same sequence
+        point, byte for byte.
+        """
+        snap: Optional[Dict[str, Any]] = None
+        diff: Optional[Dict[str, Any]] = None
+        terminal: Optional[Dict[str, Any]] = None
+        folded = 0
+        for frame in frames:
+            kind = frame.get("kind")
+            if kind == protocol.FRAME_SNAPSHOT:
+                if snap is not None or diff is not None:
+                    folded += 1 if snap is None else 2
+                snap = frame
+                diff = None
+            elif kind == protocol.FRAME_DIFF:
+                if diff is None:
+                    diff = dict(frame)
+                    diff.setdefault("base", frame["seq"] - 1)
+                else:
+                    folded += 1
+                    diff = protocol.push_frame(
+                        frame["world"],
+                        frame["seq"],
+                        protocol.FRAME_DIFF,
+                        merge_diffs(diff["data"], frame["data"]),
+                        base=diff["base"],
+                    )
+            else:
+                terminal = frame
+        if folded:
+            self._metrics.counter("subs.coalesced").inc(folded)
+        return [frame for frame in (snap, diff, terminal) if frame is not None]
+
+    def _ensure_drain(self, sub: _Subscriber) -> None:
+        if sub.draining:
+            return
+        sub.draining = True
+        task = asyncio.create_task(self._drain(sub))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _drain(self, sub: _Subscriber) -> None:
+        try:
+            while sub.pending:
+                frame = sub.pending.popleft()
+                payload = protocol.encode_message(frame)
+                started = clock.wall()
+                try:
+                    async with sub.lock:
+                        if sub.writer.is_closing():
+                            sub.pending.clear()
+                            return
+                        sub.writer.write(payload)
+                        await sub.writer.drain()
+                except (ConnectionError, OSError):
+                    sub.pending.clear()
+                    return
+                self._metrics.histogram("subs.push_seconds").observe(
+                    clock.wall() - started
+                )
+                if frame.get("kind") == protocol.FRAME_SNAPSHOT:
+                    self._metrics.counter("subs.resync").inc()
+                seq = frame.get("seq")
+                if isinstance(seq, int):
+                    sub.cursor = seq if sub.cursor is None else max(sub.cursor, seq)
+        finally:
+            sub.draining = False
+            # Frames enqueued between the loop's last check and the flag
+            # reset would otherwise strand; re-arm for them.
+            if sub.pending and not sub.writer.is_closing():
+                self._ensure_drain(sub)
+
+    async def shutdown(self) -> None:
+        """Cancel writer tasks (server stop: connections are closing)."""
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        self._tasks.clear()

@@ -1,0 +1,85 @@
+"""Shard-side per-world diff tracking state.
+
+A :class:`WorldTracker` lives on the :class:`~repro.service.worlds.World`
+it tracks — deliberately, because everything about subscription continuity
+falls out of that placement:
+
+* **Migration**: the tracker rides the world's pickle, so after a live
+  resize the new shard continues the same sequence with no gap and no
+  duplicate.
+* **Durability**: it rides checkpoints too, and the ``sub_track`` WAL
+  record replays at its original log position, so crash recovery (or lazy
+  rehydration) deterministically regenerates the same sequence numbers and
+  the same ring of recent diffs — a client resuming with
+  ``subscribe(since=seq)`` after a server restart gets exactly the frames
+  it missed.
+
+The ring is bounded: a resuming cursor older than the oldest retained diff
+falls back to a full-snapshot resync.  Sequence numbers are per-world and
+start at 0 (the tracking base); the first committed change is seq 1.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Optional
+
+from repro.service.subs.diff import compute_diff
+
+#: Default bound on retained diffs per world.  Sized for "a disconnect and
+#: reconnect a few write bursts apart"; anything older resyncs.
+DEFAULT_RING_CAPACITY = 64
+
+
+class WorldTracker:
+    """Monotonic sequence numbers and a bounded ring of recent diffs."""
+
+    def __init__(self, base: Dict[str, Any], *, ring_capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if ring_capacity < 1:
+            raise ValueError("ring_capacity must be at least 1")
+        #: Sequence number of :attr:`base` (0 until the first commit).
+        self.seq = 0
+        #: The canonical snapshot at :attr:`seq` — what the next diff is
+        #: computed against, and what a fresh subscription receives.
+        self.base = base
+        self.ring_capacity = ring_capacity
+        #: Oldest-first retained entries: ``{"seq": n, "diff": {...}}``.
+        self.ring: List[Dict[str, Any]] = []
+
+    def commit(self, snapshot: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Record the epoch commit that produced ``snapshot``.
+
+        Returns the new ring entry, or ``None`` when the snapshot is
+        unchanged (a write with no observable effect advances no sequence
+        number — subscribers only ever see distinct states).
+        """
+        if snapshot == self.base:
+            return None
+        diff = compute_diff(self.base, snapshot)
+        self.seq += 1
+        entry = {"seq": self.seq, "diff": diff}
+        self.ring.append(entry)
+        if len(self.ring) > self.ring_capacity:
+            del self.ring[: len(self.ring) - self.ring_capacity]
+        self.base = snapshot
+        return entry
+
+    def frames_after(self, cursor: int) -> Optional[List[Dict[str, Any]]]:
+        """Retained entries past ``cursor``, or ``None`` if aged out.
+
+        ``cursor == seq`` resumes empty; a cursor older than the ring's
+        reach (or from the future — a cursor this world never issued, e.g.
+        leaked from a deleted-and-recreated world) returns ``None`` and the
+        caller falls back to a full-snapshot resync.
+        """
+        if cursor == self.seq:
+            return []
+        if cursor > self.seq or cursor < 0:
+            return None
+        if not self.ring or self.ring[0]["seq"] > cursor + 1:
+            return None
+        return [copy.deepcopy(entry) for entry in self.ring if entry["seq"] > cursor]
+
+    def snapshot_copy(self) -> Dict[str, Any]:
+        """A private copy of the base snapshot (callers may mutate it)."""
+        return copy.deepcopy(self.base)

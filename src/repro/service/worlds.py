@@ -61,6 +61,7 @@ from repro.scenarios.catalogue import get_scenario
 from repro.scenarios.spec import DISTRIBUTED, ScenarioSpec
 from repro.sim.randomness import derive_seed
 from repro.service import protocol
+from repro.service.subs.tracker import DEFAULT_RING_CAPACITY, WorldTracker
 from repro.service.storage.base import (
     RECORD_OP,
     RECORD_SYNC,
@@ -164,6 +165,11 @@ class World:
         # retry that lands after a crash-recover or on the world's new
         # shard still deduplicates.  Never serialized into snapshots.
         self.applied_tokens: "OrderedDict[str, Any]" = OrderedDict()
+        # Subscription diff tracking (sequence numbers + bounded diff
+        # ring).  Same placement argument as the tokens: the tracker rides
+        # pickles, so sequence continuity survives migration, eviction,
+        # and crash recovery.  None until the first subscribe.
+        self._tracker: Optional[WorldTracker] = None
         # Prime at creation (the ScenarioRunner.prime() analogue): run the
         # initial NDP reconciliation — the first synchronize after a fresh
         # CBTC outcome floods join events as boundary beacons complete every
@@ -200,9 +206,11 @@ class World:
         return state
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
-        # Checkpoints written before idempotency tokens existed lack the
-        # attribute; default it so old state dirs rehydrate cleanly.
+        # Checkpoints written before idempotency tokens (or diff tracking)
+        # existed lack the attributes; default them so old state dirs
+        # rehydrate cleanly.
         state.setdefault("applied_tokens", OrderedDict())
+        state.setdefault("_tracker", None)
         self.__dict__.update(state)
 
     def remember_token(self, token: str, result: Any) -> None:
@@ -359,6 +367,37 @@ class World:
             "recovered": len(recovers),
             "writes": self.writes_applied,
         }
+
+    # ------------------------------------------------------------------ #
+    # Subscription diff tracking
+    # ------------------------------------------------------------------ #
+    def track(self, *, ring_capacity: int = DEFAULT_RING_CAPACITY) -> WorldTracker:
+        """Turn on diff tracking (idempotent); returns the tracker.
+
+        The tracking base is the world's current canonical snapshot, and
+        computing it forces a reconcile of any pending dirty state — which
+        is why turning tracking on is a *logged* operation: from this point
+        every write is followed by a refresh, changing the world's
+        synchronize schedule, and replays must walk the same schedule from
+        the same log position.
+        """
+        if self._tracker is None:
+            self._tracker = WorldTracker(self.snapshot({}), ring_capacity=ring_capacity)
+        return self._tracker
+
+    def commit_epoch(self) -> Optional[Dict[str, Any]]:
+        """The epoch-commit hook: diff the post-write snapshot into the ring.
+
+        Called after every applied write on a tracked world.  Rides the
+        same dirty-listener machinery as the snapshot cache: the write
+        marked the world dirty, the snapshot read reconciles and rebuilds
+        (incrementally, on the cached path), and the tracker diffs the new
+        canonical snapshot against the previous sequence point.  Returns
+        the new ring entry, or ``None`` when untracked or unchanged.
+        """
+        if self._tracker is None:
+            return None
+        return self._tracker.commit(self.snapshot({}))
 
     # ------------------------------------------------------------------ #
     # Reads
@@ -725,8 +764,19 @@ class WorldHost:
                     raise RuntimeError(f"op {op!r} before create in {world_id!r} log")
                 elif op == protocol.ADVANCE:
                     result = world.advance(params)
+                    world.commit_epoch()
                 elif op == protocol.APPLY:
                     result = world.apply_delta(params)
+                    world.commit_epoch()
+                elif op == protocol.SUB_TRACK:
+                    # Tracking turned on at this log position: from here the
+                    # replay walks the same per-write refresh schedule the
+                    # live run did, regenerating the same sequence numbers
+                    # and ring contents.
+                    tracker = world.track(
+                        ring_capacity=params.get("ring", DEFAULT_RING_CAPACITY)
+                    )
+                    result = {"world": world_id, "seq": tracker.seq, "tracked": True}
                 else:
                     raise RuntimeError(f"unexpected op {op!r} in {world_id!r} log")
                 token = record.get("token")
@@ -846,6 +896,100 @@ class WorldHost:
             return self.recovered_worlds
 
     # ------------------------------------------------------------------ #
+    # Subscriptions (shard side)
+    # ------------------------------------------------------------------ #
+    def _sub_track(
+        self, world_id: str, world: World, params: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Turn on tracking and answer with the subscription base state.
+
+        Fresh subscriptions get the full snapshot at the current sequence
+        point; a resume (``since``) gets the retained diffs past its
+        cursor, or the snapshot with ``resync: true`` when the cursor aged
+        out of the ring.  Turning tracking on is logged (it changes the
+        world's synchronize schedule — see :meth:`World.track`); repeat
+        subscriptions are idempotent and log nothing.
+        """
+        since = params.get("since")
+        if since is not None:
+            since = _require_int(since, "'since' must be a non-negative integer", minimum=0)
+        ring_capacity = params.get("ring", DEFAULT_RING_CAPACITY)
+        ring_capacity = _require_int(ring_capacity, "'ring' must be a positive integer", minimum=1)
+        if world._tracker is None:
+            marker = self._stage_write(world_id, protocol.SUB_TRACK, {"ring": ring_capacity})
+            try:
+                world.track(ring_capacity=ring_capacity)
+            except BaseException:
+                self._unstage_from(marker)
+                raise
+        tracker = world._tracker
+        assert tracker is not None
+        result: Dict[str, Any] = {"world": world_id, "seq": tracker.seq, "tracked": True}
+        if since is not None:
+            entries = tracker.frames_after(since)
+            if entries is not None:
+                result["frames"] = [
+                    protocol.push_frame(
+                        world_id,
+                        entry["seq"],
+                        protocol.FRAME_DIFF,
+                        entry["diff"],
+                        base=entry["seq"] - 1,
+                    )
+                    for entry in entries
+                ]
+                return result
+            result["resync"] = True
+        result["snapshot"] = tracker.snapshot_copy()
+        return result
+
+    def collect_frames(self, cursors: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """Push frames for the tracked worlds in ``cursors`` past each cursor.
+
+        The front end calls this (via :data:`~repro.service.protocol.SUBS_COLLECT`)
+        after any batch that wrote to a subscribed world; riding the normal
+        batch path keeps frames ordered behind the writes that caused them.
+        Worlds this shard no longer hosts (deleted, or migrated away midway
+        through a resize) are silently skipped — the front end either
+        synthesizes the terminal frame itself or re-collects from the new
+        owner.  A cursor beyond the ring's reach degrades to one
+        full-snapshot resync frame.
+        """
+        frames: List[Dict[str, Any]] = []
+        for world_id in sorted(cursors):
+            if world_id not in self.worlds and world_id not in self._evicted:
+                continue
+            world = self._world(world_id)
+            tracker = world._tracker
+            if tracker is None:
+                continue
+            cursor = cursors[world_id]
+            if not isinstance(cursor, int) or isinstance(cursor, bool) or cursor < 0:
+                cursor = -1
+            entries = tracker.frames_after(cursor)
+            if entries is None:
+                frames.append(
+                    protocol.push_frame(
+                        world_id,
+                        tracker.seq,
+                        protocol.FRAME_SNAPSHOT,
+                        tracker.snapshot_copy(),
+                    )
+                )
+                continue
+            frames.extend(
+                protocol.push_frame(
+                    world_id,
+                    entry["seq"],
+                    protocol.FRAME_DIFF,
+                    entry["diff"],
+                    base=entry["seq"] - 1,
+                )
+                for entry in entries
+            )
+        return frames
+
+    # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
     # The per-op dispatch; every handler returns the response's ``result``.
@@ -860,6 +1004,10 @@ class WorldHost:
             # Not tied to any world: the front end fans one such request to
             # every shard (with a synthetic world id) and merges the results.
             return self.metrics_snapshot()
+        if op == protocol.SUBS_COLLECT:
+            # Also shard-scoped (synthetic world id): drain push frames for
+            # the tracked worlds named in ``cursors`` past each cursor.
+            return {"frames": self.collect_frames(params.get("cursors", {}))}
         if op == protocol.MIGRATE_OUT:
             # Drain this world for its new owner: serialize, detach, and
             # purge its durable history here — the pickled blob carries
@@ -936,7 +1084,19 @@ class WorldHost:
                 raise
             if token is not None:
                 world.remember_token(token, result)
+            # The epoch commit: a tracked world diffs its new snapshot into
+            # the ring right here, *after* the op record was staged, so the
+            # refresh's sync marker lands behind the op in the WAL and log
+            # replay regenerates the identical ring.
+            world.commit_epoch()
             return result
+        if op in (protocol.SUB_TRACK, protocol.SUBSCRIBE):
+            return self._sub_track(world_id, world, params)
+        if op == protocol.UNSUBSCRIBE:
+            # Subscription membership lives at the front end; shard-side
+            # tracking stays on for the world's remaining lifetime (its
+            # cost is the ring, bounded, and one refresh per write).
+            return {"world": world_id, "unsubscribed": True}
         if op == protocol.QUERY_STATS:
             return world.stats(params)
         if op == protocol.QUERY_ROUTE:
@@ -952,9 +1112,10 @@ class WorldHost:
     def _execute_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Execute one request, always returning a protocol response."""
         request_id = request.get("id")
-        problem = protocol.validate_request(request)
+        problem = protocol.envelope_problem(request)
         if problem is not None:
-            return protocol.error_response(request_id, problem)
+            message, code = problem
+            return protocol.error_response(request_id, message, code=code)
         op = request["op"]
         if op not in protocol.WORLD_OPS:
             return protocol.error_response(request_id, f"op {op!r} is not served by shards")
@@ -1063,9 +1224,12 @@ class WorldHost:
             "topology.memo_hits": 0,
             "topology.rebuild_fallbacks": 0,
             "world.writes": 0,
+            "subs.tracked": 0,
         }
         dirty_hist = Histogram(COUNT_BUCKETS)
         for world in self.worlds.values():
+            if world._tracker is not None:
+                sums["subs.tracked"] += 1
             sums["cache.snapshot.hits"] += world.cache_hits
             sums["cache.snapshot.misses"] += world.cache_misses
             if world._route_cache is not None:

@@ -29,6 +29,13 @@ class TestConfig:
         assert LoadConfig(nodes=None).node_count == 100  # random-waypoint-drift
         assert LoadConfig(nodes=33).node_count == 33
 
+    def test_subscriber_validation(self):
+        with pytest.raises(ValueError, match="subscribers"):
+            LoadConfig(worlds=2, subscribers=-1)
+        with pytest.raises(ValueError, match="subscribers"):
+            LoadConfig(worlds=2, subscribers=3)
+        assert LoadConfig(worlds=2, subscribers=2).subscribers == 2
+
 
 class TestTrace:
     def test_trace_is_deterministic(self):
@@ -57,6 +64,19 @@ class TestTrace:
         reads_only = LoadConfig(worlds=1, requests_per_world=10, write_fraction=0.0)
         [trace] = build_trace(reads_only)
         assert all(r["op"] != protocol.ADVANCE for r in trace[1:-1])
+
+    def test_subscribed_worlds_lead_with_a_subscribe_op(self):
+        """The subscribe rides the trace right after the create — the same
+        position live and in the serial reference, so tracking perturbs
+        neither schedule."""
+        config = LoadConfig(worlds=3, requests_per_world=4, seed=1, subscribers=2)
+        traces = build_trace(config)
+        for index, trace in enumerate(traces):
+            assert trace[0]["op"] == protocol.CREATE_WORLD
+            if index < 2:
+                assert trace[1]["op"] == protocol.SUBSCRIBE
+            else:
+                assert trace[1]["op"] != protocol.SUBSCRIBE
 
     def test_flatten_preserves_per_world_order(self):
         config = LoadConfig(worlds=3, requests_per_world=5, seed=2)

@@ -139,6 +139,29 @@ class TestLoadAgainstServer:
         report = run(_with_server(body))
         assert report.requests_per_second > 0
 
+    def test_load_run_with_subscribers_converges_byte_identically(self):
+        async def body(server):
+            config = LoadConfig(
+                worlds=4,
+                requests_per_world=6,
+                nodes=25,
+                connections=3,
+                seed=13,
+                subscribers=3,
+            )
+            report, snapshots = await run_load_async("127.0.0.1", server.port, config)
+            assert report.errors == 0
+            assert report.subscribers == 3
+            assert report.frames_pushed > 0
+            # Every watched mirror settled byte-identical to the served
+            # final snapshot, and the subscribe ops kept the serial
+            # reference aligned with the live run.
+            assert report.mirrors_verified == 3
+            assert verify_snapshots(config, snapshots) == []
+            assert "subscribers: 3 worlds watched" in report.as_text()
+
+        run(_with_server(body))
+
     def test_second_load_against_the_same_server_fails_fast(self):
         """Leftover worlds from a previous run must yield a clear error,
         not a phantom 'snapshots diverged' verification failure."""
